@@ -1,0 +1,91 @@
+"""Ablation B: the four ChromeDriver fixes (paper IV-C), one at a time.
+
+Each row disables a single fix and replays the scenario whose success
+depends on it. Stock ChromeDriver (all fixes off) fails everything the
+paper says it fails; WaRR's driver replays everything.
+"""
+
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.core.chromedriver import ChromeDriverConfig
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.workloads.sessions import docs_edit_session, gmail_compose_session
+
+
+def record(factories, session, start_url):
+    browser, _ = make_browser(factories)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(start_url)
+    session(browser)
+    return recorder.trace
+
+
+def replay(factories, trace, config):
+    browser, apps = make_browser(factories, developer_mode=True)
+    report = WarrReplayer(browser, config=config).replay(trace)
+    return report, apps[0]
+
+
+def run_matrix():
+    gmail_trace = record([GmailApplication], gmail_compose_session,
+                         "http://mail.example.com/")
+    docs_trace = record([DocsApplication], docs_edit_session,
+                        "http://docs.example.com/sheet/budget")
+
+    rows = []
+
+    # fix_double_click: needed by the Docs double-click editing.
+    report, app = replay([DocsApplication], docs_trace,
+                         ChromeDriverConfig(fix_double_click=False))
+    rows.append(("double-click support OFF", "Docs edit",
+                 report, app.sheets["budget"].get((2, 0)) == "Travel"))
+
+    # fix_text_input: needed by GMail's contenteditable body.
+    report, app = replay([GmailApplication], gmail_trace,
+                         ChromeDriverConfig(fix_text_input=False))
+    rows.append(("text-input property fix OFF", "GMail compose",
+                 report, bool(app.sent) and app.sent[0]["body"] != ""))
+
+    # fix_active_client: needed by any trace crossing a navigation.
+    report, app = replay([GmailApplication], gmail_trace,
+                         ChromeDriverConfig(fix_active_client=False))
+    rows.append(("active-client fix OFF", "GMail compose",
+                 report, bool(app.sent)))
+
+    # Stock driver: everything off.
+    report, app = replay([GmailApplication], gmail_trace,
+                         ChromeDriverConfig.stock())
+    rows.append(("stock ChromeDriver (all OFF)", "GMail compose",
+                 report, bool(app.sent)))
+
+    # WaRR driver: everything on.
+    report, app = replay([GmailApplication], gmail_trace,
+                         ChromeDriverConfig.warr())
+    rows.append(("WaRR driver (all fixes ON)", "GMail compose",
+                 report, bool(app.sent) and app.sent[0]["body"] != ""))
+    return rows
+
+
+def test_driver_fix_ablation(benchmark, reporter):
+    rows = benchmark(run_matrix)
+
+    lines = ["%-30s %-16s %-10s %-8s %s" % (
+        "configuration", "scenario", "replayed", "halted", "effect intact")]
+    for name, scenario, report, effect_ok in rows:
+        lines.append("%-30s %-16s %-10s %-8s %s" % (
+            name, scenario,
+            "%d/%d" % (report.replayed_count, len(report.trace)),
+            "yes" if report.halted else "no",
+            "yes" if effect_ok else "NO"))
+    reporter("Ablation B — ChromeDriver fixes (paper Section IV-C)", lines)
+
+    by_name = {name: (report, effect) for name, _, report, effect in rows}
+    assert not by_name["double-click support OFF"][1]
+    assert not by_name["text-input property fix OFF"][1]
+    assert by_name["active-client fix OFF"][0].halted
+    assert by_name["stock ChromeDriver (all OFF)"][0].halted or \
+        by_name["stock ChromeDriver (all OFF)"][0].failed_count > 0
+    warr_report, warr_effect = by_name["WaRR driver (all fixes ON)"]
+    assert warr_report.complete and warr_effect

@@ -1,0 +1,79 @@
+"""Ablation A: XPath relaxation under GMail's id churn (paper IV-C).
+
+The paper's first replay challenge: "whenever GMail loaded, it generated
+new id properties for HTML elements", invalidating recorded XPaths. The
+ablation replays the same compose trace against a churned instance with
+relaxation enabled and disabled.
+"""
+
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.workloads.sessions import gmail_compose_session
+
+
+def record_trace():
+    browser, _ = make_browser([GmailApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://mail.example.com/")
+    gmail_compose_session(browser)
+    return recorder.trace
+
+
+def churned_browser():
+    browser, apps = make_browser([GmailApplication], developer_mode=True)
+    # Render compose twice so live ids differ from the recorded ones.
+    browser.new_tab("http://mail.example.com/compose")
+    browser.new_tab("http://mail.example.com/compose")
+    return browser, apps[0]
+
+
+def replay(trace, relaxation):
+    browser, application = churned_browser()
+    report = WarrReplayer(browser, relaxation=relaxation).replay(trace)
+    return report, application
+
+
+def test_relaxation_ablation(benchmark, reporter):
+    trace = record_trace()
+
+    report_on, app_on = benchmark(replay, trace, True)
+    report_off, app_off = replay(trace, relaxation=False)
+
+    lines = [
+        "%-26s %-22s %-22s" % ("", "relaxation ON", "relaxation OFF"),
+        "%-26s %-22s %-22s" % (
+            "commands replayed",
+            "%d/%d" % (report_on.replayed_count, len(trace)),
+            "%d/%d" % (report_off.replayed_count, len(trace))),
+        "%-26s %-22s %-22s" % (
+            "locators relaxed", report_on.relaxed_count,
+            report_off.relaxed_count),
+        "%-26s %-22s %-22s" % (
+            "email delivered",
+            "yes" if app_on.sent else "no",
+            "yes" if app_off.sent else "no"),
+    ]
+    reporter("Ablation A — XPath relaxation vs GMail id churn", lines)
+
+    assert report_on.complete
+    assert report_on.relaxed_count > 0
+    assert app_on.sent and app_on.sent[0]["to"] == "bob@example.com"
+    assert report_off.failed_count > 0
+    assert not app_off.sent
+
+
+def test_relaxed_resolution_microbenchmark(benchmark):
+    """Cost of resolving one stale locator through the heuristics."""
+    from repro.core.relaxation import RelaxationEngine
+
+    browser, _ = churned_browser()
+    document = browser.tabs[-1].document
+    engine = RelaxationEngine()
+
+    def resolve():
+        return engine.resolve('//td/input[@id="w0_to"][@name="to"]', document)
+
+    element, heuristic = benchmark(resolve)
+    assert element.name == "to"

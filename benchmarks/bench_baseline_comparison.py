@@ -1,0 +1,88 @@
+"""Extended recorder comparison: WaRR vs every Section II alternative.
+
+The paper's Table II compares against Selenium IDE only; its Section II
+discusses more approaches (traffic proxies, JS-injection proxies). This
+bench runs all four recorders simultaneously over the same sessions and
+scores what each captured:
+
+- WaRR Recorder (in-engine)
+- Selenium IDE (DOM listeners on form controls/links)
+- UsaProxy (proxy-injected document-level click tracker)
+- Fiddler (HTTP wire log — records exchanges, not user actions)
+"""
+
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import AppEnvironment
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.sites import SitesApplication
+from repro.baselines.fiddler import FiddlerProxy
+from repro.baselines.selenium_ide import SeleniumIDERecorder
+from repro.baselines.usaproxy import UsaProxyRecorder
+from repro.core.recorder import WarrRecorder
+from repro.util.rng import SeededRandom
+from repro.workloads.sessions import (
+    docs_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    sites_edit_session,
+)
+
+SCENARIOS = [
+    ("Sites edit", SitesApplication, sites_edit_session),
+    ("GMail compose", GmailApplication, gmail_compose_session),
+    ("Portal auth", PortalApplication, portal_authenticate_session),
+    ("Docs spreadsheet", DocsApplication, docs_edit_session),
+]
+
+
+def run_scenario(app_class, session):
+    application = app_class(rng=SeededRandom(0))
+    environment = AppEnvironment([])
+    proxy = UsaProxyRecorder(application.server)
+    proxy.install(environment.network, environment.registry,
+                  application.host)
+    environment.registry.merge(application.scripts)
+    browser = environment.browser()
+
+    warr = WarrRecorder().attach(browser)
+    warr.begin("http://%s/" % application.host)
+    selenium = SeleniumIDERecorder().attach(browser).begin()
+    fiddler = FiddlerProxy(environment.network).begin()
+
+    user = session(browser)
+    return {
+        "user actions": len(user.actions),
+        "WaRR": len(warr.trace),
+        "Selenium IDE": len(selenium.recorded_actions()),
+        "UsaProxy": len(proxy.commands),
+        "Fiddler (exchanges)": len(fiddler.captured()),
+    }
+
+
+def run_all():
+    return [(name, run_scenario(app_class, session))
+            for name, app_class, session in SCENARIOS]
+
+
+def test_baseline_comparison(benchmark, reporter):
+    results = benchmark(run_all)
+
+    columns = ["user actions", "WaRR", "Selenium IDE", "UsaProxy",
+               "Fiddler (exchanges)"]
+    lines = ["%-18s %s" % ("scenario", " ".join("%-14s" % c for c in columns))]
+    for name, counts in results:
+        lines.append("%-18s %s" % (
+            name, " ".join("%-14d" % counts[c] for c in columns)))
+    lines.append("")
+    lines.append("WaRR counts commands (== user actions); UsaProxy sees "
+                 "clicks only; Fiddler counts HTTP exchanges, which are "
+                 "not user actions at all.")
+    reporter("Extended recorder comparison (paper Section II baselines)",
+             lines)
+
+    for name, counts in results:
+        # WaRR is the only recorder capturing every action.
+        assert counts["WaRR"] >= counts["user actions"]
+        assert counts["Selenium IDE"] <= counts["user actions"]
+        assert counts["UsaProxy"] <= counts["user actions"]

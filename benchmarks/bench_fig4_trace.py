@@ -1,0 +1,40 @@
+"""Figure 4: the WaRR Command sequence for editing a Google Sites page.
+
+Regenerates the paper's trace fragment — click the start span, type
+"Hello world!" into ``//td/div[@id="content"]``, click the Save button —
+and benchmarks a full record session.
+"""
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.workloads.sessions import sites_edit_session
+
+EDIT_URL = "http://sites.example.com/edit/home"
+
+
+def record_hello_world():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(EDIT_URL)
+    sites_edit_session(browser, text="Hello world!")
+    recorder.detach()
+    return recorder.trace
+
+
+def test_figure4_trace(benchmark, reporter):
+    trace = benchmark(record_hello_world)
+
+    lines = [command.to_line() for command in trace]
+    reporter("Figure 4 — WaRR Commands recorded while editing a Google "
+             "Sites web page", lines)
+
+    # Shape assertions: the paper's fragment structure.
+    assert lines[0].startswith('click //div/span[@id="start"]')
+    typed = [c for c in trace if c.action == "type"]
+    assert "".join(c.key for c in typed) == "Hello world!"
+    assert lines[-1].startswith('click //td/div[text()="Save"]')
+    # The '!' carries the '1'-key code, exactly as in the paper.
+    assert typed[-1].code == 49
+    # Space is logged as [ ,32].
+    assert any("[ ,32]" in line for line in lines)

@@ -1,0 +1,63 @@
+"""Scaling series: record and replay throughput vs. session length.
+
+Not a table from the paper, but the capacity claim behind "always-on"
+recording needs a curve: per-action cost must stay flat as sessions
+grow. We record and replay editing sessions of increasing length and
+report commands/second for both directions.
+"""
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.workloads.sessions import sites_edit_session
+
+LENGTHS = [10, 40, 160, 640]
+
+
+def record_session(text_length):
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="x" * text_length)
+    return recorder.trace
+
+
+def test_scaling_series(benchmark, reporter):
+    import time
+
+    rows = []
+    for length in LENGTHS:
+        start = time.perf_counter()
+        trace = record_session(length)
+        record_seconds = time.perf_counter() - start
+
+        browser, _ = make_browser([SitesApplication], developer_mode=True)
+        start = time.perf_counter()
+        report = WarrReplayer(browser,
+                              timing=TimingMode.no_wait()).replay(trace)
+        replay_seconds = time.perf_counter() - start
+        assert report.replayed_count == len(trace)
+        rows.append((len(trace), len(trace) / record_seconds,
+                     len(trace) / replay_seconds))
+
+    lines = ["%-12s %-22s %-22s" % ("commands", "record (cmds/s)",
+                                    "replay (cmds/s)")]
+    for count, record_rate, replay_rate in rows:
+        lines.append("%-12d %-22.0f %-22.0f" % (count, record_rate,
+                                                replay_rate))
+    reporter("Scaling — record/replay throughput vs session length", lines)
+
+    # Per-command cost must not blow up with session length: the longest
+    # session's throughput stays within 20x of the shortest's.
+    assert rows[-1][1] > rows[0][1] / 20
+    assert rows[-1][2] > rows[0][2] / 20
+
+    # And give pytest-benchmark one stable number: mid-size record+replay.
+    def mid_size_round_trip():
+        trace = record_session(80)
+        browser, _ = make_browser([SitesApplication], developer_mode=True)
+        return WarrReplayer(browser, timing=TimingMode.no_wait()).replay(trace)
+
+    result = benchmark(mid_size_round_trip)
+    assert result.replayed_count > 0

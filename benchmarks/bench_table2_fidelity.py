@@ -1,0 +1,80 @@
+"""Table II: recording completeness — WaRR Recorder vs Selenium IDE.
+
+Paper (DSN'11):
+
+    Application    Scenario           WaRR   Selenium IDE
+    Google Sites   Edit site           C      P
+    GMail          Compose email       C      P
+    Yahoo          Authenticate        C      C
+    Google Docs    Edit spreadsheet    C      P
+
+Both recorders run simultaneously over the same scripted session; the
+SimulatedUser's action log is ground truth.
+"""
+
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.sites import SitesApplication
+from repro.baselines import (
+    COMPLETE,
+    PARTIAL,
+    SeleniumIDERecorder,
+    evaluate_recording_fidelity,
+)
+from repro.core.recorder import WarrRecorder
+from repro.workloads.sessions import (
+    docs_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    sites_edit_session,
+)
+
+SCENARIOS = [
+    ("Google Sites", "Edit site", [SitesApplication], sites_edit_session,
+     (COMPLETE, PARTIAL)),
+    ("GMail", "Compose email", [GmailApplication], gmail_compose_session,
+     (COMPLETE, PARTIAL)),
+    ("Yahoo", "Authenticate", [PortalApplication],
+     portal_authenticate_session, (COMPLETE, COMPLETE)),
+    ("Google Docs", "Edit spreadsheet", [DocsApplication], docs_edit_session,
+     (COMPLETE, PARTIAL)),
+]
+
+
+def run_scenario(factories, session):
+    browser, _ = make_browser(factories)
+    warr = WarrRecorder().attach(browser)
+    selenium = SeleniumIDERecorder().attach(browser).begin()
+    user = session(browser)
+    return evaluate_recording_fidelity(
+        user.actions, warr.trace, selenium.recorded_actions())
+
+
+def run_all():
+    results = []
+    for application, scenario, factories, session, expected in SCENARIOS:
+        warr_result, selenium_result = run_scenario(factories, session)
+        results.append((application, scenario, warr_result, selenium_result,
+                        expected))
+    return results
+
+
+def test_table2(benchmark, reporter):
+    results = benchmark(run_all)
+
+    lines = ["%-14s %-18s %-18s %-18s %s" % (
+        "Application", "Scenario", "WaRR Recorder", "Selenium IDE", "Paper")]
+    for application, scenario, warr, selenium, expected in results:
+        lines.append("%-14s %-18s %-18s %-18s %s/%s" % (
+            application, scenario,
+            "%s (%d/%d)" % (warr.label, warr.covered, warr.total),
+            "%s (%d/%d)" % (selenium.label, selenium.covered, selenium.total),
+            expected[0], expected[1]))
+    reporter("Table II — completeness of recording user actions "
+             "(C=Complete, P=Partial)", lines)
+
+    for application, _, warr, selenium, expected in results:
+        assert warr.label == expected[0], application
+        assert selenium.label == expected[1], application

@@ -1,0 +1,71 @@
+"""Section V-C: WebErr's timing-error injection finds the Sites bug.
+
+Paper: "we simulated impatient users who do not wait long enough and
+perform their changes right away. In doing so, we caused Google Sites to
+use an uninitialized JavaScript variable, an obvious bug."
+"""
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.weberr.runner import WebErr
+from repro.workloads.sessions import sites_edit_session
+
+EDIT_URL = "http://sites.example.com/edit/home"
+
+
+def record_trace():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(EDIT_URL)
+    sites_edit_session(browser, text="Hi!")
+    return recorder.trace
+
+
+def browser_factory():
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    return browser
+
+
+def test_timing_error_campaign(benchmark, reporter):
+    trace = record_trace()
+    weberr = WebErr(browser_factory)
+
+    report = benchmark(weberr.run_timing_campaign, trace)
+
+    lines = [report.summary(), ""]
+    for outcome in report.outcomes:
+        lines.append("%-14s -> %s" % (outcome.description, outcome.verdict))
+    reporter("Section V-C — timing errors injected into the Sites "
+             "editing trace", lines)
+
+    assert report.bugs, "the campaign must find the bug"
+    no_wait = next(o for o in report.outcomes if o.description == "no-wait")
+    assert no_wait.found_bug
+    assert "editorState" in no_wait.verdict.reason
+
+
+def test_patient_replay_baseline(benchmark):
+    """The control: recorded delays replay cleanly (no false positives)."""
+    trace = record_trace()
+
+    def patient_replay():
+        browser = browser_factory()
+        return WarrReplayer(browser, timing=TimingMode.recorded()).replay(trace)
+
+    report = benchmark(patient_replay)
+    assert report.complete
+    assert report.page_errors == []
+
+
+def test_impatient_replay(benchmark):
+    """The treatment: no-wait replay hits the uninitialized variable."""
+    trace = record_trace()
+
+    def impatient_replay():
+        browser = browser_factory()
+        return WarrReplayer(browser, timing=TimingMode.no_wait()).replay(trace)
+
+    report = benchmark(impatient_replay)
+    assert report.page_errors

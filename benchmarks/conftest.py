@@ -1,0 +1,24 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one table or figure from the paper and prints
+it (with the paper's numbers alongside for comparison), then times the
+computational core with pytest-benchmark.
+"""
+
+import sys
+
+import pytest
+
+
+def emit(title, lines):
+    """Print a reproduced artifact so it lands in the benchmark log."""
+    banner = "=" * 72
+    print("\n%s\n%s\n%s" % (banner, title, banner), file=sys.stderr)
+    for line in lines:
+        print(line, file=sys.stderr)
+    print(banner, file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    return emit

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Recording nondeterminism and popups — the paper's extension points.
+
+Section I claims the in-browser recorder "can easily be extended to
+record various sources of nondeterminism (e.g., timers)", and Section
+IV-D proposes fixing the popup blind spot by "insert[ing] logging
+functionality in the browser code that handles pop-ups". This example
+exercises both extensions:
+
+1. a page whose behaviour depends on ``Math.random()`` is recorded with
+   the NondeterminismRecorder; replaying with the log installed makes
+   the random-dependent behaviour reproduce exactly;
+2. a session involving a native confirmation dialog is recorded with
+   the PopupRecorder; during replay the dialog is answered with the
+   recorded choice automatically.
+
+Run with:  python examples/deterministic_replay.py
+"""
+
+from repro import WarrRecorder, WarrReplayer, make_browser
+from repro.apps.framework import WebApplication
+from repro.core import (
+    NondeterminismRecorder,
+    NondeterminismReplayer,
+    PopupRecorder,
+    replay_popup_log,
+)
+
+
+class DiceApplication(WebApplication):
+    """A page that rolls dice client-side — pure nondeterminism."""
+
+    host = "dice.example.com"
+
+    def configure(self):
+        self.server.add_route("/", lambda request: (
+            '<html><head><title>Dice</title></head><body>'
+            '<div id="roll" contenteditable>Roll!</div>'
+            '<div id="result"></div>'
+            '<script data-script="dice.main"></script>'
+            '</body></html>'))
+        self.scripts.register("dice.main", self._page_script)
+
+    @staticmethod
+    def _page_script(window):
+        window.env.rolls = []
+        roll = window.get_element_by_id("roll")
+        result = window.get_element_by_id("result")
+
+        def on_click(event):
+            value = int(window.random() * 6) + 1
+            window.env.rolls.append(value)
+            result.text_content = "You rolled %d" % value
+
+        roll.add_event_listener("click", on_click)
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Nondeterminism: record the dice page.
+    # ------------------------------------------------------------------
+    browser, _ = make_browser([DiceApplication], seed=7)
+    warr = WarrRecorder().attach(browser)
+    warr.begin("http://dice.example.com/")
+    nd_recorder = NondeterminismRecorder().attach(browser)
+
+    tab = browser.new_tab("http://dice.example.com/")
+    for _ in range(3):
+        tab.click_element(tab.find('//div[@id="roll"]'))
+        tab.wait(100)
+    original_rolls = list(tab.engine.window.env.rolls)
+    print("Recorded rolls: %r" % original_rolls)
+    print("Nondeterminism log: %d entries" % len(nd_recorder.log))
+
+    # Replay WITHOUT the log on a differently seeded browser: diverges.
+    wild_browser, _ = make_browser([DiceApplication], seed=99,
+                                   developer_mode=True)
+    wild_browser._script_rng.__init__(31337)
+    WarrReplayer(wild_browser).replay(warr.trace)
+    wild_rolls = wild_browser.tabs[0].engine.window.env.rolls
+    print("Replay without the log: %r  (diverged: %s)"
+          % (wild_rolls, wild_rolls != original_rolls))
+
+    # Replay WITH the log: identical behaviour.
+    exact_browser, _ = make_browser([DiceApplication], seed=99,
+                                    developer_mode=True)
+    exact_browser._script_rng.__init__(31337)
+    NondeterminismReplayer(nd_recorder.log).install(exact_browser)
+    WarrReplayer(exact_browser).replay(warr.trace)
+    exact_rolls = exact_browser.tabs[0].engine.window.env.rolls
+    print("Replay with the log:    %r  (identical: %s)"
+          % (exact_rolls, exact_rolls == original_rolls))
+    assert exact_rolls == original_rolls
+
+    # ------------------------------------------------------------------
+    # 2. Popups: record a native dialog answer, auto-answer on replay.
+    # ------------------------------------------------------------------
+    print("\nPopup logging:")
+    popup_browser, _ = make_browser([DiceApplication])
+    popup_recorder = PopupRecorder().attach(popup_browser)
+    dialog = popup_browser.show_popup("Reset the dice?", ["Reset", "Keep"])
+    dialog.click_button("Keep")
+    print("Recorded dialog answer: %r" % popup_recorder.log.events[0].clicked)
+
+    replay_browser, _ = make_browser([DiceApplication], developer_mode=True)
+    state = replay_popup_log(replay_browser, popup_recorder.log)
+    replayed_dialog = replay_browser.show_popup("Reset the dice?",
+                                                ["Reset", "Keep"])
+    print("Replayed dialog auto-answered: %r (consumed %d recorded answers)"
+          % (replayed_dialog.clicked[0][0], state["consumed"]))
+    assert replayed_dialog.clicked[0][0] == "Keep"
+
+    print("\nOK: replay is deterministic even for random-dependent pages "
+          "and native dialogs.")
+
+
+if __name__ == "__main__":
+    main()

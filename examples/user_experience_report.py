@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""AUsER: automatic user experience reports (paper, Section VI).
+
+A user signs in to a portal, notices something wrong, and presses the
+AUsER button. The tool bundles:
+
+  - the always-on WaRR Recorder's command trace (password keystrokes
+    scrubbed),
+  - the user's textual description,
+  - a snapshot of just the part of the page the user chose to share,
+
+then encrypts the bundle with the developers' public key. On the
+developer side we decrypt it and replay the scrubbed trace — it drives
+the application down the same path with dummy credentials.
+
+Run with:  python examples/user_experience_report.py
+"""
+
+from repro import WarrRecorder, WarrReplayer, make_browser
+from repro.apps.portal import PortalApplication
+from repro.auser import AUsER, ToyRSA
+from repro.core.trace import WarrTrace
+from repro.workloads.sessions import portal_authenticate_session
+
+
+def main():
+    # --- the user's machine -------------------------------------------
+    browser, _ = make_browser([PortalApplication])
+    recorder = WarrRecorder().attach(browser)   # always-on
+    recorder.begin("http://portal.example.com/")
+
+    portal_authenticate_session(browser)        # ... normal usage ...
+
+    # Something looks wrong; the user presses the AUsER button and
+    # shares only the greeting element, not the whole page.
+    auser = AUsER(recorder, browser)
+    report = auser.report_problem(
+        description="The greeting shows my login, not my display name.",
+        region_xpath='//div[@id="greeting"]',
+    )
+    print("Report assembled (%d commands, scrubbed=%s):"
+          % (len(report.trace), report.scrubbed))
+    print(report.to_text())
+    print("Recorder overhead acceptable (below 100 ms perception "
+          "threshold): %s" % auser.recorder_overhead_acceptable())
+
+    # Encrypt for the developers.
+    developer_keys = ToyRSA.generate(seed=2011)
+    ciphertext = report.encrypt(developer_keys.public)
+    print("Encrypted report: %d blocks" % len(ciphertext))
+
+    # --- the developers' machine ---------------------------------------
+    plaintext = ToyRSA.decrypt(ciphertext, developer_keys.private)
+    assert plaintext == report.to_text()
+    trace_text = plaintext.split("--- trace", 1)[1].split("---", 1)[1]
+    received_trace = WarrTrace.from_text(
+        plaintext[plaintext.index("#! warr-trace v1"):
+                  plaintext.index("--- snapshot")])
+    print("\nDevelopers decrypted the report and recovered %d commands."
+          % len(received_trace))
+
+    replay_browser, (portal,) = make_browser([PortalApplication],
+                                             developer_mode=True)
+    result = WarrReplayer(replay_browser).replay(received_trace)
+    print("Replay of the scrubbed trace: %s" % result.summary())
+    print("Login attempts observed server-side: %r" % portal.login_attempts)
+    print("(The password was scrubbed, so authentication fails — but the "
+          "interaction path is reproduced.)")
+
+    assert result.complete
+    assert portal.login_attempts == ["jane"]
+    print("\nOK: the developers reproduced the user's session from the "
+          "report.")
+
+
+if __name__ == "__main__":
+    main()

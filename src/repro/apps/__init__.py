@@ -1,0 +1,21 @@
+"""Simulated web applications.
+
+Functional clones of the applications the paper evaluates WaRR on, each
+built on the in-repo browser substrate:
+
+- :mod:`repro.apps.sites` — a Google Sites-like site editor with an
+  asynchronously loading editor module (and the uninitialized-variable
+  timing bug WebErr found);
+- :mod:`repro.apps.gmail` — a GMail-like composer whose element ids are
+  regenerated on every load (the XPath-relaxation workload);
+- :mod:`repro.apps.portal` — a Yahoo!-like portal with classic form
+  authentication;
+- :mod:`repro.apps.docs` — a Google Docs-like spreadsheet using double
+  clicks and drags;
+- :mod:`repro.apps.search` — three search engines with different
+  typo-correction policies (the Table I workload).
+"""
+
+from repro.apps.framework import WebApplication, make_browser, AppEnvironment
+
+__all__ = ["WebApplication", "make_browser", "AppEnvironment"]

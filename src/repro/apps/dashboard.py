@@ -1,0 +1,112 @@
+"""Dashboard application: widgets in iframes.
+
+Exercises the paper's third replay challenge (Section IV-C, iframes) on
+a realistic application rather than a synthetic page:
+
+- the **news widget** is a ``src`` iframe (own document, own
+  ChromeDriver client) with a Refresh button that reloads headlines
+  over XHR;
+- the **notes widget** is a ``src``-less iframe — Chrome loads no
+  client for it, so replay needs WaRR's parent-client fix — containing
+  a contenteditable pad;
+- the **chart widget** is draggable in the main document.
+
+A session touching all three widgets produces ``switchframe`` commands
+into a child frame, back to ``default``, and a drag — the full frame
+choreography of Section IV-C.
+"""
+
+from repro.apps.framework import WebApplication
+from repro.net.http import HttpResponse
+
+
+class DashboardApplication(WebApplication):
+    """A portal dashboard with three embedded widgets."""
+
+    host = "dashboard.example.com"
+
+    def configure(self):
+        self.headlines = ["Markets open higher", "Rain expected"]
+        self.refresh_count = 0
+        self.saved_notes = []
+        server = self.server
+        server.add_route("/", self._main_view)
+        server.add_route("/widget/news", self._news_widget)
+        server.add_route("/headlines", self._headlines_json)
+        server.add_route("/notes", self._save_notes, method="POST")
+        self.scripts.register("dashboard.news", _news_script)
+        self.scripts.register("dashboard.main", _main_script)
+
+    # -- server side ------------------------------------------------------
+
+    def _main_view(self, request):
+        return """<html><head><title>Dashboard</title></head><body>
+            <h1>My Dashboard</h1>
+            <iframe id="news" src="/widget/news"></iframe>
+            <iframe id="notes">
+              <div class="notepad">
+                <div id="pad" contenteditable></div>
+                <div class="savenote">Save note</div>
+              </div>
+            </iframe>
+            <div id="chart" class="widget">[chart]</div>
+            <script data-script="dashboard.main"></script>
+            </body></html>"""
+
+    def _news_widget(self, request):
+        items = "".join("<li>%s</li>" % headline
+                        for headline in self.headlines)
+        return """<html><head><title>News</title></head><body>
+            <ul id="headlines">%s</ul>
+            <button id="refresh">Refresh</button>
+            <script data-script="dashboard.news"></script>
+            </body></html>""" % items
+
+    def _headlines_json(self, request):
+        self.refresh_count += 1
+        fresh = "Update %d: all widgets nominal" % self.refresh_count
+        return HttpResponse.json(fresh)
+
+    def _save_notes(self, request):
+        self.saved_notes.append(request.body)
+        return HttpResponse.json('{"saved": true}')
+
+
+def _news_script(window):
+    """The news widget's client code (runs inside the iframe)."""
+    document = window.document
+    window.env.refreshes = 0
+    button = document.get_element_by_id("refresh")
+    headlines = document.get_element_by_id("headlines")
+
+    def on_refresh(event):
+        window.env.refreshes = window.env.refreshes + 1
+        request = window.xhr()
+        request.open("GET", "http://%s/headlines" % DashboardApplication.host)
+
+        def loaded(response):
+            item = document.create_element("li")
+            item.text_content = response.response_text.strip('"')
+            headlines.append_child(item)
+
+        request.onload = loaded
+        request.send()
+
+    button.add_event_listener("click", on_refresh)
+
+
+def _main_script(window):
+    """The main document's client code (notes live here: the iframe has
+    no src, so its content is part of the parent DOM)."""
+    document = window.document
+    pad = document.get_element_by_id("pad")
+    save = document.body.find_first(
+        lambda el: el.tag == "div" and "savenote" in el.classes)
+
+    def on_save(event):
+        request = window.xhr()
+        request.open("POST", "http://%s/notes" % DashboardApplication.host)
+        request.send("note=%s" % pad.text_content)
+
+    if save is not None:
+        save.add_event_listener("click", on_save)

@@ -1,0 +1,155 @@
+"""Google Docs clone: a spreadsheet editor.
+
+The paper singles out Google Docs for needing *double clicks* (a feature
+stock ChromeDriver lacked and WaRR added) and rich editing. This clone
+implements the spreadsheet interaction model:
+
+- double-click a cell to start editing it (the handler makes the cell
+  contenteditable and focuses it);
+- type to change its contents;
+- single-click elsewhere to commit the edit back to the sheet model;
+- drag across cells to select a range, and drag the floating chart
+  widget to move it;
+- click Save to push the sheet model to the server over XHR.
+"""
+
+from repro.apps.framework import WebApplication
+from repro.net.http import HttpResponse
+
+ROWS = 4
+COLUMNS = 3
+
+
+class DocsApplication(WebApplication):
+    """Spreadsheet grid with double-click editing."""
+
+    host = "docs.example.com"
+
+    def configure(self):
+        self.sheets = {
+            "budget": {(0, 0): "Item", (0, 1): "Cost", (1, 0): "Laptop",
+                       (1, 1): "1200"},
+        }
+        self.save_count = 0
+        server = self.server
+        server.add_route("/sheet/*", self._sheet_view)
+        server.add_route("/save", self._save, method="POST")
+        self.scripts.register("docs.sheet", _sheet_script)
+
+    # -- server side ------------------------------------------------------
+
+    def _sheet_view(self, request):
+        name = request.path.rsplit("/", 1)[-1]
+        if name not in self.sheets:
+            return HttpResponse.not_found("no sheet %r" % name)
+        cells = self.sheets[name]
+        rows = []
+        for row in range(ROWS):
+            tds = []
+            for column in range(COLUMNS):
+                value = cells.get((row, column), "")
+                tds.append(
+                    '<td><div class="cell" id="cell_%d_%d">%s</div></td>'
+                    % (row, column, value)
+                )
+            rows.append("<tr>%s</tr>" % "".join(tds))
+        return """<html><head><title>%s - Docs</title></head><body>
+            <div class="toolbar">
+              <div class="savebtn">Save</div>
+              <span id="sheetstatus">Saved</span>
+            </div>
+            <table class="grid" data-sheet="%s">%s</table>
+            <div id="chart" class="widget">[chart]</div>
+            <script data-script="docs.sheet"></script>
+            </body></html>""" % (name, name, "".join(rows))
+
+    def _save(self, request):
+        fields = {}
+        for pair in request.body.split("&"):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                fields[key] = value
+        name = fields.get("sheet", "")
+        if name not in self.sheets:
+            return HttpResponse.not_found("no sheet %r" % name)
+        for key, value in fields.items():
+            if key.startswith("cell_"):
+                _, row, column = key.split("_")
+                self.sheets[name][(int(row), int(column))] = value
+        self.save_count += 1
+        return HttpResponse.json('{"saved": true}')
+
+
+def _sheet_script(window):
+    """Client-side spreadsheet behaviour."""
+    document = window.document
+    env = window.env
+    env.model = {}
+    env.editing_cell = None
+    env.selection = []
+
+    grid = document.body.find_first(lambda el: "grid" in el.classes)
+    status = document.get_element_by_id("sheetstatus")
+    save_button = document.body.find_first(lambda el: "savebtn" in el.classes)
+    sheet_name = grid.get_attribute("data-sheet")
+
+    def cells():
+        return [el for el in grid.descendants()
+                if getattr(el, "tag", None) == "div"
+                and "cell" in getattr(el, "classes", [])]
+
+    for cell in cells():
+        env.model[cell.id] = cell.text_content
+
+    def commit_editing():
+        cell = env.editing_cell
+        if cell is None:
+            return
+        cell.remove_attribute("contenteditable")
+        env.model[cell.id] = cell.text_content
+        env.editing_cell = None
+        status.text_content = "Edited"
+
+    def on_dblclick(event):
+        target = event.target
+        if "cell" not in getattr(target, "classes", []):
+            return
+        commit_editing()
+        target.set_attribute("contenteditable", "")
+        window.focus(target)
+        env.editing_cell = target
+
+    def on_click(event):
+        target = event.target
+        if env.editing_cell is not None and target is not env.editing_cell:
+            commit_editing()
+
+    def on_drag(event):
+        target = event.target
+        if "cell" in getattr(target, "classes", []):
+            # Range selection: mark cells between anchor and drop point.
+            event.prevent_default()  # cells themselves must not move
+            env.selection = [target.id]
+            target.set_attribute("data-selected", "true")
+            status.text_content = "Selected"
+
+    grid.add_event_listener("dblclick", on_dblclick)
+    grid.add_event_listener("click", on_click)
+    grid.add_event_listener("drag", on_drag)
+    # The chart widget relies on the engine's default drag action (move).
+
+    def on_save(event):
+        commit_editing()
+        request = window.xhr()
+        request.open("POST", "http://%s/save" % DocsApplication.host)
+
+        def saved(response):
+            status.text_content = "Saved"
+
+        request.onload = saved
+        payload = ["sheet=%s" % sheet_name]
+        payload.extend("%s=%s" % (key, value) for key, value in
+                       sorted(env.model.items()))
+        request.send("&".join(payload))
+
+    save_button.add_event_listener("click", on_save)

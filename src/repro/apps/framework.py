@@ -1,0 +1,87 @@
+"""Application framework and environment wiring.
+
+A :class:`WebApplication` owns a host name, a
+:class:`~repro.net.server.RouteServer` (its server side), and a
+:class:`~repro.scripting.registry.ScriptRegistry` (its client side).
+:func:`make_browser` assembles a deterministic environment — one virtual
+clock, one event loop, one network — installs the applications, and
+returns a ready browser. Experiments create a *fresh* environment per
+run so server and client state never leak between measurements.
+"""
+
+from repro.browser.window import Browser
+from repro.net.server import Network, RouteServer
+from repro.scripting.registry import ScriptRegistry
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+from repro.util.rng import SeededRandom
+
+
+class WebApplication:
+    """Base class for simulated applications."""
+
+    #: Subclasses set their canonical host name.
+    host = None
+
+    def __init__(self, rng=None):
+        if self.host is None:
+            raise TypeError("%s must define a host" % type(self).__name__)
+        self.rng = rng if rng is not None else SeededRandom(0)
+        self.server = RouteServer()
+        self.scripts = ScriptRegistry()
+        self.configure()
+
+    def configure(self):
+        """Register routes and scripts; subclasses implement."""
+        raise NotImplementedError
+
+    def url(self, path="/", secure=False):
+        """Absolute URL for a path on this application."""
+        scheme = "https" if secure else "http"
+        if not path.startswith("/"):
+            path = "/" + path
+        return "%s://%s%s" % (scheme, self.host, path)
+
+    def install(self, network, registry, latency_ms=None):
+        """Wire the application into an environment."""
+        network.register(self.host, self.server, latency_ms=latency_ms)
+        registry.merge(self.scripts)
+        return self
+
+
+class AppEnvironment:
+    """One deterministic world: clock, loop, network, apps, browsers."""
+
+    def __init__(self, apps, seed=0, latency_ms=50.0):
+        self.clock = VirtualClock()
+        self.event_loop = EventLoop(self.clock)
+        self.network = Network(self.event_loop, default_latency_ms=latency_ms)
+        self.registry = ScriptRegistry()
+        self.rng = SeededRandom(seed)
+        self.apps = list(apps)
+        for app in self.apps:
+            app.install(self.network, self.registry)
+
+    def browser(self, developer_mode=False, viewport_width=1024):
+        """A new browser attached to this environment."""
+        return Browser(
+            network=self.network,
+            script_registry=self.registry,
+            developer_mode=developer_mode,
+            viewport_width=viewport_width,
+            event_loop=self.event_loop,
+        )
+
+
+def make_browser(app_factories, seed=0, developer_mode=False, latency_ms=50.0):
+    """Build a fresh environment and browser in one call.
+
+    ``app_factories`` is a list of callables (typically application
+    classes) invoked with a forked RNG each. Returns
+    ``(browser, apps)`` — apps in factory order, so callers can reach
+    server-side state for assertions.
+    """
+    rng = SeededRandom(seed)
+    apps = [factory(rng=rng.fork(index)) for index, factory in enumerate(app_factories)]
+    environment = AppEnvironment(apps, seed=seed, latency_ms=latency_ms)
+    return environment.browser(developer_mode=developer_mode), apps

@@ -1,0 +1,170 @@
+"""GMail clone: web mail with volatile element ids.
+
+The replay challenge this application reproduces (paper, Section IV-C):
+"whenever GMail loaded, it generated new id properties for HTML
+elements". Every render of the compose view stamps fresh ids, so a
+recorded XPath like ``//td/div[@id="b17_body"]`` is stale on replay and
+the WaRR Replayer must relax it (drop the volatile ``id``, keep the
+``//td/div`` structure, or fall back to stable ``name`` attributes on
+the To/Subject fields).
+
+The compose body is a contenteditable div — the element kind Selenium
+IDE cannot record typing into, and the one stock ChromeDriver cannot
+type into because it only sets the ``value`` property.
+"""
+
+from repro.apps.framework import WebApplication
+from repro.net.http import HttpResponse
+
+
+class GmailApplication(WebApplication):
+    """Inbox + compose + sent, with per-load id regeneration."""
+
+    host = "mail.example.com"
+
+    def configure(self):
+        self.inbox = [
+            {"from": "alice", "subject": "lunch?"},
+            {"from": "build-bot", "subject": "nightly results"},
+        ]
+        self.sent = []
+        self.drafts = []
+        self._load_counter = 0
+        server = self.server
+        server.add_route("/", self._inbox_view)
+        server.add_route("/compose", self._compose_view)
+        server.add_route("/send", self._send, method="POST")
+        server.add_route("/draft", self._draft, method="POST")
+        server.add_route("/sent", self._sent_view)
+        self.scripts.register("gmail.compose", _compose_script)
+
+    def _fresh_id(self, suffix):
+        return "w%d_%s" % (self._load_counter, suffix)
+
+    # -- server side ------------------------------------------------------
+
+    def _inbox_view(self, request):
+        self._load_counter += 1
+        rows = "".join(
+            '<tr><td><div id="%s">%s</div></td><td>%s</td></tr>'
+            % (self._fresh_id("msg%d" % index), message["from"],
+               message["subject"])
+            for index, message in enumerate(self.inbox)
+        )
+        return """<html><head><title>GMail - Inbox</title></head><body>
+            <div class="nav"><a href="/compose">Compose</a>
+            <a href="/sent">Sent</a></div>
+            <table class="inbox">%s</table>
+            </body></html>""" % rows
+
+    def _compose_view(self, request):
+        self._load_counter += 1
+        to_id = self._fresh_id("to")
+        subject_id = self._fresh_id("subject")
+        body_id = self._fresh_id("body")
+        return """<html><head><title>GMail - Compose</title></head><body>
+            <div class="nav"><a href="/">Inbox</a></div>
+            <table class="compose">
+              <tr><td>To</td>
+                  <td><input type="text" name="to" id="%s"></td></tr>
+              <tr><td>Subject</td>
+                  <td><input type="text" name="subject" id="%s"></td></tr>
+              <tr><td class="bodycell" colspan="2">
+                  <div id="%s" class="editable" contenteditable></div></td></tr>
+            </table>
+            <div class="send">Send</div>
+            <script data-script="gmail.compose"></script>
+            </body></html>""" % (to_id, subject_id, body_id)
+
+    def _send(self, request):
+        fields = _parse_form_body(request.body)
+        message = {
+            "to": fields.get("to", ""),
+            "subject": fields.get("subject", ""),
+            "body": fields.get("body", ""),
+        }
+        if not message["to"]:
+            return HttpResponse('{"error": "missing recipient"}', status=400,
+                                content_type="application/json")
+        self.sent.append(message)
+        return HttpResponse.json('{"sent": true}')
+
+    def _draft(self, request):
+        fields = _parse_form_body(request.body)
+        self.drafts.append(fields)
+        return HttpResponse.json('{"draft": true}')
+
+    def _sent_view(self, request):
+        self._load_counter += 1
+        rows = "".join(
+            "<li>%s: %s</li>" % (message["to"], message["subject"])
+            for message in self.sent
+        )
+        return """<html><head><title>GMail - Sent</title></head><body>
+            <div class="nav"><a href="/">Inbox</a></div>
+            <p id="confirmation">Your message has been sent.</p>
+            <ul class="sentlist">%s</ul>
+            </body></html>""" % rows
+
+
+#: Delay after which the compose view autosaves a draft once.
+AUTOSAVE_MS = 2000.0
+
+
+def _compose_script(window):
+    """Compose-view client code.
+
+    Tracks keystrokes (recording each observed ``key_code`` — the
+    fidelity tests use this to show that only a developer-mode browser
+    replays keyboard events with correct properties), autosaves one
+    draft, and sends the message over XHR.
+    """
+    document = window.document
+    env = window.env
+    env.observed_key_codes = []
+    env.keystrokes = 0
+
+    body = document.body.find_first(
+        lambda el: el.tag == "div" and "editable" in el.classes
+    )
+    send = document.body.find_first(
+        lambda el: el.tag == "div" and "send" in el.classes
+    )
+    to_field = document.body.find_first(lambda el: el.name == "to")
+    subject_field = document.body.find_first(lambda el: el.name == "subject")
+
+    def on_keypress(event):
+        env.observed_key_codes.append(event.key_code)
+        env.keystrokes = env.keystrokes + 1
+
+    body.add_event_listener("keypress", on_keypress)
+
+    def autosave():
+        request = window.xhr()
+        request.open("POST", "http://%s/draft" % GmailApplication.host)
+        request.send("to=%s&subject=%s&body=%s" % (
+            to_field.value, subject_field.value, body.text_content))
+
+    window.set_timeout(AUTOSAVE_MS, autosave)
+
+    def on_send(event):
+        request = window.xhr()
+        request.open("POST", "http://%s/send" % GmailApplication.host)
+
+        def sent(response):
+            window.navigate("http://%s/sent" % GmailApplication.host)
+
+        request.onload = sent
+        request.send("to=%s&subject=%s&body=%s" % (
+            to_field.value, subject_field.value, body.text_content))
+
+    send.add_event_listener("click", on_send)
+
+
+def _parse_form_body(body):
+    fields = {}
+    for pair in body.split("&"):
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+            fields[key] = value
+    return fields

@@ -1,0 +1,67 @@
+"""Yahoo!-style portal: classic form authentication.
+
+The one Table II scenario where Selenium IDE is also Complete: the whole
+interaction is typing into regular form controls and clicking a submit
+button — exactly the surface DOM-level recorders were built for.
+"""
+
+from repro.apps.framework import WebApplication
+from repro.net.http import HttpResponse
+
+_HEADLINES = [
+    "Markets rally on cloud computing optimism",
+    "Local team wins championship",
+    "New browser engine promises faster pages",
+]
+
+
+class PortalApplication(WebApplication):
+    """Login form + personalized portal home."""
+
+    host = "portal.example.com"
+
+    def configure(self):
+        self.accounts = {"jane": "s3cret", "bob": "hunter2"}
+        self.login_attempts = []
+        server = self.server
+        server.add_route("/", self._login_view)
+        server.add_route("/auth", self._auth, method="POST")
+        server.add_route("/home/*", self._home_view)
+
+    # -- server side ------------------------------------------------------
+
+    def _login_view(self, request, error=""):
+        banner = '<div class="error">%s</div>' % error if error else ""
+        return """<html><head><title>Portal - Sign in</title></head><body>
+            <h1>Portal</h1>%s
+            <form action="/auth" method="POST">
+              <div>Username <input type="text" name="login"></div>
+              <div>Password <input type="password" name="passwd"></div>
+              <input type="submit" value="Sign In">
+            </form>
+            </body></html>""" % banner
+
+    def _auth(self, request):
+        fields = {}
+        for pair in request.body.split("&"):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                fields[key] = value
+        user = fields.get("login", "")
+        self.login_attempts.append(user)
+        if self.accounts.get(user) == fields.get("passwd"):
+            return self._render_home(user)
+        return self._login_view(request, error="Invalid id or password.")
+
+    def _home_view(self, request):
+        user = request.path.rsplit("/", 1)[-1]
+        return self._render_home(user)
+
+    def _render_home(self, user):
+        items = "".join("<li>%s</li>" % headline for headline in _HEADLINES)
+        return HttpResponse.html(
+            """<html><head><title>Portal - Home</title></head><body>
+            <div id="greeting">Welcome, %s</div>
+            <ul class="news">%s</ul>
+            </body></html>""" % (user, items)
+        )

@@ -1,0 +1,194 @@
+"""Three web search engines with different typo-correction power.
+
+Table I of the paper measures how many injected query typos Google, Bing
+and Yahoo! detect *and fix* (100% / 59.1% / 84.4%). The engines differ
+in the sophistication of their spell-correction models, and these clones
+reproduce the mechanisms behind that ordering:
+
+- **Google** corrects against a *query-log language model*: it knows
+  what whole queries people actually issue and snaps a near-miss query
+  to the closest frequent one — catching real-word errors too.
+- **Yahoo!** runs a word-unigram checker: any word outside its
+  dictionary is replaced by the closest dictionary word (frequency-
+  weighted). It misses typos that happen to form another real word.
+- **Bing** (as of 2011) is the most conservative: non-words only, single
+  edit distance, a unique candidate required, and no correction for
+  short words — ambiguity or brevity means no fix.
+
+When a correction fires, the results page carries a
+``<div id="corrected">`` banner with the corrected query, which is what
+the Table I harness reads back.
+"""
+
+from repro.apps.framework import WebApplication
+from repro.util.text import edit_distance
+from repro.workloads.queries import FREQUENT_QUERIES, query_vocabulary, word_frequencies
+
+
+class WordSpellChecker:
+    """Dictionary-based, word-at-a-time spell checker.
+
+    ``transpositions`` selects Damerau-Levenshtein distance (adjacent
+    swaps count as one edit) — the difference between a checker that
+    catches "youtueb" and one that does not.
+    """
+
+    def __init__(self, dictionary, frequencies, max_distance=1,
+                 min_word_length=0, require_unique=False,
+                 transpositions=True):
+        self.dictionary = set(dictionary)
+        self.frequencies = dict(frequencies)
+        self.max_distance = max_distance
+        self.min_word_length = min_word_length
+        self.require_unique = require_unique
+        self.transpositions = transpositions
+
+    def correct(self, query):
+        """Return the corrected query (possibly unchanged)."""
+        corrected_words = [self._correct_word(word) for word in query.split()]
+        return " ".join(corrected_words)
+
+    def _correct_word(self, word):
+        lowered = word.lower()
+        if lowered in self.dictionary:
+            # A real word: a unigram checker cannot see anything wrong.
+            return word
+        if len(lowered) < self.min_word_length:
+            return word
+        candidates = self._candidates(lowered)
+        if not candidates:
+            return word
+        if self.require_unique and len(candidates) > 1:
+            best = candidates[0][0]
+            runner_up = candidates[1][0]
+            if best == runner_up:
+                # Tied distance: ambiguous, refuse to guess.
+                return word
+        return candidates[0][1]
+
+    def _candidates(self, word):
+        found = []
+        for distance in range(1, self.max_distance + 1):
+            for entry in self.dictionary:
+                if edit_distance(word, entry, maximum=distance,
+                                 transpositions=self.transpositions) <= distance:
+                    found.append((distance, entry))
+            if found:
+                break
+        # Rank by distance, then by corpus frequency (descending).
+        found.sort(key=lambda item: (item[0], -self.frequencies.get(item[1], 0),
+                                     item[1]))
+        return found
+
+
+class QueryLogSpellChecker:
+    """Whole-query language model: snap to the nearest known query.
+
+    This is the Google-style checker: it corrects real-word errors and
+    cross-word slips because it compares against complete queries users
+    actually issue, not isolated words.
+    """
+
+    def __init__(self, query_log, max_distance=2):
+        self.query_log = list(query_log)
+        self.max_distance = max_distance
+        self._word_checker = WordSpellChecker(
+            query_vocabulary(), word_frequencies(), max_distance=2)
+
+    def correct(self, query):
+        if query in self.query_log:
+            return query
+        best = None
+        best_distance = self.max_distance + 1
+        for known in self.query_log:
+            distance = edit_distance(query, known, maximum=self.max_distance,
+                                     transpositions=True)
+            if distance < best_distance:
+                best = known
+                best_distance = distance
+        if best is not None:
+            return best
+        # Fall back to per-word correction for out-of-log queries.
+        return self._word_checker.correct(query)
+
+
+class SearchEngineApplication(WebApplication):
+    """Shared search UI: query form + results page with correction banner."""
+
+    engine_name = None
+
+    def configure(self):
+        self.queries_received = []
+        self.checker = self.make_checker()
+        server = self.server
+        server.add_route("/", self._home)
+        server.add_route("/search", self._search)
+
+    def make_checker(self):
+        raise NotImplementedError
+
+    def _home(self, request):
+        return """<html><head><title>%s</title></head><body>
+            <div class="logo">%s</div>
+            <form action="/search" method="GET">
+              <input type="text" name="q">
+              <input type="submit" value="Search">
+            </form>
+            </body></html>""" % (self.engine_name, self.engine_name)
+
+    def _search(self, request):
+        query = request.query.get("q", "")
+        self.queries_received.append(query)
+        corrected = self.checker.correct(query)
+        banner = ""
+        if corrected != query:
+            banner = ('<div id="corrected">Showing results for '
+                      "<b>%s</b></div>" % corrected)
+        results = "".join(
+            "<li>Result %d for %s</li>" % (index + 1, corrected)
+            for index in range(3)
+        )
+        return """<html><head><title>%s - %s</title></head><body>
+            <div class="logo">%s</div>%s
+            <ol id="results">%s</ol>
+            </body></html>""" % (query, self.engine_name, self.engine_name,
+                                 banner, results)
+
+    def correction_shown(self, document):
+        """Read the correction banner off a results page (or None)."""
+        banner = document.get_element_by_id("corrected")
+        if banner is None:
+            return None
+        return banner.text_content.replace("Showing results for ", "").strip()
+
+
+class GoogleSearchApplication(SearchEngineApplication):
+    host = "www.google.example"
+    engine_name = "Google"
+
+    def make_checker(self):
+        return QueryLogSpellChecker(FREQUENT_QUERIES, max_distance=2)
+
+
+class YahooSearchApplication(SearchEngineApplication):
+    host = "search.yahoo.example"
+    engine_name = "Yahoo!"
+
+    def make_checker(self):
+        # Damerau distance 1, unique candidate required, words >= 4
+        # chars: calibrated to the paper's 84.4% detection rate.
+        return WordSpellChecker(query_vocabulary(), word_frequencies(),
+                                max_distance=1, min_word_length=4,
+                                require_unique=True, transpositions=True)
+
+
+class BingSearchApplication(SearchEngineApplication):
+    host = "www.bing.example"
+    engine_name = "Bing"
+
+    def make_checker(self):
+        # Plain Levenshtein (no transposition support), unique candidate
+        # required, words >= 5 chars: calibrated to the paper's 59.1%.
+        return WordSpellChecker(query_vocabulary(), word_frequencies(),
+                                max_distance=1, min_word_length=5,
+                                require_unique=True, transpositions=False)

@@ -1,0 +1,159 @@
+"""Google Sites clone: a rich web-page editor.
+
+Reproduces the behaviours the paper exercises on Google Sites:
+
+- the Figure-4 interaction: click the ``start`` span, type into the
+  contenteditable ``//td/div[@id="content"]`` cell, click the
+  ``//td/div[text()="Save"]`` button;
+- the Section V-C timing bug: the editing functionality loads
+  asynchronously (:data:`EDITOR_LOAD_MS` after the page), and every
+  editing handler dereferences the ``editorState`` global that only the
+  loader assigns. An impatient user who edits before the module loaded
+  makes the page script read an uninitialized JavaScript variable — a
+  ``JSReferenceError`` on the console, which is exactly what WebErr's
+  zero-wait replay detects.
+"""
+
+from repro.apps.framework import WebApplication
+from repro.net.http import HttpResponse
+
+#: Simulated time for the editor module to initialize after page load.
+EDITOR_LOAD_MS = 600.0
+
+
+class SitesApplication(WebApplication):
+    """A small site-hosting application with in-browser page editing."""
+
+    host = "sites.example.com"
+
+    def configure(self):
+        #: server-side page store: name -> content
+        self.pages = {
+            "home": "Welcome to our site",
+            "team": "The team page",
+        }
+        self.save_count = 0
+        server = self.server
+        server.add_route("/", self._home)
+        server.add_route("/page/*", self._view_page)
+        server.add_route("/edit/*", self._edit_page)
+        server.add_route("/save", self._save, method="POST")
+        self.scripts.register("sites.editor", _editor_script)
+
+    # -- server side ------------------------------------------------------
+
+    def _home(self, request):
+        links = "".join(
+            '<li><a href="/page/%s">%s</a></li>' % (name, name)
+            for name in sorted(self.pages)
+        )
+        return """<html><head><title>Sites</title></head><body>
+            <h1>My Sites</h1>
+            <ul>%s</ul>
+            </body></html>""" % links
+
+    def _page_name(self, request):
+        return request.path.rsplit("/", 1)[-1]
+
+    def _view_page(self, request):
+        name = self._page_name(request)
+        if name not in self.pages:
+            return HttpResponse.not_found("no page %r" % name)
+        return """<html><head><title>%s - Sites</title></head><body>
+            <h1>%s</h1>
+            <div id="view">%s</div>
+            <div><a href="/edit/%s">Edit page</a></div>
+            </body></html>""" % (name, name, self.pages[name], name)
+
+    def _edit_page(self, request):
+        name = self._page_name(request)
+        if name not in self.pages:
+            return HttpResponse.not_found("no page %r" % name)
+        return """<html><head><title>Edit %s - Sites</title></head><body>
+            <div class="toolbar">
+              <span id="start">start</span>
+              <span id="status">Loading editor...</span>
+            </div>
+            <table class="editor"><tr>
+              <td><div id="content" contenteditable data-page="%s">%s</div></td>
+              <td><div class="savebtn">Save</div></td>
+            </tr></table>
+            <script data-script="sites.editor"></script>
+            </body></html>""" % (name, name, self.pages[name])
+
+    def _save(self, request):
+        fields = _parse_form_body(request.body)
+        name = fields.get("name", "")
+        if name not in self.pages:
+            return HttpResponse.not_found("no page %r" % name)
+        self.pages[name] = fields.get("content", "")
+        self.save_count += 1
+        return HttpResponse.json('{"saved": true}')
+
+
+def _editor_script(window):
+    """Client-side editor (the buggy-by-timing Google Sites code).
+
+    Handlers are registered immediately at page load, but ``editorState``
+    is only assigned once the editor module finishes loading — the gap
+    WebErr's timing errors fall into.
+    """
+    document = window.document
+    env = window.env
+    content = document.get_element_by_id("content")
+    start = document.get_element_by_id("start")
+    status = document.get_element_by_id("status")
+    save_button = document.body.find_first(
+        lambda el: el.tag == "div" and "savebtn" in el.classes
+    )
+
+    def module_loaded():
+        # The late assignment every handler below depends on.
+        env.editorState = {
+            "page": content.get_attribute("data-page"),
+            "dirty": False,
+            "keystrokes": 0,
+            "session": None,
+        }
+        status.text_content = "Ready"
+
+    window.set_timeout(EDITOR_LOAD_MS, module_loaded)
+
+    def on_start_click(event):
+        state = env.editorState  # JSReferenceError if module not loaded
+        state["session"] = "editing:%s" % state["page"]
+        status.text_content = "Editing"
+        # Clicking "start" places the caret in the content cell, which is
+        # why the Figure-4 trace types right after the start click.
+        window.focus(content)
+
+    def on_keypress(event):
+        state = env.editorState  # JSReferenceError if module not loaded
+        state["dirty"] = True
+        state["keystrokes"] += 1
+
+    def on_save_click(event):
+        state = env.editorState  # JSReferenceError if module not loaded
+        request = window.xhr()
+        request.open("POST", "http://%s/save" % SitesApplication.host)
+        page = state["page"]
+
+        def saved(response):
+            window.navigate("http://%s/page/%s" % (SitesApplication.host, page))
+
+        request.onload = saved
+        request.send("name=%s&content=%s" % (page, content.text_content))
+        state["dirty"] = False
+
+    start.add_event_listener("click", on_start_click)
+    content.add_event_listener("keypress", on_keypress)
+    save_button.add_event_listener("click", on_save_click)
+
+
+def _parse_form_body(body):
+    fields = {}
+    for pair in body.split("&"):
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+            fields[key] = value
+    return fields

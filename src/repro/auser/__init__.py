@@ -1,0 +1,27 @@
+"""AUsER: automatic user experience reports.
+
+The paper's second WaRR-based tool (Section VI): "If a user experiences
+a bug while using a web application, she presses a button in AUsER, and
+the developers of that application receive the sequence of WaRR
+Commands she performed", together with a textual description and a
+(possibly partial) snapshot of the final page. Traces can be scrubbed
+of sensitive keystrokes and encrypted with the developers' public key
+(Section IV-D).
+"""
+
+from repro.auser.snapshot import PageSnapshot
+from repro.auser.privacy import scrub_trace, sensitive_xpaths, REDACTED_KEY
+from repro.auser.crypto import ToyRSA, KeyPair
+from repro.auser.report import AUsER, UserExperienceReport, PERCEPTION_THRESHOLD_MS
+
+__all__ = [
+    "PageSnapshot",
+    "scrub_trace",
+    "sensitive_xpaths",
+    "REDACTED_KEY",
+    "ToyRSA",
+    "KeyPair",
+    "AUsER",
+    "UserExperienceReport",
+    "PERCEPTION_THRESHOLD_MS",
+]

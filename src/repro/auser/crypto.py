@@ -1,0 +1,100 @@
+"""Toy public-key encryption for traces.
+
+"To prevent traces from being used to exploit an application's
+vulnerabilities, one can encrypt them with the developers' public key,
+so that only developers can access the traces." (paper, Section IV-D)
+
+This is a *schoolbook RSA* implementation over small fixed primes. It
+demonstrates the encrypt-for-developers workflow and nothing more:
+**IT IS NOT SECURE** (no padding, tiny keys, deterministic). A real
+deployment would use a vetted cryptographic library.
+"""
+
+from repro.util.rng import SeededRandom
+
+
+def _is_prime(candidate):
+    if candidate < 2:
+        return False
+    if candidate % 2 == 0:
+        return candidate == 2
+    divisor = 3
+    while divisor * divisor <= candidate:
+        if candidate % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def _next_prime(start):
+    candidate = start if start % 2 else start + 1
+    while not _is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def _egcd(a, b):
+    if b == 0:
+        return a, 1, 0
+    gcd, x, y = _egcd(b, a % b)
+    return gcd, y, x - (a // b) * y
+
+
+def _modinv(a, modulus):
+    gcd, x, _ = _egcd(a, modulus)
+    if gcd != 1:
+        raise ValueError("no modular inverse")
+    return x % modulus
+
+
+class KeyPair:
+    """An RSA key pair: (n, e) public, (n, d) private."""
+
+    def __init__(self, modulus, public_exponent, private_exponent):
+        self.modulus = modulus
+        self.public_exponent = public_exponent
+        self.private_exponent = private_exponent
+
+    @property
+    def public(self):
+        return (self.modulus, self.public_exponent)
+
+    @property
+    def private(self):
+        return (self.modulus, self.private_exponent)
+
+    def __repr__(self):
+        return "KeyPair(n=%d)" % self.modulus
+
+
+class ToyRSA:
+    """Schoolbook RSA over byte values. Demonstration only."""
+
+    @staticmethod
+    def generate(seed=0):
+        """Deterministically derive a small key pair from a seed."""
+        rng = SeededRandom(seed)
+        p = _next_prime(rng.randint(1_000, 5_000))
+        q = _next_prime(rng.randint(5_001, 9_000))
+        while q == p:
+            q = _next_prime(q + 2)
+        modulus = p * q
+        phi = (p - 1) * (q - 1)
+        public_exponent = 65537 if phi > 65537 else 257
+        while _egcd(public_exponent, phi)[0] != 1:
+            public_exponent += 2
+        private_exponent = _modinv(public_exponent, phi)
+        return KeyPair(modulus, public_exponent, private_exponent)
+
+    @staticmethod
+    def encrypt(text, public_key):
+        """Encrypt UTF-8 text byte-by-byte; returns a list of ints."""
+        modulus, exponent = public_key
+        return [pow(byte, exponent, modulus) for byte in text.encode("utf-8")]
+
+    @staticmethod
+    def decrypt(ciphertext, private_key):
+        """Inverse of :meth:`encrypt`."""
+        modulus, exponent = private_key
+        data = bytes(pow(block, exponent, modulus) for block in ciphertext)
+        return data.decode("utf-8")

@@ -1,0 +1,55 @@
+"""Trace scrubbing.
+
+"WaRR records all keystrokes, therefore also potentially sensitive
+information, such as passwords and usernames ... we envision a solution
+in which users share recorded traces with a web application's developers
+after they removed sensitive information." (paper, Section IV-D)
+
+Scrubbing replaces the key payload of ``type`` commands aimed at
+sensitive fields with a redaction marker, preserving trace *structure*
+(the keystroke count and timing survive, so replay still exercises the
+same code path with dummy input).
+"""
+
+from repro.core.commands import TypeCommand
+
+#: What a scrubbed keystroke types instead of the real key.
+REDACTED_KEY = "*"
+
+#: Substrings of locators that indicate a sensitive field.
+SENSITIVE_MARKERS = ("password", "passwd", "pwd", "secret", "ssn",
+                     "creditcard", "card-number", "cvv")
+
+
+def sensitive_xpaths(trace, extra_markers=()):
+    """Locators in the trace that look like sensitive fields."""
+    markers = tuple(SENSITIVE_MARKERS) + tuple(extra_markers)
+    found = []
+    for command in trace:
+        lowered = command.xpath.lower()
+        if any(marker in lowered for marker in markers):
+            if command.xpath not in found:
+                found.append(command.xpath)
+    return found
+
+
+def scrub_trace(trace, xpaths=None, extra_markers=()):
+    """Redact keystrokes into sensitive fields.
+
+    ``xpaths``: explicit locators to scrub; defaults to everything
+    :func:`sensitive_xpaths` detects. Returns a new trace.
+    """
+    targets = set(xpaths if xpaths is not None
+                  else sensitive_xpaths(trace, extra_markers))
+    scrubbed = []
+    redacted_count = 0
+    for command in trace:
+        if isinstance(command, TypeCommand) and command.xpath in targets:
+            scrubbed.append(command.copy(key=REDACTED_KEY, code=0))
+            redacted_count += 1
+        else:
+            scrubbed.append(command.copy())
+    result = trace.copy(commands=scrubbed,
+                        label=(trace.label + " [scrubbed]").strip())
+    result.redacted_count = redacted_count
+    return result

@@ -1,0 +1,31 @@
+"""Baseline recorders the paper compares WaRR against.
+
+- :mod:`repro.baselines.selenium_ide` — a plug-in recorder attached at
+  the DOM level, with Selenium IDE's characteristic blind spots
+  (keystrokes in contenteditable containers, drags, double clicks,
+  dynamically created widgets). Reproduces Table II's "Partial" column.
+- :mod:`repro.baselines.fiddler` — an HTTP(S) proxy logger. Shows why
+  traffic-level recording cannot attribute requests to user actions and
+  goes blind under HTTPS (paper, Section II).
+"""
+
+from repro.baselines.selenium_ide import SeleniumIDERecorder, SeleniumCommand
+from repro.baselines.fiddler import FiddlerProxy
+from repro.baselines.usaproxy import UsaProxyRecorder
+from repro.baselines.fidelity import (
+    FidelityResult,
+    evaluate_recording_fidelity,
+    COMPLETE,
+    PARTIAL,
+)
+
+__all__ = [
+    "SeleniumIDERecorder",
+    "SeleniumCommand",
+    "FiddlerProxy",
+    "UsaProxyRecorder",
+    "FidelityResult",
+    "evaluate_recording_fidelity",
+    "COMPLETE",
+    "PARTIAL",
+]

@@ -1,0 +1,46 @@
+"""Fiddler simulation: an HTTP(S) logging proxy.
+
+The paper's Section II argues traffic-level record and replay cannot
+debug client-side code: "one cannot distinguish between requests made in
+response to user interaction versus requests made by a web page while
+loading", and HTTPS hides payloads from the proxy entirely. This class
+taps the simulated network's wire log and exposes exactly those
+limitations for the comparison tests.
+"""
+
+
+class FiddlerProxy:
+    """Passive observer of the network's exchange log."""
+
+    def __init__(self, network):
+        self.network = network
+        self._start_index = len(network.exchange_log)
+
+    def begin(self):
+        """Start a fresh capture window."""
+        self._start_index = len(self.network.exchange_log)
+        return self
+
+    def captured(self):
+        """Exchanges observed since :meth:`begin`."""
+        return self.network.exchange_log[self._start_index:]
+
+    def visible_bodies(self):
+        """Response bodies as the proxy sees them (HTTPS is opaque)."""
+        return [exchange.visible_body for exchange in self.captured()]
+
+    def request_urls(self):
+        return [exchange.request.url for exchange in self.captured()]
+
+    def user_action_count(self):
+        """How many captured requests were caused by user actions.
+
+        A traffic log carries no such attribution — page loads, iframe
+        fetches, and AJAX all look alike — so the honest answer is that
+        the proxy cannot tell. Returning ``None`` (not 0) encodes
+        "unknowable from this vantage point".
+        """
+        return None
+
+    def __repr__(self):
+        return "FiddlerProxy(%d exchanges captured)" % len(self.captured())

@@ -1,0 +1,150 @@
+"""Selenium IDE simulation.
+
+Selenium IDE records through listeners its content script attaches to
+the page's DOM after load. That design has structural blind spots the
+paper exploits in its fidelity comparison (Table II):
+
+- it instruments only classic form controls and links, so keystrokes
+  into *contenteditable* containers (GMail's compose body, Google Sites'
+  page editor, Google Docs' cells) are never seen;
+- text input on form controls is captured as a single ``type`` command
+  with the final value (on blur), not as individual keystrokes;
+- it has no listeners for drags or double clicks;
+- elements created dynamically *after* the instrumentation pass are
+  invisible to it ("misses user actions when recording complex web
+  pages", the Selenium FAQ the paper cites);
+- it must be explicitly installed/armed by the user — it is not
+  always-on.
+
+The simulation reproduces the mechanism (DOM-level listeners attached
+once per page load) rather than hard-coding the outcomes, so the
+fidelity gap in Table II emerges from the design difference.
+"""
+
+from repro.xpath.generator import xpath_for_element
+
+#: Tags Selenium IDE's recorder attaches click listeners to.
+CLICKABLE_TAGS = frozenset(["a", "button", "select", "option"])
+
+#: input types treated as clickable rather than typable.
+CLICKABLE_INPUT_TYPES = frozenset(["submit", "button", "checkbox", "radio", "image"])
+
+#: Tags whose value changes are captured (as one command, on blur).
+TYPABLE_TAGS = frozenset(["input", "textarea"])
+
+
+class SeleniumCommand:
+    """One Selenese-style command: (action, locator, value)."""
+
+    def __init__(self, action, locator, value=""):
+        self.action = action
+        self.locator = locator
+        self.value = value
+
+    def to_line(self):
+        if self.value:
+            return "%s | %s | %s" % (self.action, self.locator, self.value)
+        return "%s | %s" % (self.action, self.locator)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SeleniumCommand)
+            and (self.action, self.locator, self.value)
+            == (other.action, other.locator, other.value)
+        )
+
+    def __repr__(self):
+        return "SeleniumCommand(%r)" % self.to_line()
+
+
+class SeleniumIDERecorder:
+    """DOM-listener-based recorder with Selenium IDE's coverage."""
+
+    def __init__(self):
+        self.commands = []
+        self.recording = False
+        self._browser = None
+        self._instrumented = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, browser):
+        """Install the plug-in: instrument every page as it loads."""
+        self._browser = browser
+        browser.frame_load_listeners.append(self._on_frame_loaded)
+        self.recording = True
+        # Instrument pages that were already open at install time.
+        for tab in browser.tabs:
+            if tab.renderer is not None:
+                for engine in tab.renderer.engine.all_engines():
+                    self._on_frame_loaded(engine)
+        return self
+
+    def detach(self):
+        if self._browser is not None and self._on_frame_loaded in self._browser.frame_load_listeners:
+            self._browser.frame_load_listeners.remove(self._on_frame_loaded)
+        self.recording = False
+
+    def begin(self, start_url=""):
+        self.commands = []
+        if start_url:
+            self.commands.append(SeleniumCommand("open", start_url))
+        return self
+
+    # -- instrumentation (one pass per page load) ----------------------------
+
+    def _on_frame_loaded(self, engine):
+        document = engine.document
+        for element in document.all_elements():
+            self._instrument_element(engine, element)
+
+    def _instrument_element(self, engine, element):
+        key = id(element)
+        if key in self._instrumented:
+            return
+        self._instrumented.add(key)
+        tag = element.tag
+        if tag in CLICKABLE_TAGS:
+            element.add_event_listener("click", self._make_click_handler(engine, element))
+            return
+        if tag == "input":
+            input_type = (element.get_attribute("type") or "text").lower()
+            if input_type in CLICKABLE_INPUT_TYPES:
+                element.add_event_listener(
+                    "click", self._make_click_handler(engine, element))
+            else:
+                element.add_event_listener(
+                    "blur", self._make_type_handler(engine, element))
+            return
+        if tag == "textarea":
+            element.add_event_listener(
+                "blur", self._make_type_handler(engine, element))
+        # Everything else — contenteditable divs, drags, double clicks,
+        # elements created later by scripts — gets no listener.
+
+    def _make_click_handler(self, engine, element):
+        def handler(event):
+            if not self.recording or not event.is_trusted:
+                return
+            locator = str(xpath_for_element(element, engine.document))
+            self.commands.append(SeleniumCommand("click", locator))
+        return handler
+
+    def _make_type_handler(self, engine, element):
+        def handler(event):
+            if not self.recording:
+                return
+            if not element.value:
+                return
+            locator = str(xpath_for_element(element, engine.document))
+            self.commands.append(SeleniumCommand("type", locator, element.value))
+        return handler
+
+    # -- reporting ---------------------------------------------------------------
+
+    def recorded_actions(self):
+        """Commands excluding the initial ``open``."""
+        return [c for c in self.commands if c.action != "open"]
+
+    def __repr__(self):
+        return "SeleniumIDERecorder(%d commands)" % len(self.commands)

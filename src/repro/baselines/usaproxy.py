@@ -1,0 +1,113 @@
+"""UsaProxy/Mugshot-style baseline: JavaScript injection via a proxy.
+
+Paper, Section II: "One can use proxies to inject JavaScript code into
+HTML pages to track user interaction, as in Mugshot and UsaProxy. These
+approaches have two limitations. First, they can instrument only HTML
+pages, because they cannot identify HTML or JavaScript code in non-HTML
+server responses. Second, using proxies requires breaking the end-to-end
+security enforced by HTTPS."
+
+This simulation reproduces the mechanism and both limitations:
+
+- the proxy sits between browser and server, rewriting *HTML* responses
+  to append a tracking ``<script>``;
+- non-HTML responses (JSON fragments that client code turns into DOM)
+  pass through untouched — interaction with DOM built from them is
+  instrumented only by luck of the load-time listener pass;
+- HTTPS responses are opaque: nothing can be injected, so secure pages
+  are recorded not at all — unless the deployment *breaks end-to-end
+  encryption* (``break_https=True``), which works but is exactly the
+  privacy hazard the paper warns about.
+"""
+
+from repro.net.http import HttpResponse
+from repro.net.server import WebServer
+from repro.xpath.generator import xpath_for_element
+
+TRACKER_SCRIPT_NAME = "usaproxy.tracker"
+_TRACKER_TAG = '<script data-script="%s"></script>' % TRACKER_SCRIPT_NAME
+
+
+class UsaProxyRecorder(WebServer):
+    """A logging proxy in front of one application server."""
+
+    def __init__(self, upstream, break_https=False):
+        self.upstream = upstream
+        self.break_https = break_https
+        #: (action, locator) pairs reported by the injected tracker.
+        self.commands = []
+        #: Responses that passed through uninstrumented, with the reason.
+        self.uninstrumented = []
+        #: True once the proxy decrypted HTTPS traffic (privacy hazard).
+        self.broke_encryption = False
+
+    # -- the proxy ---------------------------------------------------------
+
+    def handle(self, request):
+        response = self.upstream.handle(request)
+        if request.is_secure:
+            if not self.break_https:
+                self.uninstrumented.append((request.url, "https"))
+                return response
+            # MITM: the proxy terminates TLS and reads the plaintext.
+            self.broke_encryption = True
+        if response.content_type != "text/html":
+            self.uninstrumented.append((request.url, "non-html"))
+            return response
+        return HttpResponse(
+            body=self._inject(response.body),
+            status=response.status,
+            content_type=response.content_type,
+            headers=response.headers,
+        )
+
+    @staticmethod
+    def _inject(html):
+        lowered = html.lower()
+        index = lowered.rfind("</body>")
+        if index == -1:
+            return html + _TRACKER_TAG
+        return html[:index] + _TRACKER_TAG + html[index:]
+
+    # -- the injected tracker ------------------------------------------------
+
+    def tracker_script(self):
+        """The client-side code the proxy injects.
+
+        Registered under :data:`TRACKER_SCRIPT_NAME`; a document-level
+        bubbling click listener logging ``event.target`` — the classic
+        UsaProxy design. It sees only what bubbles to the body of an
+        *instrumented* page: keystrokes and drags are not tracked, and
+        pages the proxy could not rewrite record nothing at all.
+        """
+        proxy = self
+
+        def tracker(window):
+            document = window.document
+            body = document.body
+            if body is None:
+                return
+
+            def handler(event):
+                if not event.is_trusted:
+                    return
+                target = event.target
+                if target is None or not hasattr(target, "tag"):
+                    return
+                locator = str(xpath_for_element(target, document))
+                proxy.commands.append(("click", locator))
+
+            body.add_event_listener("click", handler)
+
+        return tracker
+
+    def install(self, network, registry, host, latency_ms=None):
+        """Wire the proxy in front of ``host`` on a network."""
+        network.register(host, self, latency_ms=latency_ms)
+        registry.register(TRACKER_SCRIPT_NAME, self.tracker_script())
+        return self
+
+    def __repr__(self):
+        return "UsaProxyRecorder(%d commands, %d uninstrumented)" % (
+            len(self.commands), len(self.uninstrumented),
+        )

@@ -1,0 +1,30 @@
+"""Simulated Chrome browser.
+
+Reproduces the architecture of Figure 2 in the paper: a
+:class:`BrowserWindow` contains :class:`Tab` s; each tab owns a
+:class:`Renderer` that proxies input messages over an IPC channel to a
+:class:`WebKitEngine`; the engine's :class:`EventHandler` is where user
+input becomes DOM events — and where the WaRR Recorder hooks in, exactly
+as the paper instruments ``WebCore::EventHandler``.
+"""
+
+from repro.browser.ipc import IpcChannel, InputMessage
+from repro.browser.event_handler import EventHandler, InputObserver
+from repro.browser.webkit import WebKitEngine
+from repro.browser.renderer import Renderer
+from repro.browser.tab import Tab
+from repro.browser.window import Browser, BrowserWindow
+from repro.browser.popup import PopupWidget
+
+__all__ = [
+    "IpcChannel",
+    "InputMessage",
+    "EventHandler",
+    "InputObserver",
+    "WebKitEngine",
+    "Renderer",
+    "Tab",
+    "Browser",
+    "BrowserWindow",
+    "PopupWidget",
+]

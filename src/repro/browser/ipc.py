@@ -1,0 +1,71 @@
+"""Inter-process communication simulation.
+
+Chrome routes input from the browser process to the renderer process over
+IPC (the ``IPC::ChannelProxy`` frames in the paper's Figure 3 stack
+trace). We model the channel explicitly — messages are enqueued by the
+browser side and drained by the renderer — so the recorder demonstrably
+sits *below* this boundary, at the WebKit layer, and so the per-message
+path can be measured by the overhead benchmark.
+"""
+
+import time
+
+
+class InputMessage:
+    """One input event crossing the browser → renderer boundary."""
+
+    __slots__ = ("kind", "payload", "enqueued_at")
+
+    MOUSE = "mouse"
+    KEY = "key"
+    DRAG = "drag"
+
+    def __init__(self, kind, payload):
+        if kind not in (self.MOUSE, self.KEY, self.DRAG):
+            raise ValueError("unknown input message kind %r" % kind)
+        self.kind = kind
+        self.payload = payload
+        self.enqueued_at = None
+
+    def __repr__(self):
+        return "InputMessage(%s, %r)" % (self.kind, self.payload)
+
+
+class IpcChannel:
+    """FIFO message channel between browser and renderer.
+
+    ``send`` enqueues; ``pump`` delivers everything queued to the
+    receiver callback, in order. Wall-clock enqueue times are kept so
+    instrumentation can measure real dispatch cost.
+    """
+
+    def __init__(self):
+        self._queue = []
+        self._receiver = None
+        self.delivered_count = 0
+
+    def connect(self, receiver):
+        """Attach the renderer-side message handler."""
+        self._receiver = receiver
+
+    def send(self, message):
+        """Queue a message for delivery."""
+        message.enqueued_at = time.perf_counter()
+        self._queue.append(message)
+
+    def pump(self):
+        """Deliver all queued messages; returns how many were delivered."""
+        if self._receiver is None:
+            raise RuntimeError("IPC channel has no connected receiver")
+        delivered = 0
+        while self._queue:
+            message = self._queue.pop(0)
+            self._receiver(message)
+            delivered += 1
+        self.delivered_count += delivered
+        return delivered
+
+    def send_and_pump(self, message):
+        """Convenience: synchronous round trip for one message."""
+        self.send(message)
+        self.pump()

@@ -1,0 +1,44 @@
+"""Native popup widgets.
+
+The paper (Section IV-D): "WaRR cannot handle pop-ups because user
+interaction events that happen on such widgets are not routed through to
+WebKit." We reproduce that: a :class:`PopupWidget` takes clicks directly
+from the (simulated) OS widget toolkit, bypassing the IPC channel and the
+WebKit event handler entirely, so an attached recorder misses them.
+"""
+
+
+class PopupWidget:
+    """A modal OS-level dialog (e.g. a JavaScript alert/confirm)."""
+
+    def __init__(self, title, buttons, clock=None):
+        self.title = title
+        self.buttons = list(buttons)
+        self.clock = clock
+        self.clicked = []
+        self.dismissed = False
+        self._handlers = {}
+
+    def on_button(self, label, handler):
+        """Register a callback for a button."""
+        if label not in self.buttons:
+            raise ValueError("popup has no button %r" % label)
+        self._handlers[label] = handler
+
+    def click_button(self, label):
+        """The user clicks a popup button.
+
+        Note: this path never touches the browser's EventHandler — the
+        recorder cannot observe it.
+        """
+        if label not in self.buttons:
+            raise ValueError("popup has no button %r" % label)
+        timestamp = self.clock.now() if self.clock is not None else 0.0
+        self.clicked.append((label, timestamp))
+        handler = self._handlers.get(label)
+        if handler is not None:
+            handler()
+        self.dismissed = True
+
+    def __repr__(self):
+        return "PopupWidget(%r, buttons=%r)" % (self.title, self.buttons)

@@ -1,0 +1,55 @@
+"""The renderer process simulation.
+
+In Chrome, input events cross from the browser process into the renderer
+over IPC and are dispatched to WebKit (``RenderView::OnMessageReceived``
+→ ``WebViewImpl::handleInputEvent`` → ``WebCore::EventHandler`` — the
+stack in the paper's Figure 3). The :class:`Renderer` reproduces that
+path: it connects an :class:`~repro.browser.ipc.IpcChannel` receiver
+that forwards messages to the engine's EventHandler.
+"""
+
+from repro.browser.ipc import IpcChannel, InputMessage
+from repro.browser.webkit import WebKitEngine
+
+
+class Renderer:
+    """Hosts one WebKitEngine behind an IPC channel."""
+
+    def __init__(self, browser, tab):
+        self.browser = browser
+        self.tab = tab
+        self.engine = WebKitEngine(browser, tab)
+        self.channel = IpcChannel()
+        self.channel.connect(self._on_message_received)
+
+    def load(self, html, url):
+        self.engine.load(html, url)
+        return self
+
+    def shutdown(self):
+        self.engine.unload()
+
+    # -- RenderView::OnMessageReceived ------------------------------------
+
+    def _on_message_received(self, message):
+        self._handle_input_event(message)
+
+    # -- WebViewImpl::handleInputEvent ------------------------------------
+
+    def _handle_input_event(self, message):
+        handler = self.engine.event_handler
+        if handler is None:
+            return
+        if message.kind == InputMessage.MOUSE:
+            handler.handle_mouse_press_event(message.payload)
+        elif message.kind == InputMessage.KEY:
+            handler.key_event(message.payload)
+        elif message.kind == InputMessage.DRAG:
+            handler.handle_drag(message.payload)
+
+    def send_input(self, message):
+        """Browser-process side: queue and deliver an input event."""
+        self.channel.send_and_pump(message)
+
+    def __repr__(self):
+        return "Renderer(%r)" % (self.engine,)

@@ -1,0 +1,168 @@
+"""Tabs: navigation, history, and the user-input surface.
+
+A tab's input methods (:meth:`click`, :meth:`type_key`, :meth:`drag`,
+...) are what a *human* does: they build trusted events, push them
+through the IPC channel into the renderer, and let the WebKit event
+handler take over — which is where the recorder sees them. Between
+actions, real time passes; simulated users call :meth:`wait` which runs
+the event loop (AJAX responses and timers fire during the wait).
+"""
+
+from repro.browser.ipc import InputMessage
+from repro.browser.renderer import Renderer
+from repro.events.event import MouseEvent, DragEvent, KeyboardEvent
+from repro.events.keys import virtual_key_code, needs_shift, KEY_SHIFT
+from repro.util.errors import NavigationError, NetworkError
+
+
+class Tab:
+    """One browser tab."""
+
+    def __init__(self, browser, tab_id):
+        self.browser = browser
+        self.tab_id = tab_id
+        self.renderer = None
+        self.history = []
+        self.history_index = -1
+
+    # -- navigation -----------------------------------------------------------
+
+    @property
+    def url(self):
+        if self.history_index < 0:
+            return None
+        return self.history[self.history_index]
+
+    @property
+    def engine(self):
+        """The main-frame engine of the current page."""
+        if self.renderer is None:
+            raise NavigationError("tab %d has no page loaded" % self.tab_id)
+        return self.renderer.engine
+
+    @property
+    def document(self):
+        return self.engine.document
+
+    def navigate(self, url, method="GET", body="", record_history=True):
+        """Load ``url``, replacing the current page."""
+        try:
+            response = self.browser.network.fetch(url, method=method, body=body)
+        except NetworkError as error:
+            raise NavigationError(str(error))
+        if not response.ok and response.status != 404:
+            raise NavigationError(
+                "server returned %d for %s" % (response.status, url)
+            )
+        # Chrome commits the new page before tearing the old one down —
+        # new renderer clients load first, then the old ones unload. The
+        # paper's ChromeDriver active-client bug depends on this order
+        # (Section IV-C, last challenge).
+        old_renderer = self.renderer
+        self.renderer = Renderer(self.browser, self)
+        self.renderer.load(response.body, url)
+        if old_renderer is not None:
+            old_renderer.shutdown()
+        if record_history:
+            del self.history[self.history_index + 1:]
+            self.history.append(url)
+            self.history_index = len(self.history) - 1
+        return self
+
+    def back(self):
+        """History back (re-fetches, like a non-cached browser)."""
+        if self.history_index <= 0:
+            raise NavigationError("no earlier history entry")
+        self.history_index -= 1
+        self.navigate(self.history[self.history_index], record_history=False)
+
+    def forward(self):
+        """History forward."""
+        if self.history_index >= len(self.history) - 1:
+            raise NavigationError("no later history entry")
+        self.history_index += 1
+        self.navigate(self.history[self.history_index], record_history=False)
+
+    # -- waiting --------------------------------------------------------------
+
+    def wait(self, duration_ms):
+        """Let ``duration_ms`` of simulated time pass (timers/AJAX fire)."""
+        self.browser.event_loop.run_for(duration_ms)
+
+    def wait_until_idle(self):
+        """Run the event loop dry — everything pending completes."""
+        self.browser.event_loop.run_until_idle()
+
+    # -- raw user input ------------------------------------------------------
+
+    def _now(self):
+        return self.browser.clock.now()
+
+    def click(self, x, y, button=0):
+        """User clicks at page coordinates (x, y)."""
+        event = MouseEvent("mousepress", client_x=x, client_y=y,
+                           button=button, detail=1, timestamp=self._now())
+        event.is_trusted = True
+        self.renderer.send_input(InputMessage(InputMessage.MOUSE, event))
+
+    def double_click(self, x, y, button=0):
+        """User double-clicks at page coordinates (x, y)."""
+        event = MouseEvent("mousepress", client_x=x, client_y=y,
+                           button=button, detail=2, timestamp=self._now())
+        event.is_trusted = True
+        self.renderer.send_input(InputMessage(InputMessage.MOUSE, event))
+
+    def type_key(self, key, ctrl=False, alt=False):
+        """User presses one key (a character or a named control key).
+
+        Typing a shifted character first delivers the Shift keystroke,
+        as Chrome does (the paper's recorder combines the two).
+        """
+        if needs_shift(key):
+            shift = KeyboardEvent.trusted("rawkey", "Shift", KEY_SHIFT,
+                                          timestamp=self._now())
+            self.renderer.send_input(InputMessage(InputMessage.KEY, shift))
+        event = KeyboardEvent.trusted(
+            "rawkey", key, virtual_key_code(key),
+            shift_key=needs_shift(key), ctrl_key=ctrl, alt_key=alt,
+            timestamp=self._now(),
+        )
+        self.renderer.send_input(InputMessage(InputMessage.KEY, event))
+
+    def type_text(self, text, think_time_ms=0.0):
+        """Type a string one keystroke at a time."""
+        for char in text:
+            self.type_key(char)
+            if think_time_ms:
+                self.wait(think_time_ms)
+
+    def drag(self, x, y, dx, dy):
+        """User drags the element under (x, y) by (dx, dy)."""
+        event = DragEvent("rawdrag", dx=dx, dy=dy, client_x=x, client_y=y,
+                          timestamp=self._now())
+        event.is_trusted = True
+        self.renderer.send_input(InputMessage(InputMessage.DRAG, event))
+
+    # -- element-targeted conveniences ---------------------------------------
+
+    def click_element(self, element):
+        """Click the center of an element's box."""
+        x, y = self.engine.layout.click_point(element)
+        self.click(x, y)
+
+    def double_click_element(self, element):
+        x, y = self.engine.layout.click_point(element)
+        self.double_click(x, y)
+
+    def drag_element(self, element, dx, dy):
+        x, y = self.engine.layout.click_point(element)
+        self.drag(x, y, dx, dy)
+
+    def find(self, xpath):
+        """Find the first element matching ``xpath`` in the main frame."""
+        from repro.xpath.evaluator import find_first
+
+        return find_first(xpath, self.document)
+
+    def __repr__(self):
+        return "Tab(id=%d, url=%r)" % (self.tab_id, self.url)

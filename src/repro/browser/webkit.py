@@ -1,0 +1,170 @@
+"""The WebKit engine simulation.
+
+One :class:`WebKitEngine` renders one document: it owns the DOM, the
+layout, the page's script :class:`~repro.scripting.context.Window`, the
+:class:`~repro.browser.event_handler.EventHandler`, and the child
+engines of any ``<iframe src=...>`` elements. Iframes *without* a
+``src`` get no child engine — the Chrome behaviour behind one of the
+ChromeDriver problems the paper fixes (Section IV-C).
+"""
+
+from repro.dom.parser import parse_html
+from repro.events.dispatch import dispatch_event
+from repro.layout.engine import LayoutEngine
+from repro.net.http import resolve_url
+from repro.scripting.context import Window
+from repro.util.errors import NetworkError, ScriptError
+
+
+class WebKitEngine:
+    """Rendering engine for one frame (main frame or iframe)."""
+
+    def __init__(self, browser, tab, parent=None):
+        self.browser = browser
+        self.tab = tab
+        self.parent = parent
+        self.document = None
+        self.window = None
+        self.layout = None
+        self.event_handler = None
+        self.focused_element = None
+        #: iframe Element -> child WebKitEngine
+        self.frames = {}
+        #: Callbacks run when this engine's page is torn down. The
+        #: ChromeDriver simulation registers its per-frame clients here.
+        self.unload_listeners = []
+        self.loaded = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def load(self, html, url):
+        """Parse HTML, lay it out, load iframes, run page scripts."""
+        from repro.browser.event_handler import EventHandler
+
+        self.document = parse_html(html, url=url)
+        self.window = Window(
+            self.document,
+            self.browser.event_loop,
+            network=self.browser.network,
+            navigate=self.request_navigation,
+            error_sink=self.browser.page_errors.append,
+            focus_element=self.set_focus,
+            random_source=self.browser.script_random,
+            time_source=self.browser.script_now,
+        )
+        self.layout = LayoutEngine(self.document, self.browser.viewport_width)
+        self.layout.relayout()
+        self.event_handler = EventHandler(self)
+        self._load_iframes()
+        self._run_scripts()
+        self.loaded = True
+        self.browser.notify_frame_loaded(self)
+        return self
+
+    def unload(self):
+        """Tear the page down: cancel timers, notify unload listeners."""
+        if self.window is not None:
+            self.window.cancel_all_timers()
+        for child in list(self.frames.values()):
+            child.unload()
+        self.frames = {}
+        for listener in list(self.unload_listeners):
+            listener(self)
+        self.unload_listeners = []
+        self.loaded = False
+
+    def _load_iframes(self):
+        for element in self.document.all_elements():
+            if element.tag != "iframe":
+                continue
+            src = element.get_attribute("src")
+            if not src:
+                # No src: Chrome loads no renderer client for it; its
+                # inline content stays part of this document.
+                continue
+            url = resolve_url(self.document.url, src)
+            try:
+                response = self.browser.network.fetch(url)
+            except NetworkError:
+                continue
+            child = WebKitEngine(self.browser, self.tab, parent=self)
+            child.load(response.body, url)
+            self.frames[element] = child
+
+    def _run_scripts(self):
+        """Execute ``<script data-script=...>`` references via the registry."""
+        for element in self.document.get_elements_by_tag("script"):
+            name = element.get_attribute("data-script")
+            if not name:
+                continue
+            try:
+                script = self.browser.script_registry.get(name)
+                script(self.window)
+            except ScriptError as error:
+                self.window.console.error(error)
+            except Exception as error:
+                self.window.console.error(ScriptError(str(error), cause=error))
+
+    # -- frame helpers ------------------------------------------------------
+
+    def frame_for(self, element):
+        """Child engine rendered inside ``element`` (an iframe), or None."""
+        return self.frames.get(element)
+
+    def all_engines(self):
+        """This engine plus every descendant frame engine, preorder."""
+        engines = [self]
+        for child in self.frames.values():
+            engines.extend(child.all_engines())
+        return engines
+
+    # -- layout / hit testing -------------------------------------------------
+
+    def invalidate_layout(self):
+        if self.layout is not None:
+            self.layout.relayout()
+
+    def hit_test(self, x, y):
+        return self.layout.hit_test(x, y)
+
+    # -- focus ------------------------------------------------------------
+
+    def set_focus(self, element):
+        """Move keyboard focus; fires blur/focus events."""
+        from repro.events.event import Event
+
+        if element is self.focused_element:
+            return
+        if self.focused_element is not None:
+            blur = Event("blur", bubbles=False, cancelable=False)
+            self.dispatch(self.focused_element, blur)
+        self.focused_element = element
+        if element is not None:
+            focus = Event("focus", bubbles=False, cancelable=False)
+            self.dispatch(element, focus)
+
+    # -- event dispatch ------------------------------------------------------
+
+    def dispatch(self, target, event):
+        """Dispatch into the DOM; script errors land on the console."""
+        return dispatch_event(target, event, on_error=self.window.console.error)
+
+    @property
+    def console(self):
+        return self.window.console
+
+    # -- navigation -----------------------------------------------------------
+
+    def request_navigation(self, url, method="GET", body=""):
+        """Route a navigation request to the owning tab."""
+        self.tab.navigate(url, method=method, body=body)
+
+    # -- observers ------------------------------------------------------------
+
+    def input_observers(self):
+        """Recorders attached at browser level observe every engine."""
+        return self.browser.input_observers
+
+    def __repr__(self):
+        url = self.document.url if self.document is not None else "<unloaded>"
+        return "WebKitEngine(url=%r, frames=%d)" % (url, len(self.frames))

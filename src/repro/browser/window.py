@@ -1,0 +1,140 @@
+"""The browser process: windows, tabs, and global services.
+
+:class:`Browser` is the composition root of the simulation — it wires the
+virtual clock, event loop, network, and script registry together, owns
+the tabs, and is the attachment point for input observers (the WaRR
+Recorder and the Selenium IDE baseline both attach here, at different
+depths).
+
+``developer_mode`` is the paper's replayer-browser switch: it lets
+synthetic keyboard events carry real key properties (Section IV-C).
+"""
+
+from repro.browser.popup import PopupWidget
+from repro.browser.tab import Tab
+from repro.net.server import Network
+from repro.scripting.registry import ScriptRegistry
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+
+
+class Browser:
+    """A running browser instance (one window, many tabs)."""
+
+    def __init__(self, network=None, script_registry=None, developer_mode=False,
+                 viewport_width=1024, event_loop=None, script_random_seed=1234):
+        if event_loop is None:
+            # Inherit the network's loop so clock and timers agree.
+            event_loop = network.event_loop if network is not None else EventLoop(VirtualClock())
+        self.event_loop = event_loop
+        self.network = network if network is not None else Network(self.event_loop)
+        if self.network.event_loop is not self.event_loop:
+            raise ValueError("network and browser must share one event loop")
+        self.script_registry = script_registry if script_registry is not None else ScriptRegistry()
+        self.developer_mode = developer_mode
+        self.viewport_width = viewport_width
+        self.tabs = []
+        #: InputObserver instances notified from the WebKit layer.
+        self.input_observers = []
+        #: Callbacks fired when any frame engine finishes loading. The
+        #: ChromeDriver simulation uses this to attach per-frame clients.
+        self.frame_load_listeners = []
+        self.popups = []
+        #: Session-wide uncaught page-script errors (outlives navigations).
+        self.page_errors = []
+        # Nondeterminism plumbing (paper, Section I: the recorder "can
+        # easily be extended to record various sources of nondeterminism").
+        from repro.util.rng import SeededRandom
+
+        #: Live source of page-script randomness (seeded: runs reproduce).
+        self._script_rng = SeededRandom(script_random_seed)
+        #: Observers logging every nondeterministic value handed out.
+        self.nondeterminism_taps = []
+        #: Replay override: callable(kind, live_value) -> value.
+        self.nondeterminism_source = None
+
+    @property
+    def clock(self):
+        return self.event_loop.clock
+
+    # -- tabs -----------------------------------------------------------------
+
+    def new_tab(self, url=None):
+        """Open a tab; optionally navigate it immediately."""
+        tab = Tab(self, tab_id=len(self.tabs))
+        self.tabs.append(tab)
+        if url is not None:
+            tab.navigate(url)
+        return tab
+
+    @property
+    def active_tab(self):
+        if not self.tabs:
+            return None
+        return self.tabs[-1]
+
+    # -- observers ------------------------------------------------------------
+
+    def attach_observer(self, observer):
+        """Hook an :class:`InputObserver` into the WebKit layer."""
+        self.input_observers.append(observer)
+        return observer
+
+    def detach_observer(self, observer):
+        if observer in self.input_observers:
+            self.input_observers.remove(observer)
+
+    def notify_frame_loaded(self, engine):
+        for listener in list(self.frame_load_listeners):
+            listener(engine)
+
+    # -- nondeterminism sources for page scripts --------------------------
+
+    def draw_nondeterminism(self, kind, live_value):
+        """Serve one nondeterministic value to a page script.
+
+        During recording: the live value is handed out and every tap
+        (the NondeterminismRecorder) logs it. During replay: an
+        installed source substitutes the recorded value first.
+        """
+        if self.nondeterminism_source is not None:
+            value = self.nondeterminism_source(kind, live_value)
+        else:
+            value = live_value
+        for tap in self.nondeterminism_taps:
+            tap(kind, value)
+        return value
+
+    def script_random(self):
+        """``Math.random()`` for page scripts."""
+        from repro.core.nondeterminism import KIND_RANDOM
+
+        return self.draw_nondeterminism(KIND_RANDOM, self._script_rng.random())
+
+    def script_now(self):
+        """``Date.now()`` for page scripts (virtual ms)."""
+        from repro.core.nondeterminism import KIND_TIME
+
+        return self.draw_nondeterminism(KIND_TIME, self.clock.now())
+
+    # -- popups (the recorder's blind spot, Section IV-D) ----------------------
+
+    def show_popup(self, title, buttons):
+        """Open a native popup widget.
+
+        Popup interaction is routed by the OS widget toolkit, NOT through
+        WebKit's EventHandler — so recorders embedded at the WebKit layer
+        never see it. This models the limitation the paper acknowledges.
+        """
+        popup = PopupWidget(title, buttons, clock=self.clock)
+        self.popups.append(popup)
+        return popup
+
+    def __repr__(self):
+        return "Browser(tabs=%d, developer_mode=%r)" % (
+            len(self.tabs), self.developer_mode,
+        )
+
+
+class BrowserWindow(Browser):
+    """Alias matching the paper's Figure 2 terminology."""

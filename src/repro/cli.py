@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+The workflows a downstream user runs from a shell::
+
+    python -m repro record  --app sites  --out session.warr
+    python -m repro replay  session.warr --app sites [--no-wait]
+                            [--stock-driver] [--no-relaxation]
+    python -m repro inspect session.warr
+    python -m repro weberr  session.warr --app sites --campaign timing
+
+Because this reproduction has no interactive UI, ``record`` drives the
+application's canonical scripted session (the same ones the paper's
+experiments use) with the recorder attached.
+"""
+
+import argparse
+import sys
+
+from repro.apps.dashboard import DashboardApplication
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.sites import SitesApplication
+from repro.core.analysis import analyze_trace
+from repro.core.chromedriver import ChromeDriverConfig
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.core.trace import WarrTrace
+from repro.weberr.runner import WebErr
+from repro.workloads.sessions import (
+    dashboard_session,
+    docs_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    sites_edit_session,
+)
+
+#: app name -> (application class, scripted session, start URL)
+APPS = {
+    "sites": (SitesApplication, sites_edit_session,
+              "http://sites.example.com/edit/home"),
+    "gmail": (GmailApplication, gmail_compose_session,
+              "http://mail.example.com/"),
+    "portal": (PortalApplication, portal_authenticate_session,
+               "http://portal.example.com/"),
+    "docs": (DocsApplication, docs_edit_session,
+             "http://docs.example.com/sheet/budget"),
+    "dashboard": (DashboardApplication, dashboard_session,
+                  "http://dashboard.example.com/"),
+}
+
+
+def _app_entry(name):
+    try:
+        return APPS[name]
+    except KeyError:
+        raise SystemExit("unknown app %r; choose from %s"
+                         % (name, ", ".join(sorted(APPS))))
+
+
+def cmd_record(args, out):
+    app_class, session, start_url = _app_entry(args.app)
+    browser, _ = make_browser([app_class], seed=args.seed)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(start_url, label="%s scripted session" % args.app)
+    session(browser)
+    recorder.detach()
+    recorder.trace.save(args.out)
+    print("recorded %d commands to %s"
+          % (len(recorder.trace), args.out), file=out)
+    return 0
+
+
+def cmd_replay(args, out):
+    app_class, _, _ = _app_entry(args.app)
+    trace = WarrTrace.load(args.trace)
+    browser, _ = make_browser([app_class], seed=args.seed,
+                              developer_mode=not args.user_browser)
+    timing = TimingMode.no_wait() if args.no_wait else TimingMode.recorded()
+    if args.scale is not None:
+        timing = TimingMode.scaled(args.scale)
+    config = (ChromeDriverConfig.stock() if args.stock_driver
+              else ChromeDriverConfig.warr())
+    replayer = WarrReplayer(browser, config=config,
+                            relaxation=not args.no_relaxation,
+                            timing=timing)
+    report = replayer.replay(trace)
+    print(report.summary(), file=out)
+    for error in report.page_errors:
+        print("page error: %s" % error, file=out)
+    for result in report.failures():
+        print("failed: %s (%s)" % (result.command.to_line(), result.error),
+              file=out)
+    return 0 if report.complete and not report.page_errors else 1
+
+
+def cmd_inspect(args, out):
+    trace = WarrTrace.load(args.trace)
+    print("trace: %s" % args.trace, file=out)
+    print("start url: %s" % trace.start_url, file=out)
+    if trace.label:
+        print("label: %s" % trace.label, file=out)
+    for line in analyze_trace(trace).lines():
+        print(line, file=out)
+    if args.commands:
+        print("", file=out)
+        for command in trace:
+            print(command.to_line(), file=out)
+    return 0
+
+
+def cmd_weberr(args, out):
+    app_class, _, _ = _app_entry(args.app)
+    trace = WarrTrace.load(args.trace)
+
+    def factory():
+        browser, _ = make_browser([app_class], seed=args.seed,
+                                  developer_mode=True)
+        return browser
+
+    weberr = WebErr(factory, max_tests=args.max_tests)
+    if args.campaign in ("timing", "both"):
+        report = weberr.run_timing_campaign(trace)
+        print("[timing] %s" % report.summary(), file=out)
+        for outcome in report.bugs:
+            print("[timing] BUG %s: %s"
+                  % (outcome.description, outcome.verdict.reason), file=out)
+    if args.campaign in ("navigation", "both"):
+        report = weberr.run_navigation_campaign(trace, label=args.app)
+        print("[navigation] %s" % report.summary(), file=out)
+        for outcome in report.bugs:
+            print("[navigation] BUG %s: %s"
+                  % (outcome.description, outcome.verdict.reason), file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WaRR: record and replay web application interaction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="record a scripted session")
+    record.add_argument("--app", required=True, choices=sorted(APPS))
+    record.add_argument("--out", required=True)
+    record.add_argument("--seed", type=int, default=0)
+    record.set_defaults(func=cmd_record)
+
+    replay = sub.add_parser("replay", help="replay a trace file")
+    replay.add_argument("trace")
+    replay.add_argument("--app", required=True, choices=sorted(APPS))
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--no-wait", action="store_true",
+                        help="replay with no inter-command delays")
+    replay.add_argument("--scale", type=float, default=None,
+                        help="scale recorded delays by this factor")
+    replay.add_argument("--no-relaxation", action="store_true",
+                        help="disable XPath relaxation")
+    replay.add_argument("--stock-driver", action="store_true",
+                        help="use pre-WaRR ChromeDriver (no fixes)")
+    replay.add_argument("--user-browser", action="store_true",
+                        help="replay in a non-developer browser")
+    replay.set_defaults(func=cmd_replay)
+
+    inspect = sub.add_parser("inspect", help="print trace statistics")
+    inspect.add_argument("trace")
+    inspect.add_argument("--commands", action="store_true",
+                         help="also list every command")
+    inspect.set_defaults(func=cmd_inspect)
+
+    weberr = sub.add_parser("weberr",
+                            help="inject human errors and test the app")
+    weberr.add_argument("trace")
+    weberr.add_argument("--app", required=True, choices=sorted(APPS))
+    weberr.add_argument("--campaign", default="both",
+                        choices=["timing", "navigation", "both"])
+    weberr.add_argument("--max-tests", type=int, default=50)
+    weberr.add_argument("--seed", type=int, default=0)
+    weberr.set_defaults(func=cmd_weberr)
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""WaRR itself: the Recorder, Commands, and Replayer.
+
+The paper's architecture (Figure 1): the WaRR Recorder is embedded in
+the browser's WebKit layer and logs user actions as WaRR Commands; the
+WaRR Replayer drives a developer-mode browser through a WebDriver/
+ChromeDriver stack to play them back, relaxing stale XPath locators as
+needed.
+"""
+
+from repro.core.commands import (
+    WarrCommand,
+    ClickCommand,
+    DoubleClickCommand,
+    DragCommand,
+    TypeCommand,
+    SwitchFrameCommand,
+    parse_command_line,
+)
+from repro.core.trace import WarrTrace
+from repro.core.recorder import WarrRecorder
+from repro.core.relaxation import RelaxationEngine, relax_candidates
+from repro.core.chromedriver import (
+    ChromeDriverConfig,
+    ChromeDriverClient,
+    ChromeDriverMaster,
+)
+from repro.core.webdriver import WebDriver
+from repro.core.replayer import WarrReplayer, ReplayReport, CommandResult, TimingMode
+from repro.core.analysis import TraceStats, analyze_trace
+from repro.core.nondeterminism import (
+    NondeterminismLog,
+    NondeterminismRecorder,
+    NondeterminismReplayer,
+)
+from repro.core.popup_recorder import PopupRecorder, PopupLog, replay_popup_log
+
+__all__ = [
+    "WarrCommand",
+    "ClickCommand",
+    "DoubleClickCommand",
+    "DragCommand",
+    "TypeCommand",
+    "SwitchFrameCommand",
+    "parse_command_line",
+    "WarrTrace",
+    "WarrRecorder",
+    "RelaxationEngine",
+    "relax_candidates",
+    "ChromeDriverConfig",
+    "ChromeDriverClient",
+    "ChromeDriverMaster",
+    "WebDriver",
+    "WarrReplayer",
+    "ReplayReport",
+    "CommandResult",
+    "TimingMode",
+    "TraceStats",
+    "analyze_trace",
+    "NondeterminismLog",
+    "NondeterminismRecorder",
+    "NondeterminismReplayer",
+    "PopupRecorder",
+    "PopupLog",
+    "replay_popup_log",
+]

@@ -1,0 +1,89 @@
+"""Trace analytics.
+
+Developers triaging AUsER reports want a quick read on a session before
+replaying it: how long it was, what the user did, how fast they typed,
+where the long pauses sit. ``analyze_trace`` computes those statistics;
+the CLI's ``inspect`` command prints them.
+"""
+
+from repro.core.commands import (
+    ClickCommand,
+    DoubleClickCommand,
+    DragCommand,
+    SwitchFrameCommand,
+    TypeCommand,
+)
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(int(len(sorted_values) * fraction), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+class TraceStats:
+    """Computed statistics for one trace."""
+
+    def __init__(self, trace):
+        self.command_count = len(trace)
+        self.total_duration_ms = trace.total_duration_ms()
+        self.action_counts = trace.action_counts()
+        self.distinct_targets = len({c.xpath for c in trace})
+        self.frame_switches = sum(
+            1 for c in trace if isinstance(c, SwitchFrameCommand))
+
+        delays = sorted(c.elapsed_ms for c in trace)
+        self.median_delay_ms = _percentile(delays, 0.5)
+        self.p90_delay_ms = _percentile(delays, 0.9)
+        self.longest_pause_ms = delays[-1] if delays else 0
+
+        keystrokes = [c for c in trace if isinstance(c, TypeCommand)]
+        self.keystroke_count = len(keystrokes)
+        typing_time_ms = sum(c.elapsed_ms for c in keystrokes)
+        if typing_time_ms > 0:
+            # Words per minute at the canonical 5 chars/word.
+            self.typing_speed_wpm = (self.keystroke_count / 5.0) / (
+                typing_time_ms / 60_000.0)
+        else:
+            self.typing_speed_wpm = 0.0
+        self.typed_text = "".join(
+            c.key for c in keystrokes if len(c.key) == 1)
+
+        self.click_count = sum(
+            1 for c in trace
+            if isinstance(c, ClickCommand)
+            and not isinstance(c, DoubleClickCommand))
+        self.double_click_count = sum(
+            1 for c in trace if isinstance(c, DoubleClickCommand))
+        self.drag_count = sum(
+            1 for c in trace if isinstance(c, DragCommand))
+
+    def lines(self):
+        """Human-readable report lines."""
+        out = [
+            "commands:          %d" % self.command_count,
+            "session duration:  %.1f s (virtual)"
+            % (self.total_duration_ms / 1000.0),
+            "actions:           %s" % ", ".join(
+                "%s=%d" % item for item in sorted(self.action_counts.items())),
+            "distinct targets:  %d" % self.distinct_targets,
+            "median delay:      %d ms" % self.median_delay_ms,
+            "p90 delay:         %d ms" % self.p90_delay_ms,
+            "longest pause:     %d ms" % self.longest_pause_ms,
+        ]
+        if self.keystroke_count:
+            out.append("typing speed:      %.0f wpm over %d keystrokes"
+                       % (self.typing_speed_wpm, self.keystroke_count))
+        if self.frame_switches:
+            out.append("frame switches:    %d" % self.frame_switches)
+        return out
+
+    def __repr__(self):
+        return "TraceStats(%d commands, %.1fs)" % (
+            self.command_count, self.total_duration_ms / 1000.0)
+
+
+def analyze_trace(trace):
+    """Compute :class:`TraceStats` for a trace."""
+    return TraceStats(trace)

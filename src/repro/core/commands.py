@@ -1,0 +1,206 @@
+"""WaRR Commands.
+
+A WaRR Command (paper, Section IV-B) contains the action type (``click``,
+``doubleclick``, ``drag``, ``type``), an XPath identifier of the target
+element, action-specific information, and the time elapsed since the
+previous action. The wire format matches Figure 4::
+
+    click //div/span[@id="start"] 82,44 1
+    type //td/div[@id="content"] [H,72] 3
+    drag //div[@id="widget"] 15,-4 12
+
+Click commands carry the click position as backup identification; drag
+commands carry the positional delta; type commands carry the key's
+string representation and its virtual key code.
+
+One addition: ``switchframe`` commands mark the recorder observing
+interaction move into (or back out of) an iframe. The paper implements
+frame switching inside ChromeDriver with "a custom iframe name to signal
+a change to the default iframe"; we surface the same information as an
+explicit command so traces stay self-contained. The reserved name
+``default`` switches back to the main frame.
+"""
+
+import re
+
+from repro.util.errors import TraceFormatError
+
+#: Frame locator meaning "the main document" (paper's custom iframe name).
+DEFAULT_FRAME = "default"
+
+
+class WarrCommand:
+    """Base class; concrete commands define ``action`` and a payload."""
+
+    action = None
+
+    def __init__(self, xpath, elapsed_ms=0):
+        self.xpath = str(xpath)
+        self.elapsed_ms = int(elapsed_ms)
+
+    def payload(self):
+        """Action-specific middle field of the wire format."""
+        raise NotImplementedError
+
+    def to_line(self):
+        """Serialize to one Figure-4-style trace line."""
+        return "%s %s %s %d" % (self.action, self.xpath, self.payload(),
+                                self.elapsed_ms)
+
+    def copy(self, **overrides):
+        """Duplicate the command, optionally overriding fields.
+
+        WebErr's error injectors use this to build mutated traces
+        without touching the original.
+        """
+        fields = dict(self._fields())
+        fields.update(overrides)
+        return type(self)(**fields)
+
+    def _fields(self):
+        return {"xpath": self.xpath, "elapsed_ms": self.elapsed_ms}
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.to_line() == other.to_line()
+        )
+
+    def __hash__(self):
+        return hash(self.to_line())
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.to_line())
+
+
+class ClickCommand(WarrCommand):
+    """A single mouse click; (x, y) is the backup position."""
+
+    action = "click"
+
+    def __init__(self, xpath, x=0, y=0, elapsed_ms=0):
+        super().__init__(xpath, elapsed_ms)
+        self.x = int(x)
+        self.y = int(y)
+
+    def payload(self):
+        return "%d,%d" % (self.x, self.y)
+
+    def _fields(self):
+        return {"xpath": self.xpath, "x": self.x, "y": self.y,
+                "elapsed_ms": self.elapsed_ms}
+
+
+class DoubleClickCommand(ClickCommand):
+    """A double click (Google Docs-style interactions)."""
+
+    action = "doubleclick"
+
+
+class DragCommand(WarrCommand):
+    """A UI-element drag; (dx, dy) is the positional difference."""
+
+    action = "drag"
+
+    def __init__(self, xpath, dx=0, dy=0, elapsed_ms=0):
+        super().__init__(xpath, elapsed_ms)
+        self.dx = int(dx)
+        self.dy = int(dy)
+
+    def payload(self):
+        return "%d,%d" % (self.dx, self.dy)
+
+    def _fields(self):
+        return {"xpath": self.xpath, "dx": self.dx, "dy": self.dy,
+                "elapsed_ms": self.elapsed_ms}
+
+
+class TypeCommand(WarrCommand):
+    """One keystroke: string representation plus virtual key code."""
+
+    action = "type"
+
+    def __init__(self, xpath, key="", code=0, elapsed_ms=0):
+        super().__init__(xpath, elapsed_ms)
+        self.key = key
+        self.code = int(code)
+
+    def payload(self):
+        return "[%s,%d]" % (self.key, self.code)
+
+    def _fields(self):
+        return {"xpath": self.xpath, "key": self.key, "code": self.code,
+                "elapsed_ms": self.elapsed_ms}
+
+
+class SwitchFrameCommand(WarrCommand):
+    """Interaction moved to another frame (or back to ``default``)."""
+
+    action = "switchframe"
+
+    def __init__(self, xpath, elapsed_ms=0):
+        super().__init__(xpath, elapsed_ms)
+
+    def payload(self):
+        return "-"
+
+    @property
+    def is_default(self):
+        return self.xpath == DEFAULT_FRAME
+
+
+_COMMAND_TYPES = {
+    cls.action: cls
+    for cls in (ClickCommand, DoubleClickCommand, DragCommand, TypeCommand,
+                SwitchFrameCommand)
+}
+
+# payload matchers anchored at the end of "<xpath> <payload>"
+_CLICK_RE = re.compile(r"^(?P<xpath>.+)\s(?P<x>-?\d+),(?P<y>-?\d+)$")
+_TYPE_RE = re.compile(r"^(?P<xpath>.+)\s\[(?P<key>.*),(?P<code>\d+)\]$", re.DOTALL)
+_FRAME_RE = re.compile(r"^(?P<xpath>.+)\s-$")
+
+
+def parse_command_line(line):
+    """Parse one trace line back into a :class:`WarrCommand`."""
+    text = line.strip()
+    if not text:
+        raise TraceFormatError("cannot parse empty trace line")
+    try:
+        action, rest = text.split(None, 1)
+    except ValueError:
+        raise TraceFormatError("malformed trace line %r" % line)
+    command_type = _COMMAND_TYPES.get(action)
+    if command_type is None:
+        raise TraceFormatError("unknown WaRR command %r in line %r" % (action, line))
+    try:
+        middle, elapsed_text = rest.rsplit(None, 1)
+        elapsed_ms = int(elapsed_text)
+    except ValueError:
+        raise TraceFormatError("missing elapsed time in line %r" % line)
+
+    if command_type in (ClickCommand, DoubleClickCommand):
+        match = _CLICK_RE.match(middle)
+        if not match:
+            raise TraceFormatError("malformed click payload in %r" % line)
+        return command_type(match.group("xpath").strip(),
+                            x=int(match.group("x")), y=int(match.group("y")),
+                            elapsed_ms=elapsed_ms)
+    if command_type is DragCommand:
+        match = _CLICK_RE.match(middle)
+        if not match:
+            raise TraceFormatError("malformed drag payload in %r" % line)
+        return DragCommand(match.group("xpath").strip(),
+                           dx=int(match.group("x")), dy=int(match.group("y")),
+                           elapsed_ms=elapsed_ms)
+    if command_type is TypeCommand:
+        match = _TYPE_RE.match(middle)
+        if not match:
+            raise TraceFormatError("malformed type payload in %r" % line)
+        return TypeCommand(match.group("xpath").strip(),
+                           key=match.group("key"), code=int(match.group("code")),
+                           elapsed_ms=elapsed_ms)
+    match = _FRAME_RE.match(middle)
+    if not match:
+        raise TraceFormatError("malformed switchframe payload in %r" % line)
+    return SwitchFrameCommand(match.group("xpath").strip(), elapsed_ms=elapsed_ms)

@@ -1,0 +1,134 @@
+"""Recording and replaying page-script nondeterminism.
+
+The paper lists this as a strength of the in-browser design: "it can
+easily be extended to record various sources of nondeterminism (e.g.,
+timers)" (Section I). This module is that extension:
+
+- pages draw randomness through ``window.random()`` and read the clock
+  through ``window.now()`` — the two nondeterminism sources scripts see;
+- a :class:`NondeterminismRecorder` attached to the browser logs every
+  value handed out, in order, into a :class:`NondeterminismLog`;
+- during replay, the log is *installed* on the replay browser, and the
+  same sequence of values is served back to the scripts, making runs
+  with random-dependent client code reproducible.
+
+The log serializes next to the trace (``#! nd-log v1`` format) so a bug
+report can ship both.
+"""
+
+from repro.util.errors import TraceFormatError
+
+KIND_RANDOM = "random"
+KIND_TIME = "time"
+
+
+class NondeterminismLog:
+    """Ordered record of nondeterministic values a page observed."""
+
+    _MAGIC = "#! nd-log v1"
+
+    def __init__(self, entries=None):
+        #: list of (kind, value) in the order scripts consumed them
+        self.entries = list(entries or [])
+
+    def append(self, kind, value):
+        if kind not in (KIND_RANDOM, KIND_TIME):
+            raise ValueError("unknown nondeterminism kind %r" % kind)
+        self.entries.append((kind, float(value)))
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_text(self):
+        lines = [self._MAGIC]
+        lines.extend("%s %r" % (kind, value) for kind, value in self.entries)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text):
+        lines = text.splitlines()
+        if not lines or lines[0].strip() != cls._MAGIC:
+            raise TraceFormatError("missing nondeterminism-log header")
+        log = cls()
+        for line in lines[1:]:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            kind, value = stripped.split(None, 1)
+            log.append(kind, float(value))
+        return log
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_text())
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_text(handle.read())
+
+    def __repr__(self):
+        return "NondeterminismLog(%d entries)" % len(self.entries)
+
+
+class NondeterminismRecorder:
+    """Logs every nondeterministic value pages draw from a browser."""
+
+    def __init__(self):
+        self.log = NondeterminismLog()
+        self._browser = None
+
+    def attach(self, browser):
+        """Start logging ``window.random()`` / ``window.now()`` draws."""
+        self._browser = browser
+        browser.nondeterminism_taps.append(self._record)
+        return self
+
+    def detach(self):
+        if self._browser is not None:
+            taps = self._browser.nondeterminism_taps
+            if self._record in taps:
+                taps.remove(self._record)
+        self._browser = None
+
+    def _record(self, kind, value):
+        self.log.append(kind, value)
+
+
+class NondeterminismReplayer:
+    """Feeds a recorded log back to the pages of a replay browser.
+
+    Installed via :meth:`install`; every ``window.random()`` call during
+    replay returns the next recorded value instead of drawing fresh
+    randomness. Exhausting the log falls back to live values (and
+    counts the overrun, which usually signals divergence).
+    """
+
+    def __init__(self, log):
+        self.log = log
+        self._cursor = 0
+        self.overruns = 0
+
+    def install(self, browser):
+        browser.nondeterminism_source = self._next
+        return self
+
+    def _next(self, kind, live_value):
+        while self._cursor < len(self.log.entries):
+            recorded_kind, value = self.log.entries[self._cursor]
+            self._cursor += 1
+            if recorded_kind == kind:
+                return value
+            # Kind mismatch: the replay diverged; skip and count it.
+            self.overruns += 1
+        self.overruns += 1
+        return live_value
+
+    @property
+    def consumed(self):
+        return self._cursor

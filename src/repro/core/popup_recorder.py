@@ -1,0 +1,119 @@
+"""Popup interaction logging — the paper's proposed fix.
+
+Section IV-D: "WaRR cannot handle pop-ups because user interaction
+events that happen on such widgets are not routed through to WebKit. A
+solution we are considering is to insert logging functionality in the
+browser code that handles pop-ups." This module implements that
+solution: :class:`PopupRecorder` instruments the browser-process popup
+path (``Browser.show_popup`` / ``PopupWidget.click_button``), producing
+a :class:`PopupLog` of the dialogs shown and buttons clicked, and
+:func:`replay_popup_log` answers the same dialogs identically during
+replay.
+
+Popup events are kept in a side log rather than in the WaRR Command
+trace: they have no XPath target (they are native widgets, not DOM
+elements), so forcing them into the command format would be a lie. The
+log carries enough — title, buttons, chosen button, virtual timestamp —
+to deterministically answer the same dialogs.
+"""
+
+
+class PopupEvent:
+    """One popup lifecycle: shown, then (maybe) answered."""
+
+    def __init__(self, title, buttons, shown_at):
+        self.title = title
+        self.buttons = list(buttons)
+        self.shown_at = shown_at
+        self.clicked = None
+        self.clicked_at = None
+
+    @property
+    def answered(self):
+        return self.clicked is not None
+
+    def __repr__(self):
+        answer = " -> %r" % self.clicked if self.answered else " (unanswered)"
+        return "PopupEvent(%r%s)" % (self.title, answer)
+
+
+class PopupLog:
+    """Ordered popup interactions of one session."""
+
+    def __init__(self):
+        self.events = []
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def answered_events(self):
+        return [event for event in self.events if event.answered]
+
+
+class PopupRecorder:
+    """Instruments the browser-process popup code path."""
+
+    def __init__(self):
+        self.log = PopupLog()
+        self._browser = None
+        self._original_show_popup = None
+
+    def attach(self, browser):
+        """Wrap ``browser.show_popup`` with logging (the paper's fix)."""
+        if self._browser is not None:
+            raise RuntimeError("recorder already attached")
+        self._browser = browser
+        self._original_show_popup = browser.show_popup
+
+        def logged_show_popup(title, buttons):
+            popup = self._original_show_popup(title, buttons)
+            event = PopupEvent(title, buttons, browser.clock.now())
+            self.log.events.append(event)
+            original_click = popup.click_button
+
+            def logged_click(label):
+                event.clicked = label
+                event.clicked_at = browser.clock.now()
+                return original_click(label)
+
+            popup.click_button = logged_click
+            return popup
+
+        browser.show_popup = logged_show_popup
+        return self
+
+    def detach(self):
+        """Restore the un-instrumented popup path."""
+        if self._browser is not None:
+            self._browser.show_popup = self._original_show_popup
+            self._browser = None
+            self._original_show_popup = None
+
+
+def replay_popup_log(browser, log):
+    """Auto-answer replayed popups with the recorded choices.
+
+    Wraps ``browser.show_popup`` so that each dialog shown during replay
+    is immediately answered with the button the user chose during
+    recording (matched in order). Returns the wrapper's state object so
+    callers can check how many answers were consumed.
+    """
+    answers = [event for event in log.answered_events()]
+    state = {"consumed": 0, "unmatched": 0}
+    original_show_popup = browser.show_popup
+
+    def answering_show_popup(title, buttons):
+        popup = original_show_popup(title, buttons)
+        index = state["consumed"]
+        if index < len(answers) and answers[index].title == title:
+            state["consumed"] += 1
+            popup.click_button(answers[index].clicked)
+        else:
+            state["unmatched"] += 1
+        return popup
+
+    browser.show_popup = answering_show_popup
+    return state

@@ -1,0 +1,164 @@
+"""Progressive XPath relaxation.
+
+The replay challenge the paper highlights (Section IV-C): element
+properties differ between record time and replay time — GMail, for
+example, regenerates ``id`` attributes on every load — so the recorded
+XPath no longer matches. WaRR "employs an automatic,
+application-independent, and progressive relaxation of an element's
+XPath expression", guided by heuristics that
+
+1. remove XPath attributes (e.g. ``id``),
+2. maintain only certain attributes (e.g. only ``name``), and
+3. discard a prefix of the expression.
+
+The relaxation engine generates candidates in that order, combined with
+progressively longer prefix discards, and resolves against the live
+document: the original expression is always tried first (so replay is
+exact and timing-accurate when the DOM is stable), and the first
+candidate with a *unique* match wins. If no candidate is unique, the
+first match of the least-relaxed ambiguous candidate is used as a last
+resort.
+"""
+
+from repro.util.errors import ElementNotFoundError
+from repro.xpath.ast import (
+    AttributeEquals,
+    AttributeExists,
+    PositionPredicate,
+    Path,
+    Step,
+    TextEquals,
+)
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+#: Attributes kept by the "maintain only certain attributes" heuristic.
+STABLE_ATTRIBUTES = frozenset(["name", "type"])
+
+#: Attributes dropped by the "remove attributes" heuristic — these are
+#: the ones applications regenerate.
+VOLATILE_ATTRIBUTES = frozenset(["id", "class", "style"])
+
+
+def _strip_volatile(step):
+    """Heuristic 1: drop predicates on volatile attributes."""
+    kept = []
+    for predicate in step.predicates:
+        if isinstance(predicate, (AttributeEquals, AttributeExists)):
+            if predicate.name in VOLATILE_ATTRIBUTES:
+                continue
+        kept.append(predicate)
+    return step.copy(predicates=kept)
+
+
+def _only_stable(step):
+    """Heuristic 2: keep only name-like attribute and text predicates."""
+    kept = []
+    for predicate in step.predicates:
+        if isinstance(predicate, (AttributeEquals, AttributeExists)):
+            if predicate.name in STABLE_ATTRIBUTES:
+                kept.append(predicate)
+        elif isinstance(predicate, TextEquals):
+            kept.append(predicate)
+    return step.copy(predicates=kept)
+
+
+def _keep_position_only(step):
+    """Deepest relaxation: keep only positional predicates."""
+    kept = [p for p in step.predicates if isinstance(p, PositionPredicate)]
+    return step.copy(predicates=kept)
+
+
+def _suffix(path, drop):
+    """Heuristic 3: discard the first ``drop`` steps.
+
+    The new leading step becomes descendant-anchored, turning
+    ``//td/div[@id="x"]`` into ``//div[@id="x"]``.
+    """
+    steps = [s.copy() for s in path.steps[drop:]]
+    steps[0] = steps[0].copy(axis=Step.DESCENDANT)
+    return Path(steps)
+
+
+def relax_candidates(expression):
+    """Yield (description, Path) candidates, least-relaxed first."""
+    original = parse_xpath(expression)
+    seen = set()
+
+    def emit(description, path):
+        rendered = path.to_xpath()
+        if rendered in seen:
+            return None
+        seen.add(rendered)
+        return (description, path)
+
+    candidates = []
+    first = emit("original", original)
+    if first:
+        candidates.append(first)
+
+    transforms = [
+        ("drop volatile attributes", _strip_volatile),
+        ("keep only stable attributes", _only_stable),
+        ("positional only", _keep_position_only),
+    ]
+
+    for drop in range(len(original.steps)):
+        base = original if drop == 0 else _suffix(original, drop)
+        prefix_note = "" if drop == 0 else " after discarding %d-step prefix" % drop
+        if drop > 0:
+            candidate = emit("discard prefix (%d steps)" % drop, base)
+            if candidate:
+                candidates.append(candidate)
+        for note, transform in transforms:
+            relaxed = Path([
+                transform(step) if index == len(base.steps) - 1 else step.copy()
+                for index, step in enumerate(base.steps)
+            ])
+            candidate = emit(note + prefix_note, relaxed)
+            if candidate:
+                candidates.append(candidate)
+    return candidates
+
+
+class RelaxationEngine:
+    """Resolves a recorded XPath against a live document."""
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        #: (expression, used_description) log for reporting/ablation.
+        self.resolutions = []
+
+    def resolve(self, expression, document):
+        """Find the element ``expression`` points at in ``document``.
+
+        Returns (element, description-of-heuristic-used). Raises
+        :class:`ElementNotFoundError` if nothing matches any candidate.
+        """
+        if not self.enabled:
+            matches = evaluate(expression, document)
+            if not matches:
+                raise ElementNotFoundError(
+                    "no element matches %r (relaxation disabled)" % expression
+                )
+            self.resolutions.append((expression, "original"))
+            return matches[0], "original"
+
+        fallback = None
+        for description, path in relax_candidates(expression):
+            matches = evaluate(path, document)
+            if len(matches) == 1:
+                self.resolutions.append((expression, description))
+                return matches[0], description
+            if matches and fallback is None:
+                fallback = (matches[0], description + " (ambiguous)")
+        if fallback is not None:
+            self.resolutions.append((expression, fallback[1]))
+            return fallback
+        raise ElementNotFoundError(
+            "no element matches %r even after relaxation" % expression
+        )
+
+    def relaxed_count(self):
+        """How many resolutions needed a non-original candidate."""
+        return sum(1 for _, used in self.resolutions if used != "original")

@@ -1,0 +1,100 @@
+"""Bounded always-on recording.
+
+The paper's recorder is "always-on ... so that users can submit complete
+bug reports" (Section I). Running for days, an unbounded trace would
+grow without limit; AUsER only needs the recent past when the user
+presses the report button. :class:`RingBufferRecorder` wraps the WaRR
+Recorder with a bounded window: it keeps the most recent ``capacity``
+commands (dropping the oldest) and can snapshot a replayable trace at
+any moment.
+
+A dropped prefix means the trace no longer starts at the session's
+first page, so the ring tracks the URL of the page each retained
+command ran on and anchors the snapshot at the first retained
+command's page.
+"""
+
+from collections import deque
+
+from repro.browser.event_handler import InputObserver
+from repro.core.recorder import WarrRecorder
+from repro.core.trace import WarrTrace
+
+
+class RingBufferRecorder(InputObserver):
+    """Always-on recorder with a bounded command window."""
+
+    def __init__(self, capacity=1000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: (command, page_url) pairs, oldest first.
+        self._window = deque()
+        self.dropped_count = 0
+        self._inner = WarrRecorder()
+        self._browser = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self, browser):
+        self._browser = browser
+        self._inner._browser = browser
+        browser.attach_observer(self)
+        self._inner.recording = True
+        self._inner.begin("")  # anchor the timing baseline
+        return self
+
+    def detach(self):
+        if self._browser is not None:
+            self._browser.detach_observer(self)
+        self._inner.recording = False
+
+    # -- observation (delegate, then trim) ---------------------------------
+
+    def _absorb(self, engine):
+        """Move commands the inner recorder just produced into the ring."""
+        page_url = engine.document.url
+        for command in self._inner.trace.commands:
+            self._window.append((command, page_url))
+            if len(self._window) > self.capacity:
+                self._window.popleft()
+                self.dropped_count += 1
+        self._inner.trace.commands = []
+
+    def on_mouse_press(self, engine, event, target):
+        self._inner.on_mouse_press(engine, event, target)
+        self._absorb(engine)
+
+    def on_key(self, engine, event, target):
+        self._inner.on_key(engine, event, target)
+        self._absorb(engine)
+
+    def on_drag(self, engine, event, target):
+        self._inner.on_drag(engine, event, target)
+        self._absorb(engine)
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._window)
+
+    @property
+    def overhead_samples_us(self):
+        return self._inner.overhead_samples_us
+
+    def mean_overhead_us(self):
+        return self._inner.mean_overhead_us()
+
+    def snapshot(self, label="ring snapshot"):
+        """A replayable trace of the retained window.
+
+        Anchored at the page the oldest retained command ran on; its
+        elapsed time is zeroed (the gap to the dropped prefix is
+        meaningless).
+        """
+        if not self._window:
+            return WarrTrace(label=label)
+        commands = [command.copy() for command, _ in self._window]
+        commands[0] = commands[0].copy(elapsed_ms=0)
+        start_url = self._window[0][1]
+        return WarrTrace(start_url=start_url, commands=commands, label=label)

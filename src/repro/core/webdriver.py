@@ -1,0 +1,133 @@
+"""WebDriver: the common browser-automation API.
+
+"WebDriver is a browser interaction automation tool that controls
+various browsers through a common API, while ChromeDriver is a WebDriver
+implementation tailored to Chrome" (paper, Section IV-C). This facade
+exposes the operations the WaRR Replayer needs — navigate, find, click,
+double-click, type, drag, frame switching — and delegates to the
+ChromeDriver master/client machinery.
+"""
+
+from repro.core.chromedriver import ChromeDriverConfig, ChromeDriverMaster
+from repro.core.relaxation import RelaxationEngine
+
+
+class WebDriver:
+    """Drives one browser through ChromeDriver.
+
+    ``implicit_wait_ms``: when a locator matches nothing, let simulated
+    time pass (AJAX responses and timers fire) and retry the *exact*
+    expression until the deadline before falling back to relaxation —
+    the standard WebDriver answer to dynamically loaded content.
+    """
+
+    def __init__(self, browser, config=None, relaxation=True,
+                 implicit_wait_ms=0.0):
+        self.browser = browser
+        self.master = ChromeDriverMaster(
+            browser, config if config is not None else ChromeDriverConfig.warr()
+        )
+        self.relaxation = RelaxationEngine(enabled=relaxation)
+        self.implicit_wait_ms = implicit_wait_ms
+        self._tab = None
+
+    # -- navigation ---------------------------------------------------------
+
+    def get(self, url):
+        """Open ``url`` (reusing one tab, like a WebDriver session)."""
+        if self._tab is None:
+            self._tab = self.browser.new_tab(url)
+        else:
+            self._tab.navigate(url)
+        return self._tab
+
+    @property
+    def tab(self):
+        if self._tab is None:
+            raise RuntimeError("call get(url) before driving the browser")
+        return self._tab
+
+    # -- element location -----------------------------------------------------
+
+    def _locate(self, xpath):
+        """Resolve a locator: exact → (implicit wait) → relaxation."""
+        from repro.util.errors import ElementNotFoundError
+
+        client = self.master.active_client
+        if self.implicit_wait_ms > 0:
+            try:
+                element, _ = client.find(xpath, None)
+                return client, element
+            except ElementNotFoundError:
+                pass
+            deadline = self.browser.clock.now() + self.implicit_wait_ms
+            loop = self.browser.event_loop
+            while self.browser.clock.now() < deadline:
+                next_deadline = loop.next_deadline()
+                if next_deadline is None or next_deadline > deadline:
+                    break
+                loop.run_for(next_deadline - self.browser.clock.now())
+                client = self.master.active_client
+                try:
+                    element, _ = client.find(xpath, None)
+                    return client, element
+                except ElementNotFoundError:
+                    continue
+        element, _ = client.find(xpath, self.relaxation)
+        return client, element
+
+    # -- element operations -------------------------------------------------
+
+    def find_element(self, xpath):
+        """Locate an element in the active frame (with relaxation)."""
+        _, element = self._locate(xpath)
+        return element
+
+    def click(self, xpath):
+        client, element = self._locate(xpath)
+        client.click(element)
+        return element
+
+    def click_at(self, x, y):
+        self.master.active_client.click_at(x, y)
+
+    def double_click(self, xpath):
+        client, element = self._locate(xpath)
+        client.double_click(element)
+        return element
+
+    def send_key(self, xpath, key, code):
+        client, element = self._locate(xpath)
+        client.send_key(element, key, code)
+        return element
+
+    def send_keys(self, xpath, text):
+        """Type a whole string (driver convenience, not used by replay)."""
+        from repro.events.keys import virtual_key_code
+
+        client, element = self._locate(xpath)
+        for char in text:
+            client.send_key(element, char, virtual_key_code(char))
+        return element
+
+    def drag(self, xpath, dx, dy):
+        client, element = self._locate(xpath)
+        client.drag(element, dx, dy)
+        return element
+
+    # -- frames ------------------------------------------------------------
+
+    def switch_to_frame(self, iframe_xpath):
+        return self.master.switch_to_frame(iframe_xpath, self.relaxation)
+
+    def switch_to_default(self):
+        return self.master.switch_to_default()
+
+    # -- timing ------------------------------------------------------------
+
+    def wait(self, duration_ms):
+        """Let simulated time pass (timers and AJAX fire)."""
+        self.browser.event_loop.run_for(duration_ms)
+
+    def __repr__(self):
+        return "WebDriver(%r)" % (self.master,)

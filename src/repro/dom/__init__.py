@@ -1,0 +1,31 @@
+"""Document Object Model substrate.
+
+This package stands in for WebKit's DOM: a tree of nodes, an HTML parser
+producing it, and a serializer turning it back into markup. The WaRR
+Recorder identifies action targets by XPath over this tree, and WebErr's
+grammar inference compares the "DOM shape" of successive pages.
+"""
+
+from repro.dom.node import (
+    Node,
+    Document,
+    Element,
+    Text,
+    Comment,
+    VOID_ELEMENTS,
+)
+from repro.dom.parser import parse_html, parse_fragment
+from repro.dom.serialize import serialize, serialize_pretty
+
+__all__ = [
+    "Node",
+    "Document",
+    "Element",
+    "Text",
+    "Comment",
+    "VOID_ELEMENTS",
+    "parse_html",
+    "parse_fragment",
+    "serialize",
+    "serialize_pretty",
+]

@@ -1,0 +1,419 @@
+"""DOM node classes.
+
+A deliberately small but faithful subset of the DOM: ``Document``,
+``Element``, ``Text``, and ``Comment`` nodes with the tree-manipulation,
+attribute, and event-listener APIs the rest of the stack needs.
+
+Event *dispatch* lives in :mod:`repro.events.dispatch`; nodes only store
+their listeners so the DOM stays independent of the event model.
+"""
+
+from repro.util.errors import DomError
+
+#: HTML elements that never have children (and serialize without end tag).
+VOID_ELEMENTS = frozenset(
+    ["area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "param", "source", "track", "wbr"]
+)
+
+#: Elements whose ``value`` property is a real input value. ChromeDriver's
+#: text-input bug (paper, Section IV-C) is that it sets ``value`` even on
+#: elements outside this set.
+VALUE_ELEMENTS = frozenset(["input", "textarea", "select", "option"])
+
+
+class Node:
+    """Base class of all DOM nodes."""
+
+    def __init__(self):
+        self.parent = None
+        self.children = []
+        self.owner_document = None
+        self._listeners = {}
+
+    # -- tree structure -------------------------------------------------
+
+    def append_child(self, child):
+        """Attach ``child`` as the last child of this node."""
+        return self.insert_before(child, None)
+
+    def insert_before(self, child, reference):
+        """Insert ``child`` before ``reference`` (or append if None)."""
+        if child is self:
+            raise DomError("a node cannot be its own child")
+        if child.contains(self):
+            raise DomError("cannot insert an ancestor as a child")
+        if child.parent is not None:
+            child.parent.remove_child(child)
+        if reference is None:
+            index = len(self.children)
+        else:
+            try:
+                index = self.children.index(reference)
+            except ValueError:
+                raise DomError("reference node is not a child of this node")
+        self.children.insert(index, child)
+        child.parent = self
+        child._adopt(self.owner_document or (self if isinstance(self, Document) else None))
+        return child
+
+    def remove_child(self, child):
+        """Detach ``child`` from this node."""
+        try:
+            self.children.remove(child)
+        except ValueError:
+            raise DomError("node to remove is not a child of this node")
+        child.parent = None
+        return child
+
+    def replace_child(self, new_child, old_child):
+        """Replace ``old_child`` with ``new_child``."""
+        if old_child not in self.children:
+            raise DomError("node to replace is not a child of this node")
+        self.insert_before(new_child, old_child)
+        return self.remove_child(old_child)
+
+    def remove(self):
+        """Detach this node from its parent (no-op if already detached)."""
+        if self.parent is not None:
+            self.parent.remove_child(self)
+
+    def contains(self, other):
+        """True if ``other`` is this node or a descendant of it."""
+        node = other
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def _adopt(self, document):
+        self.owner_document = document
+        for child in self.children:
+            child._adopt(document)
+
+    # -- traversal ------------------------------------------------------
+
+    def descendants(self):
+        """Yield all descendants in document (pre-)order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def ancestors(self):
+        """Yield parent, grandparent, ... up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self):
+        """Topmost node of the tree this node belongs to."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def child_elements(self):
+        """Element children only."""
+        return [child for child in self.children if isinstance(child, Element)]
+
+    def index_in_parent(self):
+        """Zero-based position among the parent's children (-1 if root)."""
+        if self.parent is None:
+            return -1
+        return self.parent.children.index(self)
+
+    # -- text -----------------------------------------------------------
+
+    @property
+    def text_content(self):
+        """Concatenated text of all descendant text nodes."""
+        parts = []
+        for node in self.descendants():
+            if isinstance(node, Text):
+                parts.append(node.data)
+        return "".join(parts)
+
+    @text_content.setter
+    def text_content(self, value):
+        """Replace all children with a single text node."""
+        for child in list(self.children):
+            self.remove_child(child)
+        if value:
+            self.append_child(Text(value))
+
+    # -- event listeners (storage only; dispatch in repro.events) --------
+
+    def add_event_listener(self, event_type, handler, capture=False):
+        """Register ``handler`` for ``event_type`` on this node."""
+        self._listeners.setdefault((event_type, bool(capture)), []).append(handler)
+
+    def remove_event_listener(self, event_type, handler, capture=False):
+        """Unregister a previously added handler (no-op if absent)."""
+        handlers = self._listeners.get((event_type, bool(capture)), [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def listeners_for(self, event_type, capture):
+        """Handlers registered for a given type and phase (a copy)."""
+        return list(self._listeners.get((event_type, bool(capture)), []))
+
+    def has_listener(self, event_type):
+        """True if any handler (either phase) is registered for the type."""
+        return bool(
+            self._listeners.get((event_type, False))
+            or self._listeners.get((event_type, True))
+        )
+
+
+class Text(Node):
+    """A run of character data."""
+
+    def __init__(self, data=""):
+        super().__init__()
+        self.data = data
+
+    def append_child(self, child):
+        raise DomError("text nodes cannot have children")
+
+    def insert_before(self, child, reference):
+        raise DomError("text nodes cannot have children")
+
+    def __repr__(self):
+        preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
+        return "Text(%r)" % preview
+
+
+class Comment(Node):
+    """An HTML comment; inert but preserved through parse/serialize."""
+
+    def __init__(self, data=""):
+        super().__init__()
+        self.data = data
+
+    def append_child(self, child):
+        raise DomError("comment nodes cannot have children")
+
+    def insert_before(self, child, reference):
+        raise DomError("comment nodes cannot have children")
+
+    def __repr__(self):
+        return "Comment(%r)" % (self.data,)
+
+
+class Element(Node):
+    """An HTML element: tag name, attributes, children."""
+
+    def __init__(self, tag, attributes=None):
+        super().__init__()
+        self.tag = tag.lower()
+        self.attributes = dict(attributes or {})
+        # The DOM 'value' *property* of form controls diverges from the
+        # 'value' attribute once the user types; model them separately.
+        self._value = None
+
+    # -- attributes -------------------------------------------------------
+
+    def get_attribute(self, name):
+        """Attribute value or None."""
+        return self.attributes.get(name)
+
+    def set_attribute(self, name, value):
+        """Set an attribute (stringified)."""
+        self.attributes[name] = str(value)
+
+    def remove_attribute(self, name):
+        """Delete an attribute (no-op if absent)."""
+        self.attributes.pop(name, None)
+
+    def has_attribute(self, name):
+        """True if the attribute is present (even if empty)."""
+        return name in self.attributes
+
+    @property
+    def id(self):
+        """The ``id`` attribute, or None."""
+        return self.attributes.get("id")
+
+    @id.setter
+    def id(self, value):
+        self.attributes["id"] = value
+
+    @property
+    def name(self):
+        """The ``name`` attribute, or None."""
+        return self.attributes.get("name")
+
+    @property
+    def classes(self):
+        """The ``class`` attribute split on whitespace."""
+        return (self.attributes.get("class") or "").split()
+
+    # -- form-control value -----------------------------------------------
+
+    @property
+    def value(self):
+        """Current value of a form control.
+
+        Reflects the ``value`` attribute until the property is written
+        (by the user typing or by a script), as in real browsers.
+        """
+        if self._value is not None:
+            return self._value
+        return self.attributes.get("value", "")
+
+    @value.setter
+    def value(self, text):
+        self._value = str(text)
+
+    def supports_value(self):
+        """True if this element kind has a meaningful ``value`` property."""
+        return self.tag in VALUE_ELEMENTS
+
+    # -- content model ------------------------------------------------------
+
+    def append_child(self, child):
+        if self.tag in VOID_ELEMENTS:
+            raise DomError("<%s> is a void element and cannot have children" % self.tag)
+        return super().append_child(child)
+
+    def insert_before(self, child, reference):
+        if self.tag in VOID_ELEMENTS:
+            raise DomError("<%s> is a void element and cannot have children" % self.tag)
+        return super().insert_before(child, reference)
+
+    @property
+    def is_content_editable(self):
+        """True if this element or an ancestor sets contenteditable."""
+        node = self
+        while isinstance(node, Element):
+            flag = node.attributes.get("contenteditable")
+            if flag is not None:
+                return flag.lower() not in ("false",)
+            node = node.parent
+        return False
+
+    def is_focusable(self):
+        """True if the element can receive keyboard focus."""
+        return (
+            self.tag in ("input", "textarea", "select", "button", "a")
+            or self.is_content_editable
+            or self.has_attribute("tabindex")
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def get_elements_by_tag(self, tag):
+        """All descendant elements with the given tag (lowercase match)."""
+        tag = tag.lower()
+        return [
+            node for node in self.descendants()
+            if isinstance(node, Element) and node.tag == tag
+        ]
+
+    def find_first(self, predicate):
+        """First descendant element satisfying ``predicate``, or None."""
+        for node in self.descendants():
+            if isinstance(node, Element) and predicate(node):
+                return node
+        return None
+
+    def __repr__(self):
+        ident = ""
+        if self.id:
+            ident = " id=%r" % self.id
+        return "Element(<%s>%s, %d children)" % (self.tag, ident, len(self.children))
+
+
+class Document(Node):
+    """The root of a DOM tree; also the element factory."""
+
+    def __init__(self, url=""):
+        super().__init__()
+        self.url = url
+        self.owner_document = self
+
+    # -- factory ------------------------------------------------------------
+
+    def create_element(self, tag, attributes=None):
+        """Create a detached element owned by this document."""
+        element = Element(tag, attributes)
+        element.owner_document = self
+        return element
+
+    def create_text_node(self, data):
+        """Create a detached text node owned by this document."""
+        text = Text(data)
+        text.owner_document = self
+        return text
+
+    # -- well-known elements --------------------------------------------
+
+    @property
+    def document_element(self):
+        """The <html> element, or the first element child."""
+        for child in self.child_elements():
+            if child.tag == "html":
+                return child
+        elements = self.child_elements()
+        return elements[0] if elements else None
+
+    @property
+    def body(self):
+        """The <body> element, or None."""
+        html = self.document_element
+        if html is None:
+            return None
+        if html.tag == "body":
+            return html
+        for child in html.child_elements():
+            if child.tag == "body":
+                return child
+        return None
+
+    @property
+    def head(self):
+        """The <head> element, or None."""
+        html = self.document_element
+        if html is None:
+            return None
+        for child in html.child_elements():
+            if child.tag == "head":
+                return child
+        return None
+
+    @property
+    def title(self):
+        """Text of the <title> element, or empty string."""
+        head = self.head
+        if head is None:
+            return ""
+        for node in head.descendants():
+            if isinstance(node, Element) and node.tag == "title":
+                return node.text_content
+        return ""
+
+    # -- queries ------------------------------------------------------------
+
+    def get_element_by_id(self, element_id):
+        """First element with the given id, or None."""
+        for node in self.descendants():
+            if isinstance(node, Element) and node.id == element_id:
+                return node
+        return None
+
+    def get_elements_by_tag(self, tag):
+        """All elements with the given tag, in document order."""
+        tag = tag.lower()
+        return [
+            node for node in self.descendants()
+            if isinstance(node, Element) and node.tag == tag
+        ]
+
+    def all_elements(self):
+        """Every element in the document, in document order."""
+        return [node for node in self.descendants() if isinstance(node, Element)]
+
+    def __repr__(self):
+        return "Document(url=%r, title=%r)" % (self.url, self.title)

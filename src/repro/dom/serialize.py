@@ -1,0 +1,101 @@
+"""DOM → HTML serialization.
+
+Used by AUsER snapshots (the "snapshot of the final web page" attached to
+a user-experience report) and by tests that round-trip documents.
+"""
+
+from repro.dom.node import Document, Element, Text, Comment, VOID_ELEMENTS
+from repro.dom.parser import RAW_TEXT_ELEMENTS
+
+
+def _escape_text(text):
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(text):
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def serialize(node):
+    """Serialize a node (and subtree) to compact HTML."""
+    parts = []
+    _serialize_into(node, parts)
+    return "".join(parts)
+
+
+def _serialize_into(node, parts):
+    if isinstance(node, Document):
+        for child in node.children:
+            _serialize_into(child, parts)
+        return
+    if isinstance(node, Text):
+        parent = node.parent
+        if isinstance(parent, Element) and parent.tag in RAW_TEXT_ELEMENTS:
+            parts.append(node.data)
+        else:
+            parts.append(_escape_text(node.data))
+        return
+    if isinstance(node, Comment):
+        parts.append("<!--%s-->" % node.data)
+        return
+    if isinstance(node, Element):
+        parts.append("<%s" % node.tag)
+        for name, value in node.attributes.items():
+            if value == "":
+                parts.append(" %s" % name)
+            else:
+                parts.append(' %s="%s"' % (name, _escape_attr(value)))
+        parts.append(">")
+        if node.tag in VOID_ELEMENTS:
+            return
+        for child in node.children:
+            _serialize_into(child, parts)
+        parts.append("</%s>" % node.tag)
+        return
+    raise TypeError("cannot serialize %r" % (node,))
+
+
+def serialize_pretty(node, indent="  "):
+    """Serialize with one element per line, indented — for human reading."""
+    lines = []
+    _pretty_into(node, lines, 0, indent)
+    return "\n".join(lines)
+
+
+def _pretty_into(node, lines, depth, indent):
+    pad = indent * depth
+    if isinstance(node, Document):
+        for child in node.children:
+            _pretty_into(child, lines, depth, indent)
+        return
+    if isinstance(node, Text):
+        stripped = node.data.strip()
+        if stripped:
+            lines.append(pad + _escape_text(stripped))
+        return
+    if isinstance(node, Comment):
+        lines.append(pad + "<!--%s-->" % node.data)
+        return
+    if isinstance(node, Element):
+        attrs = []
+        for name, value in node.attributes.items():
+            if value == "":
+                attrs.append(" %s" % name)
+            else:
+                attrs.append(' %s="%s"' % (name, _escape_attr(value)))
+        open_tag = "<%s%s>" % (node.tag, "".join(attrs))
+        if node.tag in VOID_ELEMENTS or not node.children:
+            if node.tag in VOID_ELEMENTS:
+                lines.append(pad + open_tag)
+            else:
+                lines.append(pad + open_tag + "</%s>" % node.tag)
+            return
+        only_text = all(isinstance(child, Text) for child in node.children)
+        if only_text:
+            text = "".join(_escape_text(child.data) for child in node.children)
+            lines.append(pad + open_tag + text.strip() + "</%s>" % node.tag)
+            return
+        lines.append(pad + open_tag)
+        for child in node.children:
+            _pretty_into(child, lines, depth + 1, indent)
+        lines.append(pad + "</%s>" % node.tag)

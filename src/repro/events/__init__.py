@@ -1,0 +1,56 @@
+"""Browser event model.
+
+Defines the event classes the engine dispatches (mouse, keyboard, drag,
+plus generic events like ``change`` and ``load``), the capture/target/
+bubble dispatch algorithm, and the virtual-key-code tables that give WaRR
+Commands their ``[H,72]`` payloads.
+
+The distinction the paper exploits in Section IV-C lives here: *trusted*
+events (created by the engine from real input) carry their key properties,
+while *synthetic* events (created by scripts or a driver) get read-only
+defaults unless the browser runs in developer mode.
+"""
+
+from repro.events.event import (
+    Event,
+    MouseEvent,
+    KeyboardEvent,
+    DragEvent,
+    InputEvent,
+)
+from repro.events.dispatch import dispatch_event
+from repro.events.keys import (
+    virtual_key_code,
+    needs_shift,
+    key_name,
+    KEY_BACKSPACE,
+    KEY_TAB,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_CONTROL,
+    KEY_ALT,
+    KEY_ESCAPE,
+    KEY_SPACE,
+    KEY_DELETE,
+)
+
+__all__ = [
+    "Event",
+    "MouseEvent",
+    "KeyboardEvent",
+    "DragEvent",
+    "InputEvent",
+    "dispatch_event",
+    "virtual_key_code",
+    "needs_shift",
+    "key_name",
+    "KEY_BACKSPACE",
+    "KEY_TAB",
+    "KEY_ENTER",
+    "KEY_SHIFT",
+    "KEY_CONTROL",
+    "KEY_ALT",
+    "KEY_ESCAPE",
+    "KEY_SPACE",
+    "KEY_DELETE",
+]

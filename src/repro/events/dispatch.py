@@ -1,0 +1,76 @@
+"""DOM event dispatch: capture → target → bubble.
+
+Handler exceptions do not abort dispatch (as in real browsers, where an
+uncaught handler exception is reported to the console and the remaining
+listeners still run). They are funneled to ``on_error``; the engine
+passes its console collector, and tools like WebErr's oracle read the
+console to detect page-script failures such as the Google Sites
+``JSReferenceError``.
+"""
+
+from repro.events.event import CAPTURING_PHASE, AT_TARGET, BUBBLING_PHASE
+from repro.util.errors import ScriptError
+
+
+def _propagation_path(target):
+    """Nodes from the root down to (excluding) the target."""
+    path = list(target.ancestors())
+    path.reverse()
+    return path
+
+
+def dispatch_event(target, event, on_error=None):
+    """Dispatch ``event`` to ``target`` through the DOM tree.
+
+    Returns ``True`` if the default action should proceed (i.e. the event
+    was not ``prevent_default()``-ed), matching ``dispatchEvent``.
+    """
+    event.target = target
+    ancestors = _propagation_path(target)
+
+    # Capture phase: root → parent of target, capture listeners only.
+    event.event_phase = CAPTURING_PHASE
+    for node in ancestors:
+        if event.propagation_stopped:
+            break
+        _invoke(node, event, capture=True, on_error=on_error)
+
+    # Target phase: capture listeners first, then bubble listeners.
+    if not event.propagation_stopped:
+        event.event_phase = AT_TARGET
+        _invoke(target, event, capture=True, on_error=on_error)
+        if not event.propagation_stopped:
+            _invoke(target, event, capture=False, on_error=on_error)
+
+    # Bubble phase: parent of target → root, bubble listeners only.
+    if event.bubbles and not event.propagation_stopped:
+        event.event_phase = BUBBLING_PHASE
+        for node in reversed(ancestors):
+            if event.propagation_stopped:
+                break
+            _invoke(node, event, capture=False, on_error=on_error)
+
+    event.event_phase = None
+    event.current_target = None
+    return not event.default_prevented
+
+
+def _invoke(node, event, capture, on_error):
+    for handler in node.listeners_for(event.type, capture):
+        event.current_target = node
+        try:
+            handler(event)
+        except ScriptError as error:
+            _report(error, on_error)
+        except Exception as error:  # page-script bug surfaces as ScriptError
+            _report(
+                ScriptError("unhandled error in %r handler: %s" % (event.type, error),
+                            cause=error),
+                on_error,
+            )
+
+
+def _report(error, on_error):
+    if on_error is None:
+        raise error
+    on_error(error)

@@ -1,0 +1,92 @@
+"""Virtual key codes.
+
+The WaRR ``type`` command logs "a string representation of a typed key
+and its ASCII code" (paper, Figure 4): letters carry the code of the
+*unshifted key*, so ``H`` logs 72 ('H') and ``!`` logs 49 (the '1' key).
+These tables reproduce the Windows/WebKit virtual-key-code convention
+that yields exactly those numbers.
+"""
+
+KEY_BACKSPACE = 8
+KEY_TAB = 9
+KEY_ENTER = 13
+KEY_SHIFT = 16
+KEY_CONTROL = 17
+KEY_ALT = 18
+KEY_ESCAPE = 27
+KEY_SPACE = 32
+KEY_DELETE = 46
+
+#: Shifted symbol → the unshifted character on the same key (US layout).
+SHIFTED_TO_BASE = {
+    "!": "1", "@": "2", "#": "3", "$": "4", "%": "5",
+    "^": "6", "&": "7", "*": "8", "(": "9", ")": "0",
+    ":": ";", "+": "=", "<": ",", "_": "-", ">": ".",
+    "?": "/", "~": "`", "{": "[", "|": "\\", "}": "]",
+    '"': "'",
+}
+
+#: Unshifted punctuation → virtual key code (VK_OEM_* values).
+_PUNCTUATION_CODES = {
+    ";": 186, "=": 187, ",": 188, "-": 189, ".": 190,
+    "/": 191, "`": 192, "[": 219, "\\": 220, "]": 221, "'": 222,
+}
+
+_NAMED_CODES = {
+    "Backspace": KEY_BACKSPACE,
+    "Tab": KEY_TAB,
+    "Enter": KEY_ENTER,
+    "Shift": KEY_SHIFT,
+    "Control": KEY_CONTROL,
+    "Alt": KEY_ALT,
+    "Escape": KEY_ESCAPE,
+    "Delete": KEY_DELETE,
+}
+
+_CODE_TO_NAME = {code: name for name, code in _NAMED_CODES.items()}
+
+
+def virtual_key_code(key):
+    """Virtual key code for a printable character or named control key.
+
+    >>> virtual_key_code('H'), virtual_key_code('h')
+    (72, 72)
+    >>> virtual_key_code('!')  # shift+1 logs the '1' key
+    49
+    >>> virtual_key_code('Enter')
+    13
+    """
+    if key in _NAMED_CODES:
+        return _NAMED_CODES[key]
+    if len(key) != 1:
+        raise ValueError("unknown key %r" % (key,))
+    char = key
+    if char in SHIFTED_TO_BASE:
+        char = SHIFTED_TO_BASE[char]
+    if char == " ":
+        return KEY_SPACE
+    if char.isalpha():
+        return ord(char.upper())
+    if char.isdigit():
+        return ord(char)
+    if char in _PUNCTUATION_CODES:
+        return _PUNCTUATION_CODES[char]
+    # Fall back to the code point so exotic characters stay loggable.
+    return ord(char)
+
+
+def needs_shift(key):
+    """True if typing ``key`` on a US keyboard requires the Shift key."""
+    if len(key) != 1:
+        return False
+    return key.isupper() or key in SHIFTED_TO_BASE
+
+
+def key_name(code):
+    """Human-readable name for a control key code, or None."""
+    return _CODE_TO_NAME.get(code)
+
+
+def is_printable(key):
+    """True if the key produces a character (vs a pure control key)."""
+    return len(key) == 1

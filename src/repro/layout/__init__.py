@@ -1,0 +1,15 @@
+"""Simplified layout engine.
+
+WaRR click commands carry the click position "as backup element
+identification information" (paper, Section IV-B). That only works if
+elements have geometry, so this package computes a deterministic box
+layout for a DOM tree: block elements stack vertically, inline elements
+flow horizontally, text size is a fixed character grid. It also provides
+hit testing (point → deepest element) for the coordinate-fallback
+replay heuristic.
+"""
+
+from repro.layout.box import Rect, LayoutBox
+from repro.layout.engine import LayoutEngine, layout_document
+
+__all__ = ["Rect", "LayoutBox", "LayoutEngine", "layout_document"]

@@ -1,0 +1,255 @@
+"""Flow layout over the DOM.
+
+The model is a character grid: text advances ``CHAR_WIDTH`` px per
+character on ``LINE_HEIGHT`` px lines. Block-level elements stack
+vertically and span the available width; inline elements advance a
+horizontal cursor. Tables lay rows vertically and distribute cells
+horizontally. This is nowhere near CSS, but it is deterministic,
+monotonic, and gives every element a non-degenerate rectangle — all
+that coordinate-based replay needs.
+
+Elements moved by drags carry ``data-offset-x/y`` attributes which the
+engine applies as a final translation, so dragging changes geometry the
+way the paper's drag command expects.
+"""
+
+from repro.dom.node import Document, Element, Text
+from repro.layout.box import Rect, LayoutBox
+
+CHAR_WIDTH = 8
+LINE_HEIGHT = 18
+PADDING = 4
+DEFAULT_VIEWPORT_WIDTH = 1024
+INPUT_WIDTH = 160
+INPUT_HEIGHT = 22
+BUTTON_PAD = 16
+IFRAME_WIDTH = 400
+IFRAME_HEIGHT = 150
+
+#: Elements that flow horizontally instead of stacking.
+INLINE_ELEMENTS = frozenset(
+    ["span", "a", "b", "i", "em", "strong", "u", "small", "big", "label",
+     "input", "button", "select", "img", "code", "sub", "sup"]
+)
+
+#: Elements that are not rendered at all.
+INVISIBLE_ELEMENTS = frozenset(
+    ["head", "script", "style", "meta", "link", "title", "template-holder"]
+)
+
+
+class LayoutEngine:
+    """Computes and caches boxes for one document."""
+
+    def __init__(self, document, viewport_width=DEFAULT_VIEWPORT_WIDTH):
+        if not isinstance(document, Document):
+            raise TypeError("LayoutEngine requires a Document")
+        self.document = document
+        self.viewport_width = viewport_width
+        self._boxes = {}
+        self._order = []
+
+    # -- public API -------------------------------------------------------
+
+    def relayout(self):
+        """Recompute all boxes; call after the DOM changes."""
+        self._boxes = {}
+        self._order = []
+        body = self.document.body
+        if body is not None:
+            self._layout_block(body, 0, 0, self.viewport_width)
+            self._apply_drag_offsets()
+        return self
+
+    def box_for(self, element):
+        """The element's :class:`LayoutBox`, or None if not rendered."""
+        if not self._boxes:
+            self.relayout()
+        return self._boxes.get(id(element))
+
+    def hit_test(self, x, y):
+        """Deepest element containing the point, or None.
+
+        Ties at equal depth go to the later sibling (painted on top).
+        """
+        if not self._boxes:
+            self.relayout()
+        hit = None
+        hit_depth = -1
+        for index, element in enumerate(self._order):
+            box = self._boxes[id(element)]
+            if not box.rect.contains(x, y):
+                continue
+            depth = sum(1 for _ in element.ancestors())
+            if depth >= hit_depth:
+                hit = element
+                hit_depth = depth
+        return hit
+
+    def click_point(self, element):
+        """Coordinates the recorder logs for a click on ``element``."""
+        box = self.box_for(element)
+        if box is None:
+            return (0, 0)
+        return box.rect.center
+
+    # -- layout algorithms --------------------------------------------------
+
+    def _register(self, element, rect):
+        self._boxes[id(element)] = LayoutBox(element, rect)
+        self._order.append(element)
+
+    def _is_inline(self, element):
+        return element.tag in INLINE_ELEMENTS
+
+    def _layout_block(self, element, x, y, width):
+        """Lay out a block element; returns its height."""
+        if element.tag in INVISIBLE_ELEMENTS:
+            return 0
+        if element.tag == "table":
+            return self._layout_table(element, x, y, width)
+        if element.tag == "iframe":
+            return self._layout_iframe(element, x, y, width)
+
+        inner_x = x + PADDING
+        inner_width = max(width - 2 * PADDING, CHAR_WIDTH)
+        cursor_y = y + PADDING
+        inline_run = []
+
+        def flush_inline():
+            nonlocal cursor_y
+            if not inline_run:
+                return
+            run_height = self._layout_inline_run(inline_run, inner_x, cursor_y)
+            cursor_y += run_height
+            inline_run.clear()
+
+        for child in element.children:
+            if isinstance(child, Text):
+                if child.data.strip():
+                    inline_run.append(child)
+            elif isinstance(child, Element):
+                if child.tag in INVISIBLE_ELEMENTS:
+                    continue
+                if self._is_inline(child):
+                    inline_run.append(child)
+                else:
+                    flush_inline()
+                    cursor_y += self._layout_block(child, inner_x, cursor_y, inner_width)
+        flush_inline()
+
+        height = max(cursor_y + PADDING - y, LINE_HEIGHT)
+        self._register(element, Rect(x, y, width, height))
+        return height
+
+    def _layout_inline_run(self, nodes, x, y):
+        """Lay out consecutive inline nodes horizontally; returns height."""
+        cursor_x = x
+        max_height = LINE_HEIGHT
+        for node in nodes:
+            if isinstance(node, Text):
+                cursor_x += len(node.data.strip()) * CHAR_WIDTH
+                continue
+            width, height = self._inline_size(node)
+            self._register(node, Rect(cursor_x, y, width, height))
+            self._layout_inline_children(node, cursor_x, y)
+            cursor_x += width + PADDING
+            max_height = max(max_height, height)
+        return max_height
+
+    def _layout_inline_children(self, element, x, y):
+        """Give inline descendants boxes nested inside the parent's box."""
+        cursor_x = x + 1
+        for child in element.children:
+            if isinstance(child, Element) and child.tag not in INVISIBLE_ELEMENTS:
+                width, height = self._inline_size(child)
+                self._register(child, Rect(cursor_x, y + 1, width, max(height - 2, 1)))
+                self._layout_inline_children(child, cursor_x, y + 1)
+                cursor_x += width + 1
+
+    def _inline_size(self, element):
+        if element.tag == "input":
+            input_type = (element.get_attribute("type") or "text").lower()
+            if input_type in ("checkbox", "radio"):
+                return (14, 14)
+            if input_type in ("submit", "button"):
+                label = element.get_attribute("value") or "Submit"
+                return (len(label) * CHAR_WIDTH + BUTTON_PAD, INPUT_HEIGHT)
+            return (INPUT_WIDTH, INPUT_HEIGHT)
+        if element.tag == "select":
+            return (INPUT_WIDTH, INPUT_HEIGHT)
+        if element.tag == "img":
+            width = int(element.get_attribute("width") or 32)
+            height = int(element.get_attribute("height") or 32)
+            return (width, height)
+        text_length = len(element.text_content.strip())
+        if element.tag == "button":
+            return (text_length * CHAR_WIDTH + BUTTON_PAD, INPUT_HEIGHT)
+        return (max(text_length, 1) * CHAR_WIDTH, LINE_HEIGHT)
+
+    def _layout_iframe(self, iframe, x, y, width):
+        """Iframes have intrinsic dimensions (browsers default 300x150).
+
+        A src iframe's content lives in a child engine with its own
+        layout; a src-less iframe's inline children belong to this
+        document and are laid out inside the iframe's box.
+        """
+        frame_width = int(iframe.get_attribute("width")
+                          or min(width, IFRAME_WIDTH))
+        frame_height = int(iframe.get_attribute("height") or IFRAME_HEIGHT)
+        self._register(iframe, Rect(x, y, frame_width, frame_height))
+        cursor_y = y + PADDING
+        for child in iframe.child_elements():
+            if child.tag in INVISIBLE_ELEMENTS:
+                continue
+            cursor_y += self._layout_block(child, x + PADDING, cursor_y,
+                                           frame_width - 2 * PADDING)
+        return frame_height
+
+    def _layout_table(self, table, x, y, width):
+        cursor_y = y + PADDING
+        rows = [
+            node for node in table.descendants()
+            if isinstance(node, Element) and node.tag == "tr"
+        ]
+        for row in rows:
+            cells = [
+                child for child in row.child_elements()
+                if child.tag in ("td", "th")
+            ]
+            if not cells:
+                self._register(row, Rect(x, cursor_y, width, LINE_HEIGHT))
+                cursor_y += LINE_HEIGHT
+                continue
+            cell_width = max(width // len(cells), CHAR_WIDTH * 2)
+            row_height = 0
+            for index, cell in enumerate(cells):
+                cell_x = x + index * cell_width
+                height = self._layout_block(cell, cell_x, cursor_y, cell_width)
+                row_height = max(row_height, height)
+            self._register(row, Rect(x, cursor_y, width, row_height))
+            cursor_y += row_height
+        height = max(cursor_y + PADDING - y, LINE_HEIGHT)
+        self._register(table, Rect(x, y, width, height))
+        return height
+
+    def _apply_drag_offsets(self):
+        """Translate boxes of elements that carry drag offsets."""
+        for element in self._order:
+            dx = element.get_attribute("data-offset-x")
+            dy = element.get_attribute("data-offset-y")
+            if not dx and not dy:
+                continue
+            offset_x = int(dx or 0)
+            offset_y = int(dy or 0)
+            box = self._boxes[id(element)]
+            box.rect = box.rect.translated(offset_x, offset_y)
+            for descendant in element.descendants():
+                child_box = self._boxes.get(id(descendant))
+                if child_box is not None:
+                    child_box.rect = child_box.rect.translated(offset_x, offset_y)
+
+
+def layout_document(document, viewport_width=DEFAULT_VIEWPORT_WIDTH):
+    """Convenience: build and run a :class:`LayoutEngine`."""
+    return LayoutEngine(document, viewport_width).relayout()

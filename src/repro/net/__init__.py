@@ -1,0 +1,24 @@
+"""Simulated network: HTTP messages, servers, and asynchronous XHR.
+
+Stands in for the HTTP(S) traffic between browser and application server.
+Latency is simulated on the discrete-event loop, which is what makes
+AJAX-driven pages vulnerable to the *timing errors* WebErr injects
+(paper, Section V-B). HTTPS is modeled as an opacity flag: the Fiddler
+baseline can log encrypted exchanges but not read them, reproducing the
+paper's argument for in-browser recording.
+"""
+
+from repro.net.http import HttpRequest, HttpResponse, parse_url, build_url
+from repro.net.server import WebServer, RouteServer, Network
+from repro.net.ajax import XmlHttpRequest
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "parse_url",
+    "build_url",
+    "WebServer",
+    "RouteServer",
+    "Network",
+    "XmlHttpRequest",
+]

@@ -1,0 +1,51 @@
+"""XMLHttpRequest-style API for page scripts.
+
+Page scripts in the simulated applications use this instead of calling
+the network directly, mirroring how AJAX code is written: create, open,
+assign ``onload``, send. The response arrives asynchronously on the
+event loop.
+"""
+
+from repro.util.errors import NetworkError
+
+
+class XmlHttpRequest:
+    """Minimal XHR: open → send → onload(response)."""
+
+    UNSENT = 0
+    OPENED = 1
+    DONE = 4
+
+    def __init__(self, network):
+        self._network = network
+        self.ready_state = self.UNSENT
+        self.status = 0
+        self.response_text = ""
+        self.onload = None
+        self.onerror = None
+        self._method = None
+        self._url = None
+
+    def open(self, method, url):
+        """Stage a request; does not touch the network yet."""
+        self._method = method
+        self._url = url
+        self.ready_state = self.OPENED
+
+    def send(self, body=""):
+        """Dispatch the request; completion callbacks fire via the loop."""
+        if self.ready_state != self.OPENED:
+            raise NetworkError("XHR.send() called before open()")
+
+        def complete(response):
+            self.ready_state = self.DONE
+            self.status = response.status
+            self.response_text = response.body
+            if response.ok:
+                if self.onload is not None:
+                    self.onload(self)
+            elif self.onerror is not None:
+                self.onerror(self)
+
+        self._network.fetch_async(self._url, complete, method=self._method,
+                                  body=body)

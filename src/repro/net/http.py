@@ -1,0 +1,140 @@
+"""HTTP message types and URL handling."""
+
+from repro.util.errors import NetworkError
+
+
+def parse_url(url):
+    """Split a URL into (scheme, host, path, query-dict).
+
+    >>> parse_url("https://mail.example.com/compose?to=bob&cc=eve")
+    ('https', 'mail.example.com', '/compose', {'to': 'bob', 'cc': 'eve'})
+    """
+    if "://" not in url:
+        raise NetworkError("relative URL %r needs a base to resolve against" % url)
+    scheme, rest = url.split("://", 1)
+    scheme = scheme.lower()
+    if scheme not in ("http", "https"):
+        raise NetworkError("unsupported scheme %r" % scheme)
+    if "/" in rest:
+        host, path_and_query = rest.split("/", 1)
+        path_and_query = "/" + path_and_query
+    else:
+        host, path_and_query = rest, "/"
+    if "?" in path_and_query:
+        path, query_string = path_and_query.split("?", 1)
+    else:
+        path, query_string = path_and_query, ""
+    query = {}
+    if query_string:
+        for pair in query_string.split("&"):
+            if not pair:
+                continue
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+            else:
+                key, value = pair, ""
+            query[_unquote(key)] = _unquote(value)
+    return scheme, host.lower(), path or "/", query
+
+
+def build_url(scheme, host, path, query=None):
+    """Inverse of :func:`parse_url`."""
+    url = "%s://%s%s" % (scheme, host, path if path.startswith("/") else "/" + path)
+    if query:
+        pairs = "&".join("%s=%s" % (_quote(k), _quote(v)) for k, v in query.items())
+        url += "?" + pairs
+    return url
+
+
+def resolve_url(base_url, target):
+    """Resolve ``target`` (absolute, host-relative, or relative) against base."""
+    if "://" in target:
+        return target
+    scheme, host, base_path, _ = parse_url(base_url)
+    if target.startswith("/"):
+        return "%s://%s%s" % (scheme, host, target)
+    directory = base_path.rsplit("/", 1)[0]
+    return "%s://%s%s/%s" % (scheme, host, directory, target)
+
+
+def _quote(text):
+    out = []
+    for char in str(text):
+        if char.isalnum() or char in "-_.~/":
+            out.append(char)
+        elif char == " ":
+            out.append("+")
+        else:
+            out.append("%%%02X" % ord(char))
+    return "".join(out)
+
+
+def _unquote(text):
+    out = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "+":
+            out.append(" ")
+            i += 1
+        elif char == "%" and i + 2 < len(text) + 1:
+            try:
+                out.append(chr(int(text[i + 1:i + 3], 16)))
+                i += 3
+            except ValueError:
+                out.append(char)
+                i += 1
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
+
+class HttpRequest:
+    """A browser → server request."""
+
+    def __init__(self, url, method="GET", body="", headers=None):
+        self.url = url
+        self.method = method.upper()
+        self.body = body
+        self.headers = dict(headers or {})
+        self.scheme, self.host, self.path, self.query = parse_url(url)
+
+    @property
+    def is_secure(self):
+        return self.scheme == "https"
+
+    def __repr__(self):
+        return "HttpRequest(%s %s)" % (self.method, self.url)
+
+
+class HttpResponse:
+    """A server → browser response."""
+
+    def __init__(self, body="", status=200, content_type="text/html",
+                 headers=None):
+        self.body = body
+        self.status = status
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+    @property
+    def ok(self):
+        return 200 <= self.status < 300
+
+    @classmethod
+    def html(cls, body, status=200):
+        return cls(body=body, status=status, content_type="text/html")
+
+    @classmethod
+    def json(cls, body, status=200):
+        return cls(body=body, status=status, content_type="application/json")
+
+    @classmethod
+    def not_found(cls, message="not found"):
+        return cls(body=message, status=404, content_type="text/plain")
+
+    def __repr__(self):
+        return "HttpResponse(status=%d, type=%s, %d bytes)" % (
+            self.status, self.content_type, len(self.body),
+        )

@@ -1,0 +1,137 @@
+"""Simulated web servers and the network that routes to them.
+
+A :class:`Network` owns the host → server table and the latency model.
+Navigation uses :meth:`Network.fetch` (synchronous from the browser's
+point of view — the load itself is a unit step); page scripts use
+:meth:`Network.fetch_async`, which schedules the response on the event
+loop after the simulated round-trip latency. That delay is what creates
+the window for timing errors.
+"""
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.util.errors import NetworkError
+
+
+class WebServer:
+    """Interface every simulated application server implements."""
+
+    def handle(self, request):
+        """Return an :class:`HttpResponse` for ``request``."""
+        raise NotImplementedError
+
+
+class RouteServer(WebServer):
+    """A server dispatching on (method, path) routes.
+
+    Handlers receive the request and return an ``HttpResponse`` (or a
+    plain string, treated as HTML). Paths may end with ``*`` to match a
+    prefix.
+    """
+
+    def __init__(self):
+        self._routes = []
+
+    def route(self, path, method="GET"):
+        """Decorator registering a handler for ``method path``."""
+        def decorator(handler):
+            self.add_route(path, handler, method)
+            return handler
+        return decorator
+
+    def add_route(self, path, handler, method="GET"):
+        self._routes.append((method.upper(), path, handler))
+
+    def handle(self, request):
+        for method, path, handler in self._routes:
+            if method != request.method:
+                continue
+            if path.endswith("*"):
+                if not request.path.startswith(path[:-1]):
+                    continue
+            elif request.path != path:
+                continue
+            result = handler(request)
+            if isinstance(result, HttpResponse):
+                return result
+            return HttpResponse.html(str(result))
+        return HttpResponse.not_found("no route for %s %s" % (request.method, request.path))
+
+
+class ExchangeRecord:
+    """One request/response pair observed on the wire.
+
+    ``visible_body`` is what an intercepting proxy can read: for HTTPS
+    exchanges the payload is opaque (the paper's argument against
+    proxy-based recorders like Fiddler).
+    """
+
+    def __init__(self, request, response, timestamp):
+        self.request = request
+        self.response = response
+        self.timestamp = timestamp
+
+    @property
+    def is_secure(self):
+        return self.request.is_secure
+
+    @property
+    def visible_body(self):
+        if self.is_secure:
+            return "<encrypted:%d bytes>" % len(self.response.body)
+        return self.response.body
+
+
+class Network:
+    """Routes requests to registered servers with simulated latency."""
+
+    def __init__(self, event_loop, default_latency_ms=50.0):
+        self.event_loop = event_loop
+        self.default_latency_ms = default_latency_ms
+        self._servers = {}
+        self._latencies = {}
+        #: Wire log every exchange lands in; baselines tap this.
+        self.exchange_log = []
+
+    @property
+    def clock(self):
+        return self.event_loop.clock
+
+    def register(self, host, server, latency_ms=None):
+        """Serve ``host`` with ``server``; optional per-host latency."""
+        self._servers[host.lower()] = server
+        if latency_ms is not None:
+            self._latencies[host.lower()] = latency_ms
+        return server
+
+    def latency_for(self, host):
+        return self._latencies.get(host.lower(), self.default_latency_ms)
+
+    def _dispatch(self, request):
+        server = self._servers.get(request.host)
+        if server is None:
+            raise NetworkError("no server registered for host %r" % request.host)
+        response = server.handle(request)
+        self.exchange_log.append(
+            ExchangeRecord(request, response, self.clock.now())
+        )
+        return response
+
+    def fetch(self, url, method="GET", body=""):
+        """Synchronous fetch (navigation): latency advances the clock."""
+        request = HttpRequest(url, method=method, body=body)
+        self.clock.advance(self.latency_for(request.host))
+        return self._dispatch(request)
+
+    def fetch_async(self, url, callback, method="GET", body=""):
+        """Asynchronous fetch (XHR): callback fires after the latency."""
+        request = HttpRequest(url, method=method, body=body)
+
+        def deliver():
+            try:
+                response = self._dispatch(request)
+            except NetworkError:
+                response = HttpResponse(body="network error", status=502,
+                                        content_type="text/plain")
+            callback(response)
+
+        return self.event_loop.call_later(self.latency_for(request.host), deliver)

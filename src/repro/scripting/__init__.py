@@ -1,0 +1,15 @@
+"""Page-script runtime.
+
+Simulated web applications ship "client-side JavaScript" as Python
+callables registered in a :class:`ScriptRegistry` and referenced from
+HTML via ``<script data-script="name">``. Each page gets a
+:class:`Window` (globals, timers, XHR, console) whose variable namespace
+has JavaScript semantics: reading an unassigned name raises
+``JSReferenceError`` — the bug class WebErr exposed in Google Sites.
+"""
+
+from repro.scripting.environment import JSEnvironment
+from repro.scripting.context import Window, Console
+from repro.scripting.registry import ScriptRegistry
+
+__all__ = ["JSEnvironment", "Window", "Console", "ScriptRegistry"]

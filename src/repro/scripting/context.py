@@ -1,0 +1,144 @@
+"""The ``window`` object handed to page scripts.
+
+Bundles everything client-side code touches: the document, the global
+variable environment, timers (``set_timeout``), XHR construction,
+navigation, and a console. Script errors raised inside timer callbacks
+and event handlers are captured on the console rather than crashing the
+browser — the WebErr oracle inspects ``console.errors`` to decide
+whether an injected human error exposed a bug.
+"""
+
+from repro.net.ajax import XmlHttpRequest
+from repro.scripting.environment import JSEnvironment
+from repro.util.errors import ScriptError
+
+
+class Console:
+    """Collects log lines and uncaught script errors for one page.
+
+    ``sink`` is an optional browser-level collector: consoles die with
+    their page, so the browser keeps a session-wide error log that
+    outlives navigations (the WebErr oracle reads it).
+    """
+
+    def __init__(self, sink=None):
+        self.messages = []
+        self.errors = []
+        self._sink = sink
+
+    def log(self, message):
+        self.messages.append(str(message))
+
+    def error(self, error):
+        """Record an uncaught ScriptError (or wrap a message)."""
+        if not isinstance(error, ScriptError):
+            error = ScriptError(str(error))
+        self.errors.append(error)
+        if self._sink is not None:
+            self._sink(error)
+
+    @property
+    def has_errors(self):
+        return bool(self.errors)
+
+    def __repr__(self):
+        return "Console(%d messages, %d errors)" % (
+            len(self.messages), len(self.errors),
+        )
+
+
+class Window:
+    """Per-page script context."""
+
+    def __init__(self, document, event_loop, network=None, navigate=None,
+                 error_sink=None, focus_element=None, random_source=None,
+                 time_source=None):
+        self.document = document
+        self.event_loop = event_loop
+        self.network = network
+        self.env = JSEnvironment()
+        self.console = Console(sink=error_sink)
+        self._navigate = navigate
+        self._focus_element = focus_element
+        self._random_source = random_source
+        self._time_source = time_source
+        self._timers = []
+
+    # -- timers -------------------------------------------------------------
+
+    def set_timeout(self, delay_ms, callback):
+        """Run ``callback`` after ``delay_ms`` simulated milliseconds.
+
+        Errors raised by the callback land on the console, as uncaught
+        asynchronous JS errors do.
+        """
+        def guarded():
+            try:
+                callback()
+            except ScriptError as error:
+                self.console.error(error)
+            except Exception as error:
+                self.console.error(ScriptError(str(error), cause=error))
+
+        task = self.event_loop.call_later(delay_ms, guarded)
+        self._timers.append(task)
+        return task
+
+    def clear_timeout(self, task):
+        task.cancel()
+
+    def cancel_all_timers(self):
+        """Called on page unload so stale callbacks never fire."""
+        for task in self._timers:
+            task.cancel()
+        self._timers = []
+
+    # -- network ------------------------------------------------------------
+
+    def xhr(self):
+        """Create an XMLHttpRequest bound to the page's network."""
+        if self.network is None:
+            raise ScriptError("this page has no network access")
+        return XmlHttpRequest(self.network)
+
+    # -- navigation -----------------------------------------------------------
+
+    @property
+    def location(self):
+        return self.document.url
+
+    def navigate(self, url):
+        """Ask the browser to load a new page in this tab."""
+        if self._navigate is None:
+            raise ScriptError("navigation is not available in this context")
+        self._navigate(url)
+
+    # -- DOM sugar ------------------------------------------------------------
+
+    # -- nondeterminism (``Math.random()`` / ``Date.now()``) ---------------
+
+    def random(self):
+        """Page-script randomness; recordable and replayable."""
+        if self._random_source is not None:
+            return self._random_source()
+        raise ScriptError("this page has no randomness source")
+
+    def now(self):
+        """Page-script clock; recordable and replayable."""
+        if self._time_source is not None:
+            return self._time_source()
+        return self.event_loop.clock.now()
+
+    def focus(self, element):
+        """Move keyboard focus (``element.focus()`` in JS)."""
+        if self._focus_element is not None:
+            self._focus_element(element)
+
+    def get_element_by_id(self, element_id):
+        return self.document.get_element_by_id(element_id)
+
+    def create_element(self, tag, attributes=None):
+        return self.document.create_element(tag, attributes)
+
+    def __repr__(self):
+        return "Window(url=%r)" % self.document.url

@@ -1,0 +1,50 @@
+"""JavaScript-like variable namespace.
+
+``JSEnvironment`` is the globals object of a page. Attribute reads of
+names that were never assigned raise :class:`JSReferenceError`, exactly
+like ``ReferenceError`` in JavaScript. This is the semantic hook for the
+paper's Google Sites bug: a handler that runs before asynchronous
+initialization assigned ``editorState`` blows up with a reference error.
+"""
+
+from repro.util.errors import JSReferenceError
+
+
+class JSEnvironment:
+    """Attribute-style namespace with ReferenceError-on-undefined."""
+
+    def __init__(self, **initial):
+        object.__setattr__(self, "_vars", dict(initial))
+
+    def __getattr__(self, name):
+        variables = object.__getattribute__(self, "_vars")
+        if name in variables:
+            return variables[name]
+        raise JSReferenceError("ReferenceError: %s is not defined" % name)
+
+    def __setattr__(self, name, value):
+        self._vars[name] = value
+
+    def __delattr__(self, name):
+        variables = self._vars
+        if name not in variables:
+            raise JSReferenceError("ReferenceError: %s is not defined" % name)
+        del variables[name]
+
+    def __contains__(self, name):
+        return name in self._vars
+
+    def get(self, name, default=None):
+        """Non-throwing read (like ``typeof x !== 'undefined' ? x : d``)."""
+        return self._vars.get(name, default)
+
+    def defined(self, name):
+        """True if the variable has been assigned."""
+        return name in self._vars
+
+    def names(self):
+        """All defined variable names."""
+        return sorted(self._vars)
+
+    def __repr__(self):
+        return "JSEnvironment(%s)" % ", ".join(self.names())

@@ -1,0 +1,50 @@
+"""Registry mapping script names to callables.
+
+An application registers its client-side code under dotted names
+(``sites.editor``); its HTML references them with
+``<script data-script="sites.editor"></script>``. The browser resolves
+the reference at load time and runs the callable with the page's
+:class:`~repro.scripting.context.Window`.
+"""
+
+from repro.util.errors import ScriptError
+
+
+class ScriptRegistry:
+    """Name → script-callable table, shared browser-wide."""
+
+    def __init__(self):
+        self._scripts = {}
+
+    def register(self, name, script=None):
+        """Register a script; usable directly or as a decorator.
+
+        >>> registry = ScriptRegistry()
+        >>> @registry.register("app.main")
+        ... def main(window): pass
+        """
+        if script is None:
+            def decorator(fn):
+                self._scripts[name] = fn
+                return fn
+            return decorator
+        self._scripts[name] = script
+        return script
+
+    def get(self, name):
+        """Look up a script; raises ScriptError for unknown names."""
+        try:
+            return self._scripts[name]
+        except KeyError:
+            raise ScriptError("no script registered under %r" % name)
+
+    def has(self, name):
+        return name in self._scripts
+
+    def names(self):
+        return sorted(self._scripts)
+
+    def merge(self, other):
+        """Fold another registry's scripts into this one."""
+        self._scripts.update(other._scripts)
+        return self

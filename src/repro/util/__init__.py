@@ -1,0 +1,50 @@
+"""Shared utilities: virtual time, discrete-event scheduling, seeded RNG.
+
+Everything in the simulated browser stack that involves time or randomness
+goes through this package so that runs are deterministic and testable.
+"""
+
+from repro.util.clock import VirtualClock
+from repro.util.errors import (
+    ReproError,
+    DomError,
+    XPathError,
+    XPathSyntaxError,
+    ElementNotFoundError,
+    NavigationError,
+    NetworkError,
+    ScriptError,
+    JSReferenceError,
+    JSTypeError,
+    ReadOnlyPropertyError,
+    ReplayError,
+    ReplayHaltedError,
+    DriverError,
+    TraceFormatError,
+    GrammarError,
+)
+from repro.util.event_loop import EventLoop, ScheduledTask
+from repro.util.rng import SeededRandom
+
+__all__ = [
+    "VirtualClock",
+    "EventLoop",
+    "ScheduledTask",
+    "SeededRandom",
+    "ReproError",
+    "DomError",
+    "XPathError",
+    "XPathSyntaxError",
+    "ElementNotFoundError",
+    "NavigationError",
+    "NetworkError",
+    "ScriptError",
+    "JSReferenceError",
+    "JSTypeError",
+    "ReadOnlyPropertyError",
+    "ReplayError",
+    "ReplayHaltedError",
+    "DriverError",
+    "TraceFormatError",
+    "GrammarError",
+]

@@ -1,0 +1,48 @@
+"""Deterministic virtual time.
+
+The paper's traces timestamp each command with "the time elapsed since the
+previous action". Real wall-clock time would make tests flaky, so the whole
+simulated browser stack reads time from a :class:`VirtualClock` that only
+advances when told to (directly or by the event loop).
+
+Times are measured in milliseconds, matching the granularity of the WaRR
+Command format in Figure 4 of the paper.
+"""
+
+
+class VirtualClock:
+    """A manually advanced millisecond clock.
+
+    >>> clock = VirtualClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(12.5)
+    >>> clock.now()
+    12.5
+    """
+
+    def __init__(self, start=0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    def now(self):
+        """Return the current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta_ms):
+        """Move the clock forward by ``delta_ms`` milliseconds."""
+        if delta_ms < 0:
+            raise ValueError("time cannot move backwards (delta=%r)" % delta_ms)
+        self._now += float(delta_ms)
+
+    def advance_to(self, timestamp_ms):
+        """Move the clock forward to an absolute timestamp."""
+        if timestamp_ms < self._now:
+            raise ValueError(
+                "cannot rewind clock from %.3f to %.3f" % (self._now, timestamp_ms)
+            )
+        self._now = float(timestamp_ms)
+
+    def __repr__(self):
+        return "VirtualClock(now=%.3fms)" % self._now

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the WaRR reproduction.
+
+The hierarchy mirrors the layers of the system: DOM/XPath errors come from
+the engine substrate, script errors model JavaScript runtime failures (the
+Google Sites bug in the paper manifests as a ``JSReferenceError``), and
+replay errors come from the WaRR Replayer and its ChromeDriver simulation.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DomError(ReproError):
+    """Invalid DOM manipulation (bad hierarchy, detached node, ...)."""
+
+
+class XPathError(ReproError):
+    """Base class for XPath engine errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """The XPath expression could not be parsed."""
+
+
+class ElementNotFoundError(XPathError):
+    """No element in the document matches the given locator."""
+
+
+class NavigationError(ReproError):
+    """The browser could not navigate to the requested URL."""
+
+
+class NetworkError(ReproError):
+    """The simulated network failed the request (no route, bad status)."""
+
+
+class ScriptError(ReproError):
+    """A page script raised during execution.
+
+    Carries the underlying JS-level error so tools built on WaRR (e.g.
+    WebErr's oracle) can classify failures.
+    """
+
+    def __init__(self, message, cause=None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class JSReferenceError(ScriptError):
+    """Use of an undefined variable inside a page script.
+
+    This is the class of bug WebErr found in Google Sites: interacting
+    before asynchronous initialization finished makes the page script read
+    a variable that was never assigned.
+    """
+
+
+class JSTypeError(ScriptError):
+    """A page script called/accessed a value of the wrong type."""
+
+
+class ReadOnlyPropertyError(ReproError):
+    """Attempt to set a read-only JavaScript event property.
+
+    User-facing WebKit browsers make certain ``KeyboardEvent`` properties
+    read-only; the WaRR Replayer's developer browser lifts the restriction
+    (paper, Section IV-C).
+    """
+
+
+class ReplayError(ReproError):
+    """The WaRR Replayer failed to replay a command."""
+
+
+class ReplayHaltedError(ReplayError):
+    """Replay halted because no active ChromeDriver client exists.
+
+    Models the ChromeDriver unresponsiveness described in Section IV-C:
+    after a page change, the master may fail to elect a new active client
+    unless WaRR's fix is enabled.
+    """
+
+
+class DriverError(ReproError):
+    """Browser-driver (WebDriver/ChromeDriver) protocol failure."""
+
+
+class TraceFormatError(ReproError):
+    """A serialized WaRR Command trace could not be parsed."""
+
+
+class GrammarError(ReproError):
+    """Invalid user-interaction grammar (WebErr)."""

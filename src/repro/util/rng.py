@@ -1,0 +1,61 @@
+"""Seeded randomness.
+
+Anything stochastic in the reproduction — typo injection, GMail's per-load
+id churn, synthetic user sessions, human think-time — draws from a
+:class:`SeededRandom` so experiments are reproducible and tests can assert
+exact outcomes.
+"""
+
+import random
+
+
+class SeededRandom:
+    """Thin wrapper over :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, sequence):
+        """Uniformly pick one element of a non-empty sequence."""
+        return self._random.choice(sequence)
+
+    def sample(self, sequence, count):
+        """Pick ``count`` distinct elements."""
+        return self._random.sample(sequence, count)
+
+    def shuffle(self, items):
+        """Shuffle a list in place and return it for convenience."""
+        self._random.shuffle(items)
+        return items
+
+    def uniform(self, low, high):
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def gauss_positive(self, mean, stddev, minimum=0.0):
+        """Gaussian sample clamped below at ``minimum``.
+
+        Used for human think-time between actions (always non-negative).
+        """
+        return max(minimum, self._random.gauss(mean, stddev))
+
+    def fork(self, label):
+        """Derive an independent, reproducible child generator.
+
+        Forking by label keeps unrelated consumers (e.g. the typo injector
+        and the id-churn generator) from perturbing each other's streams.
+        """
+        child_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        return SeededRandom(child_seed)
+
+    def __repr__(self):
+        return "SeededRandom(seed=%r)" % (self.seed,)

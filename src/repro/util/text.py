@@ -1,0 +1,51 @@
+"""Small text algorithms shared across the library."""
+
+
+def edit_distance(left, right, maximum=None, transpositions=False):
+    """Levenshtein (or Damerau-Levenshtein) distance between strings.
+
+    ``transpositions=True`` counts swapping two adjacent characters as a
+    single edit (Damerau), which is what competent spell checkers use —
+    human typos are frequently transpositions.
+
+    With ``maximum`` set, computation short-circuits and returns
+    ``maximum + 1`` as soon as the distance provably exceeds it — the
+    spell checkers only care about small distances.
+    """
+    if left == right:
+        return 0
+    if maximum is not None and abs(len(left) - len(right)) > maximum:
+        return maximum + 1
+    grand = None  # row i-2, needed for the transposition case
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        row_minimum = i
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            value = min(previous[j] + 1, current[j - 1] + 1,
+                        previous[j - 1] + cost)
+            if (transpositions and i > 1 and j > 1
+                    and left_char == right[j - 2]
+                    and left[i - 2] == right_char):
+                value = min(value, grand[j - 2] + 1)
+            current.append(value)
+            row_minimum = min(row_minimum, value)
+        if maximum is not None and row_minimum > maximum:
+            return maximum + 1
+        grand = previous
+        previous = current
+    return previous[-1]
+
+
+def dice_coefficient(set_a, set_b):
+    """Dice similarity of two multisets (given as dicts item -> count)."""
+    if not set_a and not set_b:
+        return 1.0
+    overlap = 0
+    for item, count in set_a.items():
+        overlap += min(count, set_b.get(item, 0))
+    total = sum(set_a.values()) + sum(set_b.values())
+    if total == 0:
+        return 1.0
+    return 2.0 * overlap / total

@@ -1,0 +1,63 @@
+"""WebErr: testing web applications against realistic human errors.
+
+The paper's first WaRR-based tool (Section V). The pipeline matches
+Figure 5: record an interaction trace (1), infer a user-interaction
+grammar from it, inject navigation and timing errors (2, 3), and replay
+the erroneous traces against the application under an oracle (4).
+"""
+
+from repro.weberr.similarity import dom_shape_similarity, page_signature
+from repro.weberr.grammar import Grammar, Rule, Terminal
+from repro.weberr.inference import TaskTreeBuilder, TaskNode, infer_grammar
+from repro.weberr.navigation import (
+    NavigationErrorInjector,
+    forget_step,
+    reorder_steps,
+    substitute_step,
+)
+from repro.weberr.timing import TimingErrorInjector
+from repro.weberr.generator import TraceGenerator, PrefixFailureCache
+from repro.weberr.oracle import (
+    Oracle,
+    ConsoleErrorOracle,
+    ReplayCompletionOracle,
+    PredicateOracle,
+    CompositeOracle,
+    Verdict,
+)
+from repro.weberr.runner import WebErr, WebErrReport, TestOutcome
+from repro.weberr.dodom import (
+    DomInvariantMiner,
+    DomInvariantOracle,
+    DomInvariants,
+)
+
+__all__ = [
+    "dom_shape_similarity",
+    "page_signature",
+    "Grammar",
+    "Rule",
+    "Terminal",
+    "TaskTreeBuilder",
+    "TaskNode",
+    "infer_grammar",
+    "NavigationErrorInjector",
+    "forget_step",
+    "reorder_steps",
+    "substitute_step",
+    "TimingErrorInjector",
+    "TraceGenerator",
+    "PrefixFailureCache",
+    "Oracle",
+    "ConsoleErrorOracle",
+    "ReplayCompletionOracle",
+    "PredicateOracle",
+    "CompositeOracle",
+    "Verdict",
+    "WebErr",
+    "WebErrReport",
+    "TestOutcome",
+    "DomInvariantMiner",
+    "DomInvariantOracle",
+    "DomInvariants",
+]

@@ -1,0 +1,112 @@
+"""DoDOM-style DOM invariants as a WebErr oracle.
+
+The paper positions WaRR as extending DoDOM's relevance: "DoDOM infers
+DOM (Document Object Model) invariants and uses them in tests to detect
+errors, but is limited to web applications that use HTTP. WaRR can aid
+DoDOM test also HTTPS applications, because WaRR can replay the
+interaction between a user and any type of web application" (Section
+II). This module is that combination:
+
+- :class:`DomInvariantMiner` replays a recorded trace several times
+  against fresh application instances and intersects the DOM structure
+  of the final page — what survives every clean run is invariant;
+- :class:`DomInvariants` checks a page against the mined set;
+- :class:`DomInvariantOracle` plugs the check into WebErr, so injected
+  human errors that silently corrupt the page (no console error, wrong
+  DOM) are still detected.
+"""
+
+from repro.core.replayer import WarrReplayer
+from repro.weberr.oracle import Oracle, Verdict
+
+
+def _structure_sets(document):
+    """(nodes, edges) sets describing a page's invariant-checkable shape."""
+    nodes = set()
+    edges = set()
+
+    def walk(element, depth):
+        key = (depth, element.tag, element.id or "")
+        nodes.add(key)
+        for child in element.child_elements():
+            edges.add((element.tag, element.id or "",
+                       child.tag, child.id or ""))
+            walk(child, depth + 1)
+
+    root = document.document_element
+    if root is not None:
+        walk(root, 0)
+    return nodes, edges
+
+
+class DomInvariants:
+    """Structure present in every observed correct execution."""
+
+    def __init__(self, nodes, edges, runs):
+        self.nodes = frozenset(nodes)
+        self.edges = frozenset(edges)
+        self.runs = runs
+
+    def check(self, document):
+        """Return a list of human-readable violations (empty = pass)."""
+        nodes, edges = _structure_sets(document)
+        violations = []
+        for depth, tag, element_id in sorted(self.nodes - nodes):
+            label = "<%s%s>" % (tag, ' id="%s"' % element_id if element_id else "")
+            violations.append(
+                "invariant node missing: %s at depth %d" % (label, depth))
+        for parent_tag, parent_id, child_tag, child_id in sorted(
+                self.edges - edges):
+            violations.append(
+                "invariant edge missing: <%s%s> -> <%s%s>" % (
+                    parent_tag, " #%s" % parent_id if parent_id else "",
+                    child_tag, " #%s" % child_id if child_id else ""))
+        return violations
+
+    def __repr__(self):
+        return "DomInvariants(%d nodes, %d edges, mined from %d runs)" % (
+            len(self.nodes), len(self.edges), self.runs)
+
+
+class DomInvariantMiner:
+    """Mines invariants by replaying a trace against fresh instances."""
+
+    def __init__(self, browser_factory, runs=3):
+        if runs < 1:
+            raise ValueError("need at least one mining run")
+        self.browser_factory = browser_factory
+        self.runs = runs
+
+    def mine(self, trace):
+        """Replay ``runs`` times; intersect the final pages' structure."""
+        nodes = None
+        edges = None
+        for _ in range(self.runs):
+            browser = self.browser_factory()
+            report = WarrReplayer(browser).replay(trace)
+            if not report.complete:
+                raise RuntimeError(
+                    "cannot mine invariants from a failing replay: %s"
+                    % report.summary())
+            document = browser.active_tab.document
+            run_nodes, run_edges = _structure_sets(document)
+            nodes = run_nodes if nodes is None else nodes & run_nodes
+            edges = run_edges if edges is None else edges & run_edges
+        return DomInvariants(nodes, edges, self.runs)
+
+
+class DomInvariantOracle(Oracle):
+    """Fails a replay whose final page violates mined invariants."""
+
+    def __init__(self, invariants):
+        self.invariants = invariants
+
+    def judge(self, report, browser):
+        tab = browser.active_tab if browser is not None else None
+        if tab is None or tab.renderer is None:
+            return Verdict.bug("no page to check invariants against")
+        violations = self.invariants.check(tab.document)
+        if violations:
+            return Verdict.bug("%d DOM invariant violation(s), first: %s"
+                               % (len(violations), violations[0]))
+        return Verdict.ok()

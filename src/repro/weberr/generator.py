@@ -1,0 +1,92 @@
+"""Erroneous-trace generation with the paper's pruning heuristics.
+
+"Since a deep task tree can still generate an impractically large number
+of interaction traces, we propose two heuristics to reduce this number.
+First, if a trace cannot be successfully replayed, we remove all traces
+that have as prefix the WaRR Commands replayed so far ... Second, we
+focus error injection toward only some of the grammar rules."
+(paper, Section V-A)
+
+The focus heuristic lives in
+:class:`~repro.weberr.navigation.NavigationErrorInjector`; this module
+implements trace expansion plus the failed-prefix cache.
+"""
+
+
+class PrefixFailureCache:
+    """Remembers command prefixes that already failed to replay.
+
+    Stored as a trie over serialized command lines; a candidate trace is
+    skipped when some recorded failing prefix is a prefix of it.
+    """
+
+    def __init__(self):
+        self._root = {}
+        self.recorded = 0
+        self.hits = 0
+
+    def record_failure(self, commands_replayed):
+        """Record that replay failed right after this command prefix."""
+        node = self._root
+        for command in commands_replayed:
+            node = node.setdefault(command.to_line(), {})
+        node["__failed__"] = True
+        self.recorded += 1
+
+    def is_doomed(self, commands):
+        """True if the trace starts with a known-failing prefix."""
+        node = self._root
+        if node.get("__failed__"):
+            self.hits += 1
+            return True
+        for command in commands:
+            node = node.get(command.to_line())
+            if node is None:
+                return False
+            if node.get("__failed__"):
+                self.hits += 1
+                return True
+        return False
+
+    def __repr__(self):
+        return "PrefixFailureCache(recorded=%d, hits=%d)" % (
+            self.recorded, self.hits,
+        )
+
+
+class TraceGenerator:
+    """Expands erroneous grammars into replayable traces."""
+
+    def __init__(self, prune_failed_prefixes=True, max_traces=None):
+        self.prefix_cache = PrefixFailureCache() if prune_failed_prefixes else None
+        self.max_traces = max_traces
+        self.generated = 0
+        self.pruned = 0
+
+    def traces(self, grammar_variants):
+        """Yield (description, trace) from (description, grammar) pairs.
+
+        Applies the failed-prefix pruning heuristic and the optional
+        overall cap.
+        """
+        for description, grammar in grammar_variants:
+            if self.max_traces is not None and self.generated >= self.max_traces:
+                return
+            trace = grammar.to_trace(label=description)
+            if self.prefix_cache is not None and self.prefix_cache.is_doomed(trace.commands):
+                self.pruned += 1
+                continue
+            self.generated += 1
+            yield description, trace
+
+    def report_failure(self, trace, failed_at_index):
+        """Feed back a replay failure for prefix pruning.
+
+        ``failed_at_index`` is the index of the first command that could
+        not be replayed; the commands before it form the doomed prefix
+        extended by the failing command.
+        """
+        if self.prefix_cache is None:
+            return
+        prefix = trace.commands[:failed_at_index + 1]
+        self.prefix_cache.record_failure(prefix)

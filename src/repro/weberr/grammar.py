@@ -1,0 +1,143 @@
+"""User-interaction grammars.
+
+WebErr views "an interaction step as a grammar rule and simulate[s]
+forgetting a step by making a rule have no productions, step reordering
+by reordering a rule's right-hand side productions, and substitution of
+steps by substituting a rule's right-hand side productions with others"
+(paper, Section V-A).
+
+A :class:`Grammar` maps rule names to right-hand sides; a right-hand
+side is a sequence of symbols, each either another rule name (a
+non-terminal string) or a :class:`Terminal` wrapping one WaRR Command.
+Expanding the start rule recursively regenerates an interaction trace.
+"""
+
+from repro.core.commands import WarrCommand
+from repro.core.trace import WarrTrace
+from repro.util.errors import GrammarError
+
+
+class Terminal:
+    """A leaf symbol: one concrete WaRR Command."""
+
+    def __init__(self, command):
+        if not isinstance(command, WarrCommand):
+            raise TypeError("Terminal wraps a WarrCommand, got %r" % (command,))
+        self.command = command
+
+    def __eq__(self, other):
+        return isinstance(other, Terminal) and self.command == other.command
+
+    def __hash__(self):
+        return hash(("terminal", self.command))
+
+    def __repr__(self):
+        return "Terminal(%r)" % self.command.to_line()
+
+
+class Rule:
+    """One grammar rule: name -> a sequence of symbols."""
+
+    def __init__(self, name, symbols=None):
+        self.name = name
+        self.symbols = list(symbols or [])
+
+    def copy(self, symbols=None):
+        return Rule(self.name, list(self.symbols) if symbols is None else symbols)
+
+    def is_empty(self):
+        return not self.symbols
+
+    def __repr__(self):
+        rendered = []
+        for symbol in self.symbols:
+            if isinstance(symbol, Terminal):
+                rendered.append("<%s>" % symbol.command.action)
+            else:
+                rendered.append(symbol)
+        return "Rule(%s -> %s)" % (self.name, " ".join(rendered) or "ε")
+
+
+class Grammar:
+    """A user-interaction grammar with a designated start rule."""
+
+    def __init__(self, start, rules=None, start_url=""):
+        self.start = start
+        self.rules = {}
+        self.start_url = start_url
+        for rule in rules or []:
+            self.add_rule(rule)
+
+    def add_rule(self, rule):
+        if rule.name in self.rules:
+            raise GrammarError("duplicate rule %r" % rule.name)
+        self.rules[rule.name] = rule
+        return rule
+
+    def rule(self, name):
+        try:
+            return self.rules[name]
+        except KeyError:
+            raise GrammarError("no rule named %r" % name)
+
+    def rule_names(self):
+        return sorted(self.rules)
+
+    def copy(self):
+        """Deep-enough copy: rules are copied, terminals shared."""
+        grammar = Grammar(self.start, start_url=self.start_url)
+        for rule in self.rules.values():
+            grammar.add_rule(rule.copy())
+        return grammar
+
+    def with_rule(self, replacement):
+        """A copy in which one rule is replaced (error injection)."""
+        grammar = self.copy()
+        if replacement.name not in grammar.rules:
+            raise GrammarError("cannot replace unknown rule %r" % replacement.name)
+        grammar.rules[replacement.name] = replacement
+        return grammar
+
+    # -- expansion ------------------------------------------------------------
+
+    def expand(self, max_depth=50):
+        """Expand the start rule into a flat list of commands."""
+        commands = []
+        self._expand_into(self.start, commands, max_depth, set())
+        return commands
+
+    def _expand_into(self, name, commands, remaining_depth, active):
+        if remaining_depth <= 0:
+            raise GrammarError("expansion exceeded maximum depth")
+        if name in active:
+            raise GrammarError("recursive rule %r" % name)
+        rule = self.rule(name)
+        active = active | {name}
+        for symbol in rule.symbols:
+            if isinstance(symbol, Terminal):
+                commands.append(symbol.command.copy())
+            else:
+                self._expand_into(symbol, commands, remaining_depth - 1, active)
+
+    def to_trace(self, label=""):
+        """Expand into a replayable :class:`WarrTrace`."""
+        return WarrTrace(start_url=self.start_url, commands=self.expand(),
+                         label=label)
+
+    # -- introspection -----------------------------------------------------------
+
+    def terminal_count(self):
+        return sum(
+            1 for rule in self.rules.values()
+            for symbol in rule.symbols if isinstance(symbol, Terminal)
+        )
+
+    def pretty(self):
+        """Human-readable listing (used by the Figure 6 benchmark)."""
+        lines = []
+        for name in [self.start] + [n for n in self.rule_names() if n != self.start]:
+            lines.append(repr(self.rules[name]))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Grammar(start=%r, %d rules)" % (self.start, len(self.rules))

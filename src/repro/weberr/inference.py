@@ -1,0 +1,219 @@
+"""Task-tree and grammar inference from WaRR traces.
+
+"Since user interaction grammars do not readily exist ... we face the
+challenge of having to infer such grammars given only a sequence of WaRR
+Commands. We aim to cluster WaRR Commands in a way that reconstructs, as
+much as possible, the task tree followed by the user." (paper, V-A)
+
+The algorithm replays the trace, snapshots the page after each command,
+and clusters commands by web-page similarity:
+
+- the root node is the task;
+- a second level of *phase* nodes corresponds to distinct web pages: a
+  command is attached to the phase whose page is most similar to the
+  page the command ran on, and a new phase is spawned when the URL
+  changes or no existing phase is similar enough (this reproduces the
+  paper's "three levels: one for the initial WaRR Command, one for
+  commands that change the URL, and one for the rest");
+- a third level of *step* nodes deepens the tree "whenever the
+  interaction changes from one HTML element to another one".
+"""
+
+from repro.core.commands import SwitchFrameCommand
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.core.webdriver import WebDriver
+from repro.util.errors import ReplayError, ReplayHaltedError, ElementNotFoundError, DriverError
+from repro.weberr.grammar import Grammar, Rule, Terminal
+from repro.weberr.similarity import page_signature, signature_similarity
+
+#: A command joins an existing phase only above this page similarity.
+PHASE_SIMILARITY_THRESHOLD = 0.80
+
+
+class TaskNode:
+    """One node of the inferred task tree."""
+
+    TASK = "task"
+    PHASE = "phase"
+    STEP = "step"
+
+    def __init__(self, name, kind, url="", xpath=""):
+        self.name = name
+        self.kind = kind
+        self.url = url
+        self.xpath = xpath
+        self.children = []
+        self.commands = []
+
+    def add_child(self, node):
+        self.children.append(node)
+        return node
+
+    def leaf_commands(self):
+        """All commands in this subtree, left to right."""
+        commands = list(self.commands)
+        for child in self.children:
+            commands.extend(child.leaf_commands())
+        return commands
+
+    def pretty(self, indent=0):
+        """Indented rendering (the Figure 6 visualization)."""
+        pad = "  " * indent
+        detail = ""
+        if self.kind == self.PHASE and self.url:
+            detail = "  [%s]" % self.url
+        elif self.kind == self.STEP and self.xpath:
+            detail = "  [%s]" % self.xpath
+        lines = ["%s%s%s" % (pad, self.name, detail)]
+        for command in self.commands:
+            lines.append("%s  - %s" % (pad, command.to_line()))
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "TaskNode(%s, %s, %d children, %d commands)" % (
+            self.name, self.kind, len(self.children), len(self.commands),
+        )
+
+
+class TaskTreeBuilder:
+    """Builds a task tree by replaying a trace and clustering commands."""
+
+    def __init__(self, browser_factory, timing=None):
+        self.browser_factory = browser_factory
+        self.timing = timing if timing is not None else TimingMode.recorded()
+
+    def build(self, trace, label="Task"):
+        """Replay ``trace`` and return the root :class:`TaskNode`."""
+        browser = self.browser_factory()
+        driver = WebDriver(browser)
+        driver.get(trace.start_url)
+
+        root = TaskNode(label, TaskNode.TASK, url=trace.start_url)
+        phases = []  # (TaskNode, signature)
+
+        initial_signature = page_signature(driver.tab.document)
+        current_phase = root.add_child(
+            TaskNode(_phase_name(trace.start_url, 1), TaskNode.PHASE,
+                     url=trace.start_url)
+        )
+        phases.append([current_phase, initial_signature])
+        current_step = None
+        replayer = WarrReplayer(browser, timing=self.timing)
+
+        for command in trace:
+            url_before = driver.tab.url
+            driver.wait(self.timing.delay_for(command))
+            try:
+                replayer.execute_command(driver, command)
+            except (ReplayError, ReplayHaltedError, ElementNotFoundError,
+                    DriverError):
+                # Unreplayable command: attach to the current phase anyway
+                # so the grammar still covers the full trace.
+                pass
+            url_after = driver.tab.url
+            signature = page_signature(driver.tab.document)
+
+            if url_after != url_before:
+                # This command navigated: it ends its phase, and a new
+                # phase begins for the commands that follow.
+                target_phase = self._attach_phase(root, phases, url_after,
+                                                  signature)
+                current_phase, current_step = self._place_command(
+                    current_phase, current_step, command)
+                current_phase = target_phase
+                current_step = None
+                phases[-1][1] = signature
+                continue
+
+            best_phase, best_similarity = self._most_similar(phases, signature)
+            if best_similarity < PHASE_SIMILARITY_THRESHOLD:
+                # The page was rewritten in place (AJAX): a new subtask.
+                current_phase = self._attach_phase(root, phases, url_after,
+                                                   signature)
+                current_step = None
+            elif best_phase is not current_phase:
+                current_phase = best_phase
+                current_step = None
+            current_phase, current_step = self._place_command(
+                current_phase, current_step, command)
+            # Keep the owning phase's signature fresh.
+            for entry in phases:
+                if entry[0] is current_phase:
+                    entry[1] = signature
+
+        return root
+
+    def _attach_phase(self, root, phases, url, signature):
+        phase = root.add_child(
+            TaskNode(_phase_name(url, len(phases) + 1), TaskNode.PHASE, url=url)
+        )
+        phases.append([phase, signature])
+        return phase
+
+    @staticmethod
+    def _most_similar(phases, signature):
+        best = None
+        best_similarity = -1.0
+        for phase, phase_signature in phases:
+            similarity = signature_similarity(signature, phase_signature)
+            if similarity > best_similarity:
+                best = phase
+                best_similarity = similarity
+        return best, best_similarity
+
+    @staticmethod
+    def _place_command(phase, step, command):
+        """Attach a command, splitting steps on element change."""
+        if isinstance(command, SwitchFrameCommand):
+            # Frame switches are bookkeeping, not user subtasks: keep
+            # them in the current step.
+            if step is None:
+                step = phase.add_child(
+                    TaskNode("Step%d" % (len(phase.children) + 1),
+                             TaskNode.STEP, xpath=command.xpath))
+            step.commands.append(command)
+            return phase, step
+        if step is None or step.xpath != command.xpath:
+            step = phase.add_child(
+                TaskNode("Step%d" % (len(phase.children) + 1),
+                         TaskNode.STEP, xpath=command.xpath))
+        step.commands.append(command)
+        return phase, step
+
+
+def _phase_name(url, index):
+    path = url.split("://", 1)[-1]
+    path = path.split("/", 1)[1] if "/" in path else ""
+    segment = path.split("/")[0] or "home"
+    segment = "".join(ch if ch.isalnum() else "_" for ch in segment)
+    return "Phase%d_%s" % (index, segment.capitalize())
+
+
+def infer_grammar(tree, start_url):
+    """Turn a task tree into a user-interaction grammar."""
+    grammar = Grammar(tree.name, start_url=start_url)
+    _add_rules(grammar, tree)
+    return grammar
+
+
+def _add_rules(grammar, node):
+    symbols = []
+    for command in node.commands:
+        symbols.append(Terminal(command))
+    for child in node.children:
+        unique = _unique_name(grammar, child.name)
+        child.name = unique
+        symbols.append(unique)
+        _add_rules(grammar, child)
+    grammar.add_rule(Rule(node.name, symbols))
+
+
+def _unique_name(grammar, name):
+    if name not in grammar.rules and name != grammar.start:
+        return name
+    suffix = 2
+    while "%s_%d" % (name, suffix) in grammar.rules:
+        suffix += 1
+    return "%s_%d" % (name, suffix)

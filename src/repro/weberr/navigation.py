@@ -1,0 +1,146 @@
+"""Navigation-error injection.
+
+"Navigation errors manifest as deviations from a correct pattern of
+interaction ... the errors we are interested in are: forgetting,
+reordering, and substitution of steps" (paper, Section V-A). Errors are
+injected into *grammar rules*, never across rules — that is WebErr's
+answer to the combinatorial blowup of mutating raw traces (the
+``permutations(100)`` example in the paper).
+
+The three operators:
+
+- :func:`forget_step` — a rule loses its productions (empty RHS);
+- :func:`reorder_steps` — a rule's right-hand side is permuted;
+- :func:`substitute_step` — one symbol of a rule is replaced by a
+  symbol drawn from another rule (e.g. a typo: the right keystroke
+  replaced by a wrong one).
+
+:class:`NavigationErrorInjector` enumerates erroneous grammars, rule by
+rule, optionally confined to a focus set of rules (the paper's second
+trace-count-reduction heuristic).
+"""
+
+from repro.core.commands import TypeCommand
+from repro.events.keys import virtual_key_code
+from repro.weberr.grammar import Terminal
+
+
+def forget_step(rule):
+    """The user forgot this whole step: rule with no productions."""
+    return rule.copy(symbols=[])
+
+
+def reorder_steps(rule, first_index=0):
+    """The user swapped two adjacent sub-steps of this step.
+
+    Adjacent transposition is the minimal, most human reordering (doing
+    B before A); ``first_index`` selects which adjacent pair swaps.
+    """
+    symbols = list(rule.symbols)
+    if first_index < 0 or first_index + 1 >= len(symbols):
+        raise IndexError("no adjacent pair at %d in %r" % (first_index, rule))
+    symbols[first_index], symbols[first_index + 1] = (
+        symbols[first_index + 1], symbols[first_index])
+    return rule.copy(symbols=symbols)
+
+
+def substitute_step(rule, index, replacement):
+    """The user performed the wrong sub-step: replace one symbol."""
+    symbols = list(rule.symbols)
+    if index < 0 or index >= len(symbols):
+        raise IndexError("no symbol at %d in %r" % (index, rule))
+    symbols[index] = replacement
+    return rule.copy(symbols=symbols)
+
+
+def substitute_typo(rule, index, typo_key):
+    """Specialize substitution for keystrokes: inject a typo.
+
+    Replaces the :class:`TypeCommand` terminal at ``index`` with one
+    typing ``typo_key`` instead — the error class the Table I search
+    study injects.
+    """
+    symbols = list(rule.symbols)
+    symbol = symbols[index]
+    if not isinstance(symbol, Terminal) or not isinstance(symbol.command, TypeCommand):
+        raise TypeError("symbol at %d is not a keystroke terminal" % index)
+    original = symbol.command
+    replacement = TypeCommand(original.xpath, key=typo_key,
+                              code=virtual_key_code(typo_key),
+                              elapsed_ms=original.elapsed_ms)
+    symbols[index] = Terminal(replacement)
+    return rule.copy(symbols=symbols)
+
+
+class NavigationErrorInjector:
+    """Enumerates single-error grammar variants."""
+
+    def __init__(self, grammar, focus_rules=None):
+        """``focus_rules``: restrict injection to these rule names
+        (the paper's error-focus heuristic); None means every rule."""
+        self.grammar = grammar
+        if focus_rules is None:
+            self.focus_rules = list(grammar.rule_names())
+        else:
+            self.focus_rules = [name for name in grammar.rule_names()
+                                if name in set(focus_rules)]
+
+    def _rules(self):
+        for name in self.focus_rules:
+            yield self.grammar.rule(name)
+
+    def forget_variants(self):
+        """Yield (description, grammar) for every forget error."""
+        for rule in self._rules():
+            if rule.is_empty():
+                continue
+            yield ("forget %s" % rule.name,
+                   self.grammar.with_rule(forget_step(rule)))
+
+    def reorder_variants(self):
+        """Yield (description, grammar) for every adjacent-swap error."""
+        for rule in self._rules():
+            for index in range(len(rule.symbols) - 1):
+                yield ("reorder %s@%d" % (rule.name, index),
+                       self.grammar.with_rule(reorder_steps(rule, index)))
+
+    def substitution_variants(self):
+        """Yield (description, grammar) for cross-production mix-ups.
+
+        Each symbol of a focused rule is replaced, in turn, by each
+        *other* symbol of the same rule — modeling clicking the wrong
+        button or picking the wrong item, while honoring the paper's
+        "never perform cross-rule error injection".
+        """
+        for rule in self._rules():
+            for index, _ in enumerate(rule.symbols):
+                for other_index, replacement in enumerate(rule.symbols):
+                    if other_index == index:
+                        continue
+                    yield ("substitute %s@%d<-@%d"
+                           % (rule.name, index, other_index),
+                           self.grammar.with_rule(
+                               substitute_step(rule, index, replacement)))
+
+    def typo_variants(self, keyboard_neighbors=None):
+        """Yield (description, grammar) replacing keystrokes with typos."""
+        from repro.workloads.typos import QWERTY_NEIGHBORS
+
+        neighbors = keyboard_neighbors or QWERTY_NEIGHBORS
+        for rule in self._rules():
+            for index, symbol in enumerate(rule.symbols):
+                if not isinstance(symbol, Terminal):
+                    continue
+                if not isinstance(symbol.command, TypeCommand):
+                    continue
+                key = symbol.command.key.lower()
+                for wrong in neighbors.get(key, "")[:1]:
+                    yield ("typo %s@%d %r->%r" % (rule.name, index, key, wrong),
+                           self.grammar.with_rule(
+                               substitute_typo(rule, index, wrong)))
+
+    def all_variants(self):
+        """Every single-error grammar, forget → reorder → substitute."""
+        yield from self.forget_variants()
+        yield from self.reorder_variants()
+        yield from self.substitution_variants()

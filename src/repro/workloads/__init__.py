@@ -1,0 +1,32 @@
+"""Workloads: query corpora, typo models, and scripted user sessions.
+
+Everything the benchmarks feed into the system — the 186 frequent search
+queries of Table I, the human-typo injector, and the per-application
+scenario drivers that double as recording-fidelity ground truth.
+"""
+
+from repro.workloads.queries import FREQUENT_QUERIES, query_vocabulary
+from repro.workloads.typos import TypoInjector, Typo
+from repro.workloads.sessions import (
+    SimulatedUser,
+    UserAction,
+    sites_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    docs_edit_session,
+    search_session,
+)
+
+__all__ = [
+    "FREQUENT_QUERIES",
+    "query_vocabulary",
+    "TypoInjector",
+    "Typo",
+    "SimulatedUser",
+    "UserAction",
+    "sites_edit_session",
+    "gmail_compose_session",
+    "portal_authenticate_session",
+    "docs_edit_session",
+    "search_session",
+]

@@ -1,0 +1,119 @@
+"""Random-but-plausible user sessions (fuzzing the record/replay stack).
+
+A :class:`RandomSessionGenerator` drives a tab like an erratic but
+realistic user: it looks at the rendered page, picks an interactive
+element (a link, form control, contenteditable region, something with a
+click handler), and clicks / types / drags with random think times. All
+randomness is seeded, so a fuzzed session is reproducible — which makes
+it a strong end-to-end property: *any* recordable session, however
+chaotic, must replay completely.
+"""
+
+from repro.util.rng import SeededRandom
+
+#: Words the fuzzer types (kept lowercase: no Shift combining surprises).
+_WORDS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+          "golf", "hotel", "india", "juliet"]
+
+
+class RandomSessionGenerator:
+    """Performs random valid actions against a live tab."""
+
+    def __init__(self, tab, rng=None, think_time_ms=50.0):
+        self.tab = tab
+        self.rng = rng if rng is not None else SeededRandom(0)
+        self.think_time_ms = think_time_ms
+        self.actions_performed = []
+
+    # -- element discovery --------------------------------------------------
+
+    def _interactive_elements(self):
+        """Visible elements a user could plausibly interact with."""
+        engine = self.tab.engine
+        candidates = []
+        for element in engine.document.all_elements():
+            if engine.layout.box_for(element) is None:
+                continue
+            if self._interaction_kinds(element):
+                candidates.append(element)
+        return candidates
+
+    @staticmethod
+    def _interaction_kinds(element):
+        kinds = []
+        tag = element.tag
+        if tag == "a" and element.has_attribute("href"):
+            kinds.append("click")
+        elif tag == "input":
+            input_type = (element.get_attribute("type") or "text").lower()
+            if input_type in ("submit", "button", "checkbox", "radio"):
+                kinds.append("click")
+            else:
+                kinds.extend(["click", "type"])
+        elif tag in ("button", "select", "textarea"):
+            kinds.append("click")
+            if tag == "textarea":
+                kinds.append("type")
+        elif element.is_content_editable:
+            kinds.extend(["click", "type"])
+        elif element.has_listener("click"):
+            kinds.append("click")
+        if element.has_listener("dblclick"):
+            kinds.append("doubleclick")
+        if element.has_listener("drag") or "widget" in element.classes:
+            kinds.append("drag")
+        return kinds
+
+    # -- acting ------------------------------------------------------------
+
+    def perform_one_action(self):
+        """One random action; returns its description, or None if the
+        page offers nothing to interact with."""
+        candidates = self._interactive_elements()
+        if not candidates:
+            return None
+        element = self.rng.choice(candidates)
+        kind = self.rng.choice(self._interaction_kinds(element))
+        description = (kind, element.tag)
+
+        if kind == "click":
+            self.tab.click_element(element)
+        elif kind == "doubleclick":
+            self.tab.double_click_element(element)
+        elif kind == "drag":
+            self.tab.drag_element(element,
+                                  self.rng.randint(-30, 30),
+                                  self.rng.randint(-20, 20))
+        elif kind == "type":
+            focused = self.tab.engine.focused_element
+            if focused is None or (focused is not element
+                                   and not element.is_content_editable):
+                self.tab.click_element(element)
+            word = self.rng.choice(_WORDS)
+            # Whole milliseconds only: recorded elapsed times are integer
+            # ms, and fractional waits would make replay drift.
+            self.tab.type_text(word,
+                               think_time_ms=int(self.think_time_ms // 4))
+        self.tab.wait(int(self.rng.gauss_positive(self.think_time_ms,
+                                                  self.think_time_ms / 3,
+                                                  minimum=5.0)))
+        self.actions_performed.append(description)
+        return description
+
+    def run(self, action_count):
+        """Perform up to ``action_count`` actions; returns those done."""
+        for _ in range(action_count):
+            if self.perform_one_action() is None:
+                break
+        self.tab.wait_until_idle()
+        return self.actions_performed
+
+
+def fuzz_session(browser, start_url, action_count, seed=0,
+                 think_time_ms=50.0):
+    """Open a tab, run a fuzzed session, return the generator."""
+    tab = browser.new_tab(start_url)
+    generator = RandomSessionGenerator(tab, rng=SeededRandom(seed),
+                                       think_time_ms=think_time_ms)
+    generator.run(action_count)
+    return generator

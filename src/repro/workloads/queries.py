@@ -1,0 +1,236 @@
+"""The 186 frequent search queries of Table I.
+
+The paper chose "186 frequent queries, from New York Times's top search
+keywords and Google Trends's list of top searches" (2010/2011 era). The
+original list is not published, so this is a synthetic equivalent: 186
+realistic high-frequency queries of the same era and flavor — news
+topics, celebrities, products, navigational queries, and how-to
+searches. What matters for the experiment is the *workload shape*:
+multi-word, natural-language queries over a common vocabulary that a
+spell checker can model.
+"""
+
+FREQUENT_QUERIES = [
+    # navigational / portal
+    "facebook login",
+    "youtube videos",
+    "gmail sign in",
+    "yahoo mail",
+    "google maps",
+    "craigslist new york",
+    "ebay auctions",
+    "amazon books",
+    "twitter search",
+    "myspace music",
+    "wikipedia english",
+    "netflix movies",
+    "hotmail inbox",
+    "aol mail",
+    "bing images",
+    "pandora radio",
+    "linkedin jobs",
+    "paypal account",
+    "bank of america online",
+    "chase online banking",
+    # news / events (2010-2011)
+    "world cup 2010",
+    "world cup schedule",
+    "olympics vancouver",
+    "haiti earthquake relief",
+    "chile earthquake news",
+    "gulf oil spill",
+    "bp oil spill update",
+    "iceland volcano ash",
+    "royal wedding date",
+    "elections results",
+    "health care reform bill",
+    "stock market today",
+    "unemployment benefits extension",
+    "swine flu symptoms",
+    "h1n1 vaccine safety",
+    "hurricane season forecast",
+    "chilean miners rescue",
+    "toyota recall list",
+    "census jobs",
+    "tax refund status",
+    # celebrities / entertainment
+    "justin bieber songs",
+    "lady gaga video",
+    "michael jackson tribute",
+    "tiger woods apology",
+    "lindsay lohan news",
+    "miley cyrus concert",
+    "taylor swift album",
+    "kanye west twitter",
+    "britney spears tour",
+    "sandra bullock movies",
+    "johnny depp films",
+    "angelina jolie news",
+    "brad pitt interview",
+    "jennifer aniston hair",
+    "kim kardashian photos",
+    "oprah winfrey show",
+    "ellen degeneres tickets",
+    "american idol winner",
+    "dancing with the stars cast",
+    "glee episodes online",
+    "lost finale explained",
+    "avatar movie review",
+    "twilight eclipse trailer",
+    "iron man 2 release",
+    "toy story 3 showtimes",
+    "inception plot explained",
+    "harry potter premiere",
+    "shrek forever after",
+    "alice in wonderland review",
+    "grammy awards winners",
+    # sports
+    "super bowl score",
+    "nba playoffs schedule",
+    "nfl draft picks",
+    "march madness bracket",
+    "wimbledon results",
+    "tour de france standings",
+    "nascar race results",
+    "kentucky derby winner",
+    "lebron james decision",
+    "kobe bryant stats",
+    "new york yankees tickets",
+    "boston red sox roster",
+    "manchester united score",
+    "barcelona vs real madrid",
+    "fifa rankings",
+    # products / tech
+    "iphone 4 review",
+    "ipad price comparison",
+    "android phones 2010",
+    "blackberry torch specs",
+    "kindle vs nook",
+    "windows 7 upgrade",
+    "internet explorer 9 download",
+    "firefox latest version",
+    "google chrome download",
+    "microsoft office 2010 trial",
+    "antivirus software free",
+    "laptop deals black friday",
+    "digital camera reviews",
+    "flat screen tv sale",
+    "xbox 360 kinect",
+    "playstation move games",
+    "nintendo wii bundle",
+    "gps navigation best",
+    "bluetooth headset reviews",
+    "wireless router setup",
+    # weather / local
+    "weather forecast",
+    "weather new york",
+    "weather chicago",
+    "weather los angeles",
+    "snow storm warning",
+    "traffic report",
+    "gas prices near me",
+    "movie times tonight",
+    "restaurants open late",
+    "pizza delivery",
+    # health
+    "weight loss tips",
+    "diet plans that work",
+    "symptoms of diabetes",
+    "high blood pressure diet",
+    "cold remedies natural",
+    "allergy medicine",
+    "back pain exercises",
+    "vitamin d deficiency",
+    "calories in banana",
+    "how many calories a day",
+    # finance / shopping
+    "mortgage rates today",
+    "credit score free",
+    "student loans consolidation",
+    "cheap flights",
+    "hotel deals vegas",
+    "car insurance quotes",
+    "used cars for sale",
+    "apartments for rent",
+    "jobs hiring now",
+    "resume templates free",
+    "coupons printable",
+    "gold price per ounce",
+    "currency converter",
+    "savings account rates",
+    "retirement calculator",
+    # how-to / reference
+    "how to tie a tie",
+    "how to lose weight fast",
+    "how to make pancakes",
+    "how to write a resume",
+    "how to download music",
+    "how to take a screenshot",
+    "how to boil an egg",
+    "how to get rid of ants",
+    "how to make money online",
+    "how to learn spanish",
+    "what time is it in london",
+    "what is my ip address",
+    "when is easter this year",
+    "when does summer start",
+    "why is the sky blue",
+    "dictionary definition",
+    "thesaurus synonyms",
+    "spanish to english translation",
+    "french translation online",
+    "periodic table of elements",
+    # recipes / lifestyle
+    "chicken recipes easy",
+    "chocolate chip cookie recipe",
+    "banana bread recipe",
+    "slow cooker recipes",
+    "vegetarian dinner ideas",
+    "wedding dresses 2010",
+    "hairstyles for long hair",
+    "tattoo designs small",
+    "baby names popular",
+    "dog training tips",
+    # travel / places
+    "new york city attractions",
+    "las vegas shows",
+    "disney world tickets",
+    "grand canyon tours",
+    "paris travel guide",
+    "london underground map",
+    "rome italy hotels",
+    "hawaii vacation packages",
+    "mexico beach resorts",
+    "road trip planner",
+    # misc utilities
+    "zip code lookup",
+    "phone number reverse lookup",
+    "driving directions",
+    "unit conversion",
+    "calendar 2011",
+    "time zone converter",
+]
+
+if len(FREQUENT_QUERIES) != 186:
+    raise AssertionError(
+        "query corpus must contain exactly 186 queries, has %d"
+        % len(FREQUENT_QUERIES)
+    )
+
+
+def query_vocabulary():
+    """All distinct words appearing in the corpus (the engines'
+    dictionary seed)."""
+    words = set()
+    for query in FREQUENT_QUERIES:
+        words.update(query.split())
+    return sorted(words)
+
+
+def word_frequencies():
+    """Word -> number of corpus queries containing it (language model)."""
+    frequencies = {}
+    for query in FREQUENT_QUERIES:
+        for word in query.split():
+            frequencies[word] = frequencies.get(word, 0) + 1
+    return frequencies

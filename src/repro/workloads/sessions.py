@@ -1,0 +1,233 @@
+"""Scripted user sessions and the ground-truth action log.
+
+A :class:`SimulatedUser` drives a tab the way a human would — clicks,
+double clicks, keystrokes, drags, think time — and logs every action it
+performs. That log is the ground truth the recording-fidelity experiment
+(Table II) scores recorders against: a recorder is Complete only if it
+captured every logged action.
+
+The module also provides the paper's four Table II scenarios plus the
+search-engine session used for Table I.
+"""
+
+from repro.baselines.fidelity import (
+    ACTION_CLICK,
+    ACTION_DOUBLECLICK,
+    ACTION_DRAG,
+    ACTION_KEY,
+)
+
+
+class UserAction:
+    """Ground truth for one user action.
+
+    ``is_focus_click`` marks clicks whose only purpose is placing the
+    caret in a text control — Selenese ``type`` commands subsume those,
+    so the fidelity scorer credits them to a recorded ``type``.
+    """
+
+    def __init__(self, kind, target_tag="", into_value_control=False, key="",
+                 is_focus_click=False):
+        self.kind = kind
+        self.target_tag = target_tag
+        self.into_value_control = into_value_control
+        self.key = key
+        self.is_focus_click = is_focus_click
+
+    def __repr__(self):
+        return "UserAction(%s, tag=%s, key=%r)" % (
+            self.kind, self.target_tag, self.key,
+        )
+
+
+class SimulatedUser:
+    """Drives one tab and logs its own actions."""
+
+    def __init__(self, tab, think_time_ms=120.0, rng=None):
+        self.tab = tab
+        self.think_time_ms = think_time_ms
+        self.rng = rng
+        self.actions = []
+
+    # -- timing ------------------------------------------------------------
+
+    def wait(self, duration_ms):
+        """Explicitly wait (e.g. for the page to become ready)."""
+        self.tab.wait(duration_ms)
+
+    def think(self):
+        """Natural pause between actions."""
+        if self.rng is not None:
+            self.tab.wait(self.rng.gauss_positive(self.think_time_ms,
+                                                  self.think_time_ms / 4,
+                                                  minimum=10.0))
+        else:
+            self.tab.wait(self.think_time_ms)
+
+    # -- actions ------------------------------------------------------------
+
+    def click(self, xpath):
+        element = self.tab.find(xpath)
+        is_focus_click = (
+            element.tag == "textarea"
+            or (element.tag == "input"
+                and (element.get_attribute("type") or "text").lower()
+                in ("text", "password", "email", "search"))
+        )
+        self.actions.append(
+            UserAction(ACTION_CLICK, element.tag, is_focus_click=is_focus_click)
+        )
+        self.tab.click_element(element)
+        self.think()
+        return element
+
+    def double_click(self, xpath):
+        element = self.tab.find(xpath)
+        self.actions.append(UserAction(ACTION_DOUBLECLICK, element.tag))
+        self.tab.double_click_element(element)
+        self.think()
+        return element
+
+    def drag(self, xpath, dx, dy):
+        element = self.tab.find(xpath)
+        self.actions.append(UserAction(ACTION_DRAG, element.tag))
+        self.tab.drag_element(element, dx, dy)
+        self.think()
+        return element
+
+    def type_text(self, text, per_key_ms=None):
+        """Type into whatever currently has focus."""
+        delay = per_key_ms if per_key_ms is not None else self.think_time_ms / 4
+        for key in text:
+            self._log_key(key)
+            self.tab.type_key(key)
+            self.tab.wait(delay)
+
+    def press(self, key):
+        """Press a named key (Enter, Backspace, Control, ...)."""
+        self._log_key(key)
+        self.tab.type_key(key)
+        self.think()
+
+    def _log_key(self, key):
+        focused = self.tab.engine.focused_element
+        tag = focused.tag if focused is not None else "body"
+        into_value = focused is not None and focused.supports_value()
+        self.actions.append(
+            UserAction(ACTION_KEY, tag, into_value_control=into_value, key=key)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Table II scenarios (one per row) and the Table I search session.
+# ---------------------------------------------------------------------------
+
+SITES_URL = "http://sites.example.com"
+GMAIL_URL = "http://mail.example.com"
+PORTAL_URL = "http://portal.example.com"
+DOCS_URL = "http://docs.example.com"
+
+
+def sites_edit_session(browser, text="Hello world!", page="home",
+                       wait_for_editor_ms=800.0, think_time_ms=120.0):
+    """Edit a Google Sites page: the paper's Figure-4 interaction.
+
+    ``wait_for_editor_ms`` models the patient user; WebErr's timing
+    injection replays the same trace with no waits.
+    """
+    tab = browser.new_tab("%s/edit/%s" % (SITES_URL, page))
+    user = SimulatedUser(tab, think_time_ms=think_time_ms)
+    user.wait(wait_for_editor_ms)
+    user.click('//div/span[@id="start"]')
+    user.type_text(text)
+    user.click('//td/div[text()="Save"]')
+    tab.wait_until_idle()
+    return user
+
+
+def gmail_compose_session(browser, to="bob@example.com", subject="Hello",
+                          body="Hi Bob, lunch tomorrow?",
+                          think_time_ms=120.0):
+    """Compose and send an email (contenteditable body)."""
+    tab = browser.new_tab("%s/" % GMAIL_URL)
+    user = SimulatedUser(tab, think_time_ms=think_time_ms)
+    user.click('//a[text()="Compose"]')
+    user.click('//input[@name="to"]')
+    user.type_text(to)
+    user.click('//input[@name="subject"]')
+    user.type_text(subject)
+    user.click('//div[contains(@class, "editable")]')
+    user.type_text(body)
+    user.click('//div[text()="Send"]')
+    tab.wait_until_idle()
+    return user
+
+
+def portal_authenticate_session(browser, login="jane", password="s3cret",
+                                think_time_ms=120.0):
+    """Sign in to the portal (classic form interaction)."""
+    tab = browser.new_tab("%s/" % PORTAL_URL)
+    user = SimulatedUser(tab, think_time_ms=think_time_ms)
+    user.click('//input[@name="login"]')
+    user.type_text(login)
+    user.click('//input[@name="passwd"]')
+    user.type_text(password)
+    user.click('//input[@type="submit"]')
+    tab.wait_until_idle()
+    return user
+
+
+def docs_edit_session(browser, sheet="budget", think_time_ms=120.0):
+    """Edit a spreadsheet: double clicks, typing, drags."""
+    tab = browser.new_tab("%s/sheet/%s" % (DOCS_URL, sheet))
+    user = SimulatedUser(tab, think_time_ms=think_time_ms)
+    user.double_click('//div[@id="cell_2_0"]')
+    user.type_text("Travel")
+    user.double_click('//div[@id="cell_2_1"]')
+    user.type_text("300")
+    user.drag('//div[@id="cell_0_0"]', 40, 20)
+    user.drag('//div[@id="chart"]', 30, 45)
+    user.click('//div[text()="Save"]')
+    tab.wait_until_idle()
+    return user
+
+
+def dashboard_session(browser, note="check the charts", think_time_ms=100.0):
+    """Touch all three dashboard widgets: iframe click, notes, drag."""
+    tab = browser.new_tab("http://dashboard.example.com/")
+    user = SimulatedUser(tab, think_time_ms=think_time_ms)
+
+    # Click Refresh inside the news iframe (a src iframe: child engine).
+    iframe = tab.find('//iframe[@id="news"]')
+    child = tab.engine.frame_for(iframe)
+    button = child.document.get_element_by_id("refresh")
+    outer = tab.engine.layout.box_for(iframe)
+    inner = child.layout.click_point(button)
+    user.actions.append(UserAction(ACTION_CLICK, "button"))
+    tab.click(int(outer.rect.x + inner[0]), int(outer.rect.y + inner[1]))
+    user.think()
+
+    # Type a note into the src-less iframe's pad (parent-document DOM).
+    user.click('//div[@id="pad"]')
+    user.type_text(note)
+    user.click('//div[text()="Save note"]')
+
+    # Drag the chart widget.
+    user.drag('//div[@id="chart"]', 18, 9)
+    tab.wait_until_idle()
+    return user
+
+
+def search_session(browser, engine_url, query, think_time_ms=60.0,
+                   submit_with_enter=False):
+    """Issue one query against a search engine; returns (user, tab)."""
+    tab = browser.new_tab("%s/" % engine_url.rstrip("/"))
+    user = SimulatedUser(tab, think_time_ms=think_time_ms)
+    user.click('//input[@name="q"]')
+    user.type_text(query)
+    if submit_with_enter:
+        user.press("Enter")
+    else:
+        user.click('//input[@type="submit"]')
+    tab.wait_until_idle()
+    return user, tab

@@ -1,0 +1,113 @@
+"""Human-typo model.
+
+WebErr substitutes correct keystrokes with erroneous ones to simulate
+"one of the most common user errors, typos in search queries" (paper,
+Section V-C). The injector produces the classic single-edit typo
+classes observed in human typing studies:
+
+- **substitution** of an adjacent key on a QWERTY keyboard,
+- **transposition** of two neighbouring characters,
+- **deletion** of a character,
+- **duplication** of a character,
+- **insertion** of an adjacent key.
+
+All randomness comes from a :class:`~repro.util.rng.SeededRandom`, so a
+given seed always yields the same 186 typo'd queries.
+"""
+
+#: QWERTY adjacency (letters only; a fair model of fat-finger slips).
+QWERTY_NEIGHBORS = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg",
+    "y": "tuh", "u": "yij", "i": "uok", "o": "ipl", "p": "ol",
+    "a": "qsz", "s": "awdx", "d": "sefc", "f": "drgv", "g": "fthb",
+    "h": "gyjn", "j": "hukm", "k": "jil", "l": "kop",
+    "z": "asx", "x": "zsdc", "c": "xdfv", "v": "cfgb", "b": "vghn",
+    "n": "bhjm", "m": "njk",
+}
+
+KINDS = ("substitution", "transposition", "deletion", "duplication",
+         "insertion")
+
+
+class Typo:
+    """One injected typo: where it went in and what came out."""
+
+    def __init__(self, original, corrupted, kind, word_index, char_index):
+        self.original = original
+        self.corrupted = corrupted
+        self.kind = kind
+        self.word_index = word_index
+        self.char_index = char_index
+
+    def __repr__(self):
+        return "Typo(%r -> %r, %s)" % (self.original, self.corrupted, self.kind)
+
+
+class TypoInjector:
+    """Injects one realistic typo into a query string."""
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def inject(self, query):
+        """Return a :class:`Typo` for ``query``.
+
+        The typo lands in a random alphabetic word of length >= 3 (short
+        words and numbers are rarely mistyped in a detectable way).
+        Guaranteed to change the string.
+        """
+        words = query.split()
+        candidates = [
+            (index, word) for index, word in enumerate(words)
+            if len(word) >= 3 and word.isalpha()
+        ]
+        if not candidates:
+            candidates = [(index, word) for index, word in enumerate(words)]
+        word_index, word = self.rng.choice(candidates)
+
+        for _ in range(20):
+            kind = self.rng.choice(KINDS)
+            corrupted_word, char_index = self._corrupt(word, kind)
+            if corrupted_word != word:
+                corrupted_words = list(words)
+                corrupted_words[word_index] = corrupted_word
+                return Typo(query, " ".join(corrupted_words), kind,
+                            word_index, char_index)
+        # Degenerate word (e.g. "aa" with unlucky draws): force deletion.
+        corrupted_words = list(words)
+        corrupted_words[word_index] = word[1:] or "x"
+        return Typo(query, " ".join(corrupted_words), "deletion", word_index, 0)
+
+    def _corrupt(self, word, kind):
+        rng = self.rng
+        position = rng.randint(0, len(word) - 1)
+        char = word[position].lower()
+        if kind == "substitution":
+            neighbors = QWERTY_NEIGHBORS.get(char)
+            if not neighbors:
+                return word, position
+            replacement = rng.choice(neighbors)
+            return word[:position] + replacement + word[position + 1:], position
+        if kind == "transposition":
+            if len(word) < 2:
+                return word, position
+            position = min(position, len(word) - 2)
+            return (word[:position] + word[position + 1] + word[position]
+                    + word[position + 2:], position)
+        if kind == "deletion":
+            if len(word) < 2:
+                return word, position
+            return word[:position] + word[position + 1:], position
+        if kind == "duplication":
+            return word[:position] + char + word[position:], position
+        if kind == "insertion":
+            neighbors = QWERTY_NEIGHBORS.get(char)
+            if not neighbors:
+                return word, position
+            extra = rng.choice(neighbors)
+            return word[:position] + extra + word[position:], position
+        raise ValueError("unknown typo kind %r" % kind)
+
+    def inject_all(self, queries):
+        """One typo per query; returns a list of :class:`Typo`."""
+        return [self.inject(query) for query in queries]

@@ -1,0 +1,38 @@
+"""XPath subset engine.
+
+WaRR Commands identify their target elements by XPath expressions
+(paper, Section IV-B). This package implements the subset those
+expressions need — ``/`` and ``//`` axes, name tests, attribute/text/
+positional predicates — plus the *generator* that produces a paper-style
+expression for a DOM element, and helpers the relaxation heuristics use
+to rewrite expressions.
+"""
+
+from repro.xpath.ast import (
+    Path,
+    Step,
+    AttributeEquals,
+    AttributeExists,
+    TextEquals,
+    ContainsPredicate,
+    PositionPredicate,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.evaluator import evaluate, find_all, find_first
+from repro.xpath.generator import xpath_for_element, absolute_xpath
+
+__all__ = [
+    "Path",
+    "Step",
+    "AttributeEquals",
+    "AttributeExists",
+    "TextEquals",
+    "ContainsPredicate",
+    "PositionPredicate",
+    "parse_xpath",
+    "evaluate",
+    "find_all",
+    "find_first",
+    "xpath_for_element",
+    "absolute_xpath",
+]

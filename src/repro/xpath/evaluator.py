@@ -1,0 +1,116 @@
+"""XPath evaluation over the DOM.
+
+Positional predicates follow real XPath semantics for the child axis:
+``/div[2]`` means "the second div *among its siblings*", so candidates are
+grouped by parent before positions are applied. For the descendant axis
+(``//div[2]``) we use the same per-parent grouping, which matches the
+``descendant-or-self::node()/child::div[2]`` expansion browsers use.
+"""
+
+from repro.dom.node import Document, Element
+from repro.util.errors import ElementNotFoundError
+from repro.xpath.ast import Step
+from repro.xpath.parser import parse_xpath
+
+
+def _name_matches(element, name):
+    return name == "*" or element.tag == name
+
+
+def _child_candidates(context, name):
+    """Matching children of ``context``, as one positional group."""
+    return [
+        child for child in context.children
+        if isinstance(child, Element) and _name_matches(child, name)
+    ]
+
+
+def _descendant_groups(context, name):
+    """Matching descendants of ``context`` grouped by parent.
+
+    Each group is a positional context, mirroring the child-axis
+    expansion of ``//``. Groups are yielded in document order of parents;
+    ``context`` itself counts as a potential parent.
+    """
+    parents = [context]
+    parents.extend(
+        node for node in context.descendants() if isinstance(node, Element)
+    )
+    for parent in parents:
+        group = _child_candidates(parent, name)
+        if group:
+            yield group
+
+
+def _apply_predicates(group, predicates):
+    """Filter one positional group through predicates, in order."""
+    current = group
+    for predicate in predicates:
+        size = len(current)
+        current = [
+            element
+            for position, element in enumerate(current, start=1)
+            if predicate.matches(element, position, size)
+        ]
+        if not current:
+            break
+    return current
+
+
+def evaluate(expression, context):
+    """Evaluate ``expression`` against a Document or Element.
+
+    Returns matching elements in document order, without duplicates.
+    """
+    path = parse_xpath(expression)
+    if not isinstance(context, (Document, Element)):
+        raise TypeError("XPath context must be a Document or Element")
+
+    current_set = [context]
+    for step in path.steps:
+        next_set = []
+        seen = set()
+        for node in current_set:
+            if step.axis == Step.CHILD:
+                groups = [_child_candidates(node, step.name)]
+            else:
+                groups = _descendant_groups(node, step.name)
+            for group in groups:
+                for element in _apply_predicates(group, step.predicates):
+                    if id(element) not in seen:
+                        seen.add(id(element))
+                        next_set.append(element)
+        current_set = next_set
+        if not current_set:
+            return []
+    # Re-sort into document order (grouping may have perturbed it).
+    return _document_order(context, current_set)
+
+
+def _document_order(context, elements):
+    if len(elements) <= 1:
+        return elements
+    order = {}
+    root = context if isinstance(context, Document) else context.root()
+    for index, node in enumerate(root.descendants()):
+        order[id(node)] = index
+    return sorted(elements, key=lambda el: order.get(id(el), -1))
+
+
+def find_all(expression, context):
+    """Alias of :func:`evaluate` reading as a query API."""
+    return evaluate(expression, context)
+
+
+def find_first(expression, context):
+    """First match in document order.
+
+    Raises :class:`ElementNotFoundError` when nothing matches — the
+    situation that triggers WaRR's XPath relaxation during replay.
+    """
+    matches = evaluate(expression, context)
+    if not matches:
+        raise ElementNotFoundError(
+            "no element matches %r" % str(parse_xpath(expression))
+        )
+    return matches[0]

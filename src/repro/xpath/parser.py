@@ -1,0 +1,157 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar::
+
+    path      := step+
+    step      := ('/' | '//') nametest predicate*
+    nametest  := NAME | '*'
+    predicate := '[' predexpr ']'
+    predexpr  := '@' NAME '=' STRING
+               | '@' NAME
+               | 'text' '(' ')' '=' STRING
+               | 'contains' '(' target ',' STRING ')'
+               | 'position' '(' ')' '=' INTEGER
+               | 'last' '(' ')'
+               | INTEGER
+    target    := '@' NAME | 'text' '(' ')'
+
+Relative expressions (no leading slash) are treated as ``//``-anchored,
+which matches how WaRR traces always locate elements from the document.
+"""
+
+from repro.util.errors import XPathSyntaxError
+from repro.xpath import lexer
+from repro.xpath.ast import (
+    Path,
+    Step,
+    AttributeEquals,
+    AttributeExists,
+    TextEquals,
+    ContainsPredicate,
+    PositionPredicate,
+)
+
+
+class _Parser:
+    def __init__(self, expression):
+        self.expression = expression
+        self.tokens = lexer.tokenize(expression)
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind):
+        token = self.advance()
+        if token.kind != kind:
+            raise XPathSyntaxError(
+                "expected %s but found %r at position %d in %r"
+                % (kind, token.value, token.pos, self.expression)
+            )
+        return token
+
+    def parse(self):
+        steps = []
+        token = self.peek()
+        if token.kind == lexer.END:
+            raise XPathSyntaxError("empty XPath expression")
+        # Relative paths are //-anchored.
+        if token.kind not in (lexer.SLASH, lexer.DSLASH):
+            steps.append(self._parse_step(Step.DESCENDANT))
+        while self.peek().kind in (lexer.SLASH, lexer.DSLASH):
+            sep = self.advance()
+            axis = Step.DESCENDANT if sep.kind == lexer.DSLASH else Step.CHILD
+            steps.append(self._parse_step(axis))
+        self.expect(lexer.END)
+        return Path(steps)
+
+    def _parse_step(self, axis):
+        token = self.advance()
+        if token.kind == lexer.STAR:
+            name = "*"
+        elif token.kind == lexer.NAME:
+            name = token.value.lower()
+        else:
+            raise XPathSyntaxError(
+                "expected element name or * at position %d in %r"
+                % (token.pos, self.expression)
+            )
+        predicates = []
+        while self.peek().kind == lexer.LBRACKET:
+            self.advance()
+            predicates.append(self._parse_predicate())
+            self.expect(lexer.RBRACKET)
+        return Step(axis, name, predicates)
+
+    def _parse_predicate(self):
+        token = self.peek()
+        if token.kind == lexer.INTEGER:
+            self.advance()
+            if token.value < 1:
+                raise XPathSyntaxError("positions are 1-based, got %d" % token.value)
+            return PositionPredicate(token.value)
+        if token.kind == lexer.AT:
+            self.advance()
+            name = self.expect(lexer.NAME).value.lower()
+            if self.peek().kind == lexer.EQ:
+                self.advance()
+                value = self.expect(lexer.STRING).value
+                return AttributeEquals(name, value)
+            return AttributeExists(name)
+        if token.kind == lexer.NAME:
+            func = self.advance().value.lower()
+            if func == "text":
+                self._expect_parens()
+                self.expect(lexer.EQ)
+                value = self.expect(lexer.STRING).value
+                return TextEquals(value)
+            if func == "position":
+                self._expect_parens()
+                self.expect(lexer.EQ)
+                index = self.expect(lexer.INTEGER).value
+                return PositionPredicate(index)
+            if func == "last":
+                self._expect_parens()
+                return PositionPredicate(PositionPredicate.LAST)
+            if func == "contains":
+                self.expect(lexer.LPAREN)
+                target = self._parse_contains_target()
+                self.expect(lexer.COMMA)
+                value = self.expect(lexer.STRING).value
+                self.expect(lexer.RPAREN)
+                return ContainsPredicate(target, value)
+            raise XPathSyntaxError(
+                "unsupported function %r in %r" % (func, self.expression)
+            )
+        raise XPathSyntaxError(
+            "cannot parse predicate at position %d in %r"
+            % (token.pos, self.expression)
+        )
+
+    def _parse_contains_target(self):
+        token = self.advance()
+        if token.kind == lexer.AT:
+            name = self.expect(lexer.NAME).value.lower()
+            return "@%s" % name
+        if token.kind == lexer.NAME and token.value.lower() == "text":
+            self._expect_parens()
+            return "text()"
+        raise XPathSyntaxError(
+            "contains() target must be @attr or text() in %r" % self.expression
+        )
+
+    def _expect_parens(self):
+        self.expect(lexer.LPAREN)
+        self.expect(lexer.RPAREN)
+
+
+def parse_xpath(expression):
+    """Parse ``expression`` into a :class:`~repro.xpath.ast.Path`."""
+    if isinstance(expression, Path):
+        return expression
+    return _Parser(expression).parse()

@@ -1,0 +1,78 @@
+"""Dashboard app: widgets across iframes."""
+
+import pytest
+
+from repro.apps.dashboard import DashboardApplication
+from repro.apps.framework import make_browser
+
+BASE = "http://dashboard.example.com"
+
+
+@pytest.fixture
+def env():
+    return make_browser([DashboardApplication])
+
+
+def click_in_news(tab, element_id):
+    iframe = tab.find('//iframe[@id="news"]')
+    child = tab.engine.frame_for(iframe)
+    target = child.document.get_element_by_id(element_id)
+    outer = tab.engine.layout.box_for(iframe)
+    inner = child.layout.click_point(target)
+    tab.click(int(outer.rect.x + inner[0]), int(outer.rect.y + inner[1]))
+    return child
+
+
+def test_main_page_loads_both_iframes(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/")
+    news = tab.find('//iframe[@id="news"]')
+    notes = tab.find('//iframe[@id="notes"]')
+    assert tab.engine.frame_for(news) is not None
+    assert tab.engine.frame_for(notes) is None  # srcless: no child engine
+
+
+def test_news_widget_shows_headlines(env):
+    browser, (app,) = env
+    tab = browser.new_tab(BASE + "/")
+    child = tab.engine.frame_for(tab.find('//iframe[@id="news"]'))
+    text = child.document.text_content
+    for headline in app.headlines:
+        assert headline in text
+
+
+def test_refresh_button_fetches_new_headline(env):
+    browser, (app,) = env
+    tab = browser.new_tab(BASE + "/")
+    child = click_in_news(tab, "refresh")
+    tab.wait_until_idle()
+    assert app.refresh_count == 1
+    assert child.window.env.refreshes == 1
+    assert "all widgets nominal" in child.document.text_content
+
+
+def test_notes_pad_lives_in_parent_document(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/")
+    pad = tab.find('//div[@id="pad"]')  # found in the MAIN document
+    tab.click_element(pad)
+    tab.type_text("buy milk")
+    assert pad.text_content == "buy milk"
+
+
+def test_save_note_round_trip(env):
+    browser, (app,) = env
+    tab = browser.new_tab(BASE + "/")
+    tab.click_element(tab.find('//div[@id="pad"]'))
+    tab.type_text("remember")
+    tab.click_element(tab.find('//div[text()="Save note"]'))
+    tab.wait_until_idle()
+    assert app.saved_notes == ["note=remember"]
+
+
+def test_chart_widget_drags(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/")
+    chart = tab.find('//div[@id="chart"]')
+    tab.drag_element(chart, 18, 9)
+    assert chart.get_attribute("data-offset-x") == "18"

@@ -1,0 +1,112 @@
+"""Google Docs clone: double-click editing, drags, saving."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.docs import DocsApplication
+
+SHEET_URL = "http://docs.example.com/sheet/budget"
+
+
+@pytest.fixture
+def env():
+    return make_browser([DocsApplication])
+
+
+class TestGrid:
+    def test_sheet_renders_initial_cells(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(SHEET_URL)
+        assert tab.find('//div[@id="cell_0_0"]').text_content == "Item"
+        assert tab.find('//div[@id="cell_1_1"]').text_content == "1200"
+
+    def test_unknown_sheet_404(self, env):
+        browser, _ = env
+        tab = browser.new_tab("http://docs.example.com/sheet/ghost")
+        assert "no sheet" in tab.document.text_content
+
+
+class TestEditing:
+    def test_double_click_starts_editing(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        cell = tab.find('//div[@id="cell_2_0"]')
+        tab.double_click_element(cell)
+        assert cell.has_attribute("contenteditable")
+        assert tab.engine.focused_element is cell
+
+    def test_single_click_does_not_start_editing(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        cell = tab.find('//div[@id="cell_2_0"]')
+        tab.click_element(cell)
+        assert not cell.has_attribute("contenteditable")
+
+    def test_typing_after_double_click_fills_cell(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        tab.double_click_element(tab.find('//div[@id="cell_2_0"]'))
+        tab.type_text("Travel")
+        assert tab.find('//div[@id="cell_2_0"]').text_content == "Travel"
+
+    def test_click_elsewhere_commits_edit(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        cell = tab.find('//div[@id="cell_2_0"]')
+        tab.double_click_element(cell)
+        tab.type_text("Travel")
+        tab.click_element(tab.find('//div[@id="cell_0_0"]'))
+        env_vars = tab.engine.window.env
+        assert env_vars.model["cell_2_0"] == "Travel"
+        assert not cell.has_attribute("contenteditable")
+        assert tab.find('//span[@id="sheetstatus"]').text_content == "Edited"
+
+    def test_double_click_new_cell_commits_previous(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        tab.double_click_element(tab.find('//div[@id="cell_2_0"]'))
+        tab.type_text("A")
+        tab.double_click_element(tab.find('//div[@id="cell_2_1"]'))
+        env_vars = tab.engine.window.env
+        assert env_vars.model["cell_2_0"].endswith("A")
+
+
+class TestDrag:
+    def test_cell_drag_selects_not_moves(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        cell = tab.find('//div[@id="cell_0_0"]')
+        tab.drag_element(cell, 40, 20)
+        assert cell.get_attribute("data-selected") == "true"
+        assert cell.get_attribute("data-offset-x") is None  # prevented
+
+    def test_chart_widget_drag_moves(self, env):
+        browser, _ = env
+        tab = browser.new_tab(SHEET_URL)
+        chart = tab.find('//div[@id="chart"]')
+        tab.drag_element(chart, 30, 45)
+        assert chart.get_attribute("data-offset-x") == "30"
+        assert chart.get_attribute("data-offset-y") == "45"
+
+
+class TestSave:
+    def test_save_pushes_model_to_server(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(SHEET_URL)
+        tab.double_click_element(tab.find('//div[@id="cell_2_0"]'))
+        tab.type_text("Travel")
+        tab.click_element(tab.find('//div[text()="Save"]'))
+        tab.wait_until_idle()
+        assert app.save_count == 1
+        assert app.sheets["budget"][(2, 0)] == "Travel"
+        assert tab.find('//span[@id="sheetstatus"]').text_content == "Saved"
+
+    def test_save_commits_pending_edit_first(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(SHEET_URL)
+        tab.double_click_element(tab.find('//div[@id="cell_3_2"]'))
+        tab.type_text("99")
+        # Straight to Save without clicking elsewhere.
+        tab.click_element(tab.find('//div[text()="Save"]'))
+        tab.wait_until_idle()
+        assert app.sheets["budget"][(3, 2)] == "99"

@@ -1,0 +1,108 @@
+"""GMail clone: compose flow, id churn, autosave."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.gmail import AUTOSAVE_MS, GmailApplication
+
+BASE = "http://mail.example.com"
+
+
+@pytest.fixture
+def env():
+    return make_browser([GmailApplication])
+
+
+class TestCompose:
+    def test_full_compose_flow(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(BASE + "/")
+        tab.click_element(tab.find('//a[text()="Compose"]'))
+        tab.click_element(tab.find('//input[@name="to"]'))
+        tab.type_text("bob@x.com")
+        tab.click_element(tab.find('//input[@name="subject"]'))
+        tab.type_text("Yo")
+        tab.click_element(tab.find('//div[contains(@class, "editable")]'))
+        tab.type_text("Body text")
+        tab.click_element(tab.find('//div[text()="Send"]'))
+        tab.wait_until_idle()
+        assert app.sent == [{"to": "bob@x.com", "subject": "Yo",
+                             "body": "Body text"}]
+        assert tab.url == BASE + "/sent"
+        assert "has been sent" in tab.find('//p[@id="confirmation"]').text_content
+
+    def test_send_without_recipient_rejected(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(BASE + "/compose")
+        tab.click_element(tab.find('//div[text()="Send"]'))
+        tab.wait_until_idle()
+        assert app.sent == []
+        assert tab.url == BASE + "/compose"  # no navigation on error
+
+
+class TestIdChurn:
+    def test_ids_differ_between_loads(self, env):
+        browser, _ = env
+        tab = browser.new_tab(BASE + "/compose")
+        first_id = tab.find('//input[@name="to"]').id
+        tab.navigate(BASE + "/compose")
+        second_id = tab.find('//input[@name="to"]').id
+        assert first_id != second_id
+
+    def test_names_are_stable(self, env):
+        browser, _ = env
+        tab = browser.new_tab(BASE + "/compose")
+        tab.navigate(BASE + "/compose")
+        assert tab.find('//input[@name="to"]') is not None
+        assert tab.find('//input[@name="subject"]') is not None
+
+    def test_structure_is_stable(self, env):
+        """Ids churn, but //td/div structure persists — what relaxation
+        relies on."""
+        browser, _ = env
+        tab = browser.new_tab(BASE + "/compose")
+        body1 = tab.find('//td/div[contains(@class, "editable")]')
+        tab.navigate(BASE + "/compose")
+        body2 = tab.find('//td/div[contains(@class, "editable")]')
+        assert body1.id != body2.id
+        assert body1.tag == body2.tag == "div"
+
+
+class TestClientScript:
+    def test_keypress_codes_observed(self, env):
+        browser, _ = env
+        tab = browser.new_tab(BASE + "/compose")
+        tab.click_element(tab.find('//div[contains(@class, "editable")]'))
+        tab.type_text("Hi")
+        assert tab.engine.window.env.observed_key_codes == [72, 73]
+
+    def test_autosave_fires_once_after_delay(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(BASE + "/compose")
+        tab.click_element(tab.find('//input[@name="to"]'))
+        tab.type_text("a@b")
+        tab.wait(AUTOSAVE_MS + 100)
+        assert len(app.drafts) == 1
+        assert app.drafts[0]["to"] == "a@b"
+
+    def test_autosave_cancelled_by_navigation(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(BASE + "/compose")
+        tab.navigate(BASE + "/")
+        browser.event_loop.run_until_idle()
+        assert app.drafts == []
+
+
+class TestInbox:
+    def test_inbox_lists_messages(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(BASE + "/")
+        text = tab.document.text_content
+        for message in app.inbox:
+            assert message["subject"] in text
+
+    def test_sent_page_lists_sent_mail(self, env):
+        browser, (app,) = env
+        app.sent.append({"to": "x@y", "subject": "prior", "body": ""})
+        tab = browser.new_tab(BASE + "/sent")
+        assert "prior" in tab.document.text_content

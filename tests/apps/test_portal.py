@@ -1,0 +1,63 @@
+"""Yahoo-style portal: form authentication."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.portal import PortalApplication
+
+BASE = "http://portal.example.com"
+
+
+@pytest.fixture
+def env():
+    return make_browser([PortalApplication])
+
+
+def sign_in(tab, login, password):
+    tab.click_element(tab.find('//input[@name="login"]'))
+    tab.type_text(login)
+    tab.click_element(tab.find('//input[@name="passwd"]'))
+    tab.type_text(password)
+    tab.click_element(tab.find('//input[@type="submit"]'))
+
+
+def test_successful_login_shows_home(env):
+    browser, (app,) = env
+    tab = browser.new_tab(BASE + "/")
+    sign_in(tab, "jane", "s3cret")
+    assert tab.document.title == "Portal - Home"
+    assert "Welcome, jane" in tab.find('//div[@id="greeting"]').text_content
+    assert app.login_attempts == ["jane"]
+
+
+def test_wrong_password_shows_error(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/")
+    sign_in(tab, "jane", "wrong")
+    assert "Invalid id or password" in tab.document.text_content
+    assert tab.document.title == "Portal - Sign in"
+
+
+def test_unknown_user_rejected(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/")
+    sign_in(tab, "mallory", "s3cret")
+    assert "Invalid" in tab.document.text_content
+
+
+def test_login_uses_post(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/")
+    sign_in(tab, "jane", "s3cret")
+    exchange = browser.network.exchange_log[-1]
+    assert exchange.request.method == "POST"
+    assert "passwd=s3cret" in exchange.request.body
+    # Credentials never appear in the URL.
+    assert "s3cret" not in exchange.request.url
+
+
+def test_news_headlines_render(env):
+    browser, _ = env
+    tab = browser.new_tab(BASE + "/home/jane")
+    items = tab.document.get_elements_by_tag("li")
+    assert len(items) == 3

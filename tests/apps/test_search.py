@@ -1,0 +1,140 @@
+"""Search engines: spell checkers and the results UI."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.search import (
+    BingSearchApplication,
+    GoogleSearchApplication,
+    QueryLogSpellChecker,
+    WordSpellChecker,
+    YahooSearchApplication,
+)
+from repro.util.rng import SeededRandom
+from repro.workloads.queries import FREQUENT_QUERIES, query_vocabulary, word_frequencies
+
+
+def make_word_checker(**kwargs):
+    return WordSpellChecker(query_vocabulary(), word_frequencies(), **kwargs)
+
+
+class TestWordSpellChecker:
+    def test_correct_word_untouched(self):
+        checker = make_word_checker()
+        assert checker.correct("weather forecast") == "weather forecast"
+
+    def test_single_substitution_fixed(self):
+        checker = make_word_checker()
+        assert checker.correct("weathet forecast") == "weather forecast"
+
+    def test_transposition_fixed_with_damerau(self):
+        checker = make_word_checker(transpositions=True)
+        assert checker.correct("youtueb videos") == "youtube videos"
+
+    def test_transposition_missed_without_damerau(self):
+        checker = make_word_checker(transpositions=False, max_distance=1)
+        assert checker.correct("youtueb videos") == "youtueb videos"
+
+    def test_short_words_skipped(self):
+        checker = make_word_checker(min_word_length=5)
+        assert checker.correct("mapz") == "mapz"
+
+    def test_unique_requirement_refuses_ties(self):
+        # Construct a tie: dictionary with two equal-distance candidates.
+        checker = WordSpellChecker(["cat", "car"], {"cat": 1, "car": 1},
+                                   require_unique=True)
+        assert checker.correct("caf") == "caf"
+
+    def test_without_unique_requirement_picks_most_frequent(self):
+        checker = WordSpellChecker(["cat", "car"], {"cat": 5, "car": 1})
+        assert checker.correct("caf") == "cat"
+
+    def test_no_candidates_leaves_word(self):
+        checker = make_word_checker()
+        assert checker.correct("zzzzqqq") == "zzzzqqq"
+
+    def test_real_word_error_invisible(self):
+        """A typo that forms another dictionary word is missed — the
+        structural weakness of unigram checkers."""
+        checker = make_word_checker()
+        # 'lost' and 'cost' are both corpus words.
+        assert checker.correct("lost finale") == "lost finale"
+
+
+class TestQueryLogChecker:
+    def test_known_query_untouched(self):
+        checker = QueryLogSpellChecker(FREQUENT_QUERIES)
+        assert checker.correct("world cup 2010") == "world cup 2010"
+
+    def test_near_miss_snapped_to_log(self):
+        checker = QueryLogSpellChecker(FREQUENT_QUERIES)
+        assert checker.correct("worl cup 2010") == "world cup 2010"
+
+    def test_real_word_error_fixed_by_context(self):
+        """The query-log model catches what unigram checkers miss."""
+        checker = QueryLogSpellChecker(FREQUENT_QUERIES)
+        # 'lost' -> 'cost': both real words, but only one matches the log.
+        assert checker.correct("lost finale explained") == "lost finale explained"
+        assert checker.correct("cost finale explained") == "lost finale explained"
+
+    def test_out_of_log_falls_back_to_words(self):
+        checker = QueryLogSpellChecker(FREQUENT_QUERIES)
+        corrected = checker.correct("weathet in paris tomorrow")
+        assert corrected.startswith("weather")
+
+
+class TestSearchUI:
+    @pytest.fixture
+    def google(self):
+        return make_browser([GoogleSearchApplication])
+
+    def test_search_via_form(self, google):
+        browser, (app,) = google
+        tab = browser.new_tab("http://www.google.example/")
+        tab.click_element(tab.find('//input[@name="q"]'))
+        tab.type_text("weather forecast")
+        tab.click_element(tab.find('//input[@type="submit"]'))
+        assert app.queries_received == ["weather forecast"]
+        assert tab.document.get_element_by_id("corrected") is None
+        assert len(tab.document.get_element_by_id("results").children) == 3
+
+    def test_typo_shows_correction_banner(self, google):
+        browser, (app,) = google
+        tab = browser.new_tab(
+            "http://www.google.example/search?q=worl+cup+2010")
+        banner = tab.document.get_element_by_id("corrected")
+        assert banner is not None
+        assert app.correction_shown(tab.document) == "world cup 2010"
+
+    def test_correction_shown_none_without_banner(self, google):
+        browser, (app,) = google
+        tab = browser.new_tab(
+            "http://www.google.example/search?q=weather+forecast")
+        assert app.correction_shown(tab.document) is None
+
+
+class TestEnginePolicies:
+    def test_google_strictly_strongest(self):
+        """Detection ordering must match Table I: Google > Yahoo > Bing."""
+        rng = SeededRandom(42)
+        from repro.workloads.typos import TypoInjector
+
+        typos = TypoInjector(rng).inject_all(FREQUENT_QUERIES[:60])
+        rates = {}
+        for cls in (GoogleSearchApplication, YahooSearchApplication,
+                    BingSearchApplication):
+            app = cls(rng=SeededRandom(0))
+            fixed = sum(1 for typo in typos
+                        if app.checker.correct(typo.corrupted) == typo.original)
+            rates[cls.engine_name] = fixed
+        assert rates["Google"] > rates["Yahoo!"] > rates["Bing"]
+
+    def test_google_host(self):
+        assert GoogleSearchApplication.host == "www.google.example"
+
+    def test_all_engines_serve_the_same_ui(self):
+        for cls in (GoogleSearchApplication, YahooSearchApplication,
+                    BingSearchApplication):
+            browser, (app,) = make_browser([cls])
+            tab = browser.new_tab("http://%s/" % cls.host)
+            assert tab.find('//input[@name="q"]') is not None

@@ -1,0 +1,101 @@
+"""Google Sites clone: editing flow and the timing bug."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import EDITOR_LOAD_MS, SitesApplication
+from repro.util.errors import JSReferenceError
+
+EDIT_URL = "http://sites.example.com/edit/home"
+
+
+@pytest.fixture
+def env():
+    return make_browser([SitesApplication])
+
+
+class TestServerSide:
+    def test_home_lists_pages(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab("http://sites.example.com/")
+        links = tab.document.get_elements_by_tag("a")
+        assert {a.text_content for a in links} == set(app.pages)
+
+    def test_view_page_renders_content(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab("http://sites.example.com/page/home")
+        assert app.pages["home"] in tab.find('//div[@id="view"]').text_content
+
+    def test_unknown_page_404(self, env):
+        browser, _ = env
+        tab = browser.new_tab("http://sites.example.com/page/ghost")
+        assert "no page" in tab.document.text_content
+
+
+class TestPatientEditing:
+    def test_full_edit_flow_saves(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.wait(EDITOR_LOAD_MS + 50)
+        assert tab.find('//span[@id="status"]').text_content == "Ready"
+        tab.click_element(tab.find('//span[@id="start"]'))
+        tab.type_text(" Extra")
+        tab.click_element(tab.find('//td/div[text()="Save"]'))
+        tab.wait_until_idle()
+        assert app.pages["home"].endswith("Extra")
+        assert app.save_count == 1
+        assert tab.url == "http://sites.example.com/page/home"
+        assert not browser.page_errors
+
+    def test_start_click_focuses_content(self, env):
+        browser, _ = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.wait(EDITOR_LOAD_MS + 50)
+        tab.click_element(tab.find('//span[@id="start"]'))
+        assert tab.engine.focused_element is tab.find('//div[@id="content"]')
+
+    def test_keystrokes_tracked_in_editor_state(self, env):
+        browser, _ = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.wait(EDITOR_LOAD_MS + 50)
+        tab.click_element(tab.find('//span[@id="start"]'))
+        tab.type_text("abc")
+        env_vars = tab.engine.window.env
+        assert env_vars.editorState["keystrokes"] == 3
+        assert env_vars.editorState["dirty"] is True
+
+
+class TestImpatientEditing:
+    """The Section V-C bug: interacting before the editor module loads."""
+
+    def test_early_click_raises_reference_error(self, env):
+        browser, _ = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.click_element(tab.find('//span[@id="start"]'))  # no wait
+        assert browser.page_errors
+        assert isinstance(browser.page_errors[0], JSReferenceError)
+        assert "editorState" in str(browser.page_errors[0])
+
+    def test_early_typing_raises_per_keystroke(self, env):
+        browser, _ = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.click_element(tab.find('//div[@id="content"]'))
+        tab.type_text("hi")
+        errors = [e for e in browser.page_errors
+                  if isinstance(e, JSReferenceError)]
+        assert len(errors) == 2
+
+    def test_bug_window_closes_exactly_at_load(self, env):
+        browser, _ = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.wait(EDITOR_LOAD_MS - 1)
+        tab.click_element(tab.find('//span[@id="start"]'))
+        assert browser.page_errors  # still inside the window
+
+    def test_save_too_early_does_not_save(self, env):
+        browser, (app,) = env
+        tab = browser.new_tab(EDIT_URL)
+        tab.click_element(tab.find('//td/div[text()="Save"]'))
+        tab.wait_until_idle()
+        assert app.save_count == 0
+        assert browser.page_errors

@@ -1,0 +1,61 @@
+"""Toy RSA: correctness of the demonstration cipher."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.auser.crypto import KeyPair, ToyRSA
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return ToyRSA.generate(seed=7)
+
+
+def test_generation_is_deterministic():
+    assert ToyRSA.generate(seed=1).modulus == ToyRSA.generate(seed=1).modulus
+
+
+def test_different_seeds_give_different_keys():
+    assert ToyRSA.generate(seed=1).modulus != ToyRSA.generate(seed=2).modulus
+
+
+def test_round_trip(keys):
+    text = "click //div[@id=\"x\"] 1,2 3"
+    ciphertext = ToyRSA.encrypt(text, keys.public)
+    assert ToyRSA.decrypt(ciphertext, keys.private) == text
+
+
+def test_ciphertext_is_not_plaintext(keys):
+    text = "secret"
+    ciphertext = ToyRSA.encrypt(text, keys.public)
+    assert ciphertext != [ord(c) for c in text]
+
+
+def test_unicode_round_trip(keys):
+    text = "héllo wörld ❤"
+    assert ToyRSA.decrypt(ToyRSA.encrypt(text, keys.public),
+                          keys.private) == text
+
+
+def test_wrong_key_garbles(keys):
+    other = ToyRSA.generate(seed=99)
+    ciphertext = ToyRSA.encrypt("attack at dawn", keys.public)
+    try:
+        wrong = ToyRSA.decrypt(ciphertext, other.private)
+        assert wrong != "attack at dawn"
+    except (UnicodeDecodeError, ValueError):
+        pass  # garbled bytes refusing to decode is also failure to read
+
+
+def test_keypair_accessors():
+    pair = KeyPair(91, 5, 29)
+    assert pair.public == (91, 5)
+    assert pair.private == (91, 29)
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_property_round_trip(text):
+    keys = ToyRSA.generate(seed=3)
+    assert ToyRSA.decrypt(ToyRSA.encrypt(text, keys.public),
+                          keys.private) == text

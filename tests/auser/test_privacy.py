@@ -1,0 +1,75 @@
+"""Trace scrubbing."""
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.trace import WarrTrace
+from repro.auser.privacy import REDACTED_KEY, scrub_trace, sensitive_xpaths
+
+
+def login_trace():
+    return WarrTrace(start_url="http://portal/", commands=[
+        ClickCommand('//input[@name="login"]', x=1, y=1, elapsed_ms=10),
+        TypeCommand('//input[@name="login"]', key="j", code=74, elapsed_ms=5),
+        ClickCommand('//input[@name="passwd"]', x=1, y=2, elapsed_ms=10),
+        TypeCommand('//input[@name="passwd"]', key="s", code=83, elapsed_ms=5),
+        TypeCommand('//input[@name="passwd"]', key="3", code=51, elapsed_ms=5),
+        ClickCommand('//input[@type="submit"]', x=1, y=3, elapsed_ms=10),
+    ])
+
+
+def test_sensitive_xpaths_detected():
+    found = sensitive_xpaths(login_trace())
+    assert found == ['//input[@name="passwd"]']
+
+
+def test_extra_markers_extend_detection():
+    found = sensitive_xpaths(login_trace(), extra_markers=("login",))
+    assert '//input[@name="login"]' in found
+
+
+def test_scrub_redacts_only_sensitive_keystrokes():
+    scrubbed = scrub_trace(login_trace())
+    keys = [(c.xpath, c.key) for c in scrubbed
+            if isinstance(c, TypeCommand)]
+    assert keys == [
+        ('//input[@name="login"]', "j"),
+        ('//input[@name="passwd"]', REDACTED_KEY),
+        ('//input[@name="passwd"]', REDACTED_KEY),
+    ]
+    assert scrubbed.redacted_count == 2
+
+
+def test_scrub_preserves_structure_and_timing():
+    original = login_trace()
+    scrubbed = scrub_trace(original)
+    assert len(scrubbed) == len(original)
+    assert [c.elapsed_ms for c in scrubbed] == [c.elapsed_ms for c in original]
+    assert [c.action for c in scrubbed] == [c.action for c in original]
+
+
+def test_scrub_clears_key_codes():
+    scrubbed = scrub_trace(login_trace())
+    password_types = [c for c in scrubbed
+                      if isinstance(c, TypeCommand) and "passwd" in c.xpath]
+    assert all(c.code == 0 for c in password_types)
+
+
+def test_explicit_targets_override_detection():
+    scrubbed = scrub_trace(login_trace(),
+                           xpaths=['//input[@name="login"]'])
+    login_keys = [c.key for c in scrubbed
+                  if isinstance(c, TypeCommand) and "login" in c.xpath]
+    password_keys = [c.key for c in scrubbed
+                     if isinstance(c, TypeCommand) and "passwd" in c.xpath]
+    assert login_keys == [REDACTED_KEY]
+    assert password_keys == ["s", "3"]
+
+
+def test_original_trace_untouched():
+    original = login_trace()
+    scrub_trace(original)
+    assert any(c.key == "s" for c in original
+               if isinstance(c, TypeCommand))
+
+
+def test_label_notes_scrubbing():
+    assert "[scrubbed]" in scrub_trace(login_trace()).label

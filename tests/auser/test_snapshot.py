@@ -1,0 +1,56 @@
+"""Page snapshots: full, region, redacted."""
+
+import pytest
+
+from repro.auser.snapshot import PageSnapshot
+from repro.dom.parser import parse_html
+from repro.util.errors import ElementNotFoundError
+
+HTML = """<html><head><title>Inbox</title></head><body>
+<div id="nav"><a href="/compose">Compose</a></div>
+<div id="private"><p>secret balance: 12345</p></div>
+<div id="broken"><button id="b">Wrnog Name</button></div>
+</body></html>"""
+
+
+@pytest.fixture
+def document():
+    return parse_html(HTML, url="http://mail/")
+
+
+def test_full_snapshot_contains_everything(document):
+    snapshot = PageSnapshot.full(document)
+    assert "secret balance" in snapshot.html
+    assert "Wrnog Name" in snapshot.html
+    assert snapshot.url == "http://mail/"
+    assert not snapshot.is_partial
+
+
+def test_region_snapshot_only_contains_subtree(document):
+    snapshot = PageSnapshot.region(document, '//div[@id="broken"]')
+    assert "Wrnog Name" in snapshot.html
+    assert "secret balance" not in snapshot.html
+    assert snapshot.is_partial
+    assert snapshot.region_xpath == '//div[@id="broken"]'
+
+
+def test_region_snapshot_missing_element(document):
+    with pytest.raises(ElementNotFoundError):
+        PageSnapshot.region(document, '//div[@id="ghost"]')
+
+
+def test_redacted_snapshot_blanks_private_parts(document):
+    snapshot = PageSnapshot.redacted(document, ['//div[@id="private"]'])
+    assert "secret balance" not in snapshot.html
+    assert "Wrnog Name" in snapshot.html
+    assert 'data-redacted="true"' in snapshot.html
+
+
+def test_redaction_does_not_mutate_live_page(document):
+    PageSnapshot.redacted(document, ['//div[@id="private"]'])
+    assert "secret balance" in document.text_content
+
+
+def test_redacted_keeps_structural_attributes(document):
+    snapshot = PageSnapshot.redacted(document, ['//div[@id="private"]'])
+    assert 'id="private"' in snapshot.html

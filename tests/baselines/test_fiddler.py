@@ -1,0 +1,44 @@
+"""Fiddler proxy baseline: traffic visibility and its limits."""
+
+from repro.baselines.fiddler import FiddlerProxy
+from tests.browser.helpers import build_browser, url
+
+
+def test_captures_exchanges_in_window():
+    browser = build_browser()
+    proxy = FiddlerProxy(browser.network)
+    browser.new_tab(url("/"))  # before begin(): not in window
+    proxy.begin()
+    tab = browser.active_tab
+    tab.navigate(url("/about"))
+    assert proxy.request_urls() == [url("/about")]
+
+
+def test_http_bodies_visible():
+    browser = build_browser()
+    proxy = FiddlerProxy(browser.network).begin()
+    browser.new_tab(url("/about"))
+    assert any("about" in body for body in proxy.visible_bodies())
+
+
+def test_https_bodies_opaque():
+    """The paper's argument against proxy recorders under HTTPS."""
+    browser = build_browser()
+    proxy = FiddlerProxy(browser.network).begin()
+    browser.new_tab("https://test.example/about")
+    bodies = proxy.visible_bodies()
+    assert len(bodies) == 1
+    assert "about" not in bodies[0]
+    assert "encrypted" in bodies[0]
+
+
+def test_cannot_attribute_requests_to_user_actions():
+    """A traffic log cannot distinguish load-time requests from
+    user-caused ones — the honest answer is None (unknowable)."""
+    browser = build_browser()
+    proxy = FiddlerProxy(browser.network).begin()
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//a[text()="About"]'))
+    # Two exchanges: initial load + user navigation. Indistinguishable.
+    assert len(proxy.captured()) == 2
+    assert proxy.user_action_count() is None

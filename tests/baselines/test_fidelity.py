@@ -1,0 +1,107 @@
+"""Fidelity scoring rules."""
+
+from repro.baselines.fidelity import (
+    ACTION_CLICK,
+    ACTION_DOUBLECLICK,
+    ACTION_DRAG,
+    ACTION_KEY,
+    COMPLETE,
+    PARTIAL,
+    evaluate_recording_fidelity,
+)
+from repro.baselines.selenium_ide import SeleniumCommand
+from repro.core.commands import (
+    ClickCommand,
+    DoubleClickCommand,
+    DragCommand,
+    TypeCommand,
+)
+from repro.core.trace import WarrTrace
+from repro.workloads.sessions import UserAction
+
+
+def actions_for_form_login():
+    return [
+        UserAction(ACTION_CLICK, "input", is_focus_click=True),
+        UserAction(ACTION_KEY, "input", into_value_control=True, key="j"),
+        UserAction(ACTION_KEY, "input", into_value_control=True, key="o"),
+        UserAction(ACTION_CLICK, "input"),  # submit button
+    ]
+
+
+def test_warr_complete_when_all_captured():
+    actions = actions_for_form_login()
+    trace = WarrTrace(commands=[
+        ClickCommand("//input"), TypeCommand("//input", "j", 74),
+        TypeCommand("//input", "o", 79), ClickCommand("//input"),
+    ])
+    warr, _ = evaluate_recording_fidelity(actions, trace, [])
+    assert warr.label == COMPLETE
+    assert warr.coverage == 1.0
+
+
+def test_warr_partial_when_commands_missing():
+    actions = actions_for_form_login()
+    trace = WarrTrace(commands=[ClickCommand("//input")])
+    warr, _ = evaluate_recording_fidelity(actions, trace, [])
+    assert warr.label == PARTIAL
+    assert warr.covered == 1
+
+
+def test_selenium_type_covers_keystrokes_and_focus_click():
+    actions = actions_for_form_login()
+    selenium = [
+        SeleniumCommand("type", "//input", "jo"),
+        SeleniumCommand("click", "//input"),
+    ]
+    _, result = evaluate_recording_fidelity(actions, WarrTrace(), selenium)
+    assert result.label == COMPLETE
+
+
+def test_selenium_contenteditable_keys_not_credited():
+    actions = [
+        UserAction(ACTION_CLICK, "a"),
+        UserAction(ACTION_KEY, "div", into_value_control=False, key="h"),
+        UserAction(ACTION_KEY, "div", into_value_control=False, key="i"),
+    ]
+    selenium = [SeleniumCommand("click", "//a"),
+                SeleniumCommand("type", "//somewhere", "hi")]
+    _, result = evaluate_recording_fidelity(actions, WarrTrace(), selenium)
+    # The 'hi' went into a div; Selenese type can't represent that.
+    assert result.per_kind[ACTION_KEY] == (0, 2)
+    assert result.label == PARTIAL
+
+
+def test_selenium_never_covers_drags_or_doubleclicks():
+    actions = [
+        UserAction(ACTION_DRAG, "div"),
+        UserAction(ACTION_DOUBLECLICK, "div"),
+    ]
+    _, result = evaluate_recording_fidelity(actions, WarrTrace(), [])
+    assert result.covered == 0
+
+
+def test_warr_covers_drags_and_doubleclicks():
+    actions = [
+        UserAction(ACTION_DRAG, "div"),
+        UserAction(ACTION_DOUBLECLICK, "div"),
+    ]
+    trace = WarrTrace(commands=[
+        DragCommand("//div", 1, 1), DoubleClickCommand("//div", 1, 1),
+    ])
+    warr, _ = evaluate_recording_fidelity(actions, trace, [])
+    assert warr.label == COMPLETE
+
+
+def test_extra_recorded_commands_do_not_overcount():
+    actions = [UserAction(ACTION_CLICK, "a")]
+    trace = WarrTrace(commands=[ClickCommand("//a"), ClickCommand("//a")])
+    warr, _ = evaluate_recording_fidelity(actions, trace, [])
+    assert warr.covered == 1
+    assert warr.total == 1
+
+
+def test_empty_session_is_trivially_complete():
+    warr, selenium = evaluate_recording_fidelity([], WarrTrace(), [])
+    assert warr.coverage == 1.0
+    assert selenium.coverage == 1.0

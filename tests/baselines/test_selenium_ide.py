@@ -1,0 +1,114 @@
+"""Selenium IDE simulation: what it records and what it misses."""
+
+import pytest
+
+from repro.baselines.selenium_ide import SeleniumCommand, SeleniumIDERecorder
+from tests.browser.helpers import build_browser, url
+
+
+@pytest.fixture
+def recording():
+    browser = build_browser()
+    recorder = SeleniumIDERecorder().attach(browser).begin(url("/"))
+    tab = browser.new_tab(url("/"))
+    return browser, recorder, tab
+
+
+class TestRecorded:
+    def test_open_command_first(self, recording):
+        _, recorder, _ = recording
+        assert recorder.commands[0] == SeleniumCommand("open", url("/"))
+
+    def test_link_click_recorded(self, recording):
+        _, recorder, tab = recording
+        tab.click_element(tab.find('//a[text()="About"]'))
+        actions = recorder.recorded_actions()
+        assert len(actions) == 1
+        assert actions[0].action == "click"
+
+    def test_typed_value_recorded_on_blur(self, recording):
+        _, recorder, tab = recording
+        tab.click_element(tab.find('//input[@name="who"]'))
+        tab.type_text("Ada")
+        # Value captured when focus leaves the field.
+        tab.click_element(tab.find("//h1"))
+        types = [c for c in recorder.recorded_actions() if c.action == "type"]
+        assert len(types) == 1
+        assert types[0].value == "Ada"
+
+    def test_submit_click_recorded(self, recording):
+        _, recorder, tab = recording
+        tab.click_element(tab.find('//input[@type="submit"]'))
+        assert any(c.action == "click" for c in recorder.recorded_actions())
+
+    def test_checkbox_click_recorded(self, recording):
+        _, recorder, tab = recording
+        tab.click_element(tab.find('//input[@type="checkbox"]'))
+        assert len(recorder.recorded_actions()) == 1
+
+
+class TestMissed:
+    def test_contenteditable_typing_missed(self, recording):
+        """The structural blind spot behind Table II's 'Partial'."""
+        _, recorder, tab = recording
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.type_text("invisible to selenium")
+        tab.click_element(tab.find("//h1"))  # blur
+        assert recorder.recorded_actions() == []
+
+    def test_clicks_on_divs_missed(self, recording):
+        _, recorder, tab = recording
+        tab.click_element(tab.find('//span[@id="start"]'))
+        tab.click_element(tab.find('//div[@id="box"]'))
+        assert recorder.recorded_actions() == []
+
+    def test_drags_missed(self, recording):
+        _, recorder, tab = recording
+        tab.drag_element(tab.find('//div[@id="widget"]'), 10, 10)
+        assert recorder.recorded_actions() == []
+
+    def test_dynamically_created_elements_missed(self, recording):
+        """Elements added after the instrumentation pass are invisible."""
+        _, recorder, tab = recording
+        document = tab.document
+        late_link = document.create_element("a", {"href": "/about"})
+        late_link.text_content = "late"
+        document.body.append_child(late_link)
+        tab.engine.invalidate_layout()
+        tab.click_element(late_link)
+        assert all(c.action != "click" or "late" not in c.locator
+                   for c in recorder.recorded_actions())
+
+    def test_untrusted_clicks_ignored(self, recording):
+        """Selenium IDE records user input, not script-dispatched events."""
+        from repro.events.event import MouseEvent
+
+        _, recorder, tab = recording
+        link = tab.find('//a[text()="About"]')
+        link.add_event_listener  # instrumented at load
+        synthetic = MouseEvent("click")
+        tab.engine.dispatch(link, synthetic)
+        assert recorder.recorded_actions() == []
+
+
+class TestLifecycle:
+    def test_detach_stops_recording(self, recording):
+        browser, recorder, tab = recording
+        recorder.detach()
+        tab.click_element(tab.find('//a[text()="About"]'))
+        assert recorder.recorded_actions() == []
+
+    def test_pages_loaded_after_attach_are_instrumented(self):
+        browser = build_browser()
+        recorder = SeleniumIDERecorder().attach(browser).begin(url("/"))
+        tab = browser.new_tab(url("/"))
+        tab.click_element(tab.find('//a[text()="About"]'))
+        tab.back()
+        tab.click_element(tab.find('//a[text()="About"]'))
+        clicks = [c for c in recorder.recorded_actions() if c.action == "click"]
+        assert len(clicks) == 2
+
+    def test_command_line_rendering(self):
+        assert SeleniumCommand("type", "//input", "abc").to_line() == \
+            "type | //input | abc"
+        assert SeleniumCommand("click", "//a").to_line() == "click | //a"

@@ -1,0 +1,107 @@
+"""UsaProxy baseline: injection mechanism and its two limitations."""
+
+import pytest
+
+from repro.baselines.usaproxy import TRACKER_SCRIPT_NAME, UsaProxyRecorder
+from repro.browser.window import Browser
+from repro.net.http import HttpResponse
+from repro.net.server import Network, RouteServer
+from repro.scripting.registry import ScriptRegistry
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+
+HOST = "app.example"
+
+
+def make_upstream():
+    server = RouteServer()
+    server.add_route("/", lambda request: (
+        '<html><head><title>App</title></head><body>'
+        '<a href="/next" id="go">Next</a>'
+        '<div id="pad" contenteditable></div>'
+        '</body></html>'))
+    server.add_route("/next", lambda request: (
+        '<html><head><title>Next</title></head><body><p>done</p>'
+        '</body></html>'))
+    server.add_route("/data", lambda request: HttpResponse.json('{"x": 1}'))
+    return server
+
+
+def make_environment(break_https=False):
+    loop = EventLoop(VirtualClock())
+    network = Network(loop)
+    registry = ScriptRegistry()
+    proxy = UsaProxyRecorder(make_upstream(), break_https=break_https)
+    proxy.install(network, registry, HOST)
+    browser = Browser(network=network, script_registry=registry)
+    return browser, proxy
+
+
+class TestInjection:
+    def test_tracker_injected_into_html(self):
+        browser, proxy = make_environment()
+        tab = browser.new_tab("http://%s/" % HOST)
+        scripts = tab.document.get_elements_by_tag("script")
+        assert any(s.get_attribute("data-script") == TRACKER_SCRIPT_NAME
+                   for s in scripts)
+
+    def test_clicks_tracked_on_instrumented_pages(self):
+        browser, proxy = make_environment()
+        tab = browser.new_tab("http://%s/" % HOST)
+        tab.click_element(tab.find('//a[@id="go"]'))
+        assert ("click", '//body/a[@id="go"]') in proxy.commands or \
+            any(locator.endswith('a[@id="go"]')
+                for _, locator in proxy.commands)
+
+    def test_keystrokes_not_tracked(self):
+        """Click tracking only: typing never reaches the proxy log."""
+        browser, proxy = make_environment()
+        tab = browser.new_tab("http://%s/" % HOST)
+        tab.click_element(tab.find('//div[@id="pad"]'))
+        tab.type_text("hello")
+        assert all(action == "click" for action, _ in proxy.commands)
+        assert len(proxy.commands) == 1
+
+
+class TestLimitationNonHtml:
+    def test_non_html_responses_pass_uninstrumented(self):
+        browser, proxy = make_environment()
+        response = browser.network.fetch("http://%s/data" % HOST)
+        assert response.body == '{"x": 1}'  # untouched
+        assert ("http://%s/data" % HOST, "non-html") in proxy.uninstrumented
+
+
+class TestLimitationHttps:
+    def test_https_pages_record_nothing(self):
+        """'using proxies requires breaking the end-to-end security
+        enforced by HTTPS' — without doing so, secure pages are blind."""
+        browser, proxy = make_environment(break_https=False)
+        tab = browser.new_tab("https://%s/" % HOST)
+        tab.click_element(tab.find('//a[@id="go"]'))
+        assert proxy.commands == []
+        assert any(reason == "https" for _, reason in proxy.uninstrumented)
+        assert not proxy.broke_encryption
+
+    def test_breaking_https_works_but_is_flagged(self):
+        browser, proxy = make_environment(break_https=True)
+        tab = browser.new_tab("https://%s/" % HOST)
+        tab.click_element(tab.find('//a[@id="go"]'))
+        assert len(proxy.commands) == 1
+        assert proxy.broke_encryption  # the privacy hazard, on record
+
+
+class TestContrastWithWarr:
+    def test_warr_records_https_without_mitm(self):
+        """WaRR 'has access to the processed and decrypted HTML code ...
+        and logs user actions on the user's machine' — no proxy, no
+        broken encryption, full trace."""
+        from repro.core.recorder import WarrRecorder
+
+        browser, proxy = make_environment(break_https=False)
+        warr = WarrRecorder().attach(browser)
+        warr.begin("https://%s/" % HOST)
+        tab = browser.new_tab("https://%s/" % HOST)
+        tab.click_element(tab.find('//div[@id="pad"]'))
+        tab.type_text("hi")
+        assert len(warr.trace) == 3  # click + 2 keystrokes
+        assert proxy.commands == []  # the proxy saw nothing

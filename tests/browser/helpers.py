@@ -1,0 +1,80 @@
+"""Shared test application used across browser-layer tests."""
+
+from repro.browser.window import Browser
+from repro.net.http import HttpResponse
+from repro.net.server import Network, RouteServer
+from repro.scripting.registry import ScriptRegistry
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+
+HOST = "test.example"
+
+HOME_HTML = """<html><head><title>Home</title></head><body>
+<h1>Welcome</h1>
+<div><span id="start">start</span></div>
+<form action="/greet" method="GET">
+  <input type="text" name="who">
+  <input type="checkbox" name="subscribe">
+  <input type="submit" value="Go">
+</form>
+<a href="/about">About</a>
+<div id="box" contenteditable></div>
+<div id="widget">drag me</div>
+<script data-script="test.home"></script>
+</body></html>"""
+
+
+def build_browser(extra_routes=None, extra_scripts=None, latency_ms=50.0,
+                  developer_mode=False):
+    """A browser serving the standard test application."""
+    loop = EventLoop(VirtualClock())
+    network = Network(loop, default_latency_ms=latency_ms)
+    registry = ScriptRegistry()
+
+    server = RouteServer()
+    server.add_route("/", lambda request: HOME_HTML)
+    server.add_route(
+        "/greet",
+        lambda request: (
+            '<html><head><title>Greet</title></head><body>'
+            '<p id="msg">Hello %s</p><a href="/">back</a></body></html>'
+            % request.query.get("who", "?")))
+    server.add_route(
+        "/about",
+        lambda request: ('<html><head><title>About</title></head>'
+                         '<body><p>about</p></body></html>'))
+    server.add_route(
+        "/frame",
+        lambda request: ('<html><head><title>Framed</title></head><body>'
+                         '<iframe id="child" src="/inner"></iframe>'
+                         '<iframe id="bare"><p id="inline">inline</p></iframe>'
+                         '</body></html>'))
+    server.add_route(
+        "/inner",
+        lambda request: ('<html><head><title>Inner</title></head><body>'
+                         '<button id="innerbtn">press</button>'
+                         '</body></html>'))
+    for path, handler in (extra_routes or {}).items():
+        server.add_route(path, handler)
+
+    def home_script(window):
+        window.env.loaded = True
+        window.env.clicks = []
+        window.env.keys = []
+        box = window.get_element_by_id("box")
+        box.add_event_listener(
+            "click", lambda event: window.env.clicks.append("box"))
+        box.add_event_listener(
+            "keypress", lambda event: window.env.keys.append(event.key_code))
+
+    registry.register("test.home", home_script)
+    for name, script in (extra_scripts or {}).items():
+        registry.register(name, script)
+
+    network.register(HOST, server)
+    return Browser(network=network, script_registry=registry,
+                   developer_mode=developer_mode)
+
+
+def url(path="/"):
+    return "http://%s%s" % (HOST, path)

@@ -1,0 +1,204 @@
+"""WebKit-layer event handling: default actions and observer hooks."""
+
+import pytest
+
+from repro.browser.event_handler import InputObserver
+from tests.browser.helpers import build_browser, url
+
+
+@pytest.fixture
+def tab():
+    browser = build_browser()
+    return browser.new_tab(url("/"))
+
+
+class RecordingObserver(InputObserver):
+    def __init__(self):
+        self.mouse = []
+        self.keys = []
+        self.drags = []
+
+    def on_mouse_press(self, engine, event, target):
+        self.mouse.append((event, target))
+
+    def on_key(self, engine, event, target):
+        self.keys.append((event, target))
+
+    def on_drag(self, engine, event, target):
+        self.drags.append((event, target))
+
+
+class TestClickDefaults:
+    def test_click_focuses_focusable(self, tab):
+        field = tab.find('//input[@name="who"]')
+        tab.click_element(field)
+        assert tab.engine.focused_element is field
+
+    def test_click_on_div_clears_focus(self, tab):
+        tab.click_element(tab.find('//input[@name="who"]'))
+        tab.click_element(tab.find("//h1"))
+        assert tab.engine.focused_element is None
+
+    def test_click_contenteditable_focuses(self, tab):
+        box = tab.find('//div[@id="box"]')
+        tab.click_element(box)
+        assert tab.engine.focused_element is box
+
+    def test_link_click_navigates(self, tab):
+        tab.click_element(tab.find('//a[text()="About"]'))
+        assert tab.document.title == "About"
+
+    def test_checkbox_toggles(self, tab):
+        checkbox = tab.find('//input[@type="checkbox"]')
+        tab.click_element(checkbox)
+        assert checkbox.has_attribute("checked")
+        tab.click_element(checkbox)
+        assert not checkbox.has_attribute("checked")
+
+    def test_submit_click_serializes_form(self, tab):
+        tab.click_element(tab.find('//input[@name="who"]'))
+        tab.type_text("Ada")
+        tab.click_element(tab.find('//input[@type="submit"]'))
+        assert "who=Ada" in tab.url
+        assert tab.find('//p[@id="msg"]').text_content == "Hello Ada"
+
+    def test_checked_checkbox_included_in_submit(self, tab):
+        tab.click_element(tab.find('//input[@type="checkbox"]'))
+        tab.click_element(tab.find('//input[@type="submit"]'))
+        assert "subscribe=" in tab.url
+
+    def test_prevent_default_stops_navigation(self, tab):
+        link = tab.find('//a[text()="About"]')
+        link.add_event_listener("click", lambda event: event.prevent_default())
+        tab.click_element(link)
+        assert tab.document.title == "Home"
+
+
+class TestKeyDefaults:
+    def test_typing_into_input_builds_value(self, tab):
+        field = tab.click_element(tab.find('//input[@name="who"]')) or \
+            tab.find('//input[@name="who"]')
+        tab.type_text("Hi!")
+        assert tab.find('//input[@name="who"]').value == "Hi!"
+
+    def test_typing_into_contenteditable_builds_text(self, tab):
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.type_text("abc")
+        assert tab.find('//div[@id="box"]').text_content == "abc"
+
+    def test_backspace_deletes(self, tab):
+        tab.click_element(tab.find('//input[@name="who"]'))
+        tab.type_text("abc")
+        tab.type_key("Backspace")
+        assert tab.find('//input[@name="who"]').value == "ab"
+
+    def test_enter_in_input_submits_form(self, tab):
+        tab.click_element(tab.find('//input[@name="who"]'))
+        tab.type_text("Eve")
+        tab.type_key("Enter")
+        assert tab.document.title == "Greet"
+
+    def test_keys_without_focus_hit_body_harmlessly(self, tab):
+        tab.type_key("x")
+        assert tab.document.title == "Home"
+
+    def test_keypress_handler_sees_trusted_key_code(self, tab):
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.type_text("Hi")
+        env = tab.engine.window.env
+        assert env.keys == [72, 73]
+
+    def test_prevent_default_on_keydown_stops_insertion(self, tab):
+        field = tab.find('//input[@name="who"]')
+        field.add_event_listener("keydown", lambda event: event.prevent_default())
+        tab.click_element(field)
+        tab.type_text("x")
+        assert field.value == ""
+
+
+class TestDragDefaults:
+    def test_drag_moves_element(self, tab):
+        widget = tab.find('//div[@id="widget"]')
+        before = tab.engine.layout.box_for(widget).rect
+        tab.drag_element(widget, 25, 10)
+        after = tab.engine.layout.box_for(widget).rect
+        assert (after.x, after.y) == (before.x + 25, before.y + 10)
+
+    def test_drags_accumulate(self, tab):
+        widget = tab.find('//div[@id="widget"]')
+        tab.drag_element(widget, 10, 0)
+        tab.drag_element(widget, 10, 0)
+        assert widget.get_attribute("data-offset-x") == "20"
+
+    def test_prevent_default_stops_move(self, tab):
+        widget = tab.find('//div[@id="widget"]')
+        widget.add_event_listener("drag", lambda event: event.prevent_default())
+        tab.drag_element(widget, 25, 10)
+        assert widget.get_attribute("data-offset-x") is None
+
+
+class TestObservers:
+    def test_observer_sees_every_action(self, tab):
+        observer = RecordingObserver()
+        tab.browser.attach_observer(observer)
+        tab.click_element(tab.find('//span[@id="start"]'))
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.type_text("ab")
+        tab.drag_element(tab.find('//div[@id="widget"]'), 5, 5)
+        assert len(observer.mouse) == 2
+        assert len(observer.keys) == 2
+        assert len(observer.drags) == 1
+
+    def test_observer_called_before_dom_dispatch(self, tab):
+        order = []
+
+        class Probe(InputObserver):
+            def on_mouse_press(self, engine, event, target):
+                order.append("recorder")
+
+        tab.browser.attach_observer(Probe())
+        box = tab.find('//div[@id="box"]')
+        box.add_event_listener("click", lambda event: order.append("page"))
+        tab.click_element(box)
+        assert order == ["recorder", "page"]
+
+    def test_observer_receives_hit_target(self, tab):
+        observer = RecordingObserver()
+        tab.browser.attach_observer(observer)
+        start = tab.find('//span[@id="start"]')
+        tab.click_element(start)
+        _, target = observer.mouse[0]
+        assert target is start
+
+    def test_shift_keystroke_reaches_observer(self, tab):
+        """Chrome registers two keystrokes for shift+letter; both cross
+        the EventHandler (the recorder decides to combine them)."""
+        observer = RecordingObserver()
+        tab.browser.attach_observer(observer)
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.type_key("H")
+        keys = [event.key for event, _ in observer.keys]
+        assert keys == ["Shift", "H"]
+
+    def test_detached_observer_not_called(self, tab):
+        observer = RecordingObserver()
+        tab.browser.attach_observer(observer)
+        tab.browser.detach_observer(observer)
+        tab.click_element(tab.find('//span[@id="start"]'))
+        assert observer.mouse == []
+
+
+class TestDoubleClick:
+    def test_dblclick_dispatched_for_detail_two(self, tab):
+        box = tab.find('//div[@id="box"]')
+        seen = []
+        box.add_event_listener("dblclick", lambda event: seen.append(event.detail))
+        tab.double_click_element(box)
+        assert seen == [2]
+
+    def test_single_click_not_dblclick(self, tab):
+        box = tab.find('//div[@id="box"]')
+        seen = []
+        box.add_event_listener("dblclick", lambda event: seen.append(1))
+        tab.click_element(box)
+        assert seen == []

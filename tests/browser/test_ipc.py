@@ -1,0 +1,56 @@
+"""IPC channel message passing."""
+
+import pytest
+
+from repro.browser.ipc import InputMessage, IpcChannel
+
+
+def test_message_kinds_validated():
+    with pytest.raises(ValueError):
+        InputMessage("bogus", None)
+
+
+def test_send_then_pump_delivers_in_order():
+    channel = IpcChannel()
+    received = []
+    channel.connect(received.append)
+    first = InputMessage(InputMessage.MOUSE, "m1")
+    second = InputMessage(InputMessage.KEY, "k1")
+    channel.send(first)
+    channel.send(second)
+    assert received == []
+    delivered = channel.pump()
+    assert delivered == 2
+    assert received == [first, second]
+
+
+def test_pump_without_receiver_raises():
+    channel = IpcChannel()
+    channel.send(InputMessage(InputMessage.KEY, "x"))
+    with pytest.raises(RuntimeError):
+        channel.pump()
+
+
+def test_send_and_pump_round_trip():
+    channel = IpcChannel()
+    received = []
+    channel.connect(received.append)
+    channel.send_and_pump(InputMessage(InputMessage.DRAG, "d"))
+    assert len(received) == 1
+
+
+def test_delivered_count_accumulates():
+    channel = IpcChannel()
+    channel.connect(lambda message: None)
+    for _ in range(3):
+        channel.send_and_pump(InputMessage(InputMessage.KEY, "x"))
+    assert channel.delivered_count == 3
+
+
+def test_enqueue_timestamps_recorded():
+    channel = IpcChannel()
+    channel.connect(lambda message: None)
+    message = InputMessage(InputMessage.MOUSE, "m")
+    assert message.enqueued_at is None
+    channel.send(message)
+    assert message.enqueued_at is not None

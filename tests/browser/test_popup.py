@@ -1,0 +1,49 @@
+"""Popup widgets bypass WebKit — the recorder's documented blind spot."""
+
+import pytest
+
+from repro.core.recorder import WarrRecorder
+from tests.browser.helpers import build_browser, url
+
+
+def test_popup_buttons_and_handlers():
+    browser = build_browser()
+    outcomes = []
+    popup = browser.show_popup("Confirm", ["OK", "Cancel"])
+    popup.on_button("OK", lambda: outcomes.append("ok"))
+    popup.click_button("OK")
+    assert outcomes == ["ok"]
+    assert popup.dismissed
+    assert popup.clicked[0][0] == "OK"
+
+
+def test_unknown_button_rejected():
+    browser = build_browser()
+    popup = browser.show_popup("Confirm", ["OK"])
+    with pytest.raises(ValueError):
+        popup.click_button("Maybe")
+    with pytest.raises(ValueError):
+        popup.on_button("Maybe", lambda: None)
+
+
+def test_popup_click_timestamps_use_clock():
+    browser = build_browser()
+    browser.clock.advance(123)
+    popup = browser.show_popup("X", ["OK"])
+    popup.click_button("OK")
+    assert popup.clicked[0][1] == 123
+
+
+def test_recorder_misses_popup_interaction():
+    """Paper, Section IV-D: 'WaRR cannot handle pop-ups because user
+    interaction events that happen on such widgets are not routed
+    through to WebKit.'"""
+    browser = build_browser()
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(url("/"))
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//span[@id="start"]'))  # recorded
+    popup = browser.show_popup("Alert", ["OK"])
+    popup.click_button("OK")  # NOT recorded
+    assert len(recorder.trace) == 1
+    assert recorder.trace[0].action == "click"

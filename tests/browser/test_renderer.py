@@ -1,0 +1,70 @@
+"""The renderer process and the Figure-3 input path."""
+
+import pytest
+
+from repro.browser.ipc import InputMessage
+from repro.events.event import KeyboardEvent, MouseEvent
+from repro.events.keys import virtual_key_code
+from tests.browser.helpers import build_browser, url
+
+
+@pytest.fixture
+def tab():
+    return build_browser().new_tab(url("/"))
+
+
+def test_input_crosses_the_ipc_channel(tab):
+    """Input must take the browser → IPC → renderer → WebKit path."""
+    before = tab.renderer.channel.delivered_count
+    tab.click_element(tab.find('//span[@id="start"]'))
+    assert tab.renderer.channel.delivered_count == before + 1
+
+
+def test_keystrokes_are_individual_messages(tab):
+    tab.click_element(tab.find('//div[@id="box"]'))
+    before = tab.renderer.channel.delivered_count
+    tab.type_text("abc")
+    assert tab.renderer.channel.delivered_count == before + 3
+
+
+def test_shifted_key_is_two_messages(tab):
+    """Chrome registers two keystrokes for Shift+letter (paper IV-B)."""
+    tab.click_element(tab.find('//div[@id="box"]'))
+    before = tab.renderer.channel.delivered_count
+    tab.type_key("H")
+    assert tab.renderer.channel.delivered_count == before + 2
+
+
+def test_renderer_routes_message_kinds(tab):
+    """Directly injected messages reach the right EventHandler method."""
+    renderer = tab.renderer
+    field = tab.find('//input[@name="who"]')
+    x, y = tab.engine.layout.click_point(field)
+
+    mouse = MouseEvent("mousepress", client_x=x, client_y=y, detail=1)
+    mouse.is_trusted = True
+    renderer.send_input(InputMessage(InputMessage.MOUSE, mouse))
+    assert tab.engine.focused_element is field
+
+    key = KeyboardEvent.trusted("rawkey", "a", virtual_key_code("a"))
+    renderer.send_input(InputMessage(InputMessage.KEY, key))
+    assert field.value == "a"
+
+
+def test_shutdown_renderer_ignores_input(tab):
+    renderer = tab.renderer
+    renderer.shutdown()
+    mouse = MouseEvent("mousepress", client_x=5, client_y=5, detail=1)
+    mouse.is_trusted = True
+    # No exception: a dead renderer drops input on the floor.
+    renderer.send_input(InputMessage(InputMessage.MOUSE, mouse))
+
+
+def test_navigation_swaps_renderers_new_before_old(tab):
+    """The load-new-then-unload-old order the active-client bug needs."""
+    events = []
+    old_engine = tab.engine
+    old_engine.unload_listeners.append(lambda engine: events.append("unload"))
+    tab.browser.frame_load_listeners.append(lambda engine: events.append("load"))
+    tab.navigate(url("/about"))
+    assert events == ["load", "unload"]

@@ -1,0 +1,116 @@
+"""Tabs: navigation, history, waiting, input surface."""
+
+import pytest
+
+from repro.util.errors import NavigationError
+from tests.browser.helpers import build_browser, url
+
+
+@pytest.fixture
+def browser():
+    return build_browser()
+
+
+class TestNavigation:
+    def test_navigate_loads_page(self, browser):
+        tab = browser.new_tab(url("/"))
+        assert tab.url == url("/")
+        assert tab.document.title == "Home"
+
+    def test_navigation_replaces_renderer(self, browser):
+        tab = browser.new_tab(url("/"))
+        first_renderer = tab.renderer
+        tab.navigate(url("/about"))
+        assert tab.renderer is not first_renderer
+
+    def test_unknown_host_raises(self, browser):
+        tab = browser.new_tab(url("/"))
+        with pytest.raises(NavigationError):
+            tab.navigate("http://nowhere.example/")
+
+    def test_404_still_renders(self, browser):
+        tab = browser.new_tab(url("/missing-page"))
+        assert tab.url == url("/missing-page")
+
+    def test_engine_access_before_load_raises(self, browser):
+        tab = browser.new_tab()
+        with pytest.raises(NavigationError):
+            tab.engine
+
+
+class TestHistory:
+    def test_back_and_forward(self, browser):
+        tab = browser.new_tab(url("/"))
+        tab.navigate(url("/about"))
+        tab.back()
+        assert tab.document.title == "Home"
+        tab.forward()
+        assert tab.document.title == "About"
+
+    def test_back_at_start_raises(self, browser):
+        tab = browser.new_tab(url("/"))
+        with pytest.raises(NavigationError):
+            tab.back()
+
+    def test_forward_at_end_raises(self, browser):
+        tab = browser.new_tab(url("/"))
+        with pytest.raises(NavigationError):
+            tab.forward()
+
+    def test_new_navigation_truncates_forward_history(self, browser):
+        tab = browser.new_tab(url("/"))
+        tab.navigate(url("/about"))
+        tab.back()
+        tab.navigate(url("/greet?who=x"))
+        with pytest.raises(NavigationError):
+            tab.forward()
+
+    def test_link_navigation_recorded_in_history(self, browser):
+        tab = browser.new_tab(url("/"))
+        tab.click_element(tab.find('//a[text()="About"]'))
+        tab.back()
+        assert tab.document.title == "Home"
+
+
+class TestWaiting:
+    def test_wait_advances_clock(self, browser):
+        tab = browser.new_tab(url("/"))
+        before = browser.clock.now()
+        tab.wait(250)
+        assert browser.clock.now() == before + 250
+
+    def test_wait_runs_due_timers(self, browser):
+        tab = browser.new_tab(url("/"))
+        fired = []
+        browser.event_loop.call_later(100, lambda: fired.append(1))
+        tab.wait(150)
+        assert fired == [1]
+
+
+class TestTypeText:
+    def test_type_text_advances_clock_per_key(self, browser):
+        tab = browser.new_tab(url("/"))
+        tab.click_element(tab.find('//input[@name="who"]'))
+        before = browser.clock.now()
+        tab.type_text("abc", think_time_ms=40)
+        assert browser.clock.now() == before + 120
+
+    def test_shifted_character_still_one_char(self, browser):
+        tab = browser.new_tab(url("/"))
+        field = tab.find('//input[@name="who"]')
+        tab.click_element(field)
+        tab.type_text("Ab!")
+        assert field.value == "Ab!"
+
+
+class TestFind:
+    def test_find_returns_element(self, browser):
+        tab = browser.new_tab(url("/"))
+        assert tab.find("//h1").text_content == "Welcome"
+
+    def test_find_raises_for_missing(self, browser):
+        from repro.util.errors import ElementNotFoundError
+
+        tab = browser.new_tab(url("/"))
+        with pytest.raises(ElementNotFoundError):
+            tab.find("//video")

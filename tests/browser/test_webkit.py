@@ -1,0 +1,175 @@
+"""WebKitEngine: loading, scripts, frames, focus, unload."""
+
+import pytest
+
+from repro.util.errors import JSReferenceError, ScriptError
+from tests.browser.helpers import build_browser, url
+
+
+class TestLoading:
+    def test_load_builds_document_and_layout(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/"))
+        engine = tab.engine
+        assert engine.loaded
+        assert engine.document.title == "Home"
+        assert engine.layout.box_for(engine.document.body) is not None
+
+    def test_frame_load_listeners_fire(self):
+        browser = build_browser()
+        loaded = []
+        browser.frame_load_listeners.append(loaded.append)
+        browser.new_tab(url("/"))
+        assert len(loaded) == 1
+        assert loaded[0].document.title == "Home"
+
+
+class TestScripts:
+    def test_registered_script_runs_at_load(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/"))
+        assert tab.engine.window.env.loaded is True
+
+    def test_unregistered_script_reference_is_console_error(self):
+        browser = build_browser(extra_routes={
+            "/broken": lambda request:
+                "<body><script data-script='ghost.script'></script></body>",
+        })
+        tab = browser.new_tab(url("/broken"))
+        assert tab.engine.console.has_errors
+
+    def test_script_error_at_load_is_captured_not_raised(self):
+        def bad_script(window):
+            raise JSReferenceError("boom is not defined")
+
+        browser = build_browser(
+            extra_routes={
+                "/bad": lambda request:
+                    "<body><script data-script='test.bad'></script></body>",
+            },
+            extra_scripts={"test.bad": bad_script},
+        )
+        tab = browser.new_tab(url("/bad"))
+        assert isinstance(tab.engine.console.errors[0], JSReferenceError)
+        assert browser.page_errors  # surfaced at browser level too
+
+    def test_plain_exception_in_script_wrapped(self):
+        browser = build_browser(
+            extra_routes={
+                "/bad": lambda request:
+                    "<body><script data-script='test.crash'></script></body>",
+            },
+            extra_scripts={"test.crash": lambda window: 1 / 0},
+        )
+        tab = browser.new_tab(url("/bad"))
+        assert isinstance(tab.engine.console.errors[0], ScriptError)
+
+    def test_script_tag_without_data_script_ignored(self):
+        browser = build_browser(extra_routes={
+            "/plain": lambda request:
+                "<body><script>var x = 1;</script><p>ok</p></body>",
+        })
+        tab = browser.new_tab(url("/plain"))
+        assert not tab.engine.console.has_errors
+
+
+class TestFrames:
+    def test_src_iframe_gets_child_engine(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/frame"))
+        engine = tab.engine
+        iframe = tab.find('//iframe[@id="child"]')
+        child = engine.frame_for(iframe)
+        assert child is not None
+        assert child.document.title == "Inner"
+        assert child.parent is engine
+
+    def test_srcless_iframe_gets_no_child_engine(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/frame"))
+        bare = tab.find('//iframe[@id="bare"]')
+        assert tab.engine.frame_for(bare) is None
+
+    def test_all_engines_includes_frames(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/frame"))
+        engines = tab.engine.all_engines()
+        assert len(engines) == 2
+
+    def test_click_forwarded_into_iframe(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/frame"))
+        iframe = tab.find('//iframe[@id="child"]')
+        child = tab.engine.frame_for(iframe)
+        button = child.document.get_element_by_id("innerbtn")
+        pressed = []
+        button.add_event_listener("click", lambda event: pressed.append(1))
+        # Click in the middle of the iframe's box, translated by the engine.
+        box = tab.engine.layout.box_for(iframe)
+        inner_box = child.layout.box_for(button)
+        tab.click(int(box.rect.x + inner_box.rect.center[0]),
+                  int(box.rect.y + inner_box.rect.center[1]))
+        assert pressed == [1]
+
+
+class TestFocus:
+    def test_focus_fires_focus_and_blur(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/"))
+        field = tab.find('//input[@name="who"]')
+        box = tab.find('//div[@id="box"]')
+        events = []
+        field.add_event_listener("focus", lambda event: events.append("field-focus"))
+        field.add_event_listener("blur", lambda event: events.append("field-blur"))
+        box.add_event_listener("focus", lambda event: events.append("box-focus"))
+        tab.click_element(field)
+        tab.click_element(box)
+        assert events == ["field-focus", "field-blur", "box-focus"]
+
+    def test_refocusing_same_element_is_noop(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/"))
+        field = tab.find('//input[@name="who"]')
+        events = []
+        field.add_event_listener("focus", lambda event: events.append(1))
+        tab.click_element(field)
+        tab.click_element(field)
+        assert events == [1]
+
+
+class TestUnload:
+    def test_unload_notifies_listeners(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/"))
+        engine = tab.engine
+        unloaded = []
+        engine.unload_listeners.append(unloaded.append)
+        tab.navigate(url("/about"))
+        assert unloaded == [engine]
+        assert not engine.loaded
+
+    def test_unload_cancels_timers(self):
+        fired = []
+
+        def timer_script(window):
+            window.set_timeout(10_000, lambda: fired.append(1))
+
+        browser = build_browser(
+            extra_routes={
+                "/t": lambda request:
+                    "<body><script data-script='test.timer'></script></body>",
+            },
+            extra_scripts={"test.timer": timer_script},
+        )
+        tab = browser.new_tab(url("/t"))
+        tab.navigate(url("/about"))
+        browser.event_loop.run_until_idle()
+        assert fired == []
+
+    def test_unload_recurses_into_frames(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/frame"))
+        iframe = tab.find('//iframe[@id="child"]')
+        child = tab.engine.frame_for(iframe)
+        tab.navigate(url("/about"))
+        assert not child.loaded

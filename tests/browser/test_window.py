@@ -1,0 +1,82 @@
+"""Browser composition root."""
+
+import pytest
+
+from repro.browser.window import Browser, BrowserWindow
+from repro.net.server import Network
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+from tests.browser.helpers import build_browser, url
+
+
+class TestConstruction:
+    def test_defaults_build_own_services(self):
+        browser = Browser()
+        assert browser.network is not None
+        assert browser.clock is browser.event_loop.clock
+
+    def test_inherits_network_loop(self):
+        loop = EventLoop(VirtualClock())
+        network = Network(loop)
+        browser = Browser(network=network)
+        assert browser.event_loop is loop
+
+    def test_mismatched_loop_rejected(self):
+        network = Network(EventLoop(VirtualClock()))
+        with pytest.raises(ValueError):
+            Browser(network=network, event_loop=EventLoop(VirtualClock()))
+
+    def test_browser_window_alias(self):
+        assert issubclass(BrowserWindow, Browser)
+
+
+class TestTabs:
+    def test_new_tab_ids_increment(self):
+        browser = build_browser()
+        first = browser.new_tab()
+        second = browser.new_tab()
+        assert (first.tab_id, second.tab_id) == (0, 1)
+
+    def test_active_tab_is_latest(self):
+        browser = build_browser()
+        browser.new_tab()
+        latest = browser.new_tab()
+        assert browser.active_tab is latest
+
+    def test_no_tabs_active_none(self):
+        assert build_browser().active_tab is None
+
+    def test_tabs_share_clock(self):
+        browser = build_browser()
+        a = browser.new_tab(url("/"))
+        b = browser.new_tab(url("/about"))
+        a.wait(100)
+        assert browser.clock.now() >= 100
+
+
+class TestPageErrors:
+    def test_page_errors_survive_navigation(self):
+        def bad_script(window):
+            raise ValueError("nope")
+
+        browser = build_browser(
+            extra_routes={
+                "/bad": lambda request:
+                    "<body><script data-script='t.bad'></script></body>",
+            },
+            extra_scripts={"t.bad": bad_script},
+        )
+        tab = browser.new_tab(url("/bad"))
+        tab.navigate(url("/about"))
+        assert len(browser.page_errors) == 1
+
+
+class TestObserverRegistry:
+    def test_attach_returns_observer(self):
+        browser = build_browser()
+        marker = object()
+        assert browser.attach_observer(marker) is marker
+        assert marker in browser.input_observers
+
+    def test_detach_unknown_is_noop(self):
+        build_browser().detach_observer(object())

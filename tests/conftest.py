@@ -1,0 +1,82 @@
+"""Shared fixtures: deterministic environments and recorded traces."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.docs import DocsApplication
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.workloads.sessions import (
+    docs_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    sites_edit_session,
+)
+
+
+@pytest.fixture
+def sites_browser():
+    browser, (app,) = make_browser([SitesApplication])
+    return browser, app
+
+
+@pytest.fixture
+def gmail_browser():
+    browser, (app,) = make_browser([GmailApplication])
+    return browser, app
+
+
+@pytest.fixture
+def portal_browser():
+    browser, (app,) = make_browser([PortalApplication])
+    return browser, app
+
+
+@pytest.fixture
+def docs_browser():
+    browser, (app,) = make_browser([DocsApplication])
+    return browser, app
+
+
+def record_session(app_factories, session, start_url, **session_kwargs):
+    """Record a scripted session; returns (trace, user, app_list)."""
+    browser, apps = make_browser(app_factories)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(start_url)
+    user = session(browser, **session_kwargs)
+    recorder.detach()
+    return recorder.trace, user, apps
+
+
+@pytest.fixture
+def sites_trace():
+    trace, _, _ = record_session(
+        [SitesApplication], sites_edit_session,
+        "http://sites.example.com/edit/home", text="Hello world!")
+    return trace
+
+
+@pytest.fixture
+def gmail_trace():
+    trace, _, _ = record_session(
+        [GmailApplication], gmail_compose_session,
+        "http://mail.example.com/")
+    return trace
+
+
+@pytest.fixture
+def portal_trace():
+    trace, _, _ = record_session(
+        [PortalApplication], portal_authenticate_session,
+        "http://portal.example.com/")
+    return trace
+
+
+@pytest.fixture
+def docs_trace():
+    trace, _, _ = record_session(
+        [DocsApplication], docs_edit_session,
+        "http://docs.example.com/sheet/budget")
+    return trace

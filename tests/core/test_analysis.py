@@ -1,0 +1,80 @@
+"""Trace analytics."""
+
+import pytest
+
+from repro.core.analysis import analyze_trace
+from repro.core.commands import (
+    ClickCommand,
+    DoubleClickCommand,
+    DragCommand,
+    SwitchFrameCommand,
+    TypeCommand,
+)
+from repro.core.trace import WarrTrace
+
+
+def rich_trace():
+    return WarrTrace(start_url="http://x/", commands=[
+        ClickCommand("//start", elapsed_ms=1000),
+        TypeCommand("//field", key="h", code=72, elapsed_ms=100),
+        TypeCommand("//field", key="i", code=73, elapsed_ms=100),
+        TypeCommand("//field", key="!", code=49, elapsed_ms=100),
+        SwitchFrameCommand("//iframe", elapsed_ms=0),
+        DoubleClickCommand("//cell", elapsed_ms=400),
+        DragCommand("//chart", dx=5, dy=5, elapsed_ms=200),
+        ClickCommand("//save", elapsed_ms=2000),
+    ])
+
+
+@pytest.fixture
+def stats():
+    return analyze_trace(rich_trace())
+
+
+def test_counts(stats):
+    assert stats.command_count == 8
+    assert stats.click_count == 2
+    assert stats.double_click_count == 1
+    assert stats.drag_count == 1
+    assert stats.keystroke_count == 3
+    assert stats.frame_switches == 1
+
+
+def test_distinct_targets(stats):
+    assert stats.distinct_targets == 6
+
+
+def test_durations(stats):
+    assert stats.total_duration_ms == 3900
+    assert stats.longest_pause_ms == 2000
+    assert stats.median_delay_ms in (100, 200)
+
+
+def test_typing_speed(stats):
+    # 3 keystrokes over 300 ms = 0.6 words over 0.005 min = 120 wpm.
+    assert stats.typing_speed_wpm == pytest.approx(120.0)
+
+
+def test_typed_text_collects_printables(stats):
+    assert stats.typed_text == "hi!"
+
+
+def test_lines_render(stats):
+    text = "\n".join(stats.lines())
+    assert "commands:          8" in text
+    assert "typing speed" in text
+    assert "frame switches" in text
+
+
+def test_empty_trace():
+    stats = analyze_trace(WarrTrace())
+    assert stats.command_count == 0
+    assert stats.typing_speed_wpm == 0.0
+    assert stats.longest_pause_ms == 0
+    assert stats.lines()  # still renders
+
+
+def test_zero_delay_typing():
+    trace = WarrTrace(commands=[
+        TypeCommand("//f", key="a", code=65, elapsed_ms=0)])
+    assert analyze_trace(trace).typing_speed_wpm == 0.0

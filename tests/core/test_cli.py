@@ -1,0 +1,119 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.trace import WarrTrace
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def recorded_trace(tmp_path):
+    path = tmp_path / "session.warr"
+    code, output = run_cli(["record", "--app", "sites", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestRecord:
+    def test_record_writes_trace_file(self, tmp_path):
+        path = tmp_path / "out.warr"
+        code, output = run_cli(["record", "--app", "portal",
+                                "--out", str(path)])
+        assert code == 0
+        assert "recorded" in output
+        trace = WarrTrace.load(path)
+        assert len(trace) > 0
+        assert trace.start_url == "http://portal.example.com/"
+
+    @pytest.mark.parametrize("app", ["sites", "gmail", "portal", "docs",
+                                     "dashboard"])
+    def test_every_app_records(self, tmp_path, app):
+        path = tmp_path / ("%s.warr" % app)
+        code, _ = run_cli(["record", "--app", app, "--out", str(path)])
+        assert code == 0
+        assert len(WarrTrace.load(path)) > 0
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(["record", "--app", "ghost",
+                     "--out", str(tmp_path / "x.warr")])
+
+
+class TestReplay:
+    def test_replay_succeeds(self, recorded_trace):
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites"])
+        assert code == 0
+        assert "0 page error(s)" in output
+
+    def test_no_wait_finds_the_bug_and_fails(self, recorded_trace):
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites", "--no-wait"])
+        assert code == 1
+        assert "editorState" in output
+
+    def test_stock_driver_option(self, tmp_path):
+        path = tmp_path / "gmail.warr"
+        run_cli(["record", "--app", "gmail", "--out", str(path)])
+        code, output = run_cli(["replay", str(path), "--app", "gmail",
+                                "--stock-driver"])
+        assert code == 1
+        assert "HALTED" in output
+
+    def test_scale_option(self, recorded_trace):
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites", "--scale", "2.0"])
+        assert code == 0
+
+    def test_no_relaxation_option_with_stable_ids(self, recorded_trace):
+        # Sites ids are stable, so exact matching suffices and the
+        # option just disables the fallback machinery.
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites", "--no-relaxation"])
+        assert code == 0
+
+    def test_user_browser_option_still_replays(self, recorded_trace):
+        # A user (non-developer) browser replays commands, but key events
+        # carry degraded properties; the sites flow does not depend on
+        # handler-visible key codes, so it completes.
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites", "--user-browser"])
+        assert code == 0
+
+
+class TestInspect:
+    def test_inspect_prints_stats(self, recorded_trace):
+        code, output = run_cli(["inspect", str(recorded_trace)])
+        assert code == 0
+        assert "commands:" in output
+        assert "typing speed" in output
+        assert "start url: http://sites.example.com/edit/home" in output
+
+    def test_inspect_commands_listing(self, recorded_trace):
+        code, output = run_cli(["inspect", str(recorded_trace),
+                                "--commands"])
+        assert 'click //div/span[@id="start"]' in output
+
+
+class TestWebErrCommand:
+    def test_timing_campaign_reports_bug(self, recorded_trace):
+        code, output = run_cli(["weberr", str(recorded_trace),
+                                "--app", "sites", "--campaign", "timing"])
+        assert code == 0
+        assert "BUG no-wait" in output
+        assert "editorState" in output
+
+    def test_navigation_campaign_runs(self, recorded_trace):
+        code, output = run_cli(["weberr", str(recorded_trace),
+                                "--app", "sites", "--campaign", "navigation",
+                                "--max-tests", "8"])
+        assert code == 0
+        assert "[navigation]" in output

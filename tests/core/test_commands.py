@@ -1,0 +1,145 @@
+"""WaRR Command model and the Figure-4 wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.commands import (
+    ClickCommand,
+    DoubleClickCommand,
+    DragCommand,
+    SwitchFrameCommand,
+    TypeCommand,
+    parse_command_line,
+    DEFAULT_FRAME,
+)
+from repro.util.errors import TraceFormatError
+
+
+class TestSerialization:
+    def test_click_line_matches_figure4(self):
+        command = ClickCommand('//div/span[@id="start"]', x=82, y=44,
+                               elapsed_ms=1)
+        assert command.to_line() == 'click //div/span[@id="start"] 82,44 1'
+
+    def test_type_line_matches_figure4(self):
+        command = TypeCommand('//td/div[@id="content"]', key="H", code=72,
+                              elapsed_ms=3)
+        assert command.to_line() == 'type //td/div[@id="content"] [H,72] 3'
+
+    def test_space_key_payload(self):
+        command = TypeCommand("//div", key=" ", code=32, elapsed_ms=12)
+        assert command.to_line() == "type //div [ ,32] 12"
+
+    def test_doubleclick_line(self):
+        command = DoubleClickCommand("//div", x=5, y=6, elapsed_ms=9)
+        assert command.to_line() == "doubleclick //div 5,6 9"
+
+    def test_drag_line_with_negative_delta(self):
+        command = DragCommand("//div", dx=-10, dy=4, elapsed_ms=2)
+        assert command.to_line() == "drag //div -10,4 2"
+
+    def test_switchframe_line(self):
+        command = SwitchFrameCommand(DEFAULT_FRAME, elapsed_ms=0)
+        assert command.to_line() == "switchframe default - 0"
+
+
+class TestParsing:
+    @pytest.mark.parametrize("line", [
+        'click //div/span[@id="start"] 82,44 1',
+        'type //td/div[@id="content"] [H,72] 3',
+        'type //td/div[@id="content"] [ ,32] 12',
+        'type //td/div[@id="content"] [!,49] 31',
+        'click //td/div[text()="Save"] 74,51 37',
+        "doubleclick //div[@id=\"cell\"] 10,20 5",
+        "drag //div -3,-4 0",
+        "switchframe //iframe[@id=\"x\"] - 2",
+        "switchframe default - 0",
+    ])
+    def test_round_trip(self, line):
+        assert parse_command_line(line).to_line() == line
+
+    def test_figure4_trace_parses(self):
+        figure4 = '''click //div/span[@id="start"] 82,44 1
+type //td/div[@id="content"] [H,72] 3
+type //td/div[@id="content"] [e,69] 4
+type //td/div[@id="content"] [l,76] 7
+type //td/div[@id="content"] [l,76] 9
+type //td/div[@id="content"] [o,79] 11
+type //td/div[@id="content"] [ ,32] 12
+type //td/div[@id="content"] [w,87] 15
+type //td/div[@id="content"] [o,79] 17
+type //td/div[@id="content"] [r,82] 19
+type //td/div[@id="content"] [l,76] 23
+type //td/div[@id="content"] [d,68] 29
+type //td/div[@id="content"] [!,49] 31
+click //td/div[text()="Save"] 74,51 37'''
+        commands = [parse_command_line(line) for line in figure4.splitlines()]
+        assert len(commands) == 14
+        typed = "".join(c.key for c in commands
+                        if isinstance(c, TypeCommand))
+        assert typed == "Hello world!"
+
+    def test_xpath_with_spaces_in_text_predicate(self):
+        line = 'click //div[text()="Save and close"] 1,2 3'
+        command = parse_command_line(line)
+        assert command.xpath == '//div[text()="Save and close"]'
+
+    def test_comma_key_parses(self):
+        command = parse_command_line("type //div [,,188] 5")
+        assert command.key == ","
+        assert command.code == 188
+
+    @pytest.mark.parametrize("bad", [
+        "", "click", "unknown //div 1,2 3", "click //div 1,2",
+        "click //div nopayload 3", "type //div [H,notanumber] 3",
+        "drag //div 5 3",
+    ])
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(TraceFormatError):
+            parse_command_line(bad)
+
+
+class TestCopy:
+    def test_copy_preserves_fields(self):
+        command = ClickCommand("//a", x=1, y=2, elapsed_ms=3)
+        clone = command.copy()
+        assert clone == command
+        assert clone is not command
+
+    def test_copy_with_override(self):
+        command = TypeCommand("//div", key="a", code=65, elapsed_ms=100)
+        rushed = command.copy(elapsed_ms=0)
+        assert rushed.elapsed_ms == 0
+        assert rushed.key == "a"
+        assert command.elapsed_ms == 100
+
+    def test_equality_and_hash(self):
+        a = TypeCommand("//div", key="a", code=65, elapsed_ms=1)
+        b = TypeCommand("//div", key="a", code=65, elapsed_ms=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TypeCommand("//div", key="b", code=66, elapsed_ms=1)
+
+    def test_click_and_doubleclick_differ(self):
+        assert ClickCommand("//a", 1, 2, 3) != DoubleClickCommand("//a", 1, 2, 3)
+
+
+_printable_keys = st.sampled_from(
+    list("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+         "!@#$%^&*()-_=+;:'\"<>?/ ,"))
+
+
+@given(key=_printable_keys, code=st.integers(0, 255),
+       elapsed=st.integers(0, 10**6))
+def test_property_type_command_round_trips(key, code, elapsed):
+    command = TypeCommand('//td/div[@id="content"]', key=key, code=code,
+                          elapsed_ms=elapsed)
+    assert parse_command_line(command.to_line()) == command
+
+
+@given(x=st.integers(-5000, 5000), y=st.integers(-5000, 5000),
+       elapsed=st.integers(0, 10**6))
+def test_property_click_command_round_trips(x, y, elapsed):
+    command = ClickCommand('//div[text()="a b c"]', x=x, y=y,
+                           elapsed_ms=elapsed)
+    assert parse_command_line(command.to_line()) == command

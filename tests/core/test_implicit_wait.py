@@ -1,0 +1,97 @@
+"""Implicit waits: locating content that appears asynchronously."""
+
+import pytest
+
+from repro.core.commands import ClickCommand
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.core.trace import WarrTrace
+from repro.core.webdriver import WebDriver
+from repro.util.errors import ElementNotFoundError
+from tests.browser.helpers import build_browser, url
+
+
+def late_button_script(window):
+    """A page that grows a button 400 ms after load (AJAX-style)."""
+    def add_button():
+        button = window.create_element("button", {"id": "late"})
+        button.text_content = "Ready"
+        window.document.body.append_child(button)
+        window.env.clicked = False
+
+        def on_click(event):
+            window.env.clicked = True
+
+        button.add_event_listener("click", on_click)
+
+    window.set_timeout(400, add_button)
+
+
+def late_browser(developer_mode=True):
+    return build_browser(
+        extra_routes={
+            "/late": lambda request:
+                '<html><head><title>Late</title></head><body>'
+                '<p>loading...</p>'
+                '<script data-script="test.late"></script></body></html>',
+        },
+        extra_scripts={"test.late": late_button_script},
+        developer_mode=developer_mode,
+    )
+
+
+class TestDriverImplicitWait:
+    def test_without_wait_misses_late_elements(self):
+        driver = WebDriver(late_browser(), implicit_wait_ms=0)
+        driver.get(url("/late"))
+        with pytest.raises(ElementNotFoundError):
+            driver.find_element('//button[@id="late"]')
+
+    def test_with_wait_finds_late_elements(self):
+        driver = WebDriver(late_browser(), implicit_wait_ms=1000)
+        driver.get(url("/late"))
+        element = driver.find_element('//button[@id="late"]')
+        assert element.text_content == "Ready"
+        # Waited only as long as needed.
+        assert driver.browser.clock.now() == pytest.approx(450, abs=60)
+
+    def test_wait_gives_up_at_deadline(self):
+        driver = WebDriver(late_browser(), implicit_wait_ms=100)
+        driver.get(url("/late"))
+        with pytest.raises(ElementNotFoundError):
+            driver.find_element('//button[@id="late"]')
+
+    def test_wait_not_paid_for_present_elements(self):
+        driver = WebDriver(late_browser(), implicit_wait_ms=5000)
+        driver.get(url("/late"))
+        before = driver.browser.clock.now()
+        driver.find_element("//p")
+        assert driver.browser.clock.now() == before
+
+    def test_exact_match_preferred_over_relaxed_while_waiting(self):
+        """With a wait configured, a missing locator first waits for the
+        exact element instead of immediately grabbing a relaxed match."""
+        driver = WebDriver(late_browser(), implicit_wait_ms=1000)
+        driver.get(url("/late"))
+        element = driver.find_element('//body/button[@id="late"]')
+        assert element.id == "late"
+
+
+class TestReplayerImplicitWait:
+    def test_no_wait_replay_rescued_by_implicit_wait(self):
+        """An impatient (no-wait) replay clicks a button that does not
+        exist yet; with an implicit wait the replayer pauses just long
+        enough instead of failing."""
+        trace = WarrTrace(start_url=url("/late"), commands=[
+            ClickCommand('//button[@id="late"]', x=1, y=1, elapsed_ms=1000),
+        ])
+        impatient = WarrReplayer(late_browser(),
+                                 timing=TimingMode.no_wait())
+        report = impatient.replay(trace)
+        # Without waiting, the click degrades to the coordinate fallback
+        # (which hits nothing useful).
+        assert not any(r.status == "ok" for r in report.results)
+
+        patient = WarrReplayer(late_browser(), timing=TimingMode.no_wait(),
+                               implicit_wait_ms=1000)
+        report = patient.replay(trace)
+        assert report.results[0].status == "ok"

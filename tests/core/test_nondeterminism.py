@@ -1,0 +1,147 @@
+"""Recording and replaying page-script nondeterminism."""
+
+import pytest
+
+from repro.core.nondeterminism import (
+    KIND_RANDOM,
+    KIND_TIME,
+    NondeterminismLog,
+    NondeterminismRecorder,
+    NondeterminismReplayer,
+)
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.util.errors import TraceFormatError
+from tests.browser.helpers import build_browser, url
+
+
+def lottery_script(window):
+    """A page whose behaviour depends on randomness: clicking the box
+    shows a 'ticket number' drawn from Math.random()."""
+    box = window.get_element_by_id("box")
+    window.env.tickets = []
+
+    def on_click(event):
+        ticket = int(window.random() * 1_000_000)
+        window.env.tickets.append(ticket)
+        box.set_attribute("data-ticket", str(ticket))
+
+    box.add_event_listener("click", on_click)
+
+
+def lottery_browser(developer_mode=False, seed=1234):
+    browser = build_browser(
+        extra_routes={
+            "/lottery": lambda request:
+                '<html><head><title>Lottery</title></head><body>'
+                '<div id="box" contenteditable>draw</div>'
+                '<script data-script="test.lottery"></script></body></html>',
+        },
+        extra_scripts={"test.lottery": lottery_script},
+        developer_mode=developer_mode,
+    )
+    browser._script_rng.seed = seed  # annotate only; rng already built
+    return browser
+
+
+class TestLog:
+    def test_append_and_iterate(self):
+        log = NondeterminismLog()
+        log.append(KIND_RANDOM, 0.25)
+        log.append(KIND_TIME, 1500.0)
+        assert list(log) == [(KIND_RANDOM, 0.25), (KIND_TIME, 1500.0)]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NondeterminismLog().append("entropy", 1.0)
+
+    def test_text_round_trip(self):
+        log = NondeterminismLog([(KIND_RANDOM, 0.125), (KIND_TIME, 42.5)])
+        assert NondeterminismLog.from_text(log.to_text()).entries == log.entries
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            NondeterminismLog.from_text("random 0.5\n")
+
+    def test_save_load(self, tmp_path):
+        log = NondeterminismLog([(KIND_RANDOM, 0.75)])
+        path = tmp_path / "run.ndlog"
+        log.save(path)
+        assert NondeterminismLog.load(path).entries == log.entries
+
+
+class TestRecording:
+    def test_random_draws_are_logged(self):
+        browser = lottery_browser()
+        nd_recorder = NondeterminismRecorder().attach(browser)
+        tab = browser.new_tab(url("/lottery"))
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.click_element(tab.find('//div[@id="box"]'))
+        assert len(nd_recorder.log) == 2
+        assert all(kind == KIND_RANDOM for kind, _ in nd_recorder.log)
+
+    def test_time_reads_are_logged(self):
+        browser = build_browser(
+            extra_routes={
+                "/clocked": lambda request:
+                    '<body><script data-script="test.clocked"></script></body>',
+            },
+            extra_scripts={
+                "test.clocked": lambda window: setattr(
+                    window.env, "loaded_at", window.now()),
+            },
+        )
+        nd_recorder = NondeterminismRecorder().attach(browser)
+        browser.new_tab(url("/clocked"))
+        assert [kind for kind, _ in nd_recorder.log] == [KIND_TIME]
+
+    def test_detach_stops_logging(self):
+        browser = lottery_browser()
+        nd_recorder = NondeterminismRecorder().attach(browser)
+        tab = browser.new_tab(url("/lottery"))
+        nd_recorder.detach()
+        tab.click_element(tab.find('//div[@id="box"]'))
+        assert len(nd_recorder.log) == 0
+
+
+class TestReplayInjection:
+    def record_lottery_session(self):
+        browser = lottery_browser()
+        warr = WarrRecorder().attach(browser)
+        warr.begin(url("/lottery"))
+        nd_recorder = NondeterminismRecorder().attach(browser)
+        tab = browser.new_tab(url("/lottery"))
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tab.click_element(tab.find('//div[@id="box"]'))
+        tickets = list(tab.engine.window.env.tickets)
+        return warr.trace, nd_recorder.log, tickets
+
+    def test_replay_with_log_reproduces_random_values(self):
+        trace, nd_log, original_tickets = self.record_lottery_session()
+        browser = lottery_browser(developer_mode=True, seed=999)
+        NondeterminismReplayer(nd_log).install(browser)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        replayed = browser.tabs[0].engine.window.env.tickets
+        assert replayed == original_tickets
+
+    def test_replay_without_log_diverges(self):
+        """Different browser seed + no injection: tickets differ, which
+        is exactly the nondeterminism the extension eliminates."""
+        trace, _, original_tickets = self.record_lottery_session()
+        browser = build_browser(developer_mode=True)
+        # rebuild lottery app on a browser with another seed
+        browser = lottery_browser(developer_mode=True)
+        browser._script_rng.__init__(987654)
+        WarrReplayer(browser).replay(trace)
+        replayed = browser.tabs[0].engine.window.env.tickets
+        assert replayed != original_tickets
+
+    def test_exhausted_log_counts_overruns(self):
+        trace, nd_log, _ = self.record_lottery_session()
+        nd_log.entries = nd_log.entries[:1]  # drop the second draw
+        browser = lottery_browser(developer_mode=True)
+        replayer = NondeterminismReplayer(nd_log).install(browser)
+        WarrReplayer(browser).replay(trace)
+        assert replayer.overruns == 1
+        assert replayer.consumed == 1

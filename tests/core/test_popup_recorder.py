@@ -1,0 +1,118 @@
+"""The popup-logging extension (paper IV-D future work)."""
+
+import pytest
+
+from repro.core.popup_recorder import PopupRecorder, replay_popup_log
+from repro.core.recorder import WarrRecorder
+from tests.browser.helpers import build_browser, url
+
+
+def test_popup_show_and_answer_logged():
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    popup = browser.show_popup("Unsaved changes", ["Leave", "Stay"])
+    popup.click_button("Stay")
+    assert len(recorder.log) == 1
+    event = recorder.log.events[0]
+    assert event.title == "Unsaved changes"
+    assert event.clicked == "Stay"
+    assert event.answered
+
+
+def test_unanswered_popup_logged_as_shown():
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    browser.show_popup("Info", ["OK"])
+    event = recorder.log.events[0]
+    assert not event.answered
+    assert recorder.log.answered_events() == []
+
+
+def test_timestamps_use_virtual_clock():
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    browser.clock.advance(500)
+    popup = browser.show_popup("X", ["OK"])
+    browser.clock.advance(250)
+    popup.click_button("OK")
+    event = recorder.log.events[0]
+    assert event.shown_at == 500
+    assert event.clicked_at == 750
+
+
+def test_detach_restores_blind_spot():
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    recorder.detach()
+    popup = browser.show_popup("After detach", ["OK"])
+    popup.click_button("OK")
+    assert len(recorder.log) == 0
+
+
+def test_double_attach_rejected():
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    with pytest.raises(RuntimeError):
+        recorder.attach(browser)
+
+
+def test_popup_handlers_still_run_through_instrumentation():
+    browser = build_browser()
+    PopupRecorder().attach(browser)
+    outcomes = []
+    popup = browser.show_popup("Q", ["Yes", "No"])
+    popup.on_button("Yes", lambda: outcomes.append("yes"))
+    popup.click_button("Yes")
+    assert outcomes == ["yes"]
+
+
+def test_closes_the_warr_blind_spot():
+    """With both recorders attached, a session mixing page clicks and
+    popup answers is fully captured — commands in the trace, popup
+    choices in the side log."""
+    browser = build_browser()
+    warr = WarrRecorder().attach(browser)
+    warr.begin(url("/"))
+    popups = PopupRecorder().attach(browser)
+
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//span[@id="start"]'))
+    dialog = browser.show_popup("Save before leaving?", ["Save", "Discard"])
+    dialog.click_button("Save")
+    tab.click_element(tab.find('//div[@id="box"]'))
+
+    assert len(warr.trace) == 2  # page clicks
+    assert len(popups.log) == 1  # the dialog answer
+    assert popups.log.events[0].clicked == "Save"
+
+
+def test_replay_auto_answers_recorded_dialogs():
+    # Record.
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    popup = browser.show_popup("Confirm delete", ["Delete", "Cancel"])
+    popup.click_button("Cancel")
+    log = recorder.log
+
+    # Replay: the application shows the same dialog; the log answers it.
+    replay_browser = build_browser()
+    state = replay_popup_log(replay_browser, log)
+    outcomes = []
+    dialog = replay_browser.show_popup("Confirm delete", ["Delete", "Cancel"])
+    dialog.on_button  # dialog exists
+    assert dialog.dismissed  # answered automatically
+    assert dialog.clicked[0][0] == "Cancel"
+    assert state["consumed"] == 1
+    assert state["unmatched"] == 0
+
+
+def test_replay_counts_unmatched_dialogs():
+    browser = build_browser()
+    recorder = PopupRecorder().attach(browser)
+    browser.show_popup("Never answered", ["OK"])
+
+    replay_browser = build_browser()
+    state = replay_popup_log(replay_browser, recorder.log)
+    dialog = replay_browser.show_popup("Different title", ["OK"])
+    assert not dialog.dismissed
+    assert state["unmatched"] == 1

@@ -1,0 +1,97 @@
+"""Property-based tests for the XPath relaxation pipeline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.relaxation import RelaxationEngine, relax_candidates
+from repro.dom.parser import parse_html
+from repro.xpath.parser import parse_xpath
+
+_expressions = st.sampled_from([
+    '//td/div[@id="content"]',
+    '//td/input[@id="w1_to"][@name="to"]',
+    '//table/tr/td/div[@id="x"]',
+    '//div/span[@id="start"]',
+    '//td/div[text()="Save"]',
+    '//form/input[@type="text"][@name="q"]',
+    "/html/body/div[2]/span",
+    '//ul/li[3]',
+    '//a[contains(@href, "about")]',
+])
+
+
+@given(_expressions)
+@settings(max_examples=30, deadline=None)
+def test_candidates_are_parseable_and_unique(expression):
+    candidates = relax_candidates(expression)
+    rendered = [path.to_xpath() for _, path in candidates]
+    assert len(rendered) == len(set(rendered))
+    for text in rendered:
+        parse_xpath(text)  # must not raise
+
+
+@given(_expressions)
+@settings(max_examples=30, deadline=None)
+def test_original_is_always_first_candidate(expression):
+    description, path = relax_candidates(expression)[0]
+    assert description == "original"
+    assert path == parse_xpath(expression)
+
+
+@given(_expressions)
+@settings(max_examples=30, deadline=None)
+def test_candidates_never_grow_steps(expression):
+    original_steps = len(parse_xpath(expression).steps)
+    for _, path in relax_candidates(expression):
+        assert len(path.steps) <= original_steps
+
+
+@given(_expressions)
+@settings(max_examples=30, deadline=None)
+def test_candidates_never_add_predicates(expression):
+    original = parse_xpath(expression)
+    original_predicates = sum(len(s.predicates) for s in original.steps)
+    for _, path in relax_candidates(expression):
+        assert sum(len(s.predicates) for s in path.steps) <= original_predicates
+
+
+# A document rich enough that most sampled expressions resolve.
+_DOC = parse_html("""
+<html><body>
+  <div><span id="start">go</span></div>
+  <form><input type="text" name="q"></form>
+  <table><tr>
+    <td><input id="w9_to" name="to"><div id="content">hi</div></td>
+    <td><div>Save</div></td>
+  </tr></table>
+  <ul><li>1</li><li>2</li><li>3</li></ul>
+  <div><a href="/about">about</a></div>
+  <div><span>plain</span></div>
+</body></html>
+""")
+
+
+@given(_expressions)
+@settings(max_examples=30, deadline=None)
+def test_resolution_matches_some_candidate(expression):
+    """Whatever resolve() returns must be a match of one of the
+    candidates it claims to have used."""
+    from repro.xpath.evaluator import evaluate
+
+    engine = RelaxationEngine()
+    try:
+        element, description = engine.resolve(expression, _DOC)
+    except Exception:
+        return  # nothing matches even relaxed: acceptable for this doc
+    found = False
+    for candidate_description, path in relax_candidates(expression):
+        if element in evaluate(path, _DOC):
+            found = True
+            break
+    assert found
+
+
+def test_resolution_prefers_exact_when_exact_exists():
+    engine = RelaxationEngine()
+    element, description = engine.resolve('//td/div[@id="content"]', _DOC)
+    assert description == "original"
+    assert element.id == "content"

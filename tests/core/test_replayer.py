@@ -1,0 +1,169 @@
+"""The WaRR Replayer: timing modes, reports, fallbacks, halting."""
+
+import pytest
+
+from repro.core.chromedriver import ChromeDriverConfig
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import CommandResult, TimingMode, WarrReplayer
+from repro.core.trace import WarrTrace
+from tests.browser.helpers import build_browser, url
+
+
+def record_home_session():
+    browser = build_browser()
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(url("/"))
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//input[@name="who"]'))
+    tab.type_text("Ada", think_time_ms=20)
+    tab.click_element(tab.find('//input[@type="submit"]'))
+    # Interact on the page after the navigation: this is what exposes
+    # the stock driver's lost-active-client bug during replay.
+    tab.click_element(tab.find('//a[text()="back"]'))
+    return recorder.trace
+
+
+class TestTimingMode:
+    def test_recorded_keeps_delays(self):
+        mode = TimingMode.recorded()
+        assert mode.delay_for(ClickCommand("//a", elapsed_ms=120)) == 120
+
+    def test_no_wait_zeroes_delays(self):
+        mode = TimingMode.no_wait()
+        assert mode.delay_for(ClickCommand("//a", elapsed_ms=120)) == 0
+
+    def test_scaled(self):
+        mode = TimingMode.scaled(0.5)
+        assert mode.delay_for(ClickCommand("//a", elapsed_ms=120)) == 60
+
+    def test_fixed(self):
+        mode = TimingMode.fixed(10)
+        assert mode.delay_for(ClickCommand("//a", elapsed_ms=120)) == 10
+
+
+class TestBasicReplay:
+    def test_full_session_replays(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        assert report.replayed_count == len(trace)
+        # The session ends back on the home page after the final click.
+        assert report.final_url == url("/")
+
+    def test_replay_reproduces_timing(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        WarrReplayer(browser, timing=TimingMode.recorded()).replay(trace)
+        # Total virtual time >= sum of recorded delays.
+        assert browser.clock.now() >= trace.total_duration_ms()
+
+    def test_no_wait_is_faster(self):
+        trace = record_home_session()
+        slow = build_browser(developer_mode=True)
+        WarrReplayer(slow, timing=TimingMode.recorded()).replay(trace)
+        fast = build_browser(developer_mode=True)
+        WarrReplayer(fast, timing=TimingMode.no_wait()).replay(trace)
+        assert fast.clock.now() < slow.clock.now()
+
+    def test_bad_start_url_halts(self):
+        trace = WarrTrace(start_url="http://nowhere.example/",
+                          commands=[ClickCommand("//a")])
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.halted
+        assert "navigation" in report.halt_reason
+
+
+class TestFailureHandling:
+    def test_unresolvable_type_command_is_failure(self):
+        trace = WarrTrace(start_url=url("/"), commands=[
+            TypeCommand("//video", key="a", code=65),
+        ])
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.failed_count == 1
+        assert not report.complete
+
+    def test_replay_continues_after_failure_by_default(self):
+        trace = WarrTrace(start_url=url("/"), commands=[
+            TypeCommand("//video", key="a", code=65),
+            ClickCommand('//a[text()="About"]', x=0, y=0),
+        ])
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.failed_count == 1
+        assert report.replayed_count == 1
+        assert browser.tabs[0].document.title == "About"
+
+    def test_stop_on_failure(self):
+        trace = WarrTrace(start_url=url("/"), commands=[
+            TypeCommand("//video", key="a", code=65),
+            ClickCommand('//a[text()="About"]', x=0, y=0),
+        ])
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser, stop_on_failure=True).replay(trace)
+        assert len(report.results) == 1
+        assert browser.tabs[0].document.title == "Home"
+
+
+class TestCoordinateFallback:
+    def test_click_falls_back_to_recorded_position(self):
+        # Record a click on the About link, then corrupt the xpath.
+        browser = build_browser()
+        recorder = WarrRecorder().attach(browser)
+        recorder.begin(url("/"))
+        tab = browser.new_tab(url("/"))
+        tab.click_element(tab.find('//a[text()="About"]'))
+        original = recorder.trace[0]
+        corrupted = WarrTrace(start_url=url("/"), commands=[
+            ClickCommand("//video[@id='gone']", x=original.x, y=original.y),
+        ])
+        replay_browser = build_browser(developer_mode=True)
+        report = WarrReplayer(replay_browser).replay(corrupted)
+        assert report.results[0].status == CommandResult.COORDINATE
+        assert replay_browser.tabs[0].document.title == "About"
+
+
+class TestRelaxationReporting:
+    def test_relaxed_commands_flagged(self):
+        trace = WarrTrace(start_url=url("/"), commands=[
+            ClickCommand('//div/span[@id="stale"]', x=1, y=1),
+        ])
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.results[0].status == CommandResult.RELAXED
+        assert report.relaxed_count == 1
+
+
+class TestHalting:
+    def test_stock_driver_halts_on_navigation(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        replayer = WarrReplayer(browser, config=ChromeDriverConfig.stock())
+        report = replayer.replay(trace)
+        assert report.halted
+        assert "active" in report.halt_reason.lower() or "halted" in report.halt_reason.lower()
+
+    def test_warr_driver_does_not_halt(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser, config=ChromeDriverConfig.warr()).replay(trace)
+        assert not report.halted
+
+
+class TestReportSummary:
+    def test_summary_mentions_counts(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        summary = report.summary()
+        assert "%d/%d" % (len(trace), len(trace)) in summary
+
+    def test_page_errors_scoped_to_this_replay(self):
+        browser = build_browser(developer_mode=True)
+        browser.page_errors.append("pre-existing")
+        trace = record_home_session()
+        report = WarrReplayer(browser).replay(trace)
+        assert report.page_errors == []

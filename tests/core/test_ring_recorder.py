@@ -1,0 +1,100 @@
+"""Bounded always-on recording."""
+
+import pytest
+
+from repro.core.replayer import WarrReplayer
+from repro.core.ring_recorder import RingBufferRecorder
+from tests.browser.helpers import build_browser, url
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        RingBufferRecorder(capacity=0)
+
+
+def test_records_like_a_normal_recorder_under_capacity():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=100).attach(browser)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//span[@id="start"]'))
+    tab.click_element(tab.find('//div[@id="box"]'))
+    tab.type_text("hi")
+    assert len(ring) == 4
+    assert ring.dropped_count == 0
+
+
+def test_oldest_commands_dropped_at_capacity():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=3).attach(browser)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//div[@id="box"]'))
+    tab.type_text("abcde")
+    assert len(ring) == 3
+    assert ring.dropped_count == 3  # click + 'a' + 'b'
+    snapshot = ring.snapshot()
+    assert [c.key for c in snapshot] == ["c", "d", "e"]
+
+
+def test_snapshot_zeroes_first_elapsed():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=2).attach(browser)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//div[@id="box"]'))
+    tab.wait(500)
+    tab.type_text("xy")
+    snapshot = ring.snapshot()
+    assert snapshot[0].elapsed_ms == 0
+
+
+def test_snapshot_anchored_at_current_page():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=2).attach(browser)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//span[@id="start"]'))  # on /
+    tab.click_element(tab.find('//a[text()="About"]'))  # navigates
+    tab.back()
+    tab.click_element(tab.find('//div[@id="box"]'))
+    tab.type_text("z")
+    snapshot = ring.snapshot()
+    # Window holds the last 2 actions, both on the home page.
+    assert snapshot.start_url == url("/")
+
+
+def test_snapshot_replays():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=10).attach(browser)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//input[@name="who"]'))
+    tab.type_text("Zoe")
+    tab.click_element(tab.find('//input[@type="submit"]'))
+    snapshot = ring.snapshot()
+
+    replay_browser = build_browser(developer_mode=True)
+    report = WarrReplayer(replay_browser).replay(snapshot)
+    assert report.complete
+    assert replay_browser.tabs[0].url.endswith("who=Zoe")
+
+
+def test_empty_snapshot():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=5).attach(browser)
+    snapshot = ring.snapshot()
+    assert len(snapshot) == 0
+
+
+def test_overhead_tracking_delegates():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=5).attach(browser)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//div[@id="box"]'))
+    assert len(ring.overhead_samples_us) == 1
+    assert ring.mean_overhead_us() > 0
+
+
+def test_detach_stops_recording():
+    browser = build_browser()
+    ring = RingBufferRecorder(capacity=5).attach(browser)
+    tab = browser.new_tab(url("/"))
+    ring.detach()
+    tab.click_element(tab.find('//div[@id="box"]'))
+    assert len(ring) == 0

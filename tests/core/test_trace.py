@@ -1,0 +1,130 @@
+"""Trace container, derivation, and file format."""
+
+import pytest
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.trace import WarrTrace
+from repro.util.errors import TraceFormatError
+
+
+def sample_trace():
+    return WarrTrace(
+        start_url="http://sites.example.com/edit/home",
+        commands=[
+            ClickCommand('//span[@id="start"]', x=82, y=44, elapsed_ms=100),
+            TypeCommand('//div[@id="content"]', key="H", code=72, elapsed_ms=50),
+            TypeCommand('//div[@id="content"]', key="i", code=73, elapsed_ms=25),
+            ClickCommand('//div[text()="Save"]', x=74, y=51, elapsed_ms=200),
+        ],
+        label="edit session",
+    )
+
+
+class TestContainer:
+    def test_len_iter_index(self):
+        trace = sample_trace()
+        assert len(trace) == 4
+        assert [c.action for c in trace] == ["click", "type", "type", "click"]
+        assert trace[1].key == "H"
+
+    def test_slice_returns_trace(self):
+        trace = sample_trace()
+        prefix = trace[:2]
+        assert isinstance(prefix, WarrTrace)
+        assert len(prefix) == 2
+        assert prefix.start_url == trace.start_url
+
+    def test_append_validates_type(self):
+        trace = WarrTrace()
+        with pytest.raises(TypeError):
+            trace.append("not a command")
+
+
+class TestDerivation:
+    def test_copy_is_deep_for_commands(self):
+        trace = sample_trace()
+        clone = trace.copy()
+        clone.commands[0].x = 999
+        assert trace.commands[0].x == 82
+
+    def test_scale_delays_to_zero(self):
+        fast = sample_trace().with_delays_scaled(0)
+        assert all(c.elapsed_ms == 0 for c in fast)
+
+    def test_scale_delays_half(self):
+        half = sample_trace().with_delays_scaled(0.5)
+        assert [c.elapsed_ms for c in half] == [50, 25, 12, 100]
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sample_trace().with_delays_scaled(-1)
+
+    def test_fixed_delays(self):
+        fixed = sample_trace().with_delays_fixed(10)
+        assert all(c.elapsed_ms == 10 for c in fixed)
+
+    def test_original_untouched_by_derivation(self):
+        trace = sample_trace()
+        trace.with_delays_scaled(0)
+        assert trace.total_duration_ms() == 375
+
+
+class TestMeasurement:
+    def test_total_duration(self):
+        assert sample_trace().total_duration_ms() == 375
+
+    def test_action_counts(self):
+        assert sample_trace().action_counts() == {"click": 2, "type": 2}
+
+
+class TestFileFormat:
+    def test_round_trip_via_text(self):
+        trace = sample_trace()
+        assert WarrTrace.from_text(trace.to_text()) == trace
+
+    def test_header_carries_url_and_label(self):
+        text = sample_trace().to_text()
+        assert text.startswith("#! warr-trace v1\n")
+        assert "#! url http://sites.example.com/edit/home" in text
+        assert "#! label edit session" in text
+
+    def test_missing_magic_rejected(self):
+        with pytest.raises(TraceFormatError):
+            WarrTrace.from_text("click //a 1,2 3\n")
+
+    def test_comment_lines_skipped(self):
+        text = ("#! warr-trace v1\n#! url http://x/\n"
+                "# a comment\nclick //a 1,2 3\n")
+        trace = WarrTrace.from_text(text)
+        assert len(trace) == 1
+
+    def test_blank_lines_skipped(self):
+        text = "#! warr-trace v1\n\nclick //a 1,2 3\n\n"
+        assert len(WarrTrace.from_text(text)) == 1
+
+    def test_save_and_load(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "session.warr"
+        trace.save(path)
+        assert WarrTrace.load(path) == trace
+
+    def test_label_round_trips(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.warr"
+        trace.save(path)
+        assert WarrTrace.load(path).label == "edit session"
+
+
+class TestEquality:
+    def test_equal(self):
+        assert sample_trace() == sample_trace()
+
+    def test_url_matters(self):
+        other = sample_trace()
+        other.start_url = "http://elsewhere/"
+        assert sample_trace() != other
+
+    def test_commands_matter(self):
+        other = sample_trace()
+        other.commands.pop()
+        assert sample_trace() != other

@@ -1,0 +1,125 @@
+"""Property-based tests over traces and commands."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.auser.privacy import scrub_trace
+from repro.core.commands import (
+    ClickCommand,
+    DoubleClickCommand,
+    DragCommand,
+    SwitchFrameCommand,
+    TypeCommand,
+)
+from repro.core.trace import WarrTrace
+
+_xpaths = st.sampled_from([
+    '//div/span[@id="start"]',
+    '//td/div[@id="content"]',
+    '//td/div[text()="Save"]',
+    '//input[@name="passwd"]',
+    "/html/body/div[2]/p",
+    '//a[contains(@href, "about")]',
+])
+
+_keys = st.sampled_from(list("abcxyzABC123!? ,.") + ["Enter", "Backspace",
+                                                     "Control"])
+
+
+@st.composite
+def commands(draw):
+    kind = draw(st.integers(0, 4))
+    xpath = draw(_xpaths)
+    elapsed = draw(st.integers(0, 100_000))
+    if kind == 0:
+        return ClickCommand(xpath, x=draw(st.integers(0, 2000)),
+                            y=draw(st.integers(0, 2000)), elapsed_ms=elapsed)
+    if kind == 1:
+        return DoubleClickCommand(xpath, x=draw(st.integers(0, 2000)),
+                                  y=draw(st.integers(0, 2000)),
+                                  elapsed_ms=elapsed)
+    if kind == 2:
+        return DragCommand(xpath, dx=draw(st.integers(-300, 300)),
+                           dy=draw(st.integers(-300, 300)),
+                           elapsed_ms=elapsed)
+    if kind == 3:
+        key = draw(_keys)
+        return TypeCommand(xpath, key=key, code=draw(st.integers(0, 255)),
+                           elapsed_ms=elapsed)
+    return SwitchFrameCommand(draw(st.sampled_from(
+        ["default", '//iframe[@id="child"]'])), elapsed_ms=elapsed)
+
+
+@st.composite
+def traces(draw):
+    return WarrTrace(
+        start_url="http://app.example/%s" % draw(st.sampled_from(
+            ["", "edit/home", "compose"])),
+        commands=draw(st.lists(commands(), max_size=25)),
+    )
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_trace_text_round_trips(trace):
+    assert WarrTrace.from_text(trace.to_text()) == trace
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_every_command_line_round_trips(trace):
+    from repro.core.commands import parse_command_line
+
+    for command in trace:
+        assert parse_command_line(command.to_line()) == command
+
+
+@given(traces(), st.floats(0.0, 4.0))
+@settings(max_examples=40, deadline=None)
+def test_delay_scaling_bounds_duration(trace, factor):
+    scaled = trace.with_delays_scaled(factor)
+    assert len(scaled) == len(trace)
+    # int() truncation: scaled duration never exceeds factor * original.
+    assert scaled.total_duration_ms() <= factor * trace.total_duration_ms() + 1
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_no_wait_has_zero_duration(trace):
+    assert trace.with_delays_scaled(0).total_duration_ms() == 0
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_scrub_preserves_shape(trace):
+    scrubbed = scrub_trace(trace)
+    assert len(scrubbed) == len(trace)
+    assert [c.action for c in scrubbed] == [c.action for c in trace]
+    assert [c.elapsed_ms for c in scrubbed] == [c.elapsed_ms for c in trace]
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_scrub_is_idempotent(trace):
+    once = scrub_trace(trace)
+    twice = scrub_trace(once)
+    assert [c.to_line() for c in twice] == [c.to_line() for c in once]
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_scrub_never_leaks_sensitive_keys(trace):
+    scrubbed = scrub_trace(trace)
+    for command in scrubbed:
+        if isinstance(command, TypeCommand) and "passwd" in command.xpath:
+            assert command.key == "*"
+            assert command.code == 0
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_copy_is_equal_but_independent(trace):
+    clone = trace.copy()
+    assert clone == trace
+    if clone.commands:
+        clone.commands.pop()
+        assert len(clone) == len(trace) - 1

@@ -1,0 +1,106 @@
+"""WebDriver facade."""
+
+import pytest
+
+from repro.core.chromedriver import ChromeDriverConfig
+from repro.core.webdriver import WebDriver
+from tests.browser.helpers import build_browser, url
+
+
+@pytest.fixture
+def driver():
+    browser = build_browser(developer_mode=True)
+    return WebDriver(browser)
+
+
+class TestSession:
+    def test_get_opens_tab(self, driver):
+        tab = driver.get(url("/"))
+        assert tab.document.title == "Home"
+
+    def test_get_reuses_tab(self, driver):
+        first = driver.get(url("/"))
+        second = driver.get(url("/about"))
+        assert first is second
+        assert len(driver.browser.tabs) == 1
+
+    def test_tab_before_get_raises(self, driver):
+        with pytest.raises(RuntimeError):
+            driver.tab
+
+
+class TestElementOperations:
+    def test_find_element(self, driver):
+        driver.get(url("/"))
+        element = driver.find_element('//span[@id="start"]')
+        assert element.text_content == "start"
+
+    def test_click_navigates_links(self, driver):
+        driver.get(url("/"))
+        driver.click('//a[text()="About"]')
+        assert driver.tab.document.title == "About"
+
+    def test_send_keys_types_string(self, driver):
+        driver.get(url("/"))
+        element = driver.send_keys('//input[@name="who"]', "Hello!")
+        assert element.value == "Hello!"
+
+    def test_send_key_single(self, driver):
+        driver.get(url("/"))
+        driver.send_key('//div[@id="box"]', "a", 65)
+        assert driver.find_element('//div[@id="box"]').text_content == "a"
+
+    def test_double_click(self, driver):
+        driver.get(url("/"))
+        seen = []
+        box = driver.find_element('//div[@id="box"]')
+        box.add_event_listener("dblclick", lambda event: seen.append(1))
+        driver.double_click('//div[@id="box"]')
+        assert seen == [1]
+
+    def test_drag(self, driver):
+        driver.get(url("/"))
+        widget = driver.drag('//div[@id="widget"]', 9, 9)
+        assert widget.get_attribute("data-offset-x") == "9"
+
+    def test_click_at(self, driver):
+        driver.get(url("/"))
+        field = driver.find_element('//input[@name="who"]')
+        x, y = driver.tab.engine.layout.click_point(field)
+        driver.click_at(x, y)
+        assert driver.tab.engine.focused_element is field
+
+
+class TestRelaxationIntegration:
+    def test_stale_locator_relaxed(self, driver):
+        driver.get(url("/"))
+        element = driver.find_element('//div/span[@id="stale-id"]')
+        # Only one span under a div: the relaxation fallback finds it.
+        assert element.tag == "span"
+        assert driver.relaxation.relaxed_count() >= 1
+
+    def test_relaxation_disabled(self):
+        browser = build_browser(developer_mode=True)
+        driver = WebDriver(browser, relaxation=False)
+        driver.get(url("/"))
+        from repro.util.errors import ElementNotFoundError
+
+        with pytest.raises(ElementNotFoundError):
+            driver.find_element('//div/span[@id="stale-id"]')
+
+
+class TestFrames:
+    def test_switch_and_back(self, driver):
+        driver.get(url("/frame"))
+        driver.switch_to_frame('//iframe[@id="child"]')
+        assert driver.find_element("//button").text_content == "press"
+        driver.switch_to_default()
+        assert driver.find_element('//iframe[@id="bare"]') is not None
+
+
+class TestWait:
+    def test_wait_advances_clock(self, driver):
+        driver.get(url("/"))
+        before = driver.browser.clock.now()
+        driver.wait(500)
+        assert driver.browser.clock.now() == before + 500

@@ -1,0 +1,185 @@
+"""HTML parser behaviour."""
+
+import pytest
+
+from repro.dom.node import Comment, Element, Text
+from repro.dom.parser import decode_entities, parse_fragment, parse_html
+
+
+class TestBasicParsing:
+    def test_simple_document(self):
+        doc = parse_html("<html><head><title>T</title></head>"
+                         "<body><p>hi</p></body></html>")
+        assert doc.title == "T"
+        assert doc.body.children[0].tag == "p"
+
+    def test_skeleton_added_when_missing(self):
+        doc = parse_html("<p>bare</p>")
+        assert doc.document_element.tag == "html"
+        assert doc.head is not None
+        assert doc.body is not None
+        assert doc.body.children[0].tag == "p"
+
+    def test_url_is_kept(self):
+        doc = parse_html("<p>x</p>", url="http://a/b")
+        assert doc.url == "http://a/b"
+
+    def test_nested_elements(self):
+        doc = parse_html("<div><ul><li><b>x</b></li></ul></div>")
+        b = doc.get_elements_by_tag("b")[0]
+        chain = [a.tag for a in b.ancestors() if hasattr(a, "tag")]
+        assert chain[:4] == ["li", "ul", "div", "body"]
+
+    def test_doctype_is_ignored(self):
+        doc = parse_html("<!DOCTYPE html><html><body><p>x</p></body></html>")
+        assert doc.body.children[0].tag == "p"
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        doc = parse_html('<div id="main" class="a b">x</div>')
+        el = doc.get_element_by_id("main")
+        assert el.classes == ["a", "b"]
+
+    def test_single_quoted(self):
+        doc = parse_html("<div id='main'>x</div>")
+        assert doc.get_element_by_id("main") is not None
+
+    def test_unquoted(self):
+        doc = parse_html("<input type=text name=q>")
+        el = doc.get_elements_by_tag("input")[0]
+        assert el.get_attribute("type") == "text"
+        assert el.name == "q"
+
+    def test_bare_attribute(self):
+        doc = parse_html("<input disabled>")
+        assert doc.get_elements_by_tag("input")[0].has_attribute("disabled")
+
+    def test_attribute_names_lowercased(self):
+        doc = parse_html('<div ID="x">y</div>')
+        assert doc.get_element_by_id("x") is not None
+
+    def test_entities_in_attribute_values(self):
+        doc = parse_html('<div title="a &amp; b">x</div>')
+        assert doc.get_elements_by_tag("div")[0].get_attribute("title") == "a & b"
+
+
+class TestVoidAndSelfClosing:
+    def test_void_elements_do_not_nest(self):
+        doc = parse_html("<div><br><span>after</span></div>")
+        div = doc.get_elements_by_tag("div")[0]
+        assert [c.tag for c in div.child_elements()] == ["br", "span"]
+
+    def test_self_closing_syntax(self):
+        doc = parse_html("<div><img src='x.png'/><span>s</span></div>")
+        div = doc.get_elements_by_tag("div")[0]
+        assert [c.tag for c in div.child_elements()] == ["img", "span"]
+
+    def test_stray_void_end_tag_ignored(self):
+        doc = parse_html("<div><br></br><span>x</span></div>")
+        assert doc.get_elements_by_tag("span")[0].text_content == "x"
+
+
+class TestImpliedEndTags:
+    def test_li_closes_li(self):
+        doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+        ul = doc.get_elements_by_tag("ul")[0]
+        assert [li.text_content for li in ul.child_elements()] == ["a", "b", "c"]
+
+    def test_td_closes_td(self):
+        doc = parse_html("<table><tr><td>a<td>b</tr></table>")
+        tr = doc.get_elements_by_tag("tr")[0]
+        assert [td.text_content for td in tr.child_elements()] == ["a", "b"]
+
+    def test_tr_closes_tr(self):
+        doc = parse_html("<table><tr><td>a</td><tr><td>b</td></table>")
+        assert len(doc.get_elements_by_tag("tr")) == 2
+
+
+class TestRawText:
+    def test_script_content_not_parsed(self):
+        doc = parse_html("<script>if (a < b) { x(); }</script><p>after</p>")
+        script = doc.get_elements_by_tag("script")[0]
+        assert "a < b" in script.text_content
+        assert doc.get_elements_by_tag("p")[0].text_content == "after"
+
+    def test_textarea_preserves_markup(self):
+        doc = parse_html("<textarea><b>not bold</b></textarea>")
+        area = doc.get_elements_by_tag("textarea")[0]
+        assert area.text_content == "<b>not bold</b>"
+        assert area.child_elements() == []
+
+    def test_style_raw(self):
+        doc = parse_html("<style>p > b { color: red }</style>")
+        assert ">" in doc.get_elements_by_tag("style")[0].text_content
+
+
+class TestComments:
+    def test_comment_preserved(self):
+        doc = parse_html("<div><!-- note --><p>x</p></div>")
+        div = doc.get_elements_by_tag("div")[0]
+        comments = [c for c in div.children if isinstance(c, Comment)]
+        assert len(comments) == 1
+        assert comments[0].data == " note "
+
+    def test_unterminated_comment_swallows_rest(self):
+        doc = parse_html("<div>a</div><!-- oops <p>x</p>")
+        assert doc.get_elements_by_tag("p") == []
+
+
+class TestRecovery:
+    def test_mismatched_end_tag_pops_to_match(self):
+        doc = parse_html("<div><span>x</div><p>y</p>")
+        p = doc.get_elements_by_tag("p")[0]
+        assert p.parent.tag == "body"
+
+    def test_unknown_end_tag_ignored(self):
+        doc = parse_html("<div>x</bogus></div>")
+        assert doc.get_elements_by_tag("div")[0].text_content == "x"
+
+    def test_lone_less_than_is_text(self):
+        doc = parse_html("<p>1 < 2</p>")
+        assert doc.get_elements_by_tag("p")[0].text_content == "1 < 2"
+
+
+class TestEntities:
+    @pytest.mark.parametrize("raw,expected", [
+        ("&amp;", "&"), ("&lt;", "<"), ("&gt;", ">"),
+        ("&quot;", '"'), ("&apos;", "'"), ("&nbsp;", "\xa0"),
+        ("&#65;", "A"), ("&#x41;", "A"), ("&#x2764;", "❤"),
+    ])
+    def test_known_entities(self, raw, expected):
+        assert decode_entities(raw) == expected
+
+    def test_unknown_entity_left_alone(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_unterminated_ampersand(self):
+        assert decode_entities("AT&T") == "AT&T"
+
+    def test_text_entities_decoded_in_document(self):
+        doc = parse_html("<p>fish &amp; chips</p>")
+        assert doc.get_elements_by_tag("p")[0].text_content == "fish & chips"
+
+
+class TestFragment:
+    def test_fragment_returns_detached_nodes(self):
+        nodes = parse_fragment("<li>a</li><li>b</li>")
+        assert [n.tag for n in nodes] == ["li", "li"]
+        assert all(n.parent is None for n in nodes)
+
+    def test_fragment_with_text(self):
+        nodes = parse_fragment("hello <b>world</b>")
+        assert isinstance(nodes[0], Text)
+        assert isinstance(nodes[1], Element)
+
+
+class TestWhitespace:
+    def test_interelement_whitespace_dropped(self):
+        doc = parse_html("<div>\n  <p>x</p>\n</div>")
+        div = doc.get_elements_by_tag("div")[0]
+        assert all(not isinstance(c, Text) for c in div.children)
+
+    def test_meaningful_text_kept(self):
+        doc = parse_html("<p>  spaced  </p>")
+        assert doc.get_elements_by_tag("p")[0].text_content == "  spaced  "

@@ -1,0 +1,95 @@
+"""Serialization and parse/serialize round trips."""
+
+from hypothesis import given, strategies as st
+
+from repro.dom.node import Document, Text
+from repro.dom.parser import parse_html
+from repro.dom.serialize import serialize, serialize_pretty
+
+
+class TestSerialize:
+    def test_simple_element(self):
+        doc = Document()
+        el = doc.create_element("div", {"id": "x"})
+        el.append_child(Text("hi"))
+        assert serialize(el) == '<div id="x">hi</div>'
+
+    def test_void_element_no_end_tag(self):
+        doc = Document()
+        assert serialize(doc.create_element("br")) == "<br>"
+
+    def test_bare_attribute(self):
+        doc = Document()
+        el = doc.create_element("input", {"disabled": ""})
+        assert serialize(el) == "<input disabled>"
+
+    def test_text_is_escaped(self):
+        doc = Document()
+        el = doc.create_element("p")
+        el.append_child(Text("a < b & c"))
+        assert serialize(el) == "<p>a &lt; b &amp; c</p>"
+
+    def test_attribute_quotes_escaped(self):
+        doc = Document()
+        el = doc.create_element("div", {"title": 'say "hi"'})
+        assert '&quot;' in serialize(el)
+
+    def test_comment(self):
+        doc = parse_html("<div><!--note--></div>")
+        assert "<!--note-->" in serialize(doc)
+
+    def test_script_content_not_escaped(self):
+        doc = parse_html("<script>a < b</script>")
+        assert "a < b" in serialize(doc)
+
+
+class TestRoundTrip:
+    def test_structure_survives(self):
+        html = ('<html><head><title>T</title></head><body>'
+                '<div id="main" class="a"><span>x</span>'
+                '<input type="text" name="q"></div></body></html>')
+        once = serialize(parse_html(html))
+        twice = serialize(parse_html(once))
+        assert once == twice
+
+    @given(st.lists(
+        st.sampled_from(["div", "span", "p", "b", "ul", "li"]), min_size=1,
+        max_size=6))
+    def test_nested_tags_round_trip(self, tags):
+        html = "".join("<%s>" % t for t in tags)
+        html += "x"
+        html += "".join("</%s>" % t for t in reversed(tags))
+        once = serialize(parse_html(html))
+        assert serialize(parse_html(once)) == once
+
+    @given(st.text(
+        alphabet=st.characters(blacklist_categories=("Cc", "Cs")),
+        max_size=30))
+    def test_text_content_round_trips(self, text):
+        doc = Document()
+        el = doc.create_element("p")
+        el.append_child(Text(text))
+        doc.append_child(el)
+        reparsed = parse_html(serialize(doc))
+        paragraphs = reparsed.get_elements_by_tag("p")
+        # Whitespace-only text is dropped by design; otherwise exact.
+        if text.strip():
+            assert paragraphs[0].text_content == text
+
+
+class TestPretty:
+    def test_indents_children(self):
+        doc = parse_html("<div><p>x</p></div>")
+        pretty = serialize_pretty(doc.body)
+        lines = pretty.splitlines()
+        assert lines[0] == "<body>"
+        assert lines[1].startswith("  <div>")
+
+    def test_text_only_element_is_one_line(self):
+        doc = parse_html("<p>hello</p>")
+        pretty = serialize_pretty(doc.get_elements_by_tag("p")[0])
+        assert pretty == "<p>hello</p>"
+
+    def test_void_element(self):
+        doc = parse_html("<div><br></div>")
+        assert "<br>" in serialize_pretty(doc)

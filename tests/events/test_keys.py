@@ -1,0 +1,89 @@
+"""Virtual key codes (the [H,72] payloads of Figure 4)."""
+
+import pytest
+
+from repro.events import keys
+
+
+class TestLetterCodes:
+    def test_letters_map_to_uppercase_ascii(self):
+        assert keys.virtual_key_code("H") == 72
+        assert keys.virtual_key_code("h") == 72
+
+    @pytest.mark.parametrize("char,code", [
+        ("e", 69), ("l", 76), ("o", 79), ("w", 87), ("r", 82), ("d", 68),
+    ])
+    def test_figure4_letters(self, char, code):
+        assert keys.virtual_key_code(char) == code
+
+
+class TestShiftedSymbols:
+    def test_bang_logs_the_one_key(self):
+        # Figure 4 logs '!' as [!,49] — the code of the '1' key.
+        assert keys.virtual_key_code("!") == 49
+
+    @pytest.mark.parametrize("symbol,base", [
+        ("@", "2"), ("#", "3"), ("$", "4"), ("%", "5"), ("^", "6"),
+        ("&", "7"), ("*", "8"), ("(", "9"), (")", "0"),
+    ])
+    def test_digit_row(self, symbol, base):
+        assert keys.virtual_key_code(symbol) == ord(base)
+
+    def test_colon_matches_semicolon_key(self):
+        assert keys.virtual_key_code(":") == keys.virtual_key_code(";")
+
+    def test_question_mark_matches_slash_key(self):
+        assert keys.virtual_key_code("?") == keys.virtual_key_code("/")
+
+
+class TestControlKeys:
+    @pytest.mark.parametrize("name,code", [
+        ("Backspace", 8), ("Tab", 9), ("Enter", 13), ("Shift", 16),
+        ("Control", 17), ("Alt", 18), ("Escape", 27), ("Delete", 46),
+    ])
+    def test_named_keys(self, name, code):
+        assert keys.virtual_key_code(name) == code
+
+    def test_space(self):
+        assert keys.virtual_key_code(" ") == 32
+
+    def test_unknown_multi_char_raises(self):
+        with pytest.raises(ValueError):
+            keys.virtual_key_code("NotAKey")
+
+    def test_key_name_round_trip(self):
+        assert keys.key_name(13) == "Enter"
+        assert keys.key_name(999) is None
+
+
+class TestNeedsShift:
+    def test_uppercase_letters(self):
+        assert keys.needs_shift("H")
+        assert not keys.needs_shift("h")
+
+    def test_shifted_symbols(self):
+        assert keys.needs_shift("!")
+        assert keys.needs_shift("?")
+        assert not keys.needs_shift("1")
+        assert not keys.needs_shift("/")
+
+    def test_named_keys_do_not_need_shift(self):
+        assert not keys.needs_shift("Enter")
+
+
+class TestPrintable:
+    def test_single_chars_printable(self):
+        assert keys.is_printable("a")
+        assert keys.is_printable(" ")
+
+    def test_named_keys_not_printable(self):
+        assert not keys.is_printable("Enter")
+        assert not keys.is_printable("Shift")
+
+
+def test_exotic_letter_uses_uppercase_code_point():
+    assert keys.virtual_key_code("é") == ord("É")
+
+
+def test_exotic_symbol_falls_back_to_code_point():
+    assert keys.virtual_key_code("€") == ord("€")

@@ -1,0 +1,100 @@
+"""Replay-level ablation of the four ChromeDriver fixes (paper IV-C).
+
+Each fix is disabled in isolation and the scenario that needs it must
+degrade in the documented way; with all fixes on, everything replays.
+"""
+
+import pytest
+
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.core.chromedriver import ChromeDriverConfig
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.workloads.sessions import docs_edit_session, gmail_compose_session
+
+
+@pytest.fixture(scope="module")
+def docs_trace():
+    browser, _ = make_browser([DocsApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://docs.example.com/sheet/budget")
+    docs_edit_session(browser)
+    return recorder.trace
+
+
+@pytest.fixture(scope="module")
+def gmail_trace():
+    browser, _ = make_browser([GmailApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://mail.example.com/")
+    gmail_compose_session(browser)
+    return recorder.trace
+
+
+def replay_docs(config):
+    browser, (app,) = make_browser([DocsApplication], developer_mode=True)
+    return app, browser
+
+
+class TestDoubleClickFix:
+    def test_without_fix_docs_editing_fails(self, docs_trace):
+        browser, (app,) = make_browser([DocsApplication], developer_mode=True)
+        config = ChromeDriverConfig(fix_double_click=False)
+        report = WarrReplayer(browser, config=config).replay(docs_trace)
+        failures = [r for r in report.failures()]
+        assert failures
+        assert all(r.command.action == "doubleclick" for r in failures)
+        assert app.sheets["budget"].get((2, 0)) != "Travel"
+
+    def test_with_fix_docs_editing_replays(self, docs_trace):
+        browser, (app,) = make_browser([DocsApplication], developer_mode=True)
+        report = WarrReplayer(browser).replay(docs_trace)
+        assert report.complete
+        assert app.sheets["budget"][(2, 0)] == "Travel"
+
+
+class TestTextInputFix:
+    def test_without_fix_contenteditable_text_lost(self, gmail_trace):
+        browser, (app,) = make_browser([GmailApplication], developer_mode=True)
+        config = ChromeDriverConfig(fix_text_input=False)
+        report = WarrReplayer(browser, config=config).replay(gmail_trace)
+        # Every command "succeeds" — but the email body silently lost
+        # its text, the insidious form of the bug.
+        assert app.sent
+        assert app.sent[0]["body"] == ""
+        assert app.sent[0]["to"] == "bob@example.com"  # inputs unaffected
+
+    def test_with_fix_body_intact(self, gmail_trace):
+        browser, (app,) = make_browser([GmailApplication], developer_mode=True)
+        WarrReplayer(browser).replay(gmail_trace)
+        assert app.sent[0]["body"] == "Hi Bob, lunch tomorrow?"
+
+
+class TestActiveClientFix:
+    def test_without_fix_replay_halts_at_page_change(self, gmail_trace):
+        browser, (app,) = make_browser([GmailApplication], developer_mode=True)
+        config = ChromeDriverConfig(fix_active_client=False)
+        report = WarrReplayer(browser, config=config).replay(gmail_trace)
+        assert report.halted
+        assert app.sent == []  # never got past the first navigation
+
+    def test_with_fix_replay_survives_page_changes(self, gmail_trace):
+        browser, _ = make_browser([GmailApplication], developer_mode=True)
+        report = WarrReplayer(browser).replay(gmail_trace)
+        assert not report.halted
+
+
+class TestStockVersusWarr:
+    def test_stock_driver_fails_everywhere_warr_succeeds(self, gmail_trace,
+                                                         docs_trace):
+        for trace, factories in ((gmail_trace, [GmailApplication]),
+                                 (docs_trace, [DocsApplication])):
+            stock_browser, _ = make_browser(factories, developer_mode=True)
+            stock = WarrReplayer(stock_browser,
+                                 config=ChromeDriverConfig.stock()).replay(trace)
+            warr_browser, _ = make_browser(factories, developer_mode=True)
+            warr = WarrReplayer(warr_browser).replay(trace)
+            assert warr.complete
+            assert stock.halted or stock.failed_count > 0

@@ -1,0 +1,91 @@
+"""Fuzzed end-to-end property: ANY recorded session replays completely.
+
+Seeded random users hammer each application; whatever they did, the
+recorded trace must replay without failures on a fresh instance, and the
+replayed browser must end on the same URL with the same page structure.
+"""
+
+import pytest
+
+from repro.apps.dashboard import DashboardApplication
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.weberr.similarity import dom_shape_similarity
+from repro.workloads.fuzz import fuzz_session
+
+TARGETS = [
+    ([SitesApplication], "http://sites.example.com/"),
+    ([GmailApplication], "http://mail.example.com/"),
+    ([PortalApplication], "http://portal.example.com/"),
+    ([DocsApplication], "http://docs.example.com/sheet/budget"),
+    ([DashboardApplication], "http://dashboard.example.com/"),
+]
+
+
+def record_fuzzed(app_factories, start_url, seed, actions=15):
+    browser, _ = make_browser(app_factories, seed=0)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(start_url)
+    generator = fuzz_session(browser, start_url, actions, seed=seed)
+    recorder.detach()
+    final_url = browser.tabs[0].url
+    final_document = browser.tabs[0].document
+    error_count = len(browser.page_errors)
+    return recorder.trace, generator, final_url, final_document, error_count
+
+
+@pytest.mark.parametrize("factories,start_url", TARGETS)
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_fuzzed_sessions_replay_completely(factories, start_url, seed):
+    trace, generator, final_url, final_document, errors = record_fuzzed(
+        factories, start_url, seed)
+    if not trace:
+        pytest.skip("fuzzer found nothing interactive (inert page)")
+
+    browser, _ = make_browser(factories, seed=0, developer_mode=True)
+    report = WarrReplayer(browser).replay(trace)
+
+    assert report.complete, (
+        "seed %d on %s: %s\ntrace:\n%s"
+        % (seed, start_url, report.summary(), trace.to_text()))
+    # Same destination and same page shape as the original session.
+    assert browser.tabs[0].url == final_url
+    similarity = dom_shape_similarity(browser.tabs[0].document,
+                                      final_document)
+    assert similarity > 0.95, "replayed page diverged (%.2f)" % similarity
+    # Even script errors reproduce (same count: the bug is deterministic).
+    assert len(report.page_errors) == errors
+
+
+def test_fuzzer_is_deterministic():
+    first = record_fuzzed([SitesApplication], "http://sites.example.com/", 7)
+    second = record_fuzzed([SitesApplication], "http://sites.example.com/", 7)
+    assert first[0].to_text() == second[0].to_text()
+
+
+def test_fuzzer_performs_varied_actions():
+    _, generator, _, _, _ = record_fuzzed(
+        [DocsApplication], "http://docs.example.com/sheet/budget", 5,
+        actions=40)
+    kinds = {kind for kind, _ in generator.actions_performed}
+    assert "click" in kinds
+    assert len(kinds) >= 2  # not just clicking
+
+
+def test_fuzzer_stops_on_inert_page():
+    from repro.workloads.fuzz import RandomSessionGenerator
+    from tests.browser.helpers import build_browser, url
+
+    browser = build_browser(extra_routes={
+        "/inert": lambda request:
+            "<html><head><title>i</title></head><body><p>text only</p>"
+            "</body></html>",
+    })
+    tab = browser.new_tab(url("/inert"))
+    generator = RandomSessionGenerator(tab)
+    assert generator.run(10) == []

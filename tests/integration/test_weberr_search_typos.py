@@ -1,0 +1,117 @@
+"""The Table I study driven exactly as the paper describes: WebErr
+injects typos into a recorded search trace via grammar substitution and
+replays against the live engine (Figure 5's four steps).
+"""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.search import GoogleSearchApplication, BingSearchApplication
+from repro.core.commands import TypeCommand
+from repro.core.recorder import WarrRecorder
+from repro.weberr.grammar import Terminal
+from repro.weberr.navigation import NavigationErrorInjector, substitute_typo
+from repro.weberr.runner import WebErr
+from repro.workloads.sessions import search_session
+
+
+def record_search(engine_class, query):
+    browser, _ = make_browser([engine_class])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://%s/" % engine_class.host)
+    search_session(browser, "http://%s" % engine_class.host, query)
+    return recorder.trace
+
+
+def factory_for(engine_class):
+    def factory():
+        browser, _ = make_browser([engine_class], developer_mode=True)
+        return browser
+    return factory
+
+
+class TestGrammarTypoInjection:
+    def test_inferred_grammar_isolates_the_typing_rule(self):
+        trace = record_search(GoogleSearchApplication, "world cup 2010")
+        weberr = WebErr(factory_for(GoogleSearchApplication))
+        _, grammar = weberr.infer(trace, label="Search")
+        # One step rule holds the query-field interaction: the focusing
+        # click plus every keystroke of the query.
+        typing_rules = [
+            rule for rule in grammar.rules.values()
+            if any(isinstance(s, Terminal)
+                   and isinstance(s.command, TypeCommand)
+                   for s in rule.symbols)
+        ]
+        assert len(typing_rules) == 1
+        typed = "".join(
+            s.command.key for s in typing_rules[0].symbols
+            if isinstance(s, Terminal) and isinstance(s.command, TypeCommand))
+        assert typed == "world cup 2010"
+
+    def test_typo_variant_replays_and_google_corrects(self):
+        trace = record_search(GoogleSearchApplication, "world cup 2010")
+        weberr = WebErr(factory_for(GoogleSearchApplication))
+        _, grammar = weberr.infer(trace, label="Search")
+
+        injector = NavigationErrorInjector(grammar)
+        variants = list(injector.typo_variants())
+        assert variants  # keystroke terminals exist to corrupt
+
+        description, erroneous = variants[0]
+        # Replay the typo'd search against a fresh engine.
+        browser = factory_for(GoogleSearchApplication)()
+        from repro.core.replayer import WarrReplayer
+
+        report = WarrReplayer(browser).replay(erroneous.to_trace())
+        assert report.complete
+        application_host_doc = browser.tabs[0].document
+        banner = application_host_doc.get_element_by_id("corrected")
+        # Google's query-log checker snaps the typo'd query back.
+        assert banner is not None
+        assert "world cup 2010" in banner.text_content
+
+    def test_same_typo_not_fixed_by_bing(self):
+        trace = record_search(BingSearchApplication, "world cup 2010")
+        weberr = WebErr(factory_for(BingSearchApplication))
+        _, grammar = weberr.infer(trace, label="Search")
+        variants = list(NavigationErrorInjector(grammar).typo_variants())
+        # Find a variant corrupting the short word 'cup' (< Bing's
+        # 5-char minimum): Bing refuses to correct it.
+        cup_variant = None
+        for description, erroneous in variants:
+            typed = "".join(
+                s.command.key
+                for rule in erroneous.rules.values()
+                for s in rule.symbols
+                if isinstance(s, Terminal)
+                and isinstance(s.command, TypeCommand))
+            if "cup" not in typed and "world" in typed:
+                cup_variant = erroneous
+                break
+        if cup_variant is None:
+            pytest.skip("no cup-corrupting variant generated")
+        browser = factory_for(BingSearchApplication)()
+        from repro.core.replayer import WarrReplayer
+
+        report = WarrReplayer(browser).replay(cup_variant.to_trace())
+        assert report.complete
+        banner = browser.tabs[0].document.get_element_by_id("corrected")
+        assert banner is None  # Bing missed it
+
+    def test_substitute_typo_preserves_timing(self):
+        trace = record_search(GoogleSearchApplication, "weather forecast")
+        weberr = WebErr(factory_for(GoogleSearchApplication))
+        _, grammar = weberr.infer(trace, label="Search")
+        typing_rule = next(
+            rule for rule in grammar.rules.values()
+            if any(isinstance(s, Terminal)
+                   and isinstance(s.command, TypeCommand)
+                   for s in rule.symbols))
+        index = next(
+            i for i, s in enumerate(typing_rule.symbols)
+            if isinstance(s, Terminal) and isinstance(s.command, TypeCommand))
+        mutated = substitute_typo(typing_rule, index, "q")
+        assert mutated.symbols[index].command.elapsed_ms == \
+            typing_rule.symbols[index].command.elapsed_ms
+        assert mutated.symbols[index].command.key == "q"

@@ -1,0 +1,87 @@
+"""XMLHttpRequest semantics on the event loop."""
+
+import pytest
+
+from repro.net.ajax import XmlHttpRequest
+from repro.net.http import HttpResponse
+from repro.net.server import Network, RouteServer
+from repro.util.clock import VirtualClock
+from repro.util.errors import NetworkError
+from repro.util.event_loop import EventLoop
+
+
+@pytest.fixture
+def network():
+    net = Network(EventLoop(VirtualClock()), default_latency_ms=30.0)
+    server = RouteServer()
+    server.add_route("/data", lambda request: HttpResponse.json('{"n": 1}'))
+    server.add_route("/fail", lambda request: HttpResponse("no", status=500))
+    server.add_route("/post", lambda request: HttpResponse.json(request.body),
+                     method="POST")
+    net.register("api.example", server)
+    return net
+
+
+def test_lifecycle_states(network):
+    xhr = XmlHttpRequest(network)
+    assert xhr.ready_state == XmlHttpRequest.UNSENT
+    xhr.open("GET", "http://api.example/data")
+    assert xhr.ready_state == XmlHttpRequest.OPENED
+    xhr.send()
+    network.event_loop.run_until_idle()
+    assert xhr.ready_state == XmlHttpRequest.DONE
+
+
+def test_onload_receives_self_with_body(network):
+    xhr = XmlHttpRequest(network)
+    xhr.open("GET", "http://api.example/data")
+    seen = []
+    xhr.onload = lambda request: seen.append(request.response_text)
+    xhr.send()
+    network.event_loop.run_until_idle()
+    assert seen == ['{"n": 1}']
+    assert xhr.status == 200
+
+
+def test_response_is_asynchronous(network):
+    xhr = XmlHttpRequest(network)
+    xhr.open("GET", "http://api.example/data")
+    xhr.send()
+    assert xhr.ready_state != XmlHttpRequest.DONE
+    network.event_loop.run_for(29)
+    assert xhr.ready_state != XmlHttpRequest.DONE
+    network.event_loop.run_for(1)
+    assert xhr.ready_state == XmlHttpRequest.DONE
+
+
+def test_error_status_calls_onerror_not_onload(network):
+    xhr = XmlHttpRequest(network)
+    xhr.open("GET", "http://api.example/fail")
+    outcomes = []
+    xhr.onload = lambda request: outcomes.append("load")
+    xhr.onerror = lambda request: outcomes.append("error")
+    xhr.send()
+    network.event_loop.run_until_idle()
+    assert outcomes == ["error"]
+    assert xhr.status == 500
+
+
+def test_post_body_reaches_server(network):
+    xhr = XmlHttpRequest(network)
+    xhr.open("POST", "http://api.example/post")
+    xhr.send("k=v")
+    network.event_loop.run_until_idle()
+    assert xhr.response_text == "k=v"
+
+
+def test_send_before_open_raises(network):
+    with pytest.raises(NetworkError):
+        XmlHttpRequest(network).send()
+
+
+def test_missing_callbacks_are_tolerated(network):
+    xhr = XmlHttpRequest(network)
+    xhr.open("GET", "http://api.example/data")
+    xhr.send()
+    network.event_loop.run_until_idle()  # no exception despite no onload
+    assert xhr.status == 200

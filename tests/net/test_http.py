@@ -1,0 +1,95 @@
+"""HTTP message types and URL handling."""
+
+import pytest
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    build_url,
+    parse_url,
+    resolve_url,
+)
+from repro.util.errors import NetworkError
+
+
+class TestParseUrl:
+    def test_full_url(self):
+        assert parse_url("https://mail.example.com/compose?to=bob&cc=eve") == (
+            "https", "mail.example.com", "/compose", {"to": "bob", "cc": "eve"})
+
+    def test_no_path(self):
+        scheme, host, path, query = parse_url("http://example.com")
+        assert (path, query) == ("/", {})
+
+    def test_host_lowercased(self):
+        assert parse_url("http://EXAMPLE.com/")[1] == "example.com"
+
+    def test_empty_query_value(self):
+        assert parse_url("http://h/p?flag")[3] == {"flag": ""}
+
+    def test_plus_and_percent_decoding(self):
+        _, _, _, query = parse_url("http://h/s?q=world+cup+%21")
+        assert query["q"] == "world cup !"
+
+    def test_relative_url_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_url("/just/a/path")
+
+    def test_unsupported_scheme_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_url("ftp://files.example.com/a")
+
+
+class TestBuildUrl:
+    def test_round_trip(self):
+        url = build_url("http", "h.example", "/search", {"q": "a b"})
+        assert parse_url(url) == ("http", "h.example", "/search", {"q": "a b"})
+
+    def test_no_query(self):
+        assert build_url("https", "h", "/x") == "https://h/x"
+
+    def test_path_slash_added(self):
+        assert build_url("http", "h", "x") == "http://h/x"
+
+
+class TestResolveUrl:
+    def test_absolute_passthrough(self):
+        assert resolve_url("http://a/b", "https://c/d") == "https://c/d"
+
+    def test_host_relative(self):
+        assert resolve_url("http://a.example/x/y", "/z") == "http://a.example/z"
+
+    def test_document_relative(self):
+        assert resolve_url("http://a/x/page", "other") == "http://a/x/other"
+
+
+class TestHttpRequest:
+    def test_parses_its_url(self):
+        request = HttpRequest("https://h.example/p?a=1", method="post")
+        assert request.method == "POST"
+        assert request.host == "h.example"
+        assert request.query == {"a": "1"}
+        assert request.is_secure
+
+    def test_http_not_secure(self):
+        assert not HttpRequest("http://h/").is_secure
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        assert HttpResponse(status=200).ok
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse(status=404).ok
+        assert not HttpResponse(status=500).ok
+
+    def test_html_factory(self):
+        response = HttpResponse.html("<p>x</p>")
+        assert response.content_type == "text/html"
+        assert response.ok
+
+    def test_json_factory(self):
+        assert HttpResponse.json("{}").content_type == "application/json"
+
+    def test_not_found_factory(self):
+        response = HttpResponse.not_found()
+        assert response.status == 404

@@ -1,0 +1,125 @@
+"""Route servers, the network fabric, latency, and the wire log."""
+
+import pytest
+
+from repro.net.http import HttpResponse
+from repro.net.server import Network, RouteServer
+from repro.util.clock import VirtualClock
+from repro.util.errors import NetworkError
+from repro.util.event_loop import EventLoop
+
+
+@pytest.fixture
+def network():
+    return Network(EventLoop(VirtualClock()), default_latency_ms=50.0)
+
+
+def make_server():
+    server = RouteServer()
+
+    @server.route("/")
+    def home(request):
+        return "<p>home</p>"
+
+    @server.route("/echo")
+    def echo(request):
+        return HttpResponse.html("q=%s" % request.query.get("q", ""))
+
+    @server.route("/item/*")
+    def item(request):
+        return "<p>item %s</p>" % request.path.rsplit("/", 1)[-1]
+
+    @server.route("/submit", method="POST")
+    def submit(request):
+        return HttpResponse.json('{"body": "%s"}' % request.body)
+
+    return server
+
+
+class TestRouteServer:
+    def test_exact_route(self, network):
+        network.register("h.example", make_server())
+        assert "home" in network.fetch("http://h.example/").body
+
+    def test_string_result_becomes_html(self, network):
+        network.register("h.example", make_server())
+        response = network.fetch("http://h.example/")
+        assert response.content_type == "text/html"
+
+    def test_query_passed(self, network):
+        network.register("h.example", make_server())
+        assert network.fetch("http://h.example/echo?q=42").body == "q=42"
+
+    def test_prefix_route(self, network):
+        network.register("h.example", make_server())
+        assert "item 7" in network.fetch("http://h.example/item/7").body
+
+    def test_method_dispatch(self, network):
+        network.register("h.example", make_server())
+        ok = network.fetch("http://h.example/submit", method="POST", body="x=1")
+        assert ok.ok
+        miss = network.fetch("http://h.example/submit")  # GET: no route
+        assert miss.status == 404
+
+    def test_unknown_path_404(self, network):
+        network.register("h.example", make_server())
+        assert network.fetch("http://h.example/nope").status == 404
+
+
+class TestNetwork:
+    def test_unregistered_host_raises(self, network):
+        with pytest.raises(NetworkError):
+            network.fetch("http://ghost.example/")
+
+    def test_fetch_advances_clock_by_latency(self, network):
+        network.register("h.example", make_server())
+        network.fetch("http://h.example/")
+        assert network.clock.now() == 50.0
+
+    def test_per_host_latency(self, network):
+        network.register("slow.example", make_server(), latency_ms=400)
+        network.fetch("http://slow.example/")
+        assert network.clock.now() == 400.0
+
+    def test_fetch_async_delivers_after_latency(self, network):
+        network.register("h.example", make_server())
+        results = []
+        network.fetch_async("http://h.example/", results.append)
+        assert results == []  # not yet delivered
+        network.event_loop.run_until_idle()
+        assert len(results) == 1
+        assert results[0].ok
+        assert network.clock.now() == 50.0
+
+    def test_fetch_async_unknown_host_gives_502(self, network):
+        results = []
+        network.fetch_async("http://ghost.example/", results.append)
+        network.event_loop.run_until_idle()
+        assert results[0].status == 502
+
+
+class TestWireLog:
+    def test_exchanges_are_logged(self, network):
+        network.register("h.example", make_server())
+        network.fetch("http://h.example/")
+        network.fetch("http://h.example/echo?q=1")
+        assert len(network.exchange_log) == 2
+        assert network.exchange_log[0].request.path == "/"
+
+    def test_https_bodies_are_opaque_on_the_wire(self, network):
+        network.register("h.example", make_server())
+        network.fetch("https://h.example/")
+        exchange = network.exchange_log[0]
+        assert exchange.is_secure
+        assert "encrypted" in exchange.visible_body
+        assert "home" not in exchange.visible_body
+
+    def test_http_bodies_visible(self, network):
+        network.register("h.example", make_server())
+        network.fetch("http://h.example/")
+        assert "home" in network.exchange_log[0].visible_body
+
+    def test_log_timestamps_use_virtual_clock(self, network):
+        network.register("h.example", make_server())
+        network.fetch("http://h.example/")
+        assert network.exchange_log[0].timestamp == 50.0

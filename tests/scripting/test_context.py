@@ -1,0 +1,137 @@
+"""Window context: timers, console, navigation, XHR wiring."""
+
+import pytest
+
+from repro.dom.parser import parse_html
+from repro.net.server import Network, RouteServer
+from repro.net.http import HttpResponse
+from repro.scripting.context import Console, Window
+from repro.util.clock import VirtualClock
+from repro.util.errors import JSReferenceError, ScriptError
+from repro.util.event_loop import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(VirtualClock())
+
+
+def make_window(loop, network=None, navigate=None, error_sink=None):
+    document = parse_html("<div id='x'>hi</div>", url="http://page/")
+    return Window(document, loop, network=network, navigate=navigate,
+                  error_sink=error_sink)
+
+
+class TestConsole:
+    def test_log_collects(self):
+        console = Console()
+        console.log("hello")
+        console.log(42)
+        assert console.messages == ["hello", "42"]
+
+    def test_error_wraps_non_script_errors(self):
+        console = Console()
+        console.error("plain message")
+        assert isinstance(console.errors[0], ScriptError)
+        assert console.has_errors
+
+    def test_sink_receives_errors(self):
+        collected = []
+        console = Console(sink=collected.append)
+        error = ScriptError("boom")
+        console.error(error)
+        assert collected == [error]
+
+
+class TestTimers:
+    def test_set_timeout_runs_later(self, loop):
+        window = make_window(loop)
+        fired = []
+        window.set_timeout(100, lambda: fired.append(loop.clock.now()))
+        assert fired == []
+        loop.run_until_idle()
+        assert fired == [100.0]
+
+    def test_clear_timeout(self, loop):
+        window = make_window(loop)
+        fired = []
+        task = window.set_timeout(10, lambda: fired.append(1))
+        window.clear_timeout(task)
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_cancel_all_timers_on_unload(self, loop):
+        window = make_window(loop)
+        fired = []
+        window.set_timeout(10, lambda: fired.append(1))
+        window.set_timeout(20, lambda: fired.append(2))
+        window.cancel_all_timers()
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_timer_error_lands_on_console(self, loop):
+        window = make_window(loop)
+
+        def explode():
+            raise JSReferenceError("x is not defined")
+
+        window.set_timeout(5, explode)
+        loop.run_until_idle()
+        assert window.console.has_errors
+        assert isinstance(window.console.errors[0], JSReferenceError)
+
+    def test_timer_wraps_plain_exception(self, loop):
+        window = make_window(loop)
+        window.set_timeout(5, lambda: 1 / 0)
+        loop.run_until_idle()
+        assert isinstance(window.console.errors[0], ScriptError)
+
+
+class TestNavigation:
+    def test_navigate_invokes_hook(self, loop):
+        target = []
+        window = make_window(loop, navigate=target.append)
+        window.navigate("http://other/")
+        assert target == ["http://other/"]
+
+    def test_navigate_without_hook_raises(self, loop):
+        with pytest.raises(ScriptError):
+            make_window(loop).navigate("http://x/")
+
+    def test_location(self, loop):
+        assert make_window(loop).location == "http://page/"
+
+
+class TestXhr:
+    def test_xhr_bound_to_network(self, loop):
+        network = Network(loop, default_latency_ms=10)
+        server = RouteServer()
+        server.add_route("/d", lambda request: HttpResponse.json("1"))
+        network.register("api", server)
+        window = make_window(loop, network=network)
+        xhr = window.xhr()
+        xhr.open("GET", "http://api/d")
+        xhr.send()
+        loop.run_until_idle()
+        assert xhr.response_text == "1"
+
+    def test_xhr_without_network_raises(self, loop):
+        with pytest.raises(ScriptError):
+            make_window(loop).xhr()
+
+
+class TestDomSugar:
+    def test_get_element_by_id(self, loop):
+        window = make_window(loop)
+        assert window.get_element_by_id("x").text_content == "hi"
+
+    def test_create_element(self, loop):
+        window = make_window(loop)
+        el = window.create_element("span", {"id": "n"})
+        assert el.tag == "span"
+        assert el.owner_document is window.document
+
+    def test_env_is_js_environment(self, loop):
+        window = make_window(loop)
+        with pytest.raises(JSReferenceError):
+            window.env.undefined_thing

@@ -1,0 +1,67 @@
+"""JS-like namespace semantics (the uninitialized-variable bug class)."""
+
+import pytest
+
+from repro.scripting.environment import JSEnvironment
+from repro.util.errors import JSReferenceError
+
+
+def test_read_before_assign_raises_reference_error():
+    env = JSEnvironment()
+    with pytest.raises(JSReferenceError) as exc:
+        env.editorState
+    assert "editorState is not defined" in str(exc.value)
+
+
+def test_assign_then_read():
+    env = JSEnvironment()
+    env.counter = 3
+    assert env.counter == 3
+
+
+def test_initial_values():
+    env = JSEnvironment(ready=False)
+    assert env.ready is False
+
+
+def test_delete_defined_variable():
+    env = JSEnvironment()
+    env.x = 1
+    del env.x
+    with pytest.raises(JSReferenceError):
+        env.x
+
+
+def test_delete_undefined_raises():
+    env = JSEnvironment()
+    with pytest.raises(JSReferenceError):
+        del env.nothing
+
+
+def test_contains_and_defined():
+    env = JSEnvironment()
+    assert "x" not in env
+    assert not env.defined("x")
+    env.x = None
+    assert "x" in env
+    assert env.defined("x")
+
+
+def test_get_with_default_never_raises():
+    env = JSEnvironment()
+    assert env.get("missing") is None
+    assert env.get("missing", 7) == 7
+
+
+def test_names_sorted():
+    env = JSEnvironment()
+    env.b = 1
+    env.a = 2
+    assert env.names() == ["a", "b"]
+
+
+def test_reassignment_overwrites():
+    env = JSEnvironment()
+    env.x = 1
+    env.x = 2
+    assert env.x == 2

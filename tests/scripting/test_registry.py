@@ -1,0 +1,57 @@
+"""Script registry."""
+
+import pytest
+
+from repro.scripting.registry import ScriptRegistry
+from repro.util.errors import ScriptError
+
+
+def test_register_direct_and_get():
+    registry = ScriptRegistry()
+    fn = lambda window: None
+    registry.register("app.main", fn)
+    assert registry.get("app.main") is fn
+
+
+def test_register_as_decorator():
+    registry = ScriptRegistry()
+
+    @registry.register("app.page")
+    def page(window):
+        return "ran"
+
+    assert registry.get("app.page") is page
+
+
+def test_unknown_name_raises_script_error():
+    with pytest.raises(ScriptError):
+        ScriptRegistry().get("ghost")
+
+
+def test_has_and_names():
+    registry = ScriptRegistry()
+    registry.register("b", lambda w: None)
+    registry.register("a", lambda w: None)
+    assert registry.has("a")
+    assert not registry.has("c")
+    assert registry.names() == ["a", "b"]
+
+
+def test_merge_combines_registries():
+    first = ScriptRegistry()
+    second = ScriptRegistry()
+    first.register("one", lambda w: 1)
+    second.register("two", lambda w: 2)
+    first.merge(second)
+    assert first.has("one") and first.has("two")
+
+
+def test_merge_later_wins():
+    first = ScriptRegistry()
+    second = ScriptRegistry()
+    original = lambda w: "old"
+    replacement = lambda w: "new"
+    first.register("x", original)
+    second.register("x", replacement)
+    first.merge(second)
+    assert first.get("x") is replacement

@@ -1,0 +1,59 @@
+"""VirtualClock behaviour."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_starts_at_custom_time():
+    assert VirtualClock(start=42.5).now() == 42.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        VirtualClock(start=-1)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(10)
+    clock.advance(2.5)
+    assert clock.now() == 12.5
+
+
+def test_advance_zero_is_allowed():
+    clock = VirtualClock()
+    clock.advance(0)
+    assert clock.now() == 0.0
+
+
+def test_advance_rejects_negative_delta():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.001)
+
+
+def test_advance_to_absolute():
+    clock = VirtualClock()
+    clock.advance_to(100)
+    assert clock.now() == 100.0
+
+
+def test_advance_to_rejects_rewind():
+    clock = VirtualClock(start=50)
+    with pytest.raises(ValueError):
+        clock.advance_to(49.9)
+
+
+def test_advance_to_same_instant_is_noop():
+    clock = VirtualClock(start=50)
+    clock.advance_to(50)
+    assert clock.now() == 50.0
+
+
+def test_repr_mentions_time():
+    assert "12.5" in repr(VirtualClock(start=12.5))

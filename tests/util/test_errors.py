@@ -1,0 +1,40 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.util import errors
+
+
+def test_everything_is_a_repro_error():
+    for name in ("DomError", "XPathError", "XPathSyntaxError",
+                 "ElementNotFoundError", "NavigationError", "NetworkError",
+                 "ScriptError", "JSReferenceError", "JSTypeError",
+                 "ReadOnlyPropertyError", "ReplayError", "ReplayHaltedError",
+                 "DriverError", "TraceFormatError", "GrammarError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_xpath_hierarchy():
+    assert issubclass(errors.XPathSyntaxError, errors.XPathError)
+    assert issubclass(errors.ElementNotFoundError, errors.XPathError)
+
+
+def test_js_errors_are_script_errors():
+    assert issubclass(errors.JSReferenceError, errors.ScriptError)
+    assert issubclass(errors.JSTypeError, errors.ScriptError)
+
+
+def test_replay_halted_is_replay_error():
+    assert issubclass(errors.ReplayHaltedError, errors.ReplayError)
+
+
+def test_script_error_carries_cause():
+    cause = ValueError("boom")
+    error = errors.ScriptError("wrapped", cause=cause)
+    assert error.cause is cause
+    assert "wrapped" in str(error)
+
+
+def test_catching_base_catches_specializations():
+    with pytest.raises(errors.ScriptError):
+        raise errors.JSReferenceError("x is not defined")

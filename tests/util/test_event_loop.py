@@ -1,0 +1,117 @@
+"""Discrete-event loop semantics."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(VirtualClock())
+
+
+def test_call_later_runs_and_advances_clock(loop):
+    fired = []
+    loop.call_later(250, lambda: fired.append(loop.clock.now()))
+    executed = loop.run_until_idle()
+    assert executed == 1
+    assert fired == [250.0]
+
+
+def test_rejects_negative_delay(loop):
+    with pytest.raises(ValueError):
+        loop.call_later(-1, lambda: None)
+
+
+def test_tasks_run_in_deadline_order(loop):
+    order = []
+    loop.call_later(300, lambda: order.append("late"))
+    loop.call_later(100, lambda: order.append("early"))
+    loop.run_until_idle()
+    assert order == ["early", "late"]
+
+
+def test_same_deadline_is_fifo(loop):
+    order = []
+    for name in ("a", "b", "c"):
+        loop.call_later(100, lambda name=name: order.append(name))
+    loop.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_cancelled_task_does_not_run(loop):
+    fired = []
+    task = loop.call_later(10, lambda: fired.append(1))
+    task.cancel()
+    loop.run_until_idle()
+    assert fired == []
+
+
+def test_pending_count_ignores_cancelled(loop):
+    keep = loop.call_later(10, lambda: None)
+    cancelled = loop.call_later(20, lambda: None)
+    cancelled.cancel()
+    assert loop.pending_count() == 1
+    assert keep.cancelled is False
+
+
+def test_callback_can_schedule_more_work(loop):
+    fired = []
+
+    def first():
+        fired.append("first")
+        loop.call_later(50, lambda: fired.append("second"))
+
+    loop.call_later(100, first)
+    loop.run_until_idle()
+    assert fired == ["first", "second"]
+    assert loop.clock.now() == 150.0
+
+
+def test_run_for_executes_only_due_tasks(loop):
+    fired = []
+    loop.call_later(100, lambda: fired.append("in-window"))
+    loop.call_later(500, lambda: fired.append("after-window"))
+    loop.run_for(200)
+    assert fired == ["in-window"]
+    assert loop.clock.now() == 200.0
+    loop.run_until_idle()
+    assert fired == ["in-window", "after-window"]
+
+
+def test_run_for_zero_runs_due_now_tasks(loop):
+    fired = []
+    loop.call_soon(lambda: fired.append(1))
+    loop.run_for(0)
+    assert fired == [1]
+
+
+def test_run_for_rejects_negative(loop):
+    with pytest.raises(ValueError):
+        loop.run_for(-5)
+
+
+def test_overdue_task_runs_at_current_time(loop):
+    """Synchronous work may advance the clock past a deadline; the task
+    must still run (at 'now'), never rewind the clock."""
+    observed = []
+    loop.call_later(100, lambda: observed.append(loop.clock.now()))
+    loop.clock.advance(500)  # e.g. a synchronous navigation fetch
+    loop.run_until_idle()
+    assert observed == [500.0]
+
+
+def test_next_deadline(loop):
+    assert loop.next_deadline() is None
+    loop.call_later(75, lambda: None)
+    assert loop.next_deadline() == 75.0
+
+
+def test_run_until_idle_guards_against_runaway(loop):
+    def reschedule():
+        loop.call_soon(reschedule)
+
+    loop.call_soon(reschedule)
+    with pytest.raises(RuntimeError):
+        loop.run_until_idle(max_tasks=100)

@@ -1,0 +1,65 @@
+"""Seeded randomness: determinism and forking."""
+
+from repro.util.rng import SeededRandom
+
+
+def test_same_seed_same_stream():
+    a = SeededRandom(7)
+    b = SeededRandom(7)
+    assert [a.randint(0, 100) for _ in range(10)] == \
+        [b.randint(0, 100) for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = [SeededRandom(1).randint(0, 10**9) for _ in range(3)]
+    b = [SeededRandom(2).randint(0, 10**9) for _ in range(3)]
+    assert a != b
+
+
+def test_choice_comes_from_sequence():
+    rng = SeededRandom(0)
+    items = ["a", "b", "c"]
+    for _ in range(20):
+        assert rng.choice(items) in items
+
+
+def test_sample_is_distinct():
+    rng = SeededRandom(3)
+    picked = rng.sample(list(range(100)), 10)
+    assert len(set(picked)) == 10
+
+
+def test_shuffle_in_place_returns_list():
+    rng = SeededRandom(5)
+    items = list(range(20))
+    result = rng.shuffle(items)
+    assert result is items
+    assert sorted(items) == list(range(20))
+
+
+def test_gauss_positive_respects_minimum():
+    rng = SeededRandom(11)
+    for _ in range(200):
+        assert rng.gauss_positive(0.0, 100.0, minimum=5.0) >= 5.0
+
+
+def test_fork_is_deterministic():
+    parent_a = SeededRandom(42)
+    parent_b = SeededRandom(42)
+    child_a = parent_a.fork("typos")
+    child_b = parent_b.fork("typos")
+    assert [child_a.random() for _ in range(5)] == \
+        [child_b.random() for _ in range(5)]
+
+
+def test_fork_labels_are_independent():
+    parent = SeededRandom(42)
+    assert parent.fork("x").seed != parent.fork("y").seed
+
+
+def test_fork_does_not_perturb_parent():
+    lone = SeededRandom(9)
+    expected = [lone.random() for _ in range(3)]
+    forked = SeededRandom(9)
+    forked.fork("child")
+    assert [forked.random() for _ in range(3)] == expected

@@ -1,0 +1,78 @@
+"""Edit distance and Dice coefficient."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.text import dice_coefficient, edit_distance
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+    def test_transposition_costs_two_without_damerau(self):
+        assert edit_distance("youtueb", "youtube") == 2
+
+    def test_transposition_costs_one_with_damerau(self):
+        assert edit_distance("youtueb", "youtube", transpositions=True) == 1
+
+    def test_maximum_short_circuits(self):
+        assert edit_distance("completely", "different", maximum=2) == 3
+
+    def test_maximum_length_gap_short_circuit(self):
+        assert edit_distance("ab", "abcdefgh", maximum=2) == 3
+
+    def test_maximum_preserves_exact_small_distances(self):
+        assert edit_distance("cat", "cart", maximum=2) == 1
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(st.text(max_size=10))
+    def test_self_distance_zero(self, s):
+        assert edit_distance(s, s) == 0
+
+    @given(st.text(min_size=1, max_size=10), st.integers(0, 9))
+    def test_single_deletion_distance_one(self, s, index):
+        index = index % len(s)
+        shorter = s[:index] + s[index + 1:]
+        assert edit_distance(s, shorter) <= 1
+
+    @given(st.text(max_size=8), st.text(max_size=8))
+    def test_damerau_never_exceeds_levenshtein(self, a, b):
+        assert edit_distance(a, b, transpositions=True) <= edit_distance(a, b)
+
+    @given(st.text(max_size=8), st.text(max_size=8), st.text(max_size=8))
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestDice:
+    def test_identical_multisets(self):
+        assert dice_coefficient({"a": 2, "b": 1}, {"a": 2, "b": 1}) == 1.0
+
+    def test_disjoint_multisets(self):
+        assert dice_coefficient({"a": 1}, {"b": 1}) == 0.0
+
+    def test_both_empty_is_similar(self):
+        assert dice_coefficient({}, {}) == 1.0
+
+    def test_partial_overlap(self):
+        score = dice_coefficient({"a": 1, "b": 1}, {"a": 1, "c": 1})
+        assert score == pytest.approx(0.5)
+
+    def test_counts_matter(self):
+        low = dice_coefficient({"a": 1}, {"a": 10})
+        assert 0.0 < low < 0.5

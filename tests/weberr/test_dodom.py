@@ -1,0 +1,101 @@
+"""DoDOM-style invariant mining and checking."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.dom.parser import parse_html
+from repro.weberr.dodom import (
+    DomInvariantMiner,
+    DomInvariantOracle,
+    DomInvariants,
+    _structure_sets,
+)
+from repro.weberr.runner import WebErr
+from repro.workloads.sessions import sites_edit_session
+
+
+def record_trace():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="Hi")
+    return recorder.trace
+
+
+def factory():
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    return browser
+
+
+class TestInvariantChecking:
+    def test_page_satisfies_its_own_structure(self):
+        doc = parse_html('<div id="a"><p>x</p></div>')
+        nodes, edges = _structure_sets(doc)
+        invariants = DomInvariants(nodes, edges, runs=1)
+        assert invariants.check(doc) == []
+
+    def test_missing_node_reported(self):
+        full = parse_html('<div id="a"><p>x</p><span id="s">y</span></div>')
+        nodes, edges = _structure_sets(full)
+        invariants = DomInvariants(nodes, edges, runs=1)
+        broken = parse_html('<div id="a"><p>x</p></div>')
+        violations = invariants.check(broken)
+        assert violations
+        assert any("span" in violation for violation in violations)
+
+    def test_extra_content_is_allowed(self):
+        """Invariants constrain what must exist, not what may be added —
+        the DOM 'is free to extensively change' around them."""
+        base = parse_html('<div id="a"><p>x</p></div>')
+        nodes, edges = _structure_sets(base)
+        invariants = DomInvariants(nodes, edges, runs=1)
+        grown = parse_html('<div id="a"><p>x</p><ul><li>new</li></ul></div>')
+        assert invariants.check(grown) == []
+
+
+class TestMining:
+    def test_mining_produces_checkable_invariants(self):
+        trace = record_trace()
+        miner = DomInvariantMiner(factory, runs=2)
+        invariants = miner.mine(trace)
+        assert invariants.runs == 2
+        assert len(invariants.nodes) > 0
+        # A clean replay's final page satisfies the mined invariants.
+        browser = factory()
+        WarrReplayer(browser).replay(trace)
+        assert invariants.check(browser.active_tab.document) == []
+
+    def test_mining_rejects_failing_replays(self):
+        trace = record_trace()
+        trace.start_url = "http://nowhere.example/"
+        with pytest.raises(RuntimeError):
+            DomInvariantMiner(factory, runs=1).mine(trace)
+
+    def test_runs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DomInvariantMiner(factory, runs=0)
+
+
+class TestOracleIntegration:
+    def test_oracle_passes_clean_replay(self):
+        trace = record_trace()
+        invariants = DomInvariantMiner(factory, runs=2).mine(trace)
+        weberr = WebErr(factory, oracle=DomInvariantOracle(invariants))
+        outcome = weberr.replay_and_judge("baseline", trace)
+        assert not outcome.found_bug
+
+    def test_oracle_catches_silently_wrong_page(self):
+        """A timing error keeps the user on the editor page (the save
+        never fires), so the final page violates the invariants mined
+        from correct runs — caught even if one ignores console errors."""
+        trace = record_trace()
+        invariants = DomInvariantMiner(factory, runs=2).mine(trace)
+        browser = factory()
+        report = WarrReplayer(browser,
+                              timing=TimingMode.no_wait()).replay(trace)
+        verdict = DomInvariantOracle(invariants).judge(report, browser)
+        assert not verdict.passed
+        assert "invariant" in verdict.reason

@@ -1,0 +1,88 @@
+"""Trace generation with the two pruning heuristics."""
+
+from repro.core.commands import ClickCommand
+from repro.core.trace import WarrTrace
+from repro.weberr.generator import PrefixFailureCache, TraceGenerator
+from repro.weberr.grammar import Grammar, Rule, Terminal
+
+
+def click(name):
+    return ClickCommand("//%s" % name, x=0, y=0)
+
+
+def grammar_with(symbols, name="Task"):
+    grammar = Grammar(name, start_url="http://x/")
+    grammar.add_rule(Rule(name, [Terminal(c) for c in symbols]))
+    return grammar
+
+
+class TestPrefixFailureCache:
+    def test_exact_prefix_dooms_extension(self):
+        cache = PrefixFailureCache()
+        cache.record_failure([click("a"), click("b")])
+        assert cache.is_doomed([click("a"), click("b"), click("c")])
+
+    def test_prefix_of_failure_is_not_doomed(self):
+        cache = PrefixFailureCache()
+        cache.record_failure([click("a"), click("b")])
+        assert not cache.is_doomed([click("a")])
+
+    def test_divergent_trace_not_doomed(self):
+        cache = PrefixFailureCache()
+        cache.record_failure([click("a"), click("b")])
+        assert not cache.is_doomed([click("a"), click("x"), click("b")])
+
+    def test_hit_counter(self):
+        cache = PrefixFailureCache()
+        cache.record_failure([click("a")])
+        cache.is_doomed([click("a"), click("b")])
+        cache.is_doomed([click("z")])
+        assert cache.hits == 1
+        assert cache.recorded == 1
+
+    def test_empty_failure_dooms_everything(self):
+        cache = PrefixFailureCache()
+        cache.record_failure([])
+        assert cache.is_doomed([click("anything")])
+
+
+class TestTraceGenerator:
+    def test_traces_expand_grammar_variants(self):
+        generator = TraceGenerator()
+        variants = [("v1", grammar_with([click("a")])),
+                    ("v2", grammar_with([click("b")]))]
+        produced = list(generator.traces(variants))
+        assert [d for d, _ in produced] == ["v1", "v2"]
+        assert all(isinstance(t, WarrTrace) for _, t in produced)
+        assert generator.generated == 2
+
+    def test_labels_carry_description(self):
+        generator = TraceGenerator()
+        (_, trace), = generator.traces([("forget X", grammar_with([click("a")]))])
+        assert trace.label == "forget X"
+
+    def test_max_traces_cap(self):
+        generator = TraceGenerator(max_traces=1)
+        variants = [("v%d" % i, grammar_with([click("c%d" % i)]))
+                    for i in range(5)]
+        assert len(list(generator.traces(variants))) == 1
+
+    def test_failed_prefix_prunes_later_variants(self):
+        """The paper's first reduction heuristic."""
+        generator = TraceGenerator()
+        doomed_grammar = grammar_with([click("bad"), click("rest")])
+        same_prefix = grammar_with([click("bad"), click("other")])
+        produced = list(generator.traces([("first", doomed_grammar)]))
+        _, failed_trace = produced[0]
+        generator.report_failure(failed_trace, 0)  # first command failed
+        remaining = list(generator.traces([("second", same_prefix)]))
+        assert remaining == []
+        assert generator.pruned == 1
+
+    def test_pruning_disabled(self):
+        generator = TraceGenerator(prune_failed_prefixes=False)
+        trace = WarrTrace(commands=[click("bad")])
+        generator.report_failure(trace, 0)  # no-op
+        produced = list(generator.traces(
+            [("v", grammar_with([click("bad")]))]))
+        assert len(produced) == 1

@@ -1,0 +1,106 @@
+"""User-interaction grammars: structure, expansion, copies."""
+
+import pytest
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.util.errors import GrammarError
+from repro.weberr.grammar import Grammar, Rule, Terminal
+
+
+def click(name):
+    return Terminal(ClickCommand("//%s" % name, x=1, y=1, elapsed_ms=10))
+
+
+def make_grammar():
+    grammar = Grammar("EditSite", start_url="http://s/")
+    grammar.add_rule(Rule("EditSite", ["Authenticate", "Edit"]))
+    grammar.add_rule(Rule("Authenticate", [click("login"), click("submit")]))
+    grammar.add_rule(Rule("Edit", [click("start"), "TypeText", click("save")]))
+    grammar.add_rule(Rule("TypeText", [
+        Terminal(TypeCommand("//content", key="H", code=72, elapsed_ms=5)),
+        Terminal(TypeCommand("//content", key="i", code=73, elapsed_ms=5)),
+    ]))
+    return grammar
+
+
+class TestStructure:
+    def test_duplicate_rule_rejected(self):
+        grammar = make_grammar()
+        with pytest.raises(GrammarError):
+            grammar.add_rule(Rule("Edit", []))
+
+    def test_unknown_rule_lookup(self):
+        with pytest.raises(GrammarError):
+            make_grammar().rule("Ghost")
+
+    def test_rule_names_sorted(self):
+        assert make_grammar().rule_names() == [
+            "Authenticate", "Edit", "EditSite", "TypeText"]
+
+    def test_terminal_requires_command(self):
+        with pytest.raises(TypeError):
+            Terminal("not a command")
+
+    def test_terminal_count(self):
+        assert make_grammar().terminal_count() == 6
+
+
+class TestExpansion:
+    def test_expand_flattens_in_order(self):
+        commands = make_grammar().expand()
+        assert [c.xpath for c in commands] == [
+            "//login", "//submit", "//start", "//content", "//content",
+            "//save"]
+
+    def test_expand_returns_copies(self):
+        grammar = make_grammar()
+        first = grammar.expand()
+        first[0].x = 999
+        second = grammar.expand()
+        assert second[0].x == 1
+
+    def test_to_trace_carries_url(self):
+        trace = make_grammar().to_trace(label="test")
+        assert trace.start_url == "http://s/"
+        assert trace.label == "test"
+        assert len(trace) == 6
+
+    def test_recursion_detected(self):
+        grammar = Grammar("A")
+        grammar.add_rule(Rule("A", ["B"]))
+        grammar.add_rule(Rule("B", ["A"]))
+        with pytest.raises(GrammarError):
+            grammar.expand()
+
+    def test_empty_rule_contributes_nothing(self):
+        grammar = make_grammar()
+        grammar.rules["TypeText"] = Rule("TypeText", [])
+        assert len(grammar.expand()) == 4
+
+
+class TestCopies:
+    def test_copy_is_independent(self):
+        grammar = make_grammar()
+        clone = grammar.copy()
+        clone.rules["Edit"].symbols.pop()
+        assert len(grammar.rules["Edit"].symbols) == 3
+
+    def test_with_rule_replaces_one_rule(self):
+        grammar = make_grammar()
+        variant = grammar.with_rule(Rule("TypeText", []))
+        assert len(variant.expand()) == 4
+        assert len(grammar.expand()) == 6
+
+    def test_with_rule_unknown_name_rejected(self):
+        with pytest.raises(GrammarError):
+            make_grammar().with_rule(Rule("Ghost", []))
+
+
+class TestPretty:
+    def test_pretty_starts_with_start_rule(self):
+        listing = make_grammar().pretty()
+        assert listing.splitlines()[0].startswith("Rule(EditSite")
+
+    def test_empty_rule_shows_epsilon(self):
+        rule = Rule("Forgotten", [])
+        assert "ε" in repr(rule)

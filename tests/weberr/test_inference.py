@@ -1,0 +1,119 @@
+"""Task-tree and grammar inference from recorded traces."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.apps.portal import PortalApplication
+from repro.core.recorder import WarrRecorder
+from repro.weberr.inference import TaskNode, TaskTreeBuilder, infer_grammar
+from repro.workloads.sessions import (
+    portal_authenticate_session,
+    sites_edit_session,
+)
+
+
+def record_sites_trace():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="Hi!")
+    return recorder.trace
+
+
+def sites_factory():
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    return browser
+
+
+@pytest.fixture(scope="module")
+def sites_tree_and_grammar():
+    trace = record_sites_trace()
+    builder = TaskTreeBuilder(sites_factory)
+    tree = builder.build(trace, label="EditSite")
+    grammar = infer_grammar(tree, trace.start_url)
+    return trace, tree, grammar
+
+
+class TestTaskTree:
+    def test_root_is_the_task(self, sites_tree_and_grammar):
+        _, tree, _ = sites_tree_and_grammar
+        assert tree.kind == TaskNode.TASK
+        assert tree.name == "EditSite"
+
+    def test_second_level_is_phases(self, sites_tree_and_grammar):
+        _, tree, _ = sites_tree_and_grammar
+        assert tree.children
+        assert all(child.kind == TaskNode.PHASE for child in tree.children)
+
+    def test_third_level_splits_on_element_change(self, sites_tree_and_grammar):
+        """Steps: click start / type into content / click Save."""
+        _, tree, _ = sites_tree_and_grammar
+        edit_phase = tree.children[0]
+        assert len(edit_phase.children) == 3
+        xpaths = [step.xpath for step in edit_phase.children]
+        assert 'start' in xpaths[0]
+        assert 'content' in xpaths[1]
+        assert 'Save' in xpaths[2]
+
+    def test_consecutive_keystrokes_grouped(self, sites_tree_and_grammar):
+        _, tree, _ = sites_tree_and_grammar
+        typing_step = tree.children[0].children[1]
+        assert len(typing_step.commands) == 3  # H, i, !
+
+    def test_leaf_commands_reconstruct_trace(self, sites_tree_and_grammar):
+        trace, tree, _ = sites_tree_and_grammar
+        assert tree.leaf_commands() == list(trace.commands)
+
+    def test_pretty_renders_figure6_style(self, sites_tree_and_grammar):
+        _, tree, _ = sites_tree_and_grammar
+        rendering = tree.pretty()
+        assert "EditSite" in rendering.splitlines()[0]
+        assert "Step" in rendering
+
+
+class TestInferredGrammar:
+    def test_grammar_round_trips_the_trace(self, sites_tree_and_grammar):
+        trace, _, grammar = sites_tree_and_grammar
+        assert grammar.to_trace().commands == list(trace.commands)
+
+    def test_start_rule_named_after_task(self, sites_tree_and_grammar):
+        _, _, grammar = sites_tree_and_grammar
+        assert grammar.start == "EditSite"
+
+    def test_rules_cover_phases_and_steps(self, sites_tree_and_grammar):
+        _, tree, grammar = sites_tree_and_grammar
+        assert len(grammar.rules) >= 1 + len(tree.children)
+
+
+class TestMultiPageInference:
+    def test_navigation_splits_phases(self):
+        browser, _ = make_browser([PortalApplication])
+        recorder = WarrRecorder().attach(browser)
+        recorder.begin("http://portal.example.com/")
+        portal_authenticate_session(browser)
+        trace = recorder.trace
+
+        def factory():
+            fresh, _ = make_browser([PortalApplication], developer_mode=True)
+            return fresh
+
+        tree = TaskTreeBuilder(factory).build(trace, label="Authenticate")
+        # Login page phase + portal home phase.
+        assert len(tree.children) == 2
+        # Every command still accounted for.
+        assert len(tree.leaf_commands()) == len(trace)
+
+    def test_grammar_names_unique_across_phases(self):
+        browser, _ = make_browser([PortalApplication])
+        recorder = WarrRecorder().attach(browser)
+        recorder.begin("http://portal.example.com/")
+        portal_authenticate_session(browser)
+
+        def factory():
+            fresh, _ = make_browser([PortalApplication], developer_mode=True)
+            return fresh
+
+        tree = TaskTreeBuilder(factory).build(recorder.trace, label="Auth")
+        grammar = infer_grammar(tree, recorder.trace.start_url)
+        assert grammar.to_trace().commands == list(recorder.trace.commands)

@@ -1,0 +1,130 @@
+"""Navigation-error operators and the variant enumerator."""
+
+import pytest
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.weberr.grammar import Grammar, Rule, Terminal
+from repro.weberr.navigation import (
+    NavigationErrorInjector,
+    forget_step,
+    reorder_steps,
+    substitute_step,
+    substitute_typo,
+)
+
+
+def click(name):
+    return Terminal(ClickCommand("//%s" % name, x=0, y=0))
+
+
+def keystroke(key, code):
+    return Terminal(TypeCommand("//field", key=key, code=code))
+
+
+def make_grammar():
+    grammar = Grammar("Task", start_url="http://x/")
+    grammar.add_rule(Rule("Task", ["StepA", "StepB"]))
+    grammar.add_rule(Rule("StepA", [click("one"), click("two")]))
+    grammar.add_rule(Rule("StepB", [keystroke("h", 72), keystroke("i", 73)]))
+    return grammar
+
+
+class TestOperators:
+    def test_forget_empties_rule(self):
+        rule = make_grammar().rule("StepA")
+        assert forget_step(rule).symbols == []
+        assert rule.symbols  # original untouched
+
+    def test_reorder_swaps_adjacent(self):
+        rule = make_grammar().rule("StepA")
+        swapped = reorder_steps(rule, 0)
+        assert swapped.symbols == [rule.symbols[1], rule.symbols[0]]
+
+    def test_reorder_out_of_range(self):
+        with pytest.raises(IndexError):
+            reorder_steps(make_grammar().rule("StepA"), 5)
+
+    def test_substitute_replaces_symbol(self):
+        rule = make_grammar().rule("StepA")
+        replaced = substitute_step(rule, 0, rule.symbols[1])
+        assert replaced.symbols[0] == rule.symbols[1]
+
+    def test_substitute_out_of_range(self):
+        with pytest.raises(IndexError):
+            substitute_step(make_grammar().rule("StepA"), 9, None)
+
+    def test_substitute_typo_changes_keystroke(self):
+        rule = make_grammar().rule("StepB")
+        typo = substitute_typo(rule, 0, "g")
+        command = typo.symbols[0].command
+        assert command.key == "g"
+        assert command.code == 71
+        assert command.xpath == "//field"
+
+    def test_substitute_typo_rejects_non_keystroke(self):
+        with pytest.raises(TypeError):
+            substitute_typo(make_grammar().rule("StepA"), 0, "g")
+
+
+class TestInjectorEnumeration:
+    def test_forget_variant_per_nonempty_rule(self):
+        injector = NavigationErrorInjector(make_grammar())
+        variants = list(injector.forget_variants())
+        assert len(variants) == 3  # Task, StepA, StepB
+
+    def test_forget_variant_expands_without_rule(self):
+        injector = NavigationErrorInjector(make_grammar())
+        variants = dict(injector.forget_variants())
+        shrunk = variants["forget StepB"]
+        assert len(shrunk.expand()) == 2  # only StepA's clicks
+
+    def test_reorder_variant_per_adjacent_pair(self):
+        injector = NavigationErrorInjector(make_grammar())
+        variants = list(injector.reorder_variants())
+        # Task has 1 pair, StepA 1, StepB 1.
+        assert len(variants) == 3
+
+    def test_substitution_never_crosses_rules(self):
+        """Paper: 'never performs cross-rule error injection'."""
+        injector = NavigationErrorInjector(make_grammar())
+        for description, grammar in injector.substitution_variants():
+            rule_name = description.split()[1].split("@")[0]
+            mutated = grammar.rule(rule_name)
+            original = make_grammar().rule(rule_name)
+            for symbol in mutated.symbols:
+                assert symbol in original.symbols
+
+    def test_typo_variants_target_keystrokes_only(self):
+        injector = NavigationErrorInjector(make_grammar())
+        variants = list(injector.typo_variants())
+        assert len(variants) == 2  # h and i each get one neighbour typo
+        for description, grammar in variants:
+            assert "StepB" in description
+
+    def test_focus_rules_restrict_injection(self):
+        injector = NavigationErrorInjector(make_grammar(),
+                                           focus_rules=["StepB"])
+        descriptions = [d for d, _ in injector.all_variants()]
+        assert all("StepB" in d for d in descriptions)
+
+    def test_focus_with_unknown_rule_is_empty(self):
+        injector = NavigationErrorInjector(make_grammar(),
+                                           focus_rules=["Ghost"])
+        assert list(injector.all_variants()) == []
+
+    def test_all_variants_ordering(self):
+        injector = NavigationErrorInjector(make_grammar())
+        descriptions = [d for d, _ in injector.all_variants()]
+        first_forget = descriptions.index(
+            next(d for d in descriptions if d.startswith("forget")))
+        first_reorder = descriptions.index(
+            next(d for d in descriptions if d.startswith("reorder")))
+        first_substitute = descriptions.index(
+            next(d for d in descriptions if d.startswith("substitute")))
+        assert first_forget < first_reorder < first_substitute
+
+    def test_variants_do_not_mutate_base_grammar(self):
+        grammar = make_grammar()
+        injector = NavigationErrorInjector(grammar)
+        list(injector.all_variants())
+        assert len(grammar.expand()) == 4

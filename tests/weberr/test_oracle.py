@@ -1,0 +1,78 @@
+"""Oracles and verdicts."""
+
+from repro.core.replayer import ReplayReport
+from repro.core.trace import WarrTrace
+from repro.util.errors import JSReferenceError
+from repro.weberr.oracle import (
+    CompositeOracle,
+    ConsoleErrorOracle,
+    PredicateOracle,
+    ReplayCompletionOracle,
+    Verdict,
+)
+
+
+def clean_report():
+    return ReplayReport(WarrTrace())
+
+
+def test_verdict_factories():
+    assert Verdict.ok().passed
+    failure = Verdict.bug("broken")
+    assert not failure.passed
+    assert failure.reason == "broken"
+
+
+def test_console_oracle_passes_clean_report():
+    verdict = ConsoleErrorOracle().judge(clean_report(), browser=None)
+    assert verdict.passed
+
+
+def test_console_oracle_fails_on_page_errors():
+    report = clean_report()
+    report.page_errors = [JSReferenceError("editorState is not defined")]
+    verdict = ConsoleErrorOracle().judge(report, browser=None)
+    assert not verdict.passed
+    assert "editorState" in verdict.reason
+
+
+def test_completion_oracle_detects_halt():
+    report = clean_report()
+    report.halted = True
+    report.halt_reason = "no active client"
+    verdict = ReplayCompletionOracle().judge(report, browser=None)
+    assert not verdict.passed
+    assert "no active client" in verdict.reason
+
+
+def test_predicate_oracle_pass_fail_and_message():
+    passing = PredicateOracle(lambda report, browser: True)
+    failing = PredicateOracle(lambda report, browser: False,
+                              description="state mismatch")
+    message = PredicateOracle(lambda report, browser: "saved count wrong")
+    assert passing.judge(clean_report(), None).passed
+    assert failing.judge(clean_report(), None).reason == "state mismatch"
+    assert message.judge(clean_report(), None).reason == "saved count wrong"
+
+
+def test_predicate_oracle_none_is_pass():
+    oracle = PredicateOracle(lambda report, browser: None)
+    assert oracle.judge(clean_report(), None).passed
+
+
+def test_composite_reports_first_failure():
+    report = clean_report()
+    report.halted = True
+    report.halt_reason = "x"
+    oracle = CompositeOracle([
+        ConsoleErrorOracle(),
+        ReplayCompletionOracle(),
+        PredicateOracle(lambda r, b: False, description="late check"),
+    ])
+    verdict = oracle.judge(report, None)
+    assert "x" in verdict.reason  # the completion oracle fired first
+
+
+def test_composite_passes_when_all_pass():
+    oracle = CompositeOracle([ConsoleErrorOracle(), ReplayCompletionOracle()])
+    assert oracle.judge(clean_report(), None).passed

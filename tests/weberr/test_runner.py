@@ -1,0 +1,89 @@
+"""The WebErr pipeline end to end (on the Sites clone)."""
+
+import pytest
+
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.util.errors import JSReferenceError
+from repro.weberr.runner import WebErr
+from repro.workloads.sessions import sites_edit_session
+
+
+def record_trace():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="Ok")
+    return recorder.trace
+
+
+def factory():
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    return browser
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_trace()
+
+
+class TestTimingCampaign:
+    def test_finds_the_google_sites_bug(self, trace):
+        """The paper's Section V-C result, reproduced end to end."""
+        weberr = WebErr(factory)
+        report = weberr.run_timing_campaign(trace)
+        assert report.bugs
+        no_wait = next(o for o in report.outcomes
+                       if o.description == "no-wait")
+        assert no_wait.found_bug
+        assert "editorState" in no_wait.verdict.reason
+
+    def test_bug_is_a_reference_error(self, trace):
+        weberr = WebErr(factory)
+        report = weberr.run_timing_campaign(trace)
+        buggy = report.bugs[0]
+        assert any(isinstance(e, JSReferenceError)
+                   for e in buggy.report.page_errors)
+
+    def test_max_tests_caps_campaign(self, trace):
+        weberr = WebErr(factory, max_tests=1)
+        report = weberr.run_timing_campaign(trace)
+        assert report.tests_run == 1
+
+
+class TestNavigationCampaign:
+    def test_campaign_runs_and_reports(self, trace):
+        weberr = WebErr(factory, max_tests=12)
+        report = weberr.run_navigation_campaign(trace, label="EditSite")
+        assert report.tests_run > 0
+        assert report.tests_run <= 12
+        summary = report.summary()
+        assert "tests run" in summary
+
+    def test_fresh_environment_per_test(self, trace):
+        """Injected errors must not contaminate later tests: the patient
+        baseline replay still passes after a buggy campaign."""
+        weberr = WebErr(factory, max_tests=6)
+        weberr.run_navigation_campaign(trace, label="EditSite")
+        outcome = weberr.replay_and_judge("baseline", trace)
+        assert not outcome.found_bug
+
+    def test_focus_rules_limit_tests(self, trace):
+        everything = WebErr(factory).run_navigation_campaign(
+            record_trace(), label="EditSite")
+        _, grammar = WebErr(factory).infer(trace, label="EditSite")
+        step_rules = [name for name in grammar.rule_names()
+                      if name.startswith("Step")][:1]
+        focused = WebErr(factory, focus_rules=step_rules)
+        focused_report = focused.run_navigation_campaign(trace,
+                                                         label="EditSite")
+        assert focused_report.tests_run < everything.tests_run
+
+
+class TestRunBoth:
+    def test_run_returns_both_reports(self, trace):
+        weberr = WebErr(factory, max_tests=5)
+        navigation, timing = weberr.run(trace, label="EditSite")
+        assert navigation.tests_run > 0
+        assert timing.tests_run > 0

@@ -1,0 +1,67 @@
+"""DOM-shape similarity."""
+
+import pytest
+
+from repro.dom.parser import parse_html
+from repro.weberr.similarity import (
+    dom_shape_similarity,
+    page_signature,
+    signature_similarity,
+)
+
+
+def test_identical_pages_score_one():
+    html = '<div id="a"><p>x</p></div>'
+    assert dom_shape_similarity(parse_html(html), parse_html(html)) == 1.0
+
+
+def test_unrelated_pages_score_low():
+    a = parse_html("<table><tr><td>x</td></tr></table>")
+    b = parse_html("<ul><li>1</li><li>2</li><li>3</li></ul>")
+    assert dom_shape_similarity(a, b) < 0.5
+
+
+def test_small_text_change_scores_high():
+    a = parse_html('<div id="main"><p>hello</p><ul><li>1</li></ul></div>')
+    b = parse_html('<div id="main"><p>goodbye</p><ul><li>1</li></ul></div>')
+    assert dom_shape_similarity(a, b) == 1.0  # text is not shape
+
+
+def test_id_changes_lower_similarity():
+    a = parse_html('<div id="one"><p>x</p></div>')
+    b = parse_html('<div id="two"><p>x</p></div>')
+    score = dom_shape_similarity(a, b)
+    assert 0.0 < score < 1.0
+
+
+def test_structural_growth_lowers_similarity_gradually():
+    base = '<div id="m">' + "<p>x</p>" * 3 + "</div>"
+    grown = '<div id="m">' + "<p>x</p>" * 30 + "</div>"
+    slightly = '<div id="m">' + "<p>x</p>" * 4 + "</div>"
+    a, b, c = parse_html(base), parse_html(grown), parse_html(slightly)
+    assert dom_shape_similarity(a, c) > dom_shape_similarity(a, b)
+
+
+def test_similarity_symmetric():
+    a = parse_html('<div><span id="s">x</span></div>')
+    b = parse_html("<div><p>y</p><p>z</p></div>")
+    assert dom_shape_similarity(a, b) == dom_shape_similarity(b, a)
+
+
+def test_signature_reuse():
+    a = parse_html("<div><p>x</p></div>")
+    signature = page_signature(a)
+    assert signature_similarity(signature, signature) == 1.0
+
+
+def test_depth_is_part_of_shape():
+    flat = parse_html("<div></div><div></div>")
+    nested = parse_html("<div><div></div></div>")
+    assert dom_shape_similarity(flat, nested) < 1.0
+
+
+def test_signature_counts_repeated_shapes():
+    nodes, edges = page_signature(parse_html("<ul><li>a</li><li>b</li></ul>"))
+    li_keys = [k for k in nodes if k[1] == "li"]
+    assert len(li_keys) == 1
+    assert nodes[li_keys[0]] == 2

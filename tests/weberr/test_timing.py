@@ -1,0 +1,61 @@
+"""Timing-error injection."""
+
+import pytest
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.trace import WarrTrace
+from repro.weberr.timing import TimingErrorInjector
+
+
+def make_trace():
+    return WarrTrace(start_url="http://x/", commands=[
+        ClickCommand("//start", elapsed_ms=800),
+        TypeCommand("//content", key="a", code=65, elapsed_ms=120),
+        ClickCommand("//save", elapsed_ms=300),
+    ])
+
+
+def test_no_wait_zeroes_all_delays():
+    name, variant = TimingErrorInjector(make_trace()).no_wait()
+    assert name == "no-wait"
+    assert all(c.elapsed_ms == 0 for c in variant)
+
+
+def test_scaled_variant():
+    _, variant = TimingErrorInjector(make_trace()).scaled(0.5)
+    assert [c.elapsed_ms for c in variant] == [400, 60, 150]
+
+
+def test_rush_single_command():
+    _, variant = TimingErrorInjector(make_trace()).rush_command(0)
+    assert [c.elapsed_ms for c in variant] == [0, 120, 300]
+
+
+def test_rush_out_of_range():
+    with pytest.raises(IndexError):
+        TimingErrorInjector(make_trace()).rush_command(10)
+
+
+def test_rush_each_command_produces_one_variant_per_command():
+    variants = TimingErrorInjector(make_trace()).rush_each_command()
+    assert len(variants) == 3
+    for index, (name, variant) in enumerate(variants):
+        assert str(index) in name
+        zeroed = [i for i, c in enumerate(variant) if c.elapsed_ms == 0]
+        assert zeroed == [index]
+
+
+def test_stress_variants_include_no_wait_and_scales():
+    variants = TimingErrorInjector(make_trace()).stress_variants(
+        factors=(0.0, 0.25))
+    names = [name for name, _ in variants]
+    assert names[0] == "no-wait"
+    assert any("0.25" in name for name in names)
+
+
+def test_original_trace_never_mutated():
+    trace = make_trace()
+    injector = TimingErrorInjector(trace)
+    injector.no_wait()
+    injector.rush_each_command()
+    assert [c.elapsed_ms for c in trace] == [800, 120, 300]

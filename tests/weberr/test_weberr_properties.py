@@ -1,0 +1,98 @@
+"""Property-based tests for grammar error-injection operators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.weberr.grammar import Grammar, Rule, Terminal
+from repro.weberr.navigation import (
+    NavigationErrorInjector,
+    forget_step,
+    reorder_steps,
+)
+
+
+@st.composite
+def grammars(draw):
+    """Two-level grammars: Task -> steps, each step -> terminals."""
+    step_count = draw(st.integers(1, 4))
+    grammar = Grammar("Task", start_url="http://x/")
+    step_names = ["Step%d" % index for index in range(step_count)]
+    grammar.add_rule(Rule("Task", list(step_names)))
+    for index, name in enumerate(step_names):
+        terminal_count = draw(st.integers(1, 5))
+        terminals = []
+        for t in range(terminal_count):
+            if draw(st.booleans()):
+                terminals.append(Terminal(ClickCommand(
+                    "//el%d_%d" % (index, t), x=t, y=t, elapsed_ms=10)))
+            else:
+                terminals.append(Terminal(TypeCommand(
+                    "//field%d" % index, key="a", code=65, elapsed_ms=5)))
+        grammar.add_rule(Rule(name, terminals))
+    return grammar
+
+
+@given(grammars())
+@settings(max_examples=40, deadline=None)
+def test_forget_shrinks_expansion(grammar):
+    baseline = len(grammar.expand())
+    for name in grammar.rule_names():
+        rule = grammar.rule(name)
+        if rule.is_empty():
+            continue
+        variant = grammar.with_rule(forget_step(rule))
+        assert len(variant.expand()) < baseline
+
+
+@given(grammars(), st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_reorder_preserves_command_multiset(grammar, index):
+    injector = NavigationErrorInjector(grammar)
+    variants = list(injector.reorder_variants())
+    if not variants:
+        return
+    _, variant = variants[index % len(variants)]
+    original_lines = sorted(c.to_line() for c in grammar.expand())
+    mutated_lines = sorted(c.to_line() for c in variant.expand())
+    assert original_lines == mutated_lines
+
+
+@given(grammars())
+@settings(max_examples=40, deadline=None)
+def test_reorder_changes_order_when_symbols_differ(grammar):
+    injector = NavigationErrorInjector(grammar)
+    original = [c.to_line() for c in grammar.expand()]
+    for _, variant in injector.reorder_variants():
+        mutated = [c.to_line() for c in variant.expand()]
+        assert len(mutated) == len(original)
+
+
+@given(grammars())
+@settings(max_examples=40, deadline=None)
+def test_substitution_preserves_rule_symbol_count(grammar):
+    """Substitution swaps one symbol for another — the mutated rule has
+    the same arity (expansion length may change: the substituted
+    sub-step may be bigger or smaller than what it replaced)."""
+    injector = NavigationErrorInjector(grammar)
+    for description, variant in injector.substitution_variants():
+        rule_name = description.split()[1].split("@")[0]
+        assert len(variant.rule(rule_name).symbols) == \
+            len(grammar.rule(rule_name).symbols)
+
+
+@given(grammars())
+@settings(max_examples=40, deadline=None)
+def test_variants_never_mutate_the_base_grammar(grammar):
+    snapshot = [c.to_line() for c in grammar.expand()]
+    injector = NavigationErrorInjector(grammar)
+    for _, _variant in injector.all_variants():
+        pass
+    assert [c.to_line() for c in grammar.expand()] == snapshot
+
+
+@given(grammars())
+@settings(max_examples=40, deadline=None)
+def test_variant_traces_share_start_url(grammar):
+    injector = NavigationErrorInjector(grammar)
+    for _, variant in injector.all_variants():
+        assert variant.to_trace().start_url == "http://x/"

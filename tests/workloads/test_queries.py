@@ -1,0 +1,46 @@
+"""The 186-query corpus."""
+
+from repro.workloads.queries import (
+    FREQUENT_QUERIES,
+    query_vocabulary,
+    word_frequencies,
+)
+
+
+def test_exactly_186_queries():
+    """The paper's workload size (Section V-C)."""
+    assert len(FREQUENT_QUERIES) == 186
+
+
+def test_queries_unique():
+    assert len(set(FREQUENT_QUERIES)) == 186
+
+
+def test_queries_are_lowercase_words():
+    for query in FREQUENT_QUERIES:
+        assert query == query.strip()
+        assert "  " not in query
+
+
+def test_vocabulary_covers_all_words():
+    vocabulary = set(query_vocabulary())
+    for query in FREQUENT_QUERIES:
+        for word in query.split():
+            assert word in vocabulary
+
+
+def test_vocabulary_sorted_and_unique():
+    vocabulary = query_vocabulary()
+    assert vocabulary == sorted(set(vocabulary))
+
+
+def test_frequencies_sum_to_word_occurrences():
+    frequencies = word_frequencies()
+    total = sum(len(q.split()) for q in FREQUENT_QUERIES)
+    assert sum(frequencies.values()) == total
+
+
+def test_common_words_have_high_frequency():
+    frequencies = word_frequencies()
+    assert frequencies["how"] >= 5  # the how-to block
+    assert frequencies.get("weather", 0) >= 2

@@ -1,0 +1,108 @@
+"""SimulatedUser ground truth and the scripted scenarios."""
+
+import pytest
+
+from repro.apps.docs import DocsApplication
+from repro.apps.framework import make_browser
+from repro.apps.gmail import GmailApplication
+from repro.apps.portal import PortalApplication
+from repro.apps.search import GoogleSearchApplication
+from repro.apps.sites import SitesApplication
+from repro.baselines.fidelity import ACTION_CLICK, ACTION_DOUBLECLICK, ACTION_DRAG, ACTION_KEY
+from repro.workloads.sessions import (
+    SimulatedUser,
+    docs_edit_session,
+    gmail_compose_session,
+    portal_authenticate_session,
+    search_session,
+    sites_edit_session,
+)
+
+
+class TestSimulatedUser:
+    def test_actions_logged_in_order(self):
+        browser, _ = make_browser([PortalApplication])
+        tab = browser.new_tab("http://portal.example.com/")
+        user = SimulatedUser(tab, think_time_ms=10)
+        user.click('//input[@name="login"]')
+        user.type_text("ab")
+        kinds = [a.kind for a in user.actions]
+        assert kinds == [ACTION_CLICK, ACTION_KEY, ACTION_KEY]
+
+    def test_focus_click_flag_set_for_text_inputs(self):
+        browser, _ = make_browser([PortalApplication])
+        tab = browser.new_tab("http://portal.example.com/")
+        user = SimulatedUser(tab, think_time_ms=10)
+        user.click('//input[@name="login"]')
+        user.click('//input[@type="submit"]')
+        assert user.actions[0].is_focus_click
+        assert not user.actions[1].is_focus_click
+
+    def test_key_actions_know_their_target_kind(self):
+        browser, _ = make_browser([GmailApplication])
+        tab = browser.new_tab("http://mail.example.com/compose")
+        user = SimulatedUser(tab, think_time_ms=10)
+        user.click('//input[@name="to"]')
+        user.type_text("x")
+        user.click('//div[contains(@class, "editable")]')
+        user.type_text("y")
+        key_actions = [a for a in user.actions if a.kind == ACTION_KEY]
+        assert key_actions[0].into_value_control
+        assert not key_actions[1].into_value_control
+
+    def test_think_time_advances_clock(self):
+        browser, _ = make_browser([PortalApplication])
+        tab = browser.new_tab("http://portal.example.com/")
+        user = SimulatedUser(tab, think_time_ms=200)
+        before = browser.clock.now()
+        user.click('//input[@name="login"]')
+        assert browser.clock.now() >= before + 200
+
+
+class TestScenarios:
+    def test_sites_session_saves_the_page(self):
+        browser, (app,) = make_browser([SitesApplication])
+        sites_edit_session(browser, text="Hi")
+        assert app.save_count == 1
+        assert not browser.page_errors
+
+    def test_gmail_session_sends_mail(self):
+        browser, (app,) = make_browser([GmailApplication])
+        gmail_compose_session(browser, to="a@b", subject="s", body="b")
+        assert app.sent == [{"to": "a@b", "subject": "s", "body": "b"}]
+
+    def test_portal_session_authenticates(self):
+        browser, (app,) = make_browser([PortalApplication])
+        portal_authenticate_session(browser)
+        assert app.login_attempts == ["jane"]
+        assert browser.tabs[0].document.title == "Portal - Home"
+
+    def test_docs_session_edits_and_saves(self):
+        browser, (app,) = make_browser([DocsApplication])
+        user = docs_edit_session(browser)
+        assert app.save_count == 1
+        assert app.sheets["budget"][(2, 0)] == "Travel"
+        kinds = {a.kind for a in user.actions}
+        assert ACTION_DOUBLECLICK in kinds
+        assert ACTION_DRAG in kinds
+
+    def test_search_session_reaches_results(self):
+        browser, (app,) = make_browser([GoogleSearchApplication])
+        user, tab = search_session(browser, "http://www.google.example",
+                                   "weather forecast")
+        assert app.queries_received == ["weather forecast"]
+        assert tab.document.get_element_by_id("results") is not None
+
+    def test_search_session_with_enter(self):
+        browser, (app,) = make_browser([GoogleSearchApplication])
+        user, tab = search_session(browser, "http://www.google.example",
+                                   "weather forecast", submit_with_enter=True)
+        assert app.queries_received == ["weather forecast"]
+
+    def test_sessions_are_deterministic(self):
+        first_browser, _ = make_browser([PortalApplication])
+        first = portal_authenticate_session(first_browser)
+        second_browser, _ = make_browser([PortalApplication])
+        second = portal_authenticate_session(second_browser)
+        assert len(first.actions) == len(second.actions)
+        assert first_browser.clock.now() == second_browser.clock.now()

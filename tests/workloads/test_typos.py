@@ -1,0 +1,98 @@
+"""Typo injector: determinism and edit classes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import SeededRandom
+from repro.util.text import edit_distance
+from repro.workloads.queries import FREQUENT_QUERIES
+from repro.workloads.typos import KINDS, QWERTY_NEIGHBORS, TypoInjector
+
+
+def make_injector(seed=0):
+    return TypoInjector(SeededRandom(seed))
+
+
+class TestDeterminism:
+    def test_same_seed_same_typos(self):
+        first = make_injector(7).inject_all(FREQUENT_QUERIES[:30])
+        second = make_injector(7).inject_all(FREQUENT_QUERIES[:30])
+        assert [t.corrupted for t in first] == [t.corrupted for t in second]
+
+    def test_different_seeds_differ(self):
+        first = make_injector(1).inject_all(FREQUENT_QUERIES[:30])
+        second = make_injector(2).inject_all(FREQUENT_QUERIES[:30])
+        assert [t.corrupted for t in first] != [t.corrupted for t in second]
+
+
+class TestInjection:
+    def test_always_changes_the_query(self):
+        injector = make_injector(3)
+        for query in FREQUENT_QUERIES:
+            typo = injector.inject(query)
+            assert typo.corrupted != typo.original
+
+    def test_single_word_affected(self):
+        injector = make_injector(5)
+        for query in FREQUENT_QUERIES[:50]:
+            typo = injector.inject(query)
+            original_words = typo.original.split()
+            corrupted_words = typo.corrupted.split()
+            assert len(original_words) == len(corrupted_words)
+            differing = [i for i, (a, b)
+                         in enumerate(zip(original_words, corrupted_words))
+                         if a != b]
+            assert differing == [typo.word_index]
+
+    def test_damerau_distance_is_one(self):
+        injector = make_injector(11)
+        for query in FREQUENT_QUERIES[:80]:
+            typo = injector.inject(query)
+            bad = typo.corrupted.split()[typo.word_index]
+            good = typo.original.split()[typo.word_index]
+            assert edit_distance(bad, good, transpositions=True) == 1
+
+    def test_kind_is_valid(self):
+        injector = make_injector(13)
+        kinds_seen = set()
+        for query in FREQUENT_QUERIES:
+            typo = injector.inject(query)
+            assert typo.kind in KINDS
+            kinds_seen.add(typo.kind)
+        # All five classes appear across a large workload.
+        assert kinds_seen == set(KINDS)
+
+    def test_substitutions_use_adjacent_keys(self):
+        injector = make_injector(17)
+        for query in FREQUENT_QUERIES:
+            typo = injector.inject(query)
+            if typo.kind != "substitution":
+                continue
+            good = typo.original.split()[typo.word_index]
+            bad = typo.corrupted.split()[typo.word_index]
+            position = typo.char_index
+            assert bad[position] in QWERTY_NEIGHBORS[good[position].lower()]
+
+    def test_inject_all_covers_every_query(self):
+        typos = make_injector(0).inject_all(FREQUENT_QUERIES)
+        assert len(typos) == 186
+        assert [t.original for t in typos] == FREQUENT_QUERIES
+
+
+class TestEdgeCases:
+    def test_short_word_query(self):
+        typo = make_injector(1).inject("a an")
+        assert typo.corrupted != "a an"
+
+    def test_numeric_query(self):
+        typo = make_injector(2).inject("2010 365 42")
+        assert typo.corrupted != "2010 365 42"
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_property_typos_always_single_damerau_edit(seed):
+    injector = TypoInjector(SeededRandom(seed))
+    typo = injector.inject("weather forecast tomorrow")
+    assert edit_distance(typo.original, typo.corrupted,
+                         transpositions=True) == 1

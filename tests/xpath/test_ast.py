@@ -1,0 +1,108 @@
+"""XPath AST node behaviour (construction, rendering, equality)."""
+
+import pytest
+
+from repro.dom.parser import parse_html
+from repro.xpath.ast import (
+    AttributeEquals,
+    AttributeExists,
+    ContainsPredicate,
+    Path,
+    PositionPredicate,
+    Step,
+    TextEquals,
+)
+
+
+def element(html, tag):
+    return parse_html(html).get_elements_by_tag(tag)[0]
+
+
+class TestPredicates:
+    def test_attribute_equals_matching(self):
+        el = element('<div id="x">a</div>', "div")
+        assert AttributeEquals("id", "x").matches(el, 1, 1)
+        assert not AttributeEquals("id", "y").matches(el, 1, 1)
+
+    def test_attribute_exists_matching(self):
+        el = element("<input checked>", "input")
+        assert AttributeExists("checked").matches(el, 1, 1)
+        assert not AttributeExists("disabled").matches(el, 1, 1)
+
+    def test_text_equals_uses_direct_text_only(self):
+        el = element("<div>Save<span>inner</span></div>", "div")
+        assert TextEquals("Save").matches(el, 1, 1)
+        assert not TextEquals("Saveinner").matches(el, 1, 1)
+
+    def test_text_equals_strips_whitespace(self):
+        el = element("<div>  Save  </div>", "div")
+        assert TextEquals("Save").matches(el, 1, 1)
+
+    def test_contains_attribute(self):
+        el = element('<a href="/about/team">x</a>', "a")
+        assert ContainsPredicate("@href", "about").matches(el, 1, 1)
+        assert not ContainsPredicate("@href", "contact").matches(el, 1, 1)
+
+    def test_contains_missing_attribute(self):
+        el = element("<a>x</a>", "a")
+        assert not ContainsPredicate("@href", "a").matches(el, 1, 1)
+
+    def test_contains_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            ContainsPredicate("bogus", "x")
+
+    def test_position_predicate(self):
+        el = element("<li>a</li>", "li")
+        assert PositionPredicate(2).matches(el, 2, 5)
+        assert not PositionPredicate(2).matches(el, 3, 5)
+
+    def test_last_predicate(self):
+        el = element("<li>a</li>", "li")
+        assert PositionPredicate(PositionPredicate.LAST).matches(el, 5, 5)
+        assert not PositionPredicate(PositionPredicate.LAST).matches(el, 4, 5)
+
+    def test_predicate_equality_and_hash(self):
+        assert AttributeEquals("id", "x") == AttributeEquals("id", "x")
+        assert AttributeEquals("id", "x") != AttributeEquals("id", "y")
+        assert hash(TextEquals("a")) == hash(TextEquals("a"))
+        assert AttributeEquals("id", "x") != AttributeExists("id")
+
+
+class TestSteps:
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Step("sibling", "div")
+
+    def test_separator(self):
+        assert Step(Step.CHILD, "div").separator() == "/"
+        assert Step(Step.DESCENDANT, "div").separator() == "//"
+
+    def test_copy_with_overrides(self):
+        step = Step(Step.CHILD, "div", [AttributeEquals("id", "x")])
+        relaxed = step.copy(predicates=[])
+        assert relaxed.predicates == []
+        assert step.predicates  # original untouched
+        assert relaxed.axis == Step.CHILD
+
+    def test_rendering(self):
+        step = Step(Step.CHILD, "div",
+                    [AttributeEquals("id", "x"), PositionPredicate(2)])
+        assert step.to_xpath() == 'div[@id="x"][2]'
+
+
+class TestPaths:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path([])
+
+    def test_rendering(self):
+        path = Path([Step(Step.DESCENDANT, "td"),
+                     Step(Step.CHILD, "div", [TextEquals("Save")])])
+        assert path.to_xpath() == '//td/div[text()="Save"]'
+        assert str(path) == path.to_xpath()
+
+    def test_copy_deep_copies_steps(self):
+        path = Path([Step(Step.DESCENDANT, "div", [AttributeEquals("id", "x")])])
+        clone = path.copy()
+        clone.steps[0].predicates.clear()
+        assert path.steps[0].predicates

@@ -1,0 +1,139 @@
+"""XPath evaluation over real documents."""
+
+import pytest
+
+from repro.dom.parser import parse_html
+from repro.util.errors import ElementNotFoundError
+from repro.xpath.evaluator import evaluate, find_all, find_first
+
+DOC = parse_html("""
+<html><head><title>T</title></head><body>
+  <div id="main">
+    <span id="start">Go</span>
+    <table>
+      <tr><td><div id="content">Hello</div></td>
+          <td><div>Save</div></td></tr>
+      <tr><td><div>Other</div></td></tr>
+    </table>
+    <ul>
+      <li class="odd">one</li>
+      <li class="even">two</li>
+      <li class="odd">three</li>
+    </ul>
+    <form>
+      <input type="text" name="q" value="init">
+      <input type="submit" value="Go">
+    </form>
+  </div>
+  <div id="footer"><a href="/about">About</a></div>
+</body></html>
+""")
+
+
+class TestDescendantAxis:
+    def test_all_by_tag(self):
+        assert len(evaluate("//li", DOC)) == 3
+
+    def test_tag_under_tag(self):
+        divs = evaluate("//td/div", DOC)
+        assert [d.text_content for d in divs] == ["Hello", "Save", "Other"]
+
+    def test_skip_levels(self):
+        assert len(evaluate("//table//div", DOC)) == 3
+
+    def test_wildcard(self):
+        spans = evaluate("//div/*", DOC)
+        assert any(el.tag == "span" for el in spans)
+
+    def test_no_match_is_empty(self):
+        assert evaluate("//video", DOC) == []
+
+
+class TestChildAxis:
+    def test_absolute(self):
+        body = evaluate("/html/body", DOC)
+        assert len(body) == 1 and body[0].tag == "body"
+
+    def test_child_only_does_not_skip(self):
+        assert evaluate("/html/div", DOC) == []
+
+
+class TestPredicates:
+    def test_attribute_equals(self):
+        el = evaluate('//div[@id="content"]', DOC)
+        assert len(el) == 1 and el[0].text_content == "Hello"
+
+    def test_attribute_exists(self):
+        assert len(evaluate("//li[@class]", DOC)) == 3
+
+    def test_attribute_value_filters(self):
+        assert len(evaluate('//li[@class="odd"]', DOC)) == 2
+
+    def test_text_equals(self):
+        el = evaluate('//td/div[text()="Save"]', DOC)
+        assert len(el) == 1
+
+    def test_text_no_match(self):
+        assert evaluate('//td/div[text()="Nope"]', DOC) == []
+
+    def test_contains_attribute(self):
+        assert len(evaluate('//a[contains(@href, "about")]', DOC)) == 1
+
+    def test_contains_text(self):
+        assert len(evaluate('//li[contains(text(), "o")]', DOC)) == 2
+
+    def test_position(self):
+        el = evaluate("//li[2]", DOC)
+        assert [e.text_content for e in el] == ["two"]
+
+    def test_position_is_per_parent_group(self):
+        # //td[1]: the first td of EACH row.
+        tds = evaluate("//tr/td[1]", DOC)
+        assert len(tds) == 2
+
+    def test_last(self):
+        el = evaluate("//li[last()]", DOC)
+        assert [e.text_content for e in el] == ["three"]
+
+    def test_stacked_predicates_apply_in_order(self):
+        el = evaluate('//li[@class="odd"][2]', DOC)
+        assert [e.text_content for e in el] == ["three"]
+
+    def test_position_then_attribute(self):
+        assert evaluate('//li[2][@class="odd"]', DOC) == []
+
+
+class TestContext:
+    def test_element_context(self):
+        footer = DOC.get_element_by_id("footer")
+        assert len(evaluate("//a", footer)) == 1
+        assert evaluate("//li", footer) == []
+
+    def test_bad_context_type(self):
+        with pytest.raises(TypeError):
+            evaluate("//a", "not a node")
+
+
+class TestDocumentOrder:
+    def test_results_in_document_order(self):
+        elements = evaluate("//div", DOC)
+        ids = [el.id for el in elements]
+        assert ids.index("main") < ids.index("content")
+        assert ids.index("content") < ids.index("footer")
+
+    def test_no_duplicates(self):
+        # //div//div could visit nested divs via multiple ancestors.
+        elements = evaluate("//div//div", DOC)
+        assert len(elements) == len({id(e) for e in elements})
+
+
+class TestFindFirst:
+    def test_returns_first(self):
+        assert find_first("//li", DOC).text_content == "one"
+
+    def test_raises_when_missing(self):
+        with pytest.raises(ElementNotFoundError):
+            find_first("//video", DOC)
+
+    def test_find_all_alias(self):
+        assert find_all("//li", DOC) == evaluate("//li", DOC)

@@ -1,0 +1,126 @@
+"""XPath parser: AST construction and re-rendering."""
+
+import pytest
+
+from repro.util.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AttributeEquals,
+    AttributeExists,
+    ContainsPredicate,
+    PositionPredicate,
+    Step,
+    TextEquals,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestStructure:
+    def test_descendant_then_child(self):
+        path = parse_xpath("//td/div")
+        assert [s.axis for s in path.steps] == [Step.DESCENDANT, Step.CHILD]
+        assert [s.name for s in path.steps] == ["td", "div"]
+
+    def test_absolute_path(self):
+        path = parse_xpath("/html/body")
+        assert all(s.axis == Step.CHILD for s in path.steps)
+
+    def test_relative_path_is_descendant_anchored(self):
+        path = parse_xpath("div/span")
+        assert path.steps[0].axis == Step.DESCENDANT
+        assert path.steps[1].axis == Step.CHILD
+
+    def test_double_slash_mid_path(self):
+        path = parse_xpath("/html//div")
+        assert path.steps[1].axis == Step.DESCENDANT
+
+    def test_wildcard(self):
+        assert parse_xpath("//*").steps[0].name == "*"
+
+    def test_names_lowercased(self):
+        assert parse_xpath("//DIV").steps[0].name == "div"
+
+
+class TestPredicates:
+    def test_attribute_equals(self):
+        path = parse_xpath('//div[@id="content"]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, AttributeEquals)
+        assert (predicate.name, predicate.value) == ("id", "content")
+
+    def test_attribute_exists(self):
+        predicate = parse_xpath("//input[@checked]").steps[0].predicates[0]
+        assert isinstance(predicate, AttributeExists)
+        assert predicate.name == "checked"
+
+    def test_text_equals(self):
+        predicate = parse_xpath('//div[text()="Save"]').steps[0].predicates[0]
+        assert isinstance(predicate, TextEquals)
+        assert predicate.value == "Save"
+
+    def test_position_integer(self):
+        predicate = parse_xpath("//li[3]").steps[0].predicates[0]
+        assert isinstance(predicate, PositionPredicate)
+        assert predicate.index == 3
+
+    def test_position_function(self):
+        predicate = parse_xpath("//li[position()=2]").steps[0].predicates[0]
+        assert predicate.index == 2
+
+    def test_last(self):
+        predicate = parse_xpath("//li[last()]").steps[0].predicates[0]
+        assert predicate.index == PositionPredicate.LAST
+
+    def test_contains_attribute(self):
+        predicate = parse_xpath('//a[contains(@href, "http")]').steps[0].predicates[0]
+        assert isinstance(predicate, ContainsPredicate)
+        assert predicate.target == "@href"
+
+    def test_contains_text(self):
+        predicate = parse_xpath('//p[contains(text(), "err")]').steps[0].predicates[0]
+        assert predicate.target == "text()"
+
+    def test_multiple_predicates(self):
+        step = parse_xpath('//input[@type="text"][2]').steps[0]
+        assert len(step.predicates) == 2
+
+
+class TestRendering:
+    @pytest.mark.parametrize("expression", [
+        '//div/span[@id="start"]',
+        '//td/div[text()="Save"]',
+        '//td/div[@id="content"]',
+        "/html/body/div[2]/span",
+        '//input[@name="q"][@type="text"]',
+        "//li[last()]",
+        '//a[contains(@href, "x")]',
+    ])
+    def test_round_trip(self, expression):
+        path = parse_xpath(expression)
+        assert path.to_xpath() == expression
+        assert parse_xpath(path.to_xpath()) == path
+
+    def test_parse_is_idempotent_on_path(self):
+        path = parse_xpath("//div")
+        assert parse_xpath(path) is path
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "//", "//div[", "//div[]", "//div[@]", "//div[0]",
+        "//div[bogus()]", "//div[contains(bogus, 'x')]", "//div]",
+        "//div[text()]",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+class TestEquality:
+    def test_equal_paths(self):
+        assert parse_xpath("//a/b") == parse_xpath("//a/b")
+
+    def test_axis_matters(self):
+        assert parse_xpath("//a/b") != parse_xpath("//a//b")
+
+    def test_predicates_matter(self):
+        assert parse_xpath('//a[@id="x"]') != parse_xpath("//a")
