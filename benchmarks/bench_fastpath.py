@@ -1,0 +1,112 @@
+"""Replay fast path: cached vs. uncached throughput.
+
+The fast path (compiled-XPath cache, generation-invalidated DOM
+indexes, memoized relaxation, dirty-tracked lazy layout) exists to keep
+per-command replay cost flat on long sessions. This bench replays the
+640-command Sites editing session from the scaling series with the fast
+path on and off (``repro.perf.set_fast_path``), reports commands/second
+for both, asserts the speedup, and writes ``BENCH_fastpath.json`` with
+both numbers plus per-cache hit rates.
+"""
+
+import time
+
+from repro import perf
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.workloads.sessions import sites_edit_session
+
+#: Text length for the long editing session (~640 commands recorded).
+SESSION_LENGTH = 640
+
+#: Required speedup of the fast path over the uncached baseline.
+MIN_SPEEDUP = 3.0
+
+#: Best-of-N wall-clock measurement to damp scheduler noise.
+REPEATS = 3
+
+
+def record_session(text_length=SESSION_LENGTH):
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="x" * text_length)
+    return recorder.trace
+
+
+def replay_once(trace):
+    """Replay ``trace`` on a fresh browser; returns (seconds, report)."""
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    start = time.perf_counter()
+    report = WarrReplayer(browser, timing=TimingMode.no_wait()).replay(trace)
+    seconds = time.perf_counter() - start
+    assert report.replayed_count == len(trace), report.summary()
+    return seconds, report
+
+
+def measure(trace, fast):
+    """Best-of-N replay throughput with the fast path on or off."""
+    best_seconds = None
+    report = None
+    with perf.fast_path(fast):
+        for _ in range(REPEATS):
+            seconds, report = replay_once(trace)
+            if best_seconds is None or seconds < best_seconds:
+                best_seconds = seconds
+    return len(trace) / best_seconds, report
+
+
+def test_fastpath_speedup(benchmark, reporter, json_reporter):
+    trace = record_session()
+
+    uncached_rate, uncached_report = measure(trace, fast=False)
+    fast_rate, fast_report = measure(trace, fast=True)
+    speedup = fast_rate / uncached_rate
+
+    # Correctness guard: the fast path must not change replay outcomes.
+    assert [r.status for r in fast_report.results] \
+        == [r.status for r in uncached_report.results]
+    assert fast_report.final_url == uncached_report.final_url
+
+    lines = [
+        "%-26s %-18s" % ("mode", "replay (cmds/s)"),
+        "%-26s %-18.0f" % ("uncached (seed path)", uncached_rate),
+        "%-26s %-18.0f" % ("fast path (cached)", fast_rate),
+        "speedup: %.1fx (required >= %.1fx)" % (speedup, MIN_SPEEDUP),
+        "",
+        "cache activity during cached replay:",
+    ]
+    lines.extend("  " + line for line in fast_report.perf_summary())
+    reporter("Replay fast path — %d-command Sites session" % len(trace),
+             lines)
+
+    json_reporter("fastpath", {
+        "benchmark": "fastpath",
+        "commands": len(trace),
+        "uncached": {"commands_per_second": round(uncached_rate, 1)},
+        "fast_path": {
+            "commands_per_second": round(fast_rate, 1),
+            "cache_hit_rates": {
+                name: round(counts["hit_rate"], 4)
+                for name, counts in fast_report.perf_counters.items()
+            },
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup_required": MIN_SPEEDUP,
+    })
+
+    assert speedup >= MIN_SPEEDUP, (
+        "fast path %.0f cmds/s vs uncached %.0f cmds/s = %.1fx, below the "
+        "required %.1fx" % (fast_rate, uncached_rate, speedup, MIN_SPEEDUP)
+    )
+
+    # pytest-benchmark number: the cached replay of a mid-size session.
+    mid_trace = record_session(80)
+
+    def cached_replay():
+        return replay_once(mid_trace)[1]
+
+    result = benchmark(cached_replay)
+    assert result.replayed_count == len(mid_trace)

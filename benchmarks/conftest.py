@@ -3,11 +3,20 @@
 Each benchmark regenerates one table or figure from the paper and prints
 it (with the paper's numbers alongside for comparison), then times the
 computational core with pytest-benchmark.
+
+Besides the human-readable reporter, benches can write machine-readable
+results: ``json_reporter`` dumps a payload (name, commands/s, cache hit
+rates, ...) to ``BENCH_<name>.json`` at the repo root, so dashboards and
+regression tooling can diff runs without scraping the log.
 """
 
+import json
+import os
 import sys
 
 import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def emit(title, lines):
@@ -19,6 +28,25 @@ def emit(title, lines):
     print(banner, file=sys.stderr)
 
 
+def emit_json(name, payload):
+    """Write ``payload`` to ``BENCH_<name>.json`` at the repo root.
+
+    ``payload`` is any JSON-serializable object; by convention a dict
+    with at least ``benchmark`` (the name) plus its metrics (throughput
+    rows, cache hit rates). Returns the file path.
+    """
+    path = os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def reporter():
     return emit
+
+
+@pytest.fixture(scope="session")
+def json_reporter():
+    return emit_json

@@ -121,8 +121,9 @@ class WebKitEngine:
     # -- layout / hit testing -------------------------------------------------
 
     def invalidate_layout(self):
+        """Mark layout stale; recomputed lazily on the next box query."""
         if self.layout is not None:
-            self.layout.relayout()
+            self.layout.invalidate()
 
     def hit_test(self, x, y):
         return self.layout.hit_test(x, y)

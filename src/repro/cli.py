@@ -87,6 +87,8 @@ def cmd_replay(args, out):
                             timing=timing)
     report = replayer.replay(trace)
     print(report.summary(), file=out)
+    for line in report.perf_summary():
+        print("perf: %s" % line, file=out)
     for error in report.page_errors:
         print("page error: %s" % error, file=out)
     for result in report.failures():

@@ -20,10 +20,15 @@ first match of the least-relaxed ambiguous candidate is used as a last
 resort.
 """
 
+from collections import OrderedDict
+
+from repro import perf
+from repro.dom.node import Document
 from repro.util.errors import ElementNotFoundError
 from repro.xpath.ast import (
     AttributeEquals,
     AttributeExists,
+    ContainsPredicate,
     PositionPredicate,
     Path,
     Step,
@@ -80,8 +85,38 @@ def _suffix(path, drop):
     return Path(steps)
 
 
+#: Per-expression candidate cache: building the relaxation ladder
+#: parses, transforms, and re-renders the path several times — work
+#: that is identical every time the same recorded locator goes stale.
+_CANDIDATE_CACHE = OrderedDict()
+_CANDIDATE_CACHE_MAX = 512
+
+
+@perf.register_cache_clearer
+def _clear_candidate_cache():
+    _CANDIDATE_CACHE.clear()
+
+
 def relax_candidates(expression):
-    """Yield (description, Path) candidates, least-relaxed first."""
+    """Return (description, Path) candidates, least-relaxed first."""
+    if not perf.fast_path_enabled():
+        return _build_candidates(expression)
+    key = expression if isinstance(expression, str) else expression.to_xpath()
+    try:
+        cached = _CANDIDATE_CACHE[key]
+    except KeyError:
+        perf.record("relax.candidates", hit=False)
+        cached = tuple(_build_candidates(expression))
+        _CANDIDATE_CACHE[key] = cached
+        if len(_CANDIDATE_CACHE) > _CANDIDATE_CACHE_MAX:
+            _CANDIDATE_CACHE.popitem(last=False)
+    else:
+        _CANDIDATE_CACHE.move_to_end(key)
+        perf.record("relax.candidates", hit=True)
+    return list(cached)
+
+
+def _build_candidates(expression):
     original = parse_xpath(expression)
     seen = set()
 
@@ -128,10 +163,20 @@ class RelaxationEngine:
         self.enabled = enabled
         #: (expression, used_description) log for reporting/ablation.
         self.resolutions = []
+        #: expression key -> (context, generations, element, description).
+        #: ``generations`` records the document's (structure, attribute,
+        #: text) counters at resolution time, masked down to the kinds
+        #: the expression's predicates can observe — so an id-locator
+        #: stays memoized across a burst of keystrokes, while any
+        #: element insertion/removal (including detaching the memoized
+        #: element) always invalidates the entry.
+        self._memo = {}
 
     def resolve(self, expression, document):
         """Find the element ``expression`` points at in ``document``.
 
+        ``document`` is the resolution context: a Document, or an
+        Element scoping the search to a subtree (src-less iframes).
         Returns (element, description-of-heuristic-used). Raises
         :class:`ElementNotFoundError` if nothing matches any candidate.
         """
@@ -144,19 +189,86 @@ class RelaxationEngine:
             self.resolutions.append((expression, "original"))
             return matches[0], "original"
 
-        fallback = None
+        if not perf.fast_path_enabled():
+            element, description = self._resolve_by_scan(expression, document)
+            self.resolutions.append((expression, description))
+            return element, description
+
+        key = expression if isinstance(expression, str) else expression.to_xpath()
+        generations = self._observed_generations(expression, document)
+        if generations is not None:
+            hit = self._memo.get(key)
+            if hit is not None and hit[0] is document and hit[1] == generations:
+                perf.record("relax.resolve", hit=True)
+                self.resolutions.append((expression, hit[3]))
+                return hit[2], hit[3]
+            perf.record("relax.resolve", hit=False)
+
+        # The common, DOM-stable case: the original expression still
+        # matches uniquely — no relaxation ladder is built at all.
+        matches = evaluate(expression, document)
+        if len(matches) == 1:
+            element, description = matches[0], "original"
+        else:
+            fallback = (matches[0], "original (ambiguous)") if matches else None
+            element, description = self._resolve_by_scan(
+                expression, document, skip_original=True, fallback=fallback
+            )
+        if generations is not None:
+            self._memo[key] = (document, generations, element, description)
+        self.resolutions.append((expression, description))
+        return element, description
+
+    def _resolve_by_scan(self, expression, document, skip_original=False,
+                         fallback=None):
+        """Walk the relaxation ladder; first unique match wins."""
         for description, path in relax_candidates(expression):
+            if skip_original and description == "original":
+                continue
             matches = evaluate(path, document)
             if len(matches) == 1:
-                self.resolutions.append((expression, description))
                 return matches[0], description
             if matches and fallback is None:
                 fallback = (matches[0], description + " (ambiguous)")
         if fallback is not None:
-            self.resolutions.append((expression, fallback[1]))
             return fallback
         raise ElementNotFoundError(
             "no element matches %r even after relaxation" % expression
+        )
+
+    @staticmethod
+    def _observed_generations(expression, context):
+        """The document generations this expression's result depends on.
+
+        Structure is always observed (it decides which elements exist
+        and their positions); attribute/text counters only when some
+        predicate reads them. Every relaxation candidate carries a
+        *subset* of the original's predicates, so masking on the
+        original expression is conservative for the whole ladder.
+        Returns None when the context has no owning Document (memoizing
+        would be unsafe — there is no counter to invalidate on).
+        """
+        document = context if isinstance(context, Document) \
+            else context.owner_document
+        if not isinstance(document, Document):
+            return None
+        observes_attributes = False
+        observes_text = False
+        for step in parse_xpath(expression).steps:
+            for predicate in step.predicates:
+                if isinstance(predicate, (AttributeEquals, AttributeExists)):
+                    observes_attributes = True
+                elif isinstance(predicate, TextEquals):
+                    observes_text = True
+                elif isinstance(predicate, ContainsPredicate):
+                    if predicate.target == "text()":
+                        observes_text = True
+                    else:
+                        observes_attributes = True
+        return (
+            document.structure_generation,
+            document.attribute_generation if observes_attributes else -1,
+            document.text_generation if observes_text else -1,
         )
 
     def relaxed_count(self):

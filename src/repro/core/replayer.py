@@ -13,6 +13,7 @@ operations. The replayer:
 - surfaces page-script errors and replay halts in its report.
 """
 
+from repro import perf
 from repro.core.chromedriver import ChromeDriverConfig
 from repro.core.commands import (
     ClickCommand,
@@ -98,6 +99,9 @@ class ReplayReport:
         self.halt_reason = ""
         self.page_errors = []
         self.final_url = None
+        #: Fast-path cache activity during this replay:
+        #: {cache: {"hits": h, "misses": m, "hit_rate": r}}.
+        self.perf_counters = {}
 
     @property
     def replayed_count(self):
@@ -119,6 +123,18 @@ class ReplayReport:
 
     def failures(self):
         return [r for r in self.results if not r.succeeded]
+
+    def perf_summary(self):
+        """One line per cache: ``name 98% (492 hits / 8 misses)``."""
+        lines = []
+        for name in sorted(self.perf_counters):
+            counts = self.perf_counters[name]
+            lines.append(
+                "%s %.0f%% (%d hits / %d misses)"
+                % (name, 100.0 * counts["hit_rate"], counts["hits"],
+                   counts["misses"])
+            )
+        return lines
 
     def summary(self):
         return (
@@ -149,6 +165,7 @@ class WarrReplayer:
         """Replay ``trace`` from its start URL; returns a ReplayReport."""
         report = ReplayReport(trace)
         error_base = len(self.browser.page_errors)
+        perf_base = perf.snapshot()
         driver = WebDriver(self.browser, config=self.config,
                            relaxation=self.relaxation_enabled,
                            implicit_wait_ms=self.implicit_wait_ms)
@@ -161,6 +178,7 @@ class WarrReplayer:
             report.halted = True
             report.halt_reason = "navigation to %r failed: %s" % (
                 trace.start_url, error)
+            report.perf_counters = perf.delta(perf_base)
             return report
 
         # Recorded elapsed times are gaps between consecutive user
@@ -192,6 +210,7 @@ class WarrReplayer:
         self.browser.event_loop.run_until_idle()
         report.page_errors = list(self.browser.page_errors[error_base:])
         report.final_url = driver.tab.url if driver._tab is not None else None
+        report.perf_counters = perf.delta(perf_base)
         return report
 
     # -- per-command execution ------------------------------------------------

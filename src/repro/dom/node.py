@@ -8,6 +8,7 @@ Event *dispatch* lives in :mod:`repro.events.dispatch`; nodes only store
 their listeners so the DOM stays independent of the event model.
 """
 
+from repro import perf
 from repro.util.errors import DomError
 
 #: HTML elements that never have children (and serialize without end tag).
@@ -55,6 +56,7 @@ class Node:
         self.children.insert(index, child)
         child.parent = self
         child._adopt(self.owner_document or (self if isinstance(self, Document) else None))
+        self._note_mutation("element" if isinstance(child, Element) else "text")
         return child
 
     def remove_child(self, child):
@@ -64,6 +66,7 @@ class Node:
         except ValueError:
             raise DomError("node to remove is not a child of this node")
         child.parent = None
+        self._note_mutation("element" if isinstance(child, Element) else "text")
         return child
 
     def replace_child(self, new_child, old_child):
@@ -91,6 +94,19 @@ class Node:
         self.owner_document = document
         for child in self.children:
             child._adopt(document)
+
+    def _note_mutation(self, kind):
+        """Bump the owning document's generation counters.
+
+        ``kind`` classifies the mutation: ``"element"`` (an Element
+        entering or leaving the tree — invalidates the element indexes),
+        ``"attribute"``, or ``"text"`` (character data or Text/Comment
+        nodes). Result caches use the split counters to stay valid
+        across mutations their expressions cannot observe.
+        """
+        document = self.owner_document
+        if document is not None:
+            document._bump_generation(kind)
 
     # -- traversal ------------------------------------------------------
 
@@ -157,7 +173,8 @@ class Node:
 
     def listeners_for(self, event_type, capture):
         """Handlers registered for a given type and phase (a copy)."""
-        return list(self._listeners.get((event_type, bool(capture)), []))
+        handlers = self._listeners.get((event_type, bool(capture)))
+        return list(handlers) if handlers else []
 
     def has_listener(self, event_type):
         """True if any handler (either phase) is registered for the type."""
@@ -167,12 +184,30 @@ class Node:
         )
 
 
-class Text(Node):
-    """A run of character data."""
+class _CharacterData(Node):
+    """Shared ``data`` storage for Text and Comment nodes.
+
+    ``data`` is a property so rewrites count as content mutations and
+    invalidate generation-keyed caches (text predicates, resolved
+    locators, layout).
+    """
 
     def __init__(self, data=""):
         super().__init__()
-        self.data = data
+        self._data = data
+
+    @property
+    def data(self):
+        return self._data
+
+    @data.setter
+    def data(self, value):
+        self._data = value
+        self._note_mutation("text")
+
+
+class Text(_CharacterData):
+    """A run of character data."""
 
     def append_child(self, child):
         raise DomError("text nodes cannot have children")
@@ -185,12 +220,8 @@ class Text(Node):
         return "Text(%r)" % preview
 
 
-class Comment(Node):
+class Comment(_CharacterData):
     """An HTML comment; inert but preserved through parse/serialize."""
-
-    def __init__(self, data=""):
-        super().__init__()
-        self.data = data
 
     def append_child(self, child):
         raise DomError("comment nodes cannot have children")
@@ -222,10 +253,12 @@ class Element(Node):
     def set_attribute(self, name, value):
         """Set an attribute (stringified)."""
         self.attributes[name] = str(value)
+        self._note_mutation("attribute")
 
     def remove_attribute(self, name):
         """Delete an attribute (no-op if absent)."""
-        self.attributes.pop(name, None)
+        if self.attributes.pop(name, None) is not None:
+            self._note_mutation("attribute")
 
     def has_attribute(self, name):
         """True if the attribute is present (even if empty)."""
@@ -238,7 +271,7 @@ class Element(Node):
 
     @id.setter
     def id(self, value):
-        self.attributes["id"] = value
+        self.set_attribute("id", value)
 
     @property
     def name(self):
@@ -326,13 +359,99 @@ class Element(Node):
         return "Element(<%s>%s, %d children)" % (self.tag, ident, len(self.children))
 
 
+class _DocumentIndexes:
+    """Element indexes for one structure generation of a document."""
+
+    __slots__ = ("generation", "order", "by_tag", "elements")
+
+    def __init__(self, generation, order, by_tag, elements):
+        self.generation = generation
+        #: id(element) -> document-order position
+        self.order = order
+        #: tag -> [elements in document order]
+        self.by_tag = by_tag
+        #: every element, in document order
+        self.elements = elements
+
+
 class Document(Node):
-    """The root of a DOM tree; also the element factory."""
+    """The root of a DOM tree; also the element factory.
+
+    The document tracks mutation generations by kind: ``generation``
+    bumps on *every* mutation; ``structure_generation`` only when an
+    Element enters or leaves the tree (invalidating the lazily built
+    element indexes — document order and tag map — that the XPath fast
+    path queries instead of re-walking the tree);
+    ``attribute_generation`` and ``text_generation`` on attribute and
+    character-data changes. Result caches key on the counters their
+    expressions can actually observe, so e.g. a memoized id-locator
+    survives a burst of keystrokes that only touches text.
+    """
 
     def __init__(self, url=""):
         super().__init__()
         self.url = url
         self.owner_document = self
+        self._generation = 0
+        self._structure_generation = 0
+        self._attribute_generation = 0
+        self._text_generation = 0
+        self._indexes = None
+
+    # -- mutation tracking ----------------------------------------------
+
+    @property
+    def generation(self):
+        """Counter bumped by every mutation anywhere in the tree."""
+        return self._generation
+
+    @property
+    def structure_generation(self):
+        """Counter bumped only by element insertion/removal."""
+        return self._structure_generation
+
+    @property
+    def attribute_generation(self):
+        """Counter bumped only by attribute changes."""
+        return self._attribute_generation
+
+    @property
+    def text_generation(self):
+        """Counter bumped only by character-data (text/comment) changes."""
+        return self._text_generation
+
+    def _bump_generation(self, kind):
+        self._generation += 1
+        if kind == "element":
+            self._structure_generation += 1
+        elif kind == "attribute":
+            self._attribute_generation += 1
+        else:
+            self._text_generation += 1
+
+    def query_indexes(self):
+        """Generation-valid element indexes, or None when the fast path
+        is disabled (callers then fall back to tree traversal)."""
+        if not perf.fast_path_enabled():
+            return None
+        cached = self._indexes
+        if cached is not None and cached.generation == self._structure_generation:
+            perf.record("dom.index", hit=True)
+            return cached
+        perf.record("dom.index", hit=False)
+        order = {}
+        by_tag = {}
+        elements = []
+        for node in self.descendants():
+            if not isinstance(node, Element):
+                continue
+            order[id(node)] = len(elements)
+            elements.append(node)
+            by_tag.setdefault(node.tag, []).append(node)
+        self._indexes = _DocumentIndexes(
+            self._structure_generation, order, by_tag, elements
+        )
+        return self._indexes
 
     # -- factory ------------------------------------------------------------
 
@@ -406,6 +525,9 @@ class Document(Node):
     def get_elements_by_tag(self, tag):
         """All elements with the given tag, in document order."""
         tag = tag.lower()
+        indexes = self.query_indexes()
+        if indexes is not None:
+            return list(indexes.by_tag.get(tag, ()))
         return [
             node for node in self.descendants()
             if isinstance(node, Element) and node.tag == tag
@@ -413,6 +535,9 @@ class Document(Node):
 
     def all_elements(self):
         """Every element in the document, in document order."""
+        indexes = self.query_indexes()
+        if indexes is not None:
+            return list(indexes.elements)
         return [node for node in self.descendants() if isinstance(node, Element)]
 
     def __repr__(self):

@@ -14,7 +14,11 @@ from repro.util.errors import ScriptError
 
 def _propagation_path(target):
     """Nodes from the root down to (excluding) the target."""
-    path = list(target.ancestors())
+    path = []
+    node = target.parent
+    while node is not None:
+        path.append(node)
+        node = node.parent
     path.reverse()
     return path
 
@@ -28,15 +32,20 @@ def dispatch_event(target, event, on_error=None):
     event.target = target
     ancestors = _propagation_path(target)
 
+    # Nodes without any listeners cannot observe the event or stop its
+    # propagation, so phases skip them outright — most of a deep path is
+    # silent, and the per-node invoke machinery is the dispatch hot path.
+
     # Capture phase: root → parent of target, capture listeners only.
     event.event_phase = CAPTURING_PHASE
     for node in ancestors:
         if event.propagation_stopped:
             break
-        _invoke(node, event, capture=True, on_error=on_error)
+        if node._listeners:
+            _invoke(node, event, capture=True, on_error=on_error)
 
     # Target phase: capture listeners first, then bubble listeners.
-    if not event.propagation_stopped:
+    if not event.propagation_stopped and target._listeners:
         event.event_phase = AT_TARGET
         _invoke(target, event, capture=True, on_error=on_error)
         if not event.propagation_stopped:
@@ -48,7 +57,8 @@ def dispatch_event(target, event, on_error=None):
         for node in reversed(ancestors):
             if event.propagation_stopped:
                 break
-            _invoke(node, event, capture=False, on_error=on_error)
+            if node._listeners:
+                _invoke(node, event, capture=False, on_error=on_error)
 
     event.event_phase = None
     event.current_target = None

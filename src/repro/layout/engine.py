@@ -13,6 +13,7 @@ engine applies as a final translation, so dragging changes geometry the
 way the paper's drag command expects.
 """
 
+from repro import perf
 from repro.dom.node import Document, Element, Text
 from repro.layout.box import Rect, LayoutBox
 
@@ -48,6 +49,7 @@ class LayoutEngine:
         self.viewport_width = viewport_width
         self._boxes = {}
         self._order = []
+        self._dirty = True
 
     # -- public API -------------------------------------------------------
 
@@ -59,12 +61,36 @@ class LayoutEngine:
         if body is not None:
             self._layout_block(body, 0, 0, self.viewport_width)
             self._apply_drag_offsets()
+        self._dirty = False
         return self
+
+    def invalidate(self):
+        """Mark the layout stale after a DOM change.
+
+        With the fast path on this only sets a dirty flag — bursts of
+        mutations between events coalesce into one relayout, performed
+        lazily by the next hit test or box query. With the fast path
+        off it recomputes eagerly (the original behaviour).
+        """
+        if not perf.fast_path_enabled():
+            self.relayout()
+            return
+        self._dirty = True
+
+    def _ensure_layout(self):
+        """Recompute boxes if a mutation invalidated them."""
+        if perf.fast_path_enabled():
+            if self._dirty:
+                perf.record("layout", hit=False)
+                self.relayout()
+            else:
+                perf.record("layout", hit=True)
+        elif not self._boxes:
+            self.relayout()
 
     def box_for(self, element):
         """The element's :class:`LayoutBox`, or None if not rendered."""
-        if not self._boxes:
-            self.relayout()
+        self._ensure_layout()
         return self._boxes.get(id(element))
 
     def hit_test(self, x, y):
@@ -72,8 +98,7 @@ class LayoutEngine:
 
         Ties at equal depth go to the later sibling (painted on top).
         """
-        if not self._boxes:
-            self.relayout()
+        self._ensure_layout()
         hit = None
         hit_depth = -1
         for index, element in enumerate(self._order):

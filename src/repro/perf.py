@@ -1,0 +1,128 @@
+"""Replay fast-path instrumentation and the global cache toggle.
+
+The fast path (compiled-XPath cache, generation-invalidated DOM
+indexes, memoized relaxation, dirty-tracked layout) is always on in
+production. For benchmarking — and for proving cached and uncached
+replays behave identically — it can be switched off as a whole with
+:func:`set_fast_path` or the :func:`fast_path` context manager, which
+reverts every call site to the original eager code path.
+
+Every cache records hits and misses here under a dotted name
+(``xpath.compile``, ``dom.index``, ``relax.candidates``,
+``relax.resolve``, ``layout``). The replayer snapshots the counters
+around a replay and attaches the delta to its report, so cache
+effectiveness is visible per trace.
+"""
+
+from contextlib import contextmanager
+
+_enabled = True
+
+#: Callbacks that drop module-level cache contents (registered by the
+#: parser and the relaxation engine); run when the fast path is toggled
+#: so measurements never see a half-warm cache.
+_cache_clearers = []
+
+
+class PerfStats:
+    """Hit/miss counters keyed by cache name."""
+
+    def __init__(self):
+        self._hits = {}
+        self._misses = {}
+
+    def record(self, name, hit):
+        table = self._hits if hit else self._misses
+        table[name] = table.get(name, 0) + 1
+
+    def counter(self, name):
+        """(hits, misses) for one cache (zeros if never touched)."""
+        return (self._hits.get(name, 0), self._misses.get(name, 0))
+
+    def snapshot(self):
+        """Plain {name: (hits, misses)} copy of the current counters."""
+        names = set(self._hits) | set(self._misses)
+        return {name: self.counter(name) for name in names}
+
+    def reset(self):
+        self._hits.clear()
+        self._misses.clear()
+
+
+#: The process-wide stats instance every cache reports into.
+stats = PerfStats()
+
+
+def record(name, hit):
+    """Count one hit (``hit=True``) or miss on the named cache."""
+    stats.record(name, hit)
+
+
+def snapshot():
+    """Current process-wide counters as {name: (hits, misses)}."""
+    return stats.snapshot()
+
+
+def reset():
+    """Zero all counters (cache contents are untouched)."""
+    stats.reset()
+
+
+def delta(before):
+    """Counters accumulated since ``before`` (a :func:`snapshot`).
+
+    Returns {name: {"hits": h, "misses": m, "hit_rate": r}} with
+    zero-activity caches dropped; ``hit_rate`` is None when nothing was
+    recorded (kept for symmetry when only one side moved).
+    """
+    result = {}
+    for name, (hits, misses) in snapshot().items():
+        base_hits, base_misses = before.get(name, (0, 0))
+        hits -= base_hits
+        misses -= base_misses
+        total = hits + misses
+        if total == 0:
+            continue
+        result[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total,
+        }
+    return result
+
+
+def register_cache_clearer(clear):
+    """Register a callback that empties one module-level cache."""
+    _cache_clearers.append(clear)
+    return clear
+
+
+def clear_caches():
+    """Empty every registered module-level cache."""
+    for clear in _cache_clearers:
+        clear()
+
+
+def fast_path_enabled():
+    """True when the caches and lazy paths are active (the default)."""
+    return _enabled
+
+
+def set_fast_path(enabled):
+    """Globally enable/disable the fast path; clears caches on change."""
+    global _enabled
+    enabled = bool(enabled)
+    if enabled != _enabled:
+        _enabled = enabled
+        clear_caches()
+
+
+@contextmanager
+def fast_path(enabled):
+    """Temporarily force the fast path on or off (restores on exit)."""
+    previous = _enabled
+    set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

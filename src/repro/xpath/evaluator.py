@@ -31,7 +31,19 @@ def _descendant_groups(context, name):
     Each group is a positional context, mirroring the child-axis
     expansion of ``//``. Groups are yielded in document order of parents;
     ``context`` itself counts as a potential parent.
+
+    When the owning document's element indexes are available (fast path
+    on, context attached), candidates come straight from the tag index
+    instead of a full-tree walk.
     """
+    document = context if isinstance(context, Document) else context.owner_document
+    if isinstance(document, Document):
+        indexes = document.query_indexes()
+        if indexes is not None and (
+            isinstance(context, Document) or id(context) in indexes.order
+        ):
+            yield from _indexed_descendant_groups(indexes, context, name)
+            return
     parents = [context]
     parents.extend(
         node for node in context.descendants() if isinstance(node, Element)
@@ -40,6 +52,33 @@ def _descendant_groups(context, name):
         group = _child_candidates(parent, name)
         if group:
             yield group
+
+
+def _indexed_descendant_groups(indexes, context, name):
+    """Tag-index implementation of :func:`_descendant_groups`.
+
+    The tag index lists candidates in document order, so each per-parent
+    bucket accumulates in sibling order; buckets are then yielded in
+    document order of their parents (a Document parent is not in the
+    order index and sorts first, matching the tree-walk's "context
+    first" behaviour).
+    """
+    scoped = not isinstance(context, Document)
+    if name == "*":
+        candidates = indexes.elements
+    else:
+        candidates = indexes.by_tag.get(name, ())
+    groups = {}
+    for element in candidates:
+        if scoped and (element is context or not context.contains(element)):
+            continue
+        parent = element.parent
+        groups.setdefault(id(parent), (parent, []))[1].append(element)
+    order = indexes.order
+    for _, group in sorted(
+        groups.values(), key=lambda entry: order.get(id(entry[0]), -1)
+    ):
+        yield group
 
 
 def _apply_predicates(group, predicates):
@@ -88,13 +127,27 @@ def evaluate(expression, context):
 
 
 def _document_order(context, elements):
+    """Sort ``elements`` into document order.
+
+    Nodes the tree does not contain (which evaluation cannot produce,
+    but defensive callers might) sort *after* all real matches — a key
+    of ``-1`` would silently promote them ahead of everything.
+    """
     if len(elements) <= 1:
         return elements
-    order = {}
     root = context if isinstance(context, Document) else context.root()
+    if isinstance(root, Document):
+        indexes = root.query_indexes()
+        if indexes is not None:
+            unknown = len(indexes.order)
+            return sorted(
+                elements, key=lambda el: indexes.order.get(id(el), unknown)
+            )
+    order = {}
     for index, node in enumerate(root.descendants()):
         order[id(node)] = index
-    return sorted(elements, key=lambda el: order.get(id(el), -1))
+    unknown = len(order)
+    return sorted(elements, key=lambda el: order.get(id(el), unknown))
 
 
 def find_all(expression, context):

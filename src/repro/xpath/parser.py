@@ -19,6 +19,9 @@ Relative expressions (no leading slash) are treated as ``//``-anchored,
 which matches how WaRR traces always locate elements from the document.
 """
 
+from collections import OrderedDict
+
+from repro import perf
 from repro.util.errors import XPathSyntaxError
 from repro.xpath import lexer
 from repro.xpath.ast import (
@@ -150,8 +153,34 @@ class _Parser:
         self.expect(lexer.RPAREN)
 
 
+#: LRU compile cache: expression string -> parsed Path. Replay evaluates
+#: the same recorded locators over and over; parsing each time is pure
+#: overhead. Cached Paths are shared — consumers must copy before
+#: mutating (the relaxation transforms already do).
+_COMPILE_CACHE = OrderedDict()
+_COMPILE_CACHE_MAX = 1024
+
+
+@perf.register_cache_clearer
+def _clear_compile_cache():
+    _COMPILE_CACHE.clear()
+
+
 def parse_xpath(expression):
     """Parse ``expression`` into a :class:`~repro.xpath.ast.Path`."""
     if isinstance(expression, Path):
         return expression
-    return _Parser(expression).parse()
+    if not perf.fast_path_enabled():
+        return _Parser(expression).parse()
+    try:
+        path = _COMPILE_CACHE[expression]
+    except KeyError:
+        perf.record("xpath.compile", hit=False)
+        path = _Parser(expression).parse()
+        _COMPILE_CACHE[expression] = path
+        if len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+            _COMPILE_CACHE.popitem(last=False)
+    else:
+        _COMPILE_CACHE.move_to_end(expression)
+        perf.record("xpath.compile", hit=True)
+    return path

@@ -1,0 +1,254 @@
+"""Replay fast path: cache invalidation, on/off equivalence, coalescing.
+
+The caches (compiled XPath, DOM indexes, relaxation memo, lazy layout)
+are only allowed to be fast — never to change an answer. These tests
+mutate documents between queries and require every cached layer to
+reflect the new tree, and replay whole sessions with the fast path on
+and off requiring identical outcomes.
+"""
+
+import pytest
+
+from repro import perf
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.relaxation import RelaxationEngine
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.dom.parser import parse_html
+from repro.layout.engine import LayoutEngine
+from repro.xpath.evaluator import evaluate
+
+HTML = """
+<html><body>
+  <div id="main">
+    <ul id="list">
+      <li id="one">one</li>
+      <li id="two">two</li>
+    </ul>
+    <span id="status">ready</span>
+  </div>
+</body></html>
+"""
+
+
+@pytest.fixture
+def fast_on():
+    with perf.fast_path(True):
+        yield
+
+
+@pytest.fixture
+def doc(fast_on):
+    return parse_html(HTML)
+
+
+def resolve_hits():
+    return perf.stats.counter("relax.resolve")[0]
+
+
+class TestIndexInvalidation:
+    """XPath answers must track the live tree, not the warmed index."""
+
+    def test_appended_element_appears(self, doc):
+        assert len(evaluate("//li", doc)) == 2  # warm the indexes
+        ul = doc.get_element_by_id("list")
+        ul.append_child(doc.create_element("li", {"id": "three"}))
+        matches = evaluate("//li", doc)
+        assert [li.id for li in matches] == ["one", "two", "three"]
+
+    def test_removed_element_disappears(self, doc):
+        assert len(evaluate("//li", doc)) == 2
+        ul = doc.get_element_by_id("list")
+        removed = doc.get_element_by_id("one")
+        ul.remove_child(removed)
+        matches = evaluate("//li", doc)
+        assert [li.id for li in matches] == ["two"]
+        assert removed not in matches
+
+    def test_attribute_change_updates_predicates(self, doc):
+        assert evaluate('//li[@data-state="done"]', doc) == []
+        doc.get_element_by_id("two").set_attribute("data-state", "done")
+        matches = evaluate('//li[@data-state="done"]', doc)
+        assert [li.id for li in matches] == ["two"]
+
+    def test_tag_index_tracks_mutations(self, doc):
+        assert len(doc.get_elements_by_tag("li")) == 2
+        ul = doc.get_element_by_id("list")
+        ul.append_child(doc.create_element("li", {"id": "three"}))
+        assert len(doc.get_elements_by_tag("li")) == 3
+        ul.remove_child(doc.get_element_by_id("one"))
+        assert [li.id for li in doc.get_elements_by_tag("li")] \
+            == ["two", "three"]
+
+    def test_all_elements_tracks_mutations(self, doc):
+        before = len(doc.all_elements())
+        doc.body.append_child(doc.create_element("p"))
+        assert len(doc.all_elements()) == before + 1
+
+    def test_document_order_after_prepend(self, doc):
+        assert len(evaluate("//li", doc)) == 2
+        ul = doc.get_element_by_id("list")
+        first = doc.create_element("li", {"id": "zero"})
+        ul.insert_before(first, doc.get_element_by_id("one"))
+        assert [li.id for li in evaluate("//li", doc)] \
+            == ["zero", "one", "two"]
+
+
+class TestLayoutInvalidation:
+    """Dirty-tracked layout: stale boxes are never served, and bursts
+    of invalidations coalesce into a single relayout."""
+
+    def test_boxes_reflect_mutation(self, doc):
+        engine = LayoutEngine(doc)
+        assert engine.box_for(doc.get_element_by_id("status")) is not None
+        added = doc.create_element("div", {"id": "new"})
+        added.append_child(doc.create_text_node("fresh"))
+        doc.body.append_child(added)
+        engine.invalidate()
+        assert engine.box_for(added) is not None
+
+    def test_removed_element_loses_box(self, doc):
+        engine = LayoutEngine(doc)
+        status = doc.get_element_by_id("status")
+        assert engine.box_for(status) is not None
+        status.remove()
+        engine.invalidate()
+        assert engine.box_for(status) is None
+
+    def test_invalidation_bursts_coalesce(self, doc, monkeypatch):
+        engine = LayoutEngine(doc)
+        relayouts = []
+        original = engine.relayout
+        monkeypatch.setattr(
+            engine, "relayout", lambda: (relayouts.append(1), original())[1]
+        )
+        for _ in range(5):
+            engine.invalidate()
+        assert relayouts == []  # nothing recomputed yet
+        engine.box_for(doc.body)
+        engine.hit_test(10, 10)
+        assert len(relayouts) == 1
+
+    def test_uncached_invalidate_is_eager(self, doc, monkeypatch):
+        engine = LayoutEngine(doc)
+        relayouts = []
+        original = engine.relayout
+        monkeypatch.setattr(
+            engine, "relayout", lambda: (relayouts.append(1), original())[1]
+        )
+        with perf.fast_path(False):
+            engine.invalidate()
+            engine.invalidate()
+        assert len(relayouts) == 2
+
+
+class TestRelaxationMemo:
+    """The memoized resolver must never serve a detached or stale
+    element, and must keep serving hits across unobserved mutations."""
+
+    def test_stable_dom_is_memoized(self, doc):
+        engine = RelaxationEngine()
+        first, _ = engine.resolve('//li[@id="one"]', doc)
+        hits = resolve_hits()
+        second, description = engine.resolve('//li[@id="one"]', doc)
+        assert second is first
+        assert description == "original"
+        assert resolve_hits() == hits + 1
+
+    def test_never_returns_detached_element(self, doc):
+        engine = RelaxationEngine()
+        target, _ = engine.resolve('//span[@id="status"]', doc)
+        target.remove()
+        doc.body.append_child(
+            doc.create_element("span", {"id": "status"})
+        )
+        element, _ = engine.resolve('//span[@id="status"]', doc)
+        assert element is not target
+        assert element.root() is doc
+
+    def test_attribute_move_is_observed(self, doc):
+        engine = RelaxationEngine()
+        one = doc.get_element_by_id("one")
+        two = doc.get_element_by_id("two")
+        one.set_attribute("data-k", "v")
+        found, _ = engine.resolve('//li[@data-k="v"]', doc)
+        assert found is one
+        # Move the attribute: the memo observes attribute mutations for
+        # attribute locators, so the answer must follow.
+        one.remove_attribute("data-k")
+        two.set_attribute("data-k", "v")
+        found, _ = engine.resolve('//li[@data-k="v"]', doc)
+        assert found is two
+
+    def test_text_mutation_keeps_id_locator_memoized(self, doc):
+        engine = RelaxationEngine()
+        engine.resolve('//li[@id="one"]', doc)
+        hits = resolve_hits()
+        # A pure text edit elsewhere must not evict an id locator.
+        doc.get_element_by_id("status").text_content = "typing..."
+        element, _ = engine.resolve('//li[@id="one"]', doc)
+        assert element is doc.get_element_by_id("one")
+        assert resolve_hits() == hits + 1
+
+
+EXPRESSIONS = [
+    "//li",
+    '//li[@id="two"]',
+    "//ul/li[2]",
+    "//div//span",
+    "/html/body/div",
+    "//*",
+]
+
+
+class TestOnOffEquivalence:
+    """The fast path must change throughput only, never answers."""
+
+    def test_xpath_results_identical(self):
+        doc = parse_html(HTML)
+        with perf.fast_path(False):
+            slow = [evaluate(expr, doc) for expr in EXPRESSIONS]
+        with perf.fast_path(True):
+            fast = [evaluate(expr, doc) for expr in EXPRESSIONS]
+        for expr, a, b in zip(EXPRESSIONS, slow, fast):
+            assert a == b, expr
+
+    def test_xpath_results_identical_after_mutation(self):
+        doc = parse_html(HTML)
+        with perf.fast_path(True):
+            evaluate("//li", doc)  # warm
+        doc.get_element_by_id("list").append_child(doc.create_element("li"))
+        with perf.fast_path(True):
+            fast = [evaluate(expr, doc) for expr in EXPRESSIONS]
+        with perf.fast_path(False):
+            slow = [evaluate(expr, doc) for expr in EXPRESSIONS]
+        for expr, a, b in zip(EXPRESSIONS, slow, fast):
+            assert a == b, expr
+
+    def test_hit_test_targets_identical(self):
+        doc = parse_html(HTML)
+        points = [(x, y) for x in range(0, 400, 40) for y in range(0, 120, 12)]
+        with perf.fast_path(False):
+            engine = LayoutEngine(doc).relayout()
+            slow = [engine.hit_test(x, y) for x, y in points]
+        with perf.fast_path(True):
+            engine = LayoutEngine(doc).relayout()
+            fast = [engine.hit_test(x, y) for x, y in points]
+        assert slow == fast
+
+    def test_replay_reports_identical(self, sites_trace):
+        def replay(fast):
+            with perf.fast_path(fast):
+                browser, _ = make_browser(
+                    [SitesApplication], developer_mode=True)
+                return WarrReplayer(
+                    browser, timing=TimingMode.no_wait()).replay(sites_trace)
+
+        uncached = replay(False)
+        cached = replay(True)
+        assert [r.status for r in cached.results] \
+            == [r.status for r in uncached.results]
+        assert cached.final_url == uncached.final_url
+        assert cached.replayed_count == uncached.replayed_count
+        assert cached.summary().splitlines()[0] \
+            == uncached.summary().splitlines()[0]

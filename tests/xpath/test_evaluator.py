@@ -137,3 +137,22 @@ class TestFindFirst:
 
     def test_find_all_alias(self):
         assert find_all("//li", DOC) == evaluate("//li", DOC)
+
+
+class TestDocumentOrderFallback:
+    def test_unknown_nodes_sort_last(self):
+        # Regression: the fallback key for nodes the tree does not
+        # contain used to be -1, silently promoting detached nodes
+        # ahead of every real match. They must sort last — on both the
+        # indexed and the tree-walk ordering paths.
+        from repro import perf
+        from repro.xpath.evaluator import _document_order
+
+        doc = parse_html("<ul><li>a</li><li>b</li></ul>")
+        matches = evaluate("//li", doc)
+        detached = doc.create_element("li")
+        for fast in (False, True):
+            with perf.fast_path(fast):
+                ordered = _document_order(doc, [detached] + matches)
+                assert ordered[-1] is detached
+                assert ordered[:2] == matches
