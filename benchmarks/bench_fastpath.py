@@ -7,8 +7,14 @@ per-command replay cost flat on long sessions. This bench replays the
 path on and off (``repro.perf.set_fast_path``), reports commands/second
 for both, asserts the speedup, and writes ``BENCH_fastpath.json`` with
 both numbers plus per-cache hit rates.
+
+Setting ``BENCH_QUICK=1`` in the environment runs a smoke-test
+configuration (short session, single repeat, no speedup assertion) —
+CI uses it to prove the bench harness still runs without paying for a
+stable timing measurement on shared runners.
 """
 
+import os
 import time
 
 from repro import perf
@@ -18,14 +24,17 @@ from repro.core.recorder import WarrRecorder
 from repro.core.replayer import TimingMode, WarrReplayer
 from repro.workloads.sessions import sites_edit_session
 
+#: Smoke-test mode: tiny workload, no timing assertion (for CI).
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
 #: Text length for the long editing session (~640 commands recorded).
-SESSION_LENGTH = 640
+SESSION_LENGTH = 80 if QUICK else 640
 
 #: Required speedup of the fast path over the uncached baseline.
 MIN_SPEEDUP = 3.0
 
 #: Best-of-N wall-clock measurement to damp scheduler noise.
-REPEATS = 3
+REPEATS = 1 if QUICK else 3
 
 
 def record_session(text_length=SESSION_LENGTH):
@@ -97,10 +106,15 @@ def test_fastpath_speedup(benchmark, reporter, json_reporter):
         "min_speedup_required": MIN_SPEEDUP,
     })
 
-    assert speedup >= MIN_SPEEDUP, (
-        "fast path %.0f cmds/s vs uncached %.0f cmds/s = %.1fx, below the "
-        "required %.1fx" % (fast_rate, uncached_rate, speedup, MIN_SPEEDUP)
-    )
+    # Timing assertions are meaningless on a quick smoke run (tiny
+    # workload, single repeat, noisy shared runner) — correctness
+    # guards above still apply.
+    if not QUICK:
+        assert speedup >= MIN_SPEEDUP, (
+            "fast path %.0f cmds/s vs uncached %.0f cmds/s = %.1fx, below "
+            "the required %.1fx"
+            % (fast_rate, uncached_rate, speedup, MIN_SPEEDUP)
+        )
 
     # pytest-benchmark number: the cached replay of a mid-size session.
     mid_trace = record_session(80)

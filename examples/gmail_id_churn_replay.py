@@ -13,7 +13,6 @@ Run with:  python examples/gmail_id_churn_replay.py
 from repro import WarrRecorder, make_browser
 from repro.apps.gmail import GmailApplication
 from repro.core.replayer import WarrReplayer
-from repro.core.webdriver import WebDriver
 from repro.workloads.sessions import gmail_compose_session
 
 

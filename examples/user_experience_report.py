@@ -52,7 +52,6 @@ def main():
     # --- the developers' machine ---------------------------------------
     plaintext = ToyRSA.decrypt(ciphertext, developer_keys.private)
     assert plaintext == report.to_text()
-    trace_text = plaintext.split("--- trace", 1)[1].split("---", 1)[1]
     received_trace = WarrTrace.from_text(
         plaintext[plaintext.index("#! warr-trace v1"):
                   plaintext.index("--- snapshot")])

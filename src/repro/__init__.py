@@ -40,6 +40,15 @@ from repro.core.recorder import WarrRecorder
 from repro.core.replayer import ReplayReport, TimingMode, WarrReplayer
 from repro.core.trace import WarrTrace
 from repro.core.webdriver import WebDriver
+from repro.session import (
+    BatchRunner,
+    FailurePolicy,
+    LocatorPolicy,
+    SessionEngine,
+    SessionEvent,
+    SessionObserver,
+    TimingPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -62,5 +71,12 @@ __all__ = [
     "TimingMode",
     "WarrTrace",
     "WebDriver",
+    "SessionEngine",
+    "SessionEvent",
+    "SessionObserver",
+    "TimingPolicy",
+    "LocatorPolicy",
+    "FailurePolicy",
+    "BatchRunner",
     "__version__",
 ]

@@ -15,7 +15,8 @@ checks the recorder against it.
 
 from repro.auser.crypto import ToyRSA
 from repro.auser.privacy import scrub_trace
-from repro.auser.snapshot import PageSnapshot
+from repro.auser.snapshot import PageSnapshot, SnapshotObserver
+from repro.session.engine import SessionEngine
 
 #: The human perception threshold the paper cites (100 ms).
 PERCEPTION_THRESHOLD_MS = 100.0
@@ -63,6 +64,9 @@ class AUsER:
     def __init__(self, recorder, browser):
         self.recorder = recorder
         self.browser = browser
+        #: Page state is read through the session engine — the one
+        #: sanctioned observer of the browser — never via tab internals.
+        self.engine = SessionEngine(browser)
         self.reports = []
 
     def report_problem(self, description="", region_xpath=None,
@@ -77,19 +81,31 @@ class AUsER:
         if scrub:
             trace = scrub_trace(trace)
         snapshot = None
-        tab = self.browser.active_tab
-        if tab is not None and tab.renderer is not None:
-            document = tab.document
-            if region_xpath is not None:
-                snapshot = PageSnapshot.region(document, region_xpath)
-            elif hidden_xpaths:
-                snapshot = PageSnapshot.redacted(document, hidden_xpaths)
-            else:
-                snapshot = PageSnapshot.full(document)
+        document = self.engine.current_document()
+        if document is not None:
+            snapshot = PageSnapshot.capture(document,
+                                            region_xpath=region_xpath,
+                                            hidden_xpaths=hidden_xpaths)
         report = UserExperienceReport(trace, description=description,
                                       snapshot=snapshot, scrubbed=scrub)
         self.reports.append(report)
         return report
+
+    @staticmethod
+    def reproduce(report, browser_factory, timing=None,
+                  region_xpath=None, hidden_xpaths=None):
+        """Developer side: replay a user's report on a fresh environment.
+
+        Runs the bundled trace through the session engine with a
+        :class:`~repro.auser.snapshot.SnapshotObserver` attached and
+        returns ``(replay_report, final_snapshot)`` — the developer sees
+        both what replayed and the page the user ended on.
+        """
+        engine = SessionEngine(browser_factory(), timing=timing)
+        snapshotter = SnapshotObserver(region_xpath=region_xpath,
+                                       hidden_xpaths=hidden_xpaths)
+        replay_report = engine.run(report.trace, observers=[snapshotter])
+        return replay_report, snapshotter.snapshot
 
     def recorder_overhead_acceptable(self):
         """Is the recorder's per-action cost below human perception?"""

@@ -5,6 +5,7 @@ The workflows a downstream user runs from a shell::
     python -m repro record  --app sites  --out session.warr
     python -m repro replay  session.warr --app sites [--no-wait]
                             [--stock-driver] [--no-relaxation]
+    python -m repro batch   a.warr b.warr c.warr d.warr --app sites
     python -m repro inspect session.warr
     python -m repro weberr  session.warr --app sites --campaign timing
 
@@ -27,6 +28,7 @@ from repro.core.chromedriver import ChromeDriverConfig
 from repro.core.recorder import WarrRecorder
 from repro.core.replayer import TimingMode, WarrReplayer
 from repro.core.trace import WarrTrace
+from repro.session.batch import BatchRunner
 from repro.weberr.runner import WebErr
 from repro.workloads.sessions import (
     dashboard_session,
@@ -77,14 +79,11 @@ def cmd_replay(args, out):
     trace = WarrTrace.load(args.trace)
     browser, _ = make_browser([app_class], seed=args.seed,
                               developer_mode=not args.user_browser)
-    timing = TimingMode.no_wait() if args.no_wait else TimingMode.recorded()
-    if args.scale is not None:
-        timing = TimingMode.scaled(args.scale)
     config = (ChromeDriverConfig.stock() if args.stock_driver
               else ChromeDriverConfig.warr())
     replayer = WarrReplayer(browser, config=config,
                             relaxation=not args.no_relaxation,
-                            timing=timing)
+                            timing=_timing_from_args(args))
     report = replayer.replay(trace)
     print(report.summary(), file=out)
     for line in report.perf_summary():
@@ -95,6 +94,40 @@ def cmd_replay(args, out):
         print("failed: %s (%s)" % (result.command.to_line(), result.error),
               file=out)
     return 0 if report.complete and not report.page_errors else 1
+
+
+def _timing_from_args(args):
+    timing = TimingMode.no_wait() if args.no_wait else TimingMode.recorded()
+    if args.scale is not None:
+        timing = TimingMode.scaled(args.scale)
+    return timing
+
+
+def cmd_batch(args, out):
+    """Replay many traces, each on an isolated browser instance."""
+    app_class, _, _ = _app_entry(args.app)
+    traces = [WarrTrace.load(path) for path in args.traces]
+
+    def factory():
+        browser, _ = make_browser([app_class], seed=args.seed,
+                                  developer_mode=True)
+        return browser
+
+    runner = BatchRunner(factory, timing=_timing_from_args(args))
+    batch = runner.run(traces, labels=args.traces)
+    for run in batch.runs:
+        print("[%s] %s" % (run.label, run.report.summary()), file=out)
+        if args.failures:
+            for result in run.report.failures():
+                print("[%s] failed: %s (%s)"
+                      % (run.label, result.command.to_line(), result.error),
+                      file=out)
+    print(batch.summary(), file=out)
+    for name in sorted(batch.perf_counters):
+        counts = batch.perf_counters[name]
+        print("perf: %s %d hits / %d misses"
+              % (name, counts["hits"], counts["misses"]), file=out)
+    return 0 if batch.complete and batch.page_error_count == 0 else 1
 
 
 def cmd_inspect(args, out):
@@ -164,6 +197,20 @@ def build_parser():
     replay.add_argument("--user-browser", action="store_true",
                         help="replay in a non-developer browser")
     replay.set_defaults(func=cmd_replay)
+
+    batch = sub.add_parser("batch",
+                           help="replay many traces on isolated browsers")
+    batch.add_argument("traces", nargs="+",
+                       help="trace files, one isolated session each")
+    batch.add_argument("--app", required=True, choices=sorted(APPS))
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--no-wait", action="store_true",
+                       help="replay with no inter-command delays")
+    batch.add_argument("--scale", type=float, default=None,
+                       help="scale recorded delays by this factor")
+    batch.add_argument("--failures", action="store_true",
+                       help="also list every failed command")
+    batch.set_defaults(func=cmd_batch)
 
     inspect = sub.add_parser("inspect", help="print trace statistics")
     inspect.add_argument("trace")

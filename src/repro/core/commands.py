@@ -115,6 +115,30 @@ class DragCommand(WarrCommand):
                 "elapsed_ms": self.elapsed_ms}
 
 
+#: Characters in a typed key that would corrupt the one-line wire
+#: format: a newline splits the line, ``]`` ends the payload early, and
+#: a bare backslash would be ambiguous with the escapes themselves.
+_KEY_ESCAPES = {
+    "\\": "\\\\",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "]": "\\]",
+}
+_KEY_UNESCAPES = {"\\": "\\", "n": "\n", "r": "\r", "t": "\t", "]": "]"}
+_KEY_ESCAPE_RE = re.compile(r"[\\\n\r\t\]]")
+_KEY_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _escape_key(key):
+    return _KEY_ESCAPE_RE.sub(lambda m: _KEY_ESCAPES[m.group(0)], key)
+
+
+def _unescape_key(text):
+    return _KEY_UNESCAPE_RE.sub(
+        lambda m: _KEY_UNESCAPES.get(m.group(1), m.group(1)), text)
+
+
 class TypeCommand(WarrCommand):
     """One keystroke: string representation plus virtual key code."""
 
@@ -126,7 +150,7 @@ class TypeCommand(WarrCommand):
         self.code = int(code)
 
     def payload(self):
-        return "[%s,%d]" % (self.key, self.code)
+        return "[%s,%d]" % (_escape_key(self.key), self.code)
 
     def _fields(self):
         return {"xpath": self.xpath, "key": self.key, "code": self.code,
@@ -157,7 +181,7 @@ _COMMAND_TYPES = {
 
 # payload matchers anchored at the end of "<xpath> <payload>"
 _CLICK_RE = re.compile(r"^(?P<xpath>.+)\s(?P<x>-?\d+),(?P<y>-?\d+)$")
-_TYPE_RE = re.compile(r"^(?P<xpath>.+)\s\[(?P<key>.*),(?P<code>\d+)\]$", re.DOTALL)
+_TYPE_RE = re.compile(r"^(?P<xpath>.+)\s\[(?P<key>(?:\\.|[^\]\\])*),(?P<code>\d+)\]$")
 _FRAME_RE = re.compile(r"^(?P<xpath>.+)\s-$")
 
 
@@ -178,6 +202,9 @@ def parse_command_line(line):
         elapsed_ms = int(elapsed_text)
     except ValueError:
         raise TraceFormatError("missing elapsed time in line %r" % line)
+    if elapsed_ms < 0:
+        raise TraceFormatError(
+            "negative elapsed time %d in line %r" % (elapsed_ms, line))
 
     if command_type in (ClickCommand, DoubleClickCommand):
         match = _CLICK_RE.match(middle)
@@ -198,7 +225,8 @@ def parse_command_line(line):
         if not match:
             raise TraceFormatError("malformed type payload in %r" % line)
         return TypeCommand(match.group("xpath").strip(),
-                           key=match.group("key"), code=int(match.group("code")),
+                           key=_unescape_key(match.group("key")),
+                           code=int(match.group("code")),
                            elapsed_ms=elapsed_ms)
     match = _FRAME_RE.match(middle)
     if not match:

@@ -1,152 +1,38 @@
 """The WaRR Replayer.
 
 Simulates a user interacting with a web application as specified by a
-trace of WaRR Commands (paper, Section III-B): a browser interaction
-driver (WebDriver/ChromeDriver) converts each command into browser
-operations. The replayer:
+trace of WaRR Commands (paper, Section III-B). Since the session-layer
+refactor, the replayer is a thin configuration of the
+:class:`~repro.session.engine.SessionEngine`: it maps its legacy knobs
+onto the engine's policy surface —
 
-- honors recorded inter-command delays (timing-accurate replay) or
-  overrides them (WebErr's timing-error injection),
-- relaxes stale XPath locators progressively,
-- falls back to the recorded click coordinates when even relaxation
-  fails (the "backup element identification information"),
-- surfaces page-script errors and replay halts in its report.
+- honoring recorded inter-command delays (or overriding them) is the
+  :class:`~repro.session.policies.TimingPolicy`,
+- progressive XPath relaxation, implicit waits, and the recorded-
+  coordinate fallback (the "backup element identification information")
+  are the :class:`~repro.session.policies.LocatorPolicy`,
+- ``stop_on_failure`` is the
+  :class:`~repro.session.policies.FailurePolicy`,
+
+and the replay report — page-script errors, halts, per-command
+outcomes — is assembled by observers of the engine's event stream.
 """
 
-from repro import perf
 from repro.core.chromedriver import ChromeDriverConfig
-from repro.core.commands import (
-    ClickCommand,
-    DoubleClickCommand,
-    DragCommand,
-    SwitchFrameCommand,
-    TypeCommand,
-)
-from repro.core.webdriver import WebDriver
-from repro.util.errors import (
-    DriverError,
-    ElementNotFoundError,
-    ReplayError,
-    ReplayHaltedError,
-)
+from repro.session.engine import SessionEngine
+from repro.session.policies import FailurePolicy, LocatorPolicy, TimingPolicy
+from repro.session.report import CommandResult, ReplayReport
 
+#: Back-compatible name: the timing policy grew out of the replayer's
+#: original TimingMode and keeps its exact API.
+TimingMode = TimingPolicy
 
-class TimingMode:
-    """How inter-command delays are replayed."""
-
-    def __init__(self, kind, value=1.0):
-        self.kind = kind
-        self.value = value
-
-    @classmethod
-    def recorded(cls):
-        """Wait exactly the recorded delays (timing-accurate replay)."""
-        return cls("scaled", 1.0)
-
-    @classmethod
-    def no_wait(cls):
-        """Replay commands with no wait time (WebErr stress test)."""
-        return cls("scaled", 0.0)
-
-    @classmethod
-    def scaled(cls, factor):
-        """Scale every recorded delay by ``factor``."""
-        return cls("scaled", factor)
-
-    @classmethod
-    def fixed(cls, delay_ms):
-        """Ignore recorded delays; wait a constant between commands."""
-        return cls("fixed", delay_ms)
-
-    def delay_for(self, command):
-        if self.kind == "fixed":
-            return self.value
-        return command.elapsed_ms * self.value
-
-    def __repr__(self):
-        return "TimingMode(%s, %r)" % (self.kind, self.value)
-
-
-class CommandResult:
-    """Outcome of replaying one command."""
-
-    OK = "ok"
-    RELAXED = "relaxed"
-    COORDINATE = "coordinate-fallback"
-    FAILED = "failed"
-
-    def __init__(self, command, status, detail="", error=None):
-        self.command = command
-        self.status = status
-        self.detail = detail
-        self.error = error
-
-    @property
-    def succeeded(self):
-        return self.status in (self.OK, self.RELAXED, self.COORDINATE)
-
-    def __repr__(self):
-        return "CommandResult(%s, %r)" % (self.status, self.command.to_line())
-
-
-class ReplayReport:
-    """Everything a developer (or WebErr's oracle) needs after replay."""
-
-    def __init__(self, trace):
-        self.trace = trace
-        self.results = []
-        self.halted = False
-        self.halt_reason = ""
-        self.page_errors = []
-        self.final_url = None
-        #: Fast-path cache activity during this replay:
-        #: {cache: {"hits": h, "misses": m, "hit_rate": r}}.
-        self.perf_counters = {}
-
-    @property
-    def replayed_count(self):
-        return sum(1 for r in self.results if r.succeeded)
-
-    @property
-    def failed_count(self):
-        return sum(1 for r in self.results if not r.succeeded)
-
-    @property
-    def relaxed_count(self):
-        return sum(1 for r in self.results
-                   if r.status in (CommandResult.RELAXED, CommandResult.COORDINATE))
-
-    @property
-    def complete(self):
-        """True if every command was replayed successfully."""
-        return not self.halted and self.failed_count == 0
-
-    def failures(self):
-        return [r for r in self.results if not r.succeeded]
-
-    def perf_summary(self):
-        """One line per cache: ``name 98% (492 hits / 8 misses)``."""
-        lines = []
-        for name in sorted(self.perf_counters):
-            counts = self.perf_counters[name]
-            lines.append(
-                "%s %.0f%% (%d hits / %d misses)"
-                % (name, 100.0 * counts["hit_rate"], counts["hits"],
-                   counts["misses"])
-            )
-        return lines
-
-    def summary(self):
-        return (
-            "replayed %d/%d commands (%d relaxed, %d failed%s); "
-            "%d page error(s)"
-            % (self.replayed_count, len(self.trace), self.relaxed_count,
-               self.failed_count, ", HALTED" if self.halted else "",
-               len(self.page_errors))
-        )
-
-    def __repr__(self):
-        return "ReplayReport(%s)" % self.summary()
+__all__ = [
+    "CommandResult",
+    "ReplayReport",
+    "TimingMode",
+    "WarrReplayer",
+]
 
 
 class WarrReplayer:
@@ -160,137 +46,25 @@ class WarrReplayer:
         self.timing = timing if timing is not None else TimingMode.recorded()
         self.stop_on_failure = stop_on_failure
         self.implicit_wait_ms = implicit_wait_ms
+        self.engine = SessionEngine(
+            browser,
+            driver_config=self.config,
+            timing=self.timing,
+            locator=LocatorPolicy(relaxation=relaxation,
+                                  implicit_wait_ms=implicit_wait_ms),
+            failure=(FailurePolicy.stop_on_failure() if stop_on_failure
+                     else FailurePolicy.continue_on_failure()),
+        )
 
-    def replay(self, trace):
+    def replay(self, trace, observers=()):
         """Replay ``trace`` from its start URL; returns a ReplayReport."""
-        report = ReplayReport(trace)
-        error_base = len(self.browser.page_errors)
-        perf_base = perf.snapshot()
-        driver = WebDriver(self.browser, config=self.config,
-                           relaxation=self.relaxation_enabled,
-                           implicit_wait_ms=self.implicit_wait_ms)
-        # Recording starts its timeline at begin(), i.e. just before the
-        # initial navigation — anchor the replay timeline the same way.
-        session_start = self.browser.clock.now()
-        try:
-            driver.get(trace.start_url)
-        except Exception as error:
-            report.halted = True
-            report.halt_reason = "navigation to %r failed: %s" % (
-                trace.start_url, error)
-            report.perf_counters = perf.delta(perf_base)
-            return report
-
-        # Recorded elapsed times are gaps between consecutive user
-        # actions. Schedule each command on an absolute timeline anchored
-        # at the previous action: execution itself consumes simulated
-        # time (a click's navigation fetch, for instance), and that time
-        # is part of the recorded gap — waiting the full gap *again*
-        # would drift the replay (and its race windows) late.
-        anchor = session_start
-        for command in trace:
-            target = anchor + self.timing.delay_for(command)
-            remaining = target - self.browser.clock.now()
-            driver.wait(max(0.0, remaining))
-            anchor = self.browser.clock.now()
-            try:
-                result = self._execute(driver, command)
-            except ReplayHaltedError as error:
-                report.results.append(CommandResult(
-                    command, CommandResult.FAILED, error=error))
-                report.halted = True
-                report.halt_reason = str(error)
-                break
-            report.results.append(result)
-            if not result.succeeded and self.stop_on_failure:
-                break
-
-        # Let in-flight work (XHRs fired by the last action, timers)
-        # complete, as a user letting the page settle would.
-        self.browser.event_loop.run_until_idle()
-        report.page_errors = list(self.browser.page_errors[error_base:])
-        report.final_url = driver.tab.url if driver._tab is not None else None
-        report.perf_counters = perf.delta(perf_base)
-        return report
-
-    # -- per-command execution ------------------------------------------------
+        return self.engine.run(trace, observers=observers)
 
     def execute_command(self, driver, command):
         """Replay a single command on an existing driver session.
 
-        Public stepping interface used by WebErr's grammar inference,
-        which needs to snapshot the page between commands.
+        Legacy stepping interface (WebErr's grammar inference now steps
+        through :meth:`SessionEngine.start` instead); delegates to the
+        engine's locate → act pipeline.
         """
-        return self._execute(driver, command)
-
-    def _execute(self, driver, command):
-        if isinstance(command, SwitchFrameCommand):
-            return self._execute_switch(driver, command)
-        if isinstance(command, DoubleClickCommand):
-            return self._guarded(driver, command,
-                                 lambda: driver.double_click(command.xpath))
-        if isinstance(command, ClickCommand):
-            return self._execute_click(driver, command)
-        if isinstance(command, TypeCommand):
-            return self._guarded(
-                driver, command,
-                lambda: driver.send_key(command.xpath, command.key, command.code))
-        if isinstance(command, DragCommand):
-            return self._guarded(
-                driver, command,
-                lambda: driver.drag(command.xpath, command.dx, command.dy))
-        raise ReplayError("cannot replay command %r" % (command,))
-
-    def _execute_switch(self, driver, command):
-        try:
-            if command.is_default:
-                driver.switch_to_default()
-            else:
-                driver.switch_to_frame(command.xpath)
-            return CommandResult(command, CommandResult.OK)
-        except ReplayHaltedError:
-            raise
-        except (DriverError, ElementNotFoundError) as error:
-            return CommandResult(command, CommandResult.FAILED, error=error)
-
-    def _execute_click(self, driver, command):
-        resolutions_before = len(driver.relaxation.resolutions)
-        try:
-            driver.click(command.xpath)
-            return self._status_from_relaxation(driver, command,
-                                                resolutions_before)
-        except ReplayHaltedError:
-            raise
-        except ElementNotFoundError:
-            # Backup element identification: the recorded click position.
-            try:
-                driver.click_at(command.x, command.y)
-                return CommandResult(command, CommandResult.COORDINATE,
-                                     detail="clicked at recorded (%d,%d)"
-                                     % (command.x, command.y))
-            except ReplayHaltedError:
-                raise
-            except Exception as error:
-                return CommandResult(command, CommandResult.FAILED, error=error)
-        except DriverError as error:
-            return CommandResult(command, CommandResult.FAILED, error=error)
-
-    def _guarded(self, driver, command, operation):
-        resolutions_before = len(driver.relaxation.resolutions)
-        try:
-            operation()
-            return self._status_from_relaxation(driver, command,
-                                                resolutions_before)
-        except ReplayHaltedError:
-            raise
-        except (ElementNotFoundError, DriverError) as error:
-            return CommandResult(command, CommandResult.FAILED, error=error)
-
-    @staticmethod
-    def _status_from_relaxation(driver, command, resolutions_before):
-        new = driver.relaxation.resolutions[resolutions_before:]
-        relaxed = [desc for _, desc in new if desc != "original"]
-        if relaxed:
-            return CommandResult(command, CommandResult.RELAXED,
-                                 detail="; ".join(relaxed))
-        return CommandResult(command, CommandResult.OK)
+        return self.engine.execute(driver, command)

@@ -127,6 +127,14 @@ class WarrTrace:
             return cls.from_text(handle.read())
 
     def __eq__(self, other):
+        """Content equality: same start URL and same command sequence.
+
+        The ``label`` is descriptive metadata (a session name), not
+        recorded content, so it does not participate — consistent with
+        :meth:`copy`, whose relabelled copies still compare equal, and
+        with the wire format, where the label lives in a header comment
+        rather than in any command line.
+        """
         return (
             isinstance(other, WarrTrace)
             and self.start_url == other.start_url

@@ -6,30 +6,45 @@ implementation tailored to Chrome" (paper, Section IV-C). This facade
 exposes the operations the WaRR Replayer needs — navigate, find, click,
 double-click, type, drag, frame switching — and delegates to the
 ChromeDriver master/client machinery.
+
+Element resolution is delegated to a
+:class:`~repro.session.policies.LocatorPolicy` (exact → implicit wait →
+relaxation); the driver holds the per-session state the policy needs
+(the relaxation engine with its resolution log), the policy holds the
+strategy.
 """
 
 from repro.core.chromedriver import ChromeDriverConfig, ChromeDriverMaster
-from repro.core.relaxation import RelaxationEngine
+from repro.session.policies import LocatorPolicy
 
 
 class WebDriver:
     """Drives one browser through ChromeDriver.
 
-    ``implicit_wait_ms``: when a locator matches nothing, let simulated
-    time pass (AJAX responses and timers fire) and retry the *exact*
-    expression until the deadline before falling back to relaxation —
-    the standard WebDriver answer to dynamically loaded content.
+    Either pass a ready ``locator`` policy, or the legacy knobs:
+    ``relaxation`` toggles progressive XPath relaxation, and
+    ``implicit_wait_ms`` — when a locator matches nothing — lets
+    simulated time pass (AJAX responses and timers fire) and retries the
+    *exact* expression until the deadline before falling back to
+    relaxation, the standard WebDriver answer to dynamically loaded
+    content.
     """
 
     def __init__(self, browser, config=None, relaxation=True,
-                 implicit_wait_ms=0.0):
+                 implicit_wait_ms=0.0, locator=None):
         self.browser = browser
         self.master = ChromeDriverMaster(
             browser, config if config is not None else ChromeDriverConfig.warr()
         )
-        self.relaxation = RelaxationEngine(enabled=relaxation)
-        self.implicit_wait_ms = implicit_wait_ms
+        self.locator = locator if locator is not None else LocatorPolicy(
+            relaxation=relaxation, implicit_wait_ms=implicit_wait_ms)
+        #: Per-session relaxation state (candidate memo, resolution log).
+        self.relaxation = self.locator.new_relaxation_engine()
         self._tab = None
+
+    @property
+    def implicit_wait_ms(self):
+        return self.locator.implicit_wait_ms
 
     # -- navigation ---------------------------------------------------------
 
@@ -47,34 +62,17 @@ class WebDriver:
             raise RuntimeError("call get(url) before driving the browser")
         return self._tab
 
+    @property
+    def has_session(self):
+        """True once get() opened a tab."""
+        return self._tab is not None
+
     # -- element location -----------------------------------------------------
 
     def _locate(self, xpath):
-        """Resolve a locator: exact → (implicit wait) → relaxation."""
-        from repro.util.errors import ElementNotFoundError
-
-        client = self.master.active_client
-        if self.implicit_wait_ms > 0:
-            try:
-                element, _ = client.find(xpath, None)
-                return client, element
-            except ElementNotFoundError:
-                pass
-            deadline = self.browser.clock.now() + self.implicit_wait_ms
-            loop = self.browser.event_loop
-            while self.browser.clock.now() < deadline:
-                next_deadline = loop.next_deadline()
-                if next_deadline is None or next_deadline > deadline:
-                    break
-                loop.run_for(next_deadline - self.browser.clock.now())
-                client = self.master.active_client
-                try:
-                    element, _ = client.find(xpath, None)
-                    return client, element
-                except ElementNotFoundError:
-                    continue
-        element, _ = client.find(xpath, self.relaxation)
-        return client, element
+        """Resolve a locator through the policy chain."""
+        location = self.locator.resolve(self, xpath)
+        return location.client, location.element
 
     # -- element operations -------------------------------------------------
 

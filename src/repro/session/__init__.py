@@ -1,0 +1,45 @@
+"""The policy-driven session layer.
+
+One execution pipeline — schedule → locate → act → observe — shared by
+every tool that drives a browser: WaRR replay, WebErr's error-injection
+campaigns, AUsER's developer-side reproductions, and the fidelity
+baselines. The :class:`SessionEngine` runs the pipeline; policy objects
+configure each stage; observers consume the structured
+:class:`SessionEvent` stream.
+"""
+
+from repro.session.events import EventStream, SessionEvent, SessionObserver
+from repro.session.policies import (
+    FailurePolicy,
+    Location,
+    LocatorPolicy,
+    TimingPolicy,
+)
+from repro.session.report import CommandResult, ReplayReport
+from repro.session.observers import (
+    EventLogObserver,
+    PerfCountersObserver,
+    ReportBuilder,
+)
+from repro.session.engine import SessionEngine, SessionRun
+from repro.session.batch import BatchReport, BatchRunner, TraceRun
+
+__all__ = [
+    "EventStream",
+    "SessionEvent",
+    "SessionObserver",
+    "TimingPolicy",
+    "LocatorPolicy",
+    "Location",
+    "FailurePolicy",
+    "CommandResult",
+    "ReplayReport",
+    "ReportBuilder",
+    "PerfCountersObserver",
+    "EventLogObserver",
+    "SessionEngine",
+    "SessionRun",
+    "BatchRunner",
+    "BatchReport",
+    "TraceRun",
+]

@@ -1,0 +1,130 @@
+"""Batch replay: many traces across isolated browser instances.
+
+The first step toward sharded, multi-session scale: a
+:class:`BatchRunner` replays a list of traces, each against a *fresh*
+:class:`~repro.browser.window.BrowserWindow` built by the caller's
+factory, so sessions cannot contaminate each other (cookies, page
+errors, cache state). Per-trace reports are aggregated into a
+:class:`BatchReport`; a shared
+:class:`~repro.session.observers.PerfCountersObserver` accumulates
+fast-path cache activity across the whole batch.
+"""
+
+from repro.session.engine import SessionEngine
+from repro.session.observers import PerfCountersObserver
+
+
+class TraceRun:
+    """One trace's outcome within a batch."""
+
+    def __init__(self, label, trace, report):
+        self.label = label
+        self.trace = trace
+        self.report = report
+
+    def __repr__(self):
+        return "TraceRun(%r, %s)" % (self.label, self.report.summary())
+
+
+class BatchReport:
+    """Aggregate outcome of a batch replay."""
+
+    def __init__(self):
+        self.runs = []
+        #: {cache: {"hits", "misses", "hit_rate"}} across the batch.
+        self.perf_counters = {}
+
+    def add(self, run):
+        self.runs.append(run)
+
+    @property
+    def trace_count(self):
+        return len(self.runs)
+
+    @property
+    def complete_count(self):
+        return sum(1 for run in self.runs if run.report.complete)
+
+    @property
+    def replayed_count(self):
+        return sum(run.report.replayed_count for run in self.runs)
+
+    @property
+    def failed_count(self):
+        return sum(run.report.failed_count for run in self.runs)
+
+    @property
+    def command_count(self):
+        return sum(len(run.trace) for run in self.runs)
+
+    @property
+    def page_error_count(self):
+        return sum(len(run.report.page_errors) for run in self.runs)
+
+    @property
+    def complete(self):
+        """True when every trace in the batch replayed completely."""
+        return self.runs != [] and self.complete_count == self.trace_count
+
+    def failures(self):
+        return [run for run in self.runs if not run.report.complete]
+
+    def summary(self):
+        return (
+            "batch: %d/%d trace(s) complete; replayed %d/%d commands "
+            "(%d failed); %d page error(s)"
+            % (self.complete_count, self.trace_count, self.replayed_count,
+               self.command_count, self.failed_count, self.page_error_count)
+        )
+
+    def __repr__(self):
+        return "BatchReport(%s)" % self.summary()
+
+
+class BatchRunner:
+    """Replays many traces, one isolated browser instance each.
+
+    ``browser_factory()`` must return a fresh browser wired to a fresh
+    application environment — the same contract WebErr's campaigns use.
+    Engine policies (timing, locator, failure, driver config) apply to
+    every session in the batch; ``observers`` are standing observers
+    subscribed to every session's event stream.
+    """
+
+    def __init__(self, browser_factory, driver_config=None, timing=None,
+                 locator=None, failure=None, observers=None):
+        self.browser_factory = browser_factory
+        self.driver_config = driver_config
+        self.timing = timing
+        self.locator = locator
+        self.failure = failure
+        self.observers = list(observers or [])
+
+    def run(self, traces, labels=None):
+        """Replay every trace on its own browser; returns a BatchReport."""
+        traces = list(traces)
+        if labels is None:
+            labels = [self._default_label(trace, index)
+                      for index, trace in enumerate(traces)]
+        if len(labels) != len(traces):
+            raise ValueError("need one label per trace")
+        batch = BatchReport()
+        perf_totals = PerfCountersObserver()
+        for label, trace in zip(labels, traces):
+            browser = self.browser_factory()
+            engine = SessionEngine(
+                browser,
+                driver_config=self.driver_config,
+                timing=self.timing,
+                locator=self.locator,
+                failure=self.failure,
+                observers=self.observers + [perf_totals],
+            )
+            report = engine.run(trace)
+            batch.add(TraceRun(label, trace, report))
+        batch.perf_counters = perf_totals.summary()
+        return batch
+
+    @staticmethod
+    def _default_label(trace, index):
+        return trace.label or "trace-%d" % index

@@ -1,0 +1,318 @@
+"""The session engine: one execution pipeline for every driving tool.
+
+WaRR replay, WebErr's error-injection campaigns, AUsER's developer-side
+reproductions, and the fidelity baselines all drive a browser the same
+way: schedule a command on the replay timeline, locate its target
+element, act on it, and observe what happened. :class:`SessionEngine`
+owns that per-command pipeline once; each stage is configured by a
+policy object (:mod:`repro.session.policies`) and every step is
+narrated on a structured event stream (:mod:`repro.session.events`)
+that observers subscribe to.
+
+Two entry points:
+
+- :meth:`SessionEngine.run` replays a whole trace and returns the
+  observer-built :class:`~repro.session.report.ReplayReport`;
+- :meth:`SessionEngine.start` returns a :class:`SessionRun` for callers
+  that need to interleave their own observation between commands
+  (WebErr's grammar inference snapshots the page after every step).
+"""
+
+from repro import perf
+from repro.session.events import EventStream, SessionEvent
+from repro.session.observers import ReportBuilder
+from repro.session.policies import FailurePolicy, LocatorPolicy, TimingPolicy
+from repro.session.report import CommandResult
+from repro.util.errors import (
+    DriverError,
+    ElementNotFoundError,
+    ReplayError,
+    ReplayHaltedError,
+)
+
+
+class SessionEngine:
+    """Runs traces through the schedule → locate → act → observe pipeline.
+
+    The engine holds only configuration (policies, driver config,
+    standing observers); per-session state lives on the
+    :class:`SessionRun`, so one engine can run many sessions — serially
+    or, via the batch runner, across isolated browser instances.
+    """
+
+    def __init__(self, browser, driver_config=None, timing=None,
+                 locator=None, failure=None, observers=None):
+        self.browser = browser
+        self.driver_config = driver_config
+        self.timing = timing if timing is not None else TimingPolicy.recorded()
+        self.locator = locator if locator is not None else LocatorPolicy()
+        self.failure = failure if failure is not None else FailurePolicy()
+        #: Standing observers, subscribed to every run's event stream.
+        self.observers = list(observers or [])
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+        return observer
+
+    # -- driver wiring ------------------------------------------------------
+
+    def new_driver(self):
+        """A fresh WebDriver session configured by this engine's policies."""
+        from repro.core.chromedriver import ChromeDriverConfig
+        from repro.core.webdriver import WebDriver
+
+        config = (self.driver_config if self.driver_config is not None
+                  else ChromeDriverConfig.warr())
+        return WebDriver(self.browser, config=config, locator=self.locator)
+
+    def current_document(self):
+        """The active page's document, or None before any page loaded.
+
+        The engine is the one sanctioned reader of page state for its
+        consumers: AUsER snapshots through this instead of reaching into
+        tab/renderer internals.
+        """
+        tab = self.browser.active_tab
+        if tab is None or tab.renderer is None:
+            return None
+        return tab.document
+
+    # -- whole-trace execution ----------------------------------------------
+
+    def run(self, trace, observers=()):
+        """Replay ``trace`` from its start URL; returns a ReplayReport."""
+        run = self.start(trace, observers=observers)
+        if not run.halted:
+            for command in trace:
+                run.step(command)
+                if run.stopped:
+                    break
+        return run.finish()
+
+    def start(self, trace, observers=()):
+        """Open a stepping session (navigates to the trace's start URL)."""
+        run = SessionRun(self, trace, observers=observers)
+        run.begin()
+        return run
+
+    # -- per-command execution ----------------------------------------------
+
+    def execute(self, driver, command, emit=None):
+        """Run one command through locate → act; returns a CommandResult.
+
+        Stateless with respect to the run: WebErr's legacy stepping
+        interface calls this with its own driver. Raises
+        :class:`ReplayHaltedError` when the driver has lost its active
+        client and :class:`ReplayError` for unreplayable commands.
+        """
+        if emit is None:
+            stream = EventStream(self.observers)
+            emit = stream.emit
+        if command.action == "switchframe":
+            return self._execute_switch(driver, command, emit)
+        if command.action not in ("click", "doubleclick", "type", "drag"):
+            raise ReplayError("cannot replay command %r" % (command,))
+
+        # -- locate stage ---------------------------------------------------
+        try:
+            location = self.locator.resolve(driver, command.xpath)
+        except ReplayHaltedError:
+            raise
+        except ElementNotFoundError as error:
+            return self._locate_fallback(driver, command, error, emit)
+        except DriverError as error:
+            return self._fail(command, error, emit)
+        emit(SessionEvent(
+            SessionEvent.RELAXED if location.relaxed else SessionEvent.LOCATED,
+            command=command, detail=location.detail,
+            data={"element": location.element}))
+
+        # -- act stage ------------------------------------------------------
+        try:
+            self._act(location, command)
+        except ReplayHaltedError:
+            raise
+        except (ElementNotFoundError, DriverError) as error:
+            return self._fail(command, error, emit)
+        emit(SessionEvent(SessionEvent.ACTED, command=command,
+                          detail=location.detail))
+        if location.relaxed:
+            return CommandResult(command, CommandResult.RELAXED,
+                                 detail=location.detail)
+        return CommandResult(command, CommandResult.OK)
+
+    def _locate_fallback(self, driver, command, error, emit):
+        """Backup element identification: the recorded click position."""
+        position = self.locator.fallback_position(command)
+        if position is None:
+            return self._fail(command, error, emit)
+        try:
+            driver.click_at(*position)
+        except ReplayHaltedError:
+            raise
+        except Exception as fallback_error:
+            return self._fail(command, fallback_error, emit)
+        detail = "clicked at recorded (%d,%d)" % position
+        emit(SessionEvent(SessionEvent.ACTED, command=command, detail=detail))
+        return CommandResult(command, CommandResult.COORDINATE, detail=detail)
+
+    @staticmethod
+    def _act(location, command):
+        client, element = location.client, location.element
+        if command.action == "doubleclick":
+            client.double_click(element)
+        elif command.action == "click":
+            client.click(element)
+        elif command.action == "type":
+            client.send_key(element, command.key, command.code)
+        else:
+            client.drag(element, command.dx, command.dy)
+
+    def _execute_switch(self, driver, command, emit):
+        try:
+            if command.is_default:
+                driver.switch_to_default()
+            else:
+                driver.switch_to_frame(command.xpath)
+        except ReplayHaltedError:
+            raise
+        except (DriverError, ElementNotFoundError) as error:
+            return self._fail(command, error, emit)
+        emit(SessionEvent(SessionEvent.ACTED, command=command))
+        return CommandResult(command, CommandResult.OK)
+
+    @staticmethod
+    def _fail(command, error, emit):
+        emit(SessionEvent(SessionEvent.FAILED, command=command, error=error))
+        return CommandResult(command, CommandResult.FAILED, error=error)
+
+
+class SessionRun:
+    """One session in flight: driver, timeline anchor, event stream.
+
+    Use :meth:`step` to execute commands one at a time (the engine's
+    ``run`` does exactly this in a loop), then :meth:`finish` to settle
+    the page and close out the report.
+    """
+
+    def __init__(self, engine, trace, observers=()):
+        self.engine = engine
+        self.trace = trace
+        self.report_builder = ReportBuilder(trace)
+        # The builder subscribes first so downstream observers (oracles,
+        # snapshotters) see a fully assembled report on session-finished.
+        self.stream = EventStream(
+            [self.report_builder] + list(engine.observers) + list(observers))
+        self.driver = None
+        self.halted = False
+        self.stopped = False
+        self._navigation_failed = False
+        self._anchor = 0.0
+        self._error_base = 0
+        self._perf_base = None
+        self._finished = False
+
+    @property
+    def report(self):
+        return self.report_builder.report
+
+    @property
+    def browser(self):
+        return self.engine.browser
+
+    def begin(self):
+        """Create the driver and navigate to the trace's start URL."""
+        browser = self.browser
+        self._error_base = len(browser.page_errors)
+        self._perf_base = perf.snapshot()
+        self.driver = self.engine.new_driver()
+        # Recording starts its timeline at begin(), i.e. just before the
+        # initial navigation — anchor the replay timeline the same way.
+        self._anchor = browser.clock.now()
+        self.stream.emit(SessionEvent(
+            SessionEvent.SESSION_STARTED,
+            data={"trace": self.trace, "browser": browser,
+                  "driver": self.driver}))
+        try:
+            self.driver.get(self.trace.start_url)
+        except Exception as error:
+            reason = "navigation to %r failed: %s" % (
+                self.trace.start_url, error)
+            self._navigation_failed = True
+            self.halted = True
+            self.stopped = True
+            self.stream.emit(SessionEvent(
+                SessionEvent.HALTED, detail=reason, error=error))
+            return self
+        self.stream.emit(SessionEvent(
+            SessionEvent.NAVIGATED, detail=self.trace.start_url,
+            data={"url": self.trace.start_url, "driver": self.driver}))
+        return self
+
+    def step(self, command):
+        """Schedule and execute one command; returns its CommandResult.
+
+        A driver halt (no active client left) is recorded on the report
+        and marks the run halted; it is not re-raised, so stepping
+        callers can keep iterating and simply observe ``self.halted``.
+        """
+        emit = self.stream.emit
+        clock = self.browser.clock
+        target = self.engine.timing.target(self._anchor, command)
+        self.driver.wait(max(0.0, target - clock.now()))
+        self._anchor = clock.now()
+        emit(SessionEvent(SessionEvent.COMMAND_STARTED, command=command,
+                          data={"due": target}))
+        try:
+            result = self.engine.execute(self.driver, command, emit=emit)
+        except ReplayHaltedError as error:
+            result = CommandResult(command, CommandResult.FAILED, error=error)
+            emit(SessionEvent(SessionEvent.COMMAND_FINISHED, command=command,
+                              result=result))
+            self.halted = True
+            self.stopped = True
+            emit(SessionEvent(SessionEvent.HALTED, detail=str(error),
+                              error=error))
+            return result
+        emit(SessionEvent(SessionEvent.COMMAND_FINISHED, command=command,
+                          result=result))
+        decision = self.engine.failure.decide(result)
+        if decision == FailurePolicy.STOP:
+            self.stopped = True
+        elif decision == FailurePolicy.HALT:
+            self.halted = True
+            self.stopped = True
+            emit(SessionEvent(
+                SessionEvent.HALTED,
+                detail="command failed: %s" % command.to_line(),
+                error=result.error))
+        return result
+
+    def finish(self):
+        """Settle the page, collect errors and counters, close the run."""
+        if self._finished:
+            return self.report
+        self._finished = True
+        emit = self.stream.emit
+        browser = self.browser
+        if not self._navigation_failed:
+            # Let in-flight work (XHRs fired by the last action, timers)
+            # complete, as a user letting the page settle would.
+            browser.event_loop.run_until_idle()
+            for error in browser.page_errors[self._error_base:]:
+                emit(SessionEvent(SessionEvent.PAGE_ERROR,
+                                  data={"error": error}))
+        emit(SessionEvent(SessionEvent.PERF_DELTA,
+                          data={"counters": perf.delta(self._perf_base)}))
+        final_url = None
+        if not self._navigation_failed and self.driver.has_session:
+            final_url = self.driver.tab.url
+        emit(SessionEvent(
+            SessionEvent.SESSION_FINISHED,
+            data={"browser": browser, "driver": self.driver,
+                  "final_url": final_url, "report": self.report}))
+        return self.report
+
+    def __repr__(self):
+        return "SessionRun(%d commands, halted=%r)" % (
+            len(self.trace), self.halted)

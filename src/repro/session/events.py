@@ -1,0 +1,113 @@
+"""The session event stream.
+
+The :class:`~repro.session.engine.SessionEngine` narrates every replay
+as a stream of structured :class:`SessionEvent` objects — command
+started, element located (or relaxed), action performed, failure,
+page error, perf delta — and observers subscribe to the stream instead
+of scraping engine state after the fact. The replay report, the perf
+counters, WebErr's oracle, and AUsER's snapshotter are all observers
+of this stream.
+"""
+
+
+class SessionEvent:
+    """One structured observation emitted by the engine pipeline."""
+
+    SESSION_STARTED = "session-started"
+    NAVIGATED = "navigated"
+    COMMAND_STARTED = "command-started"
+    LOCATED = "located"
+    RELAXED = "relaxed"
+    ACTED = "acted"
+    COMMAND_FINISHED = "command-finished"
+    FAILED = "failed"
+    HALTED = "halted"
+    PAGE_ERROR = "page-error"
+    PERF_DELTA = "perf-delta"
+    SESSION_FINISHED = "session-finished"
+
+    def __init__(self, kind, command=None, result=None, detail="",
+                 error=None, data=None):
+        self.kind = kind
+        self.command = command
+        self.result = result
+        self.detail = detail
+        self.error = error
+        #: Kind-specific payload (trace, browser, driver, counters, ...).
+        self.data = data if data is not None else {}
+
+    def __repr__(self):
+        target = ""
+        if self.command is not None:
+            target = ", %r" % self.command.to_line()
+        return "SessionEvent(%s%s)" % (self.kind, target)
+
+
+class SessionObserver:
+    """Base observer: dispatches events to per-kind ``on_*`` hooks.
+
+    Subclasses override any of the hooks below (or :meth:`on_event`
+    for a catch-all). Unhandled kinds are ignored, so observers stay
+    forward-compatible when the engine grows new event kinds.
+    """
+
+    def on_event(self, event):
+        handler = getattr(self, "on_" + event.kind.replace("-", "_"), None)
+        if handler is not None:
+            handler(event)
+
+    # Per-kind hooks (no-ops by default).
+    def on_session_started(self, event):
+        pass
+
+    def on_navigated(self, event):
+        pass
+
+    def on_command_started(self, event):
+        pass
+
+    def on_located(self, event):
+        pass
+
+    def on_relaxed(self, event):
+        pass
+
+    def on_acted(self, event):
+        pass
+
+    def on_command_finished(self, event):
+        pass
+
+    def on_failed(self, event):
+        pass
+
+    def on_halted(self, event):
+        pass
+
+    def on_page_error(self, event):
+        pass
+
+    def on_perf_delta(self, event):
+        pass
+
+    def on_session_finished(self, event):
+        pass
+
+
+class EventStream:
+    """Broadcasts events to subscribed observers, in subscription order."""
+
+    def __init__(self, observers=None):
+        self.observers = list(observers or [])
+
+    def subscribe(self, observer):
+        self.observers.append(observer)
+        return observer
+
+    def emit(self, event):
+        for observer in self.observers:
+            observer.on_event(event)
+        return event
+
+    def __repr__(self):
+        return "EventStream(%d observers)" % len(self.observers)

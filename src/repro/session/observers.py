@@ -1,0 +1,84 @@
+"""Stock observers of the session event stream.
+
+- :class:`ReportBuilder` assembles the :class:`ReplayReport` the engine
+  returns — the report is a *consumer* of the event stream, not a data
+  structure the engine mutates directly;
+- :class:`PerfCountersObserver` aggregates fast-path cache activity
+  across many sessions (the batch runner attaches one);
+- :class:`EventLogObserver` records the raw stream, for tests and
+  debugging.
+
+Tool-specific observers live with their tools: WebErr's oracle adapter
+in :mod:`repro.weberr.oracle`, AUsER's snapshotter in
+:mod:`repro.auser.snapshot`, replay-fidelity scoring in
+:mod:`repro.baselines.fidelity`.
+"""
+
+from repro.session.events import SessionObserver
+from repro.session.report import ReplayReport
+
+
+class ReportBuilder(SessionObserver):
+    """Builds a :class:`ReplayReport` from the event stream."""
+
+    def __init__(self, trace):
+        self.report = ReplayReport(trace)
+
+    def on_command_finished(self, event):
+        self.report.results.append(event.result)
+
+    def on_halted(self, event):
+        self.report.halted = True
+        self.report.halt_reason = event.detail
+
+    def on_page_error(self, event):
+        self.report.page_errors.append(event.data["error"])
+
+    def on_perf_delta(self, event):
+        self.report.perf_counters = event.data["counters"]
+
+    def on_session_finished(self, event):
+        self.report.final_url = event.data.get("final_url")
+
+
+class PerfCountersObserver(SessionObserver):
+    """Accumulates per-cache hit/miss totals across sessions."""
+
+    def __init__(self):
+        #: {cache: {"hits": h, "misses": m}} summed over every session.
+        self.totals = {}
+        self.sessions = 0
+
+    def on_perf_delta(self, event):
+        self.sessions += 1
+        for name, counts in event.data["counters"].items():
+            bucket = self.totals.setdefault(name, {"hits": 0, "misses": 0})
+            bucket["hits"] += counts["hits"]
+            bucket["misses"] += counts["misses"]
+
+    def summary(self):
+        """{cache: {"hits", "misses", "hit_rate"}} over all sessions."""
+        result = {}
+        for name, counts in self.totals.items():
+            total = counts["hits"] + counts["misses"]
+            result[name] = {
+                "hits": counts["hits"],
+                "misses": counts["misses"],
+                "hit_rate": counts["hits"] / total if total else None,
+            }
+        return result
+
+
+class EventLogObserver(SessionObserver):
+    """Keeps every event (optionally filtered by kind)."""
+
+    def __init__(self, kinds=None):
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events = []
+
+    def on_event(self, event):
+        if self.kinds is None or event.kind in self.kinds:
+            self.events.append(event)
+
+    def kinds_seen(self):
+        return [event.kind for event in self.events]

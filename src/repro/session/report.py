@@ -1,0 +1,89 @@
+"""Per-session result objects: command outcomes and the replay report.
+
+These are the value objects the session engine's report observer
+assembles from the event stream. They live here (not in the replayer)
+so every engine consumer — WaRR replay, WebErr campaigns, AUsER
+reproductions, batch runs — shares one report vocabulary.
+"""
+
+
+class CommandResult:
+    """Outcome of replaying one command."""
+
+    OK = "ok"
+    RELAXED = "relaxed"
+    COORDINATE = "coordinate-fallback"
+    FAILED = "failed"
+
+    def __init__(self, command, status, detail="", error=None):
+        self.command = command
+        self.status = status
+        self.detail = detail
+        self.error = error
+
+    @property
+    def succeeded(self):
+        return self.status in (self.OK, self.RELAXED, self.COORDINATE)
+
+    def __repr__(self):
+        return "CommandResult(%s, %r)" % (self.status, self.command.to_line())
+
+
+class ReplayReport:
+    """Everything a developer (or WebErr's oracle) needs after replay."""
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.results = []
+        self.halted = False
+        self.halt_reason = ""
+        self.page_errors = []
+        self.final_url = None
+        #: Fast-path cache activity during this replay:
+        #: {cache: {"hits": h, "misses": m, "hit_rate": r}}.
+        self.perf_counters = {}
+
+    @property
+    def replayed_count(self):
+        return sum(1 for r in self.results if r.succeeded)
+
+    @property
+    def failed_count(self):
+        return sum(1 for r in self.results if not r.succeeded)
+
+    @property
+    def relaxed_count(self):
+        return sum(1 for r in self.results
+                   if r.status in (CommandResult.RELAXED, CommandResult.COORDINATE))
+
+    @property
+    def complete(self):
+        """True if every command was replayed successfully."""
+        return not self.halted and self.failed_count == 0
+
+    def failures(self):
+        return [r for r in self.results if not r.succeeded]
+
+    def perf_summary(self):
+        """One line per cache: ``name 98% (492 hits / 8 misses)``."""
+        lines = []
+        for name in sorted(self.perf_counters):
+            counts = self.perf_counters[name]
+            lines.append(
+                "%s %.0f%% (%d hits / %d misses)"
+                % (name, 100.0 * counts["hit_rate"], counts["hits"],
+                   counts["misses"])
+            )
+        return lines
+
+    def summary(self):
+        return (
+            "replayed %d/%d commands (%d relaxed, %d failed%s); "
+            "%d page error(s)"
+            % (self.replayed_count, len(self.trace), self.relaxed_count,
+               self.failed_count, ", HALTED" if self.halted else "",
+               len(self.page_errors))
+        )
+
+    def __repr__(self):
+        return "ReplayReport(%s)" % self.summary()

@@ -20,9 +20,9 @@ and clusters commands by web-page similarity:
 """
 
 from repro.core.commands import SwitchFrameCommand
-from repro.core.replayer import TimingMode, WarrReplayer
-from repro.core.webdriver import WebDriver
-from repro.util.errors import ReplayError, ReplayHaltedError, ElementNotFoundError, DriverError
+from repro.session.engine import SessionEngine
+from repro.session.policies import TimingPolicy
+from repro.util.errors import ReplayError
 from repro.weberr.grammar import Grammar, Rule, Terminal
 from repro.weberr.similarity import page_signature, signature_similarity
 
@@ -82,13 +82,23 @@ class TaskTreeBuilder:
 
     def __init__(self, browser_factory, timing=None):
         self.browser_factory = browser_factory
-        self.timing = timing if timing is not None else TimingMode.recorded()
+        self.timing = timing if timing is not None else TimingPolicy.recorded()
 
     def build(self, trace, label="Task"):
-        """Replay ``trace`` and return the root :class:`TaskNode`."""
+        """Replay ``trace`` and return the root :class:`TaskNode`.
+
+        The trace runs through the session engine's stepping interface:
+        the builder observes the page between steps (URL, DOM signature)
+        and clusters commands by what it saw.
+        """
         browser = self.browser_factory()
-        driver = WebDriver(browser)
-        driver.get(trace.start_url)
+        engine = SessionEngine(browser, timing=self.timing)
+        run = engine.start(trace)
+        if run.halted:
+            run.finish()
+            raise ReplayError("cannot infer grammar: %s"
+                              % run.report.halt_reason)
+        driver = run.driver
 
         root = TaskNode(label, TaskNode.TASK, url=trace.start_url)
         phases = []  # (TaskNode, signature)
@@ -100,17 +110,15 @@ class TaskTreeBuilder:
         )
         phases.append([current_phase, initial_signature])
         current_step = None
-        replayer = WarrReplayer(browser, timing=self.timing)
 
         for command in trace:
             url_before = driver.tab.url
-            driver.wait(self.timing.delay_for(command))
             try:
-                replayer.execute_command(driver, command)
-            except (ReplayError, ReplayHaltedError, ElementNotFoundError,
-                    DriverError):
+                run.step(command)
+            except ReplayError:
                 # Unreplayable command: attach to the current phase anyway
-                # so the grammar still covers the full trace.
+                # so the grammar still covers the full trace. Driver
+                # halts are absorbed by step() the same way.
                 pass
             url_after = driver.tab.url
             signature = page_signature(driver.tab.document)

@@ -9,11 +9,12 @@ cannot contaminate each other — the simulation's equivalent of resetting
 the application between tests.
 """
 
-from repro.core.replayer import TimingMode, WarrReplayer
+from repro.session.engine import SessionEngine
+from repro.session.policies import TimingPolicy
 from repro.weberr.generator import TraceGenerator
 from repro.weberr.inference import TaskTreeBuilder, infer_grammar
 from repro.weberr.navigation import NavigationErrorInjector
-from repro.weberr.oracle import CompositeOracle, ConsoleErrorOracle
+from repro.weberr.oracle import CompositeOracle, ConsoleErrorOracle, OracleObserver
 from repro.weberr.timing import TimingErrorInjector
 
 
@@ -96,12 +97,16 @@ class WebErr:
         return TimingErrorInjector(trace).stress_variants()
 
     def replay_and_judge(self, description, trace):
-        """Step 4: one test — fresh environment, replay, oracle."""
+        """Step 4: one test — fresh environment, engine replay, oracle.
+
+        The oracle rides the session's event stream as an observer and
+        renders its verdict on ``session-finished``.
+        """
         browser = self.browser_factory()
-        replayer = WarrReplayer(browser, timing=TimingMode.recorded())
-        report = replayer.replay(trace)
-        verdict = self.oracle.judge(report, browser)
-        return TestOutcome(description, trace, report, verdict)
+        engine = SessionEngine(browser, timing=TimingPolicy.recorded())
+        watcher = OracleObserver(self.oracle)
+        report = engine.run(trace, observers=[watcher])
+        return TestOutcome(description, trace, report, watcher.verdict)
 
     # -- campaigns ---------------------------------------------------------------
 

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.framework import make_browser
 from repro.apps.portal import PortalApplication
 from repro.auser.crypto import ToyRSA
-from repro.auser.report import AUsER, PERCEPTION_THRESHOLD_MS, UserExperienceReport
+from repro.auser.report import AUsER, PERCEPTION_THRESHOLD_MS
 from repro.core.recorder import WarrRecorder
 from repro.core.replayer import WarrReplayer
 from repro.workloads.sessions import portal_authenticate_session

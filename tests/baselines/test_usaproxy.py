@@ -1,6 +1,5 @@
 """UsaProxy baseline: injection mechanism and its two limitations."""
 
-import pytest
 
 from repro.baselines.usaproxy import TRACKER_SCRIPT_NAME, UsaProxyRecorder
 from repro.browser.window import Browser

@@ -1,7 +1,6 @@
 """Shared test application used across browser-layer tests."""
 
 from repro.browser.window import Browser
-from repro.net.http import HttpResponse
 from repro.net.server import Network, RouteServer
 from repro.scripting.registry import ScriptRegistry
 from repro.util.clock import VirtualClock

@@ -76,8 +76,7 @@ class TestClickDefaults:
 
 class TestKeyDefaults:
     def test_typing_into_input_builds_value(self, tab):
-        field = tab.click_element(tab.find('//input[@name="who"]')) or \
-            tab.find('//input[@name="who"]')
+        tab.click_element(tab.find('//input[@name="who"]'))
         tab.type_text("Hi!")
         assert tab.find('//input[@name="who"]').value == "Hi!"
 

@@ -1,6 +1,5 @@
 """WebKitEngine: loading, scripts, frames, focus, unload."""
 
-import pytest
 
 from repro.util.errors import JSReferenceError, ScriptError
 from tests.browser.helpers import build_browser, url

@@ -49,7 +49,7 @@ class TestTabs:
     def test_tabs_share_clock(self):
         browser = build_browser()
         a = browser.new_tab(url("/"))
-        b = browser.new_tab(url("/about"))
+        browser.new_tab(url("/about"))
         a.wait(100)
         assert browser.clock.now() >= 100
 

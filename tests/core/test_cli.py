@@ -89,6 +89,43 @@ class TestReplay:
         assert code == 0
 
 
+class TestBatch:
+    def test_batch_replays_four_traces_isolated(self, recorded_trace,
+                                                tmp_path):
+        paths = []
+        for i in range(4):
+            path = tmp_path / ("copy-%d.warr" % i)
+            path.write_text(recorded_trace.read_text())
+            paths.append(str(path))
+        code, output = run_cli(["batch"] + paths + ["--app", "sites"])
+        assert code == 0
+        assert "batch: 4/4 trace(s) complete" in output
+        # One per-trace summary line per isolated session.
+        for path in paths:
+            assert "[%s]" % path in output
+
+    def test_batch_reports_failures(self, recorded_trace, tmp_path):
+        from repro.core.commands import TypeCommand
+
+        trace = WarrTrace.load(recorded_trace)
+        # A keystroke into a non-existent element has no coordinate
+        # fallback, so this trace cannot replay completely.
+        bad = trace.copy(commands=list(trace)
+                         + [TypeCommand("//video", "x", 88)])
+        bad_path = tmp_path / "bad.warr"
+        bad.save(bad_path)
+        code, output = run_cli(["batch", str(bad_path), str(recorded_trace),
+                                "--app", "sites", "--failures"])
+        assert code == 1
+        assert "failed:" in output
+
+    def test_batch_prints_perf_counters(self, recorded_trace):
+        code, output = run_cli(["batch", str(recorded_trace),
+                                "--app", "sites"])
+        assert code == 0
+        assert "perf:" in output
+
+
 class TestInspect:
     def test_inspect_prints_stats(self, recorded_trace):
         code, output = run_cli(["inspect", str(recorded_trace)])

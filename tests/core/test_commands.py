@@ -143,3 +143,62 @@ def test_property_click_command_round_trips(x, y, elapsed):
     command = ClickCommand('//div[text()="a b c"]', x=x, y=y,
                            elapsed_ms=elapsed)
     assert parse_command_line(command.to_line()) == command
+
+
+class TestNegativeElapsed:
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(TraceFormatError, match="negative elapsed"):
+            parse_command_line("click //div 1,2 -5")
+
+    def test_zero_elapsed_still_parses(self):
+        assert parse_command_line("click //div 1,2 0").elapsed_ms == 0
+
+    @pytest.mark.parametrize("line", [
+        "type //div [H,72] -1",
+        "drag //div 3,4 -100",
+        "switchframe default - -2",
+    ])
+    def test_every_command_kind_rejects_negative(self, line):
+        with pytest.raises(TraceFormatError):
+            parse_command_line(line)
+
+
+class TestKeyEscaping:
+    """Control characters in a typed key must survive the wire format.
+
+    Without escaping, a newline key split the trace line in two and a
+    ``]`` key ended the payload early — both corrupted the round trip.
+    """
+
+    @pytest.mark.parametrize("key", ["\n", "\r", "\t", "]", "\\", "a]b",
+                                     "\\n", "line1\nline2", "[,]"])
+    def test_special_keys_round_trip(self, key):
+        command = TypeCommand("//div", key=key, code=13, elapsed_ms=4)
+        line = command.to_line()
+        assert "\n" not in line and "\r" not in line
+        assert parse_command_line(line) == command
+        assert parse_command_line(line).key == key
+
+    def test_newline_key_serializes_on_one_line(self):
+        command = TypeCommand("//div", key="\n", code=13)
+        assert command.to_line() == "type //div [\\n,13] 0"
+
+    def test_bracket_key_serializes_escaped(self):
+        command = TypeCommand("//div", key="]", code=221)
+        assert command.to_line() == "type //div [\\],221] 0"
+
+    def test_plain_keys_unchanged(self):
+        # The Figure-4 wire format is untouched for ordinary keys.
+        command = TypeCommand("//div", key="H", code=72, elapsed_ms=3)
+        assert command.to_line() == "type //div [H,72] 3"
+
+
+@given(key=st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=0, max_size=3), code=st.integers(0, 255))
+def test_property_any_key_round_trips(key, code):
+    command = TypeCommand('//td/div[@id="content"]', key=key, code=code)
+    line = command.to_line()
+    assert "\n" not in line
+    assert parse_command_line(line) == command
+    assert parse_command_line(line).key == key

@@ -97,7 +97,6 @@ def test_replay_auto_answers_recorded_dialogs():
     # Replay: the application shows the same dialog; the log answers it.
     replay_browser = build_browser()
     state = replay_popup_log(replay_browser, log)
-    outcomes = []
     dialog = replay_browser.show_popup("Confirm delete", ["Delete", "Cancel"])
     dialog.on_button  # dialog exists
     assert dialog.dismissed  # answered automatically

@@ -1,6 +1,5 @@
 """The WaRR Replayer: timing modes, reports, fallbacks, halting."""
 
-import pytest
 
 from repro.core.chromedriver import ChromeDriverConfig
 from repro.core.commands import ClickCommand, TypeCommand

@@ -128,3 +128,15 @@ class TestEquality:
         other = sample_trace()
         other.commands.pop()
         assert sample_trace() != other
+
+    def test_label_does_not_matter(self):
+        # Equality is content-only (start URL + commands); the label is
+        # descriptive metadata — consistent with copy(), whose
+        # relabelled copies must still compare equal.
+        other = sample_trace()
+        other.label = "a different name"
+        assert sample_trace() == other
+
+    def test_relabelled_copy_is_equal(self):
+        trace = sample_trace()
+        assert trace.copy(label="renamed") == trace

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.chromedriver import ChromeDriverConfig
 from repro.core.webdriver import WebDriver
 from tests.browser.helpers import build_browser, url
 

@@ -59,7 +59,7 @@ class TestTextInputFix:
     def test_without_fix_contenteditable_text_lost(self, gmail_trace):
         browser, (app,) = make_browser([GmailApplication], developer_mode=True)
         config = ChromeDriverConfig(fix_text_input=False)
-        report = WarrReplayer(browser, config=config).replay(gmail_trace)
+        WarrReplayer(browser, config=config).replay(gmail_trace)
         # Every command "succeeds" — but the email body silently lost
         # its text, the insidious form of the bug.
         assert app.sent

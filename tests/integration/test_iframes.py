@@ -1,6 +1,5 @@
 """Record and replay across iframes (the third IV-C challenge)."""
 
-import pytest
 
 from repro.core.chromedriver import ChromeDriverConfig
 from repro.core.commands import SwitchFrameCommand

@@ -5,7 +5,6 @@ the recorder, missing cross-user timing in concurrent sessions, and the
 environment-dependence of replay timing.
 """
 
-import pytest
 
 from repro.apps.framework import AppEnvironment, make_browser
 from repro.apps.sites import SitesApplication
@@ -91,7 +90,7 @@ class TestEnvironmentTiming:
 
         slow_browser, _ = make_browser([SitesApplication],
                                        developer_mode=True, latency_ms=700.0)
-        slow = WarrReplayer(slow_browser).replay(trace)
+        WarrReplayer(slow_browser).replay(trace)
         # The editor initialization timer starts after the (slow) page
         # load, but the recorded first-action delay embeds the fast
         # load; the replayed click may race initialization. Either

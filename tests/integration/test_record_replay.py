@@ -5,7 +5,6 @@ the application reproduces the same server-side effects and the same
 final page — WaRR's "high fidelity" claim.
 """
 
-import pytest
 
 from repro.apps.docs import DocsApplication
 from repro.apps.framework import make_browser

@@ -148,7 +148,6 @@ class TestDragOffsets:
 class TestRelayout:
     def test_relayout_reflects_dom_changes(self):
         doc, engine = lay("<div id='a'>x</div>")
-        a = doc.get_element_by_id("a")
         new = doc.create_element("div", {"id": "b"})
         new.text_content = "y"
         doc.body.append_child(new)

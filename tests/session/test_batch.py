@@ -1,0 +1,104 @@
+"""Batch replay across isolated browser instances."""
+
+import pytest
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.recorder import WarrRecorder
+from repro.core.trace import WarrTrace
+from repro.session.batch import BatchReport, BatchRunner
+from repro.session.policies import TimingPolicy
+from tests.browser.helpers import build_browser, url
+
+
+def record_trace(label):
+    browser = build_browser()
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(url("/"), label=label)
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//input[@name="who"]'))
+    tab.type_text(label[:3], think_time_ms=10)
+    tab.click_element(tab.find('//input[@type="submit"]'))
+    return recorder.trace
+
+
+def factory():
+    return build_browser(developer_mode=True)
+
+
+class TestBatchRunner:
+    def test_four_traces_replay_on_isolated_browsers(self):
+        traces = [record_trace("session-%d" % i) for i in range(4)]
+        seen = []
+
+        def spying_factory():
+            browser = factory()
+            seen.append(browser)
+            return browser
+
+        runner = BatchRunner(spying_factory, timing=TimingPolicy.no_wait())
+        batch = runner.run(traces)
+        assert batch.complete
+        assert batch.trace_count == 4
+        assert batch.complete_count == 4
+        assert batch.replayed_count == sum(len(t) for t in traces)
+        assert batch.failed_count == 0
+        # One fresh browser per trace: no shared state between sessions.
+        assert len(seen) == 4
+        assert len(set(map(id, seen))) == 4
+        # Every session left its own browser on the greeting page.
+        for browser in seen:
+            assert browser.active_tab.url.startswith(url("/greet"))
+
+    def test_labels_default_to_trace_labels(self):
+        traces = [record_trace("alpha"), record_trace("beta")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait()).run(traces)
+        assert [run.label for run in batch.runs] == ["alpha", "beta"]
+
+    def test_explicit_labels(self):
+        traces = [record_trace("alpha"), record_trace("beta")]
+        runner = BatchRunner(factory, timing=TimingPolicy.no_wait())
+        batch = runner.run(traces, labels=["a.warr", "b.warr"])
+        assert [run.label for run in batch.runs] == ["a.warr", "b.warr"]
+
+    def test_label_count_mismatch_rejected(self):
+        runner = BatchRunner(factory)
+        with pytest.raises(ValueError):
+            runner.run([record_trace("x")], labels=["a", "b"])
+
+    def test_failures_are_isolated_to_their_trace(self):
+        good = record_trace("good")
+        bad = WarrTrace(start_url=url("/"), label="bad", commands=[
+            TypeCommand("//video", "x", 88),
+        ])
+        batch = BatchRunner(factory,
+                            timing=TimingPolicy.no_wait()).run([bad, good])
+        assert not batch.complete
+        assert batch.complete_count == 1
+        assert [run.label for run in batch.failures()] == ["bad"]
+
+    def test_perf_counters_accumulate_across_sessions(self):
+        traces = [record_trace("one"), record_trace("two")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait()).run(traces)
+        assert batch.perf_counters
+        for counts in batch.perf_counters.values():
+            assert set(counts) == {"hits", "misses", "hit_rate"}
+
+    def test_halted_navigation_counts_as_incomplete(self):
+        doomed = WarrTrace(start_url="http://nowhere.example/",
+                           label="doomed",
+                           commands=[ClickCommand("//a")])
+        batch = BatchRunner(factory).run([doomed])
+        assert not batch.complete
+        assert batch.failures()[0].report.halted
+
+
+class TestBatchReport:
+    def test_empty_batch_is_not_complete(self):
+        assert not BatchReport().complete
+
+    def test_summary_mentions_counts(self):
+        traces = [record_trace("s1"), record_trace("s2")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait()).run(traces)
+        summary = batch.summary()
+        assert "2/2 trace(s) complete" in summary
+        assert "0 page error(s)" in summary

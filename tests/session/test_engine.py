@@ -1,0 +1,178 @@
+"""The session engine: pipeline, event stream, timing, halting."""
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.recorder import WarrRecorder
+from repro.core.trace import WarrTrace
+from repro.session.engine import SessionEngine
+from repro.session.events import SessionEvent
+from repro.session.observers import EventLogObserver
+from repro.session.policies import FailurePolicy, LocatorPolicy, TimingPolicy
+from repro.session.report import CommandResult
+from tests.browser.helpers import build_browser, url
+
+
+def record_home_session():
+    browser = build_browser()
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(url("/"))
+    tab = browser.new_tab(url("/"))
+    tab.click_element(tab.find('//input[@name="who"]'))
+    tab.type_text("Ada", think_time_ms=20)
+    tab.click_element(tab.find('//input[@type="submit"]'))
+    tab.click_element(tab.find('//a[text()="back"]'))
+    return recorder.trace
+
+
+class TestRun:
+    def test_full_session_replays(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        report = SessionEngine(browser).run(trace)
+        assert report.complete
+        assert report.replayed_count == len(trace)
+        assert report.final_url == url("/")
+
+    def test_event_stream_narrates_pipeline(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        log = EventLogObserver()
+        SessionEngine(browser).run(trace, observers=[log])
+        kinds = log.kinds_seen()
+        assert kinds[0] == SessionEvent.SESSION_STARTED
+        assert kinds[1] == SessionEvent.NAVIGATED
+        assert kinds[-1] == SessionEvent.SESSION_FINISHED
+        assert SessionEvent.PERF_DELTA in kinds
+        # Every command contributes started -> located -> acted -> finished.
+        assert kinds.count(SessionEvent.COMMAND_STARTED) == len(trace)
+        assert kinds.count(SessionEvent.COMMAND_FINISHED) == len(trace)
+        assert kinds.count(SessionEvent.LOCATED) == len(trace)
+        assert kinds.count(SessionEvent.ACTED) == len(trace)
+
+    def test_located_precedes_acted_per_command(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        log = EventLogObserver(kinds=[
+            SessionEvent.COMMAND_STARTED, SessionEvent.LOCATED,
+            SessionEvent.ACTED, SessionEvent.COMMAND_FINISHED])
+        SessionEngine(browser).run(trace, observers=[log])
+        per_command = len(log.events) // len(trace)
+        assert per_command == 4
+        for i in range(0, len(log.events), 4):
+            window = [event.kind for event in log.events[i:i + 4]]
+            assert window == [SessionEvent.COMMAND_STARTED,
+                              SessionEvent.LOCATED,
+                              SessionEvent.ACTED,
+                              SessionEvent.COMMAND_FINISHED]
+
+    def test_recorded_timing_reproduces_absolute_timeline(self):
+        # Schedule stage: each command is due at anchor + recorded delay;
+        # execution time counts against the gap, so the whole session
+        # takes at least (and with idle gaps, about) the recorded total.
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        SessionEngine(browser, timing=TimingPolicy.recorded()).run(trace)
+        assert browser.clock.now() >= trace.total_duration_ms()
+
+    def test_no_wait_is_faster(self):
+        trace = record_home_session()
+        slow = build_browser(developer_mode=True)
+        SessionEngine(slow, timing=TimingPolicy.recorded()).run(trace)
+        fast = build_browser(developer_mode=True)
+        SessionEngine(fast, timing=TimingPolicy.no_wait()).run(trace)
+        assert fast.clock.now() < slow.clock.now()
+
+
+class TestFailureModes:
+    def _trace(self):
+        return WarrTrace(start_url=url("/"), commands=[
+            TypeCommand("//video", "x", 88),
+            ClickCommand('//a[text()="About"]'),
+        ])
+
+    def test_continue_replays_the_rest(self):
+        browser = build_browser(developer_mode=True)
+        engine = SessionEngine(browser,
+                               failure=FailurePolicy.continue_on_failure())
+        report = engine.run(self._trace())
+        assert report.failed_count == 1
+        assert report.replayed_count == 1
+        assert not report.halted
+
+    def test_stop_skips_the_rest(self):
+        browser = build_browser(developer_mode=True)
+        engine = SessionEngine(browser,
+                               failure=FailurePolicy.stop_on_failure())
+        report = engine.run(self._trace())
+        assert report.failed_count == 1
+        assert len(report.results) == 1
+        assert not report.halted
+
+    def test_halt_marks_report_halted(self):
+        browser = build_browser(developer_mode=True)
+        engine = SessionEngine(browser,
+                               failure=FailurePolicy.halt_on_failure())
+        report = engine.run(self._trace())
+        assert report.halted
+        assert "command failed" in report.halt_reason
+        assert len(report.results) == 1
+
+    def test_navigation_failure_halts_before_commands(self):
+        trace = WarrTrace(start_url="http://nowhere.example/",
+                          commands=[ClickCommand("//a")])
+        browser = build_browser(developer_mode=True)
+        report = SessionEngine(browser).run(trace)
+        assert report.halted
+        assert "navigation" in report.halt_reason
+        assert report.results == []
+
+
+class TestLocateFallbacks:
+    def test_click_falls_back_to_coordinates(self):
+        browser = build_browser(developer_mode=True)
+        trace = WarrTrace(start_url=url("/"), commands=[
+            ClickCommand('//a[@href="/gone"]', x=1, y=1),
+        ])
+        engine = SessionEngine(browser, locator=LocatorPolicy(relaxation=False))
+        report = engine.run(trace)
+        assert report.results[0].status == CommandResult.COORDINATE
+        assert "clicked at recorded" in report.results[0].detail
+
+    def test_type_failure_has_no_fallback(self):
+        browser = build_browser(developer_mode=True)
+        trace = WarrTrace(start_url=url("/"), commands=[
+            TypeCommand("//video", "x", 88),
+        ])
+        report = SessionEngine(browser).run(trace)
+        assert report.results[0].status == CommandResult.FAILED
+
+
+class TestStepping:
+    def test_start_then_step(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        engine = SessionEngine(browser)
+        run = engine.start(trace)
+        assert not run.halted
+        for command in trace:
+            result = run.step(command)
+            assert result.succeeded
+        report = run.finish()
+        assert report.complete
+
+    def test_finish_is_idempotent(self):
+        trace = record_home_session()
+        browser = build_browser(developer_mode=True)
+        run = SessionEngine(browser).start(trace)
+        for command in trace:
+            run.step(command)
+        assert run.finish() is run.finish()
+
+    def test_current_document_reads_active_page(self):
+        browser = build_browser(developer_mode=True)
+        engine = SessionEngine(browser)
+        assert engine.current_document() is None
+        trace = WarrTrace(start_url=url("/"), commands=[])
+        engine.run(trace)
+        document = engine.current_document()
+        assert document is not None
+        assert document.url == url("/")

@@ -1,0 +1,90 @@
+"""Stock observers and tool-specific event-stream consumers."""
+
+from repro.baselines.fidelity import ReplayFidelityObserver
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.trace import WarrTrace
+from repro.session.engine import SessionEngine
+from repro.session.events import EventStream, SessionEvent, SessionObserver
+from repro.session.observers import EventLogObserver, PerfCountersObserver
+from tests.browser.helpers import build_browser, url
+
+
+class TestSessionObserverDispatch:
+    def test_hooks_receive_matching_kinds(self):
+        class Spy(SessionObserver):
+            def __init__(self):
+                self.located = []
+                self.failed = []
+
+            def on_located(self, event):
+                self.located.append(event)
+
+            def on_failed(self, event):
+                self.failed.append(event)
+
+        spy = Spy()
+        stream = EventStream([spy])
+        stream.emit(SessionEvent(SessionEvent.LOCATED))
+        stream.emit(SessionEvent(SessionEvent.ACTED))
+        stream.emit(SessionEvent(SessionEvent.FAILED))
+        assert len(spy.located) == 1
+        assert len(spy.failed) == 1
+
+    def test_unknown_kind_is_ignored(self):
+        stream = EventStream([SessionObserver()])
+        stream.emit(SessionEvent("brand-new-kind"))  # must not raise
+
+    def test_emit_order_is_subscription_order(self):
+        order = []
+
+        class Tagged(SessionObserver):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_event(self, event):
+                order.append(self.tag)
+
+        stream = EventStream([Tagged("first"), Tagged("second")])
+        stream.emit(SessionEvent(SessionEvent.ACTED))
+        assert order == ["first", "second"]
+
+
+class TestEventLogObserver:
+    def test_filtering_by_kind(self):
+        log = EventLogObserver(kinds=[SessionEvent.FAILED])
+        stream = EventStream([log])
+        stream.emit(SessionEvent(SessionEvent.ACTED))
+        stream.emit(SessionEvent(SessionEvent.FAILED))
+        assert log.kinds_seen() == [SessionEvent.FAILED]
+
+
+class TestPerfCountersObserver:
+    def test_totals_sum_across_sessions(self):
+        totals = PerfCountersObserver()
+        stream = EventStream([totals])
+        stream.emit(SessionEvent(SessionEvent.PERF_DELTA, data={
+            "counters": {"xpath": {"hits": 3, "misses": 1}}}))
+        stream.emit(SessionEvent(SessionEvent.PERF_DELTA, data={
+            "counters": {"xpath": {"hits": 1, "misses": 1}}}))
+        assert totals.sessions == 2
+        summary = totals.summary()
+        assert summary["xpath"]["hits"] == 4
+        assert summary["xpath"]["misses"] == 2
+        assert summary["xpath"]["hit_rate"] == 4 / 6
+
+
+class TestReplayFidelityObserver:
+    def test_scores_replayed_interactions(self):
+        trace = WarrTrace(start_url=url("/"), commands=[
+            ClickCommand('//input[@name="who"]', x=1, y=1),
+            TypeCommand("//video", "x", 88),  # unresolvable -> not replayed
+        ])
+        browser = build_browser(developer_mode=True)
+        scorer = ReplayFidelityObserver()
+        SessionEngine(browser).run(trace, observers=[scorer])
+        result = scorer.result()
+        assert result.total == 2
+        assert result.covered == 1
+        assert result.label == "P"
+        assert result.per_kind["click"] == (1, 1)
+        assert result.per_kind["key"] == (0, 1)

@@ -1,0 +1,124 @@
+"""Session policies: timing, locating, failure handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commands import ClickCommand, TypeCommand
+from repro.core.trace import WarrTrace
+from repro.session.policies import FailurePolicy, LocatorPolicy, TimingPolicy
+from repro.session.report import CommandResult
+
+
+class TestTimingPolicy:
+    def test_recorded_keeps_delays(self):
+        policy = TimingPolicy.recorded()
+        assert policy.delay_for(ClickCommand("//a", elapsed_ms=120)) == 120
+
+    def test_no_wait_zeroes_delays(self):
+        policy = TimingPolicy.no_wait()
+        assert policy.delay_for(ClickCommand("//a", elapsed_ms=120)) == 0
+
+    def test_fixed_ignores_recorded(self):
+        policy = TimingPolicy.fixed(10)
+        assert policy.delay_for(ClickCommand("//a", elapsed_ms=120)) == 10
+
+    def test_target_is_anchor_plus_delay(self):
+        policy = TimingPolicy.scaled(2.0)
+        command = ClickCommand("//a", elapsed_ms=50)
+        assert policy.target(1000.0, command) == 1100.0
+
+
+# -- property tests: policies agree with the trace's delay transforms -------
+
+delays = st.lists(st.integers(min_value=0, max_value=10_000),
+                  min_size=1, max_size=20)
+
+
+def _trace_with(elapsed_list):
+    commands = [ClickCommand("//a[%d]" % i, elapsed_ms=ms)
+                for i, ms in enumerate(elapsed_list)]
+    return WarrTrace(start_url="http://test.example/", commands=commands)
+
+
+class TestTimingRoundTrip:
+    """TimingPolicy.delay_for must match the trace-level transforms.
+
+    ``WarrTrace.with_delays_scaled`` / ``with_delays_fixed`` bake a
+    timing treatment into a new trace; replaying the original under the
+    matching policy must schedule the same timeline.
+    """
+
+    @given(delays)
+    @settings(max_examples=50, deadline=None)
+    def test_recorded_reproduces_timeline(self, elapsed_list):
+        policy = TimingPolicy.recorded()
+        trace = _trace_with(elapsed_list)
+        anchor = 0.0
+        for command in trace:
+            anchor = policy.target(anchor, command)
+        assert anchor == sum(elapsed_list)
+        assert anchor == trace.total_duration_ms()
+
+    @given(delays, st.floats(min_value=0.0, max_value=10.0,
+                             allow_nan=False, allow_infinity=False))
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_matches_with_delays_scaled(self, elapsed_list, factor):
+        policy = TimingPolicy.scaled(factor)
+        trace = _trace_with(elapsed_list)
+        baked = trace.with_delays_scaled(factor)
+        for original, transformed in zip(trace, baked):
+            # with_delays_scaled truncates to whole milliseconds.
+            assert int(policy.delay_for(original)) == transformed.elapsed_ms
+
+    @given(delays, st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_matches_with_delays_fixed(self, elapsed_list, delay_ms):
+        policy = TimingPolicy.fixed(delay_ms)
+        trace = _trace_with(elapsed_list)
+        baked = trace.with_delays_fixed(delay_ms)
+        for original, transformed in zip(trace, baked):
+            assert int(policy.delay_for(original)) == transformed.elapsed_ms
+
+
+class TestLocatorPolicy:
+    def test_click_has_coordinate_fallback(self):
+        policy = LocatorPolicy()
+        command = ClickCommand("//a", x=10, y=20)
+        assert policy.fallback_position(command) == (10, 20)
+
+    def test_type_has_no_fallback(self):
+        policy = LocatorPolicy()
+        assert policy.fallback_position(TypeCommand("//a", "x", 88)) is None
+
+    def test_relaxation_engine_respects_toggle(self):
+        assert LocatorPolicy().new_relaxation_engine().enabled
+        off = LocatorPolicy(relaxation=False)
+        assert not off.new_relaxation_engine().enabled
+
+
+class TestFailurePolicy:
+    def _failed(self):
+        return CommandResult(ClickCommand("//a"), CommandResult.FAILED,
+                             error=Exception("boom"))
+
+    def _ok(self):
+        return CommandResult(ClickCommand("//a"), CommandResult.OK)
+
+    def test_success_always_continues(self):
+        for policy in (FailurePolicy.continue_on_failure(),
+                       FailurePolicy.stop_on_failure(),
+                       FailurePolicy.halt_on_failure()):
+            assert policy.decide(self._ok()) == FailurePolicy.CONTINUE
+
+    def test_failure_follows_mode(self):
+        assert (FailurePolicy.continue_on_failure().decide(self._failed())
+                == FailurePolicy.CONTINUE)
+        assert (FailurePolicy.stop_on_failure().decide(self._failed())
+                == FailurePolicy.STOP)
+        assert (FailurePolicy.halt_on_failure().decide(self._failed())
+                == FailurePolicy.HALT)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FailurePolicy("explode")

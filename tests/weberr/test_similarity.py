@@ -1,6 +1,5 @@
 """DOM-shape similarity."""
 
-import pytest
 
 from repro.dom.parser import parse_html
 from repro.weberr.similarity import (

@@ -7,7 +7,6 @@ from repro.weberr.grammar import Grammar, Rule, Terminal
 from repro.weberr.navigation import (
     NavigationErrorInjector,
     forget_step,
-    reorder_steps,
 )
 
 

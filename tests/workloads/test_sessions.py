@@ -1,6 +1,5 @@
 """SimulatedUser ground truth and the scripted scenarios."""
 
-import pytest
 
 from repro.apps.docs import DocsApplication
 from repro.apps.framework import make_browser

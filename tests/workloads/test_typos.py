@@ -1,6 +1,5 @@
 """Typo injector: determinism and edit classes."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.util.rng import SeededRandom

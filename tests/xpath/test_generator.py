@@ -2,7 +2,6 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dom.node import Text
 from repro.dom.parser import parse_html
 from repro.xpath.evaluator import evaluate
 from repro.xpath.generator import absolute_xpath, xpath_for_element
