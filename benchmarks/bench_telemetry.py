@@ -1,0 +1,176 @@
+"""Telemetry overhead: tracing-off must be (nearly) free.
+
+The tracing subsystem promises that instrumented code pays one guard
+check (``telemetry.current() is None``) while tracing is off. This
+bench measures that promise two ways and writes
+``BENCH_telemetry.json``:
+
+1. **Guard micro-benchmark** — the DOM dispatch hot loop run through
+   the public guarded entry point (``dispatch_event``) vs. the
+   guard-free core (``_dispatch``). The relative gap IS the tracing-off
+   overhead, measured in-process back to back, and is asserted below
+   ``MAX_OFF_OVERHEAD`` (5%).
+2. **End-to-end replays** — whole-session replay throughput with
+   tracing off vs. tracing on, reported (not asserted: cross-run replay
+   timing on shared runners is too noisy for a 5% bound, and tracing-on
+   cost is allowed to be visible).
+
+Setting ``BENCH_QUICK=1`` runs a smoke configuration (tiny workload,
+no timing assertions) for CI.
+"""
+
+import os
+import time
+
+from repro import telemetry
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.dom.parser import parse_html
+from repro.events.dispatch import _dispatch, dispatch_event
+from repro.events.event import Event
+from repro.workloads.sessions import sites_edit_session
+
+#: Smoke-test mode: tiny workload, no timing assertion (for CI).
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+#: Text length for the recorded editing session.
+SESSION_LENGTH = 40 if QUICK else 320
+
+#: Maximum tracing-off overhead on the guarded dispatch hot path.
+MAX_OFF_OVERHEAD = 0.05
+
+#: Dispatches per measurement round of the guard micro-benchmark.
+DISPATCHES = 2_000 if QUICK else 20_000
+
+#: Best-of-N rounds to damp scheduler noise.
+REPEATS = 1 if QUICK else 5
+
+HTML = """
+<html><body>
+  <div id="a"><div id="b"><div id="c"><span id="leaf">x</span></div></div></div>
+</body></html>
+"""
+
+
+def record_session():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="x" * SESSION_LENGTH)
+    return recorder.trace
+
+
+def replay_once(trace, tracing_on):
+    """Replay on a fresh browser; returns (seconds, report)."""
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    replayer = WarrReplayer(browser, timing=TimingMode.no_wait())
+    start = time.perf_counter()
+    if tracing_on:
+        with telemetry.tracing(clock=browser.clock):
+            report = replayer.replay(trace)
+    else:
+        report = replayer.replay(trace)
+    seconds = time.perf_counter() - start
+    assert report.replayed_count == len(trace), report.summary()
+    return seconds, report
+
+
+def measure_replay(trace, tracing_on):
+    best = None
+    for _ in range(REPEATS):
+        seconds, _ = replay_once(trace, tracing_on)
+        if best is None or seconds < best:
+            best = seconds
+    return len(trace) / best
+
+
+def dispatch_round(entry_point):
+    """Time ``DISPATCHES`` bubbling dispatches through ``entry_point``."""
+    document = parse_html(HTML)
+    (leaf,) = [node for node in document.descendants()
+               if getattr(node, "tag", None) == "span"]
+    hops = []
+    for node in (leaf, leaf.parent, leaf.parent.parent):
+        node.add_event_listener("ping", lambda event: hops.append(1))
+    start = time.perf_counter()
+    for _ in range(DISPATCHES):
+        entry_point(leaf, Event("ping", bubbles=True))
+    return time.perf_counter() - start
+
+
+def measure_guard_overhead():
+    """Tracing-off overhead of the guarded dispatch entry point.
+
+    Interleaves best-of-N rounds of the public (guarded) entry point
+    and the guard-free core so both see the same machine state.
+    """
+    assert telemetry.current() is None
+    guarded = None
+    bare = None
+    for _ in range(REPEATS):
+        seconds = dispatch_round(dispatch_event)
+        guarded = seconds if guarded is None else min(guarded, seconds)
+        seconds = dispatch_round(lambda target, event: _dispatch(
+            target, event, None))
+        bare = seconds if bare is None else min(bare, seconds)
+    return guarded, bare
+
+
+def test_tracing_off_overhead(benchmark, reporter, json_reporter):
+    guarded_s, bare_s = measure_guard_overhead()
+    guard_overhead = guarded_s / bare_s - 1.0
+
+    trace = record_session()
+    off_rate = measure_replay(trace, tracing_on=False)
+    on_rate = measure_replay(trace, tracing_on=True)
+    on_cost = off_rate / on_rate - 1.0
+
+    lines = [
+        "guarded dispatch hot loop (%d dispatches, best of %d):"
+        % (DISPATCHES, REPEATS),
+        "  %-28s %.4fs" % ("guard-free core", bare_s),
+        "  %-28s %.4fs" % ("guarded entry (tracing off)", guarded_s),
+        "  overhead: %+.2f%% (budget < %.0f%%)"
+        % (guard_overhead * 100.0, MAX_OFF_OVERHEAD * 100.0),
+        "",
+        "end-to-end replay, %d commands:" % len(trace),
+        "  %-28s %.0f cmds/s" % ("tracing off", off_rate),
+        "  %-28s %.0f cmds/s" % ("tracing on", on_rate),
+        "  tracing-on cost: %+.1f%% (reported, not asserted)"
+        % (on_cost * 100.0),
+    ]
+    reporter("Telemetry overhead — guard check and full tracing", lines)
+
+    json_reporter("telemetry", {
+        "benchmark": "telemetry",
+        "dispatches": DISPATCHES,
+        "guard": {
+            "bare_seconds": round(bare_s, 4),
+            "guarded_seconds": round(guarded_s, 4),
+            "tracing_off_overhead": round(guard_overhead, 4),
+            "budget": MAX_OFF_OVERHEAD,
+        },
+        "replay": {
+            "commands": len(trace),
+            "tracing_off_commands_per_second": round(off_rate, 1),
+            "tracing_on_commands_per_second": round(on_rate, 1),
+            "tracing_on_cost": round(on_cost, 4),
+        },
+    })
+
+    # Timing assertion is meaningless on a quick smoke run.
+    if not QUICK:
+        assert guard_overhead < MAX_OFF_OVERHEAD, (
+            "tracing-off guard costs %+.2f%% on the dispatch hot path, "
+            "over the %.0f%% budget"
+            % (guard_overhead * 100.0, MAX_OFF_OVERHEAD * 100.0)
+        )
+
+    # pytest-benchmark number: one traced replay of the session.
+    def traced_replay():
+        return replay_once(trace, tracing_on=True)[1]
+
+    result = benchmark(traced_replay)
+    assert result.replayed_count == len(trace)

@@ -8,6 +8,7 @@ Recorder), and is then dispatched into the DOM with default actions —
 link activation, form submission, text insertion, element dragging.
 """
 
+from repro import telemetry
 from repro.dom.node import Element
 from repro.events.event import MouseEvent, KeyboardEvent, DragEvent, InputEvent
 from repro.events.keys import (
@@ -46,6 +47,15 @@ class EventHandler:
 
     def handle_mouse_press_event(self, event):
         """Entry point for mouse input (click and double click)."""
+        tracer = telemetry.current()
+        if tracer is None:
+            return self._handle_mouse_press(event)
+        with tracer.span("input.mouse", track=self.engine, cat="input",
+                         args={"x": event.client_x, "y": event.client_y,
+                               "detail": event.detail}):
+            return self._handle_mouse_press(event)
+
+    def _handle_mouse_press(self, event):
         engine = self.engine
         target = engine.hit_test(event.client_x, event.client_y)
         if target is None:
@@ -95,6 +105,14 @@ class EventHandler:
 
     def key_event(self, event):
         """Entry point for keyboard input."""
+        tracer = telemetry.current()
+        if tracer is None:
+            return self._key_event(event)
+        with tracer.span("input.key", track=self.engine, cat="input",
+                         args={"key": event.key, "code": event.key_code}):
+            return self._key_event(event)
+
+    def _key_event(self, event):
         engine = self.engine
         target = engine.focused_element
         if target is None:
@@ -130,6 +148,14 @@ class EventHandler:
 
     def handle_drag(self, event):
         """Entry point for UI-element drags."""
+        tracer = telemetry.current()
+        if tracer is None:
+            return self._handle_drag(event)
+        with tracer.span("input.drag", track=self.engine, cat="input",
+                         args={"dx": event.dx, "dy": event.dy}):
+            return self._handle_drag(event)
+
+    def _handle_drag(self, event):
         engine = self.engine
         target = engine.hit_test(event.client_x, event.client_y)
         if target is None:

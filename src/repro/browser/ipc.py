@@ -5,27 +5,41 @@ IPC (the ``IPC::ChannelProxy`` frames in the paper's Figure 3 stack
 trace). We model the channel explicitly — messages are enqueued by the
 browser side and drained by the renderer — so the recorder demonstrably
 sits *below* this boundary, at the WebKit layer, and so the per-message
-path can be measured by the overhead benchmark.
+path can be measured by the overhead benchmark and rendered on the
+telemetry timeline (queue-latency spans, per-delivery spans, and a
+queue-depth counter).
 """
 
 import time
+from collections import deque
+
+from repro import telemetry
 
 
 class InputMessage:
-    """One input event crossing the browser → renderer boundary."""
+    """One input event crossing the browser → renderer boundary.
 
-    __slots__ = ("kind", "payload", "enqueued_at")
+    ``target_engine`` addresses a specific frame engine inside the
+    renderer (how automation input reaches an iframe's client); None
+    delivers to the renderer's main-frame engine.
+    """
+
+    __slots__ = ("kind", "payload", "enqueued_at", "trace_enqueued_us",
+                 "trace_id", "target_engine")
 
     MOUSE = "mouse"
     KEY = "key"
     DRAG = "drag"
 
-    def __init__(self, kind, payload):
+    def __init__(self, kind, payload, target_engine=None):
         if kind not in (self.MOUSE, self.KEY, self.DRAG):
             raise ValueError("unknown input message kind %r" % kind)
         self.kind = kind
         self.payload = payload
         self.enqueued_at = None
+        self.trace_enqueued_us = None
+        self.trace_id = None
+        self.target_engine = target_engine
 
     def __repr__(self):
         return "InputMessage(%s, %r)" % (self.kind, self.payload)
@@ -35,14 +49,32 @@ class IpcChannel:
     """FIFO message channel between browser and renderer.
 
     ``send`` enqueues; ``pump`` delivers everything queued to the
-    receiver callback, in order. Wall-clock enqueue times are kept so
-    instrumentation can measure real dispatch cost.
+    receiver callback, in order. Enqueue times are kept so
+    instrumentation can measure dispatch latency; by default they come
+    from the wall clock (``time.perf_counter``, seconds), but passing a
+    ``clock`` (anything with a ``now()`` method, e.g. a
+    :class:`~repro.util.clock.VirtualClock` in milliseconds) makes
+    enqueue→deliver latency deterministic under virtual time.
     """
 
-    def __init__(self):
-        self._queue = []
+    def __init__(self, clock=None):
+        self._queue = deque()
         self._receiver = None
         self.delivered_count = 0
+        self._now = clock.now if clock is not None else time.perf_counter
+        #: True when enqueue times are wall seconds (no clock given).
+        self._wall = clock is None
+        # Telemetry track anchors: the send side runs in the browser
+        # process, delivery in the renderer. Set by bind_tracks().
+        self._send_track = None
+        self._recv_track = None
+
+    def bind_tracks(self, sender, receiver):
+        """Anchor trace events: ``sender`` browser-side, ``receiver``
+        renderer-side (any objects the track registry can resolve)."""
+        self._send_track = sender
+        self._recv_track = receiver
+        return self
 
     def connect(self, receiver):
         """Attach the renderer-side message handler."""
@@ -50,20 +82,64 @@ class IpcChannel:
 
     def send(self, message):
         """Queue a message for delivery."""
-        message.enqueued_at = time.perf_counter()
+        message.enqueued_at = self._now()
         self._queue.append(message)
+        tracer = telemetry.current()
+        if tracer is not None:
+            message.trace_enqueued_us = tracer.now_us()
+            # Queue residency crosses threads (enqueued browser-side,
+            # picked up renderer-side), so it is an async span, paired
+            # by id with the matching async-end in the pump.
+            message.trace_id = tracer.buffer.total
+            tracer.async_begin("ipc.queue", message.trace_id,
+                               track=self._send_track, cat="ipc",
+                               args={"kind": message.kind})
+            tracer.counter("ipc.queue_depth", {"depth": len(self._queue)},
+                           track=self._send_track, cat="ipc")
 
     def pump(self):
         """Deliver all queued messages; returns how many were delivered."""
         if self._receiver is None:
             raise RuntimeError("IPC channel has no connected receiver")
+        tracer = telemetry.current()
+        if tracer is not None:
+            return self._pump_traced(tracer)
         delivered = 0
-        while self._queue:
-            message = self._queue.pop(0)
-            self._receiver(message)
+        queue = self._queue
+        receiver = self._receiver
+        while queue:
+            receiver(queue.popleft())
             delivered += 1
         self.delivered_count += delivered
         return delivered
+
+    def _pump_traced(self, tracer):
+        """The pump loop with queue-latency and delivery spans."""
+        delivered = 0
+        pump_start = tracer.now_us()
+        while self._queue:
+            message = self._queue.popleft()
+            if message.trace_id is not None:
+                tracer.async_end("ipc.queue", message.trace_id,
+                                 track=self._recv_track, cat="ipc")
+            deliver_start = tracer.now_us()
+            self._receiver(message)
+            tracer.complete("ipc.deliver", deliver_start,
+                            track=self._recv_track, cat="ipc",
+                            args={"kind": message.kind,
+                                  "queue_ms": self.latency_ms(message)})
+            delivered += 1
+        tracer.complete("ipc.pump", pump_start, track=self._send_track,
+                        cat="ipc", args={"delivered": delivered})
+        self.delivered_count += delivered
+        return delivered
+
+    def latency_ms(self, message):
+        """Milliseconds since ``message`` was enqueued (channel clock)."""
+        if message.enqueued_at is None:
+            return None
+        elapsed = self._now() - message.enqueued_at
+        return elapsed * 1000.0 if self._wall else elapsed
 
     def send_and_pump(self, message):
         """Convenience: synchronous round trip for one message."""

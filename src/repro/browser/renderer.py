@@ -19,7 +19,11 @@ class Renderer:
         self.browser = browser
         self.tab = tab
         self.engine = WebKitEngine(browser, tab)
-        self.channel = IpcChannel()
+        # The virtual clock makes enqueue→deliver latency deterministic;
+        # track binding puts send-side events on the browser process
+        # lane and deliveries on this renderer's lane.
+        self.channel = IpcChannel(clock=browser.clock)
+        self.channel.bind_tracks(browser, self)
         self.channel.connect(self._on_message_received)
 
     def load(self, html, url):
@@ -37,7 +41,9 @@ class Renderer:
     # -- WebViewImpl::handleInputEvent ------------------------------------
 
     def _handle_input_event(self, message):
-        handler = self.engine.event_handler
+        engine = (message.target_engine if message.target_engine is not None
+                  else self.engine)
+        handler = engine.event_handler
         if handler is None:
             return
         if message.kind == InputMessage.MOUSE:

@@ -53,6 +53,7 @@ class WebKitEngine:
             time_source=self.browser.script_now,
         )
         self.layout = LayoutEngine(self.document, self.browser.viewport_width)
+        self.layout.trace_track = self  # reflow spans on this renderer lane
         self.layout.relayout()
         self.event_handler = EventHandler(self)
         self._load_iframes()
@@ -148,7 +149,8 @@ class WebKitEngine:
 
     def dispatch(self, target, event):
         """Dispatch into the DOM; script errors land on the console."""
-        return dispatch_event(target, event, on_error=self.window.console.error)
+        return dispatch_event(target, event,
+                              on_error=self.window.console.error, track=self)
 
     @property
     def console(self):

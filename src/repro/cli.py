@@ -5,9 +5,18 @@ The workflows a downstream user runs from a shell::
     python -m repro record  --app sites  --out session.warr
     python -m repro replay  session.warr --app sites [--no-wait]
                             [--stock-driver] [--no-relaxation]
+                            [--trace-out trace.json]
     python -m repro batch   a.warr b.warr c.warr d.warr --app sites
+                            [--trace-dir traces/]
+    python -m repro trace   session.warr --app sites --out trace.json
     python -m repro inspect session.warr
     python -m repro weberr  session.warr --app sites --campaign timing
+
+``replay --trace-out`` and the dedicated ``trace`` subcommand record a
+Chrome trace-event timeline of the replay (IPC, dispatch, layout,
+XPath, session pipeline) — load the JSON in ``chrome://tracing`` or
+https://ui.perfetto.dev. ``batch --trace-dir`` writes one trace per
+session plus a merged ``batch.trace.json``.
 
 Because this reproduction has no interactive UI, ``record`` drives the
 application's canonical scripted session (the same ones the paper's
@@ -17,6 +26,7 @@ experiments use) with the recorder attached.
 import argparse
 import sys
 
+from repro import telemetry
 from repro.apps.dashboard import DashboardApplication
 from repro.apps.docs import DocsApplication
 from repro.apps.framework import make_browser
@@ -84,7 +94,12 @@ def cmd_replay(args, out):
     replayer = WarrReplayer(browser, config=config,
                             relaxation=not args.no_relaxation,
                             timing=_timing_from_args(args))
-    report = replayer.replay(trace)
+    if args.trace_out:
+        with telemetry.tracing(out=args.trace_out, clock=browser.clock):
+            report = replayer.replay(trace)
+        print("trace: wrote %s" % args.trace_out, file=out)
+    else:
+        report = replayer.replay(trace)
     print(report.summary(), file=out)
     for line in report.perf_summary():
         print("perf: %s" % line, file=out)
@@ -114,7 +129,11 @@ def cmd_batch(args, out):
         return browser
 
     runner = BatchRunner(factory, timing=_timing_from_args(args))
-    batch = runner.run(traces, labels=args.traces)
+    batch = runner.run(traces, labels=args.traces,
+                       trace_dir=args.trace_dir)
+    if args.trace_dir:
+        print("traces: wrote %d per-session trace(s) + batch.trace.json "
+              "to %s" % (batch.trace_count, args.trace_dir), file=out)
     for run in batch.runs:
         print("[%s] %s" % (run.label, run.report.summary()), file=out)
         if args.failures:
@@ -128,6 +147,23 @@ def cmd_batch(args, out):
         print("perf: %s %d hits / %d misses"
               % (name, counts["hits"], counts["misses"]), file=out)
     return 0 if batch.complete and batch.page_error_count == 0 else 1
+
+
+def cmd_trace(args, out):
+    """Replay under tracing and summarize the recorded timeline."""
+    app_class, _, _ = _app_entry(args.app)
+    trace = WarrTrace.load(args.trace)
+    browser, _ = make_browser([app_class], seed=args.seed,
+                              developer_mode=True)
+    replayer = WarrReplayer(browser, timing=_timing_from_args(args))
+    with telemetry.tracing(out=args.out, clock=browser.clock) as tracer:
+        report = replayer.replay(trace)
+        trace_dict = telemetry.tracer_to_dict(tracer)
+    print(report.summary(), file=out)
+    print("trace: wrote %s" % args.out, file=out)
+    for line in telemetry.trace_summary(trace_dict):
+        print(line, file=out)
+    return 0 if report.complete and not report.page_errors else 1
 
 
 def cmd_inspect(args, out):
@@ -196,6 +232,9 @@ def build_parser():
                         help="use pre-WaRR ChromeDriver (no fixes)")
     replay.add_argument("--user-browser", action="store_true",
                         help="replay in a non-developer browser")
+    replay.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="record a Chrome trace-event timeline of "
+                             "the replay to PATH")
     replay.set_defaults(func=cmd_replay)
 
     batch = sub.add_parser("batch",
@@ -210,7 +249,23 @@ def build_parser():
                        help="scale recorded delays by this factor")
     batch.add_argument("--failures", action="store_true",
                        help="also list every failed command")
+    batch.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="write per-session Chrome traces plus a "
+                            "merged batch.trace.json into DIR")
     batch.set_defaults(func=cmd_batch)
+
+    tracecmd = sub.add_parser(
+        "trace", help="replay a trace file with tracing and summarize it")
+    tracecmd.add_argument("trace")
+    tracecmd.add_argument("--app", required=True, choices=sorted(APPS))
+    tracecmd.add_argument("--out", default="trace.json",
+                          help="Chrome trace JSON output path")
+    tracecmd.add_argument("--seed", type=int, default=0)
+    tracecmd.add_argument("--no-wait", action="store_true",
+                          help="replay with no inter-command delays")
+    tracecmd.add_argument("--scale", type=float, default=None,
+                          help="scale recorded delays by this factor")
+    tracecmd.set_defaults(func=cmd_trace)
 
     inspect = sub.add_parser("inspect", help="print trace statistics")
     inspect.add_argument("trace")

@@ -24,6 +24,7 @@ Every fix is a flag on :class:`ChromeDriverConfig`; ``stock()`` disables
 all of them so the ablation benchmarks can demonstrate each failure.
 """
 
+from repro.browser.ipc import InputMessage
 from repro.events.event import KeyboardEvent, MouseEvent, DragEvent, InputEvent
 from repro.events.keys import (
     KEY_BACKSPACE,
@@ -91,18 +92,29 @@ class ChromeDriverClient:
 
     # -- actions ------------------------------------------------------------
 
+    def _send_input(self, kind, event):
+        """Deliver raw input to this client's frame engine.
+
+        Automation input crosses the browser → renderer IPC boundary
+        like real user input does; the message is addressed to this
+        client's frame so subframe clients keep frame-local coordinates.
+        """
+        renderer = self.engine.tab.renderer
+        message = InputMessage(kind, event, target_engine=self.engine)
+        renderer.send_input(message)
+
     def click(self, element):
         """Click via the engine's input path (WebDriver supports this)."""
         x, y = self.engine.layout.click_point(element)
         event = MouseEvent("mousepress", client_x=x, client_y=y, detail=1,
                            timestamp=self._now())
-        self.engine.event_handler.handle_mouse_press_event(event)
+        self._send_input(InputMessage.MOUSE, event)
 
     def click_at(self, x, y):
         """Coordinate click — the backup identification fallback."""
         event = MouseEvent("mousepress", client_x=x, client_y=y, detail=1,
                            timestamp=self._now())
-        self.engine.event_handler.handle_mouse_press_event(event)
+        self._send_input(InputMessage.MOUSE, event)
 
     def double_click(self, element):
         """Double click.
@@ -186,7 +198,7 @@ class ChromeDriverClient:
         x, y = self.engine.layout.click_point(element)
         event = DragEvent("rawdrag", dx=dx, dy=dy, client_x=x, client_y=y,
                           timestamp=self._now())
-        self.engine.event_handler.handle_drag(event)
+        self._send_input(InputMessage.DRAG, event)
 
     def _now(self):
         return self.master.browser.clock.now()

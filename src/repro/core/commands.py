@@ -116,17 +116,20 @@ class DragCommand(WarrCommand):
 
 
 #: Characters in a typed key that would corrupt the one-line wire
-#: format: a newline splits the line, ``]`` ends the payload early, and
-#: a bare backslash would be ambiguous with the escapes themselves.
+#: format: a newline splits the line, ``]`` ends the payload early, a
+#: bare backslash would be ambiguous with the escapes themselves, and a
+#: raw ``[`` after a whitespace key would look like the payload opener.
 _KEY_ESCAPES = {
     "\\": "\\\\",
     "\n": "\\n",
     "\r": "\\r",
     "\t": "\\t",
+    "[": "\\[",
     "]": "\\]",
 }
-_KEY_UNESCAPES = {"\\": "\\", "n": "\n", "r": "\r", "t": "\t", "]": "]"}
-_KEY_ESCAPE_RE = re.compile(r"[\\\n\r\t\]]")
+_KEY_UNESCAPES = {"\\": "\\", "n": "\n", "r": "\r", "t": "\t",
+                  "[": "[", "]": "]"}
+_KEY_ESCAPE_RE = re.compile(r"[\\\n\r\t\[\]]")
 _KEY_UNESCAPE_RE = re.compile(r"\\(.)")
 
 

@@ -23,7 +23,9 @@ Paper-faithful details implemented here:
 
 import time
 
+from repro import telemetry
 from repro.browser.event_handler import InputObserver
+from repro.telemetry.tracks import RECORDER_TRACK
 from repro.core.commands import (
     ClickCommand,
     DoubleClickCommand,
@@ -162,6 +164,16 @@ class WarrRecorder(InputObserver):
 
     def _record_overhead(self, started):
         self.overhead_samples_us.append((time.perf_counter() - started) * 1e6)
+        tracer = telemetry.current()
+        if tracer is not None:
+            # The span covers exactly the logging work the overhead
+            # benchmark measures: frame tracking, XPath generation, and
+            # the trace append.
+            command = self.trace.commands[-1] if len(self.trace) else None
+            tracer.complete_between(
+                "record.command", started, track=RECORDER_TRACK,
+                cat="recorder",
+                args={"line": command.to_line() if command else None})
 
     # -- reporting ---------------------------------------------------------------
 

@@ -6,8 +6,14 @@ listeners still run). They are funneled to ``on_error``; the engine
 passes its console collector, and tools like WebErr's oracle read the
 console to detect page-script failures such as the Google Sites
 ``JSReferenceError``.
+
+When tracing is enabled (:mod:`repro.telemetry`), each dispatch emits a
+span on the dispatching renderer's track with per-phase child spans, so
+slow handlers show up attributed to their propagation phase. With
+tracing off the only cost is one guard check per dispatch.
 """
 
+from repro import telemetry
 from repro.events.event import CAPTURING_PHASE, AT_TARGET, BUBBLING_PHASE
 from repro.util.errors import ScriptError
 
@@ -23,20 +29,64 @@ def _propagation_path(target):
     return path
 
 
-def dispatch_event(target, event, on_error=None):
+def dispatch_event(target, event, on_error=None, track=None):
     """Dispatch ``event`` to ``target`` through the DOM tree.
 
     Returns ``True`` if the default action should proceed (i.e. the event
     was not ``prevent_default()``-ed), matching ``dispatchEvent``.
+    ``track`` anchors trace spans (the engine passes itself).
     """
+    tracer = telemetry.current()
+    if tracer is None:
+        return _dispatch(target, event, on_error)
+    return _dispatch_traced(tracer, target, event, on_error, track)
+
+
+def _dispatch(target, event, on_error):
+    event.target = target
+    ancestors = _propagation_path(target)
+    _capture_phase(ancestors, event, on_error)
+    _target_phase(target, event, on_error)
+    _bubble_phase(ancestors, event, on_error)
+    event.event_phase = None
+    event.current_target = None
+    return not event.default_prevented
+
+
+def _dispatch_traced(tracer, target, event, on_error, track):
+    start = tracer.now_us()
     event.target = target
     ancestors = _propagation_path(target)
 
-    # Nodes without any listeners cannot observe the event or stop its
-    # propagation, so phases skip them outright — most of a deep path is
-    # silent, and the per-node invoke machinery is the dispatch hot path.
+    phase_start = tracer.now_us()
+    _capture_phase(ancestors, event, on_error)
+    tracer.complete("dispatch.capture", phase_start, track=track,
+                    cat="dispatch")
+    phase_start = tracer.now_us()
+    _target_phase(target, event, on_error)
+    tracer.complete("dispatch.target", phase_start, track=track,
+                    cat="dispatch")
+    phase_start = tracer.now_us()
+    _bubble_phase(ancestors, event, on_error)
+    tracer.complete("dispatch.bubble", phase_start, track=track,
+                    cat="dispatch")
 
-    # Capture phase: root → parent of target, capture listeners only.
+    event.event_phase = None
+    event.current_target = None
+    proceed = not event.default_prevented
+    tracer.complete("dispatch %s" % event.type, start, track=track,
+                    cat="dispatch",
+                    args={"type": event.type, "depth": len(ancestors),
+                          "default_prevented": not proceed})
+    return proceed
+
+
+# Nodes without any listeners cannot observe the event or stop its
+# propagation, so phases skip them outright — most of a deep path is
+# silent, and the per-node invoke machinery is the dispatch hot path.
+
+def _capture_phase(ancestors, event, on_error):
+    """Capture phase: root → parent of target, capture listeners only."""
     event.event_phase = CAPTURING_PHASE
     for node in ancestors:
         if event.propagation_stopped:
@@ -44,14 +94,18 @@ def dispatch_event(target, event, on_error=None):
         if node._listeners:
             _invoke(node, event, capture=True, on_error=on_error)
 
-    # Target phase: capture listeners first, then bubble listeners.
+
+def _target_phase(target, event, on_error):
+    """Target phase: capture listeners first, then bubble listeners."""
     if not event.propagation_stopped and target._listeners:
         event.event_phase = AT_TARGET
         _invoke(target, event, capture=True, on_error=on_error)
         if not event.propagation_stopped:
             _invoke(target, event, capture=False, on_error=on_error)
 
-    # Bubble phase: parent of target → root, bubble listeners only.
+
+def _bubble_phase(ancestors, event, on_error):
+    """Bubble phase: parent of target → root, bubble listeners only."""
     if event.bubbles and not event.propagation_stopped:
         event.event_phase = BUBBLING_PHASE
         for node in reversed(ancestors):
@@ -59,10 +113,6 @@ def dispatch_event(target, event, on_error=None):
                 break
             if node._listeners:
                 _invoke(node, event, capture=False, on_error=on_error)
-
-    event.event_phase = None
-    event.current_target = None
-    return not event.default_prevented
 
 
 def _invoke(node, event, capture, on_error):

@@ -13,7 +13,7 @@ engine applies as a final translation, so dragging changes geometry the
 way the paper's drag command expects.
 """
 
-from repro import perf
+from repro import perf, telemetry
 from repro.dom.node import Document, Element, Text
 from repro.layout.box import Rect, LayoutBox
 
@@ -50,11 +50,23 @@ class LayoutEngine:
         self._boxes = {}
         self._order = []
         self._dirty = True
+        #: Telemetry track anchor (the owning WebKitEngine sets itself).
+        self.trace_track = None
 
     # -- public API -------------------------------------------------------
 
     def relayout(self):
         """Recompute all boxes; call after the DOM changes."""
+        tracer = telemetry.current()
+        if tracer is None:
+            return self._relayout()
+        with tracer.span("layout.reflow", track=self.trace_track,
+                         cat="layout") as args:
+            result = self._relayout()
+            args["boxes"] = len(self._order)
+        return result
+
+    def _relayout(self):
         self._boxes = {}
         self._order = []
         body = self.document.body

@@ -52,10 +52,25 @@ class PerfStats:
 #: The process-wide stats instance every cache reports into.
 stats = PerfStats()
 
+#: Optional hook called as ``hook(name, hits, misses)`` after every
+#: record; :mod:`repro.telemetry` installs one to mirror counter
+#: activity into trace counter events. None (the default) costs
+#: :func:`record` a single guard check.
+_counter_observer = None
+
+
+def set_counter_observer(hook):
+    """Install (or clear, with None) the per-record counter hook."""
+    global _counter_observer
+    _counter_observer = hook
+
 
 def record(name, hit):
     """Count one hit (``hit=True``) or miss on the named cache."""
     stats.record(name, hit)
+    if _counter_observer is not None:
+        hits, misses = stats.counter(name)
+        _counter_observer(name, hits, misses)
 
 
 def snapshot():
@@ -72,8 +87,9 @@ def delta(before):
     """Counters accumulated since ``before`` (a :func:`snapshot`).
 
     Returns {name: {"hits": h, "misses": m, "hit_rate": r}} with
-    zero-activity caches dropped; ``hit_rate`` is None when nothing was
-    recorded (kept for symmetry when only one side moved).
+    zero-activity caches dropped — a cache appears only when it saw at
+    least one hit or miss since ``before``, so ``hit_rate`` is always a
+    float in [0, 1], never None.
     """
     result = {}
     for name, (hits, misses) in snapshot().items():

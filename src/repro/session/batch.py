@@ -8,8 +8,16 @@ errors, cache state). Per-trace reports are aggregated into a
 :class:`BatchReport`; a shared
 :class:`~repro.session.observers.PerfCountersObserver` accumulates
 fast-path cache activity across the whole batch.
+
+With ``trace_dir`` set, the whole batch runs under one telemetry
+tracer: every session's browser gets its own pid track, each trace's
+slice of the timeline is written to ``<label>.trace.json``, and the
+full merged batch timeline lands in ``batch.trace.json``.
 """
 
+import os
+
+from repro import telemetry
 from repro.session.engine import SessionEngine
 from repro.session.observers import PerfCountersObserver
 
@@ -100,18 +108,44 @@ class BatchRunner:
         self.failure = failure
         self.observers = list(observers or [])
 
-    def run(self, traces, labels=None):
-        """Replay every trace on its own browser; returns a BatchReport."""
+    def run(self, traces, labels=None, trace_dir=None):
+        """Replay every trace on its own browser; returns a BatchReport.
+
+        With ``trace_dir`` set, runs the batch under telemetry tracing
+        and writes one Chrome trace file per trace plus the merged
+        ``batch.trace.json`` timeline into that directory.
+        """
         traces = list(traces)
         if labels is None:
             labels = [self._default_label(trace, index)
                       for index, trace in enumerate(traces)]
         if len(labels) != len(traces):
             raise ValueError("need one label per trace")
+        if trace_dir is None:
+            return self._run(traces, labels, tracer=None, trace_dir=None)
+        os.makedirs(trace_dir, exist_ok=True)
+        if telemetry.enabled():
+            # A caller already installed a tracer (e.g. an outer
+            # tracing() block) — record into it rather than nesting.
+            return self._run(traces, labels, tracer=telemetry.current(),
+                             trace_dir=trace_dir)
+        with telemetry.tracing() as tracer:
+            batch = self._run(traces, labels, tracer=tracer,
+                              trace_dir=trace_dir)
+            telemetry.write_trace(
+                os.path.join(trace_dir, "batch.trace.json"), tracer)
+        return batch
+
+    def _run(self, traces, labels, tracer, trace_dir):
         batch = BatchReport()
         perf_totals = PerfCountersObserver()
+        used_stems = set()
         for label, trace in zip(labels, traces):
             browser = self.browser_factory()
+            if tracer is not None:
+                # Virtual timestamps come from the session's own clock.
+                tracer.clock = browser.clock
+                mark = tracer.mark()
             engine = SessionEngine(
                 browser,
                 driver_config=self.driver_config,
@@ -122,9 +156,30 @@ class BatchRunner:
             )
             report = engine.run(trace)
             batch.add(TraceRun(label, trace, report))
+            if tracer is not None and trace_dir is not None:
+                stem = _safe_name(label)
+                # Repeated labels (the same trace run twice) must not
+                # overwrite each other's per-session slice.
+                if stem in used_stems:
+                    suffix = 2
+                    while "%s-%d" % (stem, suffix) in used_stems:
+                        suffix += 1
+                    stem = "%s-%d" % (stem, suffix)
+                used_stems.add(stem)
+                telemetry.write_trace(
+                    os.path.join(trace_dir, "%s.trace.json" % stem),
+                    tracer, events=tracer.events_since(mark))
+        if tracer is not None:
+            tracer.clock = None
         batch.perf_counters = perf_totals.summary()
         return batch
 
     @staticmethod
     def _default_label(trace, index):
         return trace.label or "trace-%d" % index
+
+
+def _safe_name(label):
+    """A filesystem-safe file stem for a trace label."""
+    return "".join(c if c.isalnum() or c in "-._" else "_"
+                   for c in str(label)) or "trace"

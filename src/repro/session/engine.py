@@ -18,8 +18,9 @@ Two entry points:
   (WebErr's grammar inference snapshots the page after every step).
 """
 
-from repro import perf
+from repro import perf, telemetry
 from repro.session.events import EventStream, SessionEvent
+from repro.telemetry.tracks import SESSION_TRACK
 from repro.session.observers import ReportBuilder
 from repro.session.policies import FailurePolicy, LocatorPolicy, TimingPolicy
 from repro.session.report import CommandResult
@@ -201,8 +202,13 @@ class SessionRun:
         self.report_builder = ReportBuilder(trace)
         # The builder subscribes first so downstream observers (oracles,
         # snapshotters) see a fully assembled report on session-finished.
+        # Every run also carries a TracingObserver — a no-op guard check
+        # per event until telemetry tracing is enabled.
+        from repro.telemetry.observer import TracingObserver
+
         self.stream = EventStream(
-            [self.report_builder] + list(engine.observers) + list(observers))
+            [self.report_builder] + list(engine.observers) + list(observers)
+            + [TracingObserver()])
         self.driver = None
         self.halted = False
         self.stopped = False
@@ -259,7 +265,15 @@ class SessionRun:
         emit = self.stream.emit
         clock = self.browser.clock
         target = self.engine.timing.target(self._anchor, command)
-        self.driver.wait(max(0.0, target - clock.now()))
+        wait_ms = max(0.0, target - clock.now())
+        tracer = telemetry.current()
+        if tracer is None:
+            self.driver.wait(wait_ms)
+        else:
+            with tracer.span("session.schedule", track=SESSION_TRACK,
+                             cat="session",
+                             args={"wait_ms": wait_ms, "due_vt_ms": target}):
+                self.driver.wait(wait_ms)
         self._anchor = clock.now()
         emit(SessionEvent(SessionEvent.COMMAND_STARTED, command=command,
                           data={"due": target}))

@@ -1,0 +1,144 @@
+"""Chrome trace-event tracing across the browser, replay, and session layers.
+
+The observability counterpart to :mod:`repro.perf`'s flat counters: a
+process-wide :class:`~repro.telemetry.tracer.Tracer` records nestable
+duration spans, instants, and counter samples from every instrumented
+boundary — IPC send/pump, WebKit input handling, DOM event dispatch,
+layout reflow, XPath compile/evaluate, recorder command emission, and
+the session engine's schedule → locate → act → observe pipeline — into
+a bounded ring buffer, exported as Chrome trace-event JSON loadable in
+``chrome://tracing`` (catapult's trace_viewer) or Perfetto.
+
+Tracing is **off by default** and costs instrumented code exactly one
+guard check (``telemetry.current() is None``) while off; the telemetry
+benchmark pins that overhead below 5%. Enable it for a region::
+
+    from repro import telemetry
+
+    with telemetry.tracing(out="trace.json", clock=browser.clock):
+        replayer.replay(trace)
+
+or from the shell with ``python -m repro replay --trace-out trace.json``
+/ ``python -m repro trace``. While installed, the tracer also bridges
+:mod:`repro.perf` counter activity into counter events, so cache
+effectiveness renders on the same timeline as the spans.
+"""
+
+from contextlib import contextmanager
+
+from repro import perf
+from repro.telemetry.events import (
+    DEFAULT_BUFFER_SIZE,
+    RingBuffer,
+    TraceEvent,
+)
+from repro.telemetry.export import (
+    dumps,
+    to_trace_dict,
+    trace_summary,
+    tracer_to_dict,
+    write_trace,
+)
+from repro.telemetry.tracer import Tracer
+from repro.telemetry.tracks import (
+    COUNTERS_TRACK,
+    LOCATOR_TRACK,
+    RECORDER_TRACK,
+    SESSION_TRACK,
+    TrackRegistry,
+)
+
+_tracer = None
+
+
+def current():
+    """The installed tracer, or None while tracing is off.
+
+    This is THE guard instrumented code checks; everything else in the
+    subsystem is only reached when it returns a tracer.
+    """
+    return _tracer
+
+
+def enabled():
+    """True while a tracer is installed."""
+    return _tracer is not None
+
+
+def _perf_bridge(name, hits, misses):
+    """repro.perf hook: mirror counter updates as counter events."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.counter("perf.%s" % name, {"hits": hits, "misses": misses},
+                       track=COUNTERS_TRACK, cat="perf")
+
+
+def install(tracer):
+    """Install ``tracer`` process-wide; returns it.
+
+    Also hooks :mod:`repro.perf` so cache hit/miss activity streams
+    into counter events. Nested installs are refused — the tracer is a
+    process-wide singleton, like the fast-path toggle.
+    """
+    global _tracer
+    if _tracer is not None:
+        raise RuntimeError("a tracer is already installed")
+    _tracer = tracer
+    perf.set_counter_observer(_perf_bridge)
+    return tracer
+
+
+def uninstall():
+    """Remove the installed tracer (no-op when tracing is off)."""
+    global _tracer
+    _tracer = None
+    perf.set_counter_observer(None)
+
+
+@contextmanager
+def tracing(out=None, buffer_size=DEFAULT_BUFFER_SIZE, clock=None,
+            tracer=None):
+    """Enable tracing for a ``with`` block.
+
+    Installs ``tracer`` (or a fresh one with ``buffer_size`` and the
+    optional VirtualClock ``clock``), uninstalls it on exit, and — when
+    ``out`` is given — writes the Chrome trace JSON there. Yields the
+    tracer.
+    """
+    active = tracer if tracer is not None else Tracer(
+        buffer_size=buffer_size, clock=clock)
+    install(active)
+    try:
+        yield active
+    finally:
+        uninstall()
+        if out is not None:
+            write_trace(out, active)
+
+
+# Imported last: the observer pulls in the session layer, which itself
+# guards on telemetry.current() at runtime.
+from repro.telemetry.observer import TracingObserver  # noqa: E402
+
+__all__ = [
+    "COUNTERS_TRACK",
+    "DEFAULT_BUFFER_SIZE",
+    "LOCATOR_TRACK",
+    "RECORDER_TRACK",
+    "RingBuffer",
+    "SESSION_TRACK",
+    "TraceEvent",
+    "Tracer",
+    "TracingObserver",
+    "TrackRegistry",
+    "current",
+    "dumps",
+    "enabled",
+    "install",
+    "to_trace_dict",
+    "trace_summary",
+    "tracer_to_dict",
+    "tracing",
+    "uninstall",
+    "write_trace",
+]

@@ -1,0 +1,102 @@
+"""Chrome trace-event JSON export and trace summarization.
+
+The exported object is the JSON-object trace format::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+
+which catapult's trace_viewer (``chrome://tracing``) and Perfetto load
+directly. Track-naming ``M`` metadata events from the tracer's
+:class:`~repro.telemetry.tracks.TrackRegistry` are prepended so every
+slice — including the per-trace slices the batch runner writes — is
+self-describing.
+"""
+
+import json
+
+from repro.telemetry.events import (
+    PHASE_BEGIN,
+    PHASE_COMPLETE,
+    PHASE_COUNTER,
+    PHASE_END,
+    PHASE_INSTANT,
+    PHASE_METADATA,
+)
+
+
+def to_trace_dict(events, metadata=(), dropped=0):
+    """Assemble the exportable trace object from event sequences."""
+    trace_events = [event.to_dict() for event in metadata]
+    trace_events.extend(event.to_dict() for event in events)
+    payload = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry"},
+    }
+    if dropped:
+        payload["otherData"]["dropped_events"] = dropped
+    return payload
+
+
+def tracer_to_dict(tracer, events=None):
+    """Trace object for ``tracer`` (optionally a pre-sliced event list)."""
+    if events is None:
+        events = list(tracer.buffer)
+    return to_trace_dict(events, metadata=tracer.registry.metadata_events,
+                         dropped=tracer.buffer.dropped)
+
+
+def dumps(tracer, events=None):
+    """The trace as a JSON string."""
+    return json.dumps(tracer_to_dict(tracer, events=events))
+
+
+def write_trace(path, tracer, events=None):
+    """Write the trace JSON to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(tracer_to_dict(tracer, events=events), handle)
+        handle.write("\n")
+    return path
+
+
+def trace_summary(trace_dict, top=5):
+    """Human-readable lines summarizing an exported trace object.
+
+    Counts events by category, and lists the ``top`` longest complete
+    spans — the quick who-is-slow view the ``repro trace`` CLI prints.
+    """
+    events = trace_dict["traceEvents"]
+    by_category = {}
+    spans = []
+    counters = 0
+    instants = 0
+    opens = 0
+    for event in events:
+        ph = event.get("ph")
+        if ph == PHASE_METADATA:
+            continue
+        by_category[event.get("cat", "?")] = (
+            by_category.get(event.get("cat", "?"), 0) + 1)
+        if ph == PHASE_COMPLETE:
+            spans.append(event)
+        elif ph == PHASE_COUNTER:
+            counters += 1
+        elif ph == PHASE_INSTANT:
+            instants += 1
+        elif ph in (PHASE_BEGIN, PHASE_END):
+            opens += 1
+    lines = ["%d trace event(s): %d span(s), %d begin/end, %d instant(s), "
+             "%d counter sample(s)"
+             % (len(events), len(spans), opens, instants, counters)]
+    for category in sorted(by_category):
+        lines.append("  %-10s %d" % (category, by_category[category]))
+    dropped = trace_dict.get("otherData", {}).get("dropped_events", 0)
+    if dropped:
+        lines.append("  (%d event(s) dropped by the ring buffer)" % dropped)
+    spans.sort(key=lambda event: event.get("dur", 0.0), reverse=True)
+    if spans:
+        lines.append("longest spans:")
+        for event in spans[:top]:
+            lines.append("  %-24s %10.1f us  (pid %s tid %s)"
+                         % (event["name"], event.get("dur", 0.0),
+                            event["pid"], event["tid"]))
+    return lines

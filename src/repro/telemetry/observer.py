@@ -1,0 +1,136 @@
+"""Tracing the session pipeline: a SessionObserver emitting spans.
+
+The engine narrates every replay on its structured event stream
+(:mod:`repro.session.events`); :class:`TracingObserver` turns that
+narration into nested duration spans on the control process's *session
+pipeline* track:
+
+- a ``session`` span covering the whole run,
+- a ``command`` span per command, containing
+- a ``locate`` span (command-started → located/relaxed; when location
+  fails into the coordinate fallback or the command is a frame switch,
+  the locate span absorbs the act) and an ``act`` span (located →
+  acted),
+
+plus instants for navigation, failures, halts, and page errors, and
+per-cache counter samples from the session's perf delta. The observer
+is attached to every run by :class:`~repro.session.engine.SessionRun`
+and does nothing (one guard check per event) while tracing is off.
+"""
+
+from repro.session.events import SessionObserver
+from repro.telemetry.tracks import COUNTERS_TRACK, SESSION_TRACK
+
+
+class TracingObserver(SessionObserver):
+    """Emits session-pipeline spans for one run's event stream."""
+
+    CAT = "session"
+
+    def __init__(self, track=SESSION_TRACK):
+        self.track = track
+        #: Names of currently open B spans, innermost last.
+        self._open = []
+
+    def on_event(self, event):
+        from repro import telemetry
+
+        tracer = telemetry.current()
+        if tracer is None:
+            return
+        super().on_event(event)
+
+    # -- span plumbing ------------------------------------------------------
+
+    def _tracer(self):
+        from repro import telemetry
+
+        return telemetry.current()
+
+    def _begin(self, tracer, name, args=None):
+        tracer.begin(name, track=self.track, cat=self.CAT, args=args)
+        self._open.append(name)
+
+    def _end(self, tracer, args=None):
+        name = self._open.pop()
+        tracer.end(name, track=self.track, cat=self.CAT, args=args)
+
+    def _close_phases(self, tracer, args=None):
+        """Close any open locate/act span (back down to the command)."""
+        while self._open and self._open[-1] in ("locate", "act"):
+            self._end(tracer, args=args)
+            args = None
+
+    # -- event hooks --------------------------------------------------------
+
+    def on_session_started(self, event):
+        tracer = self._tracer()
+        trace = event.data["trace"]
+        self._open = []
+        self._begin(tracer, "session", args={
+            "label": trace.label or "",
+            "start_url": trace.start_url,
+            "commands": len(trace),
+        })
+
+    def on_navigated(self, event):
+        self._tracer().instant("navigated", track=self.track, cat=self.CAT,
+                               args={"url": event.data["url"]})
+
+    def on_command_started(self, event):
+        tracer = self._tracer()
+        self._begin(tracer, "command",
+                    args={"line": event.command.to_line(),
+                          "action": event.command.action,
+                          "due_vt_ms": event.data.get("due")})
+        self._begin(tracer, "locate")
+
+    def on_located(self, event):
+        self._phase_to_act(event)
+
+    def on_relaxed(self, event):
+        self._phase_to_act(event)
+
+    def _phase_to_act(self, event):
+        tracer = self._tracer()
+        if self._open and self._open[-1] == "locate":
+            self._end(tracer, args={"detail": event.detail or "exact"})
+        self._begin(tracer, "act")
+
+    def on_acted(self, event):
+        self._close_phases(self._tracer(),
+                           args={"detail": event.detail} if event.detail
+                           else None)
+
+    def on_failed(self, event):
+        tracer = self._tracer()
+        self._close_phases(tracer)
+        tracer.instant("command.failed", track=self.track, cat=self.CAT,
+                       args={"error": str(event.error)})
+
+    def on_command_finished(self, event):
+        tracer = self._tracer()
+        self._close_phases(tracer)
+        if self._open and self._open[-1] == "command":
+            self._end(tracer, args={"status": event.result.status})
+
+    def on_halted(self, event):
+        self._tracer().instant("session.halted", track=self.track,
+                               cat=self.CAT, args={"reason": event.detail})
+
+    def on_page_error(self, event):
+        self._tracer().instant("page.error", track=self.track, cat=self.CAT,
+                               args={"error": str(event.data["error"])})
+
+    def on_perf_delta(self, event):
+        tracer = self._tracer()
+        for name, counts in sorted(event.data["counters"].items()):
+            tracer.counter("session.cache.%s" % name,
+                           {"hits": counts["hits"],
+                            "misses": counts["misses"]},
+                           track=COUNTERS_TRACK, cat="perf")
+
+    def on_session_finished(self, event):
+        tracer = self._tracer()
+        while self._open:
+            self._end(tracer)

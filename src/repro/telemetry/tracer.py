@@ -1,0 +1,160 @@
+"""The process-wide tracer.
+
+One :class:`Tracer` records every instrumented boundary into a bounded
+ring buffer. Timestamps are wall-clock microseconds (``perf_counter``)
+relative to the tracer's start, matching the Chrome trace-event ``ts``
+convention; when a :class:`~repro.util.clock.VirtualClock` is attached
+(:attr:`Tracer.clock`), every event additionally carries the virtual
+time in its ``args`` (``vt_ms``), so the simulated timeline and the
+real one can be correlated in the viewer.
+
+Call sites keep the tracing-off cost to a guard check by fetching the
+installed tracer once (``telemetry.current()``) and doing nothing when
+it is ``None``; the emit methods here are only ever reached with
+tracing on.
+"""
+
+import time
+
+from repro.telemetry.events import (
+    DEFAULT_BUFFER_SIZE,
+    PHASE_ASYNC_BEGIN,
+    PHASE_ASYNC_END,
+    PHASE_BEGIN,
+    PHASE_COMPLETE,
+    PHASE_COUNTER,
+    PHASE_END,
+    PHASE_INSTANT,
+    RingBuffer,
+    TraceEvent,
+)
+from repro.telemetry.tracks import TrackRegistry
+
+
+class _Span:
+    """Context manager emitting one complete (``X``) event on exit.
+
+    Entering yields the event's ``args`` dict so the body can attach
+    results computed inside the span (box counts, match counts, ...).
+    """
+
+    __slots__ = ("_tracer", "_name", "_track", "_cat", "_args", "_start")
+
+    def __init__(self, tracer, name, track, cat, args):
+        self._tracer = tracer
+        self._name = name
+        self._track = track
+        self._cat = cat
+        self._args = args if args is not None else {}
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = self._tracer.now_us()
+        return self._args
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self._tracer.complete(self._name, self._start, track=self._track,
+                              cat=self._cat, args=self._args)
+        return False
+
+
+class Tracer:
+    """Records trace events into a bounded ring buffer."""
+
+    def __init__(self, buffer_size=DEFAULT_BUFFER_SIZE, clock=None,
+                 registry=None, origin=None):
+        self.buffer = RingBuffer(buffer_size)
+        self.registry = registry if registry is not None else TrackRegistry()
+        #: Optional VirtualClock stamped into every event's args. The
+        #: batch runner repoints this per run (one clock per browser).
+        self.clock = clock
+        self._origin = time.perf_counter() if origin is None else origin
+
+    # -- time ---------------------------------------------------------------
+
+    def now_us(self):
+        """Wall-clock microseconds since the tracer started."""
+        return (time.perf_counter() - self._origin) * 1e6
+
+    def to_us(self, perf_counter_seconds):
+        """Convert an absolute ``perf_counter()`` reading to trace time."""
+        return (perf_counter_seconds - self._origin) * 1e6
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit(self, name, ph, ts, track, dur=None, cat=None, args=None,
+              event_id=None):
+        pid, tid = self.registry.for_object(track)
+        if self.clock is not None:
+            args = dict(args) if args else {}
+            args["vt_ms"] = self.clock.now()
+        event = TraceEvent(name, ph, ts, pid, tid, dur=dur, cat=cat,
+                           args=args, id=event_id)
+        self.buffer.append(event)
+        return event
+
+    def begin(self, name, track=None, cat=None, args=None):
+        """Open a duration (``B``) span on the track; pair with end()."""
+        return self._emit(name, PHASE_BEGIN, self.now_us(), track,
+                          cat=cat, args=args)
+
+    def end(self, name="", track=None, cat=None, args=None):
+        """Close the innermost open ``B`` span on the track."""
+        return self._emit(name, PHASE_END, self.now_us(), track, cat=cat,
+                          args=args)
+
+    def complete(self, name, start_us, track=None, cat=None, args=None,
+                 end_us=None):
+        """Record a complete (``X``) span started at ``start_us``."""
+        if end_us is None:
+            end_us = self.now_us()
+        return self._emit(name, PHASE_COMPLETE, start_us, track,
+                          dur=max(0.0, end_us - start_us), cat=cat,
+                          args=args)
+
+    def complete_between(self, name, start_perf_counter, track=None,
+                         cat=None, args=None):
+        """``X`` span from an absolute ``perf_counter()`` start to now."""
+        return self.complete(name, self.to_us(start_perf_counter),
+                             track=track, cat=cat, args=args)
+
+    def async_begin(self, name, event_id, track=None, cat=None, args=None):
+        """Open an async (``b``) span; pair with async_end on cat + id.
+
+        Async spans may overlap sync spans and each other freely — they
+        model durations that cross threads, like IPC queue residency.
+        """
+        return self._emit(name, PHASE_ASYNC_BEGIN, self.now_us(), track,
+                          cat=cat, args=args, event_id=event_id)
+
+    def async_end(self, name, event_id, track=None, cat=None, args=None):
+        """Close the async span opened with the same cat + id."""
+        return self._emit(name, PHASE_ASYNC_END, self.now_us(), track,
+                          cat=cat, args=args, event_id=event_id)
+
+    def instant(self, name, track=None, cat=None, args=None):
+        """A zero-duration tick on the track."""
+        return self._emit(name, PHASE_INSTANT, self.now_us(), track,
+                          cat=cat, args=args)
+
+    def counter(self, name, values, track=None, cat=None):
+        """A counter (``C``) sample; ``values`` maps series to numbers."""
+        return self._emit(name, PHASE_COUNTER, self.now_us(), track,
+                          cat=cat, args=dict(values))
+
+    def span(self, name, track=None, cat=None, args=None):
+        """Context manager recording the body as an ``X`` event."""
+        return _Span(self, name, track, cat, args)
+
+    # -- buffer slicing (per-trace exports in a batch) ----------------------
+
+    def mark(self):
+        """Opaque position marker for :meth:`events_since`."""
+        return self.buffer.total
+
+    def events_since(self, mark):
+        """Events recorded after ``mark`` still held by the buffer."""
+        return self.buffer.since(mark)
+
+    def __repr__(self):
+        return "Tracer(%r)" % (self.buffer,)

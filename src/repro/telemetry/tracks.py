@@ -1,0 +1,139 @@
+"""The pid/tid track model: BrowserWindow → Tab → Renderer.
+
+Chrome trace viewers group events by process (``pid``) and thread
+(``tid``). We map the paper's Figure 3 stack onto that model so a
+replay renders as the multi-process timeline it simulates:
+
+- pid 1 is the **control process** ("repro driver"): the session
+  pipeline (schedule → locate → act), the locator machinery (XPath
+  compile/evaluate), the perf-counter series, and the recorder lane;
+- every :class:`~repro.browser.window.Browser` (BrowserWindow) gets its
+  own pid, with tid 1 the browser-process side (IPC send/queue) and a
+  fresh tid per :class:`~repro.browser.tab.Tab` and per tab's renderer
+  (successive renderers of one tab — one per navigation — share the
+  tab's renderer track, since only one is ever live).
+
+The registry assigns ids lazily and emits the matching ``M`` metadata
+events (``process_name``/``thread_name``/sort indexes) so the tracks
+are labeled in trace_viewer/Perfetto.
+"""
+
+from repro.telemetry.events import PHASE_METADATA, TraceEvent
+
+#: The control ("repro driver") process and its fixed threads.
+CONTROL_PID = 1
+TID_SESSION = 1
+TID_LOCATOR = 2
+TID_COUNTERS = 3
+TID_RECORDER = 4
+
+#: (pid, tid) constants call sites can pass as a ``track``.
+SESSION_TRACK = (CONTROL_PID, TID_SESSION)
+LOCATOR_TRACK = (CONTROL_PID, TID_LOCATOR)
+COUNTERS_TRACK = (CONTROL_PID, TID_COUNTERS)
+RECORDER_TRACK = (CONTROL_PID, TID_RECORDER)
+
+#: First pid handed to a browser (pid 1 is the control process).
+FIRST_BROWSER_PID = 2
+
+
+class TrackRegistry:
+    """Assigns stable (pid, tid) pairs to browser-stack objects."""
+
+    def __init__(self):
+        self._browser_pids = {}
+        self._tids = {}
+        self._next_pid = FIRST_BROWSER_PID
+        self._next_tid = {}
+        #: Lazily grown ``M`` events naming every assigned track.
+        self.metadata_events = []
+        self._emit_process(CONTROL_PID, "repro driver", sort_index=0)
+        for tid, name in ((TID_SESSION, "session pipeline"),
+                          (TID_LOCATOR, "locator (xpath)"),
+                          (TID_COUNTERS, "perf counters"),
+                          (TID_RECORDER, "recorder")):
+            self._emit_thread(CONTROL_PID, tid, name, sort_index=tid)
+
+    # -- resolution ---------------------------------------------------------
+
+    def for_object(self, obj):
+        """(pid, tid) for a Browser, Tab, Renderer, or WebKitEngine.
+
+        Tuples pass through unchanged; ``None`` and unknown objects land
+        on the control process's session track.
+        """
+        if obj is None:
+            return SESSION_TRACK
+        if isinstance(obj, tuple):
+            return obj
+        from repro.browser.renderer import Renderer
+        from repro.browser.tab import Tab
+        from repro.browser.webkit import WebKitEngine
+        from repro.browser.window import Browser
+
+        if isinstance(obj, Browser):
+            return (self._pid_for(obj), 1)
+        if isinstance(obj, Tab):
+            return self._tab_track(obj)
+        if isinstance(obj, Renderer):
+            return self._renderer_track(obj.tab)
+        if isinstance(obj, WebKitEngine):
+            # Sub-frame engines share their tab's renderer track.
+            return self._renderer_track(obj.tab)
+        return SESSION_TRACK
+
+    # -- assignment ---------------------------------------------------------
+
+    def _pid_for(self, browser):
+        pid = self._browser_pids.get(id(browser))
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+            self._browser_pids[id(browser)] = pid
+            ordinal = pid - FIRST_BROWSER_PID
+            self._emit_process(pid, "BrowserWindow %d" % ordinal,
+                               sort_index=pid)
+            self._emit_thread(pid, 1, "browser (UI/IPC)", sort_index=0)
+        return pid
+
+    def _tab_track(self, tab):
+        return self._assign(("tab", id(tab)), tab.browser,
+                            "tab %d" % tab.tab_id)
+
+    def _renderer_track(self, tab):
+        return self._assign(("renderer", id(tab)), tab.browser,
+                            "renderer (tab %d)" % tab.tab_id)
+
+    def _assign(self, key, browser, name):
+        track = self._tids.get(key)
+        if track is None:
+            pid = self._pid_for(browser)
+            tid = self._next_tid.get(pid, 2)
+            self._next_tid[pid] = tid + 1
+            track = (pid, tid)
+            self._tids[key] = track
+            self._emit_thread(pid, tid, name, sort_index=tid)
+        return track
+
+    # -- metadata -----------------------------------------------------------
+
+    def _emit_process(self, pid, name, sort_index):
+        self.metadata_events.append(TraceEvent(
+            "process_name", PHASE_METADATA, 0.0, pid, 0,
+            args={"name": name}))
+        self.metadata_events.append(TraceEvent(
+            "process_sort_index", PHASE_METADATA, 0.0, pid, 0,
+            args={"sort_index": sort_index}))
+
+    def _emit_thread(self, pid, tid, name, sort_index):
+        self.metadata_events.append(TraceEvent(
+            "thread_name", PHASE_METADATA, 0.0, pid, tid,
+            args={"name": name}))
+        self.metadata_events.append(TraceEvent(
+            "thread_sort_index", PHASE_METADATA, 0.0, pid, tid,
+            args={"sort_index": sort_index}))
+
+    def __repr__(self):
+        return "TrackRegistry(%d browsers, %d tracks)" % (
+            len(self._browser_pids), len(self._tids),
+        )

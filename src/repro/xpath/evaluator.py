@@ -7,7 +7,9 @@ grouped by parent before positions are applied. For the descendant axis
 ``descendant-or-self::node()/child::div[2]`` expansion browsers use.
 """
 
+from repro import telemetry
 from repro.dom.node import Document, Element
+from repro.telemetry.tracks import LOCATOR_TRACK
 from repro.util.errors import ElementNotFoundError
 from repro.xpath.ast import Step
 from repro.xpath.parser import parse_xpath
@@ -101,6 +103,17 @@ def evaluate(expression, context):
 
     Returns matching elements in document order, without duplicates.
     """
+    tracer = telemetry.current()
+    if tracer is None:
+        return _evaluate(expression, context)
+    with tracer.span("xpath.evaluate", track=LOCATOR_TRACK, cat="xpath",
+                     args={"expr": str(expression)}) as args:
+        matches = _evaluate(expression, context)
+        args["matches"] = len(matches)
+    return matches
+
+
+def _evaluate(expression, context):
     path = parse_xpath(expression)
     if not isinstance(context, (Document, Element)):
         raise TypeError("XPath context must be a Document or Element")

@@ -21,7 +21,8 @@ which matches how WaRR traces always locate elements from the document.
 
 from collections import OrderedDict
 
-from repro import perf
+from repro import perf, telemetry
+from repro.telemetry.tracks import LOCATOR_TRACK
 from repro.util.errors import XPathSyntaxError
 from repro.xpath import lexer
 from repro.xpath.ast import (
@@ -166,17 +167,27 @@ def _clear_compile_cache():
     _COMPILE_CACHE.clear()
 
 
+def _compile(expression):
+    """Actually parse; traced as an ``xpath.compile`` span when on."""
+    tracer = telemetry.current()
+    if tracer is None:
+        return _Parser(expression).parse()
+    with tracer.span("xpath.compile", track=LOCATOR_TRACK, cat="xpath",
+                     args={"expr": expression}):
+        return _Parser(expression).parse()
+
+
 def parse_xpath(expression):
     """Parse ``expression`` into a :class:`~repro.xpath.ast.Path`."""
     if isinstance(expression, Path):
         return expression
     if not perf.fast_path_enabled():
-        return _Parser(expression).parse()
+        return _compile(expression)
     try:
         path = _COMPILE_CACHE[expression]
     except KeyError:
         perf.record("xpath.compile", hit=False)
-        path = _Parser(expression).parse()
+        path = _compile(expression)
         _COMPILE_CACHE[expression] = path
         if len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
             _COMPILE_CACHE.popitem(last=False)

@@ -54,3 +54,56 @@ def test_enqueue_timestamps_recorded():
     assert message.enqueued_at is None
     channel.send(message)
     assert message.enqueued_at is not None
+
+
+def test_large_queue_drains_in_order():
+    """Regression: pump must be O(n) over the queue, not O(n^2).
+
+    The old implementation popped from the front of a list, making a
+    deep queue quadratic to drain; 50k messages now drain well inside
+    any sane time budget, and strictly in FIFO order.
+    """
+    import time as _time
+
+    channel = IpcChannel()
+    received = []
+    channel.connect(received.append)
+    count = 50_000
+    for n in range(count):
+        channel.send(InputMessage(InputMessage.KEY, n))
+    started = _time.perf_counter()
+    delivered = channel.pump()
+    elapsed = _time.perf_counter() - started
+    assert delivered == count
+    assert [message.payload for message in received] == list(range(count))
+    # Generous wall bound: quadratic draining takes tens of seconds.
+    assert elapsed < 5.0
+
+
+def test_virtual_clock_makes_latency_deterministic():
+    from repro.util.clock import VirtualClock
+
+    clock = VirtualClock()
+    channel = IpcChannel(clock=clock)
+    channel.connect(lambda message: None)
+    message = InputMessage(InputMessage.MOUSE, "m")
+    channel.send(message)
+    clock.advance(5.0)
+    assert channel.latency_ms(message) == 5.0
+    clock.advance(2.5)
+    assert channel.latency_ms(message) == 7.5
+
+
+def test_wall_clock_latency_is_milliseconds():
+    channel = IpcChannel()
+    channel.connect(lambda message: None)
+    message = InputMessage(InputMessage.KEY, "k")
+    channel.send(message)
+    latency = channel.latency_ms(message)
+    assert latency is not None
+    assert 0.0 <= latency < 1000.0
+
+
+def test_latency_none_before_send():
+    channel = IpcChannel()
+    assert channel.latency_ms(InputMessage(InputMessage.KEY, "k")) is None

@@ -252,3 +252,27 @@ class TestOnOffEquivalence:
         assert cached.replayed_count == uncached.replayed_count
         assert cached.summary().splitlines()[0] \
             == uncached.summary().splitlines()[0]
+
+
+class TestPerfDelta:
+    """Pin the delta() contract: hit_rate is always a real rate."""
+
+    def test_zero_activity_caches_are_dropped(self):
+        before = perf.snapshot()
+        assert perf.delta(before) == {}
+
+    def test_hit_rate_is_always_a_float(self):
+        before = perf.snapshot()
+        perf.record("pin.hits", hit=True)
+        perf.record("pin.mixed", hit=True)
+        perf.record("pin.mixed", hit=False)
+        perf.record("pin.misses", hit=False)
+        counters = perf.delta(before)
+        assert set(counters) == {"pin.hits", "pin.mixed", "pin.misses"}
+        for name, counts in counters.items():
+            rate = counts["hit_rate"]
+            assert isinstance(rate, float), name
+            assert 0.0 <= rate <= 1.0, name
+        assert counters["pin.hits"]["hit_rate"] == 1.0
+        assert counters["pin.mixed"]["hit_rate"] == 0.5
+        assert counters["pin.misses"]["hit_rate"] == 0.0

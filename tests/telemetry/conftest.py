@@ -1,0 +1,12 @@
+"""Telemetry test fixtures: tracing always starts and ends off."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    telemetry.uninstall()
+    yield
+    telemetry.uninstall()

@@ -1,0 +1,135 @@
+"""Chrome trace-event schema validator shared by the telemetry tests.
+
+``validate_trace`` asserts the structural invariants every exported
+trace must satisfy to load cleanly in catapult's trace_viewer or
+Perfetto:
+
+- every event carries ``name``/``ph``/``ts``/``pid``/``tid`` with sane
+  types, and ``ph`` is a phase the tracer is allowed to emit;
+- ``B``/``E`` duration events balance as a stack per (pid, tid), with
+  matching names;
+- async ``b``/``e`` events pair one-to-one on (cat, id);
+- synchronous spans (``X`` plus matched ``B``/``E``) form a laminar
+  family per (pid, tid): any two either nest or are disjoint;
+- the whole object round-trips through JSON unchanged.
+"""
+
+import json
+
+from repro.telemetry.events import KNOWN_PHASES
+
+#: Slack for interval comparisons: ts/dur are rounded to 3 decimals of
+#: a microsecond on export, so boundaries can shift by half that.
+EPSILON_US = 0.01
+
+
+def validate_trace(trace_dict):
+    """Assert ``trace_dict`` is a valid trace object; returns its events."""
+    assert isinstance(trace_dict, dict)
+    events = trace_dict["traceEvents"]
+    assert isinstance(events, list)
+    for event in events:
+        _validate_event(event)
+    _validate_duration_balance(events)
+    _validate_async_pairing(events)
+    _validate_span_nesting(events)
+    assert json.loads(json.dumps(trace_dict)) == trace_dict
+    return events
+
+
+def _validate_event(event):
+    assert isinstance(event.get("name"), str), event
+    assert event.get("ph") in KNOWN_PHASES, event
+    assert isinstance(event.get("ts"), (int, float)), event
+    assert event["ts"] >= 0.0, event
+    assert isinstance(event.get("pid"), int) and event["pid"] >= 1, event
+    # Process-scoped metadata (process_name etc.) sits on tid 0.
+    min_tid = 0 if event["ph"] == "M" else 1
+    assert isinstance(event.get("tid"), int) and event["tid"] >= min_tid, event
+    if event["ph"] == "X":
+        assert isinstance(event.get("dur"), (int, float)), event
+        assert event["dur"] >= 0.0, event
+    if event["ph"] == "i":
+        assert event.get("s") == "t", event
+    if event["ph"] in ("b", "e"):
+        assert event.get("id") is not None, event
+    if event["ph"] == "M":
+        assert event["name"] in ("process_name", "thread_name",
+                                 "process_sort_index",
+                                 "thread_sort_index"), event
+
+
+def _validate_duration_balance(events):
+    stacks = {}
+    for event in events:
+        track = (event["pid"], event["tid"])
+        if event["ph"] == "B":
+            stacks.setdefault(track, []).append(event["name"])
+        elif event["ph"] == "E":
+            stack = stacks.get(track)
+            assert stack, "E %r without open B on %r" % (event["name"], track)
+            opened = stack.pop()
+            # The tracer names its E events; they must close in order.
+            assert event["name"] in ("", opened), (
+                "E %r closes B %r" % (event["name"], opened))
+    for track, stack in stacks.items():
+        assert not stack, "unclosed B spans %r on %r" % (stack, track)
+
+
+def _validate_async_pairing(events):
+    open_spans = {}
+    for event in events:
+        if event["ph"] not in ("b", "e"):
+            continue
+        key = (event.get("cat"), event["id"])
+        if event["ph"] == "b":
+            assert key not in open_spans, "duplicate async begin %r" % (key,)
+            open_spans[key] = event
+        else:
+            begin = open_spans.pop(key, None)
+            assert begin is not None, "async end %r without begin" % (key,)
+            assert event["ts"] >= begin["ts"] - EPSILON_US
+    assert not open_spans, "unclosed async spans %r" % sorted(open_spans)
+
+
+def _sync_intervals(events):
+    """[(pid, tid)] -> sorted [(start, end)] from X and B/E events."""
+    intervals = {}
+    stacks = {}
+    for event in events:
+        track = (event["pid"], event["tid"])
+        if event["ph"] == "X":
+            intervals.setdefault(track, []).append(
+                (event["ts"], event["ts"] + event["dur"]))
+        elif event["ph"] == "B":
+            stacks.setdefault(track, []).append(event["ts"])
+        elif event["ph"] == "E":
+            start = stacks[track].pop()
+            intervals.setdefault(track, []).append((start, event["ts"]))
+    return intervals
+
+
+def _validate_span_nesting(events):
+    """Sync spans on one track must nest — no partial overlap."""
+    for track, spans in _sync_intervals(events).items():
+        spans.sort(key=lambda span: (span[0], -span[1]))
+        open_ends = []
+        for start, end in spans:
+            while open_ends and start >= open_ends[-1] - EPSILON_US:
+                open_ends.pop()
+            if open_ends:
+                assert end <= open_ends[-1] + EPSILON_US, (
+                    "span (%f, %f) straddles enclosing end %f on track %r"
+                    % (start, end, open_ends[-1], track))
+            open_ends.append(end)
+
+
+def categories(events):
+    """The set of categories present (ignoring metadata events)."""
+    return {event.get("cat") for event in events if event["ph"] != "M"}
+
+
+def tracks_for_category(events, category):
+    """All (pid, tid) tracks carrying events of ``category``."""
+    return {(event["pid"], event["tid"]) for event in events
+            if event.get("cat") == category}

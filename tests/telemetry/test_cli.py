@@ -1,0 +1,83 @@
+"""The tracing CLI surface: trace, replay --trace-out, batch --trace-dir."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.telemetry.schema import categories, validate_trace
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def recorded_trace(tmp_path):
+    path = tmp_path / "session.warr"
+    code, _ = run_cli(["record", "--app", "sites", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestTraceCommand:
+    def test_writes_valid_trace_and_summarizes(self, recorded_trace,
+                                               tmp_path):
+        out = tmp_path / "trace.json"
+        code, output = run_cli(["trace", str(recorded_trace),
+                                "--app", "sites", "--out", str(out)])
+        assert code == 0
+        assert "trace: wrote" in output
+        assert "longest spans:" in output
+        trace_dict = json.loads(out.read_text())
+        events = validate_trace(trace_dict)
+        assert {"ipc", "dispatch", "session"} <= categories(events)
+
+    def test_summary_counts_events(self, recorded_trace, tmp_path):
+        out = tmp_path / "trace.json"
+        _, output = run_cli(["trace", str(recorded_trace),
+                             "--app", "sites", "--out", str(out)])
+        assert "trace event(s)" in output
+
+
+class TestReplayTraceOut:
+    def test_trace_out_writes_file(self, recorded_trace, tmp_path):
+        out = tmp_path / "replay.trace.json"
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites",
+                                "--trace-out", str(out)])
+        assert code == 0
+        assert "trace: wrote" in output
+        validate_trace(json.loads(out.read_text()))
+
+    def test_without_flag_no_trace(self, recorded_trace, tmp_path):
+        code, output = run_cli(["replay", str(recorded_trace),
+                                "--app", "sites"])
+        assert code == 0
+        assert "trace: wrote" not in output
+
+
+class TestBatchTraceDir:
+    def test_writes_per_session_and_merged(self, recorded_trace, tmp_path):
+        trace_dir = tmp_path / "traces"
+        code, output = run_cli(["batch", str(recorded_trace),
+                                str(recorded_trace), "--app", "sites",
+                                "--trace-dir", str(trace_dir)])
+        assert code == 0
+        assert "batch.trace.json" in output
+        written = sorted(p.name for p in trace_dir.iterdir())
+        assert "batch.trace.json" in written
+        # One per-session slice per input trace (the repeated label is
+        # suffixed, not overwritten), plus the merged file.
+        assert len(written) == 3
+        merged = json.loads((trace_dir / "batch.trace.json").read_text())
+        events = validate_trace(merged)
+        # Two sessions ran on two isolated browsers -> two browser pids.
+        browser_pids = {event["pid"] for event in events
+                        if event.get("cat") == "dispatch"}
+        assert len(browser_pids) == 2
+        for name in written:
+            validate_trace(json.loads((trace_dir / name).read_text()))

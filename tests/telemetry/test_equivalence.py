@@ -1,0 +1,35 @@
+"""Tracing must observe, never perturb: on/off replays are identical."""
+
+from repro import telemetry
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.replayer import WarrReplayer
+from repro.dom import serialize
+
+
+def replay_once(trace, tracing_on):
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    replayer = WarrReplayer(browser)
+    if tracing_on:
+        with telemetry.tracing(clock=browser.clock):
+            report = replayer.replay(trace)
+    else:
+        report = replayer.replay(trace)
+    dom = serialize(browser.active_tab.document)
+    return report, dom
+
+
+def test_tracing_does_not_change_replay_outcome(sites_trace):
+    plain_report, plain_dom = replay_once(sites_trace, tracing_on=False)
+    traced_report, traced_dom = replay_once(sites_trace, tracing_on=True)
+    assert ([result.status for result in plain_report.results]
+            == [result.status for result in traced_report.results])
+    assert plain_report.final_url == traced_report.final_url
+    assert plain_report.page_errors == traced_report.page_errors
+    assert plain_dom == traced_dom
+
+
+def test_tracing_off_emits_nothing(sites_trace):
+    report, _ = replay_once(sites_trace, tracing_on=False)
+    assert report.complete
+    assert telemetry.current() is None

@@ -1,0 +1,69 @@
+"""TraceEvent serialization and the bounded ring buffer."""
+
+import pytest
+
+from repro.telemetry.events import RingBuffer, TraceEvent
+
+
+class TestTraceEvent:
+    def test_minimal_dict(self):
+        event = TraceEvent("work", "X", 12.3456789, 1, 2, dur=3.14159)
+        data = event.to_dict()
+        assert data["name"] == "work"
+        assert data["ph"] == "X"
+        assert data["ts"] == 12.346
+        assert data["dur"] == 3.142
+        assert data["pid"] == 1 and data["tid"] == 2
+        assert "cat" not in data and "args" not in data and "id" not in data
+
+    def test_optional_fields(self):
+        event = TraceEvent("q", "b", 1.0, 1, 1, cat="ipc",
+                           args={"kind": "mouse"}, id=7)
+        data = event.to_dict()
+        assert data["cat"] == "ipc"
+        assert data["args"] == {"kind": "mouse"}
+        assert data["id"] == 7
+
+    def test_instant_is_thread_scoped(self):
+        assert TraceEvent("tick", "i", 0.0, 1, 1).to_dict()["s"] == "t"
+
+
+class TestRingBuffer:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_appends_within_capacity(self):
+        buffer = RingBuffer(4)
+        for n in range(3):
+            buffer.append(n)
+        assert list(buffer) == [0, 1, 2]
+        assert buffer.total == 3
+        assert buffer.dropped == 0
+
+    def test_drops_oldest_when_full(self):
+        buffer = RingBuffer(3)
+        for n in range(5):
+            buffer.append(n)
+        assert list(buffer) == [2, 3, 4]
+        assert buffer.total == 5
+        assert buffer.dropped == 2
+
+    def test_since_slices_incrementally(self):
+        buffer = RingBuffer(10)
+        for n in range(4):
+            buffer.append(n)
+        mark = buffer.total
+        for n in range(4, 7):
+            buffer.append(n)
+        assert buffer.since(mark) == [4, 5, 6]
+        assert buffer.since(0) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_since_survives_eviction(self):
+        buffer = RingBuffer(3)
+        for n in range(3):
+            buffer.append(n)
+        mark = buffer.total  # 3; events 0..2 held
+        for n in range(3, 8):
+            buffer.append(n)  # evicts everything pre-mark and more
+        assert buffer.since(mark) == [5, 6, 7]

@@ -1,0 +1,86 @@
+"""TracingObserver: session-pipeline spans from the engine's events."""
+
+import pytest
+
+from repro import telemetry
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.commands import TypeCommand
+from repro.core.replayer import WarrReplayer
+from repro.core.trace import WarrTrace
+from repro.telemetry.tracks import COUNTERS_TRACK, SESSION_TRACK
+
+
+@pytest.fixture
+def session_events(sites_trace):
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    with telemetry.tracing(clock=browser.clock) as tracer:
+        report = WarrReplayer(browser).replay(sites_trace)
+    assert report.complete
+    events = [event for event in tracer.buffer
+              if (event.pid, event.tid) == SESSION_TRACK]
+    return sites_trace, events, list(tracer.buffer)
+
+
+def test_one_session_span_wraps_the_run(session_events):
+    _, events, _ = session_events
+    begins = [e for e in events if e.ph == "B" and e.name == "session"]
+    ends = [e for e in events if e.ph == "E" and e.name == "session"]
+    assert len(begins) == len(ends) == 1
+    assert begins[0].args["commands"] > 0
+    assert begins[0].args["start_url"].startswith("http://")
+
+
+def test_command_spans_one_per_command(session_events):
+    trace, events, _ = session_events
+    commands = [e for e in events if e.ph == "B" and e.name == "command"]
+    assert len(commands) == len(trace)
+    for begin in commands:
+        assert begin.args["action"] in ("click", "doubleclick", "type",
+                                        "drag", "switchframe")
+
+
+def test_locate_and_act_phases_balance(session_events):
+    _, events, _ = session_events
+    for phase in ("locate", "act"):
+        begins = sum(1 for e in events if e.ph == "B" and e.name == phase)
+        ends = sum(1 for e in events if e.ph == "E" and e.name == phase)
+        assert begins == ends
+    assert sum(1 for e in events if e.ph == "B" and e.name == "locate") > 0
+
+
+def test_schedule_spans_on_session_track(session_events):
+    _, events, _ = session_events
+    schedules = [e for e in events
+                 if e.ph == "X" and e.name == "session.schedule"]
+    assert schedules
+    for span in schedules:
+        assert span.args["wait_ms"] >= 0.0
+
+
+def test_cache_counters_reported_on_counters_track(session_events):
+    _, _, all_events = session_events
+    cache_counters = [event for event in all_events
+                      if event.ph == "C"
+                      and event.name.startswith("session.cache.")]
+    assert cache_counters
+    for event in cache_counters:
+        assert (event.pid, event.tid) == COUNTERS_TRACK
+
+
+def test_failed_command_emits_instant():
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    trace = WarrTrace(start_url="http://sites.example.com/edit/home")
+    # Typing has no coordinate fallback, so a missing target fails.
+    trace.append(TypeCommand("//input[@id='does-not-exist']",
+                             key="a", code=65, elapsed_ms=0))
+    with telemetry.tracing(clock=browser.clock) as tracer:
+        WarrReplayer(browser).replay(trace)
+    names = [event.name for event in tracer.buffer]
+    assert "command.failed" in names
+
+
+def test_observer_is_inert_without_tracer(sites_trace):
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    report = WarrReplayer(browser).replay(sites_trace)
+    assert report.complete

@@ -1,0 +1,79 @@
+"""A real replay's exported timeline is schema-valid and complete."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.apps.framework import make_browser
+from repro.apps.sites import SitesApplication
+from repro.core.replayer import WarrReplayer
+from repro.telemetry.tracks import CONTROL_PID, FIRST_BROWSER_PID
+from tests.telemetry.schema import (
+    categories,
+    tracks_for_category,
+    validate_trace,
+)
+
+#: Every boundary the subsystem instruments must show up in a replay.
+REQUIRED_CATEGORIES = {"ipc", "input", "dispatch", "layout", "xpath",
+                       "session", "perf"}
+
+
+@pytest.fixture
+def replay_trace_dict(sites_trace, tmp_path):
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    out = tmp_path / "trace.json"
+    with telemetry.tracing(out=str(out), clock=browser.clock):
+        report = WarrReplayer(browser).replay(sites_trace)
+    assert report.complete
+    return json.loads(out.read_text())
+
+
+def test_trace_passes_schema_validation(replay_trace_dict):
+    events = validate_trace(replay_trace_dict)
+    assert events, "replay produced no trace events"
+
+
+def test_every_instrumented_category_present(replay_trace_dict):
+    events = validate_trace(replay_trace_dict)
+    missing = REQUIRED_CATEGORIES - categories(events)
+    assert not missing, "categories missing from trace: %r" % sorted(missing)
+
+
+def test_categories_land_on_distinct_tracks(replay_trace_dict):
+    events = validate_trace(replay_trace_dict)
+    session = tracks_for_category(events, "session")
+    xpath = tracks_for_category(events, "xpath")
+    dispatch = tracks_for_category(events, "dispatch")
+    ipc = tracks_for_category(events, "ipc")
+    # Pipeline and locator both narrate on the control process, on
+    # separate threads; browser-stack work runs on browser pids.
+    assert all(pid == CONTROL_PID for pid, _ in session | xpath)
+    assert not session & xpath
+    assert all(pid >= FIRST_BROWSER_PID for pid, _ in dispatch | ipc)
+    # IPC renders on both sides of the boundary: the browser-process
+    # send/pump lane and the renderer delivery lane.
+    assert len(ipc) >= 2
+
+
+def test_virtual_clock_stamped_on_events(replay_trace_dict):
+    events = validate_trace(replay_trace_dict)
+    payload = [event for event in events if event["ph"] not in ("M",)]
+    assert payload
+    for event in payload:
+        assert "vt_ms" in event.get("args", {}), event
+
+
+def test_trace_is_self_describing(replay_trace_dict):
+    events = replay_trace_dict["traceEvents"]
+    named = {(event["pid"], event.get("args", {}).get("name"))
+             for event in events if event["name"] == "process_name"}
+    assert (CONTROL_PID, "repro driver") in named
+    assert any(name and name.startswith("BrowserWindow")
+               for _, name in named)
+    assert replay_trace_dict["otherData"]["producer"] == "repro.telemetry"
+
+
+def test_nothing_dropped_in_a_single_replay(replay_trace_dict):
+    assert "dropped_events" not in replay_trace_dict["otherData"]
