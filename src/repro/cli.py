@@ -7,6 +7,7 @@ The workflows a downstream user runs from a shell::
                             [--stock-driver] [--no-relaxation]
                             [--trace-out trace.json]
     python -m repro batch   a.warr b.warr c.warr d.warr --app sites
+                            [--workers 4] [--trace-timeout 30]
                             [--trace-dir traces/]
     python -m repro trace   session.warr --app sites --out trace.json
     python -m repro inspect session.warr
@@ -118,17 +119,39 @@ def _timing_from_args(args):
     return timing
 
 
-def cmd_batch(args, out):
-    """Replay many traces, each on an isolated browser instance."""
-    app_class, _, _ = _app_entry(args.app)
-    traces = [WarrTrace.load(path) for path in args.traces]
+def batch_browser_factory(app, seed=0):
+    """Build the per-session browser factory for ``batch`` workers.
+
+    Referenced by dotted name from the worker-pool spec, so each worker
+    process reconstructs its own factory — live browsers never cross
+    the process boundary.
+    """
+    app_class, _, _ = _app_entry(app)
 
     def factory():
-        browser, _ = make_browser([app_class], seed=args.seed,
+        browser, _ = make_browser([app_class], seed=seed,
                                   developer_mode=True)
         return browser
 
-    runner = BatchRunner(factory, timing=_timing_from_args(args))
+    return factory
+
+
+def cmd_batch(args, out):
+    """Replay many traces, each on an isolated browser instance."""
+    _app_entry(args.app)  # validate before any worker inherits the name
+    traces = [WarrTrace.load(path) for path in args.traces]
+
+    if args.workers > 1:
+        from repro.session.pool import WorkerSpec
+
+        factory = WorkerSpec("repro.cli:batch_browser_factory",
+                             factory_args=(args.app,),
+                             factory_kwargs={"seed": args.seed})
+    else:
+        factory = batch_browser_factory(args.app, seed=args.seed)
+    runner = BatchRunner(factory, timing=_timing_from_args(args),
+                         workers=args.workers,
+                         trace_timeout=args.trace_timeout)
     batch = runner.run(traces, labels=args.traces,
                        trace_dir=args.trace_dir)
     if args.trace_dir:
@@ -252,6 +275,13 @@ def build_parser():
     batch.add_argument("--trace-dir", default=None, metavar="DIR",
                        help="write per-session Chrome traces plus a "
                             "merged batch.trace.json into DIR")
+    batch.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="replay across N worker processes "
+                            "(default 1 = in-process)")
+    batch.add_argument("--trace-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --workers > 1: kill and re-queue (once) "
+                            "any trace replaying longer than this")
     batch.set_defaults(func=cmd_batch)
 
     tracecmd = sub.add_parser(

@@ -15,7 +15,7 @@ from repro.session.policies import (
     LocatorPolicy,
     TimingPolicy,
 )
-from repro.session.report import CommandResult, ReplayReport
+from repro.session.report import CommandResult, RemoteError, ReplayReport
 from repro.session.observers import (
     EventLogObserver,
     PerfCountersObserver,
@@ -23,6 +23,13 @@ from repro.session.observers import (
 )
 from repro.session.engine import SessionEngine, SessionRun
 from repro.session.batch import BatchReport, BatchRunner, TraceRun
+from repro.session.pool import (
+    PoolOutcome,
+    WorkerPool,
+    WorkerSpec,
+    register_factory,
+    resolve_factory,
+)
 
 __all__ = [
     "EventStream",
@@ -42,4 +49,10 @@ __all__ = [
     "BatchRunner",
     "BatchReport",
     "TraceRun",
+    "RemoteError",
+    "PoolOutcome",
+    "WorkerPool",
+    "WorkerSpec",
+    "register_factory",
+    "resolve_factory",
 ]

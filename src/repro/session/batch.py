@@ -1,7 +1,6 @@
 """Batch replay: many traces across isolated browser instances.
 
-The first step toward sharded, multi-session scale: a
-:class:`BatchRunner` replays a list of traces, each against a *fresh*
+A :class:`BatchRunner` replays a list of traces, each against a *fresh*
 :class:`~repro.browser.window.BrowserWindow` built by the caller's
 factory, so sessions cannot contaminate each other (cookies, page
 errors, cache state). Per-trace reports are aggregated into a
@@ -13,6 +12,15 @@ With ``trace_dir`` set, the whole batch runs under one telemetry
 tracer: every session's browser gets its own pid track, each trace's
 slice of the timeline is written to ``<label>.trace.json``, and the
 full merged batch timeline lands in ``batch.trace.json``.
+
+With ``workers=N`` (N > 1) the batch fans out across a
+:class:`~repro.session.pool.WorkerPool` of N processes: traces are
+pulled dynamically from a shared queue, per-trace reports and
+:mod:`repro.perf` counter deltas stream back and merge via
+:meth:`BatchReport.merge`, and telemetry slices merge into one
+``batch.trace.json`` timeline with each worker's browsers on their own
+pid tracks. The default ``workers=1`` is exactly the serial in-process
+path — same code, same determinism.
 """
 
 import os
@@ -20,6 +28,7 @@ import os
 from repro import telemetry
 from repro.session.engine import SessionEngine
 from repro.session.observers import PerfCountersObserver
+from repro.session.report import ReplayReport
 
 
 class TraceRun:
@@ -44,6 +53,23 @@ class BatchReport:
 
     def add(self, run):
         self.runs.append(run)
+
+    @classmethod
+    def merge(cls, reports):
+        """Combine shard reports (e.g. one per pool worker) into one.
+
+        Runs concatenate in the order given; perf counters sum through
+        :meth:`~repro.session.observers.PerfCountersObserver.merge`, so
+        hit rates are recomputed over the combined totals rather than
+        averaged.
+        """
+        parts = list(reports)
+        merged = cls()
+        for report in parts:
+            merged.runs.extend(report.runs)
+        merged.perf_counters = PerfCountersObserver.merge(
+            report.perf_counters for report in parts)
+        return merged
 
     @property
     def trace_count(self):
@@ -94,19 +120,33 @@ class BatchRunner:
 
     ``browser_factory()`` must return a fresh browser wired to a fresh
     application environment — the same contract WebErr's campaigns use.
-    Engine policies (timing, locator, failure, driver config) apply to
-    every session in the batch; ``observers`` are standing observers
-    subscribed to every session's event stream.
+    For ``workers > 1`` it may also be a
+    :class:`~repro.session.pool.WorkerSpec` (or any picklable factory
+    reference the spec accepts), since worker processes rebuild the
+    factory on their side of the boundary. Engine policies (timing,
+    locator, failure, driver config) apply to every session in the
+    batch; ``observers`` are standing observers subscribed to every
+    session's event stream — in-process only, so they are rejected when
+    ``workers > 1`` (results merge parent-side instead).
+
+    ``trace_timeout`` (seconds, ``workers > 1`` only) bounds any single
+    trace: an over-deadline trace gets its worker killed and is
+    re-queued once before being reported failed.
     """
 
     def __init__(self, browser_factory, driver_config=None, timing=None,
-                 locator=None, failure=None, observers=None):
+                 locator=None, failure=None, observers=None, workers=1,
+                 trace_timeout=None):
         self.browser_factory = browser_factory
         self.driver_config = driver_config
         self.timing = timing
         self.locator = locator
         self.failure = failure
         self.observers = list(observers or [])
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = int(workers)
+        self.trace_timeout = trace_timeout
 
     def run(self, traces, labels=None, trace_dir=None):
         """Replay every trace on its own browser; returns a BatchReport.
@@ -117,10 +157,12 @@ class BatchRunner:
         """
         traces = list(traces)
         if labels is None:
-            labels = [self._default_label(trace, index)
-                      for index, trace in enumerate(traces)]
+            labels = _dedupe_labels([self._default_label(trace, index)
+                                     for index, trace in enumerate(traces)])
         if len(labels) != len(traces):
             raise ValueError("need one label per trace")
+        if self.workers > 1:
+            return self._run_pooled(traces, labels, trace_dir)
         if trace_dir is None:
             return self._run(traces, labels, tracer=None, trace_dir=None)
         os.makedirs(trace_dir, exist_ok=True)
@@ -136,47 +178,137 @@ class BatchRunner:
                 os.path.join(trace_dir, "batch.trace.json"), tracer)
         return batch
 
+    # -- serial (in-process) execution --------------------------------------
+
     def _run(self, traces, labels, tracer, trace_dir):
         batch = BatchReport()
         perf_totals = PerfCountersObserver()
         used_stems = set()
         for label, trace in zip(labels, traces):
             browser = self.browser_factory()
+            mark = None
             if tracer is not None:
                 # Virtual timestamps come from the session's own clock.
                 tracer.clock = browser.clock
                 mark = tracer.mark()
-            engine = SessionEngine(
-                browser,
-                driver_config=self.driver_config,
-                timing=self.timing,
-                locator=self.locator,
-                failure=self.failure,
-                observers=self.observers + [perf_totals],
-            )
-            report = engine.run(trace)
+            try:
+                engine = SessionEngine(
+                    browser,
+                    driver_config=self.driver_config,
+                    timing=self.timing,
+                    locator=self.locator,
+                    failure=self.failure,
+                    observers=self.observers + [perf_totals],
+                )
+                report = engine.run(trace)
+            finally:
+                # Reset even when the engine raises mid-batch: a stale
+                # clock would stamp later events (or a later trace) with
+                # a dead session's virtual time.
+                if tracer is not None:
+                    tracer.clock = None
             batch.add(TraceRun(label, trace, report))
             if tracer is not None and trace_dir is not None:
-                stem = _safe_name(label)
-                # Repeated labels (the same trace run twice) must not
-                # overwrite each other's per-session slice.
-                if stem in used_stems:
-                    suffix = 2
-                    while "%s-%d" % (stem, suffix) in used_stems:
-                        suffix += 1
-                    stem = "%s-%d" % (stem, suffix)
-                used_stems.add(stem)
+                stem = _unique_stem(label, used_stems)
                 telemetry.write_trace(
                     os.path.join(trace_dir, "%s.trace.json" % stem),
                     tracer, events=tracer.events_since(mark))
-        if tracer is not None:
-            tracer.clock = None
         batch.perf_counters = perf_totals.summary()
+        return batch
+
+    # -- pooled (multiprocess) execution -------------------------------------
+
+    def _run_pooled(self, traces, labels, trace_dir):
+        from repro.session.pool import WorkerPool, WorkerSpec
+        from repro.telemetry.merge import TraceMerger
+
+        if self.observers:
+            raise ValueError(
+                "standing observers cannot follow sessions into worker "
+                "processes; run with workers=1, or merge shard results "
+                "parent-side (see PerfCountersObserver.merge)")
+        spec = (self.browser_factory
+                if isinstance(self.browser_factory, WorkerSpec)
+                else WorkerSpec(self.browser_factory))
+        pool = WorkerPool(
+            spec, self.workers,
+            driver_config=self.driver_config, timing=self.timing,
+            locator=self.locator, failure=self.failure,
+            trace_timeout=self.trace_timeout)
+        tracing_on = trace_dir is not None
+        if tracing_on:
+            os.makedirs(trace_dir, exist_ok=True)
+        tasks = [(label, trace.to_text())
+                 for label, trace in zip(labels, traces)]
+        outcomes, dropped = pool.run(tasks, tracing=tracing_on)
+        merger = TraceMerger()
+        merger.dropped += dropped
+        used_stems = set()
+        shards = []
+        for outcome, label, trace in zip(outcomes, labels, traces):
+            if outcome.report is not None:
+                report = ReplayReport.from_dict(outcome.report, trace=trace)
+            else:
+                # Containment outcome: the worker died or the trace was
+                # killed on timeout — report it failed, keep the batch.
+                report = ReplayReport(trace)
+                report.halted = True
+                report.halt_reason = outcome.error or "worker failed"
+            shard = BatchReport()
+            shard.add(TraceRun(label, trace, report))
+            shard.perf_counters = report.perf_counters
+            shards.append(shard)
+            if tracing_on and outcome.events is not None:
+                events, metadata = merger.add_session(
+                    outcome.worker_id, outcome.events,
+                    outcome.metadata or ())
+                stem = _unique_stem(label, used_stems)
+                telemetry.write_trace_dict(
+                    os.path.join(trace_dir, "%s.trace.json" % stem),
+                    telemetry.to_trace_dict_raw(events, metadata=metadata))
+        batch = BatchReport.merge(shards)
+        if tracing_on:
+            telemetry.write_trace_dict(
+                os.path.join(trace_dir, "batch.trace.json"),
+                merger.trace_dict())
         return batch
 
     @staticmethod
     def _default_label(trace, index):
         return trace.label or "trace-%d" % index
+
+
+def _dedupe_labels(labels):
+    """Suffix repeated labels (``x``, ``x-2``, ``x-3``) so every
+    :class:`TraceRun` in a batch is unambiguously addressable."""
+    seen = set()
+    result = []
+    for label in labels:
+        unique = label
+        if unique in seen:
+            suffix = 2
+            while "%s-%d" % (label, suffix) in seen:
+                suffix += 1
+            unique = "%s-%d" % (label, suffix)
+        seen.add(unique)
+        result.append(unique)
+    return result
+
+
+def _unique_stem(label, used_stems):
+    """A filesystem stem for ``label``, deduped against ``used_stems``.
+
+    Repeated labels (the same trace run twice) must not overwrite each
+    other's per-session trace file.
+    """
+    stem = _safe_name(label)
+    if stem in used_stems:
+        suffix = 2
+        while "%s-%d" % (stem, suffix) in used_stems:
+            suffix += 1
+        stem = "%s-%d" % (stem, suffix)
+    used_stems.add(stem)
+    return stem
 
 
 def _safe_name(label):

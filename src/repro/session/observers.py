@@ -42,7 +42,15 @@ class ReportBuilder(SessionObserver):
 
 
 class PerfCountersObserver(SessionObserver):
-    """Accumulates per-cache hit/miss totals across sessions."""
+    """Accumulates per-cache hit/miss totals across sessions.
+
+    One instance aggregates *in-process* sessions only. Instances must
+    never be shared across processes — the counters live in ordinary
+    process memory, so a worker mutating a pickled copy would silently
+    diverge from the parent's. The observer refuses to pickle; pooled
+    batch replay instead ships each session's counter *summary* back to
+    the parent and combines them with :meth:`merge`.
+    """
 
     def __init__(self):
         #: {cache: {"hits": h, "misses": m}} summed over every session.
@@ -58,8 +66,26 @@ class PerfCountersObserver(SessionObserver):
 
     def summary(self):
         """{cache: {"hits", "misses", "hit_rate"}} over all sessions."""
+        return self.merge([self.totals])
+
+    @classmethod
+    def merge(cls, summaries):
+        """Combine counter summaries into one (the parent-side merge).
+
+        ``summaries`` is an iterable of ``{cache: {"hits", "misses",
+        ...}}`` mappings — per-session deltas, per-worker totals, or
+        prior :meth:`merge`/:meth:`summary` outputs. Hits and misses
+        sum per cache; ``hit_rate`` is recomputed over the combined
+        totals (never averaged across shards).
+        """
+        totals = {}
+        for summary in summaries:
+            for name, counts in summary.items():
+                bucket = totals.setdefault(name, {"hits": 0, "misses": 0})
+                bucket["hits"] += counts["hits"]
+                bucket["misses"] += counts["misses"]
         result = {}
-        for name, counts in self.totals.items():
+        for name, counts in totals.items():
             total = counts["hits"] + counts["misses"]
             result[name] = {
                 "hits": counts["hits"],
@@ -67,6 +93,13 @@ class PerfCountersObserver(SessionObserver):
                 "hit_rate": counts["hits"] / total if total else None,
             }
         return result
+
+    def __reduce__(self):
+        raise TypeError(
+            "PerfCountersObserver must not cross process boundaries: a "
+            "pickled copy would accumulate counters invisible to the "
+            "parent. Ship counter summaries instead and combine them "
+            "with PerfCountersObserver.merge().")
 
 
 class EventLogObserver(SessionObserver):

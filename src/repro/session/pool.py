@@ -1,0 +1,483 @@
+"""Multiprocess batch replay: the worker-pool execution backend.
+
+Once single-session replay is fast, the next multiplier is running many
+replays at once — every session in a batch is fully isolated by
+construction (fresh browser per trace), so a batch is embarrassingly
+parallel. :class:`WorkerPool` spawns N worker processes; each worker
+builds its *own* browser factory from a picklable :class:`WorkerSpec`
+(live :class:`~repro.browser.window.Browser` objects cannot cross a
+process boundary, so the spec names the factory by dotted path or
+registered builder), pulls traces from a shared task queue, replays
+them through a :class:`~repro.session.engine.SessionEngine`, and
+streams back portable results: a
+:class:`~repro.session.report.ReplayReport` dict, the session's
+:mod:`repro.perf` counter delta, and — when tracing — the session's
+slice of the worker's telemetry timeline.
+
+Scheduling is dynamic: workers *pull* whenever they go idle, so one
+slow trace occupies one worker while the rest of the pool keeps
+draining the queue (static round-robin sharding would idle N-1 workers
+behind the slowest shard). Two containment mechanisms keep a batch
+live:
+
+- **crash containment** — a worker that dies mid-trace (segfault,
+  ``os._exit``, OOM kill) marks its in-flight trace failed; the parent
+  spawns a replacement and the pool keeps draining;
+- **per-trace timeout** — with ``trace_timeout`` set, a trace running
+  longer than the bound gets its worker killed and is re-queued *once*
+  (a transient stall deserves a second chance; a deterministic hang
+  does not).
+
+The parent merges everything into one
+:class:`~repro.session.batch.BatchReport` via
+:meth:`~repro.session.batch.BatchReport.merge`; counter deltas sum
+through :meth:`~repro.session.observers.PerfCountersObserver.merge`
+(observer *instances* never cross processes), and telemetry slices
+merge through :class:`~repro.telemetry.merge.TraceMerger`, which remaps
+every worker's pid/tid tracks into one coherent timeline.
+"""
+
+import importlib
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback
+
+from repro.telemetry.events import DEFAULT_BUFFER_SIZE
+
+#: Builders registered under a plain name for WorkerSpec resolution.
+_factory_builders = {}
+
+
+def register_factory(name, builder=None):
+    """Register ``builder`` under ``name`` for :class:`WorkerSpec` use.
+
+    Usable directly or as a decorator::
+
+        @register_factory("sites")
+        def sites_factory(): ...
+
+    Registration is per-process module state: under the default
+    ``fork`` start method workers inherit it, but under ``spawn`` the
+    registering module must be imported in the child too — prefer
+    dotted-path references for specs that must survive ``spawn``.
+    """
+    if builder is None:
+        def decorator(function):
+            _factory_builders[name] = function
+            return function
+        return decorator
+    _factory_builders[name] = builder
+    return builder
+
+
+def resolve_factory(reference):
+    """Resolve a factory reference to a callable.
+
+    Accepts a registered builder name, a dotted path
+    (``"package.module:attribute"`` or ``"package.module.attribute"``),
+    or a callable (returned unchanged).
+    """
+    if callable(reference):
+        return reference
+    if not isinstance(reference, str):
+        raise TypeError("factory reference must be a callable or str, "
+                        "got %r" % (reference,))
+    if reference in _factory_builders:
+        return _factory_builders[reference]
+    if ":" in reference:
+        module_name, _, attribute = reference.partition(":")
+    elif "." in reference:
+        module_name, _, attribute = reference.rpartition(".")
+    else:
+        raise ValueError(
+            "unknown factory %r: not a registered builder, and not a "
+            "dotted 'module:attr' path" % reference)
+    module = importlib.import_module(module_name)
+    try:
+        target = getattr(module, attribute)
+    except AttributeError:
+        raise ValueError("module %r has no attribute %r"
+                         % (module_name, attribute))
+    if not callable(target):
+        raise TypeError("factory reference %r resolves to a non-callable "
+                        "%r" % (reference, target))
+    return target
+
+
+class WorkerSpec:
+    """A picklable recipe for a worker's browser factory.
+
+    ``factory`` is a callable (a module-level function — lambdas and
+    closures cannot be pickled) or a string reference resolvable by
+    :func:`resolve_factory`. With ``factory_args``/``factory_kwargs``
+    the resolved callable is treated as a *builder*: it is invoked once
+    per worker with those arguments and must return the per-session
+    browser factory. Without them, the resolved callable *is* the
+    factory.
+    """
+
+    def __init__(self, factory, factory_args=(), factory_kwargs=None,
+                 trace_buffer_size=DEFAULT_BUFFER_SIZE):
+        self.factory = factory
+        self.factory_args = tuple(factory_args)
+        self.factory_kwargs = dict(factory_kwargs or {})
+        #: Ring-buffer capacity of each worker's private tracer.
+        self.trace_buffer_size = trace_buffer_size
+
+    def make_factory(self):
+        """Resolve and (if a builder) apply the recipe; in-process too."""
+        target = resolve_factory(self.factory)
+        if self.factory_args or self.factory_kwargs:
+            return target(*self.factory_args, **self.factory_kwargs)
+        return target
+
+    def validate(self):
+        """Fail fast in the parent: resolvable reference, picklable spec."""
+        if isinstance(self.factory, str):
+            resolve_factory(self.factory)
+        try:
+            pickle.dumps(self)
+        except Exception as error:
+            raise ValueError(
+                "WorkerSpec is not picklable (%s); worker processes need a "
+                "module-level factory function or a string reference, not "
+                "a lambda or closure" % error)
+        return self
+
+    def __repr__(self):
+        return "WorkerSpec(%r)" % (self.factory,)
+
+
+class PoolOutcome:
+    """One trace's result as it came back over the result queue."""
+
+    __slots__ = ("index", "label", "report", "events", "metadata",
+                 "error", "worker_id", "attempts")
+
+    def __init__(self, index, label):
+        self.index = index
+        self.label = label
+        #: Portable :class:`ReplayReport` dict, or None on worker failure.
+        self.report = None
+        #: Telemetry event dicts for this session (tracing runs only).
+        self.events = None
+        #: The worker registry's track-naming metadata event dicts.
+        self.metadata = None
+        #: Worker-side traceback / containment reason when the trace
+        #: never produced a report.
+        self.error = None
+        self.worker_id = None
+        self.attempts = 1
+
+    @property
+    def ok(self):
+        return self.report is not None
+
+    def __repr__(self):
+        return "PoolOutcome(%d, %r, %s)" % (
+            self.index, self.label, "ok" if self.ok else "failed")
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _replay_task(factory, engine_config, trace_text, tracer):
+    """Replay one trace on a fresh browser; returns a portable payload."""
+    from repro.core.trace import WarrTrace
+    from repro.session.engine import SessionEngine
+
+    trace = WarrTrace.from_text(trace_text)
+    browser = factory()
+    mark = None
+    if tracer is not None:
+        # Virtual timestamps come from this session's own clock.
+        tracer.clock = browser.clock
+        mark = tracer.mark()
+    try:
+        engine = SessionEngine(browser, **engine_config)
+        report = engine.run(trace)
+    finally:
+        if tracer is not None:
+            tracer.clock = None
+    payload = {"report": report.to_dict()}
+    if tracer is not None:
+        payload["events"] = [event.to_dict()
+                             for event in tracer.events_since(mark)]
+        payload["metadata"] = [event.to_dict()
+                               for event in tracer.registry.metadata_events]
+    return payload
+
+
+def _worker_main(slot, worker_id, spec, engine_config, task_queue,
+                 result_queue, current, tracing):
+    """Worker loop: pull tasks until the sentinel, stream back results."""
+    from repro import telemetry
+    from repro.telemetry.tracer import Tracer
+
+    # A fork inherits the parent's installed tracer (if any); the worker
+    # records into its own private buffer instead.
+    telemetry.uninstall()
+    tracer = None
+    if tracing:
+        tracer = Tracer(buffer_size=spec.trace_buffer_size)
+        telemetry.install(tracer)
+    factory = None
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index, trace_text = task
+        # Shared-memory in-flight marker: written *before* any user code
+        # runs so the parent can attribute a crash even when the dying
+        # process never flushes a message.
+        current[slot] = index
+        try:
+            if factory is None:
+                factory = spec.make_factory()
+            payload = _replay_task(factory, engine_config, trace_text, tracer)
+            message = ("result", worker_id, index, payload)
+        except BaseException:
+            message = ("error", worker_id, index, traceback.format_exc())
+        result_queue.put(message)
+        current[slot] = -1
+    result_queue.put(("done", worker_id,
+                      {"dropped": tracer.buffer.dropped if tracer else 0}))
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker slot."""
+
+    __slots__ = ("slot", "worker_id", "process", "inflight_index",
+                 "inflight_since", "finished")
+
+    def __init__(self, slot, worker_id, process):
+        self.slot = slot
+        self.worker_id = worker_id
+        self.process = process
+        self.inflight_index = -1
+        self.inflight_since = None
+        self.finished = False
+
+
+class WorkerPool:
+    """Replays traces across N worker processes with dynamic scheduling.
+
+    ``spec`` describes the browser factory; the engine policy objects
+    (all picklable strategy objects) configure every worker's
+    :class:`~repro.session.engine.SessionEngine` exactly as the serial
+    batch runner would.
+    """
+
+    def __init__(self, spec, workers, driver_config=None, timing=None,
+                 locator=None, failure=None, trace_timeout=None,
+                 poll_interval=0.05, drain_timeout=10.0, context=None):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if not isinstance(spec, WorkerSpec):
+            spec = WorkerSpec(spec)
+        self.spec = spec.validate()
+        self.workers = int(workers)
+        self.engine_config = {
+            "driver_config": driver_config,
+            "timing": timing,
+            "locator": locator,
+            "failure": failure,
+        }
+        pickle.dumps(self.engine_config)  # fail fast on unpicklable policy
+        self.trace_timeout = trace_timeout
+        self.poll_interval = poll_interval
+        self.drain_timeout = drain_timeout
+        self._context = context if context is not None else _default_context()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self, tasks, tracing=False):
+        """Replay every ``(label, trace_text)`` task; returns
+        ``(outcomes, dropped_events)`` with outcomes in input order."""
+        tasks = list(tasks)
+        outcomes = [PoolOutcome(index, label)
+                    for index, (label, _) in enumerate(tasks)]
+        done = [False] * len(tasks)
+        if not tasks:
+            return outcomes, 0
+        ctx = self._context
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        current = ctx.Array("i", [-1] * self.workers)
+        for index, (_, trace_text) in enumerate(tasks):
+            task_queue.put((index, trace_text))
+        state = {
+            "handles": {},        # slot -> _WorkerHandle
+            "next_worker_id": 0,
+            "requeued": set(),    # task indexes already given a 2nd try
+            "dropped": 0,
+            "task_texts": [trace_text for _, trace_text in tasks],
+        }
+        tracing = bool(tracing)
+
+        def spawn(slot):
+            self._spawn(slot, state, task_queue, result_queue, current,
+                        tracing)
+
+        for slot in range(min(self.workers, len(tasks))):
+            spawn(slot)
+        try:
+            while not all(done):
+                self._pump(result_queue, outcomes, done, state, current)
+                self._reap(outcomes, done, state, task_queue, current, spawn)
+            self._drain(task_queue, result_queue, state)
+        finally:
+            self._shutdown(state, task_queue, result_queue)
+        return outcomes, state["dropped"]
+
+    def _spawn(self, slot, state, task_queue, result_queue, current, tracing):
+        worker_id = state["next_worker_id"]
+        state["next_worker_id"] += 1
+        current[slot] = -1
+        process = self._context.Process(
+            target=_worker_main,
+            args=(slot, worker_id, self.spec, self.engine_config,
+                  task_queue, result_queue, current, tracing),
+            daemon=True)
+        process.start()
+        state["handles"][slot] = _WorkerHandle(slot, worker_id, process)
+
+    # -- event handling -----------------------------------------------------
+
+    def _pump(self, result_queue, outcomes, done, state, current):
+        """Drain every queued result message (waits up to one poll)."""
+        block = True
+        while True:
+            try:
+                message = result_queue.get(
+                    timeout=self.poll_interval if block else 0)
+            except queue_module.Empty:
+                return
+            block = False
+            kind, worker_id, payload = message[0], message[1], message[2:]
+            if kind == "done":
+                state["dropped"] += payload[0].get("dropped", 0)
+                for handle in state["handles"].values():
+                    if handle.worker_id == worker_id:
+                        handle.finished = True
+                continue
+            index = payload[0]
+            if done[index]:
+                continue  # a stale duplicate (e.g. the re-queued attempt won)
+            outcome = outcomes[index]
+            outcome.worker_id = worker_id
+            if kind == "result":
+                body = payload[1]
+                outcome.report = body["report"]
+                outcome.events = body.get("events")
+                outcome.metadata = body.get("metadata")
+            else:
+                outcome.error = payload[1]
+            done[index] = True
+
+    def _reap(self, outcomes, done, state, task_queue, current, spawn):
+        """Contain dead workers and over-deadline traces; keep pool full."""
+        now = time.monotonic()
+        for slot, handle in list(state["handles"].items()):
+            inflight = current[slot]
+            if inflight != handle.inflight_index:
+                handle.inflight_index = inflight
+                handle.inflight_since = now if inflight >= 0 else None
+            alive = handle.process.is_alive()
+            if alive and handle.inflight_since is not None \
+                    and self.trace_timeout is not None \
+                    and now - handle.inflight_since > self.trace_timeout:
+                # Kill the stuck worker; its trace gets one more chance.
+                handle.process.terminate()
+                handle.process.join(self.drain_timeout)
+                self._handle_casualty(handle, current, outcomes, done, state,
+                                      task_queue,
+                                      "trace exceeded the %.3gs per-trace "
+                                      "timeout" % self.trace_timeout,
+                                      requeue=True)
+                alive = False
+            elif not alive and not handle.finished:
+                self._handle_casualty(handle, current, outcomes, done, state,
+                                      task_queue,
+                                      "worker process died (exit code %s)"
+                                      % handle.process.exitcode,
+                                      requeue=False)
+            if not alive:
+                del state["handles"][slot]
+                if not all(done):
+                    spawn(slot)
+
+    def _handle_casualty(self, handle, current, outcomes, done, state,
+                         task_queue, reason, requeue):
+        # The worker is dead by now, so its shared-memory slot is the
+        # authoritative record of what it had in flight (a result put
+        # just before death may still land; _pump wins that race because
+        # completed outcomes are never overwritten here).
+        index = current[handle.slot]
+        if index < 0 or done[index]:
+            return
+        outcome = outcomes[index]
+        outcome.worker_id = handle.worker_id
+        if requeue and index not in state["requeued"]:
+            state["requeued"].add(index)
+            outcome.attempts += 1
+            task_queue.put((index, state["task_texts"][index]))
+            return
+        outcome.error = reason
+        done[index] = True
+
+    # -- shutdown -----------------------------------------------------------
+
+    def _drain(self, task_queue, result_queue, state):
+        """All traces accounted for: retire workers, collect drop counts."""
+        live = [h for h in state["handles"].values()
+                if h.process.is_alive() and not h.finished]
+        for _ in live:
+            task_queue.put(None)
+        deadline = time.monotonic() + self.drain_timeout
+        while any(not h.finished for h in live) \
+                and time.monotonic() < deadline:
+            self._collect_done(result_queue, state, live)
+        for handle in live:
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+
+    def _collect_done(self, result_queue, state, live):
+        try:
+            message = result_queue.get(timeout=self.poll_interval)
+        except queue_module.Empty:
+            return
+        if message[0] != "done":
+            return  # late duplicate from a re-queued task; drop it
+        state["dropped"] += message[2].get("dropped", 0)
+        for handle in live:
+            if handle.worker_id == message[1]:
+                handle.finished = True
+
+    def _shutdown(self, state, task_queue, result_queue):
+        for handle in state["handles"].values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in state["handles"].values():
+            handle.process.join(self.drain_timeout)
+        for q in (task_queue, result_queue):
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue_module.Empty, OSError):
+                pass
+            q.close()
+            q.cancel_join_thread()
+
+
+def _default_context():
+    """Prefer ``fork`` (cheap, inherits registered builders); fall back
+    to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()

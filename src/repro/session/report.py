@@ -4,7 +4,44 @@ These are the value objects the session engine's report observer
 assembles from the event stream. They live here (not in the replayer)
 so every engine consumer — WaRR replay, WebErr campaigns, AUsER
 reproductions, batch runs — shares one report vocabulary.
+
+Reports also round-trip through plain dicts (:meth:`ReplayReport.to_dict`
+/ :meth:`ReplayReport.from_dict`): pool workers ship results to the
+parent over a queue, so everything in a report must survive a process
+boundary. Commands re-serialize through their wire format; live
+exception objects (which may drag browser internals along) are carried
+as :class:`RemoteError` stand-ins preserving the original type name and
+message.
 """
+
+
+class RemoteError(Exception):
+    """A worker-side error carried across a process boundary.
+
+    Printing matches the original (``str(error)`` is the original
+    message); :attr:`type_name` preserves the worker-side class for
+    classification.
+    """
+
+    def __init__(self, message, type_name="Exception"):
+        super().__init__(message)
+        self.type_name = type_name
+
+    def __repr__(self):
+        return "RemoteError(%s: %s)" % (self.type_name, self)
+
+
+def _error_to_dict(error):
+    if error is None:
+        return None
+    type_name = getattr(error, "type_name", None) or type(error).__name__
+    return {"type": type_name, "message": str(error)}
+
+
+def _error_from_dict(data):
+    if data is None:
+        return None
+    return RemoteError(data["message"], type_name=data["type"])
 
 
 class CommandResult:
@@ -24,6 +61,23 @@ class CommandResult:
     @property
     def succeeded(self):
         return self.status in (self.OK, self.RELAXED, self.COORDINATE)
+
+    def to_dict(self):
+        """A picklable/JSON-able dict (command on its wire format)."""
+        return {
+            "command": self.command.to_line(),
+            "status": self.status,
+            "detail": self.detail,
+            "error": _error_to_dict(self.error),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        from repro.core.commands import parse_command_line
+
+        return cls(parse_command_line(data["command"]), data["status"],
+                   detail=data["detail"],
+                   error=_error_from_dict(data["error"]))
 
     def __repr__(self):
         return "CommandResult(%s, %r)" % (self.status, self.command.to_line())
@@ -75,6 +129,42 @@ class ReplayReport:
                    counts["misses"])
             )
         return lines
+
+    def to_dict(self):
+        """A picklable/JSON-able dict of the whole report."""
+        return {
+            "trace": self.trace.to_text(),
+            "results": [result.to_dict() for result in self.results],
+            "halted": self.halted,
+            "halt_reason": self.halt_reason,
+            "page_errors": [_error_to_dict(error)
+                            for error in self.page_errors],
+            "final_url": self.final_url,
+            "perf_counters": self.perf_counters,
+        }
+
+    @classmethod
+    def from_dict(cls, data, trace=None):
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Pass ``trace`` to attach an already-loaded trace object (the
+        batch runner keeps the parent's instance) instead of re-parsing
+        the serialized copy.
+        """
+        from repro.core.trace import WarrTrace
+
+        if trace is None:
+            trace = WarrTrace.from_text(data["trace"])
+        report = cls(trace)
+        report.results = [CommandResult.from_dict(result)
+                          for result in data["results"]]
+        report.halted = data["halted"]
+        report.halt_reason = data["halt_reason"]
+        report.page_errors = [_error_from_dict(error)
+                              for error in data["page_errors"]]
+        report.final_url = data["final_url"]
+        report.perf_counters = data["perf_counters"]
+        return report
 
     def summary(self):
         return (

@@ -35,10 +35,13 @@ from repro.telemetry.events import (
 from repro.telemetry.export import (
     dumps,
     to_trace_dict,
+    to_trace_dict_raw,
     trace_summary,
     tracer_to_dict,
     write_trace,
+    write_trace_dict,
 )
+from repro.telemetry.merge import TraceMerger
 from repro.telemetry.tracer import Tracer
 from repro.telemetry.tracks import (
     COUNTERS_TRACK,
@@ -128,6 +131,7 @@ __all__ = [
     "RingBuffer",
     "SESSION_TRACK",
     "TraceEvent",
+    "TraceMerger",
     "Tracer",
     "TracingObserver",
     "TrackRegistry",
@@ -136,9 +140,11 @@ __all__ = [
     "enabled",
     "install",
     "to_trace_dict",
+    "to_trace_dict_raw",
     "trace_summary",
     "tracer_to_dict",
     "tracing",
     "uninstall",
     "write_trace",
+    "write_trace_dict",
 ]

@@ -37,6 +37,23 @@ def to_trace_dict(events, metadata=(), dropped=0):
     return payload
 
 
+def to_trace_dict_raw(event_dicts, metadata=(), dropped=0):
+    """Assemble the trace object from *already-exported* event dicts.
+
+    The worker-pool merge path operates on dicts (workers ship
+    ``TraceEvent.to_dict()`` output across the process boundary), so
+    this variant skips the object-to-dict conversion.
+    """
+    payload = {
+        "traceEvents": list(metadata) + list(event_dicts),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry"},
+    }
+    if dropped:
+        payload["otherData"]["dropped_events"] = dropped
+    return payload
+
+
 def tracer_to_dict(tracer, events=None):
     """Trace object for ``tracer`` (optionally a pre-sliced event list)."""
     if events is None:
@@ -52,8 +69,13 @@ def dumps(tracer, events=None):
 
 def write_trace(path, tracer, events=None):
     """Write the trace JSON to ``path``; returns the path."""
+    return write_trace_dict(path, tracer_to_dict(tracer, events=events))
+
+
+def write_trace_dict(path, trace_dict):
+    """Write an assembled trace object to ``path``; returns the path."""
     with open(path, "w") as handle:
-        json.dump(tracer_to_dict(tracer, events=events), handle)
+        json.dump(trace_dict, handle)
         handle.write("\n")
     return path
 

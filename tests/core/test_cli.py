@@ -125,6 +125,41 @@ class TestBatch:
         assert code == 0
         assert "perf:" in output
 
+    def test_batch_workers_matches_serial_output(self, recorded_trace,
+                                                 tmp_path):
+        paths = []
+        for i in range(4):
+            path = tmp_path / ("copy-%d.warr" % i)
+            path.write_text(recorded_trace.read_text())
+            paths.append(str(path))
+        serial_code, serial_out = run_cli(
+            ["batch"] + paths + ["--app", "sites"])
+        pooled_code, pooled_out = run_cli(
+            ["batch"] + paths + ["--app", "sites", "--workers", "2"])
+        assert serial_code == pooled_code == 0
+        assert "batch: 4/4 trace(s) complete" in pooled_out
+
+        def split(output):
+            lines = output.splitlines()
+            return ([line for line in lines if not line.startswith("perf:")],
+                    {line.split()[1] for line in lines
+                     if line.startswith("perf:")})
+
+        serial_lines, serial_caches = split(serial_out)
+        pooled_lines, pooled_caches = split(pooled_out)
+        # Same per-trace summaries and batch summary; perf counter
+        # *values* differ (caches are per-process) but the cache set
+        # must not.
+        assert pooled_lines == serial_lines
+        assert pooled_caches == serial_caches
+
+    def test_batch_trace_timeout_flag_accepted(self, recorded_trace):
+        code, output = run_cli(["batch", str(recorded_trace),
+                                "--app", "sites", "--workers", "2",
+                                "--trace-timeout", "60"])
+        assert code == 0
+        assert "batch: 1/1 trace(s) complete" in output
+
 
 class TestInspect:
     def test_inspect_prints_stats(self, recorded_trace):

@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro.core.commands import ClickCommand, TypeCommand
+from repro import telemetry
+from repro.core.commands import ClickCommand, TypeCommand, WarrCommand
 from repro.core.recorder import WarrRecorder
 from repro.core.trace import WarrTrace
-from repro.session.batch import BatchReport, BatchRunner
+from repro.session.batch import BatchReport, BatchRunner, _dedupe_labels
 from repro.session.policies import TimingPolicy
+from repro.util.errors import ReplayError
 from tests.browser.helpers import build_browser, url
 
 
@@ -90,6 +92,44 @@ class TestBatchRunner:
         batch = BatchRunner(factory).run([doomed])
         assert not batch.complete
         assert batch.failures()[0].report.halted
+
+    def test_empty_trace_list_is_not_complete(self):
+        batch = BatchRunner(factory).run([])
+        assert not batch.complete
+        assert batch.trace_count == 0
+
+    def test_repeated_default_labels_are_deduped(self):
+        traces = [record_trace("dup"), record_trace("dup"),
+                  record_trace("dup")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait()).run(traces)
+        assert [run.label for run in batch.runs] == ["dup", "dup-2", "dup-3"]
+
+    def test_tracer_clock_reset_when_engine_raises(self, tmp_path):
+        # Regression: an engine error mid-batch used to leave the
+        # tracer stamping events with the dead session's virtual clock.
+        class HoverCommand(WarrCommand):
+            action = "hover"
+
+            def payload(self):
+                return "-"
+
+        bogus = WarrTrace(start_url=url("/"), label="bogus",
+                          commands=[HoverCommand("//a")])
+        runner = BatchRunner(factory, timing=TimingPolicy.no_wait())
+        with telemetry.tracing() as tracer:
+            with pytest.raises(ReplayError):
+                runner.run([record_trace("ok"), bogus],
+                           trace_dir=str(tmp_path))
+            assert tracer.clock is None
+
+
+class TestLabelDedup:
+    def test_unique_labels_pass_through(self):
+        assert _dedupe_labels(["a", "b"]) == ["a", "b"]
+
+    def test_collisions_get_numeric_suffixes(self):
+        assert _dedupe_labels(["a", "a", "a-2", "a"]) \
+            == ["a", "a-2", "a-2-2", "a-3"]
 
 
 class TestBatchReport:

@@ -1,0 +1,253 @@
+"""Multiprocess batch replay: worker pool, spec resolution, containment.
+
+The crash/timeout tests steer module-level factories through a flag
+file named in an environment variable: ``fork`` workers inherit both
+the module and the environment, and ``os.O_EXCL`` creation makes
+"misbehave exactly once" race-free even with several workers checking
+concurrently.
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.session.batch import BatchReport, BatchRunner, TraceRun
+from repro.session.observers import PerfCountersObserver
+from repro.session.policies import TimingPolicy
+from repro.session.pool import (
+    WorkerPool,
+    WorkerSpec,
+    register_factory,
+    resolve_factory,
+)
+from repro.session.report import ReplayReport
+from tests.browser.helpers import build_browser
+from tests.session.test_batch import factory, record_trace
+
+FLAG_ENV = "REPRO_TEST_POOL_FLAG"
+
+
+def _claim_flag():
+    """Atomically claim the test flag file; True for exactly one caller."""
+    try:
+        fd = os.open(os.environ[FLAG_ENV],
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def crash_once_factory():
+    if _claim_flag():
+        os._exit(3)
+    return build_browser(developer_mode=True)
+
+
+def hang_once_factory():
+    if _claim_flag():
+        time.sleep(300)
+    return build_browser(developer_mode=True)
+
+
+def hang_always_factory():
+    time.sleep(300)
+
+
+def build_sized_factory(developer_mode):
+    """A builder: invoked once per worker, returns the session factory."""
+    def sized():
+        return build_browser(developer_mode=developer_mode)
+    return sized
+
+
+@pytest.fixture
+def flag_path(tmp_path, monkeypatch):
+    path = str(tmp_path / "flag")
+    monkeypatch.setenv(FLAG_ENV, path)
+    return path
+
+
+class TestFactoryResolution:
+    def test_callable_passes_through(self):
+        assert resolve_factory(factory) is factory
+
+    def test_dotted_colon_path(self):
+        resolved = resolve_factory("tests.session.test_batch:factory")
+        assert resolved is factory
+
+    def test_dotted_attribute_path(self):
+        resolved = resolve_factory("tests.session.test_batch.factory")
+        assert resolved is factory
+
+    def test_registered_name(self):
+        register_factory("pool-test-factory", factory)
+        assert resolve_factory("pool-test-factory") is factory
+
+    def test_decorator_registration(self):
+        @register_factory("pool-test-decorated")
+        def decorated():
+            return None
+
+        assert resolve_factory("pool-test-decorated") is decorated
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown factory"):
+            resolve_factory("no-such-factory")
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(ValueError, match="no attribute"):
+            resolve_factory("tests.session.test_batch:nope")
+
+    def test_non_callable_target_rejected(self):
+        with pytest.raises(TypeError, match="non-callable"):
+            resolve_factory("tests.session.test_pool:FLAG_ENV")
+
+    def test_spec_builder_args_applied(self):
+        spec = WorkerSpec("tests.session.test_pool:build_sized_factory",
+                          factory_args=(True,))
+        browser = spec.make_factory()()
+        assert browser.developer_mode
+
+    def test_unpicklable_spec_rejected(self):
+        spec = WorkerSpec(lambda: None)
+        with pytest.raises(ValueError, match="picklable"):
+            spec.validate()
+
+
+class TestWorkerPool:
+    def test_pooled_matches_serial(self):
+        traces = [record_trace("session-%d" % i) for i in range(4)]
+        serial = BatchRunner(factory, timing=TimingPolicy.no_wait()).run(
+            traces)
+        pooled = BatchRunner(factory, timing=TimingPolicy.no_wait(),
+                             workers=2).run(traces)
+        assert pooled.complete
+        assert pooled.summary() == serial.summary()
+        assert [run.label for run in pooled.runs] \
+            == [run.label for run in serial.runs]
+        for mine, theirs in zip(pooled.runs, serial.runs):
+            assert [r.status for r in mine.report.results] \
+                == [r.status for r in theirs.report.results]
+            assert mine.report.final_url == theirs.report.final_url
+        # Worker-side counter deltas merge into the same cache set the
+        # serial observer sees (totals differ: caches are per-process).
+        assert set(pooled.perf_counters) == set(serial.perf_counters)
+
+    def test_outcomes_come_back_in_input_order(self):
+        traces = [record_trace("t%d" % i) for i in range(6)]
+        pool = WorkerPool(WorkerSpec(factory), workers=3,
+                          timing=TimingPolicy.no_wait())
+        outcomes, dropped = pool.run(
+            [(trace.label, trace.to_text()) for trace in traces])
+        assert dropped == 0
+        assert [o.index for o in outcomes] == list(range(6))
+        assert [o.label for o in outcomes] == [t.label for t in traces]
+        assert all(o.ok for o in outcomes)
+        report = ReplayReport.from_dict(outcomes[0].report)
+        assert report.complete
+
+    def test_empty_task_list_spawns_nothing(self):
+        pool = WorkerPool(WorkerSpec(factory), workers=2)
+        outcomes, dropped = pool.run([])
+        assert outcomes == [] and dropped == 0
+
+    def test_empty_pooled_batch_is_not_complete(self):
+        batch = BatchRunner(factory, workers=2).run([])
+        assert not batch.complete
+        assert batch.trace_count == 0
+
+    def test_observers_rejected_when_pooled(self):
+        runner = BatchRunner(factory, workers=2,
+                             observers=[PerfCountersObserver()])
+        with pytest.raises(ValueError, match="observers"):
+            runner.run([record_trace("x")])
+
+    def test_unpicklable_factory_rejected_when_pooled(self):
+        runner = BatchRunner(lambda: build_browser(), workers=2)
+        with pytest.raises(ValueError, match="picklable"):
+            runner.run([record_trace("x")])
+
+    def test_closure_factory_fine_when_serial(self):
+        # workers=1 is the in-process path: no pickling involved.
+        batch = BatchRunner(lambda: build_browser(developer_mode=True),
+                            timing=TimingPolicy.no_wait()).run(
+            [record_trace("x")])
+        assert batch.complete
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(factory, workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(WorkerSpec(factory), workers=0)
+
+
+class TestContainment:
+    def test_worker_crash_fails_only_its_trace(self, flag_path):
+        traces = [record_trace("c%d" % i) for i in range(4)]
+        batch = BatchRunner("tests.session.test_pool:crash_once_factory",
+                            timing=TimingPolicy.no_wait(),
+                            workers=2).run(traces)
+        assert batch.trace_count == 4
+        assert batch.complete_count == 3
+        (failed,) = batch.failures()
+        assert failed.report.halted
+        assert "worker process died" in failed.report.halt_reason
+        assert "exit code 3" in failed.report.halt_reason
+
+    def test_transient_hang_requeued_and_recovered(self, flag_path):
+        traces = [record_trace("h%d" % i) for i in range(3)]
+        start = time.monotonic()
+        batch = BatchRunner("tests.session.test_pool:hang_once_factory",
+                            timing=TimingPolicy.no_wait(),
+                            workers=2, trace_timeout=0.5).run(traces)
+        elapsed = time.monotonic() - start
+        assert batch.complete, batch.summary()
+        assert elapsed < 30, "hung worker was never reaped"
+
+    def test_deterministic_hang_fails_after_one_requeue(self):
+        batch = BatchRunner("tests.session.test_pool:hang_always_factory",
+                            timing=TimingPolicy.no_wait(),
+                            workers=2, trace_timeout=0.4).run(
+            [record_trace("stuck")])
+        assert not batch.complete
+        (failed,) = batch.failures()
+        assert failed.report.halted
+        assert "per-trace timeout" in failed.report.halt_reason
+
+
+class TestMerging:
+    def test_batch_report_merge_concatenates_and_sums(self):
+        trace = record_trace("m")
+        shards = []
+        for hits in (3, 5):
+            shard = BatchReport()
+            report = ReplayReport(trace)
+            shard.add(TraceRun("m-%d" % hits, trace, report))
+            shard.perf_counters = {
+                "xpath.compile": {"hits": hits, "misses": 1,
+                                  "hit_rate": hits / (hits + 1.0)},
+            }
+            shards.append(shard)
+        merged = BatchReport.merge(shards)
+        assert merged.trace_count == 2
+        assert [run.label for run in merged.runs] == ["m-3", "m-5"]
+        counts = merged.perf_counters["xpath.compile"]
+        assert counts["hits"] == 8
+        assert counts["misses"] == 2
+        assert counts["hit_rate"] == 0.8
+
+    def test_perf_counter_merge_recomputes_hit_rate(self):
+        merged = PerfCountersObserver.merge([
+            {"a": {"hits": 1, "misses": 0, "hit_rate": 1.0}},
+            {"a": {"hits": 0, "misses": 3, "hit_rate": 0.0},
+             "b": {"hits": 0, "misses": 0, "hit_rate": None}},
+        ])
+        assert merged["a"] == {"hits": 1, "misses": 3, "hit_rate": 0.25}
+        assert merged["b"]["hit_rate"] is None
+
+    def test_perf_observer_refuses_to_pickle(self):
+        with pytest.raises(TypeError, match="must not cross process"):
+            pickle.dumps(PerfCountersObserver())

@@ -81,3 +81,27 @@ class TestBatchTraceDir:
         assert len(browser_pids) == 2
         for name in written:
             validate_trace(json.loads((trace_dir / name).read_text()))
+
+    def test_pooled_batch_writes_merged_worker_tracks(self, recorded_trace,
+                                                      tmp_path):
+        trace_dir = tmp_path / "traces"
+        code, output = run_cli(["batch", str(recorded_trace),
+                                str(recorded_trace), "--app", "sites",
+                                "--workers", "2",
+                                "--trace-dir", str(trace_dir)])
+        assert code == 0
+        assert "batch.trace.json" in output
+        written = sorted(p.name for p in trace_dir.iterdir())
+        assert len(written) == 3
+        merged = json.loads((trace_dir / "batch.trace.json").read_text())
+        events = validate_trace(merged)
+        # Two sessions on two isolated worker browsers: the merger must
+        # keep their browser tracks apart and label each with its worker.
+        browser_pids = {event["pid"] for event in events
+                        if event.get("cat") == "dispatch"}
+        assert len(browser_pids) == 2
+        names = [event["args"]["name"] for event in merged["traceEvents"]
+                 if event["ph"] == "M" and event["name"] == "process_name"]
+        assert names and all("[w" in name for name in names)
+        for name in written:
+            validate_trace(json.loads((trace_dir / name).read_text()))
