@@ -13,7 +13,7 @@ queue-depth counter).
 import time
 from collections import deque
 
-from repro import telemetry
+from repro import chaos, telemetry
 
 
 class InputMessage:
@@ -25,7 +25,7 @@ class InputMessage:
     """
 
     __slots__ = ("kind", "payload", "enqueued_at", "trace_enqueued_us",
-                 "trace_id", "target_engine")
+                 "trace_id", "target_engine", "chaos_deferred")
 
     MOUSE = "mouse"
     KEY = "key"
@@ -40,6 +40,10 @@ class InputMessage:
         self.trace_enqueued_us = None
         self.trace_id = None
         self.target_engine = target_engine
+        # True once chaos has reordered this message to the back of the
+        # queue; a message is deferred at most once so the pump always
+        # terminates.
+        self.chaos_deferred = False
 
     def __repr__(self):
         return "InputMessage(%s, %r)" % (self.kind, self.payload)
@@ -61,6 +65,7 @@ class IpcChannel:
         self._queue = deque()
         self._receiver = None
         self.delivered_count = 0
+        self._clock = clock
         self._now = clock.now if clock is not None else time.perf_counter
         #: True when enqueue times are wall seconds (no clock given).
         self._wall = clock is None
@@ -101,6 +106,9 @@ class IpcChannel:
         """Deliver all queued messages; returns how many were delivered."""
         if self._receiver is None:
             raise RuntimeError("IPC channel has no connected receiver")
+        injector = chaos.current()
+        if injector is not None:
+            return self._pump_chaotic(injector)
         tracer = telemetry.current()
         if tracer is not None:
             return self._pump_traced(tracer)
@@ -131,6 +139,59 @@ class IpcChannel:
             delivered += 1
         tracer.complete("ipc.pump", pump_start, track=self._send_track,
                         cat="ipc", args={"delivered": delivered})
+        self.delivered_count += delivered
+        return delivered
+
+    def _pump_chaotic(self, injector):
+        """The pump loop with fault injection (and tracing if on).
+
+        Per message, in order: *reorder* defers it once to the back of
+        the queue, *drop* discards it, *delay* advances the virtual
+        clock before delivery (queue latency a congested channel would
+        add). All draws come from the injector's ``ipc`` stream, so the
+        perturbation schedule is a pure function of (profile, seed).
+        """
+        tracer = telemetry.current()
+        pump_start = tracer.now_us() if tracer is not None else None
+        delivered = 0
+        dropped = 0
+        queue = self._queue
+        while queue:
+            message = queue.popleft()
+            if (queue and not message.chaos_deferred
+                    and injector.fault("ipc", "reorder", "ipc_reorder_rate",
+                                       detail=message.kind) is not None):
+                message.chaos_deferred = True
+                queue.append(message)
+                continue
+            if injector.fault("ipc", "drop", "ipc_drop_rate",
+                              detail=message.kind) is not None:
+                dropped += 1
+                if tracer is not None and message.trace_id is not None:
+                    tracer.async_end("ipc.queue", message.trace_id,
+                                     track=self._recv_track, cat="ipc")
+                continue
+            delay_ms = injector.fault("ipc", "delay", "ipc_delay_rate",
+                                      "ipc_delay_ms", detail=message.kind)
+            if delay_ms is not None and self._clock is not None:
+                self._clock.advance(delay_ms)
+            if tracer is not None:
+                if message.trace_id is not None:
+                    tracer.async_end("ipc.queue", message.trace_id,
+                                     track=self._recv_track, cat="ipc")
+                deliver_start = tracer.now_us()
+                self._receiver(message)
+                tracer.complete("ipc.deliver", deliver_start,
+                                track=self._recv_track, cat="ipc",
+                                args={"kind": message.kind,
+                                      "queue_ms": self.latency_ms(message)})
+            else:
+                self._receiver(message)
+            delivered += 1
+        if tracer is not None:
+            tracer.complete("ipc.pump", pump_start, track=self._send_track,
+                            cat="ipc", args={"delivered": delivered,
+                                             "dropped": dropped})
         self.delivered_count += delivered
         return delivered
 

@@ -8,8 +8,10 @@ path: it connects an :class:`~repro.browser.ipc.IpcChannel` receiver
 that forwards messages to the engine's EventHandler.
 """
 
+from repro import chaos
 from repro.browser.ipc import IpcChannel, InputMessage
 from repro.browser.webkit import WebKitEngine
+from repro.util.errors import RendererCrashError, RendererHangError
 
 
 class Renderer:
@@ -19,6 +21,10 @@ class Renderer:
         self.browser = browser
         self.tab = tab
         self.engine = WebKitEngine(browser, tab)
+        #: True once the renderer process has died (Chrome's "sad tab").
+        #: A crashed renderer rejects all further input until the tab is
+        #: reloaded (which builds a fresh Renderer).
+        self.crashed = False
         # The virtual clock makes enqueue→deliver latency deterministic;
         # track binding puts send-side events on the browser process
         # lane and deliveries on this renderer's lane.
@@ -53,8 +59,40 @@ class Renderer:
         elif message.kind == InputMessage.DRAG:
             handler.handle_drag(message.payload)
 
+    def crash(self):
+        """Kill the renderer process (the injected "sad tab").
+
+        The engine unloads — detaching its frame clients exactly like a
+        navigation teardown would — and the tab shows the crash page
+        until something reloads it.
+        """
+        if not self.crashed:
+            self.crashed = True
+            self.engine.unload()
+
     def send_input(self, message):
         """Browser-process side: queue and deliver an input event."""
+        if self.crashed:
+            raise RendererCrashError(
+                "renderer for tab %d has crashed; reload required"
+                % self.tab.tab_id)
+        injector = chaos.current()
+        if injector is not None:
+            if injector.fault("renderer", "crash", "renderer_crash_rate",
+                              detail=message.kind) is not None:
+                self.crash()
+                raise RendererCrashError(
+                    "renderer for tab %d crashed handling %s input (injected)"
+                    % (self.tab.tab_id, message.kind))
+            hang_ms = injector.fault("renderer", "hang", "renderer_hang_rate",
+                                     "renderer_hang_ms", detail=message.kind)
+            if hang_ms is not None:
+                # The renderer stops pumping for a while; the input event
+                # is lost (real browsers time the dispatch out).
+                self.browser.clock.advance(hang_ms)
+                raise RendererHangError(
+                    "renderer for tab %d hung for %.1fms handling %s input"
+                    % (self.tab.tab_id, hang_ms, message.kind))
         self.channel.send_and_pump(message)
 
     def __repr__(self):

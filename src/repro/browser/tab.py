@@ -12,7 +12,7 @@ from repro.browser.ipc import InputMessage
 from repro.browser.renderer import Renderer
 from repro.events.event import MouseEvent, DragEvent, KeyboardEvent
 from repro.events.keys import virtual_key_code, needs_shift, KEY_SHIFT
-from repro.util.errors import NavigationError, NetworkError
+from repro.util.errors import NavigationError, NetworkError, classify
 
 
 class Tab:
@@ -49,7 +49,11 @@ class Tab:
         try:
             response = self.browser.network.fetch(url, method=method, body=body)
         except NetworkError as error:
-            raise NavigationError(str(error))
+            failure = NavigationError(str(error))
+            # The navigation is only as permanent as its cause: a
+            # transient network fault stays retryable through the wrap.
+            failure.severity = classify(error)
+            raise failure
         if not response.ok and response.status != 404:
             raise NavigationError(
                 "server returned %d for %s" % (response.status, url)

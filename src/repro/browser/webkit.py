@@ -8,12 +8,13 @@ engines of any ``<iframe src=...>`` elements. Iframes *without* a
 ChromeDriver problems the paper fixes (Section IV-C).
 """
 
+from repro import chaos
 from repro.dom.parser import parse_html
 from repro.events.dispatch import dispatch_event
 from repro.layout.engine import LayoutEngine
 from repro.net.http import resolve_url
 from repro.scripting.context import Window
-from repro.util.errors import NetworkError, ScriptError
+from repro.util.errors import InjectedScriptError, NetworkError, ScriptError
 
 
 class WebKitEngine:
@@ -94,9 +95,19 @@ class WebKitEngine:
 
     def _run_scripts(self):
         """Execute ``<script data-script=...>`` references via the registry."""
+        injector = chaos.current()
         for element in self.document.get_elements_by_tag("script"):
             name = element.get_attribute("data-script")
             if not name:
+                continue
+            if (injector is not None
+                    and injector.fault("script", "load_error",
+                                       "script_error_rate",
+                                       detail=name) is not None):
+                # The script dies before running: its side effects (event
+                # handlers, initialization) never happen on this page.
+                self.window.console.error(InjectedScriptError(
+                    "injected load-time exception in script %r" % name))
                 continue
             try:
                 script = self.browser.script_registry.get(name)

@@ -1,0 +1,100 @@
+"""Deterministic fault injection across the simulated browser stack.
+
+``repro.chaos`` perturbs every substrate layer through explicit
+injection points — IPC delay/drop/reorder, renderer crash/hang, network
+failure/latency/slow-body, page-script exceptions, and layout jitter —
+so the self-healing replay machinery can be exercised and proven. A run
+is configured by a composable :class:`FaultProfile` plus a seed, and is
+exactly reproducible from that pair: the injector derives one private
+random stream per layer, logs every fired fault in order, and exposes
+the schedule for byte-identical comparison.
+
+Chaos is **off by default** and mirrors :mod:`repro.telemetry`'s
+process-wide singleton discipline: instrumented code pays exactly one
+guard check (``chaos.current() is None``) while off — the chaos
+benchmark pins that overhead below 5%. Enable it for a region::
+
+    from repro import chaos
+
+    with chaos.active(chaos.FaultProfile.flaky_net(), seed=7,
+                      clock=browser.clock) as injector:
+        report = replayer.replay(trace)
+    print(injector.summary())
+
+or from the shell with ``python -m repro chaos --profile flaky-net``.
+While installed, fault activity also shows up as ``chaos.<layer>``
+counters in :mod:`repro.perf` and as instants on the chaos track of any
+installed telemetry tracer.
+"""
+
+from contextlib import contextmanager
+
+from repro.chaos.injector import ChaosInjector, FaultRecord
+from repro.chaos.profile import LAYERS, PROFILES, FaultProfile, get_profile
+
+_injector = None
+
+
+def current():
+    """The installed injector, or None while chaos is off.
+
+    This is THE guard injection points check; everything else in the
+    subsystem is only reached when it returns an injector.
+    """
+    return _injector
+
+
+def enabled():
+    """True while an injector is installed."""
+    return _injector is not None
+
+
+def install(injector):
+    """Install ``injector`` process-wide; returns it.
+
+    Nested installs are refused — the injector is a process-wide
+    singleton, like the telemetry tracer.
+    """
+    global _injector
+    if _injector is not None:
+        raise RuntimeError("a chaos injector is already installed")
+    _injector = injector
+    return injector
+
+
+def uninstall():
+    """Remove the installed injector (no-op when chaos is off)."""
+    global _injector
+    _injector = None
+
+
+@contextmanager
+def active(profile, seed=0, clock=None, injector=None):
+    """Enable fault injection for a ``with`` block.
+
+    Installs ``injector`` (or a fresh :class:`ChaosInjector` built from
+    ``profile``/``seed``/``clock``), uninstalls it on exit, and yields
+    it so callers can read the fault schedule afterwards.
+    """
+    live = injector if injector is not None else ChaosInjector(
+        profile, seed=seed, clock=clock)
+    install(live)
+    try:
+        yield live
+    finally:
+        uninstall()
+
+
+__all__ = [
+    "LAYERS",
+    "PROFILES",
+    "ChaosInjector",
+    "FaultProfile",
+    "FaultRecord",
+    "active",
+    "current",
+    "enabled",
+    "get_profile",
+    "install",
+    "uninstall",
+]

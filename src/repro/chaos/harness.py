@@ -1,0 +1,228 @@
+"""The chaos matrix: replay bundled workloads under every fault profile.
+
+``python -m repro chaos`` drives this harness: for each (application,
+profile, seed) cell it records the app's canonical scripted session on a
+quiet browser, then replays it on a fresh browser with the fault
+injector installed, and scores the outcome — complete, failed (some
+commands lost), or halted (session aborted). The aggregated
+:class:`SurvivalReport` is the headline artifact: survival rate per
+profile, per-layer fault counts, retries, recoveries, and aborts.
+
+Everything is virtual-time and seed-driven, so a cell is exactly
+reproducible from ``(app, profile, seed)`` — two runs of the same
+matrix produce identical reports.
+"""
+
+from repro import chaos
+from repro.session.engine import SessionEngine
+from repro.session.policies import RetryPolicy, TimingPolicy
+
+
+def default_workloads():
+    """The bundled (name, app_class, session, start_url) workloads."""
+    from repro.cli import APPS
+
+    return [(name,) + APPS[name] for name in sorted(APPS)]
+
+
+def record_workload(app_class, session, start_url, label=""):
+    """Record one scripted session on a quiet (chaos-free) browser."""
+    from repro.apps.framework import make_browser
+    from repro.core.recorder import WarrRecorder
+
+    browser, _ = make_browser([app_class], seed=0)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(start_url, label=label)
+    session(browser)
+    recorder.detach()
+    return recorder.trace
+
+
+class SessionOutcome:
+    """One matrix cell: an app's trace replayed under (profile, seed)."""
+
+    COMPLETE = "complete"
+    FAILED = "failed"
+    HALTED = "halted"
+
+    def __init__(self, app, profile_name, seed, report, injector_summary):
+        self.app = app
+        self.profile = profile_name
+        self.seed = seed
+        if report.halted:
+            self.status = self.HALTED
+        elif report.failed_count:
+            self.status = self.FAILED
+        else:
+            self.status = self.COMPLETE
+        self.commands = len(report.trace)
+        self.replayed = report.replayed_count
+        self.failed = report.failed_count
+        self.retries = report.retry_count
+        self.recoveries = report.recoveries
+        self.halt_reason = report.halt_reason
+        #: {"total_faults": n, "faults": {layer: {kind: n}}, ...}
+        self.injector = injector_summary
+
+    @property
+    def survived(self):
+        return self.status == self.COMPLETE
+
+    @property
+    def total_faults(self):
+        return self.injector.get("total_faults", 0)
+
+    def to_dict(self):
+        return {
+            "app": self.app,
+            "profile": self.profile,
+            "seed": self.seed,
+            "status": self.status,
+            "commands": self.commands,
+            "replayed": self.replayed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "halt_reason": self.halt_reason,
+            "faults": self.injector.get("faults", {}),
+            "total_faults": self.total_faults,
+        }
+
+    def __repr__(self):
+        return "SessionOutcome(%s/%s seed=%d: %s)" % (
+            self.app, self.profile, self.seed, self.status)
+
+
+class SurvivalReport:
+    """The chaos matrix rolled up: survival and recovery per profile."""
+
+    def __init__(self, retry_enabled):
+        self.retry_enabled = retry_enabled
+        self.outcomes = []
+
+    def add(self, outcome):
+        self.outcomes.append(outcome)
+
+    def by_profile(self):
+        """{profile: [outcomes]} preserving insertion order."""
+        grouped = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.profile, []).append(outcome)
+        return grouped
+
+    def profile_stats(self, profile):
+        """Aggregate numbers for one profile's row of the matrix."""
+        cells = [o for o in self.outcomes if o.profile == profile]
+        total = len(cells)
+        survived = sum(1 for o in cells if o.survived)
+        return {
+            "sessions": total,
+            "survived": survived,
+            "survival_rate": survived / total if total else None,
+            "halted": sum(1 for o in cells if o.status == o.HALTED),
+            "failed": sum(1 for o in cells if o.status == o.FAILED),
+            "faults": sum(o.total_faults for o in cells),
+            "retries": sum(o.retries for o in cells),
+            "recoveries": sum(o.recoveries for o in cells),
+        }
+
+    @property
+    def session_count(self):
+        return len(self.outcomes)
+
+    @property
+    def survived_count(self):
+        return sum(1 for o in self.outcomes if o.survived)
+
+    def to_dict(self):
+        """JSON-able report (the CI artifact)."""
+        return {
+            "retry_enabled": self.retry_enabled,
+            "sessions": self.session_count,
+            "survived": self.survived_count,
+            "profiles": {profile: self.profile_stats(profile)
+                         for profile in self.by_profile()},
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def summary_lines(self):
+        """Human-readable matrix rows for the CLI."""
+        lines = ["chaos matrix: %d session(s), retries %s"
+                 % (self.session_count,
+                    "on" if self.retry_enabled else "off")]
+        for profile in self.by_profile():
+            stats = self.profile_stats(profile)
+            lines.append(
+                "%-16s survived %d/%d (%.0f%%)  faults=%d retries=%d "
+                "recoveries=%d halted=%d"
+                % (profile, stats["survived"], stats["sessions"],
+                   100.0 * (stats["survival_rate"] or 0.0), stats["faults"],
+                   stats["retries"], stats["recoveries"], stats["halted"]))
+        return lines
+
+    def __repr__(self):
+        return "SurvivalReport(%d/%d survived)" % (
+            self.survived_count, self.session_count)
+
+
+def replay_under_chaos(trace, app_class, profile, seed, retry=None,
+                       timing=None):
+    """Replay one recorded trace with the fault injector installed.
+
+    Returns ``(report, injector)``. The injector is installed only
+    around the replay — recording and scoring stay quiet — and its
+    stream is bound to the replay browser's virtual clock so fault
+    records carry virtual timestamps.
+    """
+    from repro.apps.framework import make_browser
+
+    browser, _ = make_browser([app_class], seed=0, developer_mode=True)
+    engine = SessionEngine(
+        browser,
+        timing=timing if timing is not None else TimingPolicy.recorded(),
+        retry=retry)
+    with chaos.active(profile, seed=seed, clock=browser.clock) as injector:
+        report = engine.run(trace)
+    return report, injector
+
+
+def run_chaos_matrix(profiles, seeds=3, workloads=None, retry=None,
+                     timing=None, progress=None):
+    """Replay every workload under every (profile, seed); returns a
+    :class:`SurvivalReport`.
+
+    ``profiles`` is a list of :class:`~repro.chaos.profile.FaultProfile`
+    objects or bundled profile names; ``seeds`` is a count (seeds 0..N-1)
+    or an explicit list of seeds. ``retry`` defaults to
+    :meth:`RetryPolicy.default` — pass :meth:`RetryPolicy.none` to
+    measure how the un-hardened replayer dies. ``progress`` is an
+    optional callable receiving one line per completed cell.
+    """
+    profiles = [chaos.get_profile(p) if isinstance(p, str) else p
+                for p in profiles]
+    seed_list = list(seeds) if not isinstance(seeds, int) else list(range(seeds))
+    if retry is None:
+        retry = RetryPolicy.default()
+    if workloads is None:
+        workloads = default_workloads()
+    report = SurvivalReport(retry_enabled=retry.enabled)
+    for name, app_class, session, start_url in workloads:
+        trace = record_workload(app_class, session, start_url,
+                                label="%s chaos workload" % name)
+        for profile in profiles:
+            for seed in seed_list:
+                replay_report, injector = replay_under_chaos(
+                    trace, app_class, profile, seed,
+                    retry=retry, timing=timing)
+                outcome = SessionOutcome(name, profile.name, seed,
+                                         replay_report, injector.summary())
+                report.add(outcome)
+                if progress is not None:
+                    progress("[%s/%s seed=%d] %s: %d fault(s), %d "
+                             "retr%s, %d recover%s"
+                             % (name, profile.name, seed, outcome.status,
+                                outcome.total_faults, outcome.retries,
+                                "y" if outcome.retries == 1 else "ies",
+                                outcome.recoveries,
+                                "y" if outcome.recoveries == 1 else "ies"))
+    return report

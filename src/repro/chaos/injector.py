@@ -1,0 +1,186 @@
+"""The seed-driven fault injector behind every chaos injection point.
+
+A :class:`ChaosInjector` binds a :class:`~repro.chaos.profile.FaultProfile`
+to a seed. Every instrumented boundary (IPC pump, renderer input, network
+fetch, page-script entry, layout reflow) asks it one question — *does a
+fault fire here, and how hard?* — via :meth:`fault`. Decisions draw from
+per-layer random streams derived with a stable (process-independent) hash,
+so:
+
+- the complete fault schedule is a pure function of ``(profile, seed)``;
+- layers cannot perturb each other's streams (turning layout jitter off
+  does not move the renderer-crash schedule);
+- a zero rate short-circuits **before** drawing, so a fully quiet profile
+  consumes no randomness and a disabled-chaos run is bit-equivalent to a
+  no-chaos run.
+
+Every fired fault is appended to an in-order :class:`FaultRecord` log
+(the "fault schedule" the determinism tests compare byte-for-byte),
+counted in :mod:`repro.perf` as ``chaos.<layer>`` counters, and — when a
+tracer is installed — emitted as an instant on the chaos telemetry track.
+"""
+
+import json
+import zlib
+from contextlib import contextmanager
+
+from repro import perf, telemetry
+from repro.telemetry.tracks import CHAOS_TRACK
+from repro.util.rng import SeededRandom
+
+
+def _stable_child_seed(seed, label):
+    """A process-independent child seed (``hash()`` of str is salted)."""
+    return (int(seed) * 1000003 + zlib.crc32(label.encode("utf-8"))) & 0x7FFFFFFF
+
+
+class FaultRecord:
+    """One fired fault: where, what, when, and how hard."""
+
+    __slots__ = ("seq", "layer", "kind", "amount", "vt_ms", "detail")
+
+    def __init__(self, seq, layer, kind, amount, vt_ms, detail):
+        self.seq = seq
+        self.layer = layer
+        self.kind = kind
+        self.amount = amount
+        self.vt_ms = vt_ms
+        self.detail = detail
+
+    def to_dict(self):
+        return {
+            "seq": self.seq,
+            "layer": self.layer,
+            "kind": self.kind,
+            "amount": self.amount,
+            "vt_ms": self.vt_ms,
+            "detail": self.detail,
+        }
+
+    def __repr__(self):
+        return "FaultRecord(#%d %s.%s amount=%r)" % (
+            self.seq, self.layer, self.kind, self.amount)
+
+
+class ChaosInjector:
+    """Deterministic fault decisions for one ``(profile, seed)`` pair."""
+
+    def __init__(self, profile, seed=0, clock=None):
+        self.profile = profile
+        self.seed = seed
+        #: Optional VirtualClock; stamps records with virtual time.
+        self.clock = clock
+        self._streams = {}
+        self._suppressed = 0
+        #: In-order log of fired faults — the canonical fault schedule.
+        self.records = []
+        #: decisions[layer] = number of times the layer consulted us.
+        self.decisions = {}
+        #: fault_counts[(layer, kind)] = number of fired faults.
+        self.fault_counts = {}
+
+    # -- randomness ---------------------------------------------------------
+
+    def stream(self, layer):
+        """The layer's private random stream (created on first use)."""
+        rng = self._streams.get(layer)
+        if rng is None:
+            rng = SeededRandom(_stable_child_seed(self.seed, "chaos." + layer))
+            self._streams[layer] = rng
+        return rng
+
+    # -- suppression --------------------------------------------------------
+
+    @contextmanager
+    def suppressed(self):
+        """No faults fire inside the block (used by recovery replays).
+
+        Suppressed consultations neither draw randomness nor count as
+        decisions, so a recovery pass leaves the fault schedule exactly
+        where the crash left it.
+        """
+        self._suppressed += 1
+        try:
+            yield
+        finally:
+            self._suppressed -= 1
+
+    @property
+    def is_suppressed(self):
+        return self._suppressed > 0
+
+    # -- the decision -------------------------------------------------------
+
+    def fault(self, layer, kind, rate_field, amount_field=None, detail=""):
+        """Decide whether a fault fires at this injection point.
+
+        Returns ``None`` when no fault fires. When one does, returns the
+        drawn magnitude — a float sampled uniformly from the profile's
+        ``amount_field`` range, or ``0.0`` for faults without a magnitude
+        (drops, crashes, script errors).
+        """
+        rate = self.profile.rate(rate_field)
+        if rate <= 0.0 or self._suppressed:
+            return None
+        self.decisions[layer] = self.decisions.get(layer, 0) + 1
+        rng = self.stream(layer)
+        fired = rng.random() < rate
+        perf.record("chaos." + layer, fired)
+        if not fired:
+            return None
+        amount = 0.0
+        if amount_field is not None:
+            low, high = getattr(self.profile, amount_field)
+            amount = rng.uniform(low, high)
+        self._log(layer, kind, amount, detail)
+        return amount
+
+    def _log(self, layer, kind, amount, detail):
+        key = (layer, kind)
+        self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+        vt_ms = self.clock.now() if self.clock is not None else None
+        record = FaultRecord(len(self.records), layer, kind, amount,
+                             vt_ms, detail)
+        self.records.append(record)
+        tracer = telemetry.current()
+        if tracer is not None:
+            tracer.instant("chaos.%s.%s" % (layer, kind), track=CHAOS_TRACK,
+                           cat="chaos", args={"amount": amount,
+                                              "detail": detail,
+                                              "seq": record.seq})
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_faults(self):
+        return len(self.records)
+
+    def counts_by_layer(self):
+        """{layer: {kind: fired}} over every fault so far."""
+        out = {}
+        for (layer, kind), count in sorted(self.fault_counts.items()):
+            out.setdefault(layer, {})[kind] = count
+        return out
+
+    def schedule(self):
+        """The fault schedule as a list of plain dicts (JSON-able)."""
+        return [record.to_dict() for record in self.records]
+
+    def schedule_bytes(self):
+        """Canonical bytes of the schedule — byte-identical iff equal."""
+        return json.dumps(self.schedule(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def summary(self):
+        """JSON-able roll-up for survival reports."""
+        return {
+            "profile": self.profile.name,
+            "seed": self.seed,
+            "total_faults": self.total_faults,
+            "decisions": dict(sorted(self.decisions.items())),
+            "faults": self.counts_by_layer(),
+        }
+
+    def __repr__(self):
+        return "ChaosInjector(%r, seed=%r, faults=%d)" % (
+            self.profile.name, self.seed, self.total_faults)

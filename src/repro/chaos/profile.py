@@ -1,0 +1,220 @@
+"""Composable fault profiles: what to break, how often, how hard.
+
+A :class:`FaultProfile` is pure configuration — per-layer fault rates
+and magnitudes. It carries no randomness of its own; pairing a profile
+with a seed in a :class:`~repro.chaos.injector.ChaosInjector` fully
+determines the fault schedule, so any chaotic run is reproducible from
+``(profile, seed)``.
+
+Profiles compose by derivation: :meth:`replace` overrides fields,
+:meth:`only`/:meth:`without` filter by layer, :meth:`scaled` multiplies
+every rate. The bundled presets (``PROFILES``) are the rows of the
+chaos matrix the ``python -m repro chaos`` harness replays.
+"""
+
+#: The substrate layers faults can be injected into.
+LAYERS = ("ipc", "renderer", "net", "script", "layout")
+
+#: Profile fields, with the layer each belongs to and its default.
+_FIELDS = (
+    # IPC: browser -> renderer message channel.
+    ("ipc_drop_rate", "ipc", 0.0),
+    ("ipc_delay_rate", "ipc", 0.0),
+    ("ipc_delay_ms", "ipc", (5.0, 60.0)),
+    ("ipc_reorder_rate", "ipc", 0.0),
+    # Renderer process.
+    ("renderer_crash_rate", "renderer", 0.0),
+    ("renderer_hang_rate", "renderer", 0.0),
+    ("renderer_hang_ms", "renderer", (50.0, 400.0)),
+    # Network.
+    ("fetch_fail_rate", "net", 0.0),
+    ("fetch_latency_rate", "net", 0.0),
+    ("fetch_latency_ms", "net", (20.0, 250.0)),
+    ("fetch_slow_body_rate", "net", 0.0),
+    ("fetch_slow_body_ms_per_kb", "net", (10.0, 80.0)),
+    # Page scripts.
+    ("script_error_rate", "script", 0.0),
+    # Layout.
+    ("layout_jitter_rate", "layout", 0.0),
+    ("layout_jitter_px", "layout", (1.0, 6.0)),
+)
+
+_FIELD_LAYER = {name: layer for name, layer, _ in _FIELDS}
+_FIELD_DEFAULT = {name: default for name, _, default in _FIELDS}
+
+
+class FaultProfile:
+    """Per-layer fault rates and magnitudes (immutable by convention)."""
+
+    __slots__ = ("name",) + tuple(name for name, _, _ in _FIELDS)
+
+    def __init__(self, name="custom", **fields):
+        unknown = set(fields) - set(_FIELD_DEFAULT)
+        if unknown:
+            raise ValueError("unknown fault profile field(s): %s"
+                             % ", ".join(sorted(unknown)))
+        self.name = name
+        for field, default in _FIELD_DEFAULT.items():
+            value = fields.get(field, default)
+            if field.endswith("_rate"):
+                value = float(value)
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError("%s must be in [0, 1], got %r"
+                                     % (field, value))
+            else:
+                low, high = value
+                if low < 0 or high < low:
+                    raise ValueError("%s must be a (low, high) range with "
+                                     "0 <= low <= high" % field)
+                value = (float(low), float(high))
+            setattr(self, field, value)
+
+    # -- composition --------------------------------------------------------
+
+    def fields(self):
+        """{field: value} for every configurable field."""
+        return {field: getattr(self, field) for field in _FIELD_DEFAULT}
+
+    def replace(self, name=None, **overrides):
+        """A derived profile with ``overrides`` applied."""
+        fields = self.fields()
+        fields.update(overrides)
+        return FaultProfile(name if name is not None else self.name, **fields)
+
+    def only(self, *layers):
+        """A derived profile with every other layer's rates zeroed."""
+        keep = set(layers)
+        unknown = keep - set(LAYERS)
+        if unknown:
+            raise ValueError("unknown layer(s): %s" % ", ".join(sorted(unknown)))
+        overrides = {field: 0.0 for field in _FIELD_DEFAULT
+                     if field.endswith("_rate") and _FIELD_LAYER[field] not in keep}
+        return self.replace(**overrides)
+
+    def without(self, *layers):
+        """A derived profile with the given layers' rates zeroed."""
+        return self.only(*[layer for layer in LAYERS if layer not in layers])
+
+    def scaled(self, factor):
+        """A derived profile with every rate multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        overrides = {field: min(1.0, getattr(self, field) * factor)
+                     for field in _FIELD_DEFAULT if field.endswith("_rate")}
+        return self.replace(**overrides)
+
+    def rate(self, field):
+        """Rate lookup by field name (0.0 for unknown fields)."""
+        return getattr(self, field, 0.0)
+
+    @property
+    def quiet(self):
+        """True when every rate is zero (no fault can ever fire)."""
+        return all(getattr(self, field) == 0.0
+                   for field in _FIELD_DEFAULT if field.endswith("_rate"))
+
+    def active_layers(self):
+        """Layers with at least one non-zero rate, in LAYERS order."""
+        live = {_FIELD_LAYER[field] for field in _FIELD_DEFAULT
+                if field.endswith("_rate") and getattr(self, field) > 0.0}
+        return [layer for layer in LAYERS if layer in live]
+
+    def to_dict(self):
+        """JSON-able description (name + every field)."""
+        data = {"name": self.name}
+        for field, value in sorted(self.fields().items()):
+            data[field] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    # -- presets ------------------------------------------------------------
+
+    @classmethod
+    def disabled(cls):
+        """All rates zero: installing it must change nothing."""
+        return cls("disabled")
+
+    @classmethod
+    def default(cls):
+        """Mild background chaos across every layer."""
+        return cls(
+            "default",
+            ipc_drop_rate=0.02, ipc_delay_rate=0.05, ipc_reorder_rate=0.03,
+            renderer_crash_rate=0.02, renderer_hang_rate=0.03,
+            fetch_fail_rate=0.05, fetch_latency_rate=0.10,
+            fetch_slow_body_rate=0.05,
+            script_error_rate=0.03,
+            layout_jitter_rate=0.05,
+        )
+
+    @classmethod
+    def flaky_net(cls):
+        """An unreliable backend: failures, latency spikes, slow bodies."""
+        return cls(
+            "flaky-net",
+            fetch_fail_rate=0.30, fetch_latency_rate=0.30,
+            fetch_latency_ms=(50.0, 500.0), fetch_slow_body_rate=0.20,
+        )
+
+    @classmethod
+    def renderer_crash(cls):
+        """Sad tabs: renderer death plus occasional hangs."""
+        return cls(
+            "renderer-crash",
+            renderer_crash_rate=0.10, renderer_hang_rate=0.10,
+        )
+
+    @classmethod
+    def ipc_storm(cls):
+        """A congested channel: drops, delays, reordering."""
+        return cls(
+            "ipc-storm",
+            ipc_drop_rate=0.05, ipc_delay_rate=0.25,
+            ipc_delay_ms=(10.0, 120.0), ipc_reorder_rate=0.15,
+        )
+
+    @classmethod
+    def script_chaos(cls):
+        """Page scripts throwing at load time and inside timers."""
+        return cls("script-chaos", script_error_rate=0.25)
+
+    @classmethod
+    def layout_jitter(cls):
+        """Late/shifted layout: every reflow may translate the page."""
+        return cls("layout-jitter", layout_jitter_rate=0.40,
+                   layout_jitter_px=(1.0, 8.0))
+
+    @classmethod
+    def everything(cls):
+        """The default profile turned up: every layer, higher rates."""
+        return cls.default().scaled(2.5).replace(name="everything")
+
+    def __repr__(self):
+        live = ",".join(self.active_layers()) or "quiet"
+        return "FaultProfile(%r, %s)" % (self.name, live)
+
+
+def get_profile(name):
+    """Look up a bundled profile by name; raises ValueError if unknown.
+
+    Accepts both spellings of multi-word names (``flaky-net`` and
+    ``flaky_net``).
+    """
+    try:
+        factory = PROFILES[str(name).replace("_", "-")]
+    except KeyError:
+        raise ValueError("unknown fault profile %r; choose from %s"
+                         % (name, ", ".join(sorted(PROFILES))))
+    return factory()
+
+
+#: name -> zero-argument factory for every bundled profile.
+PROFILES = {
+    "disabled": FaultProfile.disabled,
+    "default": FaultProfile.default,
+    "flaky-net": FaultProfile.flaky_net,
+    "renderer-crash": FaultProfile.renderer_crash,
+    "ipc-storm": FaultProfile.ipc_storm,
+    "script-chaos": FaultProfile.script_chaos,
+    "layout-jitter": FaultProfile.layout_jitter,
+    "everything": FaultProfile.everything,
+}

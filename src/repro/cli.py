@@ -12,6 +12,8 @@ The workflows a downstream user runs from a shell::
     python -m repro trace   session.warr --app sites --out trace.json
     python -m repro inspect session.warr
     python -m repro weberr  session.warr --app sites --campaign timing
+    python -m repro chaos   --profile default flaky_net --seeds 5
+                            [--no-retry] [--out report.json]
 
 ``replay --trace-out`` and the dedicated ``trace`` subcommand record a
 Chrome trace-event timeline of the replay (IPC, dispatch, layout,
@@ -229,6 +231,33 @@ def cmd_weberr(args, out):
     return 0
 
 
+def cmd_chaos(args, out):
+    # Imported lazily: the harness reaches back into this module for the
+    # APPS table, so a top-level import would be circular.
+    import json
+
+    from repro.chaos.harness import default_workloads, run_chaos_matrix
+    from repro.session.policies import RetryPolicy
+
+    workloads = default_workloads()
+    if args.app:
+        workloads = [w for w in workloads if w[0] in args.app]
+    if args.quick:
+        workloads = workloads[:1]
+    retry = RetryPolicy.none() if args.no_retry else RetryPolicy.default()
+    progress = (lambda line: print(line, file=out)) if args.verbose else None
+    report = run_chaos_matrix(args.profile, seeds=args.seeds,
+                              workloads=workloads, retry=retry,
+                              progress=progress)
+    for line in report.summary_lines():
+        print(line, file=out)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print("survival report written to %s" % args.out, file=out)
+    return 0 if report.session_count else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +341,29 @@ def build_parser():
     weberr.add_argument("--max-tests", type=int, default=50)
     weberr.add_argument("--seed", type=int, default=0)
     weberr.set_defaults(func=cmd_weberr)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="replay bundled workloads under fault injection and report "
+             "survival")
+    chaos_cmd.add_argument("--profile", nargs="+", default=["default"],
+                           help="fault profile name(s) "
+                                "(see repro.chaos.PROFILES)")
+    chaos_cmd.add_argument("--seeds", type=int, default=3, metavar="N",
+                           help="run seeds 0..N-1 per (app, profile) cell")
+    chaos_cmd.add_argument("--app", nargs="*", default=None,
+                           choices=sorted(APPS),
+                           help="restrict the matrix to these app(s)")
+    chaos_cmd.add_argument("--quick", action="store_true",
+                           help="smoke mode: one workload only")
+    chaos_cmd.add_argument("--no-retry", action="store_true",
+                           help="replay without self-healing (measure how "
+                                "the un-hardened replayer dies)")
+    chaos_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="write the JSON survival report to PATH")
+    chaos_cmd.add_argument("--verbose", action="store_true",
+                           help="print one line per matrix cell")
+    chaos_cmd.set_defaults(func=cmd_chaos)
     return parser
 
 

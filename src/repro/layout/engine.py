@@ -13,7 +13,7 @@ engine applies as a final translation, so dragging changes geometry the
 way the paper's drag command expects.
 """
 
-from repro import perf, telemetry
+from repro import chaos, perf, telemetry
 from repro.dom.node import Document, Element, Text
 from repro.layout.box import Rect, LayoutBox
 
@@ -73,8 +73,30 @@ class LayoutEngine:
         if body is not None:
             self._layout_block(body, 0, 0, self.viewport_width)
             self._apply_drag_offsets()
+            self._apply_chaos_jitter()
         self._dirty = False
         return self
+
+    def _apply_chaos_jitter(self):
+        """Chaos injection point: shift the whole page by a few pixels.
+
+        Models late-landing layout (ads, fonts, async content pushing
+        the page around): recorded click coordinates stop matching the
+        element they targeted, which is exactly what the locator
+        relaxation ladder has to absorb.
+        """
+        injector = chaos.current()
+        if injector is None:
+            return
+        px = injector.fault("layout", "jitter", "layout_jitter_rate",
+                            "layout_jitter_px")
+        if px is None:
+            return
+        rng = injector.stream("layout")
+        dx = int(round(px)) * rng.choice((-1, 1))
+        dy = int(round(px * rng.random()))
+        for box in self._boxes.values():
+            box.rect = box.rect.translated(dx, dy)
 
     def invalidate(self):
         """Mark the layout stale after a DOM change.

@@ -8,8 +8,14 @@ loop after the simulated round-trip latency. That delay is what creates
 the window for timing errors.
 """
 
+from repro import chaos
 from repro.net.http import HttpRequest, HttpResponse
-from repro.util.errors import NetworkError
+from repro.util.backoff import BackoffSchedule
+from repro.util.errors import (
+    NetworkError,
+    NetworkFaultError,
+    NetworkTimeoutError,
+)
 
 
 class WebServer:
@@ -82,11 +88,30 @@ class ExchangeRecord:
 
 
 class Network:
-    """Routes requests to registered servers with simulated latency."""
+    """Routes requests to registered servers with simulated latency.
 
-    def __init__(self, event_loop, default_latency_ms=50.0):
+    The network is also where the replay stack defends against an
+    unreliable backend: an optional per-request ``timeout_ms`` turns
+    slow requests into :class:`NetworkTimeoutError`, and ``retries`` >
+    0 makes transient failures (injected faults, timeouts) retry after
+    a capped-exponential, deterministically jittered backoff — all in
+    virtual time, so runs stay reproducible.
+    """
+
+    def __init__(self, event_loop, default_latency_ms=50.0, timeout_ms=None,
+                 retries=0, backoff=None, retry_jitter_seed=0):
         self.event_loop = event_loop
         self.default_latency_ms = default_latency_ms
+        #: Fail requests whose (simulated) latency exceeds this; None = never.
+        self.timeout_ms = timeout_ms
+        #: Extra attempts after a transient failure (0 = fail fast).
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffSchedule(
+            base_ms=20.0, cap_ms=500.0)
+        self._backoff_seq = self.backoff.sequence(retry_jitter_seed)
+        #: (transient failures retried, requests timed out) — for reports.
+        self.retry_count = 0
+        self.timeout_count = 0
         self._servers = {}
         self._latencies = {}
         #: Wire log every exchange lands in; baselines tap this.
@@ -117,21 +142,112 @@ class Network:
         return response
 
     def fetch(self, url, method="GET", body=""):
-        """Synchronous fetch (navigation): latency advances the clock."""
+        """Synchronous fetch (navigation): latency advances the clock.
+
+        Transient failures (injected faults, timeouts) are retried up to
+        ``self.retries`` times, backing the virtual clock off between
+        attempts; permanent :class:`NetworkError`\\ s fail immediately.
+        """
         request = HttpRequest(url, method=method, body=body)
-        self.clock.advance(self.latency_for(request.host))
-        return self._dispatch(request)
+        attempt = 1
+        while True:
+            try:
+                return self._fetch_once(request)
+            except (NetworkFaultError, NetworkTimeoutError):
+                if attempt > self.retries:
+                    raise
+                self.retry_count += 1
+                self.clock.advance(self._backoff_seq.delay_ms(attempt))
+                attempt += 1
+
+    def _fetch_once(self, request):
+        """One synchronous attempt: chaos gate, timeout, dispatch."""
+        latency = self.latency_for(request.host)
+        injector = chaos.current()
+        if injector is not None:
+            if injector.fault("net", "fail", "fetch_fail_rate",
+                              detail=request.path) is not None:
+                self.clock.advance(latency)
+                raise NetworkFaultError(
+                    "injected fetch failure for %s" % request.path)
+            extra = injector.fault("net", "latency", "fetch_latency_rate",
+                                   "fetch_latency_ms", detail=request.path)
+            if extra is not None:
+                latency += extra
+        if self.timeout_ms is not None and latency > self.timeout_ms:
+            self.timeout_count += 1
+            self.clock.advance(self.timeout_ms)
+            raise NetworkTimeoutError(
+                "request for %s exceeded the %.0fms timeout"
+                % (request.path, self.timeout_ms))
+        self.clock.advance(latency)
+        response = self._dispatch(request)
+        if injector is not None:
+            ms_per_kb = injector.fault("net", "slow_body",
+                                       "fetch_slow_body_rate",
+                                       "fetch_slow_body_ms_per_kb",
+                                       detail=request.path)
+            if ms_per_kb is not None:
+                kb = max(1.0, len(response.body) / 1024.0)
+                self.clock.advance(ms_per_kb * kb)
+        return response
 
     def fetch_async(self, url, callback, method="GET", body=""):
-        """Asynchronous fetch (XHR): callback fires after the latency."""
+        """Asynchronous fetch (XHR): callback fires after the latency.
+
+        The callback always receives a response — transient failures
+        retry on the event loop until attempts run out, then surface as
+        a 502 (injected fault) or 504 (timeout), matching how the AJAX
+        layer already reports wire errors.
+        """
         request = HttpRequest(url, method=method, body=body)
+        state = {"attempt": 1}
 
         def deliver():
+            injector = chaos.current()
+            if (injector is not None
+                    and injector.fault("net", "fail", "fetch_fail_rate",
+                                       detail=request.path) is not None):
+                if state["attempt"] <= self.retries:
+                    delay = self._backoff_seq.delay_ms(state["attempt"])
+                    state["attempt"] += 1
+                    self.retry_count += 1
+                    self.event_loop.call_later(delay, deliver)
+                else:
+                    callback(HttpResponse(body="injected network fault",
+                                          status=502,
+                                          content_type="text/plain"))
+                return
             try:
                 response = self._dispatch(request)
             except NetworkError:
                 response = HttpResponse(body="network error", status=502,
                                         content_type="text/plain")
+            if injector is not None:
+                ms_per_kb = injector.fault("net", "slow_body",
+                                           "fetch_slow_body_rate",
+                                           "fetch_slow_body_ms_per_kb",
+                                           detail=request.path)
+                if ms_per_kb is not None:
+                    kb = max(1.0, len(response.body) / 1024.0)
+                    self.event_loop.call_later(
+                        ms_per_kb * kb, lambda: callback(response))
+                    return
             callback(response)
 
-        return self.event_loop.call_later(self.latency_for(request.host), deliver)
+        latency = self.latency_for(request.host)
+        injector = chaos.current()
+        if injector is not None:
+            extra = injector.fault("net", "latency", "fetch_latency_rate",
+                                   "fetch_latency_ms", detail=request.path)
+            if extra is not None:
+                latency += extra
+        if self.timeout_ms is not None and latency > self.timeout_ms:
+            self.timeout_count += 1
+
+            def time_out():
+                callback(HttpResponse(body="request timed out", status=504,
+                                      content_type="text/plain"))
+
+            return self.event_loop.call_later(self.timeout_ms, time_out)
+        return self.event_loop.call_later(latency, deliver)

@@ -8,9 +8,14 @@ browser — the WebErr oracle inspects ``console.errors`` to decide
 whether an injected human error exposed a bug.
 """
 
+from repro import chaos
 from repro.net.ajax import XmlHttpRequest
 from repro.scripting.environment import JSEnvironment
-from repro.util.errors import ScriptError
+from repro.util.errors import (
+    InjectedScriptError,
+    NavigationError,
+    ScriptError,
+)
 
 
 class Console:
@@ -73,6 +78,13 @@ class Window:
         asynchronous JS errors do.
         """
         def guarded():
+            injector = chaos.current()
+            if (injector is not None
+                    and injector.fault("script", "timer_error",
+                                       "script_error_rate") is not None):
+                self.console.error(InjectedScriptError(
+                    "injected timer-callback exception"))
+                return
             try:
                 callback()
             except ScriptError as error:
@@ -108,10 +120,19 @@ class Window:
         return self.document.url
 
     def navigate(self, url):
-        """Ask the browser to load a new page in this tab."""
+        """Ask the browser to load a new page in this tab.
+
+        A navigation that fails to fetch (e.g. under injected network
+        faults) leaves the current page in place and lands on the
+        console — script-initiated navigation failures are page-level
+        errors, not browser crashes.
+        """
         if self._navigate is None:
             raise ScriptError("navigation is not available in this context")
-        self._navigate(url)
+        try:
+            self._navigate(url)
+        except NavigationError as error:
+            self.console.error(ScriptError(str(error), cause=error))
 
     # -- DOM sugar ------------------------------------------------------------
 

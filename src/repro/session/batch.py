@@ -28,7 +28,8 @@ import os
 from repro import telemetry
 from repro.session.engine import SessionEngine
 from repro.session.observers import PerfCountersObserver
-from repro.session.report import ReplayReport
+from repro.session.policies import FailurePolicy
+from repro.session.report import RemoteError, ReplayReport
 
 
 class TraceRun:
@@ -135,13 +136,14 @@ class BatchRunner:
     """
 
     def __init__(self, browser_factory, driver_config=None, timing=None,
-                 locator=None, failure=None, observers=None, workers=1,
-                 trace_timeout=None):
+                 locator=None, failure=None, retry=None, observers=None,
+                 workers=1, trace_timeout=None):
         self.browser_factory = browser_factory
         self.driver_config = driver_config
         self.timing = timing
         self.locator = locator
         self.failure = failure
+        self.retry = retry
         self.observers = list(observers or [])
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -198,6 +200,7 @@ class BatchRunner:
                     timing=self.timing,
                     locator=self.locator,
                     failure=self.failure,
+                    retry=self.retry,
                     observers=self.observers + [perf_totals],
                 )
                 report = engine.run(trace)
@@ -213,8 +216,18 @@ class BatchRunner:
                 telemetry.write_trace(
                     os.path.join(trace_dir, "%s.trace.json" % stem),
                     tracer, events=tracer.events_since(mark))
+            if report.halted and self._halts_batch():
+                # FailurePolicy.halt is the batch-level abort: stop
+                # dispatching the remaining traces. (stop/continue end
+                # at session scope; the batch carries on.)
+                break
         batch.perf_counters = perf_totals.summary()
         return batch
+
+    def _halts_batch(self):
+        """True when the runner's failure policy is ``halt``."""
+        return (self.failure is not None
+                and self.failure.on_failure == FailurePolicy.HALT)
 
     # -- pooled (multiprocess) execution -------------------------------------
 
@@ -233,7 +246,7 @@ class BatchRunner:
         pool = WorkerPool(
             spec, self.workers,
             driver_config=self.driver_config, timing=self.timing,
-            locator=self.locator, failure=self.failure,
+            locator=self.locator, failure=self.failure, retry=self.retry,
             trace_timeout=self.trace_timeout)
         tracing_on = trace_dir is not None
         if tracing_on:
@@ -251,9 +264,14 @@ class BatchRunner:
             else:
                 # Containment outcome: the worker died or the trace was
                 # killed on timeout — report it failed, keep the batch.
+                # halt_error's type_name discriminates deadline kills
+                # (TimeoutError) from dead workers (WorkerCrashError).
                 report = ReplayReport(trace)
                 report.halted = True
                 report.halt_reason = outcome.error or "worker failed"
+                report.halt_error = RemoteError(
+                    report.halt_reason,
+                    type_name=outcome.error_class or "WorkerError")
             shard = BatchReport()
             shard.add(TraceRun(label, trace, report))
             shard.perf_counters = report.perf_counters

@@ -1,0 +1,53 @@
+"""Lightweight per-command replay checkpoints for crash recovery.
+
+A replay's page state is (to the fidelity the substrate models) a pure
+function of the last committed navigation plus the commands executed
+since. A :class:`ReplayCheckpoint` tracks exactly that pair, so when a
+renderer crashes mid-session the engine does not need a DOM snapshot:
+it reloads the checkpoint URL and re-executes the checkpointed commands
+(with fault injection suppressed) to rebuild the page, then retries the
+command that crashed.
+
+The session run advances the checkpoint itself: every successful
+command either *commits* a new navigation (the URL changed, so the
+command list resets — replaying the click that navigated is unnecessary
+and wrong) or *appends* to the command list.
+"""
+
+
+class ReplayCheckpoint:
+    """The resume point: last committed URL + commands executed since."""
+
+    def __init__(self, url=None):
+        self.url = url
+        #: Commands to re-execute after reloading ``url``, in order.
+        self.commands = []
+
+    def committed(self, url):
+        """A navigation committed: new baseline, empty command list."""
+        self.url = url
+        self.commands = []
+
+    def executed(self, command):
+        """A non-navigating command succeeded on the current page."""
+        self.commands.append(command)
+
+    def advance(self, command, current_url):
+        """Record one successful command, detecting navigation by URL.
+
+        ``current_url`` is the tab's URL after the command ran; when it
+        differs from the checkpoint URL the command navigated, so the
+        new page becomes the baseline.
+        """
+        if current_url is not None and current_url != self.url:
+            self.committed(current_url)
+        else:
+            self.executed(command)
+
+    @property
+    def depth(self):
+        """How many commands a recovery would replay."""
+        return len(self.commands)
+
+    def __repr__(self):
+        return "ReplayCheckpoint(%r, +%d commands)" % (self.url, self.depth)

@@ -18,15 +18,26 @@ Two entry points:
   (WebErr's grammar inference snapshots the page after every step).
 """
 
-from repro import perf, telemetry
+from contextlib import nullcontext
+
+from repro import chaos, perf, telemetry
+from repro.session.checkpoint import ReplayCheckpoint
 from repro.session.events import EventStream, SessionEvent
 from repro.telemetry.tracks import SESSION_TRACK
 from repro.session.observers import ReportBuilder
-from repro.session.policies import FailurePolicy, LocatorPolicy, TimingPolicy
+from repro.session.policies import (
+    FailurePolicy,
+    LocatorPolicy,
+    RetryPolicy,
+    TimingPolicy,
+)
 from repro.session.report import CommandResult
 from repro.util.errors import (
     DriverError,
     ElementNotFoundError,
+    NavigationError,
+    NetworkError,
+    RendererCrashError,
     ReplayError,
     ReplayHaltedError,
 )
@@ -42,12 +53,14 @@ class SessionEngine:
     """
 
     def __init__(self, browser, driver_config=None, timing=None,
-                 locator=None, failure=None, observers=None):
+                 locator=None, failure=None, retry=None, observers=None):
         self.browser = browser
         self.driver_config = driver_config
         self.timing = timing if timing is not None else TimingPolicy.recorded()
         self.locator = locator if locator is not None else LocatorPolicy()
         self.failure = failure if failure is not None else FailurePolicy()
+        #: Self-healing: RetryPolicy.none() preserves fail-fast behaviour.
+        self.retry = retry if retry is not None else RetryPolicy.none()
         #: Standing observers, subscribed to every run's event stream.
         self.observers = list(observers or [])
 
@@ -129,11 +142,16 @@ class SessionEngine:
             data={"element": location.element}))
 
         # -- act stage ------------------------------------------------------
+        # NavigationError/NetworkError join the catch set because an
+        # action can trigger a navigation whose fetch fails — under
+        # chaos that is a transient the retry loop must get to see as a
+        # CommandResult, not an exception unwinding the session.
         try:
             self._act(location, command)
         except ReplayHaltedError:
             raise
-        except (ElementNotFoundError, DriverError) as error:
+        except (ElementNotFoundError, DriverError,
+                NavigationError, NetworkError) as error:
             return self._fail(command, error, emit)
         emit(SessionEvent(SessionEvent.ACTED, command=command,
                           detail=location.detail))
@@ -217,6 +235,9 @@ class SessionRun:
         self._error_base = 0
         self._perf_base = None
         self._finished = False
+        #: Crash-recovery resume point (last committed URL + commands).
+        self.checkpoint = ReplayCheckpoint()
+        self._backoff_seq = engine.retry.new_sequence()
 
     @property
     def report(self):
@@ -239,17 +260,32 @@ class SessionRun:
             SessionEvent.SESSION_STARTED,
             data={"trace": self.trace, "browser": browser,
                   "driver": self.driver}))
-        try:
-            self.driver.get(self.trace.start_url)
-        except Exception as error:
-            reason = "navigation to %r failed: %s" % (
-                self.trace.start_url, error)
-            self._navigation_failed = True
-            self.halted = True
-            self.stopped = True
-            self.stream.emit(SessionEvent(
-                SessionEvent.HALTED, detail=reason, error=error))
-            return self
+        # The initial navigation heals like any command: a transient
+        # failure (e.g. an injected network fault) retries with backoff
+        # instead of stranding the whole session before it starts.
+        retry = self.engine.retry
+        attempt = 1
+        while True:
+            try:
+                self.driver.get(self.trace.start_url)
+                break
+            except Exception as error:
+                if retry.should_retry(error, attempt):
+                    self.stream.emit(SessionEvent(
+                        SessionEvent.RETRYING, detail=str(error),
+                        error=error, data={"attempt": attempt}))
+                    self.driver.wait(self._backoff_seq.delay_ms(attempt))
+                    attempt += 1
+                    continue
+                reason = "navigation to %r failed: %s" % (
+                    self.trace.start_url, error)
+                self._navigation_failed = True
+                self.halted = True
+                self.stopped = True
+                self.stream.emit(SessionEvent(
+                    SessionEvent.HALTED, detail=reason, error=error))
+                return self
+        self.checkpoint.committed(self.trace.start_url)
         self.stream.emit(SessionEvent(
             SessionEvent.NAVIGATED, detail=self.trace.start_url,
             data={"url": self.trace.start_url, "driver": self.driver}))
@@ -278,7 +314,7 @@ class SessionRun:
         emit(SessionEvent(SessionEvent.COMMAND_STARTED, command=command,
                           data={"due": target}))
         try:
-            result = self.engine.execute(self.driver, command, emit=emit)
+            result = self._execute_healing(command, emit)
         except ReplayHaltedError as error:
             result = CommandResult(command, CommandResult.FAILED, error=error)
             emit(SessionEvent(SessionEvent.COMMAND_FINISHED, command=command,
@@ -290,6 +326,9 @@ class SessionRun:
             return result
         emit(SessionEvent(SessionEvent.COMMAND_FINISHED, command=command,
                           result=result))
+        if result.succeeded:
+            url = self.driver.tab.url if self.driver.has_session else None
+            self.checkpoint.advance(command, url)
         decision = self.engine.failure.decide(result)
         if decision == FailurePolicy.STOP:
             self.stopped = True
@@ -301,6 +340,73 @@ class SessionRun:
                 detail="command failed: %s" % command.to_line(),
                 error=result.error))
         return result
+
+    # -- self-healing -------------------------------------------------------
+
+    def _execute_healing(self, command, emit):
+        """Execute with the engine's RetryPolicy: retry transients,
+        recover renderer crashes from the replay checkpoint.
+
+        Backoff "sleeps" run through ``driver.wait`` so they advance
+        only the virtual clock (timers and AJAX fire during them, as
+        they would while a real client backs off).
+        """
+        retry = self.engine.retry
+        attempt = 1
+        while True:
+            result = self.engine.execute(self.driver, command, emit=emit)
+            result.retries = attempt - 1
+            error = result.error
+            if result.succeeded or error is None:
+                return result
+            if not retry.should_retry(error, attempt):
+                return result
+            if isinstance(error, RendererCrashError) and not retry.recover_crashes:
+                return result
+            emit(SessionEvent(SessionEvent.RETRYING, command=command,
+                              detail=str(error), error=error,
+                              data={"attempt": attempt}))
+            if isinstance(error, RendererCrashError):
+                self._recover_from_crash(error, emit)
+            self.driver.wait(self._backoff_seq.delay_ms(attempt))
+            attempt += 1
+
+    def _recover_from_crash(self, error, emit):
+        """Tab reload + checkpoint resume after a renderer crash.
+
+        Fault injection is suppressed for the whole recovery pass: the
+        reload and the checkpoint re-execution are repair work, not part
+        of the replay under test, so they must neither fault nor consume
+        the chaos schedule. Re-executed commands report to no observers
+        (the session already recorded their first, successful run).
+        """
+        checkpoint = self.checkpoint
+        emit(SessionEvent(
+            SessionEvent.RECOVERING, detail=checkpoint.url or "",
+            error=error,
+            data={"url": checkpoint.url, "depth": checkpoint.depth}))
+        injector = chaos.current()
+        guard = injector.suppressed() if injector is not None else nullcontext()
+        silent = EventStream([]).emit
+        with guard:
+            try:
+                self.driver.get(checkpoint.url)
+            except Exception as reload_error:
+                raise ReplayHaltedError(
+                    "recovery reload of %r failed: %s"
+                    % (checkpoint.url, reload_error))
+            for past in checkpoint.commands:
+                try:
+                    self.engine.execute(self.driver, past, emit=silent)
+                except ReplayHaltedError:
+                    raise
+                except ReplayError:
+                    # Best effort: the retried command's own outcome
+                    # decides whether the session proceeds.
+                    pass
+        emit(SessionEvent(
+            SessionEvent.RECOVERED,
+            data={"url": checkpoint.url, "depth": checkpoint.depth}))
 
     def finish(self):
         """Settle the page, collect errors and counters, close the run."""

@@ -21,6 +21,9 @@ class SessionEvent:
     ACTED = "acted"
     COMMAND_FINISHED = "command-finished"
     FAILED = "failed"
+    RETRYING = "retrying"
+    RECOVERING = "recovering"
+    RECOVERED = "recovered"
     HALTED = "halted"
     PAGE_ERROR = "page-error"
     PERF_DELTA = "perf-delta"
@@ -79,6 +82,15 @@ class SessionObserver:
         pass
 
     def on_failed(self, event):
+        pass
+
+    def on_retrying(self, event):
+        pass
+
+    def on_recovering(self, event):
+        pass
+
+    def on_recovered(self, event):
         pass
 
     def on_halted(self, event):

@@ -30,6 +30,10 @@ class ReportBuilder(SessionObserver):
     def on_halted(self, event):
         self.report.halted = True
         self.report.halt_reason = event.detail
+        self.report.halt_error = event.error
+
+    def on_recovered(self, event):
+        self.report.recoveries += 1
 
     def on_page_error(self, event):
         self.report.page_errors.append(event.data["error"])

@@ -9,15 +9,20 @@ act → observe) is configured by a policy object:
   chain (exact → implicit wait → XPath relaxation → recorded-coordinate
   fallback);
 - :class:`FailurePolicy` — what a failed command does to the rest of
-  the session (continue / stop / halt).
+  the session (continue / stop / halt);
+- :class:`RetryPolicy` — self-healing: which failures are retried, how
+  many times, with what backoff, and whether renderer crashes trigger
+  checkpoint recovery instead of aborting the session.
 
 Policies are pure strategy objects: they hold configuration, never
 per-session state. Session state (the relaxation resolution log, the
-timeline anchor) lives on the driver and the run, so one policy can
-safely configure many concurrent sessions.
+timeline anchor, the retry backoff stream, the replay checkpoint) lives
+on the driver and the run, so one policy can safely configure many
+concurrent sessions.
 """
 
-from repro.util.errors import ElementNotFoundError
+from repro.util.backoff import BackoffSchedule
+from repro.util.errors import ElementNotFoundError, is_transient
 
 
 class TimingPolicy:
@@ -174,9 +179,14 @@ class FailurePolicy:
     - ``continue`` (default): record the failure, replay the rest —
       a developer usually wants the full damage report;
     - ``stop``: stop issuing commands but finish the session normally
-      (settle the page, collect errors) — the classic stop-on-failure;
+      (settle the page, collect errors) — the classic stop-on-failure.
+      Stop ends only the *session*: a batch run carries on with the
+      remaining traces;
     - ``halt``: treat the failure like a driver halt: the report is
-      marked halted with the failing command as the reason.
+      marked halted with the failing command as the reason. Halt is the
+      batch-level abort: a serial :class:`~repro.session.batch.BatchRunner`
+      stops dispatching the remaining traces when a session halts under
+      this policy.
 
     A :class:`~repro.util.errors.ReplayHaltedError` from the driver
     always halts the session regardless of policy — there is no active
@@ -212,3 +222,62 @@ class FailurePolicy:
 
     def __repr__(self):
         return "FailurePolicy(%s)" % self.on_failure
+
+
+class RetryPolicy:
+    """Self-healing for transient failures (the engine's retry loop).
+
+    When a command fails with a *transient* error (see
+    :func:`repro.util.errors.classify` — injected faults, renderer
+    crashes/hangs, network faults and timeouts), the engine retries it
+    up to ``max_attempts`` total attempts, waiting a capped-exponential,
+    deterministically jittered backoff between attempts. All "sleeps"
+    advance the virtual clock, so retried replays stay exactly
+    reproducible.
+
+    ``recover_crashes`` additionally turns a
+    :class:`~repro.util.errors.RendererCrashError` into tab reload +
+    replay-checkpoint resume (re-navigate to the last committed URL and
+    re-execute the commands issued since, with fault injection
+    suppressed) before the retry — without it a crashed renderer would
+    reject every subsequent attempt.
+
+    Permanent and fatal errors are never retried.
+    """
+
+    def __init__(self, max_attempts=1, backoff=None, recover_crashes=True,
+                 seed=0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        #: Total attempts per command (1 = fail fast, no retry).
+        self.max_attempts = max_attempts
+        self.backoff = backoff if backoff is not None else BackoffSchedule()
+        self.recover_crashes = recover_crashes
+        #: Seed of the backoff jitter stream (per-run sequence).
+        self.seed = seed
+
+    @classmethod
+    def none(cls):
+        """No retries, no crash recovery — the pre-chaos behaviour."""
+        return cls(max_attempts=1, recover_crashes=False)
+
+    @classmethod
+    def default(cls):
+        """Up to 4 attempts with default backoff, crashes recovered."""
+        return cls(max_attempts=4)
+
+    @property
+    def enabled(self):
+        return self.max_attempts > 1 or self.recover_crashes
+
+    def should_retry(self, error, attempt):
+        """True when ``error`` on attempt number ``attempt`` is retried."""
+        return attempt < self.max_attempts and is_transient(error)
+
+    def new_sequence(self):
+        """A fresh per-run backoff delay stream."""
+        return self.backoff.sequence(self.seed)
+
+    def __repr__(self):
+        return "RetryPolicy(max_attempts=%d, recover_crashes=%r)" % (
+            self.max_attempts, self.recover_crashes)

@@ -154,7 +154,7 @@ class PoolOutcome:
     """One trace's result as it came back over the result queue."""
 
     __slots__ = ("index", "label", "report", "events", "metadata",
-                 "error", "worker_id", "attempts")
+                 "error", "error_class", "worker_id", "attempts")
 
     def __init__(self, index, label):
         self.index = index
@@ -168,6 +168,10 @@ class PoolOutcome:
         #: Worker-side traceback / containment reason when the trace
         #: never produced a report.
         self.error = None
+        #: Discriminates *how* the trace failed: ``"TimeoutError"`` for a
+        #: per-trace deadline kill, ``"WorkerCrashError"`` for a dead
+        #: worker process, or the worker-side exception class name.
+        self.error_class = None
         self.worker_id = None
         self.attempts = 1
 
@@ -238,8 +242,9 @@ def _worker_main(slot, worker_id, spec, engine_config, task_queue,
                 factory = spec.make_factory()
             payload = _replay_task(factory, engine_config, trace_text, tracer)
             message = ("result", worker_id, index, payload)
-        except BaseException:
-            message = ("error", worker_id, index, traceback.format_exc())
+        except BaseException as exc:
+            message = ("error", worker_id, index, traceback.format_exc(),
+                       type(exc).__name__)
         result_queue.put(message)
         current[slot] = -1
     result_queue.put(("done", worker_id,
@@ -274,7 +279,7 @@ class WorkerPool:
     """
 
     def __init__(self, spec, workers, driver_config=None, timing=None,
-                 locator=None, failure=None, trace_timeout=None,
+                 locator=None, failure=None, retry=None, trace_timeout=None,
                  poll_interval=0.05, drain_timeout=10.0, context=None):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -287,6 +292,7 @@ class WorkerPool:
             "timing": timing,
             "locator": locator,
             "failure": failure,
+            "retry": retry,
         }
         pickle.dumps(self.engine_config)  # fail fast on unpicklable policy
         self.trace_timeout = trace_timeout
@@ -378,6 +384,8 @@ class WorkerPool:
                 outcome.metadata = body.get("metadata")
             else:
                 outcome.error = payload[1]
+                outcome.error_class = (payload[2] if len(payload) > 2
+                                       else "WorkerError")
             done[index] = True
 
     def _reap(self, outcomes, done, state, task_queue, current, spawn):
@@ -399,21 +407,23 @@ class WorkerPool:
                                       task_queue,
                                       "trace exceeded the %.3gs per-trace "
                                       "timeout" % self.trace_timeout,
-                                      requeue=True)
+                                      requeue=True,
+                                      error_class="TimeoutError")
                 alive = False
             elif not alive and not handle.finished:
                 self._handle_casualty(handle, current, outcomes, done, state,
                                       task_queue,
                                       "worker process died (exit code %s)"
                                       % handle.process.exitcode,
-                                      requeue=False)
+                                      requeue=False,
+                                      error_class="WorkerCrashError")
             if not alive:
                 del state["handles"][slot]
                 if not all(done):
                     spawn(slot)
 
     def _handle_casualty(self, handle, current, outcomes, done, state,
-                         task_queue, reason, requeue):
+                         task_queue, reason, requeue, error_class):
         # The worker is dead by now, so its shared-memory slot is the
         # authoritative record of what it had in flight (a result put
         # just before death may still land; _pump wins that race because
@@ -429,6 +439,7 @@ class WorkerPool:
             task_queue.put((index, state["task_texts"][index]))
             return
         outcome.error = reason
+        outcome.error_class = error_class
         done[index] = True
 
     # -- shutdown -----------------------------------------------------------

@@ -15,17 +15,24 @@ message.
 """
 
 
+from repro.util.errors import classify
+
+
 class RemoteError(Exception):
     """A worker-side error carried across a process boundary.
 
     Printing matches the original (``str(error)`` is the original
     message); :attr:`type_name` preserves the worker-side class for
-    classification.
+    classification, and :attr:`severity` the worker-side taxonomy bucket
+    (so :func:`repro.util.errors.classify` keeps working on the parent
+    side of the wire).
     """
 
-    def __init__(self, message, type_name="Exception"):
+    def __init__(self, message, type_name="Exception", severity=None):
         super().__init__(message)
         self.type_name = type_name
+        if severity is not None:
+            self.severity = severity
 
     def __repr__(self):
         return "RemoteError(%s: %s)" % (self.type_name, self)
@@ -35,13 +42,15 @@ def _error_to_dict(error):
     if error is None:
         return None
     type_name = getattr(error, "type_name", None) or type(error).__name__
-    return {"type": type_name, "message": str(error)}
+    return {"type": type_name, "message": str(error),
+            "severity": classify(error)}
 
 
 def _error_from_dict(data):
     if data is None:
         return None
-    return RemoteError(data["message"], type_name=data["type"])
+    return RemoteError(data["message"], type_name=data["type"],
+                       severity=data.get("severity"))
 
 
 class CommandResult:
@@ -52,15 +61,26 @@ class CommandResult:
     COORDINATE = "coordinate-fallback"
     FAILED = "failed"
 
-    def __init__(self, command, status, detail="", error=None):
+    def __init__(self, command, status, detail="", error=None, retries=0):
         self.command = command
         self.status = status
         self.detail = detail
         self.error = error
+        #: How many extra attempts self-healing spent on this command
+        #: (0 = succeeded or failed on the first try).
+        self.retries = retries
 
     @property
     def succeeded(self):
         return self.status in (self.OK, self.RELAXED, self.COORDINATE)
+
+    @property
+    def error_class(self):
+        """Taxonomy bucket of the error (``transient``/``permanent``/
+        ``fatal``), or None when the command succeeded without error."""
+        if self.error is None:
+            return None
+        return classify(self.error)
 
     def to_dict(self):
         """A picklable/JSON-able dict (command on its wire format)."""
@@ -69,6 +89,7 @@ class CommandResult:
             "status": self.status,
             "detail": self.detail,
             "error": _error_to_dict(self.error),
+            "retries": self.retries,
         }
 
     @classmethod
@@ -77,7 +98,8 @@ class CommandResult:
 
         return cls(parse_command_line(data["command"]), data["status"],
                    detail=data["detail"],
-                   error=_error_from_dict(data["error"]))
+                   error=_error_from_dict(data["error"]),
+                   retries=data.get("retries", 0))
 
     def __repr__(self):
         return "CommandResult(%s, %r)" % (self.status, self.command.to_line())
@@ -91,8 +113,14 @@ class ReplayReport:
         self.results = []
         self.halted = False
         self.halt_reason = ""
+        #: The error behind the halt (a live exception or RemoteError),
+        #: so batch consumers can classify aborts (e.g. a pool timeout
+        #: vs. a worker crash); None when not halted or unknown.
+        self.halt_error = None
         self.page_errors = []
         self.final_url = None
+        #: Renderer-crash recoveries (tab reload + checkpoint resume).
+        self.recoveries = 0
         #: Fast-path cache activity during this replay:
         #: {cache: {"hits": h, "misses": m, "hit_rate": r}}.
         self.perf_counters = {}
@@ -104,6 +132,11 @@ class ReplayReport:
     @property
     def failed_count(self):
         return sum(1 for r in self.results if not r.succeeded)
+
+    @property
+    def retry_count(self):
+        """Total extra attempts self-healing spent across all commands."""
+        return sum(r.retries for r in self.results)
 
     @property
     def relaxed_count(self):
@@ -137,9 +170,11 @@ class ReplayReport:
             "results": [result.to_dict() for result in self.results],
             "halted": self.halted,
             "halt_reason": self.halt_reason,
+            "halt_error": _error_to_dict(self.halt_error),
             "page_errors": [_error_to_dict(error)
                             for error in self.page_errors],
             "final_url": self.final_url,
+            "recoveries": self.recoveries,
             "perf_counters": self.perf_counters,
         }
 
@@ -160,9 +195,11 @@ class ReplayReport:
                           for result in data["results"]]
         report.halted = data["halted"]
         report.halt_reason = data["halt_reason"]
+        report.halt_error = _error_from_dict(data.get("halt_error"))
         report.page_errors = [_error_from_dict(error)
                               for error in data["page_errors"]]
         report.final_url = data["final_url"]
+        report.recoveries = data.get("recoveries", 0)
         report.perf_counters = data["perf_counters"]
         return report
 

@@ -44,6 +44,7 @@ from repro.telemetry.export import (
 from repro.telemetry.merge import TraceMerger
 from repro.telemetry.tracer import Tracer
 from repro.telemetry.tracks import (
+    CHAOS_TRACK,
     COUNTERS_TRACK,
     LOCATOR_TRACK,
     RECORDER_TRACK,
@@ -124,6 +125,7 @@ def tracing(out=None, buffer_size=DEFAULT_BUFFER_SIZE, clock=None,
 from repro.telemetry.observer import TracingObserver  # noqa: E402
 
 __all__ = [
+    "CHAOS_TRACK",
     "COUNTERS_TRACK",
     "DEFAULT_BUFFER_SIZE",
     "LOCATOR_TRACK",

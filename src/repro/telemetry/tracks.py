@@ -26,12 +26,14 @@ TID_SESSION = 1
 TID_LOCATOR = 2
 TID_COUNTERS = 3
 TID_RECORDER = 4
+TID_CHAOS = 5
 
 #: (pid, tid) constants call sites can pass as a ``track``.
 SESSION_TRACK = (CONTROL_PID, TID_SESSION)
 LOCATOR_TRACK = (CONTROL_PID, TID_LOCATOR)
 COUNTERS_TRACK = (CONTROL_PID, TID_COUNTERS)
 RECORDER_TRACK = (CONTROL_PID, TID_RECORDER)
+CHAOS_TRACK = (CONTROL_PID, TID_CHAOS)
 
 #: First pid handed to a browser (pid 1 is the control process).
 FIRST_BROWSER_PID = 2
@@ -51,7 +53,8 @@ class TrackRegistry:
         for tid, name in ((TID_SESSION, "session pipeline"),
                           (TID_LOCATOR, "locator (xpath)"),
                           (TID_COUNTERS, "perf counters"),
-                          (TID_RECORDER, "recorder")):
+                          (TID_RECORDER, "recorder"),
+                          (TID_CHAOS, "chaos (fault injection)")):
             self._emit_thread(CONTROL_PID, tid, name, sort_index=tid)
 
     # -- resolution ---------------------------------------------------------

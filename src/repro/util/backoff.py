@@ -1,0 +1,67 @@
+"""Capped exponential backoff with deterministic jitter.
+
+Both retry layers — the session engine's
+:class:`~repro.session.policies.RetryPolicy` and the network's request
+retry — wait a growing, jittered delay between attempts. Real systems
+jitter to de-synchronize clients; here jitter must also be
+*reproducible*, so it draws from a :class:`~repro.util.rng.SeededRandom`
+and the whole delay sequence is a pure function of ``(schedule, seed)``.
+Delays are virtual milliseconds: "sleeping" them advances the virtual
+clock, never the wall clock.
+"""
+
+from repro.util.rng import SeededRandom
+
+
+class BackoffSchedule:
+    """``base * 2^attempt`` capped at ``cap``, with proportional jitter.
+
+    ``jitter`` is the fraction of the delay drawn uniformly at random
+    and added on top (0.25 means up to +25%). A schedule object holds
+    only configuration; call :meth:`sequence` for a per-consumer stream
+    so concurrent consumers cannot perturb each other's draws.
+    """
+
+    def __init__(self, base_ms=25.0, cap_ms=1000.0, jitter=0.25):
+        if base_ms < 0 or cap_ms < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if jitter < 0:
+            raise ValueError("jitter fraction cannot be negative")
+        self.base_ms = float(base_ms)
+        self.cap_ms = float(cap_ms)
+        self.jitter = float(jitter)
+
+    def raw_delay_ms(self, attempt):
+        """The un-jittered delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are numbered from 1")
+        return min(self.cap_ms, self.base_ms * (2.0 ** (attempt - 1)))
+
+    def delay_ms(self, attempt, rng=None):
+        """Jittered delay for ``attempt``; deterministic given ``rng``."""
+        delay = self.raw_delay_ms(attempt)
+        if self.jitter and rng is not None:
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+    def sequence(self, seed=0):
+        """An independent, seeded delay stream for one consumer."""
+        return BackoffSequence(self, SeededRandom(seed))
+
+    def __repr__(self):
+        return "BackoffSchedule(base=%gms, cap=%gms, jitter=%g)" % (
+            self.base_ms, self.cap_ms, self.jitter)
+
+
+class BackoffSequence:
+    """A schedule bound to one seeded jitter stream."""
+
+    def __init__(self, schedule, rng):
+        self.schedule = schedule
+        self._rng = rng
+
+    def delay_ms(self, attempt):
+        return self.schedule.delay_ms(attempt, rng=self._rng)
+
+    def __repr__(self):
+        return "BackoffSequence(%r)" % (self.schedule,)

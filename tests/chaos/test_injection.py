@@ -1,0 +1,278 @@
+"""Per-layer injection points: what each fault actually does.
+
+Every test drives the real substrate (browser, IPC channel, network,
+scripts, layout) with a profile that forces the one fault under test to
+fire, and checks the observable consequence — not the injector's
+bookkeeping, which tests/chaos/test_injector.py covers.
+"""
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosInjector, FaultProfile
+from repro.browser.ipc import InputMessage, IpcChannel
+from repro.events.event import MouseEvent
+from repro.net.server import Network
+from repro.util.clock import VirtualClock
+from repro.util.errors import (
+    InjectedScriptError,
+    JSReferenceError,
+    NavigationError,
+    NetworkFaultError,
+    NetworkTimeoutError,
+    RendererCrashError,
+    RendererHangError,
+    TRANSIENT,
+    classify,
+)
+from repro.util.event_loop import EventLoop
+from tests.browser.helpers import build_browser, url
+
+
+def _message(kind=InputMessage.MOUSE):
+    return InputMessage(kind, MouseEvent("mousepress", client_x=1,
+                                         client_y=1, timestamp=0.0))
+
+
+def _channel(clock):
+    channel = IpcChannel(clock=clock)
+    delivered = []
+    channel.connect(delivered.append)
+    return channel, delivered
+
+
+class TestIpcInjection:
+    def test_drop_discards_the_message(self):
+        clock = VirtualClock()
+        channel, delivered = _channel(clock)
+        with chaos.active(FaultProfile(ipc_drop_rate=1.0), clock=clock):
+            channel.send(_message())
+            assert channel.pump() == 0
+        assert delivered == []
+        assert channel.delivered_count == 0
+
+    def test_delay_advances_the_channel_clock(self):
+        clock = VirtualClock()
+        channel, delivered = _channel(clock)
+        profile = FaultProfile(ipc_delay_rate=1.0, ipc_delay_ms=(30.0, 30.0))
+        with chaos.active(profile, clock=clock):
+            channel.send_and_pump(_message())
+        assert len(delivered) == 1
+        assert clock.now() == 30.0
+
+    def test_reorder_swaps_the_head_behind_the_tail(self):
+        clock = VirtualClock()
+        channel, delivered = _channel(clock)
+        first, second = _message(), _message(InputMessage.KEY)
+        # Pre-marking the tail keeps it in place, so only the head's
+        # reorder fires and the swap is observable.
+        second.chaos_deferred = True
+        with chaos.active(FaultProfile(ipc_reorder_rate=1.0), clock=clock):
+            channel.send(first)
+            channel.send(second)
+            assert channel.pump() == 2
+        assert delivered == [second, first]
+
+    def test_reorder_at_full_rate_still_terminates(self):
+        clock = VirtualClock()
+        channel, delivered = _channel(clock)
+        messages = [_message() for _ in range(5)]
+        with chaos.active(FaultProfile(ipc_reorder_rate=1.0), clock=clock):
+            for message in messages:
+                channel.send(message)
+            # Every message defers exactly once (a full rotation), so
+            # the pump cannot loop forever.
+            assert channel.pump() == 5
+        assert len(delivered) == 5
+        assert all(m.chaos_deferred for m in messages)
+
+    def test_last_message_cannot_be_reordered(self):
+        clock = VirtualClock()
+        channel, delivered = _channel(clock)
+        lone = _message()
+        with chaos.active(FaultProfile(ipc_reorder_rate=1.0), clock=clock):
+            channel.send_and_pump(lone)
+        assert delivered == [lone]
+
+
+class TestRendererInjection:
+    def test_injected_crash_raises_and_marks_renderer_dead(self):
+        browser = build_browser(developer_mode=True)
+        tab = browser.new_tab(url("/"))
+        renderer = tab.renderer
+        with chaos.active(FaultProfile(renderer_crash_rate=1.0),
+                          clock=browser.clock):
+            with pytest.raises(RendererCrashError) as info:
+                tab.click(10, 10)
+        assert renderer.crashed
+        assert classify(info.value) == TRANSIENT
+        # A dead renderer refuses further input even with chaos off.
+        with pytest.raises(RendererCrashError):
+            tab.click(10, 10)
+
+    def test_injected_hang_advances_clock_then_raises(self):
+        browser = build_browser(developer_mode=True)
+        tab = browser.new_tab(url("/"))
+        profile = FaultProfile(renderer_hang_rate=1.0,
+                               renderer_hang_ms=(200.0, 200.0))
+        before = browser.clock.now()
+        with chaos.active(profile, clock=browser.clock):
+            with pytest.raises(RendererHangError):
+                tab.click(10, 10)
+        assert browser.clock.now() == before + 200.0
+        assert not tab.renderer.crashed
+
+    def test_reload_revives_a_crashed_tab(self):
+        browser = build_browser(developer_mode=True)
+        tab = browser.new_tab(url("/"))
+        with chaos.active(FaultProfile(renderer_crash_rate=1.0),
+                          clock=browser.clock):
+            with pytest.raises(RendererCrashError):
+                tab.click(10, 10)
+        tab.navigate(url("/"), record_history=False)
+        assert not tab.renderer.crashed
+        tab.click_element(tab.find('//div[@id="box"]'))
+        assert tab.renderer.engine.window.env.clicks == ["box"]
+
+
+class TestNetworkInjection:
+    def test_injected_fetch_failure_is_transient(self):
+        browser = build_browser()
+        with chaos.active(FaultProfile(fetch_fail_rate=1.0),
+                          clock=browser.clock):
+            with pytest.raises(NetworkFaultError) as info:
+                browser.network.fetch(url("/"))
+        assert classify(info.value) == TRANSIENT
+
+    def test_navigation_wrap_preserves_transience(self):
+        browser = build_browser()
+        tab = browser.new_tab(url("/"))
+        with chaos.active(FaultProfile(fetch_fail_rate=1.0),
+                          clock=browser.clock):
+            with pytest.raises(NavigationError) as info:
+                tab.navigate(url("/about"))
+        assert classify(info.value) == TRANSIENT
+
+    def test_latency_fault_slows_the_fetch(self):
+        browser = build_browser(latency_ms=10.0)
+        profile = FaultProfile(fetch_latency_rate=1.0,
+                               fetch_latency_ms=(500.0, 500.0))
+        with chaos.active(profile, clock=browser.clock):
+            browser.network.fetch(url("/"))
+        assert browser.clock.now() >= 510.0
+
+    def test_timeout_classifies_and_counts(self):
+        loop = EventLoop(VirtualClock())
+        network = Network(loop, default_latency_ms=10.0, timeout_ms=100.0)
+        profile = FaultProfile(fetch_latency_rate=1.0,
+                               fetch_latency_ms=(1000.0, 1000.0))
+        with chaos.active(profile, clock=loop.clock):
+            with pytest.raises(NetworkTimeoutError) as info:
+                network.fetch("http://test.example/")
+        assert classify(info.value) == TRANSIENT
+        assert network.timeout_count == 1
+        # The failed attempt still cost the timeout budget, not the
+        # full injected latency.
+        assert loop.clock.now() == 100.0
+
+    def test_retries_with_backoff_then_gives_up(self):
+        loop = EventLoop(VirtualClock())
+        network = Network(loop, default_latency_ms=10.0, retries=2)
+        with chaos.active(FaultProfile(fetch_fail_rate=1.0),
+                          clock=loop.clock):
+            with pytest.raises(NetworkFaultError):
+                network.fetch("http://test.example/")
+        assert network.retry_count == 2
+        # Two backoff waits on top of three failed-attempt latencies.
+        assert loop.clock.now() > 3 * 10.0
+
+    def test_retry_backoff_is_seed_deterministic(self):
+        def run():
+            loop = EventLoop(VirtualClock())
+            network = Network(loop, default_latency_ms=10.0, retries=3,
+                              retry_jitter_seed=11)
+            with chaos.active(FaultProfile(fetch_fail_rate=1.0),
+                              clock=loop.clock):
+                with pytest.raises(NetworkFaultError):
+                    network.fetch("http://test.example/")
+            return loop.clock.now()
+
+        assert run() == run()
+
+    def test_slow_body_scales_with_response_size(self):
+        browser = build_browser(latency_ms=0.0)
+        profile = FaultProfile(fetch_slow_body_rate=1.0,
+                               fetch_slow_body_ms_per_kb=(40.0, 40.0))
+        with chaos.active(profile, clock=browser.clock):
+            browser.network.fetch(url("/"))
+        assert browser.clock.now() >= 40.0
+
+
+class TestScriptInjection:
+    def test_load_error_lands_on_console_and_skips_script(self):
+        browser = build_browser(developer_mode=True)
+        with chaos.active(FaultProfile(script_error_rate=1.0),
+                          clock=browser.clock):
+            tab = browser.new_tab(url("/"))
+        window = tab.renderer.engine.window
+        with pytest.raises(JSReferenceError):
+            window.env.loaded  # the page script never ran
+        assert any(isinstance(getattr(e, "cause", None), InjectedScriptError)
+                   or isinstance(e, InjectedScriptError)
+                   for e in window.console.errors)
+
+    def test_timer_error_lands_on_console(self):
+        browser = build_browser(developer_mode=True)
+        tab = browser.new_tab(url("/"))
+        window = tab.renderer.engine.window
+        fired = []
+        window.set_timeout(5.0, lambda: fired.append(True))
+        with chaos.active(FaultProfile(script_error_rate=1.0),
+                          clock=browser.clock):
+            tab.wait(10.0)
+        assert fired == []
+        assert window.console.has_errors
+
+    def test_failed_script_navigation_is_contained(self):
+        browser = build_browser(developer_mode=True)
+        tab = browser.new_tab(url("/"))
+        window = tab.renderer.engine.window
+        with chaos.active(FaultProfile(fetch_fail_rate=1.0),
+                          clock=browser.clock):
+            window.navigate(url("/about"))
+        # The page stayed put; the failure is a page error, not a crash.
+        assert tab.url == url("/")
+        assert window.console.has_errors
+
+
+class TestLayoutInjection:
+    def test_jitter_translates_boxes(self):
+        quiet = build_browser(developer_mode=True)
+        tab = quiet.new_tab(url("/"))
+        baseline = tab.engine.layout.click_point(
+            tab.find('//span[@id="start"]'))
+
+        shaky = build_browser(developer_mode=True)
+        profile = FaultProfile(layout_jitter_rate=1.0,
+                               layout_jitter_px=(4.0, 4.0))
+        with chaos.active(profile, seed=1, clock=shaky.clock):
+            tab2 = shaky.new_tab(url("/"))
+            jittered = tab2.engine.layout.click_point(
+                tab2.find('//span[@id="start"]'))
+        assert jittered != baseline
+        # Bounded drift: jitter perturbs coordinates, it does not
+        # teleport the page.
+        assert abs(jittered[0] - baseline[0]) <= 8.0
+        assert abs(jittered[1] - baseline[1]) <= 8.0
+
+
+class TestInjectorScoping:
+    def test_faults_need_an_installed_injector(self):
+        # Constructing an injector without installing it leaves the
+        # substrate untouched.
+        injector = ChaosInjector(FaultProfile(ipc_drop_rate=1.0))
+        clock = VirtualClock()
+        channel, delivered = _channel(clock)
+        channel.send_and_pump(_message())
+        assert len(delivered) == 1
+        assert injector.total_faults == 0

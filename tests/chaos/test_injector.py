@@ -1,0 +1,179 @@
+"""ChaosInjector: determinism, stream isolation, suppression, singleton."""
+
+import pytest
+
+from repro import chaos, telemetry
+from repro.chaos import ChaosInjector, FaultProfile
+from repro.chaos.injector import _stable_child_seed
+from repro.telemetry.tracks import CHAOS_TRACK
+from repro.util.clock import VirtualClock
+
+
+def _exercise(injector, rounds=200):
+    """Run a fixed consultation pattern across every layer."""
+    for i in range(rounds):
+        injector.fault("net", "fail", "fetch_fail_rate", detail="r%d" % i)
+        injector.fault("renderer", "crash", "renderer_crash_rate")
+        injector.fault("ipc", "delay", "ipc_delay_rate",
+                       amount_field="ipc_delay_ms")
+        injector.fault("script", "load_error", "script_error_rate")
+        injector.fault("layout", "jitter", "layout_jitter_rate",
+                       amount_field="layout_jitter_px")
+
+
+class TestDeterminism:
+    def test_same_profile_and_seed_byte_identical_schedules(self):
+        profile = FaultProfile.default().scaled(4.0)
+        one, two = ChaosInjector(profile, seed=42), ChaosInjector(profile,
+                                                                  seed=42)
+        _exercise(one)
+        _exercise(two)
+        assert one.total_faults > 0
+        assert one.schedule_bytes() == two.schedule_bytes()
+        assert one.summary() == two.summary()
+
+    def test_different_seeds_diverge(self):
+        profile = FaultProfile.default().scaled(4.0)
+        one, two = ChaosInjector(profile, seed=1), ChaosInjector(profile,
+                                                                 seed=2)
+        _exercise(one)
+        _exercise(two)
+        assert one.schedule_bytes() != two.schedule_bytes()
+
+    def test_child_seed_is_process_independent(self):
+        # Unlike hash(str), the derivation must not depend on the
+        # per-process hash salt — pin exact values.
+        assert _stable_child_seed(0, "chaos.net") \
+            == _stable_child_seed(0, "chaos.net")
+        assert _stable_child_seed(7, "chaos.net") \
+            != _stable_child_seed(7, "chaos.ipc")
+        assert _stable_child_seed(7, "chaos.net") == \
+            (7 * 1000003 + __import__("zlib").crc32(b"chaos.net")) & 0x7FFFFFFF
+
+    def test_layers_have_private_streams(self):
+        # Disabling one layer must not move another layer's schedule.
+        noisy = FaultProfile.default().scaled(4.0)
+        net_only = noisy.only("net")
+        both = ChaosInjector(noisy, seed=9)
+        alone = ChaosInjector(net_only, seed=9)
+        _exercise(both)
+        _exercise(alone)
+        net = [r.to_dict() for r in both.records if r.layer == "net"]
+        net_alone = [r.to_dict() for r in alone.records]
+        for record, record_alone in zip(net, net_alone):
+            record.pop("seq")
+            record_alone.pop("seq")
+        assert net == net_alone
+
+    def test_magnitudes_drawn_from_profile_range(self):
+        profile = FaultProfile(ipc_delay_rate=1.0, ipc_delay_ms=(10.0, 20.0))
+        injector = ChaosInjector(profile, seed=3)
+        for _ in range(50):
+            amount = injector.fault("ipc", "delay", "ipc_delay_rate",
+                                    amount_field="ipc_delay_ms")
+            assert 10.0 <= amount <= 20.0
+
+    def test_records_stamped_with_virtual_time(self):
+        clock = VirtualClock()
+        clock.advance(123.0)
+        injector = ChaosInjector(FaultProfile(fetch_fail_rate=1.0),
+                                 seed=0, clock=clock)
+        injector.fault("net", "fail", "fetch_fail_rate")
+        assert injector.records[0].vt_ms == 123.0
+
+
+class TestShortCircuits:
+    def test_zero_rate_consumes_no_randomness(self):
+        # A quiet field must not advance the layer stream: the noisy
+        # fields' schedule is identical whether or not the quiet field
+        # is consulted in between.
+        profile = FaultProfile(fetch_fail_rate=0.5)
+        plain = ChaosInjector(profile, seed=5)
+        interleaved = ChaosInjector(profile, seed=5)
+        for _ in range(100):
+            plain.fault("net", "fail", "fetch_fail_rate")
+            interleaved.fault("net", "fail", "fetch_fail_rate")
+            interleaved.fault("net", "latency", "fetch_latency_rate")
+        assert plain.schedule_bytes() == interleaved.schedule_bytes()
+        assert "net" in plain.decisions
+
+    def test_suppression_freezes_the_schedule(self):
+        profile = FaultProfile(fetch_fail_rate=1.0)
+        injector = ChaosInjector(profile, seed=0)
+        injector.fault("net", "fail", "fetch_fail_rate")
+        before = injector.schedule_bytes()
+        with injector.suppressed():
+            assert injector.is_suppressed
+            assert injector.fault("net", "fail", "fetch_fail_rate") is None
+        assert injector.schedule_bytes() == before
+        # The stream did not move either: the post-suppression draw
+        # matches a run that never suppressed.
+        control = ChaosInjector(profile, seed=0)
+        control.fault("net", "fail", "fetch_fail_rate")
+        control.fault("net", "fail", "fetch_fail_rate")
+        injector.fault("net", "fail", "fetch_fail_rate")
+        assert injector.schedule_bytes() == control.schedule_bytes()
+
+    def test_suppression_nests(self):
+        injector = ChaosInjector(FaultProfile(fetch_fail_rate=1.0))
+        with injector.suppressed():
+            with injector.suppressed():
+                pass
+            assert injector.is_suppressed
+        assert not injector.is_suppressed
+
+
+class TestSingleton:
+    def test_off_by_default(self):
+        assert chaos.current() is None
+        assert not chaos.enabled()
+
+    def test_active_installs_and_uninstalls(self):
+        with chaos.active(FaultProfile.disabled(), seed=1) as injector:
+            assert chaos.current() is injector
+            assert chaos.enabled()
+        assert chaos.current() is None
+
+    def test_nested_install_refused(self):
+        with chaos.active(FaultProfile.disabled()):
+            with pytest.raises(RuntimeError, match="already installed"):
+                chaos.install(ChaosInjector(FaultProfile.disabled()))
+        assert chaos.current() is None
+
+    def test_active_accepts_prebuilt_injector(self):
+        mine = ChaosInjector(FaultProfile.disabled(), seed=9)
+        with chaos.active(None, injector=mine) as injector:
+            assert injector is mine
+
+
+class TestObservability:
+    def test_fired_faults_emit_telemetry_instants(self):
+        profile = FaultProfile(fetch_fail_rate=1.0)
+        with telemetry.tracing() as tracer:
+            injector = ChaosInjector(profile, seed=0)
+            injector.fault("net", "fail", "fetch_fail_rate", detail="x")
+        instants = [e for e in tracer.buffer if e.name == "chaos.net.fail"]
+        assert len(instants) == 1
+        assert (instants[0].pid, instants[0].tid) == CHAOS_TRACK
+        assert instants[0].args["detail"] == "x"
+
+    def test_decisions_recorded_in_perf_counters(self):
+        from repro import perf
+
+        hits_before, misses_before = perf.stats.counter("chaos.net")
+        injector = ChaosInjector(FaultProfile(fetch_fail_rate=1.0,
+                                              fetch_latency_rate=1e-9))
+        injector.fault("net", "fail", "fetch_fail_rate")
+        injector.fault("net", "latency", "fetch_latency_rate")
+        hits, misses = perf.stats.counter("chaos.net")
+        assert hits == hits_before + 1       # the fired fault
+        assert misses == misses_before + 1   # the consulted-but-quiet one
+
+    def test_counts_by_layer_rolls_up(self):
+        injector = ChaosInjector(FaultProfile(fetch_fail_rate=1.0,
+                                              script_error_rate=1.0))
+        injector.fault("net", "fail", "fetch_fail_rate")
+        injector.fault("net", "fail", "fetch_fail_rate")
+        injector.fault("script", "load_error", "script_error_rate")
+        assert injector.counts_by_layer() == {
+            "net": {"fail": 2}, "script": {"load_error": 1}}

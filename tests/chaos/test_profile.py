@@ -1,0 +1,104 @@
+"""FaultProfile composition, validation, and the bundled presets."""
+
+import pytest
+
+from repro.chaos import LAYERS, PROFILES, FaultProfile, get_profile
+
+
+class TestValidation:
+    def test_rates_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError, match="fetch_fail_rate"):
+            FaultProfile(fetch_fail_rate=1.5)
+        with pytest.raises(ValueError, match="ipc_drop_rate"):
+            FaultProfile(ipc_drop_rate=-0.1)
+
+    def test_inverted_magnitude_range_rejected(self):
+        with pytest.raises(ValueError, match="ipc_delay_ms"):
+            FaultProfile(ipc_delay_ms=(60.0, 5.0))
+        with pytest.raises(ValueError, match="layout_jitter_px"):
+            FaultProfile(layout_jitter_px=(-1.0, 4.0))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="gpu_melt_rate"):
+            FaultProfile(gpu_melt_rate=0.5)
+
+    def test_defaults_are_quiet(self):
+        profile = FaultProfile()
+        assert profile.quiet
+        assert profile.active_layers() == []
+
+
+class TestComposition:
+    def test_replace_overrides_without_mutating(self):
+        base = FaultProfile.default()
+        louder = base.replace(fetch_fail_rate=0.9)
+        assert louder.fetch_fail_rate == 0.9
+        assert base.fetch_fail_rate != 0.9
+        assert louder.ipc_drop_rate == base.ipc_drop_rate
+
+    def test_only_zeroes_other_layers(self):
+        netty = FaultProfile.default().only("net")
+        assert netty.active_layers() == ["net"]
+        assert netty.renderer_crash_rate == 0.0
+        assert netty.fetch_fail_rate == FaultProfile.default().fetch_fail_rate
+
+    def test_without_zeroes_named_layers(self):
+        profile = FaultProfile.default().without("net", "renderer")
+        assert "net" not in profile.active_layers()
+        assert "renderer" not in profile.active_layers()
+        assert "ipc" in profile.active_layers()
+
+    def test_only_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            FaultProfile.default().only("gpu")
+
+    def test_scaled_multiplies_and_caps_rates(self):
+        scaled = FaultProfile(fetch_fail_rate=0.2, script_error_rate=0.6
+                              ).scaled(2.0)
+        assert scaled.fetch_fail_rate == pytest.approx(0.4)
+        assert scaled.script_error_rate == 1.0  # capped
+        with pytest.raises(ValueError):
+            scaled.scaled(-1)
+
+    def test_scaled_leaves_magnitudes_alone(self):
+        scaled = FaultProfile.default().scaled(3.0)
+        assert scaled.ipc_delay_ms == FaultProfile.default().ipc_delay_ms
+
+    def test_rate_lookup_tolerates_unknown_fields(self):
+        assert FaultProfile.default().rate("no_such_rate") == 0.0
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        data = FaultProfile.flaky_net().to_dict()
+        assert data["name"] == "flaky-net"
+        assert data["fetch_fail_rate"] == 0.30
+        assert data["fetch_latency_ms"] == [50.0, 500.0]
+        json.dumps(data)
+
+
+class TestPresets:
+    def test_every_preset_constructs(self):
+        for name in PROFILES:
+            profile = get_profile(name)
+            assert profile.name == name
+
+    def test_disabled_is_quiet(self):
+        assert get_profile("disabled").quiet
+
+    def test_default_touches_every_layer(self):
+        assert get_profile("default").active_layers() == list(LAYERS)
+
+    def test_flaky_net_is_net_only(self):
+        assert get_profile("flaky-net").active_layers() == ["net"]
+
+    def test_underscore_alias_accepted(self):
+        assert get_profile("flaky_net").name == "flaky-net"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            get_profile("kernel-panic")
+
+    def test_everything_outpaces_default(self):
+        assert (get_profile("everything").fetch_fail_rate
+                > get_profile("default").fetch_fail_rate)

@@ -7,7 +7,7 @@ from repro.core.commands import ClickCommand, TypeCommand, WarrCommand
 from repro.core.recorder import WarrRecorder
 from repro.core.trace import WarrTrace
 from repro.session.batch import BatchReport, BatchRunner, _dedupe_labels
-from repro.session.policies import TimingPolicy
+from repro.session.policies import FailurePolicy, TimingPolicy
 from repro.util.errors import ReplayError
 from tests.browser.helpers import build_browser, url
 
@@ -121,6 +121,56 @@ class TestBatchRunner:
                 runner.run([record_trace("ok"), bogus],
                            trace_dir=str(tmp_path))
             assert tracer.clock is None
+
+
+class TestFailurePolicyScope:
+    """Pinning the policy-scope contract: ``stop`` ends one *session*,
+    ``halt`` aborts the whole *batch*."""
+
+    @staticmethod
+    def _bad_trace():
+        return WarrTrace(start_url=url("/"), label="bad", commands=[
+            TypeCommand("//video", "x", 88),
+        ])
+
+    def test_halt_policy_stops_the_batch(self):
+        traces = [record_trace("first"), self._bad_trace(),
+                  record_trace("never-runs")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait(),
+                            failure=FailurePolicy.halt_on_failure()
+                            ).run(traces)
+        # The failing session halts AND the remaining trace is never
+        # dispatched.
+        assert batch.trace_count == 2
+        assert [run.label for run in batch.runs] == ["first", "bad"]
+        assert batch.runs[1].report.halted
+
+    def test_stop_policy_ends_only_the_session(self):
+        traces = [self._bad_trace(), record_trace("still-runs")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait(),
+                            failure=FailurePolicy.stop_on_failure()
+                            ).run(traces)
+        # The failing session stopped early but was not halted, and the
+        # batch carried on to the next trace.
+        assert batch.trace_count == 2
+        assert not batch.runs[0].report.halted
+        assert batch.runs[0].report.failed_count == 1
+        assert batch.runs[1].report.complete
+
+    def test_continue_policy_never_shortens_the_batch(self):
+        traces = [self._bad_trace(), record_trace("runs")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait()).run(
+            traces)
+        assert batch.trace_count == 2
+
+    def test_halt_without_halting_failure_runs_everything(self):
+        # The halt policy only aborts when a session actually halts.
+        traces = [record_trace("a"), record_trace("b")]
+        batch = BatchRunner(factory, timing=TimingPolicy.no_wait(),
+                            failure=FailurePolicy.halt_on_failure()
+                            ).run(traces)
+        assert batch.trace_count == 2
+        assert batch.complete
 
 
 class TestLabelDedup:

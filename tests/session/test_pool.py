@@ -56,6 +56,11 @@ def hang_always_factory():
     time.sleep(300)
 
 
+def broken_factory():
+    # Returns no browser: the worker's replay dies with AttributeError.
+    return None
+
+
 def build_sized_factory(developer_mode):
     """A builder: invoked once per worker, returns the session factory."""
     def sized():
@@ -216,6 +221,37 @@ class TestContainment:
         (failed,) = batch.failures()
         assert failed.report.halted
         assert "per-trace timeout" in failed.report.halt_reason
+
+    def test_timeout_surfaces_a_timeout_classed_halt_error(self):
+        # Deadline kills must be distinguishable from dead workers: the
+        # report's halt_error carries TimeoutError as its type name.
+        batch = BatchRunner("tests.session.test_pool:hang_always_factory",
+                            timing=TimingPolicy.no_wait(),
+                            workers=2, trace_timeout=0.4).run(
+            [record_trace("stuck")])
+        (failed,) = batch.failures()
+        assert failed.report.halt_error is not None
+        assert failed.report.halt_error.type_name == "TimeoutError"
+        assert "per-trace timeout" in str(failed.report.halt_error)
+
+    def test_worker_death_surfaces_a_crash_classed_halt_error(self, flag_path):
+        traces = [record_trace("c%d" % i) for i in range(4)]
+        batch = BatchRunner("tests.session.test_pool:crash_once_factory",
+                            timing=TimingPolicy.no_wait(),
+                            workers=2).run(traces)
+        (failed,) = batch.failures()
+        assert failed.report.halt_error is not None
+        assert failed.report.halt_error.type_name == "WorkerCrashError"
+
+    def test_worker_exception_class_crosses_the_wire(self):
+        # An exception raised inside the worker (not a kill) reports
+        # its own class name, not a generic bucket.
+        pool = WorkerPool(
+            WorkerSpec("tests.session.test_pool:broken_factory"),
+            workers=1)
+        (outcome,), dropped = pool.run([("x", record_trace("x").to_text())])
+        assert not outcome.ok
+        assert outcome.error_class == "AttributeError"
 
 
 class TestMerging:

@@ -1,0 +1,113 @@
+"""Report wire format: error taxonomy and retry counts round-trip.
+
+Pool workers ship ReplayReports to the parent as dicts, so everything
+self-healing adds to a report — per-command retry counts, error
+severity, the halt error, recovery totals — must survive
+``to_dict``/``from_dict`` intact.
+"""
+
+import json
+
+from repro.core.commands import ClickCommand
+from repro.core.trace import WarrTrace
+from repro.session.report import CommandResult, RemoteError, ReplayReport
+from repro.util.errors import (
+    FATAL,
+    PERMANENT,
+    TRANSIENT,
+    NetworkFaultError,
+    ReplayError,
+    classify,
+    is_transient,
+)
+
+
+def _trace():
+    return WarrTrace(start_url="http://t.example/", label="rt",
+                     commands=[ClickCommand("//a", 1, 2)])
+
+
+class TestCommandResultRoundTrip:
+    def test_retries_survive(self):
+        result = CommandResult(ClickCommand("//a", 1, 2), CommandResult.OK,
+                               retries=3)
+        rebuilt = CommandResult.from_dict(result.to_dict())
+        assert rebuilt.retries == 3
+        assert rebuilt.succeeded
+
+    def test_error_class_survives(self):
+        result = CommandResult(ClickCommand("//a", 1, 2),
+                               CommandResult.FAILED,
+                               error=NetworkFaultError("injected"),
+                               retries=2)
+        assert result.error_class == TRANSIENT
+        rebuilt = CommandResult.from_dict(result.to_dict())
+        assert rebuilt.error_class == TRANSIENT
+        assert is_transient(rebuilt.error)
+        assert rebuilt.error.type_name == "NetworkFaultError"
+        assert str(rebuilt.error) == "injected"
+        assert rebuilt.retries == 2
+
+    def test_permanent_default_for_plain_errors(self):
+        result = CommandResult(ClickCommand("//a", 1, 2),
+                               CommandResult.FAILED,
+                               error=ReplayError("nope"))
+        rebuilt = CommandResult.from_dict(result.to_dict())
+        assert rebuilt.error_class == PERMANENT
+
+    def test_missing_retries_defaults_to_zero(self):
+        # Tolerate dicts produced before the retries field existed.
+        data = CommandResult(ClickCommand("//a", 1, 2),
+                             CommandResult.OK).to_dict()
+        del data["retries"]
+        assert CommandResult.from_dict(data).retries == 0
+
+    def test_error_class_none_without_error(self):
+        result = CommandResult(ClickCommand("//a", 1, 2), CommandResult.OK)
+        assert result.error_class is None
+        assert CommandResult.from_dict(result.to_dict()).error_class is None
+
+
+class TestReplayReportRoundTrip:
+    def _report(self):
+        report = ReplayReport(_trace())
+        report.results = [
+            CommandResult(ClickCommand("//a", 1, 2), CommandResult.OK,
+                          retries=1),
+            CommandResult(ClickCommand("//b", 3, 4), CommandResult.FAILED,
+                          error=NetworkFaultError("flaky"), retries=3),
+        ]
+        report.halted = True
+        report.halt_reason = "per-trace timeout"
+        report.halt_error = RemoteError("per-trace timeout",
+                                        type_name="TimeoutError",
+                                        severity=FATAL)
+        report.recoveries = 2
+        return report
+
+    def test_taxonomy_fields_round_trip(self):
+        rebuilt = ReplayReport.from_dict(self._report().to_dict())
+        assert rebuilt.retry_count == 4
+        assert [r.retries for r in rebuilt.results] == [1, 3]
+        assert rebuilt.results[1].error_class == TRANSIENT
+        assert rebuilt.recoveries == 2
+        assert rebuilt.halt_error.type_name == "TimeoutError"
+        assert classify(rebuilt.halt_error) == FATAL
+        assert str(rebuilt.halt_error) == "per-trace timeout"
+
+    def test_round_trip_is_stable(self):
+        # A second trip through the wire changes nothing.
+        once = self._report().to_dict()
+        twice = ReplayReport.from_dict(once).to_dict()
+        assert json.dumps(once, sort_keys=True) \
+            == json.dumps(twice, sort_keys=True)
+
+    def test_old_wire_dicts_still_load(self):
+        # Reports serialized before halt_error/recoveries existed.
+        data = self._report().to_dict()
+        del data["halt_error"]
+        del data["recoveries"]
+        rebuilt = ReplayReport.from_dict(data)
+        assert rebuilt.halt_error is None
+        assert rebuilt.recoveries == 0
+        assert rebuilt.retry_count == 4
