@@ -93,6 +93,7 @@ def test_fastpath_speedup(benchmark, reporter, json_reporter):
 
     json_reporter("fastpath", {
         "benchmark": "fastpath",
+        "quick": QUICK,
         "commands": len(trace),
         "uncached": {"commands_per_second": round(uncached_rate, 1)},
         "fast_path": {

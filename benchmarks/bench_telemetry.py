@@ -145,6 +145,7 @@ def test_tracing_off_overhead(benchmark, reporter, json_reporter):
 
     json_reporter("telemetry", {
         "benchmark": "telemetry",
+        "quick": QUICK,
         "dispatches": DISPATCHES,
         "guard": {
             "bare_seconds": round(bare_s, 4),

@@ -107,7 +107,7 @@ class IpcChannel:
         if self._receiver is None:
             raise RuntimeError("IPC channel has no connected receiver")
         injector = chaos.current()
-        if injector is not None:
+        if injector is not None and injector.ipc_active:
             return self._pump_chaotic(injector)
         tracer = telemetry.current()
         if tracer is not None:

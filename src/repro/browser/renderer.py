@@ -77,7 +77,7 @@ class Renderer:
                 "renderer for tab %d has crashed; reload required"
                 % self.tab.tab_id)
         injector = chaos.current()
-        if injector is not None:
+        if injector is not None and injector.renderer_active:
             if injector.fault("renderer", "crash", "renderer_crash_rate",
                               detail=message.kind) is not None:
                 self.crash()

@@ -96,6 +96,8 @@ class WebKitEngine:
     def _run_scripts(self):
         """Execute ``<script data-script=...>`` references via the registry."""
         injector = chaos.current()
+        if injector is not None and not injector.script_active:
+            injector = None
         for element in self.document.get_elements_by_tag("script"):
             name = element.get_attribute("data-script")
             if not name:

@@ -78,6 +78,23 @@ class ChaosInjector:
         self.decisions = {}
         #: fault_counts[(layer, kind)] = number of fired faults.
         self.fault_counts = {}
+        # Profiles are immutable by convention, so each layer's
+        # liveness is decided once here. Hot paths (the IPC pump runs
+        # per message, layout per reflow) test these plain booleans and
+        # skip the injector entirely for zeroed layers: a disabled
+        # profile costs one attribute check per site — no rate lookup,
+        # no randomness, no counter bump.
+        live = frozenset(profile.active_layers())
+        self.live_layers = live
+        self.ipc_active = "ipc" in live
+        self.renderer_active = "renderer" in live
+        self.net_active = "net" in live
+        self.script_active = "script" in live
+        self.layout_active = "layout" in live
+
+    def layer_active(self, layer):
+        """True when ``layer`` has at least one non-zero rate."""
+        return layer in self.live_layers
 
     # -- randomness ---------------------------------------------------------
 

@@ -7,7 +7,7 @@ The workflows a downstream user runs from a shell::
                             [--stock-driver] [--no-relaxation]
                             [--trace-out trace.json]
     python -m repro batch   a.warr b.warr c.warr d.warr --app sites
-                            [--workers 4] [--trace-timeout 30]
+                            [--workers 4 | --shards 4] [--trace-timeout 30]
                             [--trace-dir traces/]
     python -m repro trace   session.warr --app sites --out trace.json
     python -m repro inspect session.warr
@@ -152,7 +152,7 @@ def cmd_batch(args, out):
     else:
         factory = batch_browser_factory(args.app, seed=args.seed)
     runner = BatchRunner(factory, timing=_timing_from_args(args),
-                         workers=args.workers,
+                         workers=args.workers, shards=args.shards,
                          trace_timeout=args.trace_timeout)
     batch = runner.run(traces, labels=args.traces,
                        trace_dir=args.trace_dir)
@@ -307,6 +307,10 @@ def build_parser():
     batch.add_argument("--workers", type=int, default=1, metavar="N",
                        help="replay across N worker processes "
                             "(default 1 = in-process)")
+    batch.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="interleave N sessions cooperatively in one "
+                            "process (no pickling; exclusive with "
+                            "--workers > 1)")
     batch.add_argument("--trace-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="with --workers > 1: kill and re-queue (once) "

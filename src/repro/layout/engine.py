@@ -86,7 +86,7 @@ class LayoutEngine:
         relaxation ladder has to absorb.
         """
         injector = chaos.current()
-        if injector is None:
+        if injector is None or not injector.layout_active:
             return
         px = injector.fault("layout", "jitter", "layout_jitter_rate",
                             "layout_jitter_px")

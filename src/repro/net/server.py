@@ -164,6 +164,8 @@ class Network:
         """One synchronous attempt: chaos gate, timeout, dispatch."""
         latency = self.latency_for(request.host)
         injector = chaos.current()
+        if injector is not None and not injector.net_active:
+            injector = None
         if injector is not None:
             if injector.fault("net", "fail", "fetch_fail_rate",
                               detail=request.path) is not None:
@@ -205,6 +207,8 @@ class Network:
 
         def deliver():
             injector = chaos.current()
+            if injector is not None and not injector.net_active:
+                injector = None
             if (injector is not None
                     and injector.fault("net", "fail", "fetch_fail_rate",
                                        detail=request.path) is not None):
@@ -237,7 +241,7 @@ class Network:
 
         latency = self.latency_for(request.host)
         injector = chaos.current()
-        if injector is not None:
+        if injector is not None and injector.net_active:
             extra = injector.fault("net", "latency", "fetch_latency_rate",
                                    "fetch_latency_ms", detail=request.path)
             if extra is not None:

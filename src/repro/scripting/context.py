@@ -79,7 +79,7 @@ class Window:
         """
         def guarded():
             injector = chaos.current()
-            if (injector is not None
+            if (injector is not None and injector.script_active
                     and injector.fault("script", "timer_error",
                                        "script_error_rate") is not None):
                 self.console.error(InjectedScriptError(

@@ -30,6 +30,8 @@ from repro.session.pool import (
     register_factory,
     resolve_factory,
 )
+from repro.session.shard import ShardedRunner
+from repro.session.wire import WireError, decode_report, encode_report
 
 __all__ = [
     "EventStream",
@@ -55,4 +57,8 @@ __all__ = [
     "WorkerSpec",
     "register_factory",
     "resolve_factory",
+    "ShardedRunner",
+    "WireError",
+    "decode_report",
+    "encode_report",
 ]

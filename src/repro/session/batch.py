@@ -137,7 +137,7 @@ class BatchRunner:
 
     def __init__(self, browser_factory, driver_config=None, timing=None,
                  locator=None, failure=None, retry=None, observers=None,
-                 workers=1, trace_timeout=None):
+                 workers=1, shards=1, trace_timeout=None, pool=None):
         self.browser_factory = browser_factory
         self.driver_config = driver_config
         self.timing = timing
@@ -147,8 +147,22 @@ class BatchRunner:
         self.observers = list(observers or [])
         if workers < 1:
             raise ValueError("need at least one worker")
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if workers > 1 and shards > 1:
+            raise ValueError(
+                "workers and shards are alternative scale-out backends: "
+                "use shards=N for in-process interleaving (one core, zero "
+                "pickling) or workers=N for a process pool (many cores)")
         self.workers = int(workers)
+        self.shards = int(shards)
         self.trace_timeout = trace_timeout
+        #: A live :class:`~repro.session.pool.WorkerPool` to reuse
+        #: (warm workers amortized across many batches); the runner
+        #: will not close it. None builds an ephemeral pool per run.
+        self.pool = pool
+        if pool is not None:
+            self.workers = max(self.workers, pool.workers)
 
     def run(self, traces, labels=None, trace_dir=None):
         """Replay every trace on its own browser; returns a BatchReport.
@@ -163,19 +177,20 @@ class BatchRunner:
                                      for index, trace in enumerate(traces)])
         if len(labels) != len(traces):
             raise ValueError("need one label per trace")
-        if self.workers > 1:
+        if self.workers > 1 or self.pool is not None:
             return self._run_pooled(traces, labels, trace_dir)
+        execute = self._run_sharded if self.shards > 1 else self._run
         if trace_dir is None:
-            return self._run(traces, labels, tracer=None, trace_dir=None)
+            return execute(traces, labels, tracer=None, trace_dir=None)
         os.makedirs(trace_dir, exist_ok=True)
         if telemetry.enabled():
             # A caller already installed a tracer (e.g. an outer
             # tracing() block) — record into it rather than nesting.
-            return self._run(traces, labels, tracer=telemetry.current(),
-                             trace_dir=trace_dir)
+            return execute(traces, labels, tracer=telemetry.current(),
+                           trace_dir=trace_dir)
         with telemetry.tracing() as tracer:
-            batch = self._run(traces, labels, tracer=tracer,
-                              trace_dir=trace_dir)
+            batch = execute(traces, labels, tracer=tracer,
+                            trace_dir=trace_dir)
             telemetry.write_trace(
                 os.path.join(trace_dir, "batch.trace.json"), tracer)
         return batch
@@ -229,6 +244,25 @@ class BatchRunner:
         return (self.failure is not None
                 and self.failure.on_failure == FailurePolicy.HALT)
 
+    # -- sharded (in-process interleaved) execution ---------------------------
+
+    def _run_sharded(self, traces, labels, tracer, trace_dir):
+        from repro.session.shard import ShardedRunner
+
+        runner = ShardedRunner(
+            self.browser_factory, self.shards,
+            driver_config=self.driver_config, timing=self.timing,
+            locator=self.locator, failure=self.failure, retry=self.retry,
+            observers=self.observers)
+        write_trace = None
+        if tracer is not None and trace_dir is not None:
+            def write_trace(stem, events):
+                telemetry.write_trace(
+                    os.path.join(trace_dir, "%s.trace.json" % stem),
+                    tracer, events=events)
+        return runner.run(traces, labels, tracer=tracer,
+                          trace_dir=trace_dir, write_trace=write_trace)
+
     # -- pooled (multiprocess) execution -------------------------------------
 
     def _run_pooled(self, traces, labels, trace_dir):
@@ -240,20 +274,37 @@ class BatchRunner:
                 "standing observers cannot follow sessions into worker "
                 "processes; run with workers=1, or merge shard results "
                 "parent-side (see PerfCountersObserver.merge)")
-        spec = (self.browser_factory
-                if isinstance(self.browser_factory, WorkerSpec)
-                else WorkerSpec(self.browser_factory))
-        pool = WorkerPool(
-            spec, self.workers,
-            driver_config=self.driver_config, timing=self.timing,
-            locator=self.locator, failure=self.failure, retry=self.retry,
-            trace_timeout=self.trace_timeout)
+        engine_config = {
+            "driver_config": self.driver_config,
+            "timing": self.timing,
+            "locator": self.locator,
+            "failure": self.failure,
+            "retry": self.retry,
+        }
+        pool = self.pool
+        owned = pool is None
+        if owned:
+            spec = (self.browser_factory
+                    if isinstance(self.browser_factory, WorkerSpec)
+                    else WorkerSpec(self.browser_factory))
+            pool = WorkerPool(
+                spec, self.workers,
+                driver_config=self.driver_config, timing=self.timing,
+                locator=self.locator, failure=self.failure, retry=self.retry,
+                trace_timeout=self.trace_timeout)
         tracing_on = trace_dir is not None
         if tracing_on:
             os.makedirs(trace_dir, exist_ok=True)
         tasks = [(label, trace.to_text())
                  for label, trace in zip(labels, traces)]
-        outcomes, dropped = pool.run(tasks, tracing=tracing_on)
+        try:
+            # A borrowed pool keeps its workers warm for the caller's
+            # next batch; its chunks run under *this* runner's policies.
+            outcomes, dropped = pool.run(tasks, tracing=tracing_on,
+                                         engine_config=engine_config)
+        finally:
+            if owned:
+                pool.close()
         merger = TraceMerger()
         merger.dropped += dropped
         used_stems = set()

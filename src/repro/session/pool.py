@@ -1,40 +1,46 @@
-"""Multiprocess batch replay: the worker-pool execution backend.
+"""Multiprocess batch replay: the persistent warm worker-pool backend.
 
 Once single-session replay is fast, the next multiplier is running many
 replays at once — every session in a batch is fully isolated by
 construction (fresh browser per trace), so a batch is embarrassingly
-parallel. :class:`WorkerPool` spawns N worker processes; each worker
-builds its *own* browser factory from a picklable :class:`WorkerSpec`
-(live :class:`~repro.browser.window.Browser` objects cannot cross a
-process boundary, so the spec names the factory by dotted path or
-registered builder), pulls traces from a shared task queue, replays
-them through a :class:`~repro.session.engine.SessionEngine`, and
-streams back portable results: a
-:class:`~repro.session.report.ReplayReport` dict, the session's
-:mod:`repro.perf` counter delta, and — when tracing — the session's
-slice of the worker's telemetry timeline.
+parallel. The first-generation pool proved the containment story but
+lost to serial replay on throughput: it spawned processes per batch,
+paid one queue round-trip per trace, and shipped every report as a
+recursively-pickled dict. This pool keeps the containment semantics and
+deletes the overhead:
 
-Scheduling is dynamic: workers *pull* whenever they go idle, so one
-slow trace occupies one worker while the rest of the pool keeps
-draining the queue (static round-robin sharding would idle N-1 workers
-behind the slowest shard). Two containment mechanisms keep a batch
-live:
+- **persistent warm workers** — :meth:`WorkerPool.start` spawns the
+  workers once; they build their browser factory on first use and then
+  serve *batches* (``run()`` may be called repeatedly on a live pool,
+  so spawn and import cost amortize across a whole campaign). The pool
+  is a context manager; :meth:`close` retires the workers.
+- **chunked work-stealing** — tasks are enqueued as chunks (a head of
+  large chunks, then a tail of size-1 chunks for load balance), so a
+  worker pays one queue round-trip per chunk, not per trace, while the
+  single-trace tail keeps the finish line even.
+- **compact result shipping** — workers encode each report with
+  :mod:`repro.session.wire` (string-interned, varint-packed binary)
+  and the queue carries one flat ``bytes`` blob; the parent decodes
+  once. Telemetry event slices (tracing runs only) ride alongside.
+- **blocking result drain** — the parent sleeps in
+  ``multiprocessing.connection.wait`` on the result pipe plus every
+  worker's death sentinel; an idle parent burns no CPU and still wakes
+  instantly for results *and* crashes. Only a live per-trace deadline
+  (``trace_timeout``) forces a polling cadence.
 
-- **crash containment** — a worker that dies mid-trace (segfault,
-  ``os._exit``, OOM kill) marks its in-flight trace failed; the parent
-  spawns a replacement and the pool keeps draining;
-- **per-trace timeout** — with ``trace_timeout`` set, a trace running
-  longer than the bound gets its worker killed and is re-queued *once*
-  (a transient stall deserves a second chance; a deterministic hang
-  does not).
+Containment is unchanged in spirit: a worker that dies mid-trace
+(segfault, ``os._exit``, OOM kill) fails only its in-flight trace — the
+rest of its chunk is re-queued untouched as singles and a replacement
+worker spawns; with ``trace_timeout`` set, an over-deadline trace gets
+its worker killed and is re-queued *once* (a transient stall deserves a
+second chance; a deterministic hang does not).
 
 The parent merges everything into one
 :class:`~repro.session.batch.BatchReport` via
 :meth:`~repro.session.batch.BatchReport.merge`; counter deltas sum
 through :meth:`~repro.session.observers.PerfCountersObserver.merge`
 (observer *instances* never cross processes), and telemetry slices
-merge through :class:`~repro.telemetry.merge.TraceMerger`, which remaps
-every worker's pid/tid tracks into one coherent timeline.
+merge through :class:`~repro.telemetry.merge.TraceMerger`.
 """
 
 import importlib
@@ -43,7 +49,9 @@ import pickle
 import queue as queue_module
 import time
 import traceback
+from multiprocessing.connection import wait as _connection_wait
 
+from repro.session import wire
 from repro.telemetry.events import DEFAULT_BUFFER_SIZE
 
 #: Builders registered under a plain name for WorkerSpec resolution.
@@ -184,6 +192,34 @@ class PoolOutcome:
             self.index, self.label, "ok" if self.ok else "failed")
 
 
+def plan_chunks(count, workers, chunk_size=None):
+    """Split task indexes ``0..count-1`` into dispatch chunks.
+
+    The head of the batch goes out in large chunks (one queue round-trip
+    amortized over many traces); the last ~``2 * workers`` traces go out
+    as size-1 chunks so the batch's finish line stays level — a worker
+    stuck behind a big final chunk would otherwise idle the rest of the
+    pool. ``chunk_size`` overrides the computed head-chunk size.
+    """
+    if count <= 0:
+        return []
+    workers = max(1, workers)
+    tail = min(count, workers * 2)
+    head = count - tail
+    if chunk_size is None:
+        # Aim for ~2 head chunks per worker so dynamic stealing can
+        # still rebalance, without one round-trip per trace.
+        chunk_size = max(1, -(-head // (workers * 2)))
+    chunks = []
+    position = 0
+    while position < head:
+        chunks.append(list(range(position, min(position + chunk_size, head))))
+        position = min(position + chunk_size, head)
+    for index in range(head, count):
+        chunks.append([index])
+    return chunks
+
+
 # -- worker side --------------------------------------------------------------
 
 
@@ -214,9 +250,15 @@ def _replay_task(factory, engine_config, trace_text, tracer):
     return payload
 
 
-def _worker_main(slot, worker_id, spec, engine_config, task_queue,
-                 result_queue, current, tracing):
-    """Worker loop: pull tasks until the sentinel, stream back results."""
+def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
+                 result_queue, current, chunk_current):
+    """Worker loop: serve chunks until the shutdown sentinel.
+
+    The worker persists across batches: the browser factory is built
+    once (first task) and reused, and a tracer is installed/uninstalled
+    as batches toggle tracing. Every result ships as one wire-encoded
+    blob plus the tracer's drop-count delta.
+    """
     from repro import telemetry
     from repro.telemetry.tracer import Tracer
 
@@ -224,31 +266,48 @@ def _worker_main(slot, worker_id, spec, engine_config, task_queue,
     # records into its own private buffer instead.
     telemetry.uninstall()
     tracer = None
-    if tracing:
-        tracer = Tracer(buffer_size=spec.trace_buffer_size)
-        telemetry.install(tracer)
     factory = None
+    dropped_sent = 0
     while True:
         task = task_queue.get()
         if task is None:
             break
-        index, trace_text = task
-        # Shared-memory in-flight marker: written *before* any user code
-        # runs so the parent can attribute a crash even when the dying
-        # process never flushes a message.
-        current[slot] = index
-        try:
-            if factory is None:
-                factory = spec.make_factory()
-            payload = _replay_task(factory, engine_config, trace_text, tracer)
-            message = ("result", worker_id, index, payload)
-        except BaseException as exc:
-            message = ("error", worker_id, index, traceback.format_exc(),
-                       type(exc).__name__)
-        result_queue.put(message)
-        current[slot] = -1
-    result_queue.put(("done", worker_id,
-                      {"dropped": tracer.buffer.dropped if tracer else 0}))
+        batch_id, chunk_id, tracing, engine_config, items = task
+        if engine_config is None:
+            engine_config = default_engine_config
+        chunk_current[slot] = chunk_id
+        if tracing and tracer is None:
+            tracer = Tracer(buffer_size=spec.trace_buffer_size)
+            telemetry.install(tracer)
+        elif not tracing and tracer is not None:
+            telemetry.uninstall()
+            tracer = None
+            dropped_sent = 0
+        for index, trace_text in items:
+            # Shared-memory in-flight marker: written *before* any user
+            # code runs so the parent can attribute a crash even when
+            # the dying process never flushes a message.
+            current[slot] = index
+            try:
+                if factory is None:
+                    factory = spec.make_factory()
+                payload = _replay_task(factory, engine_config, trace_text,
+                                       tracer)
+                blob = wire.encode_report(payload["report"])
+                dropped = 0
+                if tracer is not None:
+                    dropped = tracer.buffer.dropped - dropped_sent
+                    dropped_sent = tracer.buffer.dropped
+                message = ("result", batch_id, worker_id, index, blob,
+                           payload.get("events"), payload.get("metadata"),
+                           dropped)
+            except BaseException as exc:
+                message = ("error", batch_id, worker_id, index,
+                           traceback.format_exc(), type(exc).__name__)
+            result_queue.put(message)
+            current[slot] = -1
+        chunk_current[slot] = -1
+    result_queue.put(("bye", -1, worker_id))
 
 
 # -- parent side --------------------------------------------------------------
@@ -269,18 +328,43 @@ class _WorkerHandle:
         self.finished = False
 
 
+class _BatchState:
+    """Book-keeping for one ``run()`` call."""
+
+    __slots__ = ("batch_id", "tasks", "outcomes", "done", "requeued",
+                 "dropped", "chunks")
+
+    def __init__(self, batch_id, tasks):
+        self.batch_id = batch_id
+        self.tasks = tasks
+        self.outcomes = [PoolOutcome(index, label)
+                         for index, (label, _) in enumerate(tasks)]
+        self.done = [False] * len(tasks)
+        self.requeued = set()   # task indexes already given a 2nd try
+        self.dropped = 0
+        self.chunks = {}        # chunk_id -> [task indexes]
+
+    @property
+    def complete(self):
+        return all(self.done)
+
+
 class WorkerPool:
-    """Replays traces across N worker processes with dynamic scheduling.
+    """Replays traces across N persistent worker processes.
 
     ``spec`` describes the browser factory; the engine policy objects
     (all picklable strategy objects) configure every worker's
     :class:`~repro.session.engine.SessionEngine` exactly as the serial
-    batch runner would.
+    batch runner would. Workers spawn lazily on the first :meth:`run`
+    (or eagerly via :meth:`start`) and persist until :meth:`close` —
+    use the pool as a context manager, or let a
+    :class:`~repro.session.batch.BatchRunner` own an ephemeral one.
     """
 
     def __init__(self, spec, workers, driver_config=None, timing=None,
                  locator=None, failure=None, retry=None, trace_timeout=None,
-                 poll_interval=0.05, drain_timeout=10.0, context=None):
+                 poll_interval=0.05, drain_timeout=10.0, context=None,
+                 chunk_size=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         if not isinstance(spec, WorkerSpec):
@@ -298,101 +382,204 @@ class WorkerPool:
         self.trace_timeout = trace_timeout
         self.poll_interval = poll_interval
         self.drain_timeout = drain_timeout
+        self.chunk_size = chunk_size
         self._context = context if context is not None else _default_context()
+        self._started = False
+        self._closed = False
+        self._handles = {}          # slot -> _WorkerHandle
+        self._next_worker_id = 0
+        self._next_batch_id = 0
+        self._next_chunk_id = 0
+        self._task_queue = None
+        self._result_queue = None
+        self._current = None        # shared: in-flight task index per slot
+        self._chunk_current = None  # shared: in-flight chunk id per slot
+        #: Observability: parent wakeups during result collection. The
+        #: no-busy-wait regression test pins this down — an idle parent
+        #: waiting on one slow trace must sleep, not poll.
+        self.stats = {"wakeups": 0, "batches": 0}
 
     # -- lifecycle ----------------------------------------------------------
 
-    def run(self, tasks, tracing=False):
-        """Replay every ``(label, trace_text)`` task; returns
-        ``(outcomes, dropped_events)`` with outcomes in input order."""
-        tasks = list(tasks)
-        outcomes = [PoolOutcome(index, label)
-                    for index, (label, _) in enumerate(tasks)]
-        done = [False] * len(tasks)
-        if not tasks:
-            return outcomes, 0
+    def start(self):
+        """Spawn the worker processes (idempotent); returns self."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._started:
+            return self
         ctx = self._context
-        task_queue = ctx.Queue()
-        result_queue = ctx.Queue()
-        current = ctx.Array("i", [-1] * self.workers)
-        for index, (_, trace_text) in enumerate(tasks):
-            task_queue.put((index, trace_text))
-        state = {
-            "handles": {},        # slot -> _WorkerHandle
-            "next_worker_id": 0,
-            "requeued": set(),    # task indexes already given a 2nd try
-            "dropped": 0,
-            "task_texts": [trace_text for _, trace_text in tasks],
-        }
-        tracing = bool(tracing)
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._current = ctx.Array("i", [-1] * self.workers)
+        self._chunk_current = ctx.Array("i", [-1] * self.workers)
+        for slot in range(self.workers):
+            self._spawn(slot)
+        self._started = True
+        return self
 
-        def spawn(slot):
-            self._spawn(slot, state, task_queue, result_queue, current,
-                        tracing)
-
-        for slot in range(min(self.workers, len(tasks))):
-            spawn(slot)
-        try:
-            while not all(done):
-                self._pump(result_queue, outcomes, done, state, current)
-                self._reap(outcomes, done, state, task_queue, current, spawn)
-            self._drain(task_queue, result_queue, state)
-        finally:
-            self._shutdown(state, task_queue, result_queue)
-        return outcomes, state["dropped"]
-
-    def _spawn(self, slot, state, task_queue, result_queue, current, tracing):
-        worker_id = state["next_worker_id"]
-        state["next_worker_id"] += 1
-        current[slot] = -1
+    def _spawn(self, slot):
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        self._current[slot] = -1
+        self._chunk_current[slot] = -1
         process = self._context.Process(
             target=_worker_main,
             args=(slot, worker_id, self.spec, self.engine_config,
-                  task_queue, result_queue, current, tracing),
+                  self._task_queue, self._result_queue, self._current,
+                  self._chunk_current),
             daemon=True)
         process.start()
-        state["handles"][slot] = _WorkerHandle(slot, worker_id, process)
+        self._handles[slot] = _WorkerHandle(slot, worker_id, process)
+
+    def _replenish(self):
+        """Refill slots whose worker died while the pool was idle (or
+        was reaped at the very end of the previous batch)."""
+        for slot in range(self.workers):
+            handle = self._handles.get(slot)
+            if handle is None or not handle.process.is_alive():
+                if handle is not None:
+                    handle.process.join(0)
+                self._spawn(slot)
+
+    def close(self):
+        """Retire the workers and release the queues (idempotent)."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        live = [h for h in self._handles.values() if h.process.is_alive()]
+        for _ in live:
+            self._task_queue.put(None)
+        deadline = time.monotonic() + self.drain_timeout
+        pending = {h.worker_id for h in live}
+        while pending and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                pending = {wid for wid in pending
+                           if any(h.worker_id == wid and h.process.is_alive()
+                                  for h in self._handles.values())}
+                continue
+            if message[0] == "bye":
+                pending.discard(message[2])
+        for handle in self._handles.values():
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(self.drain_timeout)
+        for q in (self._task_queue, self._result_queue):
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue_module.Empty, OSError):
+                pass
+            q.close()
+            q.cancel_join_thread()
+        self._handles = {}
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()
+        return False
+
+    # -- batch execution -----------------------------------------------------
+
+    def run(self, tasks, tracing=False, engine_config=None):
+        """Replay every ``(label, trace_text)`` task; returns
+        ``(outcomes, dropped_events)`` with outcomes in input order.
+
+        May be called repeatedly on a live pool — workers, their
+        imported modules, and their browser factories stay warm between
+        calls. ``engine_config`` overrides the pool's default policy set
+        for this batch only (it is shipped with each chunk).
+        """
+        tasks = list(tasks)
+        batch = _BatchState(self._next_batch_id, tasks)
+        self._next_batch_id += 1
+        if not tasks:
+            return batch.outcomes, 0
+        if engine_config is not None:
+            pickle.dumps(engine_config)  # fail fast, like the default set
+        self.start()
+        self._replenish()
+        self.stats["batches"] += 1
+        tracing = bool(tracing)
+        for indexes in plan_chunks(len(tasks), self.workers,
+                                   self.chunk_size):
+            self._dispatch(batch, indexes, tracing, engine_config)
+        while not batch.complete:
+            self._wait_for_activity()
+            self._pump(batch)
+            self._reap(batch, tracing, engine_config)
+        return batch.outcomes, batch.dropped
+
+    def _dispatch(self, batch, indexes, tracing, engine_config):
+        """Enqueue one chunk of task indexes."""
+        chunk_id = self._next_chunk_id
+        self._next_chunk_id += 1
+        batch.chunks[chunk_id] = list(indexes)
+        items = [(index, batch.tasks[index][1]) for index in indexes]
+        self._task_queue.put((batch.batch_id, chunk_id, tracing,
+                              engine_config, items))
 
     # -- event handling -----------------------------------------------------
 
-    def _pump(self, result_queue, outcomes, done, state, current):
-        """Drain every queued result message (waits up to one poll)."""
-        block = True
+    def _wait_for_activity(self):
+        """Sleep until a result arrives or a worker dies.
+
+        Blocks indefinitely when it safely can: the result pipe wakes
+        us for every message and each worker's sentinel wakes us the
+        instant that process exits, so no polling cadence is needed.
+        Only a live per-trace deadline forces one (the parent must
+        notice a *silent* overrun, which posts to neither).
+        """
+        reader = getattr(self._result_queue, "_reader", None)
+        timeout = (self.poll_interval if self.trace_timeout is not None
+                   else None)
+        if reader is None:  # unexpected Queue implementation: poll
+            timeout = self.poll_interval
+            time.sleep(timeout)
+            self.stats["wakeups"] += 1
+            return
+        sentinels = [h.process.sentinel for h in self._handles.values()
+                     if h.process.is_alive()]
+        _connection_wait([reader] + sentinels, timeout)
+        self.stats["wakeups"] += 1
+
+    def _pump(self, batch):
+        """Drain every queued result message without blocking."""
         while True:
             try:
-                message = result_queue.get(
-                    timeout=self.poll_interval if block else 0)
+                message = self._result_queue.get_nowait()
             except queue_module.Empty:
                 return
-            block = False
-            kind, worker_id, payload = message[0], message[1], message[2:]
-            if kind == "done":
-                state["dropped"] += payload[0].get("dropped", 0)
-                for handle in state["handles"].values():
-                    if handle.worker_id == worker_id:
-                        handle.finished = True
-                continue
-            index = payload[0]
-            if done[index]:
-                continue  # a stale duplicate (e.g. the re-queued attempt won)
-            outcome = outcomes[index]
+            kind, batch_id = message[0], message[1]
+            if kind == "bye":
+                continue  # close() raced a worker retirement
+            if batch_id != batch.batch_id:
+                continue  # stale: a re-queued duplicate from a past batch
+            worker_id, index = message[2], message[3]
+            if batch.done[index]:
+                continue  # the re-queued attempt already won
+            outcome = batch.outcomes[index]
             outcome.worker_id = worker_id
             if kind == "result":
-                body = payload[1]
-                outcome.report = body["report"]
-                outcome.events = body.get("events")
-                outcome.metadata = body.get("metadata")
+                outcome.report = wire.decode_report(message[4])
+                outcome.events = message[5]
+                outcome.metadata = message[6]
+                batch.dropped += message[7]
             else:
-                outcome.error = payload[1]
-                outcome.error_class = (payload[2] if len(payload) > 2
-                                       else "WorkerError")
-            done[index] = True
+                outcome.error = message[4]
+                outcome.error_class = message[5] or "WorkerError"
+            batch.done[index] = True
 
-    def _reap(self, outcomes, done, state, task_queue, current, spawn):
+    def _reap(self, batch, tracing, engine_config):
         """Contain dead workers and over-deadline traces; keep pool full."""
         now = time.monotonic()
-        for slot, handle in list(state["handles"].items()):
-            inflight = current[slot]
+        for slot, handle in list(self._handles.items()):
+            inflight = self._current[slot]
             if inflight != handle.inflight_index:
                 handle.inflight_index = inflight
                 handle.inflight_since = now if inflight >= 0 else None
@@ -403,86 +590,51 @@ class WorkerPool:
                 # Kill the stuck worker; its trace gets one more chance.
                 handle.process.terminate()
                 handle.process.join(self.drain_timeout)
-                self._handle_casualty(handle, current, outcomes, done, state,
-                                      task_queue,
-                                      "trace exceeded the %.3gs per-trace "
-                                      "timeout" % self.trace_timeout,
-                                      requeue=True,
-                                      error_class="TimeoutError")
+                self._handle_casualty(
+                    handle, batch, tracing, engine_config,
+                    "trace exceeded the %.3gs per-trace timeout"
+                    % self.trace_timeout,
+                    requeue=True, error_class="TimeoutError")
                 alive = False
             elif not alive and not handle.finished:
-                self._handle_casualty(handle, current, outcomes, done, state,
-                                      task_queue,
-                                      "worker process died (exit code %s)"
-                                      % handle.process.exitcode,
-                                      requeue=False,
-                                      error_class="WorkerCrashError")
+                self._handle_casualty(
+                    handle, batch, tracing, engine_config,
+                    "worker process died (exit code %s)"
+                    % handle.process.exitcode,
+                    requeue=False, error_class="WorkerCrashError")
             if not alive:
-                del state["handles"][slot]
-                if not all(done):
-                    spawn(slot)
+                del self._handles[slot]
+                if not batch.complete:
+                    self._spawn(slot)
 
-    def _handle_casualty(self, handle, current, outcomes, done, state,
-                         task_queue, reason, requeue, error_class):
-        # The worker is dead by now, so its shared-memory slot is the
+    def _handle_casualty(self, handle, batch, tracing, engine_config,
+                         reason, requeue, error_class):
+        # The worker is dead by now, so its shared-memory slots are the
         # authoritative record of what it had in flight (a result put
         # just before death may still land; _pump wins that race because
         # completed outcomes are never overwritten here).
-        index = current[handle.slot]
-        if index < 0 or done[index]:
+        index = self._current[handle.slot]
+        chunk_id = self._chunk_current[handle.slot]
+        handle.finished = True
+        # Chunk-mates the dead worker never started (or whose results
+        # died in its outbox) go back on the queue as singles — they
+        # were not running, so they are not charged an attempt.
+        survivors = [mate for mate in batch.chunks.get(chunk_id, ())
+                     if mate != index and not batch.done[mate]]
+        for mate in survivors:
+            self._dispatch(batch, [mate], tracing, engine_config)
+        if index < 0 or batch.done[index]:
             return
-        outcome = outcomes[index]
+        outcome = batch.outcomes[index]
         outcome.worker_id = handle.worker_id
-        if requeue and index not in state["requeued"]:
-            state["requeued"].add(index)
+        if requeue and index not in batch.requeued:
+            batch.requeued.add(index)
             outcome.attempts += 1
-            task_queue.put((index, state["task_texts"][index]))
+            self._dispatch(batch, [index], tracing, engine_config)
             return
         outcome.error = reason
         outcome.error_class = error_class
-        done[index] = True
-
-    # -- shutdown -----------------------------------------------------------
-
-    def _drain(self, task_queue, result_queue, state):
-        """All traces accounted for: retire workers, collect drop counts."""
-        live = [h for h in state["handles"].values()
-                if h.process.is_alive() and not h.finished]
-        for _ in live:
-            task_queue.put(None)
-        deadline = time.monotonic() + self.drain_timeout
-        while any(not h.finished for h in live) \
-                and time.monotonic() < deadline:
-            self._collect_done(result_queue, state, live)
-        for handle in live:
-            handle.process.join(max(0.0, deadline - time.monotonic()))
-
-    def _collect_done(self, result_queue, state, live):
-        try:
-            message = result_queue.get(timeout=self.poll_interval)
-        except queue_module.Empty:
-            return
-        if message[0] != "done":
-            return  # late duplicate from a re-queued task; drop it
-        state["dropped"] += message[2].get("dropped", 0)
-        for handle in live:
-            if handle.worker_id == message[1]:
-                handle.finished = True
-
-    def _shutdown(self, state, task_queue, result_queue):
-        for handle in state["handles"].values():
-            if handle.process.is_alive():
-                handle.process.terminate()
-        for handle in state["handles"].values():
-            handle.process.join(self.drain_timeout)
-        for q in (task_queue, result_queue):
-            try:
-                while True:
-                    q.get_nowait()
-            except (queue_module.Empty, OSError):
-                pass
-            q.close()
-            q.cancel_join_thread()
+        batch.done[index] = True
 
 
 def _default_context():

@@ -1,0 +1,272 @@
+"""Compact binary shipping of replay results across process boundaries.
+
+Pool workers used to put each :meth:`ReplayReport.to_dict` on the
+result queue as-is, paying a full recursive pickle of hundreds of tiny
+dicts and strings per trace — measurable against traces that replay in
+single-digit milliseconds. This module packs the same payload into one
+flat ``bytes`` blob instead: the worker encodes once, the queue ships a
+single buffer (pickling ``bytes`` is a length-prefixed memcpy), and the
+parent decodes once.
+
+Format (version tag ``WR1``):
+
+- **varints** — unsigned LEB128 for every integer (lengths, counts,
+  refs, hit/miss totals), so small numbers cost one byte;
+- **string interning** — every string in the payload (command lines,
+  statuses, details, error types/messages, cache names) is stored once
+  in a table and referenced by index; a batch of identical ``type``
+  commands pays for the command text once. Reference ``0`` is the
+  ``None`` sentinel, so optional strings need no presence flags;
+- **counters as arrays** — perf counters ship as parallel
+  name-ref/hits/misses/rate arrays rather than nested dicts; hit rates
+  are carried as raw IEEE doubles so decoded floats are bit-identical
+  to the encoder's.
+
+:func:`decode_report` is the exact inverse of :func:`encode_report`:
+``decode_report(encode_report(d)) == d`` for every dict
+:meth:`ReplayReport.to_dict` can produce — the round-trip property the
+wire tests pin down, and the reason the parent-side
+:meth:`ReplayReport.from_dict` path needed no changes.
+"""
+
+import struct
+
+#: Format tag; bump when the layout changes incompatibly.
+MAGIC = b"WR1"
+
+#: CommandResult statuses packed as one byte; anything else ships as a
+#: string reference after the ``_STATUS_OTHER`` marker.
+_STATUSES = ("ok", "relaxed", "coordinate-fallback", "failed")
+_STATUS_CODE = {status: code for code, status in enumerate(_STATUSES)}
+_STATUS_OTHER = 0xFF
+
+_DOUBLE = struct.Struct("<d")
+
+
+class WireError(ValueError):
+    """A blob that is not a well-formed WR1 payload."""
+
+
+# -- primitives ---------------------------------------------------------------
+
+
+def _write_varint(out, value):
+    """Append ``value`` (non-negative int) as unsigned LEB128."""
+    if value < 0:
+        raise WireError("varint cannot encode negative value %r" % value)
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(blob, pos):
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(blob):
+            raise WireError("truncated varint")
+        byte = blob[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise WireError("varint too long")
+
+
+class _StringTable:
+    """Interned strings, referenced by 1-based index (0 = None)."""
+
+    def __init__(self):
+        self._ids = {}
+        self.strings = []
+
+    def ref(self, text):
+        if text is None:
+            return 0
+        ref = self._ids.get(text)
+        if ref is None:
+            self.strings.append(text)
+            ref = len(self.strings)
+            self._ids[text] = ref
+        return ref
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _encode_error(out, table, error):
+    """An error triple (type/message/severity) or the None marker."""
+    if error is None:
+        _write_varint(out, 0)
+        return
+    _write_varint(out, 1)
+    _write_varint(out, table.ref(error["type"]))
+    _write_varint(out, table.ref(error["message"]))
+    _write_varint(out, table.ref(error.get("severity")))
+
+
+def _encode_result(out, table, result):
+    _write_varint(out, table.ref(result["command"]))
+    code = _STATUS_CODE.get(result["status"], _STATUS_OTHER)
+    out.append(code)
+    if code == _STATUS_OTHER:
+        _write_varint(out, table.ref(result["status"]))
+    _write_varint(out, table.ref(result["detail"]))
+    _write_varint(out, result.get("retries", 0))
+    _encode_error(out, table, result["error"])
+
+
+def encode_report(report_dict):
+    """Pack a :meth:`ReplayReport.to_dict` payload into one blob."""
+    table = _StringTable()
+    body = bytearray()
+    _write_varint(body, table.ref(report_dict["trace"]))
+    body.append(1 if report_dict["halted"] else 0)
+    _write_varint(body, table.ref(report_dict["halt_reason"]))
+    _encode_error(body, table, report_dict.get("halt_error"))
+    _write_varint(body, table.ref(report_dict.get("final_url")))
+    _write_varint(body, report_dict.get("recoveries", 0))
+    results = report_dict["results"]
+    _write_varint(body, len(results))
+    for result in results:
+        _encode_result(body, table, result)
+    page_errors = report_dict["page_errors"]
+    _write_varint(body, len(page_errors))
+    for error in page_errors:
+        _encode_error(body, table, error)
+    counters = report_dict["perf_counters"]
+    _write_varint(body, len(counters))
+    for name in sorted(counters):
+        counts = counters[name]
+        _write_varint(body, table.ref(name))
+        _write_varint(body, counts["hits"])
+        _write_varint(body, counts["misses"])
+        rate = counts.get("hit_rate")
+        if rate is None:
+            body.append(0)
+        else:
+            body.append(1)
+            body.extend(_DOUBLE.pack(rate))
+
+    out = bytearray(MAGIC)
+    _write_varint(out, len(table.strings))
+    for text in table.strings:
+        encoded = text.encode("utf-8")
+        _write_varint(out, len(encoded))
+        out.extend(encoded)
+    out.extend(body)
+    return bytes(out)
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+class _Reader:
+    __slots__ = ("blob", "pos", "strings")
+
+    def __init__(self, blob):
+        self.blob = blob
+        self.pos = 0
+        self.strings = []
+
+    def varint(self):
+        value, self.pos = _read_varint(self.blob, self.pos)
+        return value
+
+    def byte(self):
+        if self.pos >= len(self.blob):
+            raise WireError("truncated payload")
+        value = self.blob[self.pos]
+        self.pos += 1
+        return value
+
+    def take(self, count):
+        if self.pos + count > len(self.blob):
+            raise WireError("truncated payload")
+        chunk = self.blob[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def string(self):
+        """A string reference: 0 is None, otherwise 1-based table index."""
+        ref = self.varint()
+        if ref == 0:
+            return None
+        try:
+            return self.strings[ref - 1]
+        except IndexError:
+            raise WireError("string reference %d outside table" % ref)
+
+    def error(self):
+        if self.varint() == 0:
+            return None
+        return {
+            "type": self.string(),
+            "message": self.string(),
+            "severity": self.string(),
+        }
+
+
+def decode_report(blob):
+    """The exact inverse of :func:`encode_report`."""
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise WireError("wire payload must be bytes, got %s"
+                        % type(blob).__name__)
+    blob = bytes(blob)
+    if blob[:len(MAGIC)] != MAGIC:
+        raise WireError("bad magic; not a %s payload" % MAGIC.decode())
+    reader = _Reader(blob)
+    reader.pos = len(MAGIC)
+    for _ in range(reader.varint()):
+        length = reader.varint()
+        reader.strings.append(reader.take(length).decode("utf-8"))
+
+    report = {
+        "trace": reader.string(),
+        "halted": bool(reader.byte()),
+        "halt_reason": reader.string(),
+        "halt_error": reader.error(),
+        "final_url": reader.string(),
+        "recoveries": reader.varint(),
+    }
+    results = []
+    for _ in range(reader.varint()):
+        command = reader.string()
+        code = reader.byte()
+        if code == _STATUS_OTHER:
+            status = reader.string()
+        elif code < len(_STATUSES):
+            status = _STATUSES[code]
+        else:
+            raise WireError("unknown status code %d" % code)
+        results.append({
+            "command": command,
+            "status": status,
+            "detail": reader.string(),
+            "retries": reader.varint(),
+            "error": reader.error(),
+        })
+    report["results"] = results
+    report["page_errors"] = [reader.error()
+                             for _ in range(reader.varint())]
+    counters = {}
+    for _ in range(reader.varint()):
+        name = reader.string()
+        hits = reader.varint()
+        misses = reader.varint()
+        rate = None
+        if reader.byte():
+            rate = _DOUBLE.unpack(reader.take(8))[0]
+        counters[name] = {"hits": hits, "misses": misses, "hit_rate": rate}
+    report["perf_counters"] = counters
+    if reader.pos != len(blob):
+        raise WireError("%d trailing byte(s) after payload"
+                        % (len(blob) - reader.pos))
+    return report

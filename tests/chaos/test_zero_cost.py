@@ -1,0 +1,94 @@
+"""Zero-cost disabled chaos: inactive layers never reach the injector.
+
+An installed-but-quiet injector used to cost every injection point a
+rate lookup per call — per IPC message, per reflow. Layer liveness is
+now precomputed on the injector, and every site guards on the plain
+boolean, so a zeroed layer costs one attribute check and draws no
+randomness, bumps no counters, and records no decisions. These tests
+pin the *structural* half of that claim; ``benchmarks/bench_chaos.py``
+asserts the time cost.
+"""
+
+from repro import chaos, perf
+from repro.chaos import ChaosInjector, FaultProfile
+from repro.session.engine import SessionEngine
+from repro.session.policies import TimingPolicy
+from tests.session.test_batch import factory, record_trace
+
+
+def replay_under(profile, seed=7):
+    trace = record_trace("zero-cost")
+    browser = factory()
+    with chaos.active(profile, seed=seed, clock=browser.clock) as injector:
+        report = SessionEngine(
+            browser, timing=TimingPolicy.no_wait()).run(trace)
+    assert report.complete
+    return injector
+
+
+class TestLayerLiveness:
+    def test_disabled_profile_has_no_live_layers(self):
+        injector = ChaosInjector(FaultProfile.disabled())
+        assert injector.live_layers == frozenset()
+        assert not injector.ipc_active
+        assert not injector.renderer_active
+        assert not injector.net_active
+        assert not injector.script_active
+        assert not injector.layout_active
+        assert not injector.layer_active("ipc")
+
+    def test_default_profile_lights_every_layer(self):
+        injector = ChaosInjector(FaultProfile.default())
+        assert injector.live_layers == frozenset(
+            ("ipc", "renderer", "net", "script", "layout"))
+        assert injector.ipc_active and injector.layout_active
+
+    def test_only_filters_liveness(self):
+        injector = ChaosInjector(FaultProfile.default().only("net"))
+        assert injector.live_layers == frozenset(("net",))
+        assert injector.net_active
+        assert not injector.ipc_active
+        assert not injector.script_active
+
+
+class TestDisabledReplayIsUntouched:
+    def test_disabled_injector_is_never_consulted(self):
+        injector = replay_under(FaultProfile.disabled())
+        # Zero decisions: no site got past its liveness guard, so the
+        # injector drew no randomness and logged nothing.
+        assert injector.decisions == {}
+        assert injector.records == []
+        for layer in ("ipc", "renderer", "net", "script", "layout"):
+            assert layer not in injector._streams
+
+    def test_disabled_replay_bumps_no_chaos_perf_counters(self):
+        before = perf.snapshot()
+        replay_under(FaultProfile.disabled())
+        after = perf.delta(before)
+        assert not any(name.startswith("chaos.") for name in after)
+
+    def test_inactive_layers_stay_dark_under_a_partial_profile(self):
+        injector = replay_under(FaultProfile("layout-only",
+                                             layout_jitter_rate=0.5))
+        # Only the live layer was ever consulted; the four zeroed
+        # layers paid their one-boolean guard and nothing else.
+        assert set(injector.decisions) <= {"layout"}
+        assert injector.decisions.get("layout", 0) > 0
+        assert set(injector._streams) <= {"layout"}
+
+    def test_disabled_run_matches_chaos_off_exactly(self):
+        trace = record_trace("bitwise")
+
+        def final_state(install_disabled):
+            browser = factory()
+            engine = SessionEngine(browser, timing=TimingPolicy.no_wait())
+            if install_disabled:
+                with chaos.active(FaultProfile.disabled(), seed=3,
+                                  clock=browser.clock):
+                    report = engine.run(trace)
+            else:
+                report = engine.run(trace)
+            return ([r.status for r in report.results], report.final_url,
+                    browser.clock.now())
+
+        assert final_state(True) == final_state(False)

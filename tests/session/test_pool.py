@@ -19,6 +19,7 @@ from repro.session.policies import TimingPolicy
 from repro.session.pool import (
     WorkerPool,
     WorkerSpec,
+    plan_chunks,
     register_factory,
     resolve_factory,
 )
@@ -59,6 +60,12 @@ def hang_always_factory():
 def broken_factory():
     # Returns no browser: the worker's replay dies with AttributeError.
     return None
+
+
+def slow_start_factory():
+    # Slow in *real* time: the parent must sleep through this, not poll.
+    time.sleep(1.0)
+    return build_browser(developer_mode=True)
 
 
 def build_sized_factory(developer_mode):
@@ -252,6 +259,105 @@ class TestContainment:
         (outcome,), dropped = pool.run([("x", record_trace("x").to_text())])
         assert not outcome.ok
         assert outcome.error_class == "AttributeError"
+
+
+class TestChunkPlanning:
+    def test_chunks_cover_every_index_exactly_once(self):
+        for count in (0, 1, 2, 5, 7, 16, 100):
+            for workers in (1, 2, 3, 8):
+                chunks = plan_chunks(count, workers)
+                flat = [i for chunk in chunks for i in chunk]
+                assert sorted(flat) == list(range(count)), (count, workers)
+
+    def test_tail_is_single_trace_chunks(self):
+        chunks = plan_chunks(40, 4)
+        # The final 2*workers chunks are singles: the finish line stays
+        # level even if one worker lags.
+        assert all(len(chunk) == 1 for chunk in chunks[-8:])
+        # The head amortizes queue round-trips: fewer chunks than traces.
+        assert len(chunks) < 40
+
+    def test_small_batches_degrade_to_singles(self):
+        assert plan_chunks(3, 4) == [[0], [1], [2]]
+        assert plan_chunks(0, 4) == []
+
+    def test_explicit_chunk_size_respected(self):
+        chunks = plan_chunks(20, 2, chunk_size=4)
+        head = [chunk for chunk in chunks if len(chunk) > 1]
+        assert all(len(chunk) <= 4 for chunk in head)
+
+
+class TestWarmPool:
+    def test_pool_persists_across_batches(self):
+        traces = [record_trace("w%d" % i) for i in range(3)]
+        tasks = [(t.label, t.to_text()) for t in traces]
+        with WorkerPool(WorkerSpec(factory), workers=2,
+                        timing=TimingPolicy.no_wait()) as pool:
+            first, _ = pool.run(tasks)
+            second, _ = pool.run(tasks)
+            assert all(o.ok for o in first + second)
+            # Same worker processes served both batches: no respawn.
+            assert {o.worker_id for o in second} \
+                <= {o.worker_id for o in first}
+            assert pool.stats["batches"] == 2
+
+    def test_batch_runner_borrows_a_pool_without_closing_it(self):
+        traces = [record_trace("b%d" % i) for i in range(2)]
+        with WorkerPool(WorkerSpec(factory), workers=2) as pool:
+            runner = BatchRunner(factory, timing=TimingPolicy.no_wait(),
+                                 pool=pool)
+            one = runner.run(traces)
+            two = runner.run(traces)
+            assert one.complete and two.complete
+            assert one.summary() == two.summary()
+            # The borrowed pool is still live for the next campaign.
+            assert pool.run([(t.label, t.to_text()) for t in traces],
+                            engine_config={
+                                "driver_config": None,
+                                "timing": TimingPolicy.no_wait(),
+                                "locator": None, "failure": None,
+                                "retry": None})[0][0].ok
+
+    def test_runner_policies_override_pool_defaults(self):
+        # The pool was built with no policies; the borrowing runner's
+        # no-wait timing must still reach the workers (a think-time
+        # replay at default pacing would advance the virtual clock far
+        # more than the recorded think times themselves).
+        trace = record_trace("policy")
+        with WorkerPool(WorkerSpec(factory), workers=1) as pool:
+            batch = BatchRunner(factory, timing=TimingPolicy.no_wait(),
+                                pool=pool).run([trace])
+        assert batch.complete
+
+    def test_crash_mid_chunk_fails_only_the_inflight_trace(self, flag_path):
+        traces = [record_trace("m%d" % i) for i in range(4)]
+        tasks = [(t.label, t.to_text()) for t in traces]
+        # One worker, one big head chunk: the crash lands mid-chunk and
+        # the unstarted chunk-mates must be re-queued, not lost.
+        with WorkerPool(
+                WorkerSpec("tests.session.test_pool:crash_once_factory"),
+                workers=1, timing=TimingPolicy.no_wait(),
+                chunk_size=4) as pool:
+            outcomes, _ = pool.run(tasks)
+        failed = [o for o in outcomes if not o.ok]
+        assert len(failed) == 1
+        assert failed[0].error_class == "WorkerCrashError"
+        assert sum(o.ok for o in outcomes) == 3
+
+
+class TestResultDrain:
+    def test_parent_sleeps_instead_of_polling_a_slow_worker(self):
+        # Regression: the old pool polled the result queue on a 50ms
+        # interval, burning parent CPU for the whole batch. The drain
+        # now blocks on the queue pipe + worker sentinels, so a 1s
+        # worker stall costs the parent a handful of wakeups, not ~20.
+        trace = record_trace("slow")
+        with WorkerPool(
+                WorkerSpec("tests.session.test_pool:slow_start_factory"),
+                workers=1, timing=TimingPolicy.no_wait()) as pool:
+            outcomes, _ = pool.run([(trace.label, trace.to_text())])
+        assert outcomes[0].ok
+        assert pool.stats["wakeups"] <= 5, pool.stats
 
 
 class TestMerging:

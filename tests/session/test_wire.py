@@ -1,0 +1,181 @@
+"""The WR1 compact result wire format: exact round-trip, compactness.
+
+The pool's correctness story leans entirely on
+``decode_report(encode_report(d)) == d``; these tests pin that equality
+on real replay output, on hand-built edge cases, and (via hypothesis)
+on arbitrary schema-shaped payloads.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.session.engine import SessionEngine
+from repro.session.policies import TimingPolicy
+from repro.session.report import ReplayReport
+from repro.session.wire import MAGIC, WireError, decode_report, encode_report
+from tests.session.test_batch import factory, record_trace
+
+
+def replay_report_dict(label="wire"):
+    trace = record_trace(label)
+    engine = SessionEngine(factory(), timing=TimingPolicy.no_wait())
+    return engine.run(trace).to_dict()
+
+
+class TestRoundTrip:
+    def test_real_replay_report_round_trips_exactly(self):
+        report = replay_report_dict()
+        assert decode_report(encode_report(report)) == report
+
+    def test_decoded_report_rebuilds_through_from_dict(self):
+        report = replay_report_dict()
+        rebuilt = ReplayReport.from_dict(decode_report(encode_report(report)))
+        assert rebuilt.to_dict() == report
+
+    def test_halted_report_with_errors_round_trips(self):
+        report = {
+            "trace": "#warr v1\nstart http://x/\nclick //a 5",
+            "results": [
+                {"command": "click //a 5", "status": "failed",
+                 "detail": "no match", "retries": 2,
+                 "error": {"type": "LocatorError", "message": "gone",
+                           "severity": "page"}},
+                {"command": "click //a 5", "status": "weird-status",
+                 "detail": None, "retries": 0, "error": None},
+            ],
+            "halted": True,
+            "halt_reason": "boom",
+            "halt_error": {"type": "ReplayHaltedError", "message": "boom",
+                           "severity": None},
+            "page_errors": [
+                {"type": "ScriptError", "message": "übel ☃", "severity": "js"},
+            ],
+            "final_url": None,
+            "recoveries": 3,
+            "perf_counters": {
+                "xpath.compile": {"hits": 300, "misses": 7,
+                                  "hit_rate": 300 / 307},
+                "dom.index": {"hits": 0, "misses": 0, "hit_rate": None},
+            },
+        }
+        assert decode_report(encode_report(report)) == report
+
+    def test_empty_report_round_trips(self):
+        report = {
+            "trace": "", "results": [], "halted": False,
+            "halt_reason": None, "halt_error": None, "page_errors": [],
+            "final_url": None, "recoveries": 0, "perf_counters": {},
+        }
+        assert decode_report(encode_report(report)) == report
+
+    def test_hit_rate_doubles_are_bit_identical(self):
+        rate = 1.0 / 3.0
+        report = {
+            "trace": "t", "results": [], "halted": False,
+            "halt_reason": None, "halt_error": None, "page_errors": [],
+            "final_url": None, "recoveries": 0,
+            "perf_counters": {"c": {"hits": 1, "misses": 2,
+                                    "hit_rate": rate}},
+        }
+        decoded = decode_report(encode_report(report))
+        assert decoded["perf_counters"]["c"]["hit_rate"] == rate
+
+
+class TestCompactness:
+    def test_interning_beats_pickled_dicts_on_repetitive_batches(self):
+        # The motivating case: many identical command lines. Interning
+        # must make the wire blob smaller than pickling the raw dict.
+        result = {"command": "type //input[@name='who'] abc 120",
+                  "status": "ok", "detail": None, "retries": 0,
+                  "error": None}
+        report = {
+            "trace": "#warr v1\nstart http://host/page",
+            "results": [dict(result) for _ in range(200)],
+            "halted": False, "halt_reason": None, "halt_error": None,
+            "page_errors": [], "final_url": "http://host/page",
+            "recoveries": 0, "perf_counters": {},
+        }
+        blob = encode_report(report)
+        assert len(blob) < len(pickle.dumps(report))
+        assert decode_report(blob) == report
+
+    def test_real_report_is_smaller_than_its_pickle(self):
+        report = replay_report_dict()
+        assert len(encode_report(report)) < len(pickle.dumps(report))
+
+
+class TestMalformedPayloads:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireError, match="magic"):
+            decode_report(b"XX1whatever")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(WireError, match="bytes"):
+            decode_report({"not": "bytes"})
+
+    def test_truncated_payload_rejected(self):
+        blob = encode_report(replay_report_dict())
+        with pytest.raises(WireError):
+            decode_report(blob[:len(blob) // 2])
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_report(replay_report_dict())
+        with pytest.raises(WireError, match="trailing"):
+            decode_report(blob + b"\x00")
+
+    def test_magic_is_versioned(self):
+        assert encode_report({
+            "trace": "t", "results": [], "halted": False,
+            "halt_reason": None, "halt_error": None, "page_errors": [],
+            "final_url": None, "recoveries": 0, "perf_counters": {},
+        }).startswith(MAGIC)
+
+
+# -- property test: arbitrary schema-shaped payloads --------------------------
+
+_text = st.text(max_size=40)
+_opt_text = st.none() | _text
+
+_error = st.none() | st.fixed_dictionaries({
+    "type": _text,
+    "message": _text,
+    "severity": _opt_text,
+})
+
+_result = st.fixed_dictionaries({
+    "command": _text,
+    "status": st.sampled_from(
+        ["ok", "relaxed", "coordinate-fallback", "failed"]) | _text,
+    "detail": _opt_text,
+    "retries": st.integers(min_value=0, max_value=10**9),
+    "error": _error,
+})
+
+_counter = st.fixed_dictionaries({
+    "hits": st.integers(min_value=0, max_value=10**12),
+    "misses": st.integers(min_value=0, max_value=10**12),
+    "hit_rate": st.none() | st.floats(allow_nan=False),
+})
+
+_report = st.fixed_dictionaries({
+    "trace": _text,
+    "results": st.lists(_result, max_size=8),
+    "halted": st.booleans(),
+    "halt_reason": _opt_text,
+    "halt_error": _error,
+    "page_errors": st.lists(_error.filter(lambda e: e is not None),
+                            max_size=4),
+    "final_url": _opt_text,
+    "recoveries": st.integers(min_value=0, max_value=10**6),
+    "perf_counters": st.dictionaries(_text, _counter, max_size=6),
+})
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_report)
+    def test_any_schema_shaped_report_round_trips(self, report):
+        assert decode_report(encode_report(report)) == report
