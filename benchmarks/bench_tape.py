@@ -1,0 +1,288 @@
+"""Network tapes: playback vs live throughput, dedup, bytes per session.
+
+Two sweeps over the same Dashboard workload (navigation + iframe
+subresource + AJAX GET/POST — every entry point the transport seam
+covers):
+
+- **fetch level** — raw ``Network.fetch`` throughput with zero latency,
+  live servers vs tape playback. This isolates the seam itself: live
+  pays route dispatch plus handler execution, playback pays a memoized
+  fingerprint and a cursor lookup. Playback must be at least live speed
+  (floor asserted in full mode) or hermetic replay would tax every
+  batch it is supposed to accelerate;
+- **session level** — full replay sessions per second in three modes:
+  live, record (live + tape snapshot, saved to disk each session — the
+  honest cost of acquiring a tape), and playback (hermetic: page
+  scripts installed, no application servers). Each speedup is the
+  median of per-round ratios against that round's live time, the same
+  pairing discipline as the batch bench.
+
+The tape-economics numbers ride along: per-session tape bytes on disk,
+and the dedup ratio of a multi-session corpus — identical bodies across
+sessions stored once, the property that keeps a million-session tape
+corpus near the marginal size of its unique responses.
+
+``BENCH_QUICK=1`` runs a smoke configuration with no floor assertions;
+the emitted ``BENCH_tape.json`` carries a ``quick`` flag so the trend
+gate never diffs smoke against a full baseline.
+"""
+
+import gc
+import os
+import time
+
+from repro.apps.dashboard import DashboardApplication
+from repro.apps.framework import make_browser
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
+from repro.net.server import Network
+from repro.net.tape import Tape
+from repro.net.transport import (
+    PlaybackTransport,
+    RecordTransport,
+    TapeConfig,
+)
+from repro.util.clock import VirtualClock
+from repro.util.event_loop import EventLoop
+from repro.workloads.sessions import dashboard_session
+
+#: Smoke-test mode: tiny workload, no floor assertions (for CI).
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+#: Sessions replayed per mode per round (session sweep) and sessions
+#: recorded for the corpus-dedup measurement.
+SESSIONS = 4 if QUICK else 16
+
+#: Fetches per round in the fetch-level sweep.
+FETCHES = 2_000 if QUICK else 30_000
+
+#: Paired measurement rounds; each speedup is the median of per-round
+#: ratios so slow process drift shifts whole rounds, not comparisons.
+#: The session sweep is parity-with-noise territory (the network is a
+#: few percent of a replay), so it takes more rounds than the batch
+#: bench for the median to settle.
+ROUNDS = 1 if QUICK else 9
+
+#: Floors, asserted in full mode only. Playback must not be slower
+#: than live at the seam; at the session level the network is a few
+#: percent of a replay, so the honest requirement is parity within
+#: shared-runner noise (the per-round ratio swings ±7% while the seam
+#: number holds steady) — which is why the session ratio is reported
+#: as ``vs_live`` rather than a trend-gated ``speedup``.
+FETCH_FLOOR = 1.0
+SESSION_FLOOR = 0.90
+
+START_URL = "http://dashboard.example.com/"
+
+
+def record_trace():
+    browser, _ = make_browser([DashboardApplication], seed=0)
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin(START_URL, label="dashboard tape bench")
+    dashboard_session(browser)
+    recorder.detach()
+    return recorder.trace
+
+
+def _median(values):
+    return sorted(values)[len(values) // 2]
+
+
+# -- fetch-level sweep --------------------------------------------------------
+
+
+def build_fetch_networks():
+    """(live network, playback network, urls) over the dashboard app."""
+    app = DashboardApplication()
+    live = Network(EventLoop(VirtualClock()), default_latency_ms=0.0)
+    live.register(app.host, app.server)
+    urls = [START_URL, START_URL + "widget/news", START_URL + "headlines"]
+
+    tape = Tape(label="fetch-bench")
+    recording = Network(EventLoop(VirtualClock()), default_latency_ms=0.0)
+    recording.register(app.host, app.server)
+    recording.use_transport(RecordTransport(recording.transport, tape))
+    for url in urls:
+        recording.fetch(url)
+
+    playback = Network(EventLoop(VirtualClock()), default_latency_ms=0.0)
+    playback.use_transport(PlaybackTransport(tape))
+    return live, playback, urls
+
+
+def time_fetches(network, urls):
+    gc.collect()
+    start = time.perf_counter()
+    for index in range(FETCHES):
+        network.fetch(urls[index % len(urls)])
+    return time.perf_counter() - start
+
+
+def measure_fetch_level():
+    live_net, playback_net, urls = build_fetch_networks()
+    # Warm both paths (memo, response cache) off the clock.
+    for url in urls:
+        live_net.fetch(url)
+        playback_net.fetch(url)
+    live_times, ratios = [], []
+    for _ in range(ROUNDS):
+        live_seconds = time_fetches(live_net, urls)
+        playback_seconds = time_fetches(playback_net, urls)
+        live_times.append(live_seconds)
+        ratios.append(live_seconds / playback_seconds)
+    live_seconds = _median(live_times)
+    speedup = _median(ratios)
+    return [
+        {"mode": "live", "fetches_per_second": round(FETCHES / live_seconds),
+         "speedup": 1.0},
+        {"mode": "playback",
+         "fetches_per_second": round(FETCHES / live_seconds * speedup),
+         "speedup": round(speedup, 3)},
+    ]
+
+
+# -- session-level sweep ------------------------------------------------------
+
+
+def run_sessions(trace, mode, tape_path):
+    """Replay ``SESSIONS`` fresh sessions in ``mode``; returns seconds."""
+    gc.collect()
+    start = time.perf_counter()
+    for _ in range(SESSIONS):
+        browser, _ = make_browser([DashboardApplication], seed=0,
+                                  developer_mode=True,
+                                  client_only=(mode == "playback"))
+        session = None
+        if mode == "record":
+            session = TapeConfig.record(tape_path).attach(browser.network)
+        elif mode == "playback":
+            session = TapeConfig.playback(tape_path).attach(browser.network)
+        report = WarrReplayer(
+            browser, timing=TimingMode.no_wait()).replay(trace)
+        if session is not None:
+            session.finish()
+        assert report.complete, report.summary()
+        if mode == "playback":
+            assert report.net_fidelity["tape_misses"] == 0
+    return time.perf_counter() - start
+
+
+def measure_session_level(trace, tape_path):
+    modes = ("live", "record", "playback")
+    for mode in modes:  # warm every path (imports, caches) off the clock
+        run_sessions(trace, mode, tape_path)
+    timings = {mode: [] for mode in modes}
+    ratios = {mode: [] for mode in modes}
+    for _ in range(ROUNDS):
+        live_seconds = None
+        for mode in modes:
+            seconds = run_sessions(trace, mode, tape_path)
+            if live_seconds is None:  # live always runs first
+                live_seconds = seconds
+            timings[mode].append(seconds)
+            ratios[mode].append(live_seconds / seconds)
+    return [
+        {"mode": mode,
+         "sessions_per_second":
+             round(SESSIONS / _median(timings[mode]), 2),
+         "vs_live": round(_median(ratios[mode]), 3)}
+        for mode in modes
+    ]
+
+
+# -- tape economics -----------------------------------------------------------
+
+
+def measure_tape_economics(trace, tmp_dir):
+    """Per-session tape size and the dedup ratio of a session corpus."""
+    tape_paths = []
+    for index in range(SESSIONS):
+        browser, _ = make_browser([DashboardApplication], seed=0,
+                                  developer_mode=True)
+        path = os.path.join(tmp_dir, "corpus-%d.tape" % index)
+        session = TapeConfig.record(path).attach(browser.network)
+        WarrReplayer(browser, timing=TimingMode.no_wait()).replay(trace)
+        session.finish()
+        tape_paths.append(path)
+
+    tapes = [Tape.load(path) for path in tape_paths]
+    logical = sum(tape.blobs.logical_bytes for tape in tapes)
+    corpus = {}
+    for tape in tapes:
+        for digest in tape.blobs.digests():
+            corpus[digest] = len(tape.blobs.get(digest).encode("utf-8"))
+    stored = sum(corpus.values())
+    return {
+        "sessions": SESSIONS,
+        "tape_bytes_per_session":
+            round(sum(os.path.getsize(p) for p in tape_paths)
+                  / len(tape_paths)),
+        "entries_per_session": len(tapes[0].entries),
+        "per_session_dedup_ratio": tapes[0].stats()["dedup_ratio"],
+        "corpus_logical_bytes": logical,
+        "corpus_stored_bytes": stored,
+        "corpus_dedup_ratio": round(logical / stored, 3) if stored else 1.0,
+    }
+
+
+# -- the bench ----------------------------------------------------------------
+
+
+def test_tape_throughput_and_dedup(reporter, json_reporter, tmp_path):
+    trace = record_trace()
+    tape_path = str(tmp_path / "bench.tape")
+
+    fetch_series = measure_fetch_level()
+    session_series = measure_session_level(trace, tape_path)
+    economics = measure_tape_economics(trace, str(tmp_path))
+
+    lines = ["fetch seam   (%d fetches/round):" % FETCHES]
+    for row in fetch_series:
+        lines.append("  %-10s %12d fetches/s   %.3fx"
+                     % (row["mode"], row["fetches_per_second"],
+                        row["speedup"]))
+    lines.append("sessions     (%d x %d-command replays/round):"
+                 % (SESSIONS, len(trace)))
+    for row in session_series:
+        lines.append("  %-10s %12.2f sessions/s  %.3fx"
+                     % (row["mode"], row["sessions_per_second"],
+                        row["vs_live"]))
+    lines.append("tape economics:")
+    lines.append("  %d bytes/session on disk, %d entries/session"
+                 % (economics["tape_bytes_per_session"],
+                    economics["entries_per_session"]))
+    lines.append("  corpus of %d sessions: %d logical -> %d stored bytes "
+                 "(dedup %.1fx)"
+                 % (economics["sessions"],
+                    economics["corpus_logical_bytes"],
+                    economics["corpus_stored_bytes"],
+                    economics["corpus_dedup_ratio"]))
+    reporter("Network tapes — playback vs live, dedup, bytes/session",
+             lines)
+
+    json_reporter("tape", {
+        "benchmark": "tape",
+        "quick": QUICK,
+        "fetch_series": fetch_series,
+        "session_series": session_series,
+        "economics": economics,
+        "fetch_floor_required": FETCH_FLOOR if not QUICK else None,
+        "session_floor_required": SESSION_FLOOR if not QUICK else None,
+    })
+
+    # The corpus dedup property holds in every mode: identical sessions
+    # must share every body blob.
+    assert economics["corpus_dedup_ratio"] >= float(SESSIONS) * 0.99
+
+    if QUICK:
+        return
+    playback_fetch = next(row for row in fetch_series
+                          if row["mode"] == "playback")
+    assert playback_fetch["speedup"] >= FETCH_FLOOR, (
+        "tape playback ran at %.3fx live at the fetch seam, below the "
+        "%.2fx floor" % (playback_fetch["speedup"], FETCH_FLOOR))
+    playback_session = next(row for row in session_series
+                            if row["mode"] == "playback")
+    assert playback_session["vs_live"] >= SESSION_FLOOR, (
+        "hermetic playback replayed sessions at %.3fx live, below the "
+        "%.2fx floor" % (playback_session["vs_live"], SESSION_FLOOR))

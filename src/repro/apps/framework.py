@@ -42,9 +42,18 @@ class WebApplication:
             path = "/" + path
         return "%s://%s%s" % (scheme, self.host, path)
 
-    def install(self, network, registry, latency_ms=None):
-        """Wire the application into an environment."""
-        network.register(self.host, self.server, latency_ms=latency_ms)
+    def install(self, network, registry, latency_ms=None,
+                client_only=False):
+        """Wire the application into an environment.
+
+        ``client_only`` installs just the client side (page scripts):
+        no server is registered, so every request for this host must be
+        satisfied elsewhere — i.e. by a tape in PLAYBACK mode. This is
+        what "replay without the app zoo" means concretely: scripts
+        still run in the page, but the backend is the recording.
+        """
+        if not client_only:
+            network.register(self.host, self.server, latency_ms=latency_ms)
         registry.merge(self.scripts)
         return self
 
@@ -52,7 +61,7 @@ class WebApplication:
 class AppEnvironment:
     """One deterministic world: clock, loop, network, apps, browsers."""
 
-    def __init__(self, apps, seed=0, latency_ms=50.0):
+    def __init__(self, apps, seed=0, latency_ms=50.0, client_only=False):
         self.clock = VirtualClock()
         self.event_loop = EventLoop(self.clock)
         self.network = Network(self.event_loop, default_latency_ms=latency_ms)
@@ -60,7 +69,8 @@ class AppEnvironment:
         self.rng = SeededRandom(seed)
         self.apps = list(apps)
         for app in self.apps:
-            app.install(self.network, self.registry)
+            app.install(self.network, self.registry,
+                        client_only=client_only)
 
     def browser(self, developer_mode=False, viewport_width=1024):
         """A new browser attached to this environment."""
@@ -73,15 +83,21 @@ class AppEnvironment:
         )
 
 
-def make_browser(app_factories, seed=0, developer_mode=False, latency_ms=50.0):
+def make_browser(app_factories, seed=0, developer_mode=False, latency_ms=50.0,
+                 client_only=False):
     """Build a fresh environment and browser in one call.
 
     ``app_factories`` is a list of callables (typically application
     classes) invoked with a forked RNG each. Returns
     ``(browser, apps)`` — apps in factory order, so callers can reach
     server-side state for assertions.
+
+    ``client_only`` skips server registration (page scripts only):
+    the environment for hermetic tape playback, where responses come
+    from a recording instead of live application servers.
     """
     rng = SeededRandom(seed)
     apps = [factory(rng=rng.fork(index)) for index, factory in enumerate(app_factories)]
-    environment = AppEnvironment(apps, seed=seed, latency_ms=latency_ms)
+    environment = AppEnvironment(apps, seed=seed, latency_ms=latency_ms,
+                                 client_only=client_only)
     return environment.browser(developer_mode=developer_mode), apps

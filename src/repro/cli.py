@@ -14,6 +14,18 @@ The workflows a downstream user runs from a shell::
     python -m repro weberr  session.warr --app sites --campaign timing
     python -m repro chaos   --profile default flaky_net --seeds 5
                             [--no-retry] [--out report.json]
+    python -m repro tape record  session.warr --app sites --out net.tape
+    python -m repro tape replay  session.warr --app sites --tape net.tape
+    python -m repro tape inspect net.tape [--json net.json] [--entries]
+    python -m repro tape compact net.tape [--out smaller.tape]
+
+``tape record`` replays a trace against the live application while
+snapshotting every HTTP exchange onto a network tape; ``tape replay``
+replays the same trace hermetically — page scripts run but no
+application servers are registered, every response comes off the tape.
+``replay`` and ``batch`` accept ``--tape PATH --tape-mode
+record|playback`` to do the same inline (batch mode treats PATH as a
+directory holding one ``<label>.tape`` per trace).
 
 ``replay --trace-out`` and the dedicated ``trace`` subcommand record a
 Chrome trace-event timeline of the replay (IPC, dispatch, layout,
@@ -41,6 +53,8 @@ from repro.core.chromedriver import ChromeDriverConfig
 from repro.core.recorder import WarrRecorder
 from repro.core.replayer import TimingMode, WarrReplayer
 from repro.core.trace import WarrTrace
+from repro.net.tape import Tape
+from repro.net.transport import PLAYBACK, RECORD, TapeConfig
 from repro.session.batch import BatchRunner
 from repro.weberr.runner import WebErr
 from repro.workloads.sessions import (
@@ -87,22 +101,63 @@ def cmd_record(args, out):
     return 0
 
 
+def _tape_config_from_args(args):
+    """Build the TapeConfig a ``--tape``/``--tape-mode`` pair asks for."""
+    if not getattr(args, "tape", None):
+        if getattr(args, "tape_mode", None):
+            raise SystemExit("--tape-mode needs --tape PATH")
+        return None
+    mode = args.tape_mode or PLAYBACK
+    stamp = {"app": args.app, "seed": args.seed}
+    if mode == RECORD:
+        return TapeConfig.record(args.tape, stamp=stamp)
+    return TapeConfig.playback(args.tape, stamp=stamp)
+
+
+def _print_tape_outcome(tape_session, out):
+    """One status line summarizing what the attached tape did."""
+    if tape_session is None or tape_session.transport is None:
+        return
+    transport = tape_session.transport
+    tape = tape_session.tape
+    if tape_session.config.mode == RECORD:
+        stats = tape.stats()
+        print("tape: recorded %d exchange(s) (%d unique bodies, "
+              "dedup %.3f) to %s"
+              % (stats["entries"], stats["unique_bodies"],
+                 stats["dedup_ratio"], tape_session.path), file=out)
+    else:
+        print("tape: playback %d hit(s) / %d miss(es) from %s"
+              % (transport.hits, transport.misses, tape_session.path),
+              file=out)
+
+
 def cmd_replay(args, out):
     app_class, _, _ = _app_entry(args.app)
     trace = WarrTrace.load(args.trace)
+    tape = _tape_config_from_args(args)
+    playback = tape is not None and tape.mode == PLAYBACK
     browser, _ = make_browser([app_class], seed=args.seed,
-                              developer_mode=not args.user_browser)
+                              developer_mode=not args.user_browser,
+                              client_only=playback)
     config = (ChromeDriverConfig.stock() if args.stock_driver
               else ChromeDriverConfig.warr())
     replayer = WarrReplayer(browser, config=config,
                             relaxation=not args.no_relaxation,
                             timing=_timing_from_args(args))
-    if args.trace_out:
-        with telemetry.tracing(out=args.trace_out, clock=browser.clock):
+    tape_session = (tape.attach(browser.network) if tape is not None
+                    else None)
+    try:
+        if args.trace_out:
+            with telemetry.tracing(out=args.trace_out, clock=browser.clock):
+                report = replayer.replay(trace)
+            print("trace: wrote %s" % args.trace_out, file=out)
+        else:
             report = replayer.replay(trace)
-        print("trace: wrote %s" % args.trace_out, file=out)
-    else:
-        report = replayer.replay(trace)
+    finally:
+        if tape_session is not None:
+            tape_session.finish()
+    _print_tape_outcome(tape_session, out)
     print(report.summary(), file=out)
     for line in report.perf_summary():
         print("perf: %s" % line, file=out)
@@ -121,18 +176,20 @@ def _timing_from_args(args):
     return timing
 
 
-def batch_browser_factory(app, seed=0):
+def batch_browser_factory(app, seed=0, client_only=False):
     """Build the per-session browser factory for ``batch`` workers.
 
     Referenced by dotted name from the worker-pool spec, so each worker
     process reconstructs its own factory — live browsers never cross
-    the process boundary.
+    the process boundary. ``client_only`` builds the hermetic playback
+    environment: page scripts, no application servers.
     """
     app_class, _, _ = _app_entry(app)
 
     def factory():
         browser, _ = make_browser([app_class], seed=seed,
-                                  developer_mode=True)
+                                  developer_mode=True,
+                                  client_only=client_only)
         return browser
 
     return factory
@@ -142,18 +199,22 @@ def cmd_batch(args, out):
     """Replay many traces, each on an isolated browser instance."""
     _app_entry(args.app)  # validate before any worker inherits the name
     traces = [WarrTrace.load(path) for path in args.traces]
+    tape = _tape_config_from_args(args)
+    playback = tape is not None and tape.mode == PLAYBACK
 
     if args.workers > 1:
         from repro.session.pool import WorkerSpec
 
         factory = WorkerSpec("repro.cli:batch_browser_factory",
                              factory_args=(args.app,),
-                             factory_kwargs={"seed": args.seed})
+                             factory_kwargs={"seed": args.seed,
+                                             "client_only": playback})
     else:
-        factory = batch_browser_factory(args.app, seed=args.seed)
+        factory = batch_browser_factory(args.app, seed=args.seed,
+                                        client_only=playback)
     runner = BatchRunner(factory, timing=_timing_from_args(args),
                          workers=args.workers, shards=args.shards,
-                         trace_timeout=args.trace_timeout)
+                         trace_timeout=args.trace_timeout, tape=tape)
     batch = runner.run(traces, labels=args.traces,
                        trace_dir=args.trace_dir)
     if args.trace_dir:
@@ -258,6 +319,97 @@ def cmd_chaos(args, out):
     return 0 if report.session_count else 1
 
 
+def cmd_tape_record(args, out):
+    """Replay a trace live while snapshotting every exchange to tape."""
+    app_class, _, _ = _app_entry(args.app)
+    trace = WarrTrace.load(args.trace)
+    browser, _ = make_browser([app_class], seed=args.seed,
+                              developer_mode=True)
+    config = TapeConfig.record(args.out,
+                               stamp={"app": args.app, "seed": args.seed})
+    tape_session = config.attach(browser.network)
+    replayer = WarrReplayer(browser, timing=_timing_from_args(args))
+    try:
+        report = replayer.replay(trace)
+    finally:
+        tape_session.finish()
+    _print_tape_outcome(tape_session, out)
+    print(report.summary(), file=out)
+    return 0 if report.complete and not report.page_errors else 1
+
+
+def cmd_tape_replay(args, out):
+    """Replay a trace hermetically: responses come off the tape only."""
+    app_class, _, _ = _app_entry(args.app)
+    trace = WarrTrace.load(args.trace)
+    browser, _ = make_browser([app_class], seed=args.seed,
+                              developer_mode=True, client_only=True)
+    config = TapeConfig.playback(args.tape)
+    tape_session = config.attach(browser.network)
+    tape = tape_session.tape
+    if tape.chaos_profile is not None:
+        print("tape: recorded under chaos profile %r seed %s"
+              % (tape.chaos_profile, tape.chaos_seed), file=out)
+    replayer = WarrReplayer(browser, timing=_timing_from_args(args))
+    try:
+        report = replayer.replay(trace)
+    finally:
+        tape_session.finish()
+    _print_tape_outcome(tape_session, out)
+    print(report.summary(), file=out)
+    misses = report.net_fidelity.get("tape_misses", 0)
+    if misses:
+        print("tape: %d request(s) missed the tape" % misses, file=out)
+    return 0 if report.complete and not report.page_errors else 1
+
+
+def cmd_tape_inspect(args, out):
+    """Print tape statistics; optionally export the JSON form."""
+    import json
+
+    tape = Tape.load(args.tape)
+    stats = tape.stats()
+    print("tape: %s" % args.tape, file=out)
+    if tape.label:
+        print("label: %s" % tape.label, file=out)
+    if tape.config:
+        print("config: %s" % json.dumps(tape.config, sort_keys=True),
+              file=out)
+    if tape.chaos_profile is not None:
+        print("chaos: profile %r seed %s"
+              % (tape.chaos_profile, tape.chaos_seed), file=out)
+    print("entries: %d (%d unique fingerprints)"
+          % (stats["entries"], stats["fingerprints"]), file=out)
+    print("bodies: %d blob(s), %d stored bytes, %d logical bytes, "
+          "dedup %.3f" % (stats["unique_bodies"], stats["stored_bytes"],
+                          stats["logical_bytes"], stats["dedup_ratio"]),
+          file=out)
+    if args.entries:
+        print("", file=out)
+        for entry in tape.entries:
+            print("#%d %s %s -> %d %s" % (entry.ordinal, entry.method,
+                                          entry.url, entry.status,
+                                          entry.content_type), file=out)
+    if args.json:
+        tape.export_json(args.json)
+        print("json: wrote %s" % args.json, file=out)
+    return 0
+
+
+def cmd_tape_compact(args, out):
+    """Drop orphaned blobs and rewrite the tape."""
+    import os
+
+    tape = Tape.load(args.tape)
+    dropped = tape.compact()
+    destination = args.out or args.tape
+    tape.save(destination)
+    print("compacted %s -> %s: dropped %d orphaned blob(s), %d bytes "
+          "on disk" % (args.tape, destination, dropped,
+                       os.path.getsize(destination)), file=out)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +439,14 @@ def build_parser():
     replay.add_argument("--trace-out", default=None, metavar="PATH",
                         help="record a Chrome trace-event timeline of "
                              "the replay to PATH")
+    replay.add_argument("--tape", default=None, metavar="PATH",
+                        help="network tape file to record to / play "
+                             "back from")
+    replay.add_argument("--tape-mode", default=None,
+                        choices=["record", "playback"],
+                        help="record the network to --tape, or serve "
+                             "every response from it (default: playback "
+                             "when --tape is given)")
     replay.set_defaults(func=cmd_replay)
 
     batch = sub.add_parser("batch",
@@ -315,6 +475,14 @@ def build_parser():
                        metavar="SECONDS",
                        help="with --workers > 1: kill and re-queue (once) "
                             "any trace replaying longer than this")
+    batch.add_argument("--tape", default=None, metavar="DIR",
+                       help="tape directory (one <label>.tape per trace) "
+                            "to record to / play back from")
+    batch.add_argument("--tape-mode", default=None,
+                       choices=["record", "playback"],
+                       help="record every session's network, or replay "
+                            "hermetically from the tapes (default: "
+                            "playback when --tape is given)")
     batch.set_defaults(func=cmd_batch)
 
     tracecmd = sub.add_parser(
@@ -368,6 +536,54 @@ def build_parser():
     chaos_cmd.add_argument("--verbose", action="store_true",
                            help="print one line per matrix cell")
     chaos_cmd.set_defaults(func=cmd_chaos)
+
+    tape = sub.add_parser(
+        "tape", help="record, replay, and inspect network tapes")
+    tape_sub = tape.add_subparsers(dest="tape_command", required=True)
+
+    tape_record = tape_sub.add_parser(
+        "record", help="replay a trace live and snapshot the network")
+    tape_record.add_argument("trace")
+    tape_record.add_argument("--app", required=True, choices=sorted(APPS))
+    tape_record.add_argument("--out", required=True, metavar="PATH",
+                             help="tape file to write")
+    tape_record.add_argument("--seed", type=int, default=0)
+    tape_record.add_argument("--no-wait", action="store_true",
+                             help="replay with no inter-command delays")
+    tape_record.add_argument("--scale", type=float, default=None,
+                             help="scale recorded delays by this factor")
+    tape_record.set_defaults(func=cmd_tape_record)
+
+    tape_replay = tape_sub.add_parser(
+        "replay", help="replay a trace hermetically from a tape "
+                       "(no application servers)")
+    tape_replay.add_argument("trace")
+    tape_replay.add_argument("--app", required=True, choices=sorted(APPS))
+    tape_replay.add_argument("--tape", required=True, metavar="PATH",
+                             help="tape file to serve responses from")
+    tape_replay.add_argument("--seed", type=int, default=0)
+    tape_replay.add_argument("--no-wait", action="store_true",
+                             help="replay with no inter-command delays")
+    tape_replay.add_argument("--scale", type=float, default=None,
+                             help="scale recorded delays by this factor")
+    tape_replay.set_defaults(func=cmd_tape_replay)
+
+    tape_inspect = tape_sub.add_parser(
+        "inspect", help="print tape statistics")
+    tape_inspect.add_argument("tape")
+    tape_inspect.add_argument("--entries", action="store_true",
+                              help="also list every recorded exchange")
+    tape_inspect.add_argument("--json", default=None, metavar="PATH",
+                              help="export the tape as JSON to PATH")
+    tape_inspect.set_defaults(func=cmd_tape_inspect)
+
+    tape_compact = tape_sub.add_parser(
+        "compact", help="drop orphaned blobs and rewrite a tape")
+    tape_compact.add_argument("tape")
+    tape_compact.add_argument("--out", default=None, metavar="PATH",
+                              help="write the compacted tape here "
+                                   "(default: in place)")
+    tape_compact.set_defaults(func=cmd_tape_compact)
     return parser
 
 

@@ -8,14 +8,25 @@ loop after the simulated round-trip latency. That delay is what creates
 the window for timing errors.
 """
 
+import zlib
+from collections import deque
+
 from repro import chaos
 from repro.net.http import HttpRequest, HttpResponse
+from repro.net.transport import LiveTransport
 from repro.util.backoff import BackoffSchedule
 from repro.util.errors import (
     NetworkError,
     NetworkFaultError,
     NetworkTimeoutError,
+    TapeMissError,
 )
+
+#: Default exchange-log capacity. Far above what any single session
+#: produces (the longest bench session is a few thousand exchanges), so
+#: baseline recorders see every exchange exactly as before; long batch
+#: and chaos-matrix runs stop accumulating memory without bound.
+DEFAULT_LOG_CAPACITY = 4096
 
 
 class WebServer:
@@ -87,6 +98,55 @@ class ExchangeRecord:
         return self.response.body
 
 
+class ExchangeLog:
+    """Bounded wire log: the newest ``capacity`` exchanges, list-like.
+
+    Supports ``len``, integer and slice indexing, and iteration — the
+    surface the baseline recorders use — while evicting the oldest
+    record once full. ``total`` counts every exchange ever appended;
+    ``dropped`` is how many eviction discarded, so long-running batch
+    and chaos-matrix campaigns can report the truncation instead of
+    silently growing without bound.
+    """
+
+    def __init__(self, capacity=DEFAULT_LOG_CAPACITY):
+        if capacity < 1:
+            raise ValueError("exchange log capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._records = deque(maxlen=self.capacity)
+        self.total = 0
+
+    def append(self, record):
+        self.total += 1
+        self._records.append(record)
+
+    @property
+    def dropped(self):
+        return self.total - len(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._records)[index]
+        return self._records[index]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __bool__(self):
+        return bool(self._records)
+
+    def clear(self):
+        self._records.clear()
+
+    def __repr__(self):
+        return "ExchangeLog(%d/%d record(s), %d dropped)" % (
+            len(self._records), self.capacity, self.dropped,
+        )
+
+
 class Network:
     """Routes requests to registered servers with simulated latency.
 
@@ -99,7 +159,8 @@ class Network:
     """
 
     def __init__(self, event_loop, default_latency_ms=50.0, timeout_ms=None,
-                 retries=0, backoff=None, retry_jitter_seed=0):
+                 retries=0, backoff=None, retry_jitter_seed=0,
+                 log_capacity=DEFAULT_LOG_CAPACITY):
         self.event_loop = event_loop
         self.default_latency_ms = default_latency_ms
         #: Fail requests whose (simulated) latency exceeds this; None = never.
@@ -108,14 +169,24 @@ class Network:
         self.retries = retries
         self.backoff = backoff if backoff is not None else BackoffSchedule(
             base_ms=20.0, cap_ms=500.0)
-        self._backoff_seq = self.backoff.sequence(retry_jitter_seed)
-        #: (transient failures retried, requests timed out) — for reports.
+        #: Root of the per-request backoff jitter streams: each request
+        #: derives its own sequence from this seed and its fingerprint,
+        #: so retry timing never depends on what other requests did.
+        self.retry_jitter_seed = retry_jitter_seed
+        #: Net-fidelity counters — for reports.
         self.retry_count = 0
         self.timeout_count = 0
+        #: Requests that ultimately failed (retries exhausted, no route,
+        #: or a tape miss) — sync raises and async error responses both.
+        self.failed_fetch_count = 0
+        #: Playback requests with no matching tape entry.
+        self.tape_miss_count = 0
         self._servers = {}
         self._latencies = {}
-        #: Wire log every exchange lands in; baselines tap this.
-        self.exchange_log = []
+        #: Where responses come from; swap via :meth:`use_transport`.
+        self.transport = LiveTransport(self._servers.get)
+        #: Bounded wire log every exchange lands in; baselines tap this.
+        self.exchange_log = ExchangeLog(log_capacity)
 
     @property
     def clock(self):
@@ -131,11 +202,40 @@ class Network:
     def latency_for(self, host):
         return self._latencies.get(host.lower(), self.default_latency_ms)
 
+    def use_transport(self, transport):
+        """Install ``transport`` behind the seam; returns the previous one.
+
+        This is how tape modes go live: wrap the current transport in a
+        :class:`~repro.net.transport.RecordTransport`, or swap in a
+        :class:`~repro.net.transport.PlaybackTransport` and the app
+        servers are never consulted again.
+        """
+        previous = self.transport
+        self.transport = transport
+        return previous
+
+    def _backoff_for(self, request):
+        """A backoff sequence owned by this request alone.
+
+        Seeded from ``retry_jitter_seed`` mixed with the request
+        fingerprint (same mixing as the chaos layer's per-stream
+        seeds), so two requests never share a jitter stream: one
+        request retrying cannot perturb another's retry timing, and a
+        request's own schedule is stable regardless of global order.
+        """
+        from repro.net.transport import request_fingerprint
+
+        mixed = (self.retry_jitter_seed * 1000003 + zlib.crc32(
+            request_fingerprint(request).encode("utf-8"))) & 0x7FFFFFFF
+        return self.backoff.sequence(mixed)
+
     def _dispatch(self, request):
-        server = self._servers.get(request.host)
-        if server is None:
-            raise NetworkError("no server registered for host %r" % request.host)
-        response = server.handle(request)
+        """One exchange through the transport seam, logged on the wire."""
+        try:
+            response = self.transport.perform(request)
+        except TapeMissError:
+            self.tape_miss_count += 1
+            raise
         self.exchange_log.append(
             ExchangeRecord(request, response, self.clock.now())
         )
@@ -149,16 +249,24 @@ class Network:
         attempts; permanent :class:`NetworkError`\\ s fail immediately.
         """
         request = HttpRequest(url, method=method, body=body)
+        backoff_seq = None  # built on first retry; most fetches never pay
         attempt = 1
         while True:
             try:
                 return self._fetch_once(request)
             except (NetworkFaultError, NetworkTimeoutError):
                 if attempt > self.retries:
+                    self.failed_fetch_count += 1
                     raise
                 self.retry_count += 1
-                self.clock.advance(self._backoff_seq.delay_ms(attempt))
+                if backoff_seq is None:
+                    backoff_seq = self._backoff_for(request)
+                self.clock.advance(backoff_seq.delay_ms(attempt))
                 attempt += 1
+            except NetworkError:
+                # Permanent: no route, tape miss — retrying cannot help.
+                self.failed_fetch_count += 1
+                raise
 
     def _fetch_once(self, request):
         """One synchronous attempt: chaos gate, timeout, dispatch."""
@@ -203,7 +311,7 @@ class Network:
         layer already reports wire errors.
         """
         request = HttpRequest(url, method=method, body=body)
-        state = {"attempt": 1}
+        state = {"attempt": 1, "backoff": None}
 
         def deliver():
             injector = chaos.current()
@@ -213,11 +321,14 @@ class Network:
                     and injector.fault("net", "fail", "fetch_fail_rate",
                                        detail=request.path) is not None):
                 if state["attempt"] <= self.retries:
-                    delay = self._backoff_seq.delay_ms(state["attempt"])
+                    if state["backoff"] is None:
+                        state["backoff"] = self._backoff_for(request)
+                    delay = state["backoff"].delay_ms(state["attempt"])
                     state["attempt"] += 1
                     self.retry_count += 1
                     self.event_loop.call_later(delay, deliver)
                 else:
+                    self.failed_fetch_count += 1
                     callback(HttpResponse(body="injected network fault",
                                           status=502,
                                           content_type="text/plain"))
@@ -225,6 +336,7 @@ class Network:
             try:
                 response = self._dispatch(request)
             except NetworkError:
+                self.failed_fetch_count += 1
                 response = HttpResponse(body="network error", status=502,
                                         content_type="text/plain")
             if injector is not None:
@@ -248,6 +360,7 @@ class Network:
                 latency += extra
         if self.timeout_ms is not None and latency > self.timeout_ms:
             self.timeout_count += 1
+            self.failed_fetch_count += 1
 
             def time_out():
                 callback(HttpResponse(body="request timed out", status=504,

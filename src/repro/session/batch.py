@@ -137,7 +137,8 @@ class BatchRunner:
 
     def __init__(self, browser_factory, driver_config=None, timing=None,
                  locator=None, failure=None, retry=None, observers=None,
-                 workers=1, shards=1, trace_timeout=None, pool=None):
+                 workers=1, shards=1, trace_timeout=None, pool=None,
+                 tape=None):
         self.browser_factory = browser_factory
         self.driver_config = driver_config
         self.timing = timing
@@ -145,6 +146,11 @@ class BatchRunner:
         self.failure = failure
         self.retry = retry
         self.observers = list(observers or [])
+        #: Optional :class:`~repro.net.transport.TapeConfig` applied to
+        #: every session's network: record each trace to its own tape
+        #: (``<label>.tape`` under the config's directory) or play every
+        #: trace back hermetically — on all three backends.
+        self.tape = tape
         if workers < 1:
             raise ValueError("need at least one worker")
         if shards < 1:
@@ -203,6 +209,8 @@ class BatchRunner:
         used_stems = set()
         for label, trace in zip(labels, traces):
             browser = self.browser_factory()
+            tape_session = (self.tape.attach(browser.network, label)
+                            if self.tape is not None else None)
             mark = None
             if tracer is not None:
                 # Virtual timestamps come from the session's own clock.
@@ -225,6 +233,8 @@ class BatchRunner:
                 # a dead session's virtual time.
                 if tracer is not None:
                     tracer.clock = None
+                if tape_session is not None:
+                    tape_session.finish()
             batch.add(TraceRun(label, trace, report))
             if tracer is not None and trace_dir is not None:
                 stem = _unique_stem(label, used_stems)
@@ -253,7 +263,7 @@ class BatchRunner:
             self.browser_factory, self.shards,
             driver_config=self.driver_config, timing=self.timing,
             locator=self.locator, failure=self.failure, retry=self.retry,
-            observers=self.observers)
+            observers=self.observers, tape=self.tape)
         write_trace = None
         if tracer is not None and trace_dir is not None:
             def write_trace(stem, events):
@@ -301,7 +311,8 @@ class BatchRunner:
             # A borrowed pool keeps its workers warm for the caller's
             # next batch; its chunks run under *this* runner's policies.
             outcomes, dropped = pool.run(tasks, tracing=tracing_on,
-                                         engine_config=engine_config)
+                                         engine_config=engine_config,
+                                         tape=self.tape)
         finally:
             if owned:
                 pool.close()

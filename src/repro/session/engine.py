@@ -243,6 +243,7 @@ class SessionRun:
         self._anchor = 0.0
         self._error_base = 0
         self._perf_base = None
+        self._net_base = None
         self._finished = False
         #: Crash-recovery resume point (last committed URL + commands).
         self.checkpoint = ReplayCheckpoint()
@@ -261,6 +262,7 @@ class SessionRun:
         browser = self.browser
         self._error_base = len(browser.page_errors)
         self._perf_base = perf.snapshot()
+        self._net_base = self._net_snapshot()
         self.driver = self.engine.new_driver()
         # Recording starts its timeline at begin(), i.e. just before the
         # initial navigation — anchor the replay timeline the same way.
@@ -417,6 +419,25 @@ class SessionRun:
             SessionEvent.RECOVERED,
             data={"url": checkpoint.url, "depth": checkpoint.depth}))
 
+    def _net_snapshot(self):
+        """The browser network's cumulative fidelity counters now.
+
+        Deltas against this baseline (taken at :meth:`begin`) attribute
+        wire trouble to *this* session even when many sessions share a
+        process; browsers without a network report zeros.
+        """
+        network = getattr(self.browser, "network", None)
+        return (getattr(network, "failed_fetch_count", 0),
+                getattr(network, "timeout_count", 0),
+                getattr(network, "tape_miss_count", 0))
+
+    def _net_delta(self):
+        base = self._net_base or (0, 0, 0)
+        now = self._net_snapshot()
+        return {"failed_fetches": now[0] - base[0],
+                "timeouts": now[1] - base[1],
+                "tape_misses": now[2] - base[2]}
+
     def finish(self):
         """Settle the page, collect errors and counters, close the run."""
         if self._finished:
@@ -436,6 +457,8 @@ class SessionRun:
                     else perf.delta(self._perf_base))
         emit(SessionEvent(SessionEvent.PERF_DELTA,
                           data={"counters": counters}))
+        emit(SessionEvent(SessionEvent.NET_FIDELITY,
+                          data={"counters": self._net_delta()}))
         final_url = None
         if not self._navigation_failed and self.driver.has_session:
             final_url = self.driver.tab.url

@@ -27,6 +27,7 @@ class SessionEvent:
     HALTED = "halted"
     PAGE_ERROR = "page-error"
     PERF_DELTA = "perf-delta"
+    NET_FIDELITY = "net-fidelity"
     SESSION_FINISHED = "session-finished"
 
     def __init__(self, kind, command=None, result=None, detail="",
@@ -100,6 +101,9 @@ class SessionObserver:
         pass
 
     def on_perf_delta(self, event):
+        pass
+
+    def on_net_fidelity(self, event):
         pass
 
     def on_session_finished(self, event):

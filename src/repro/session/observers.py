@@ -41,6 +41,9 @@ class ReportBuilder(SessionObserver):
     def on_perf_delta(self, event):
         self.report.perf_counters = event.data["counters"]
 
+    def on_net_fidelity(self, event):
+        self.report.net_fidelity = dict(event.data["counters"])
+
     def on_session_finished(self, event):
         self.report.final_url = event.data.get("final_url")
 

@@ -223,13 +223,19 @@ def plan_chunks(count, workers, chunk_size=None):
 # -- worker side --------------------------------------------------------------
 
 
-def _replay_task(factory, engine_config, trace_text, tracer):
+def _replay_task(factory, engine_config, trace_text, tracer, tape=None,
+                 label=None):
     """Replay one trace on a fresh browser; returns a portable payload."""
     from repro.core.trace import WarrTrace
     from repro.session.engine import SessionEngine
 
     trace = WarrTrace.from_text(trace_text)
     browser = factory()
+    # Tape modes cross the process boundary as a picklable TapeConfig;
+    # each worker attaches it to its own browser's network (playback is
+    # what makes pooled batch replay hermetic — no app-server state).
+    tape_session = (tape.attach(browser.network, label)
+                    if tape is not None else None)
     mark = None
     if tracer is not None:
         # Virtual timestamps come from this session's own clock.
@@ -241,6 +247,8 @@ def _replay_task(factory, engine_config, trace_text, tracer):
     finally:
         if tracer is not None:
             tracer.clock = None
+        if tape_session is not None:
+            tape_session.finish()
     payload = {"report": report.to_dict()}
     if tracer is not None:
         payload["events"] = [event.to_dict()
@@ -272,7 +280,7 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
         task = task_queue.get()
         if task is None:
             break
-        batch_id, chunk_id, tracing, engine_config, items = task
+        batch_id, chunk_id, tracing, engine_config, tape, items = task
         if engine_config is None:
             engine_config = default_engine_config
         chunk_current[slot] = chunk_id
@@ -283,7 +291,7 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
             telemetry.uninstall()
             tracer = None
             dropped_sent = 0
-        for index, trace_text in items:
+        for index, label, trace_text in items:
             # Shared-memory in-flight marker: written *before* any user
             # code runs so the parent can attribute a crash even when
             # the dying process never flushes a message.
@@ -292,7 +300,7 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
                 if factory is None:
                     factory = spec.make_factory()
                 payload = _replay_task(factory, engine_config, trace_text,
-                                       tracer)
+                                       tracer, tape=tape, label=label)
                 blob = wire.encode_report(payload["report"])
                 dropped = 0
                 if tracer is not None:
@@ -486,14 +494,17 @@ class WorkerPool:
 
     # -- batch execution -----------------------------------------------------
 
-    def run(self, tasks, tracing=False, engine_config=None):
+    def run(self, tasks, tracing=False, engine_config=None, tape=None):
         """Replay every ``(label, trace_text)`` task; returns
         ``(outcomes, dropped_events)`` with outcomes in input order.
 
         May be called repeatedly on a live pool — workers, their
         imported modules, and their browser factories stay warm between
         calls. ``engine_config`` overrides the pool's default policy set
-        for this batch only (it is shipped with each chunk).
+        for this batch only (it is shipped with each chunk), and
+        ``tape`` (a :class:`~repro.net.transport.TapeConfig`) puts every
+        trace in this batch on a tape mode — workers attach it to their
+        own browser's network, labelled per trace.
         """
         tasks = list(tasks)
         batch = _BatchState(self._next_batch_id, tasks)
@@ -502,27 +513,30 @@ class WorkerPool:
             return batch.outcomes, 0
         if engine_config is not None:
             pickle.dumps(engine_config)  # fail fast, like the default set
+        if tape is not None:
+            pickle.dumps(tape)
         self.start()
         self._replenish()
         self.stats["batches"] += 1
         tracing = bool(tracing)
         for indexes in plan_chunks(len(tasks), self.workers,
                                    self.chunk_size):
-            self._dispatch(batch, indexes, tracing, engine_config)
+            self._dispatch(batch, indexes, tracing, engine_config, tape)
         while not batch.complete:
             self._wait_for_activity()
             self._pump(batch)
-            self._reap(batch, tracing, engine_config)
+            self._reap(batch, tracing, engine_config, tape)
         return batch.outcomes, batch.dropped
 
-    def _dispatch(self, batch, indexes, tracing, engine_config):
+    def _dispatch(self, batch, indexes, tracing, engine_config, tape=None):
         """Enqueue one chunk of task indexes."""
         chunk_id = self._next_chunk_id
         self._next_chunk_id += 1
         batch.chunks[chunk_id] = list(indexes)
-        items = [(index, batch.tasks[index][1]) for index in indexes]
+        items = [(index, batch.tasks[index][0], batch.tasks[index][1])
+                 for index in indexes]
         self._task_queue.put((batch.batch_id, chunk_id, tracing,
-                              engine_config, items))
+                              engine_config, tape, items))
 
     # -- event handling -----------------------------------------------------
 
@@ -575,7 +589,7 @@ class WorkerPool:
                 outcome.error_class = message[5] or "WorkerError"
             batch.done[index] = True
 
-    def _reap(self, batch, tracing, engine_config):
+    def _reap(self, batch, tracing, engine_config, tape=None):
         """Contain dead workers and over-deadline traces; keep pool full."""
         now = time.monotonic()
         for slot, handle in list(self._handles.items()):
@@ -591,14 +605,14 @@ class WorkerPool:
                 handle.process.terminate()
                 handle.process.join(self.drain_timeout)
                 self._handle_casualty(
-                    handle, batch, tracing, engine_config,
+                    handle, batch, tracing, engine_config, tape,
                     "trace exceeded the %.3gs per-trace timeout"
                     % self.trace_timeout,
                     requeue=True, error_class="TimeoutError")
                 alive = False
             elif not alive and not handle.finished:
                 self._handle_casualty(
-                    handle, batch, tracing, engine_config,
+                    handle, batch, tracing, engine_config, tape,
                     "worker process died (exit code %s)"
                     % handle.process.exitcode,
                     requeue=False, error_class="WorkerCrashError")
@@ -607,7 +621,7 @@ class WorkerPool:
                 if not batch.complete:
                     self._spawn(slot)
 
-    def _handle_casualty(self, handle, batch, tracing, engine_config,
+    def _handle_casualty(self, handle, batch, tracing, engine_config, tape,
                          reason, requeue, error_class):
         # The worker is dead by now, so its shared-memory slots are the
         # authoritative record of what it had in flight (a result put
@@ -622,7 +636,7 @@ class WorkerPool:
         survivors = [mate for mate in batch.chunks.get(chunk_id, ())
                      if mate != index and not batch.done[mate]]
         for mate in survivors:
-            self._dispatch(batch, [mate], tracing, engine_config)
+            self._dispatch(batch, [mate], tracing, engine_config, tape)
         if index < 0 or batch.done[index]:
             return
         outcome = batch.outcomes[index]
@@ -630,7 +644,7 @@ class WorkerPool:
         if requeue and index not in batch.requeued:
             batch.requeued.add(index)
             outcome.attempts += 1
-            self._dispatch(batch, [index], tracing, engine_config)
+            self._dispatch(batch, [index], tracing, engine_config, tape)
             return
         outcome.error = reason
         outcome.error_class = error_class

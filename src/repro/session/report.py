@@ -105,6 +105,12 @@ class CommandResult:
         return "CommandResult(%s, %r)" % (self.status, self.command.to_line())
 
 
+#: The network-fidelity slice every report carries: requests that
+#: ultimately failed, requests that timed out, and playback requests
+#: with no matching tape entry.
+EMPTY_NET_FIDELITY = {"failed_fetches": 0, "timeouts": 0, "tape_misses": 0}
+
+
 class ReplayReport:
     """Everything a developer (or WebErr's oracle) needs after replay."""
 
@@ -124,6 +130,9 @@ class ReplayReport:
         #: Fast-path cache activity during this replay:
         #: {cache: {"hits": h, "misses": m, "hit_rate": r}}.
         self.perf_counters = {}
+        #: Network-fidelity slice (ROADMAP item 5's scoreboard, first
+        #: installment): what the wire did to this session.
+        self.net_fidelity = dict(EMPTY_NET_FIDELITY)
 
     @property
     def replayed_count(self):
@@ -176,6 +185,7 @@ class ReplayReport:
             "final_url": self.final_url,
             "recoveries": self.recoveries,
             "perf_counters": self.perf_counters,
+            "net_fidelity": dict(self.net_fidelity),
         }
 
     @classmethod
@@ -201,6 +211,9 @@ class ReplayReport:
         report.final_url = data["final_url"]
         report.recoveries = data.get("recoveries", 0)
         report.perf_counters = data["perf_counters"]
+        fidelity = dict(EMPTY_NET_FIDELITY)
+        fidelity.update(data.get("net_fidelity") or {})
+        report.net_fidelity = fidelity
         return report
 
     def summary(self):

@@ -45,7 +45,7 @@ class _Shard:
     """One in-flight session slot."""
 
     __slots__ = ("order", "label", "trace", "browser", "run", "commands",
-                 "scope", "events")
+                 "scope", "events", "tape_session")
 
     def __init__(self, order, label, trace):
         #: Submission index: the report lists runs in input order even
@@ -60,6 +60,8 @@ class _Shard:
         self.scope = perf.Scope()
         #: This session's slice of the telemetry buffer (tracing only).
         self.events = []
+        #: The attached tape (record/playback runs), closed on finalize.
+        self.tape_session = None
 
 
 class ShardedRunner:
@@ -67,7 +69,7 @@ class ShardedRunner:
 
     def __init__(self, browser_factory, shards, driver_config=None,
                  timing=None, locator=None, failure=None, retry=None,
-                 observers=None):
+                 observers=None, tape=None):
         if shards < 1:
             raise ValueError("need at least one shard")
         self.browser_factory = browser_factory
@@ -78,6 +80,10 @@ class ShardedRunner:
         self.failure = failure
         self.retry = retry
         self.observers = list(observers or [])
+        #: Optional TapeConfig; every admitted session gets its own
+        #: attached tape (networks are per-browser, so interleaved
+        #: sessions record/play back independently).
+        self.tape = tape
 
     # -- the cooperative loop ------------------------------------------------
 
@@ -141,6 +147,9 @@ class ShardedRunner:
         """Open a new session slot (fresh browser, fresh engine)."""
         slot = _Shard(order, label, trace)
         slot.browser = self.browser_factory()
+        if self.tape is not None:
+            slot.tape_session = self.tape.attach(slot.browser.network,
+                                                 slot.label)
         engine = SessionEngine(
             slot.browser,
             driver_config=self.driver_config,
@@ -180,6 +189,8 @@ class ShardedRunner:
             report = slot.run.finish()
         finally:
             self._leave(slot, tracer, mark)
+            if slot.tape_session is not None:
+                slot.tape_session.finish()
         if tracer is not None and trace_dir is not None \
                 and write_trace is not None:
             stem = _unique_stem(slot.label, used_stems)

@@ -8,7 +8,8 @@ flat ``bytes`` blob instead: the worker encodes once, the queue ships a
 single buffer (pickling ``bytes`` is a length-prefixed memcpy), and the
 parent decodes once.
 
-Format (version tag ``WR1``):
+Format (version tag ``WR2`` — ``WR1`` plus the report's network-fidelity
+triple):
 
 - **varints** — unsigned LEB128 for every integer (lengths, counts,
   refs, hit/miss totals), so small numbers cost one byte;
@@ -32,7 +33,10 @@ wire tests pin down, and the reason the parent-side
 import struct
 
 #: Format tag; bump when the layout changes incompatibly.
-MAGIC = b"WR1"
+MAGIC = b"WR2"
+
+#: The net-fidelity counters, in wire order.
+_NET_FIDELITY_KEYS = ("failed_fetches", "timeouts", "tape_misses")
 
 #: CommandResult statuses packed as one byte; anything else ships as a
 #: string reference after the ``_STATUS_OTHER`` marker.
@@ -133,6 +137,9 @@ def encode_report(report_dict):
     _encode_error(body, table, report_dict.get("halt_error"))
     _write_varint(body, table.ref(report_dict.get("final_url")))
     _write_varint(body, report_dict.get("recoveries", 0))
+    fidelity = report_dict.get("net_fidelity") or {}
+    for key in _NET_FIDELITY_KEYS:
+        _write_varint(body, fidelity.get(key, 0))
     results = report_dict["results"]
     _write_varint(body, len(results))
     for result in results:
@@ -235,6 +242,8 @@ def decode_report(blob):
         "halt_error": reader.error(),
         "final_url": reader.string(),
         "recoveries": reader.varint(),
+        "net_fidelity": {key: reader.varint()
+                         for key in _NET_FIDELITY_KEYS},
     }
     results = []
     for _ in range(reader.varint()):

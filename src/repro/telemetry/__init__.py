@@ -47,6 +47,7 @@ from repro.telemetry.tracks import (
     CHAOS_TRACK,
     COUNTERS_TRACK,
     LOCATOR_TRACK,
+    NET_TRACK,
     RECORDER_TRACK,
     SESSION_TRACK,
     TrackRegistry,
@@ -129,6 +130,7 @@ __all__ = [
     "COUNTERS_TRACK",
     "DEFAULT_BUFFER_SIZE",
     "LOCATOR_TRACK",
+    "NET_TRACK",
     "RECORDER_TRACK",
     "RingBuffer",
     "SESSION_TRACK",

@@ -27,6 +27,7 @@ TID_LOCATOR = 2
 TID_COUNTERS = 3
 TID_RECORDER = 4
 TID_CHAOS = 5
+TID_NET = 6
 
 #: (pid, tid) constants call sites can pass as a ``track``.
 SESSION_TRACK = (CONTROL_PID, TID_SESSION)
@@ -34,6 +35,7 @@ LOCATOR_TRACK = (CONTROL_PID, TID_LOCATOR)
 COUNTERS_TRACK = (CONTROL_PID, TID_COUNTERS)
 RECORDER_TRACK = (CONTROL_PID, TID_RECORDER)
 CHAOS_TRACK = (CONTROL_PID, TID_CHAOS)
+NET_TRACK = (CONTROL_PID, TID_NET)
 
 #: First pid handed to a browser (pid 1 is the control process).
 FIRST_BROWSER_PID = 2
@@ -54,7 +56,8 @@ class TrackRegistry:
                           (TID_LOCATOR, "locator (xpath)"),
                           (TID_COUNTERS, "perf counters"),
                           (TID_RECORDER, "recorder"),
-                          (TID_CHAOS, "chaos (fault injection)")):
+                          (TID_CHAOS, "chaos (fault injection)"),
+                          (TID_NET, "net (transport/tape)")):
             self._emit_thread(CONTROL_PID, tid, name, sort_index=tid)
 
     # -- resolution ---------------------------------------------------------

@@ -99,6 +99,15 @@ class NetworkTimeoutError(NetworkError):
     severity = TRANSIENT
 
 
+class TapeMissError(NetworkError):
+    """Playback found no tape entry matching the request fingerprint.
+
+    Permanent by design: replaying the same request against the same
+    tape cannot start matching, so burning retry attempts (and backoff
+    time) on a miss would only delay the inevitable failure.
+    """
+
+
 class ScriptError(ReproError):
     """A page script raised during execution.
 

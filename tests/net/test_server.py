@@ -123,3 +123,131 @@ class TestWireLog:
         network.register("h.example", make_server())
         network.fetch("http://h.example/")
         assert network.exchange_log[0].timestamp == 50.0
+
+
+class TestExchangeLogBounds:
+    def test_default_capacity_preserves_baseline_behavior(self, network):
+        from repro.net.server import DEFAULT_LOG_CAPACITY
+
+        assert network.exchange_log.capacity == DEFAULT_LOG_CAPACITY
+        assert network.exchange_log.dropped == 0
+
+    def test_ring_buffer_evicts_oldest(self):
+        from repro.net.server import Network
+
+        network = Network(EventLoop(VirtualClock()), log_capacity=3)
+        network.register("h.example", make_server())
+        for n in range(5):
+            network.fetch("http://h.example/echo?q=%d" % n)
+        log = network.exchange_log
+        assert len(log) == 3
+        assert log.total == 5
+        assert log.dropped == 2
+        assert [e.request.query["q"] for e in log] == ["2", "3", "4"]
+
+    def test_list_like_surface(self, network):
+        network.register("h.example", make_server())
+        for n in range(3):
+            network.fetch("http://h.example/echo?q=%d" % n)
+        log = network.exchange_log
+        assert log  # truthy when non-empty
+        assert log[0].request.query["q"] == "0"
+        assert log[-1].request.query["q"] == "2"
+        assert [e.request.query["q"] for e in log[1:]] == ["1", "2"]
+        log.clear()
+        assert not log and len(log) == 0
+        assert log.total == 3  # totals survive clearing
+
+    def test_capacity_must_be_positive(self):
+        from repro.net.server import ExchangeLog
+
+        with pytest.raises(ValueError):
+            ExchangeLog(0)
+
+
+class TestPerRequestBackoff:
+    """Regression: retry jitter was one shared iterator, so a request's
+    backoff schedule depended on how many *other* requests had retried
+    before it. Each request now owns a sequence derived from
+    ``retry_jitter_seed`` + its fingerprint."""
+
+    @staticmethod
+    def delays(network, url, count=3):
+        from repro.net.http import HttpRequest
+
+        seq = network._backoff_for(HttpRequest(url))
+        return [seq.delay_ms(attempt) for attempt in range(1, count + 1)]
+
+    def test_schedule_is_stable_regardless_of_other_requests(self, network):
+        baseline = self.delays(network, "http://a.example/x")
+        # Another request draining jitter draws must not shift it.
+        self.delays(network, "http://b.example/y", count=10)
+        assert self.delays(network, "http://a.example/x") == baseline
+
+    def test_different_requests_get_different_jitter(self, network):
+        assert self.delays(network, "http://a.example/x") != \
+            self.delays(network, "http://b.example/y")
+
+    def test_seed_changes_every_schedule(self):
+        from repro.net.server import Network
+
+        a = Network(EventLoop(VirtualClock()), retry_jitter_seed=1)
+        b = Network(EventLoop(VirtualClock()), retry_jitter_seed=2)
+        assert self.delays(a, "http://a.example/x") != \
+            self.delays(b, "http://a.example/x")
+
+    def test_retry_timing_independent_of_request_order(self):
+        """The end-to-end property: a request's total retry backoff is
+        identical whether it runs alone or after other retrying
+        requests."""
+        from repro import chaos
+        from repro.chaos.profile import FaultProfile
+        from repro.net.server import Network
+        from repro.util.errors import NetworkFaultError
+
+        def failed_fetch_cost(urls):
+            network = Network(EventLoop(VirtualClock()), retries=2,
+                              retry_jitter_seed=5)
+            network.register("h.example", make_server())
+            profile = FaultProfile("all-fail", fetch_fail_rate=1.0)
+            costs = []
+            with chaos.active(profile, clock=network.clock):
+                for url in urls:
+                    start = network.clock.now()
+                    with pytest.raises(NetworkFaultError):
+                        network.fetch(url)
+                    costs.append(network.clock.now() - start)
+            return dict(zip(urls, costs))
+
+        target = "http://h.example/echo?q=target"
+        alone = failed_fetch_cost([target])[target]
+        crowded = failed_fetch_cost(["http://h.example/",
+                                     "http://h.example/item/1",
+                                     target])[target]
+        assert alone == crowded
+
+
+class TestNetFidelityCounters:
+    def test_failed_fetch_counts_sync_permanent(self, network):
+        with pytest.raises(NetworkError):
+            network.fetch("http://ghost.example/")
+        assert network.failed_fetch_count == 1
+
+    def test_failed_fetch_counts_async_502(self, network):
+        results = []
+        network.fetch_async("http://ghost.example/", results.append)
+        network.event_loop.run_until_idle()
+        assert results[0].status == 502
+        assert network.failed_fetch_count == 1
+
+    def test_timeout_counts(self):
+        from repro.net.server import Network
+        from repro.util.errors import NetworkTimeoutError
+
+        network = Network(EventLoop(VirtualClock()),
+                          default_latency_ms=100.0, timeout_ms=50.0)
+        network.register("h.example", make_server())
+        with pytest.raises(NetworkTimeoutError):
+            network.fetch("http://h.example/")
+        assert network.timeout_count == 1
+        assert network.failed_fetch_count == 1

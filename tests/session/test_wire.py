@@ -1,4 +1,4 @@
-"""The WR1 compact result wire format: exact round-trip, compactness.
+"""The WR2 compact result wire format: exact round-trip, compactness.
 
 The pool's correctness story leans entirely on
 ``decode_report(encode_report(d)) == d``; these tests pin that equality
@@ -60,6 +60,8 @@ class TestRoundTrip:
                                   "hit_rate": 300 / 307},
                 "dom.index": {"hits": 0, "misses": 0, "hit_rate": None},
             },
+            "net_fidelity": {"failed_fetches": 4, "timeouts": 2,
+                             "tape_misses": 1},
         }
         assert decode_report(encode_report(report)) == report
 
@@ -68,6 +70,8 @@ class TestRoundTrip:
             "trace": "", "results": [], "halted": False,
             "halt_reason": None, "halt_error": None, "page_errors": [],
             "final_url": None, "recoveries": 0, "perf_counters": {},
+            "net_fidelity": {"failed_fetches": 0, "timeouts": 0,
+                             "tape_misses": 0},
         }
         assert decode_report(encode_report(report)) == report
 
@@ -79,6 +83,8 @@ class TestRoundTrip:
             "final_url": None, "recoveries": 0,
             "perf_counters": {"c": {"hits": 1, "misses": 2,
                                     "hit_rate": rate}},
+            "net_fidelity": {"failed_fetches": 0, "timeouts": 0,
+                             "tape_misses": 0},
         }
         decoded = decode_report(encode_report(report))
         assert decoded["perf_counters"]["c"]["hit_rate"] == rate
@@ -97,6 +103,8 @@ class TestCompactness:
             "halted": False, "halt_reason": None, "halt_error": None,
             "page_errors": [], "final_url": "http://host/page",
             "recoveries": 0, "perf_counters": {},
+            "net_fidelity": {"failed_fetches": 0, "timeouts": 0,
+                             "tape_misses": 0},
         }
         blob = encode_report(report)
         assert len(blob) < len(pickle.dumps(report))
@@ -131,6 +139,8 @@ class TestMalformedPayloads:
             "trace": "t", "results": [], "halted": False,
             "halt_reason": None, "halt_error": None, "page_errors": [],
             "final_url": None, "recoveries": 0, "perf_counters": {},
+            "net_fidelity": {"failed_fetches": 0, "timeouts": 0,
+                             "tape_misses": 0},
         }).startswith(MAGIC)
 
 
@@ -171,6 +181,11 @@ _report = st.fixed_dictionaries({
     "final_url": _opt_text,
     "recoveries": st.integers(min_value=0, max_value=10**6),
     "perf_counters": st.dictionaries(_text, _counter, max_size=6),
+    "net_fidelity": st.fixed_dictionaries({
+        "failed_fetches": st.integers(min_value=0, max_value=10**9),
+        "timeouts": st.integers(min_value=0, max_value=10**9),
+        "tape_misses": st.integers(min_value=0, max_value=10**9),
+    }),
 })
 
 
