@@ -48,7 +48,7 @@ class EventHandler:
     def handle_mouse_press_event(self, event):
         """Entry point for mouse input (click and double click)."""
         tracer = telemetry.current()
-        if tracer is None:
+        if tracer is None or not tracer.wants("input"):
             return self._handle_mouse_press(event)
         with tracer.span("input.mouse", track=self.engine, cat="input",
                          args={"x": event.client_x, "y": event.client_y,
@@ -106,7 +106,7 @@ class EventHandler:
     def key_event(self, event):
         """Entry point for keyboard input."""
         tracer = telemetry.current()
-        if tracer is None:
+        if tracer is None or not tracer.wants("input"):
             return self._key_event(event)
         with tracer.span("input.key", track=self.engine, cat="input",
                          args={"key": event.key, "code": event.key_code}):
@@ -149,7 +149,7 @@ class EventHandler:
     def handle_drag(self, event):
         """Entry point for UI-element drags."""
         tracer = telemetry.current()
-        if tracer is None:
+        if tracer is None or not tracer.wants("input"):
             return self._handle_drag(event)
         with tracer.span("input.drag", track=self.engine, cat="input",
                          args={"dx": event.dx, "dy": event.dy}):

@@ -90,7 +90,7 @@ class IpcChannel:
         message.enqueued_at = self._now()
         self._queue.append(message)
         tracer = telemetry.current()
-        if tracer is not None:
+        if tracer is not None and tracer.wants("ipc"):
             message.trace_enqueued_us = tracer.now_us()
             # Queue residency crosses threads (enqueued browser-side,
             # picked up renderer-side), so it is an async span, paired
@@ -110,7 +110,7 @@ class IpcChannel:
         if injector is not None and injector.ipc_active:
             return self._pump_chaotic(injector)
         tracer = telemetry.current()
-        if tracer is not None:
+        if tracer is not None and tracer.wants("ipc"):
             return self._pump_traced(tracer)
         delivered = 0
         queue = self._queue
@@ -152,6 +152,8 @@ class IpcChannel:
         perturbation schedule is a pure function of (profile, seed).
         """
         tracer = telemetry.current()
+        if tracer is not None and not tracer.wants("ipc"):
+            tracer = None
         pump_start = tracer.now_us() if tracer is not None else None
         delivered = 0
         dropped = 0

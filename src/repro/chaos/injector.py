@@ -160,7 +160,7 @@ class ChaosInjector:
                              vt_ms, detail)
         self.records.append(record)
         tracer = telemetry.current()
-        if tracer is not None:
+        if tracer is not None and tracer.wants("chaos"):
             tracer.instant("chaos.%s.%s" % (layer, kind), track=CHAOS_TRACK,
                            cat="chaos", args={"amount": amount,
                                               "detail": detail,

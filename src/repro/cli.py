@@ -31,7 +31,10 @@ directory holding one ``<label>.tape`` per trace).
 Chrome trace-event timeline of the replay (IPC, dispatch, layout,
 XPath, session pipeline) — load the JSON in ``chrome://tracing`` or
 https://ui.perfetto.dev. ``batch --trace-dir`` writes one trace per
-session plus a merged ``batch.trace.json``.
+session plus a merged ``batch.trace.json``. All three accept
+``--trace-categories`` (``all`` / ``production`` / a comma-separated
+list) to filter what records — ``production`` keeps the session, net,
+chaos, and recorder lanes at <10% replay overhead.
 
 Because this reproduction has no interactive UI, ``record`` drives the
 application's canonical scripted session (the same ones the paper's
@@ -149,7 +152,8 @@ def cmd_replay(args, out):
                     else None)
     try:
         if args.trace_out:
-            with telemetry.tracing(out=args.trace_out, clock=browser.clock):
+            with telemetry.tracing(out=args.trace_out, clock=browser.clock,
+                                   categories=args.trace_categories):
                 report = replayer.replay(trace)
             print("trace: wrote %s" % args.trace_out, file=out)
         else:
@@ -214,7 +218,8 @@ def cmd_batch(args, out):
                                         client_only=playback)
     runner = BatchRunner(factory, timing=_timing_from_args(args),
                          workers=args.workers, shards=args.shards,
-                         trace_timeout=args.trace_timeout, tape=tape)
+                         trace_timeout=args.trace_timeout, tape=tape,
+                         trace_categories=args.trace_categories)
     batch = runner.run(traces, labels=args.traces,
                        trace_dir=args.trace_dir)
     if args.trace_dir:
@@ -242,7 +247,8 @@ def cmd_trace(args, out):
     browser, _ = make_browser([app_class], seed=args.seed,
                               developer_mode=True)
     replayer = WarrReplayer(browser, timing=_timing_from_args(args))
-    with telemetry.tracing(out=args.out, clock=browser.clock) as tracer:
+    with telemetry.tracing(out=args.out, clock=browser.clock,
+                           categories=args.trace_categories) as tracer:
         report = replayer.replay(trace)
         trace_dict = telemetry.tracer_to_dict(tracer)
     print(report.summary(), file=out)
@@ -439,6 +445,11 @@ def build_parser():
     replay.add_argument("--trace-out", default=None, metavar="PATH",
                         help="record a Chrome trace-event timeline of "
                              "the replay to PATH")
+    replay.add_argument("--trace-categories", default=None, metavar="SPEC",
+                        help="trace category filter: 'all' (default), "
+                             "'production', or a comma-separated list; "
+                             "a term may carry a deterministic sampling "
+                             "rate (e.g. 'session,dispatch:0.1')")
     replay.add_argument("--tape", default=None, metavar="PATH",
                         help="network tape file to record to / play "
                              "back from")
@@ -464,6 +475,11 @@ def build_parser():
     batch.add_argument("--trace-dir", default=None, metavar="DIR",
                        help="write per-session Chrome traces plus a "
                             "merged batch.trace.json into DIR")
+    batch.add_argument("--trace-categories", default=None, metavar="SPEC",
+                       help="trace category filter for --trace-dir: 'all' "
+                            "(default), 'production', or a comma-"
+                            "separated list, with optional 'name:rate' "
+                            "sampling terms")
     batch.add_argument("--workers", type=int, default=1, metavar="N",
                        help="replay across N worker processes "
                             "(default 1 = in-process)")
@@ -496,6 +512,10 @@ def build_parser():
                           help="replay with no inter-command delays")
     tracecmd.add_argument("--scale", type=float, default=None,
                           help="scale recorded delays by this factor")
+    tracecmd.add_argument("--trace-categories", default=None, metavar="SPEC",
+                          help="trace category filter: 'all' (default), "
+                               "'production', or a comma-separated list, "
+                               "with optional 'name:rate' sampling terms")
     tracecmd.set_defaults(func=cmd_trace)
 
     inspect = sub.add_parser("inspect", help="print trace statistics")

@@ -165,15 +165,16 @@ class WarrRecorder(InputObserver):
     def _record_overhead(self, started):
         self.overhead_samples_us.append((time.perf_counter() - started) * 1e6)
         tracer = telemetry.current()
-        if tracer is not None:
+        if tracer is not None and tracer.wants("recorder"):
             # The span covers exactly the logging work the overhead
             # benchmark measures: frame tracking, XPath generation, and
-            # the trace append.
+            # the trace append. The command line is deferred (bound
+            # method in the args slot): it is only formatted at export.
             command = self.trace.commands[-1] if len(self.trace) else None
             tracer.complete_between(
                 "record.command", started, track=RECORDER_TRACK,
                 cat="recorder",
-                args={"line": command.to_line() if command else None})
+                args={"line": command.to_line if command else None})
 
     # -- reporting ---------------------------------------------------------------
 

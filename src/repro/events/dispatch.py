@@ -35,8 +35,13 @@ def dispatch_event(target, event, on_error=None, track=None):
     Returns ``True`` if the default action should proceed (i.e. the event
     was not ``prevent_default()``-ed), matching ``dispatchEvent``.
     ``track`` anchors trace spans (the engine passes itself).
+
+    The guard reads ``telemetry._dispatch_tracer`` — pre-resolved at
+    tracer install time to None unless the tracer records the
+    ``dispatch`` category — so this hottest guard site costs one
+    attribute load whether tracing is off or filtered.
     """
-    tracer = telemetry.current()
+    tracer = telemetry._dispatch_tracer
     if tracer is None:
         return _dispatch(target, event, on_error)
     return _dispatch_traced(tracer, target, event, on_error, track)

@@ -58,7 +58,7 @@ class LayoutEngine:
     def relayout(self):
         """Recompute all boxes; call after the DOM changes."""
         tracer = telemetry.current()
-        if tracer is None:
+        if tracer is None or not tracer.wants("layout"):
             return self._relayout()
         with tracer.span("layout.reflow", track=self.trace_track,
                          cat="layout") as args:

@@ -144,7 +144,7 @@ class Transport:
     def perform(self, request):
         """Produce the response for ``request`` (or raise NetworkError)."""
         tracer = telemetry.current()
-        if tracer is None:
+        if tracer is None or not tracer.wants("net"):
             response = self._perform(request)
             self.performed += 1
             return response
@@ -205,7 +205,7 @@ class RecordTransport(Transport):
         response = self.inner._perform(request)
         self.tape.record(request, response)
         tracer = telemetry.current()
-        if tracer is not None:
+        if tracer is not None and tracer.wants("net"):
             tracer.instant("net.tape.record", track=NET_TRACK, cat="net",
                            args={"fingerprint": request_fingerprint(request),
                                  "status": response.status})
@@ -253,6 +253,8 @@ class PlaybackTransport(Transport):
         fingerprint = request_fingerprint(request)
         entries = self.tape.entries_for(fingerprint)
         tracer = telemetry.current()
+        if tracer is not None and not tracer.wants("net"):
+            tracer = None
         if not entries:
             self.misses += 1
             perf.record("net.tape", hit=False)

@@ -138,8 +138,13 @@ class BatchRunner:
     def __init__(self, browser_factory, driver_config=None, timing=None,
                  locator=None, failure=None, retry=None, observers=None,
                  workers=1, shards=1, trace_timeout=None, pool=None,
-                 tape=None):
+                 tape=None, trace_categories=None):
         self.browser_factory = browser_factory
+        #: Category spec for traced runs (``trace_dir`` set): anything
+        #: :func:`~repro.telemetry.tracer.resolve_categories` accepts,
+        #: e.g. ``"production"``. None records every category. Applies
+        #: on all three backends (serial, sharded, pooled).
+        self.trace_categories = trace_categories
         self.driver_config = driver_config
         self.timing = timing
         self.locator = locator
@@ -194,7 +199,7 @@ class BatchRunner:
             # tracing() block) — record into it rather than nesting.
             return execute(traces, labels, tracer=telemetry.current(),
                            trace_dir=trace_dir)
-        with telemetry.tracing() as tracer:
+        with telemetry.tracing(categories=self.trace_categories) as tracer:
             batch = execute(traces, labels, tracer=tracer,
                             trace_dir=trace_dir)
             telemetry.write_trace(
@@ -310,9 +315,11 @@ class BatchRunner:
         try:
             # A borrowed pool keeps its workers warm for the caller's
             # next batch; its chunks run under *this* runner's policies.
-            outcomes, dropped = pool.run(tasks, tracing=tracing_on,
-                                         engine_config=engine_config,
-                                         tape=self.tape)
+            outcomes, dropped = pool.run(
+                tasks,
+                tracing=(self.trace_categories or True) if tracing_on
+                else False,
+                engine_config=engine_config, tape=self.tape)
         finally:
             if owned:
                 pool.close()

@@ -241,6 +241,10 @@ class SessionRun:
         self.stopped = False
         self._navigation_failed = False
         self._anchor = 0.0
+        #: ``[tracer, wants("session.phase")]`` — step() runs once per
+        #: command and a tracer's category set is immutable, so the
+        #: schedule-span decision is resolved once per installed tracer.
+        self._wants_schedule = [None, False]
         self._error_base = 0
         self._perf_base = None
         self._net_base = None
@@ -314,11 +318,16 @@ class SessionRun:
         target = self.engine.timing.target(self._anchor, command)
         wait_ms = max(0.0, target - clock.now())
         tracer = telemetry.current()
-        if tracer is None:
+        if tracer is not None:
+            cache = self._wants_schedule
+            if tracer is not cache[0]:
+                cache[0] = tracer
+                cache[1] = tracer.wants("session.phase")
+        if tracer is None or not cache[1]:
             self.driver.wait(wait_ms)
         else:
             with tracer.span("session.schedule", track=SESSION_TRACK,
-                             cat="session",
+                             cat="session.phase",
                              args={"wait_ms": wait_ms, "due_vt_ms": target}):
                 self.driver.wait(wait_ms)
         self._anchor = clock.now()

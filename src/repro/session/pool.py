@@ -21,7 +21,13 @@ deletes the overhead:
 - **compact result shipping** — workers encode each report with
   :mod:`repro.session.wire` (string-interned, varint-packed binary)
   and the queue carries one flat ``bytes`` blob; the parent decodes
-  once. Telemetry event slices (tracing runs only) ride alongside.
+  once. Telemetry slices (tracing runs only) ride alongside in the
+  same spirit: raw packed ring-buffer records plus the worker's
+  string-intern tables
+  (:meth:`~repro.telemetry.packed.PackedRingBuffer.wire_slice`), one
+  ``bytes`` chunk per session instead of one dict per event, decoded
+  and pid-remapped by the parent's
+  :class:`~repro.telemetry.merge.TraceMerger`.
 - **blocking result drain** — the parent sleeps in
   ``multiprocessing.connection.wait`` on the result pipe plus every
   worker's death sentinel; an idle parent burns no CPU and still wakes
@@ -251,8 +257,9 @@ def _replay_task(factory, engine_config, trace_text, tracer, tape=None,
             tape_session.finish()
     payload = {"report": report.to_dict()}
     if tracer is not None:
-        payload["events"] = [event.to_dict()
-                             for event in tracer.events_since(mark)]
+        # Packed records + intern tables, not per-event dicts: the
+        # parent-side TraceMerger decodes and remaps the slice.
+        payload["events"] = tracer.wire_slice(mark)
         payload["metadata"] = [event.to_dict()
                                for event in tracer.registry.metadata_events]
     return payload
@@ -268,12 +275,13 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
     blob plus the tracer's drop-count delta.
     """
     from repro import telemetry
-    from repro.telemetry.tracer import Tracer
+    from repro.telemetry.tracer import Tracer, resolve_categories
 
     # A fork inherits the parent's installed tracer (if any); the worker
     # records into its own private buffer instead.
     telemetry.uninstall()
     tracer = None
+    tracer_cats = None
     factory = None
     dropped_sent = 0
     while True:
@@ -284,10 +292,20 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
         if engine_config is None:
             engine_config = default_engine_config
         chunk_current[slot] = chunk_id
-        if tracing and tracer is None:
-            tracer = Tracer(buffer_size=spec.trace_buffer_size)
-            telemetry.install(tracer)
-        elif not tracing and tracer is not None:
+        if tracing:
+            # ``tracing`` is True (all categories) or a category spec;
+            # a batch with a different spec gets a fresh tracer.
+            cats = None if tracing is True else resolve_categories(tracing)
+            if tracer is not None and cats != tracer_cats:
+                telemetry.uninstall()
+                tracer = None
+                dropped_sent = 0
+            if tracer is None:
+                tracer = Tracer(buffer_size=spec.trace_buffer_size,
+                                categories=cats)
+                tracer_cats = cats
+                telemetry.install(tracer)
+        elif tracer is not None:
             telemetry.uninstall()
             tracer = None
             dropped_sent = 0
@@ -504,7 +522,10 @@ class WorkerPool:
         for this batch only (it is shipped with each chunk), and
         ``tape`` (a :class:`~repro.net.transport.TapeConfig`) puts every
         trace in this batch on a tape mode — workers attach it to their
-        own browser's network, labelled per trace.
+        own browser's network, labelled per trace. ``tracing`` is
+        False (off), True (every category), or a category spec for
+        each worker's tracer (anything
+        :func:`~repro.telemetry.tracer.resolve_categories` accepts).
         """
         tasks = list(tasks)
         batch = _BatchState(self._next_batch_id, tasks)
@@ -518,7 +539,8 @@ class WorkerPool:
         self.start()
         self._replenish()
         self.stats["batches"] += 1
-        tracing = bool(tracing)
+        if not tracing:
+            tracing = False
         for indexes in plan_chunks(len(tasks), self.workers,
                                    self.chunk_size):
             self._dispatch(batch, indexes, tracing, engine_config, tape)

@@ -22,6 +22,19 @@ or from the shell with ``python -m repro replay --trace-out trace.json``
 / ``python -m repro trace``. While installed, the tracer also bridges
 :mod:`repro.perf` counter activity into counter events, so cache
 effectiveness renders on the same timeline as the spans.
+
+Tracing can also stay **on in production**: events land in a packed
+binary ring buffer (see :mod:`repro.telemetry.packed`) and
+``categories="production"`` restricts recording to the session
+narrative, network, chaos, and recorder lanes — the telemetry
+benchmark pins that configuration below 10% replay overhead. Any
+category set, plus deterministic sampling, is selectable::
+
+    with telemetry.tracing(out="trace.json", categories="production",
+                           sample={"session": 0.25}, sample_seed=7):
+        runner.run(traces)
+
+(``--trace-categories`` on the CLI). The default remains ``"all"``.
 """
 
 from contextlib import contextmanager
@@ -42,7 +55,13 @@ from repro.telemetry.export import (
     write_trace_dict,
 )
 from repro.telemetry.merge import TraceMerger
-from repro.telemetry.tracer import Tracer
+from repro.telemetry.packed import PackedRingBuffer, Sampler, StringTable
+from repro.telemetry.tracer import (
+    PRODUCTION_CATEGORIES,
+    Tracer,
+    parse_category_spec,
+    resolve_categories,
+)
 from repro.telemetry.tracks import (
     CHAOS_TRACK,
     COUNTERS_TRACK,
@@ -54,6 +73,17 @@ from repro.telemetry.tracks import (
 )
 
 _tracer = None
+
+#: The installed tracer *iff* it records the ``dispatch`` category,
+#: else None. DOM event dispatch is the hottest guard site in the
+#: process (thousands of calls per replay), so it reads this one
+#: attribute instead of calling :func:`current` and then ``wants()`` —
+#: one load and a None check whether tracing is off or the installed
+#: tracer filters dispatch out, which keeps a production-category
+#: tracer from taxing every dispatch. Maintained by :func:`install` /
+#: :func:`uninstall`; a tracer's category set is immutable once built,
+#: so resolving once at install time is sound.
+_dispatch_tracer = None
 
 
 def current():
@@ -82,36 +112,45 @@ def install(tracer):
     """Install ``tracer`` process-wide; returns it.
 
     Also hooks :mod:`repro.perf` so cache hit/miss activity streams
-    into counter events. Nested installs are refused — the tracer is a
-    process-wide singleton, like the fast-path toggle.
+    into counter events — but only when the tracer records the
+    ``perf`` category; with it filtered out the bridge is never
+    attached and counter updates cost nothing extra. Nested installs
+    are refused — the tracer is a process-wide singleton, like the
+    fast-path toggle.
     """
-    global _tracer
+    global _tracer, _dispatch_tracer
     if _tracer is not None:
         raise RuntimeError("a tracer is already installed")
     _tracer = tracer
-    perf.set_counter_observer(_perf_bridge)
+    _dispatch_tracer = tracer if tracer.wants("dispatch") else None
+    if tracer.wants("perf"):
+        perf.set_counter_observer(_perf_bridge)
     return tracer
 
 
 def uninstall():
     """Remove the installed tracer (no-op when tracing is off)."""
-    global _tracer
+    global _tracer, _dispatch_tracer
     _tracer = None
+    _dispatch_tracer = None
     perf.set_counter_observer(None)
 
 
 @contextmanager
 def tracing(out=None, buffer_size=DEFAULT_BUFFER_SIZE, clock=None,
-            tracer=None):
+            tracer=None, categories=None, sample=None, sample_seed=0):
     """Enable tracing for a ``with`` block.
 
-    Installs ``tracer`` (or a fresh one with ``buffer_size`` and the
-    optional VirtualClock ``clock``), uninstalls it on exit, and — when
-    ``out`` is given — writes the Chrome trace JSON there. Yields the
-    tracer.
+    Installs ``tracer`` (or a fresh one with ``buffer_size``, the
+    optional VirtualClock ``clock``, and the ``categories`` /
+    ``sample`` / ``sample_seed`` emit-guard configuration — see
+    :class:`~repro.telemetry.tracer.Tracer`), uninstalls it on exit,
+    and — when ``out`` is given — writes the Chrome trace JSON there.
+    Yields the tracer.
     """
     active = tracer if tracer is not None else Tracer(
-        buffer_size=buffer_size, clock=clock)
+        buffer_size=buffer_size, clock=clock, categories=categories,
+        sample=sample, sample_seed=sample_seed)
     install(active)
     try:
         yield active
@@ -131,9 +170,13 @@ __all__ = [
     "DEFAULT_BUFFER_SIZE",
     "LOCATOR_TRACK",
     "NET_TRACK",
+    "PRODUCTION_CATEGORIES",
+    "PackedRingBuffer",
     "RECORDER_TRACK",
     "RingBuffer",
     "SESSION_TRACK",
+    "Sampler",
+    "StringTable",
     "TraceEvent",
     "TraceMerger",
     "Tracer",
@@ -143,6 +186,8 @@ __all__ = [
     "dumps",
     "enabled",
     "install",
+    "parse_category_spec",
+    "resolve_categories",
     "to_trace_dict",
     "to_trace_dict_raw",
     "trace_summary",

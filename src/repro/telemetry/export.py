@@ -23,43 +23,60 @@ from repro.telemetry.events import (
 )
 
 
-def to_trace_dict(events, metadata=(), dropped=0):
+def _other_data(dropped, total):
+    """The ``otherData`` block: producer plus ring-buffer counters.
+
+    ``events_total`` counts every event the producing tracer ever
+    recorded (mirroring the net layer's ``ExchangeLog`` ring), so a
+    truncated trace is detectable from the file alone:
+    ``dropped_events`` present (and nonzero) means the oldest
+    ``dropped_events`` of ``events_total`` were overwritten.
+    """
+    data = {"producer": "repro.telemetry"}
+    if total is not None:
+        data["events_total"] = total
+    if dropped:
+        data["dropped_events"] = dropped
+    return data
+
+
+def to_trace_dict(events, metadata=(), dropped=0, total=None):
     """Assemble the exportable trace object from event sequences."""
     trace_events = [event.to_dict() for event in metadata]
     trace_events.extend(event.to_dict() for event in events)
-    payload = {
+    return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.telemetry"},
+        "otherData": _other_data(dropped, total),
     }
-    if dropped:
-        payload["otherData"]["dropped_events"] = dropped
-    return payload
 
 
-def to_trace_dict_raw(event_dicts, metadata=(), dropped=0):
+def to_trace_dict_raw(event_dicts, metadata=(), dropped=0, total=None):
     """Assemble the trace object from *already-exported* event dicts.
 
-    The worker-pool merge path operates on dicts (workers ship
+    The worker-pool merge path operates on dicts (workers ship decoded
     ``TraceEvent.to_dict()`` output across the process boundary), so
     this variant skips the object-to-dict conversion.
     """
-    payload = {
+    return {
         "traceEvents": list(metadata) + list(event_dicts),
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.telemetry"},
+        "otherData": _other_data(dropped, total),
     }
-    if dropped:
-        payload["otherData"]["dropped_events"] = dropped
-    return payload
 
 
 def tracer_to_dict(tracer, events=None):
-    """Trace object for ``tracer`` (optionally a pre-sliced event list)."""
+    """Trace object for ``tracer`` (optionally a pre-sliced event list).
+
+    The ``otherData`` counters are always the *tracer's* lifetime
+    totals, even for a pre-sliced event list — they answer "is this
+    file missing anything the tracer saw", not "how long is it".
+    """
     if events is None:
         events = list(tracer.buffer)
     return to_trace_dict(events, metadata=tracer.registry.metadata_events,
-                         dropped=tracer.buffer.dropped)
+                         dropped=tracer.buffer.dropped,
+                         total=tracer.buffer.total)
 
 
 def dumps(tracer, events=None):
@@ -111,9 +128,15 @@ def trace_summary(trace_dict, top=5):
              % (len(events), len(spans), opens, instants, counters)]
     for category in sorted(by_category):
         lines.append("  %-10s %d" % (category, by_category[category]))
-    dropped = trace_dict.get("otherData", {}).get("dropped_events", 0)
+    other = trace_dict.get("otherData", {})
+    total = other.get("events_total")
+    dropped = other.get("dropped_events", 0)
+    if total is not None:
+        lines.append("ring buffer: %d event(s) recorded, %d dropped"
+                     % (total, dropped))
     if dropped:
-        lines.append("  (%d event(s) dropped by the ring buffer)" % dropped)
+        lines.append("  WARNING: trace is TRUNCATED — the oldest %d "
+                     "event(s) were overwritten" % dropped)
     spans.sort(key=lambda event: event.get("dur", 0.0), reverse=True)
     if spans:
         lines.append("longest spans:")

@@ -12,8 +12,14 @@ shows ``repro driver [w0]``, ``BrowserWindow 0 [w1]``, ...), and tids
 pass through unchanged (they are already unique within their pid).
 
 The merger works on exported event *dicts* (what
-:meth:`~repro.telemetry.events.TraceEvent.to_dict` produces) because
-that is what crosses the process boundary. Timestamps are preserved:
+:meth:`~repro.telemetry.events.TraceEvent.to_dict` produces). What
+actually crosses the process boundary nowadays is the packed wire
+slice — raw fixed-width record bytes plus the worker's string-intern
+tables (:meth:`~repro.telemetry.packed.PackedRingBuffer.wire_slice`);
+:meth:`TraceMerger.add_session` detects those, decodes them against
+the shipped tables (so every worker's interned name/category ids
+resolve in its own namespace before remapping), and then remaps pids
+exactly as it does for plain dict slices. Timestamps are preserved:
 each worker's ``ts`` is relative to its own tracer start, which for a
 pool means "since the worker began", so sessions overlap on the merged
 timeline the way they overlapped in wall-clock reality (modulo worker
@@ -38,11 +44,18 @@ class TraceMerger:
     def add_session(self, worker_id, events, metadata=()):
         """Absorb one session slice from ``worker_id``.
 
-        ``events`` and ``metadata`` are exported event dicts straight
-        off the result queue. Returns ``(events, metadata)`` remapped
-        copies so the caller can also write a standalone per-session
-        trace file that lines up with the merged timeline.
+        ``events`` is either a list of exported event dicts or a
+        packed wire slice straight off the result queue (decoded here
+        against its own intern tables); ``metadata`` is always dicts.
+        Returns ``(events, metadata)`` remapped copies so the caller
+        can also write a standalone per-session trace file that lines
+        up with the merged timeline.
         """
+        from repro.telemetry.packed import decode_wire_slice, is_wire_slice
+
+        if is_wire_slice(events):
+            events = [event.to_dict()
+                      for event in decode_wire_slice(events)]
         metadata_out = []
         for event in metadata:
             remapped = self._remap(worker_id, event)
@@ -60,7 +73,8 @@ class TraceMerger:
         from repro.telemetry.export import to_trace_dict_raw
 
         return to_trace_dict_raw(self.events, metadata=self.metadata,
-                                 dropped=self.dropped)
+                                 dropped=self.dropped,
+                                 total=len(self.events) + self.dropped)
 
     # -- remapping -----------------------------------------------------------
 

@@ -2,58 +2,215 @@
 
 The engine narrates every replay on its structured event stream
 (:mod:`repro.session.events`); :class:`TracingObserver` turns that
-narration into nested duration spans on the control process's *session
-pipeline* track:
+narration into spans on the control process's *session pipeline* track:
 
-- a ``session`` span covering the whole run,
-- a ``command`` span per command, containing
+- a ``session`` span covering the whole run (category ``session``),
+- one complete (``X``) ``command`` event per command — stamped when the
+  command starts, emitted once when it finishes, so the per-command
+  narrative costs a single record — containing
 - a ``locate`` span (command-started → located/relaxed; when location
   fails into the coordinate fallback or the command is a frame switch,
   the locate span absorbs the act) and an ``act`` span (located →
-  acted),
+  acted) — plus the engine's ``session.schedule`` span — all under the
+  finer ``session.phase`` category, so a production category set keeps
+  the per-command narrative without the inner-phase events,
 
-plus instants for navigation, failures, halts, and page errors, and
-per-cache counter samples from the session's perf delta. The observer
-is attached to every run by :class:`~repro.session.engine.SessionRun`
-and does nothing (one guard check per event) while tracing is off.
+plus instants for navigation, failures, and halts (category
+``session``), per-error ``page.error`` instants (category
+``session.error``; production replaces them with one ``page.errors``
+count — see :attr:`TracingObserver.ERROR_CAT`), and per-cache counter
+samples from the session's perf delta (category ``perf``). The
+observer is attached to every run by
+:class:`~repro.session.engine.SessionRun` and does nothing (one guard
+check per event) while tracing is off.
+
+This is a hot per-event path with tracing on, so the dispatch table is
+*compiled per installed tracer*: kinds whose whole category is
+filtered out (locate/act phases, perf deltas) are dropped from the
+table, making their events one failed dict lookup; a command's args
+are stashed as one deferred encoder tuple (see
+:func:`_command_args`) and a page error as its bound ``__str__``, so
+those dicts and strings are only built if the trace is actually
+exported.
 """
 
-from repro.session.events import SessionObserver
+from time import perf_counter as _perf_counter
+
+from repro.session.events import SessionEvent, SessionObserver
+from repro.telemetry import current as _current
+from repro.telemetry.packed import (
+    F_ARGS,
+    F_CAT,
+    F_DUR,
+    F_VT,
+    PH_COMPLETE,
+    RECORD_SIZE,
+)
 from repro.telemetry.tracks import COUNTERS_TRACK, SESSION_TRACK
+
+
+def _command_args(started, finished):
+    """Export-time encoder for one command event's args.
+
+    The observer stashes ``(_command_args, started_event,
+    finished_event)`` — one tuple of objects it was already handed —
+    per command; the actual dict (command-line rendering, due time,
+    status) is only built if the event reaches an export.
+    """
+    command = started.command
+    return {"line": command.to_line(), "action": command.action,
+            "due_vt_ms": started.data.get("due"),
+            "status": finished.result.status}
+
+
+#: Command records buffered before a batch pack (see :func:`_drain`).
+_BATCH = 32
+
+
+def _drain(fast, pending):
+    """Pack the pending command records into the ring back to back.
+
+    A lone ring write from inside the replay loop runs against cold
+    tracer state — the command's own DOM and engine work has evicted
+    the buffer, the struct packer, and the record page from cache by
+    the time the next command finishes — and measures at several times
+    its instruction count. Batching loads that state once per
+    ``_BATCH`` commands; the per-command hot path is two tuples and a
+    ``list.append``. ``fast`` is the observer's compiled tuple.
+    """
+    buffer, flags, flags_vt, cat_id, name_id, pid, tid, origin = fast
+    total = buffer.total
+    capacity = buffer.capacity
+    pack = buffer._pack
+    # _grow extends these in place, so the local bindings stay valid.
+    args_slots = buffer._args
+    data = buffer._data
+    for start, end, vt, args in pending:
+        slot = total % capacity
+        if slot >= buffer._alloc:
+            buffer._grow(slot + 1)
+        args_slots[slot] = args
+        dur = end - start
+        pack(data, slot * RECORD_SIZE, PH_COMPLETE,
+             flags if vt is None else flags_vt, cat_id, name_id, pid, tid,
+             int((start - origin) * 1e9 + 0.5),
+             int(dur * 1e9 + 0.5) if dur > 0.0 else 0,
+             0.0 if vt is None else vt, 0)
+        total += 1
+    buffer.total = total
+    del pending[:]
 
 
 class TracingObserver(SessionObserver):
     """Emits session-pipeline spans for one run's event stream."""
 
     CAT = "session"
+    #: The inner locate/act phase spans; disabled by the production
+    #: category set while the command events stay on.
+    PHASE_CAT = "session.phase"
+    #: Per-error ``page.error`` instants. The engine flushes page
+    #: errors in one burst when the session settles, so these carry no
+    #: timing information and every error is already recorded verbatim
+    #: in the replay report — the production category set drops them
+    #: and gets a single ``page.errors`` count instant instead.
+    ERROR_CAT = "session.error"
 
     def __init__(self, track=SESSION_TRACK):
         self.track = track
         #: Names of currently open B spans, innermost last.
         self._open = []
+        #: The in-flight command's COMMAND_STARTED event and the raw
+        #: perf_counter reading taken when it arrived; emitted as one X
+        #: event when the command finishes.
+        self._cmd_event = None
+        self._cmd_start = 0.0
+        #: The tracer the compiled dispatch table below was built for;
+        #: rebuilt whenever a different tracer is installed.
+        self._for = None
+        self._phases = True
+        self._perf = True
+        self._errors = True
+        self._table = self._TABLE
+        #: Compiled per-command fast path (see ``_rebind``), or None.
+        self._fast = None
+        #: Finished commands awaiting their batched ring pack.
+        self._pending = []
 
     def on_event(self, event):
-        from repro import telemetry
-
-        tracer = telemetry.current()
+        tracer = _current()
         if tracer is None:
             return
-        super().on_event(event)
+        if tracer is not self._for:
+            self._rebind(tracer)
+        handler = self._table.get(event.kind)
+        if handler is not None:
+            handler(self, event, tracer)
+
+    def _rebind(self, tracer):
+        """Compile the dispatch table for this tracer's category set.
+
+        Kinds that could only ever emit into a filtered-out category
+        are removed outright, so their (frequent) events cost one
+        failed dict lookup instead of a handler call. When the
+        ``session`` category records unsampled into a packed buffer on
+        a plain (pid, tid) track — the always-on production shape —
+        the per-command handlers additionally bypass the tracer's
+        generic emit methods and batch their records for
+        :func:`_drain` (``self._fast``); any sampler, a legacy object
+        buffer, or an object-resolved track falls back to the generic
+        path, which keeps identical semantics at a couple hundred ns
+        more per event.
+        """
+        if self._pending and self._fast is not None:
+            # Records batched for a previously installed tracer flush
+            # into that tracer's buffer before this one takes over.
+            _drain(self._fast, self._pending)
+        self._for = tracer
+        self._phases = tracer.wants(self.PHASE_CAT)
+        self._perf = tracer.wants("perf")
+        self._errors = tracer.wants(self.ERROR_CAT)
+        table = dict(self._TABLE)
+        if not self._phases:
+            del table[SessionEvent.LOCATED]
+            del table[SessionEvent.RELAXED]
+            del table[SessionEvent.ACTED]
+        if not self._perf:
+            del table[SessionEvent.PERF_DELTA]
+        if not self._errors:
+            del table[SessionEvent.PAGE_ERROR]
+        self._table = table
+        self._fast = None
+        if tracer.packed and type(self.track) is tuple:
+            state = tracer._cat_state.get(self.CAT)
+            if state is None:
+                state = tracer._resolve_cat(self.CAT)
+            if state is not False and state[0] is None:
+                pid, tid = self.track
+                buffer = tracer.buffer
+                flags = F_CAT | F_DUR | F_ARGS
+                self._fast = (buffer, flags, flags | F_VT,
+                              state[1], buffer.names.intern("command"),
+                              pid, tid, tracer._origin)
+                if not self._phases:
+                    # Phases filtered too (the production shape): no
+                    # locate/act span can ever be open around a
+                    # command, so the per-command handlers shrink to
+                    # attribute stores and one list append.
+                    table[SessionEvent.COMMAND_STARTED] = (
+                        TracingObserver._on_command_started_fast)
+                    table[SessionEvent.COMMAND_FINISHED] = (
+                        TracingObserver._on_command_finished_fast)
 
     # -- span plumbing ------------------------------------------------------
 
-    def _tracer(self):
-        from repro import telemetry
-
-        return telemetry.current()
-
-    def _begin(self, tracer, name, args=None):
-        tracer.begin(name, track=self.track, cat=self.CAT, args=args)
+    def _begin(self, tracer, name, args=None, cat=CAT):
+        tracer.begin(name, track=self.track, cat=cat, args=args)
         self._open.append(name)
 
     def _end(self, tracer, args=None):
         name = self._open.pop()
-        tracer.end(name, track=self.track, cat=self.CAT, args=args)
+        cat = self.PHASE_CAT if name in ("locate", "act") else self.CAT
+        tracer.end(name, track=self.track, cat=cat, args=args)
 
     def _close_phases(self, tracer, args=None):
         """Close any open locate/act span (back down to the command)."""
@@ -63,74 +220,142 @@ class TracingObserver(SessionObserver):
 
     # -- event hooks --------------------------------------------------------
 
-    def on_session_started(self, event):
-        tracer = self._tracer()
+    def _on_session_started(self, event, tracer):
         trace = event.data["trace"]
         self._open = []
+        self._cmd_event = None
+        if self._pending:
+            # Leftovers from an aborted run drain before this run's
+            # events so batch slicing (mark/events_since) stays honest.
+            _drain(self._fast, self._pending)
         self._begin(tracer, "session", args={
             "label": trace.label or "",
             "start_url": trace.start_url,
             "commands": len(trace),
         })
 
-    def on_navigated(self, event):
-        self._tracer().instant("navigated", track=self.track, cat=self.CAT,
-                               args={"url": event.data["url"]})
+    def _on_navigated(self, event, tracer):
+        tracer.instant("navigated", track=self.track, cat=self.CAT,
+                       args={"url": event.data["url"]})
 
-    def on_command_started(self, event):
-        tracer = self._tracer()
-        self._begin(tracer, "command",
-                    args={"line": event.command.to_line(),
-                          "action": event.command.action,
-                          "due_vt_ms": event.data.get("due")})
-        self._begin(tracer, "locate")
+    def _on_command_started(self, event, tracer):
+        # Everything args-shaped is deferred: the event object itself
+        # is stashed and only encoded (command line rendered, due time
+        # and status read) if the command event reaches an export. The
+        # timestamp too: a raw perf_counter reading, converted to
+        # trace time at the batched pack (or on the generic path's
+        # emit), keeping this handler to attribute stores.
+        self._cmd_event = event
+        self._cmd_start = _perf_counter()
+        if self._phases:
+            self._begin(tracer, "locate", cat=self.PHASE_CAT)
 
-    def on_located(self, event):
-        self._phase_to_act(event)
+    def _on_command_started_fast(self, event, tracer):
+        self._cmd_event = event
+        self._cmd_start = _perf_counter()
 
-    def on_relaxed(self, event):
-        self._phase_to_act(event)
+    def _on_located(self, event, tracer):
+        self._phase_to_act(event, tracer)
 
-    def _phase_to_act(self, event):
-        tracer = self._tracer()
+    def _on_relaxed(self, event, tracer):
+        self._phase_to_act(event, tracer)
+
+    def _phase_to_act(self, event, tracer):
         if self._open and self._open[-1] == "locate":
             self._end(tracer, args={"detail": event.detail or "exact"})
-        self._begin(tracer, "act")
+        self._begin(tracer, "act", cat=self.PHASE_CAT)
 
-    def on_acted(self, event):
-        self._close_phases(self._tracer(),
+    def _on_acted(self, event, tracer):
+        self._close_phases(tracer,
                            args={"detail": event.detail} if event.detail
                            else None)
 
-    def on_failed(self, event):
-        tracer = self._tracer()
+    def _on_failed(self, event, tracer):
         self._close_phases(tracer)
         tracer.instant("command.failed", track=self.track, cat=self.CAT,
                        args={"error": str(event.error)})
 
-    def on_command_finished(self, event):
-        tracer = self._tracer()
-        self._close_phases(tracer)
-        if self._open and self._open[-1] == "command":
-            self._end(tracer, args={"status": event.result.status})
+    def _on_command_finished(self, event, tracer):
+        open_ = self._open
+        if open_ and open_[-1] in ("locate", "act"):
+            self._close_phases(tracer)
+        started = self._cmd_event
+        if started is not None:
+            self._cmd_event = None
+            args = (_command_args, started, event)
+            fast = self._fast
+            if fast is None:
+                tracer.complete("command", tracer.to_us(self._cmd_start),
+                                track=self.track, cat=self.CAT, args=args)
+                return
+            clock = tracer.clock
+            pending = self._pending
+            pending.append((self._cmd_start, _perf_counter(),
+                            clock.now() if clock is not None else None,
+                            args))
+            if len(pending) >= _BATCH:
+                _drain(fast, pending)
 
-    def on_halted(self, event):
-        self._tracer().instant("session.halted", track=self.track,
-                               cat=self.CAT, args={"reason": event.detail})
+    def _on_command_finished_fast(self, event, tracer):
+        started = self._cmd_event
+        if started is None:
+            return
+        self._cmd_event = None
+        clock = tracer.clock
+        pending = self._pending
+        pending.append((self._cmd_start, _perf_counter(),
+                        clock.now() if clock is not None else None,
+                        (_command_args, started, event)))
+        if len(pending) >= _BATCH:
+            _drain(self._fast, pending)
 
-    def on_page_error(self, event):
-        self._tracer().instant("page.error", track=self.track, cat=self.CAT,
-                               args={"error": str(event.data["error"])})
+    def _on_halted(self, event, tracer):
+        if self._pending:
+            _drain(self._fast, self._pending)
+        tracer.instant("session.halted", track=self.track,
+                       cat=self.CAT, args={"reason": event.detail})
 
-    def on_perf_delta(self, event):
-        tracer = self._tracer()
+    def _on_page_error(self, event, tracer):
+        # Deferred like to_line: formatting the error message is paid
+        # at export, not in the replay loop (a chatty page can emit
+        # hundreds of these).
+        tracer.instant("page.error", track=self.track, cat=self.ERROR_CAT,
+                       args={"error": event.data["error"].__str__})
+
+    def _on_perf_delta(self, event, tracer):
         for name, counts in sorted(event.data["counters"].items()):
             tracer.counter("session.cache.%s" % name,
                            {"hits": counts["hits"],
                             "misses": counts["misses"]},
                            track=COUNTERS_TRACK, cat="perf")
 
-    def on_session_finished(self, event):
-        tracer = self._tracer()
+    def _on_session_finished(self, event, tracer):
+        if self._pending:
+            _drain(self._fast, self._pending)
+        if not self._errors:
+            # Per-error instants are filtered out: surface the count so
+            # a production trace still flags that the page misbehaved
+            # (the report carries the error details).
+            errors = len(event.data["report"].page_errors)
+            if errors:
+                tracer.instant("page.errors", track=self.track,
+                               cat=self.CAT, args={"count": errors})
         while self._open:
             self._end(tracer)
+
+    #: event.kind -> handler; the full table. ``_rebind`` compiles the
+    #: per-tracer working copy actually consulted on the hot path.
+    _TABLE = {
+        SessionEvent.SESSION_STARTED: _on_session_started,
+        SessionEvent.NAVIGATED: _on_navigated,
+        SessionEvent.COMMAND_STARTED: _on_command_started,
+        SessionEvent.LOCATED: _on_located,
+        SessionEvent.RELAXED: _on_relaxed,
+        SessionEvent.ACTED: _on_acted,
+        SessionEvent.FAILED: _on_failed,
+        SessionEvent.COMMAND_FINISHED: _on_command_finished,
+        SessionEvent.HALTED: _on_halted,
+        SessionEvent.PAGE_ERROR: _on_page_error,
+        SessionEvent.PERF_DELTA: _on_perf_delta,
+        SessionEvent.SESSION_FINISHED: _on_session_finished,
+    }

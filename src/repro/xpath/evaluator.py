@@ -104,7 +104,7 @@ def evaluate(expression, context):
     Returns matching elements in document order, without duplicates.
     """
     tracer = telemetry.current()
-    if tracer is None:
+    if tracer is None or not tracer.wants("xpath"):
         return _evaluate(expression, context)
     with tracer.span("xpath.evaluate", track=LOCATOR_TRACK, cat="xpath",
                      args={"expr": str(expression)}) as args:

@@ -170,7 +170,7 @@ def _clear_compile_cache():
 def _compile(expression):
     """Actually parse; traced as an ``xpath.compile`` span when on."""
     tracer = telemetry.current()
-    if tracer is None:
+    if tracer is None or not tracer.wants("xpath"):
         return _Parser(expression).parse()
     with tracer.span("xpath.compile", track=LOCATOR_TRACK, cat="xpath",
                      args={"expr": expression}):

@@ -42,6 +42,28 @@ class TestTraceCommand:
                              "--app", "sites", "--out", str(out)])
         assert "trace event(s)" in output
 
+    def test_summary_reports_ring_buffer_counters(self, recorded_trace,
+                                                  tmp_path):
+        out = tmp_path / "trace.json"
+        _, output = run_cli(["trace", str(recorded_trace),
+                             "--app", "sites", "--out", str(out)])
+        assert "ring buffer:" in output
+        assert "dropped" in output
+        trace_dict = json.loads(out.read_text())
+        assert trace_dict["otherData"]["events_total"] > 0
+
+    def test_production_categories_filter_the_export(self, recorded_trace,
+                                                     tmp_path):
+        out = tmp_path / "trace.json"
+        code, _ = run_cli(["trace", str(recorded_trace), "--app", "sites",
+                           "--trace-categories", "production",
+                           "--out", str(out)])
+        assert code == 0
+        events = validate_trace(json.loads(out.read_text()))
+        kept = categories(events)
+        assert "session" in kept
+        assert not kept & {"dispatch", "ipc", "layout", "xpath"}
+
 
 class TestReplayTraceOut:
     def test_trace_out_writes_file(self, recorded_trace, tmp_path):

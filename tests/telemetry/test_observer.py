@@ -1,14 +1,19 @@
 """TracingObserver: session-pipeline spans from the engine's events."""
 
+import json
+
 import pytest
 
 from repro import telemetry
 from repro.apps.framework import make_browser
 from repro.apps.sites import SitesApplication
 from repro.core.commands import TypeCommand
-from repro.core.replayer import WarrReplayer
+from repro.core.recorder import WarrRecorder
+from repro.core.replayer import TimingMode, WarrReplayer
 from repro.core.trace import WarrTrace
 from repro.telemetry.tracks import COUNTERS_TRACK, SESSION_TRACK
+from repro.workloads.sessions import sites_edit_session
+from tests.telemetry.schema import validate_trace
 
 
 @pytest.fixture
@@ -33,11 +38,15 @@ def test_one_session_span_wraps_the_run(session_events):
 
 def test_command_spans_one_per_command(session_events):
     trace, events, _ = session_events
-    commands = [e for e in events if e.ph == "B" and e.name == "command"]
+    # One complete (X) event per command: stamped at command start,
+    # emitted once at command finish.
+    commands = [e for e in events if e.ph == "X" and e.name == "command"]
     assert len(commands) == len(trace)
-    for begin in commands:
-        assert begin.args["action"] in ("click", "doubleclick", "type",
-                                        "drag", "switchframe")
+    for span in commands:
+        assert span.args["action"] in ("click", "doubleclick", "type",
+                                       "drag", "switchframe")
+        assert span.dur >= 0.0
+        assert span.args["status"] == "ok"
 
 
 def test_locate_and_act_phases_balance(session_events):
@@ -84,3 +93,87 @@ def test_observer_is_inert_without_tracer(sites_trace):
     browser, _ = make_browser([SitesApplication], developer_mode=True)
     report = WarrReplayer(browser).replay(sites_trace)
     assert report.complete
+
+
+@pytest.fixture
+def production_run(sites_trace, tmp_path):
+    browser, _ = make_browser([SitesApplication], developer_mode=True)
+    out = tmp_path / "trace.json"
+    with telemetry.tracing(out=str(out), clock=browser.clock,
+                           categories="production") as tracer:
+        report = WarrReplayer(browser).replay(sites_trace)
+    assert report.complete
+    return sites_trace, tracer, json.loads(out.read_text())
+
+
+class TestProductionFastPath:
+    """The batched packed path the production category set compiles to."""
+
+    def test_every_command_survives_the_batched_drain(self, production_run):
+        # Commands are appended to a pending batch and drained in
+        # chunks; the tail (len(trace) is not a multiple of the batch
+        # size) must be flushed at session finish, not lost.
+        trace, tracer, _ = production_run
+        spans = [event for event in tracer.buffer
+                 if event.ph == "X" and event.name == "command"]
+        assert len(spans) == len(trace)
+        timestamps = [span.ts for span in spans]
+        assert timestamps == sorted(timestamps)
+
+    def test_deferred_args_decode_to_the_command_payload(
+            self, production_run):
+        # The hot path stashes one encoder tuple per command; decoding
+        # at export must reproduce the same payload the legacy path
+        # built eagerly.
+        trace, tracer, _ = production_run
+        spans = [event for event in tracer.buffer
+                 if event.ph == "X" and event.name == "command"]
+        for span, command in zip(spans, trace):
+            assert span.args["line"] == command.to_line()
+            assert span.args["action"] == command.action
+            assert span.args["status"] == "ok"
+            assert "vt_ms" in span.args
+
+    def test_no_phase_spans_in_production(self, production_run):
+        _, tracer, _ = production_run
+        names = {event.name for event in tracer.buffer}
+        assert "locate" not in names
+        assert "act" not in names
+
+    def test_export_is_schema_valid_with_counters(self, production_run):
+        trace, _, trace_dict = production_run
+        events = validate_trace(trace_dict)
+        assert events
+        other = trace_dict["otherData"]
+        assert other["events_total"] >= len(trace)
+        assert "dropped_events" not in other
+
+
+def test_page_errors_collapse_to_one_count_in_production():
+    browser, _ = make_browser([SitesApplication])
+    recorder = WarrRecorder().attach(browser)
+    recorder.begin("http://sites.example.com/edit/home")
+    sites_edit_session(browser, text="Hi!")
+    trace = recorder.trace
+
+    def impatient_replay(categories):
+        replay_browser, _ = make_browser([SitesApplication],
+                                         developer_mode=True)
+        with telemetry.tracing(clock=replay_browser.clock,
+                               categories=categories) as tracer:
+            report = WarrReplayer(replay_browser,
+                                  timing=TimingMode.no_wait()).replay(trace)
+        assert report.page_errors
+        return report, list(tracer.buffer)
+
+    report, events = impatient_replay("production")
+    names = [event.name for event in events]
+    assert "page.error" not in names  # per-error instants filtered out
+    counts = [event for event in events if event.name == "page.errors"]
+    assert len(counts) == 1
+    assert counts[0].args["count"] == len(report.page_errors)
+
+    report, events = impatient_replay("all")
+    names = [event.name for event in events]
+    assert names.count("page.error") == len(report.page_errors)
+    assert "page.errors" not in names  # the count is the filtered stand-in

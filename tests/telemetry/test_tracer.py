@@ -3,7 +3,7 @@
 import pytest
 
 from repro import perf, telemetry
-from repro.telemetry.tracer import Tracer
+from repro.telemetry.tracer import Tracer, parse_category_spec
 from repro.telemetry.tracks import (
     COUNTERS_TRACK,
     CONTROL_PID,
@@ -64,7 +64,8 @@ class TestTracerEmission:
 
         tracer = Tracer()
         started = time.perf_counter()
-        event = tracer.complete_between("op", started, track=SESSION_TRACK)
+        tracer.complete_between("op", started, track=SESSION_TRACK)
+        (event,) = list(tracer.buffer)
         assert event.ph == "X"
         assert event.dur >= 0.0
 
@@ -75,6 +76,37 @@ class TestTracerEmission:
         tracer.instant("after", track=SESSION_TRACK)
         names = [event.name for event in tracer.events_since(mark)]
         assert names == ["after"]
+
+
+class TestCategorySpecRates:
+    def test_rate_suffix_splits_into_categories_and_rates(self):
+        categories, rates = parse_category_spec("session,dispatch:0.25")
+        assert categories == frozenset({"session", "dispatch"})
+        assert rates == {"dispatch": 0.25}
+
+    def test_spec_without_rates_passes_through(self):
+        assert parse_category_spec("production") == (
+            telemetry.PRODUCTION_CATEGORIES, {})
+        assert parse_category_spec(None) == (None, {})
+
+    def test_rated_term_still_enables_its_category(self):
+        def kept_names():
+            tracer = Tracer(categories="session,dispatch:0.5",
+                            sample_seed=3)
+            for index in range(200):
+                tracer.instant("d%d" % index, cat="dispatch")
+            return [event.name for event in tracer.buffer]
+
+        first, second = kept_names(), kept_names()
+        assert first == second  # same seed keeps the same events
+        assert 60 < len(first) < 140  # ~half of 200
+
+    def test_explicit_sample_overrides_spec_rate(self):
+        tracer = Tracer(categories="dispatch:0.0",
+                        sample={"dispatch": 1.0})
+        for index in range(5):
+            tracer.instant("d%d" % index, cat="dispatch")
+        assert len(list(tracer.buffer)) == 5
 
 
 class TestTrackRegistry:

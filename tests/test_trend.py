@@ -9,6 +9,7 @@ import pytest
 
 from benchmarks.trend import (
     DEFAULT_THRESHOLD,
+    check_budgets,
     check_files,
     classify_metric,
     compare,
@@ -98,6 +99,37 @@ class TestCompare:
                        threshold=DEFAULT_THRESHOLD)[0]["status"] == "ok"
 
 
+class TestAbsoluteBudgets:
+    def test_over_budget_is_a_violation(self):
+        out = io.StringIO()
+        payload = {"replay": {"tracing_on_cost": 0.12}}
+        assert check_budgets("BENCH_telemetry.json", payload, out=out) == 1
+        assert "OVER BUDGET" in out.getvalue()
+
+    def test_under_budget_passes(self):
+        payload = {"replay": {"tracing_on_cost": 0.06},
+                   "guard": {"tracing_off_overhead": 0.01}}
+        out = io.StringIO()
+        assert check_budgets("BENCH_telemetry.json", payload, out=out) == 0
+        assert "OVER BUDGET" not in out.getvalue()
+
+    def test_quick_mode_numbers_are_not_load_bearing(self):
+        payload = {"quick": True, "replay": {"tracing_on_cost": 0.5}}
+        out = io.StringIO()
+        assert check_budgets("BENCH_telemetry.json", payload, out=out) == 0
+        assert "quick mode" in out.getvalue()
+
+    def test_files_without_budgets_are_free(self):
+        payload = {"replay": {"tracing_on_cost": 9.9}}
+        assert check_budgets("BENCH_demo.json", payload) == 0
+
+    def test_absent_metric_skips_with_a_note(self):
+        out = io.StringIO()
+        assert check_budgets("BENCH_telemetry.json",
+                             {"benchmark": "telemetry"}, out=out) == 0
+        assert "metric absent" in out.getvalue()
+
+
 class TestCheckFiles:
     @pytest.fixture
     def bench_repo(self, tmp_path, monkeypatch):
@@ -135,6 +167,20 @@ class TestCheckFiles:
         out = io.StringIO()
         assert check_files([str(bench_repo)], out=out) == 0
         assert "ok" in out.getvalue()
+
+    def test_budget_gates_even_without_a_baseline(self, bench_repo):
+        # A brand-new (uncommitted) bench file skips the relative
+        # ratchet but still hits the absolute ceiling.
+        fresh = os.path.join(os.path.dirname(str(bench_repo)),
+                             "BENCH_telemetry.json")
+        with open(fresh, "w") as handle:
+            json.dump({"benchmark": "telemetry",
+                       "replay": {"tracing_on_cost": 0.2}}, handle)
+        out = io.StringIO()
+        assert check_files([fresh], out=out) == 1
+        text = out.getvalue()
+        assert "OVER BUDGET" in text
+        assert "no committed baseline" in text
 
     def test_missing_baseline_file_skips(self, bench_repo):
         fresh = os.path.join(os.path.dirname(str(bench_repo)),
