@@ -91,6 +91,7 @@ class ChaosInjector:
         self.net_active = "net" in live
         self.script_active = "script" in live
         self.layout_active = "layout" in live
+        self.worker_active = "worker" in live
 
     def layer_active(self, layer):
         """True when ``layer`` has at least one non-zero rate."""

@@ -12,8 +12,10 @@ every rate. The bundled presets (``PROFILES``) are the rows of the
 chaos matrix the ``python -m repro chaos`` harness replays.
 """
 
-#: The substrate layers faults can be injected into.
-LAYERS = ("ipc", "renderer", "net", "script", "layout")
+#: The substrate layers faults can be injected into. "worker" is a
+#: farm-level layer: it kills whole worker *processes* in a batch pool
+#: rather than components inside one browser.
+LAYERS = ("ipc", "renderer", "net", "script", "layout", "worker")
 
 #: Profile fields, with the layer each belongs to and its default.
 _FIELDS = (
@@ -37,6 +39,9 @@ _FIELDS = (
     # Layout.
     ("layout_jitter_rate", "layout", 0.0),
     ("layout_jitter_px", "layout", (1.0, 6.0)),
+    # Batch farm: per-trace probability that the worker process hosting
+    # the trace dies (SIGKILL-style, exit 137) before replaying it.
+    ("worker_kill_rate", "worker", 0.0),
 )
 
 _FIELD_LAYER = {name: layer for name, layer, _ in _FIELDS}
@@ -184,6 +189,15 @@ class FaultProfile:
                    layout_jitter_px=(1.0, 8.0))
 
     @classmethod
+    def farm(cls):
+        """Worker processes dying under the batch: the soak profile.
+
+        Only the farm layer is live — traces themselves replay cleanly,
+        so every failure the pool sees is a worker death it must
+        contain (requeue, respawn, quarantine, journal)."""
+        return cls("farm", worker_kill_rate=0.15)
+
+    @classmethod
     def everything(cls):
         """The default profile turned up: every layer, higher rates."""
         return cls.default().scaled(2.5).replace(name="everything")
@@ -216,5 +230,6 @@ PROFILES = {
     "ipc-storm": FaultProfile.ipc_storm,
     "script-chaos": FaultProfile.script_chaos,
     "layout-jitter": FaultProfile.layout_jitter,
+    "farm": FaultProfile.farm,
     "everything": FaultProfile.everything,
 }

@@ -9,6 +9,11 @@ The workflows a downstream user runs from a shell::
     python -m repro batch   a.warr b.warr c.warr d.warr --app sites
                             [--workers 4 | --shards 4] [--trace-timeout 30]
                             [--trace-dir traces/]
+                            [--journal run.wj1 [--resume]]
+                            [--chaos farm --chaos-seed 7]
+    python -m repro journal run.wj1
+    python -m repro soak    [--mode pooled] [--scenario kill-worker]
+                            [--out soak.json]
     python -m repro trace   session.warr --app sites --out trace.json
     python -m repro inspect session.warr
     python -m repro weberr  session.warr --app sites --campaign timing
@@ -26,6 +31,14 @@ application servers are registered, every response comes off the tape.
 ``replay`` and ``batch`` accept ``--tape PATH --tape-mode
 record|playback`` to do the same inline (batch mode treats PATH as a
 directory holding one ``<label>.tape`` per trace).
+
+``batch --journal`` appends every trace's start and final outcome to a
+crash-safe run journal; after a crash, a SIGTERM drain (exit code 75),
+or a kill, ``--resume`` replays completed traces from the journal and
+executes only the remainder. ``journal`` inspects one, and ``soak``
+runs the whole failure matrix — killed workers, drained runs, crashed
+parents — asserting exactly-once accounting across all three batch
+backends.
 
 ``replay --trace-out`` and the dedicated ``trace`` subcommand record a
 Chrome trace-event timeline of the replay (IPC, dispatch, layout,
@@ -199,9 +212,25 @@ def batch_browser_factory(app, seed=0, client_only=False):
     return factory
 
 
+def _chaos_scope_from_args(args):
+    """``chaos.active(...)`` for ``--chaos PROFILE``, or a no-op scope."""
+    import contextlib
+
+    if not getattr(args, "chaos", None):
+        return contextlib.nullcontext()
+    from repro import chaos
+
+    return chaos.active(chaos.get_profile(args.chaos),
+                        seed=getattr(args, "chaos_seed", 0))
+
+
 def cmd_batch(args, out):
     """Replay many traces, each on an isolated browser instance."""
+    from repro.session.supervisor import GracefulDrain
+
     _app_entry(args.app)  # validate before any worker inherits the name
+    if args.resume and not args.journal:
+        raise SystemExit("--resume needs --journal PATH")
     traces = [WarrTrace.load(path) for path in args.traces]
     tape = _tape_config_from_args(args)
     playback = tape is not None and tape.mode == PLAYBACK
@@ -219,25 +248,100 @@ def cmd_batch(args, out):
     runner = BatchRunner(factory, timing=_timing_from_args(args),
                          workers=args.workers, shards=args.shards,
                          trace_timeout=args.trace_timeout, tape=tape,
-                         trace_categories=args.trace_categories)
-    batch = runner.run(traces, labels=args.traces,
-                       trace_dir=args.trace_dir)
+                         trace_categories=args.trace_categories,
+                         journal=args.journal, resume=args.resume)
+    with _chaos_scope_from_args(args):
+        with GracefulDrain() as drain:
+            batch = runner.run(traces, labels=args.traces,
+                               trace_dir=args.trace_dir, drain=drain)
     if args.trace_dir:
         print("traces: wrote %d per-session trace(s) + batch.trace.json "
               "to %s" % (batch.trace_count, args.trace_dir), file=out)
     for run in batch.runs:
-        print("[%s] %s" % (run.label, run.report.summary()), file=out)
+        resumed = " (resumed from journal)" if run.resumed else ""
+        print("[%s] %s%s" % (run.label, run.report.summary(), resumed),
+              file=out)
         if args.failures:
             for result in run.report.failures():
                 print("[%s] failed: %s (%s)"
                       % (run.label, result.command.to_line(), result.error),
                       file=out)
     print(batch.summary(), file=out)
+    for diagnosis in batch.quarantined:
+        print("quarantined: %s after %d attempt(s) on workers %s — %s"
+              % (diagnosis.get("label"), diagnosis.get("attempts", 0),
+                 diagnosis.get("workers"), diagnosis.get("reason")),
+              file=out)
+        tail = (diagnosis.get("stderr_tail") or "").strip()
+        if tail:
+            print("quarantined: last stderr: %s"
+                  % tail.splitlines()[-1], file=out)
     for name in sorted(batch.perf_counters):
         counts = batch.perf_counters[name]
         print("perf: %s %d hits / %d misses"
               % (name, counts["hits"], counts["misses"]), file=out)
+    if batch.drained:
+        if args.journal:
+            print("drained: run interrupted; resume with "
+                  "--journal %s --resume" % args.journal, file=out)
+        else:
+            print("drained: run interrupted (no journal; a re-run "
+                  "starts from scratch)", file=out)
+        return 75  # EX_TEMPFAIL: incomplete but cleanly resumable
     return 0 if batch.complete and batch.page_error_count == 0 else 1
+
+
+def cmd_journal(args, out):
+    """Inspect a WJ1 run journal and verify exactly-once accounting."""
+    from repro.session import journal as run_journal
+
+    snapshot = run_journal.read_journal(args.journal)
+    config = snapshot.config or {}
+    print("journal: %s" % args.journal, file=out)
+    if config:
+        print("mode: %s; %d trace(s)"
+              % (config.get("mode", "?"), len(config.get("entries", ()))),
+              file=out)
+    finishes = snapshot.finish_by_index()
+    for index in sorted(finishes):
+        record = finishes[index]
+        worker = ("worker %d" % record.worker_id
+                  if record.worker_id is not None else "in-process")
+        print("[%s] %s after %d attempt(s) on %s"
+              % (record.label, record.status, record.attempts, worker),
+              file=out)
+    for event in snapshot.events:
+        print("event: %s %s" % (event.kind, event.payload or ""), file=out)
+    verdict = run_journal.verify_exactly_once(args.journal)
+    print("finished %d/%d; duplicates: %s; torn bytes: %d"
+          % (verdict["finished"], verdict["traces"],
+             verdict["duplicates"] or "none", verdict["torn_bytes"]),
+          file=out)
+    if verdict["missing"]:
+        print("unfinished: %s" % ", ".join(verdict["missing"]), file=out)
+    print("exactly-once: %s" % ("yes" if verdict["exactly_once"] else "NO"),
+          file=out)
+    return 0 if verdict["exactly_once"] else 1
+
+
+def cmd_soak(args, out):
+    """Kill-and-resume soak: prove no trace is lost or double-counted."""
+    from repro.chaos.harness import run_soak
+
+    report = run_soak(app=args.app, mode=args.mode, traces=args.traces,
+                      seed=args.seed, throttle=args.throttle,
+                      scenarios=args.scenario, journal_dir=args.keep_journals,
+                      verbose=args.verbose,
+                      progress=lambda line: print(line, file=out))
+    for line in report.summary_lines():
+        print(line, file=out)
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print("soak report written to %s" % args.out, file=out)
+    return 0 if report.passed else 1
 
 
 def cmd_trace(args, out):
@@ -499,7 +603,52 @@ def build_parser():
                        help="record every session's network, or replay "
                             "hermetically from the tapes (default: "
                             "playback when --tape is given)")
+    batch.add_argument("--journal", default=None, metavar="PATH",
+                       help="append every trace's start and outcome to a "
+                            "crash-safe WJ1 run journal at PATH")
+    batch.add_argument("--resume", action="store_true",
+                       help="with --journal: replay completed traces from "
+                            "the journal and run only the remainder")
+    batch.add_argument("--chaos", default=None, metavar="PROFILE",
+                       help="run the batch under a fault profile (e.g. "
+                            "'farm' kills worker processes mid-chunk)")
+    batch.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                       help="seed for --chaos (fault schedule is "
+                            "deterministic per (profile, seed))")
     batch.set_defaults(func=cmd_batch)
+
+    journal = sub.add_parser(
+        "journal",
+        help="inspect a batch run journal and verify exactly-once "
+             "accounting")
+    journal.add_argument("journal", help="WJ1 journal file (see "
+                                         "batch --journal)")
+    journal.set_defaults(func=cmd_journal)
+
+    soak = sub.add_parser(
+        "soak",
+        help="resilience soak: kill workers and the batch itself "
+             "mid-run, resume from the journal, verify exactly-once")
+    soak.add_argument("--app", default="sites", choices=sorted(APPS))
+    soak.add_argument("--mode", nargs="*", default=None,
+                      choices=["serial", "sharded", "pooled"],
+                      help="batch backend(s) to soak (default: all three)")
+    soak.add_argument("--scenario", nargs="*", default=None,
+                      choices=["drain", "kill-worker", "crash-parent"],
+                      help="failure scenario(s) to run (default: all)")
+    soak.add_argument("--traces", type=int, default=6, metavar="N",
+                      help="traces per soak run")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--throttle", type=float, default=0.15,
+                      metavar="SECONDS",
+                      help="per-trace slowdown so signals land mid-run")
+    soak.add_argument("--keep-journals", default=None, metavar="DIR",
+                      help="keep every scenario's journal under DIR")
+    soak.add_argument("--out", default=None, metavar="PATH",
+                      help="write the JSON soak report to PATH")
+    soak.add_argument("--verbose", action="store_true",
+                      help="echo each subprocess's output")
+    soak.set_defaults(func=cmd_soak)
 
     tracecmd = sub.add_parser(
         "trace", help="replay a trace file with tracing and summarize it")

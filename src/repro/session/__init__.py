@@ -31,6 +31,18 @@ from repro.session.pool import (
     resolve_factory,
 )
 from repro.session.shard import ShardedRunner
+from repro.session.journal import (
+    JournalError,
+    RunJournal,
+    read_journal,
+    trace_digest,
+    verify_exactly_once,
+)
+from repro.session.supervisor import (
+    GracefulDrain,
+    SupervisorPolicy,
+    WorkerSupervisor,
+)
 from repro.session.wire import WireError, decode_report, encode_report
 
 __all__ = [
@@ -58,6 +70,14 @@ __all__ = [
     "register_factory",
     "resolve_factory",
     "ShardedRunner",
+    "JournalError",
+    "RunJournal",
+    "read_journal",
+    "trace_digest",
+    "verify_exactly_once",
+    "GracefulDrain",
+    "SupervisorPolicy",
+    "WorkerSupervisor",
     "WireError",
     "decode_report",
     "encode_report",

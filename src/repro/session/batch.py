@@ -24,8 +24,11 @@ path — same code, same determinism.
 """
 
 import os
+import time
 
 from repro import telemetry
+from repro.session import journal as run_journal
+from repro.session.supervisor import throttle_seconds
 from repro.session.engine import SessionEngine
 from repro.session.observers import PerfCountersObserver
 from repro.session.policies import FailurePolicy
@@ -35,10 +38,13 @@ from repro.session.report import RemoteError, ReplayReport
 class TraceRun:
     """One trace's outcome within a batch."""
 
-    def __init__(self, label, trace, report):
+    def __init__(self, label, trace, report, resumed=False):
         self.label = label
         self.trace = trace
         self.report = report
+        #: True when this run was replayed from a journal's finish
+        #: record (``--resume``) rather than executed in this process.
+        self.resumed = resumed
 
     def __repr__(self):
         return "TraceRun(%r, %s)" % (self.label, self.report.summary())
@@ -51,6 +57,12 @@ class BatchReport:
         self.runs = []
         #: {cache: {"hits", "misses", "hit_rate"}} across the batch.
         self.perf_counters = {}
+        #: Quarantine diagnosis bundles for poison traces (each a dict:
+        #: label, attempts, workers, stderr tail, chaos stamp, ...).
+        self.quarantined = []
+        #: True when a graceful drain stopped admission mid-run; the
+        #: journal (if any) is resumable.
+        self.drained = False
 
     def add(self, run):
         self.runs.append(run)
@@ -62,12 +74,14 @@ class BatchReport:
         Runs concatenate in the order given; perf counters sum through
         :meth:`~repro.session.observers.PerfCountersObserver.merge`, so
         hit rates are recomputed over the combined totals rather than
-        averaged.
+        averaged. Quarantine bundles concatenate; drain flags OR.
         """
         parts = list(reports)
         merged = cls()
         for report in parts:
             merged.runs.extend(report.runs)
+            merged.quarantined.extend(report.quarantined)
+            merged.drained = merged.drained or report.drained
         merged.perf_counters = PerfCountersObserver.merge(
             report.perf_counters for report in parts)
         return merged
@@ -101,19 +115,106 @@ class BatchReport:
         """True when every trace in the batch replayed completely."""
         return self.runs != [] and self.complete_count == self.trace_count
 
+    @property
+    def resumed_count(self):
+        """Traces replayed from the journal instead of executed."""
+        return sum(1 for run in self.runs if run.resumed)
+
     def failures(self):
         return [run for run in self.runs if not run.report.complete]
 
     def summary(self):
-        return (
+        text = (
             "batch: %d/%d trace(s) complete; replayed %d/%d commands "
             "(%d failed); %d page error(s)"
             % (self.complete_count, self.trace_count, self.replayed_count,
                self.command_count, self.failed_count, self.page_error_count)
         )
+        if self.resumed_count:
+            text += "; %d resumed from journal" % self.resumed_count
+        if self.quarantined:
+            text += "; %d quarantined" % len(self.quarantined)
+        if self.drained:
+            text += "; drained (resumable)"
+        return text
 
     def __repr__(self):
         return "BatchReport(%s)" % self.summary()
+
+
+class _RunHooks:
+    """Per-trace journaling and drain threading for one ``run()`` call.
+
+    One instance is shared by whichever backend executes the batch.
+    ``positions`` maps each *executed* trace's position in the
+    (possibly resume-filtered) sub-batch back to its original index in
+    the submitted batch, so journal records always speak in submission
+    indexes and a resumed run appends to the same address space.
+    """
+
+    def __init__(self, journal=None, positions=None, drain=None):
+        self.journal = journal
+        self.positions = positions
+        self.drain = drain
+        self.drain_seen = False
+
+    def index(self, position):
+        return position if self.positions is None else self.positions[position]
+
+    def on_start(self, position, label, attempt=1):
+        if self.journal is not None:
+            self.journal.start(self.index(position), label, attempt=attempt)
+
+    def on_report(self, position, label, report):
+        """A trace finished with a ReplayReport (serial/sharded path)."""
+        if self.journal is None:
+            return
+        status = run_journal.REPLAYED if report.complete \
+            else run_journal.FAILED
+        error = report.halt_reason if report.halted else None
+        error_class = (report.halt_error.type_name
+                       if report.halted and report.halt_error is not None
+                       else None)
+        self.journal.finish(self.index(position), label, status,
+                            report=report.to_dict(), error=error,
+                            error_class=error_class)
+
+    def on_outcome(self, outcome):
+        """A pooled trace reached its final outcome (PoolOutcome)."""
+        if self.journal is None or outcome.cancelled:
+            return
+        if outcome.report is not None:
+            complete = (not outcome.report.get("halted")
+                        and all(result.get("status") != "failed"
+                                for result in outcome.report.get(
+                                    "results", ())))
+            status = run_journal.REPLAYED if complete else run_journal.FAILED
+        elif outcome.quarantined is not None:
+            status = run_journal.QUARANTINED
+        else:
+            status = run_journal.FAILED
+        self.journal.finish(
+            self.index(outcome.index), outcome.label, status,
+            attempts=outcome.attempts, worker_id=outcome.worker_id,
+            report=outcome.report, error=outcome.error,
+            error_class=outcome.error_class,
+            diagnosis=outcome.quarantined)
+
+    def drain_requested(self):
+        """The backend's admission gate; journals the first request."""
+        if self.drain is None:
+            return False
+        if not self.drain():
+            return False
+        if not self.drain_seen:
+            self.drain_seen = True
+            if self.journal is not None:
+                self.journal.event("drain")
+        return True
+
+    def event(self, kind, **payload):
+        if self.journal is not None:
+            self.journal.event(kind, **payload)
 
 
 class BatchRunner:
@@ -133,12 +234,21 @@ class BatchRunner:
     ``trace_timeout`` (seconds, ``workers > 1`` only) bounds any single
     trace: an over-deadline trace gets its worker killed and is
     re-queued once before being reported failed.
+
+    ``journal`` (a file path) makes the run durable: every trace's
+    start and final outcome is appended, fsync'd, to a WJ1 run journal
+    (:mod:`repro.session.journal`), reports included. With
+    ``resume=True`` and an existing journal, completed traces are
+    replayed *from the journal* (marked ``resumed`` on their TraceRun)
+    and only the remainder executes — the recovery path after a crash,
+    a kill, or a graceful drain.
     """
 
     def __init__(self, browser_factory, driver_config=None, timing=None,
                  locator=None, failure=None, retry=None, observers=None,
                  workers=1, shards=1, trace_timeout=None, pool=None,
-                 tape=None, trace_categories=None):
+                 tape=None, trace_categories=None, journal=None,
+                 resume=False):
         self.browser_factory = browser_factory
         #: Category spec for traced runs (``trace_dir`` set): anything
         #: :func:`~repro.telemetry.tracer.resolve_categories` accepts,
@@ -174,13 +284,31 @@ class BatchRunner:
         self.pool = pool
         if pool is not None:
             self.workers = max(self.workers, pool.workers)
+        #: Run-journal path (WJ1); None disables journaling.
+        self.journal = journal
+        self.resume = bool(resume)
+        if resume and journal is None:
+            raise ValueError("resume=True needs a journal path")
 
-    def run(self, traces, labels=None, trace_dir=None):
+    @property
+    def mode(self):
+        """The batch backend this runner would use."""
+        if self.workers > 1 or self.pool is not None:
+            return "pooled"
+        return "sharded" if self.shards > 1 else "serial"
+
+    def run(self, traces, labels=None, trace_dir=None, drain=None):
         """Replay every trace on its own browser; returns a BatchReport.
 
         With ``trace_dir`` set, runs the batch under telemetry tracing
         and writes one Chrome trace file per trace plus the merged
         ``batch.trace.json`` timeline into that directory.
+
+        ``drain`` is a zero-argument callable (e.g. a
+        :class:`~repro.session.supervisor.GracefulDrain`): once it
+        returns True, admission stops, in-flight traces finish, and the
+        report comes back with ``drained=True`` — with a journal, the
+        run is resumable from exactly that point.
         """
         traces = list(traces)
         if labels is None:
@@ -188,31 +316,121 @@ class BatchRunner:
                                      for index, trace in enumerate(traces)])
         if len(labels) != len(traces):
             raise ValueError("need one label per trace")
+        if self.journal is None:
+            hooks = _RunHooks(drain=drain)
+            batch = self._execute(traces, labels, trace_dir, hooks)
+            batch.drained = batch.drained or hooks.drain_seen
+            return batch
+        return self._run_journaled(traces, labels, trace_dir, drain)
+
+    def _run_journaled(self, traces, labels, trace_dir, drain):
+        """The durable path: journal every outcome; resume skips done."""
+        # One trace object fanned out across many labels (the common
+        # stress-batch shape) hashes once, not once per label.
+        digest_memo = {}
+        digests = []
+        for trace in traces:
+            digest = digest_memo.get(id(trace))
+            if digest is None:
+                digest = run_journal.trace_digest(trace.to_text())
+                digest_memo[id(trace)] = digest
+            digests.append(digest)
+        finished = {}
+        if self.resume and os.path.exists(self.journal):
+            journal, snapshot = run_journal.RunJournal.resume(
+                self.journal, labels, digests)
+            finished = {index: record for index, record
+                        in snapshot.finish_by_index().items()
+                        if index < len(traces)}
+        else:
+            journal = run_journal.RunJournal.create(
+                self.journal,
+                run_journal.batch_config(labels, digests, self.mode))
+        remaining = [index for index in range(len(traces))
+                     if index not in finished]
+        hooks = _RunHooks(journal=journal, positions=remaining, drain=drain)
+        try:
+            if remaining:
+                fresh = self._execute([traces[i] for i in remaining],
+                                      [labels[i] for i in remaining],
+                                      trace_dir, hooks)
+            else:
+                fresh = BatchReport()
+        finally:
+            journal.close()
+        # Reassemble in submission order: journal-replayed runs fill the
+        # slots the backend never saw. Labels are already deduped, so
+        # they address runs unambiguously.
+        fresh_by_label = {run.label: run for run in fresh.runs}
+        batch = BatchReport()
+        batch.perf_counters = fresh.perf_counters
+        batch.quarantined = list(fresh.quarantined)
+        batch.drained = fresh.drained or hooks.drain_seen
+        for index, (label, trace) in enumerate(zip(labels, traces)):
+            if index in finished:
+                run = self._run_from_record(label, trace, finished[index])
+                batch.add(run)
+                if finished[index].diagnosis is not None:
+                    batch.quarantined.append(finished[index].diagnosis)
+            elif label in fresh_by_label:
+                batch.add(fresh_by_label[label])
+            # else: never admitted (halt or drain) — absent from the
+            # report, unfinished in the journal, re-run on resume.
+        return batch
+
+    @staticmethod
+    def _run_from_record(label, trace, record):
+        """Reconstruct a TraceRun from a journal finish record."""
+        if record.report is not None:
+            report = ReplayReport.from_dict(record.report, trace=trace)
+        else:
+            report = ReplayReport(trace)
+            report.halted = True
+            report.halt_reason = (record.error
+                                  or "failed in journaled run")
+            report.halt_error = RemoteError(
+                report.halt_reason,
+                type_name=record.error_class or "WorkerError")
+        return TraceRun(label, trace, report, resumed=True)
+
+    def _execute(self, traces, labels, trace_dir, hooks):
+        """Dispatch to the serial/sharded/pooled backend."""
         if self.workers > 1 or self.pool is not None:
-            return self._run_pooled(traces, labels, trace_dir)
+            return self._run_pooled(traces, labels, trace_dir, hooks)
         execute = self._run_sharded if self.shards > 1 else self._run
         if trace_dir is None:
-            return execute(traces, labels, tracer=None, trace_dir=None)
+            return execute(traces, labels, tracer=None, trace_dir=None,
+                           hooks=hooks)
         os.makedirs(trace_dir, exist_ok=True)
         if telemetry.enabled():
             # A caller already installed a tracer (e.g. an outer
             # tracing() block) — record into it rather than nesting.
             return execute(traces, labels, tracer=telemetry.current(),
-                           trace_dir=trace_dir)
+                           trace_dir=trace_dir, hooks=hooks)
         with telemetry.tracing(categories=self.trace_categories) as tracer:
             batch = execute(traces, labels, tracer=tracer,
-                            trace_dir=trace_dir)
+                            trace_dir=trace_dir, hooks=hooks)
             telemetry.write_trace(
                 os.path.join(trace_dir, "batch.trace.json"), tracer)
         return batch
 
     # -- serial (in-process) execution --------------------------------------
 
-    def _run(self, traces, labels, tracer, trace_dir):
+    def _run(self, traces, labels, tracer, trace_dir, hooks=None):
+        hooks = hooks if hooks is not None else _RunHooks()
         batch = BatchReport()
         perf_totals = PerfCountersObserver()
         used_stems = set()
-        for label, trace in zip(labels, traces):
+        throttle = throttle_seconds()
+        for position, (label, trace) in enumerate(zip(labels, traces)):
+            if hooks.drain_requested():
+                # Graceful drain: stop admission; everything already
+                # finished is journaled, the rest resumes later.
+                batch.drained = True
+                break
+            hooks.on_start(position, label)
+            if throttle:
+                time.sleep(throttle)
             browser = self.browser_factory()
             tape_session = (self.tape.attach(browser.network, label)
                             if self.tape is not None else None)
@@ -241,6 +459,7 @@ class BatchRunner:
                 if tape_session is not None:
                     tape_session.finish()
             batch.add(TraceRun(label, trace, report))
+            hooks.on_report(position, label, report)
             if tracer is not None and trace_dir is not None:
                 stem = _unique_stem(label, used_stems)
                 telemetry.write_trace(
@@ -261,7 +480,7 @@ class BatchRunner:
 
     # -- sharded (in-process interleaved) execution ---------------------------
 
-    def _run_sharded(self, traces, labels, tracer, trace_dir):
+    def _run_sharded(self, traces, labels, tracer, trace_dir, hooks=None):
         from repro.session.shard import ShardedRunner
 
         runner = ShardedRunner(
@@ -276,14 +495,16 @@ class BatchRunner:
                     os.path.join(trace_dir, "%s.trace.json" % stem),
                     tracer, events=events)
         return runner.run(traces, labels, tracer=tracer,
-                          trace_dir=trace_dir, write_trace=write_trace)
+                          trace_dir=trace_dir, write_trace=write_trace,
+                          hooks=hooks)
 
     # -- pooled (multiprocess) execution -------------------------------------
 
-    def _run_pooled(self, traces, labels, trace_dir):
+    def _run_pooled(self, traces, labels, trace_dir, hooks=None):
         from repro.session.pool import WorkerPool, WorkerSpec
         from repro.telemetry.merge import TraceMerger
 
+        hooks = hooks if hooks is not None else _RunHooks()
         if self.observers:
             raise ValueError(
                 "standing observers cannot follow sessions into worker "
@@ -312,6 +533,10 @@ class BatchRunner:
             os.makedirs(trace_dir, exist_ok=True)
         tasks = [(label, trace.to_text())
                  for label, trace in zip(labels, traces)]
+        # Journal every admission up front: the pool schedules chunks
+        # dynamically, so "started" means "handed to the farm".
+        for position, label in enumerate(labels):
+            hooks.on_start(position, label)
         try:
             # A borrowed pool keeps its workers warm for the caller's
             # next batch; its chunks run under *this* runner's policies.
@@ -319,15 +544,26 @@ class BatchRunner:
                 tasks,
                 tracing=(self.trace_categories or True) if tracing_on
                 else False,
-                engine_config=engine_config, tape=self.tape)
+                engine_config=engine_config, tape=self.tape,
+                on_outcome=hooks.on_outcome,
+                drain=hooks.drain_requested if hooks.drain is not None
+                else None)
         finally:
             if owned:
                 pool.close()
+        if pool.stats.get("degraded"):
+            hooks.event("degraded", deaths=pool.supervisor.deaths)
         merger = TraceMerger()
         merger.dropped += dropped
         used_stems = set()
         shards = []
+        drained = False
         for outcome, label, trace in zip(outcomes, labels, traces):
+            if outcome.cancelled:
+                # Recalled by a graceful drain before it ran: no run,
+                # no journal finish — it re-runs on resume.
+                drained = True
+                continue
             if outcome.report is not None:
                 report = ReplayReport.from_dict(outcome.report, trace=trace)
             else:
@@ -344,6 +580,8 @@ class BatchRunner:
             shard = BatchReport()
             shard.add(TraceRun(label, trace, report))
             shard.perf_counters = report.perf_counters
+            if outcome.quarantined is not None:
+                shard.quarantined.append(outcome.quarantined)
             shards.append(shard)
             if tracing_on and outcome.events is not None:
                 events, metadata = merger.add_session(
@@ -354,6 +592,7 @@ class BatchRunner:
                     os.path.join(trace_dir, "%s.trace.json" % stem),
                     telemetry.to_trace_dict_raw(events, metadata=metadata))
         batch = BatchReport.merge(shards)
+        batch.drained = drained
         if tracing_on:
             telemetry.write_trace_dict(
                 os.path.join(trace_dir, "batch.trace.json"),

@@ -1,4 +1,4 @@
-"""Multiprocess batch replay: the persistent warm worker-pool backend.
+"""Multiprocess batch replay: the supervised warm worker-pool backend.
 
 Once single-session replay is fast, the next multiplier is running many
 replays at once — every session in a batch is fully isolated by
@@ -21,25 +21,39 @@ deletes the overhead:
 - **compact result shipping** — workers encode each report with
   :mod:`repro.session.wire` (string-interned, varint-packed binary)
   and the queue carries one flat ``bytes`` blob; the parent decodes
-  once. Telemetry slices (tracing runs only) ride alongside in the
-  same spirit: raw packed ring-buffer records plus the worker's
-  string-intern tables
-  (:meth:`~repro.telemetry.packed.PackedRingBuffer.wire_slice`), one
-  ``bytes`` chunk per session instead of one dict per event, decoded
-  and pid-remapped by the parent's
-  :class:`~repro.telemetry.merge.TraceMerger`.
+  once. Telemetry slices (tracing runs only) ride alongside as raw
+  packed ring-buffer records plus the worker's string-intern tables
+  (:meth:`~repro.telemetry.packed.PackedRingBuffer.wire_slice`).
 - **blocking result drain** — the parent sleeps in
   ``multiprocessing.connection.wait`` on the result pipe plus every
   worker's death sentinel; an idle parent burns no CPU and still wakes
-  instantly for results *and* crashes. Only a live per-trace deadline
-  (``trace_timeout``) forces a polling cadence.
+  instantly for results *and* crashes. Only live deadlines (per-trace
+  timeout, heartbeat watch, respawn backoff, drain) force a polling
+  cadence.
 
-Containment is unchanged in spirit: a worker that dies mid-trace
-(segfault, ``os._exit``, OOM kill) fails only its in-flight trace — the
-rest of its chunk is re-queued untouched as singles and a replacement
-worker spawns; with ``trace_timeout`` set, an over-deadline trace gets
-its worker killed and is re-queued *once* (a transient stall deserves a
-second chance; a deterministic hang does not).
+Containment and supervision (see :mod:`repro.session.supervisor`):
+
+- a worker that dies mid-trace (segfault, ``os._exit``, OOM kill, an
+  injected ``worker`` chaos kill) fails only its in-flight trace; the
+  rest of its chunk re-queues untouched as singles;
+- a trace that times out or loses its worker is re-queued **once**; a
+  second timeout/crash on a *different* worker quarantines it with a
+  diagnosis bundle (attempt history, commands completed at death, the
+  worker's stderr tail, the active chaos ``(profile, seed)`` stamp)
+  instead of burning workers forever — poison traces are data, not
+  retries;
+- worker kills escalate ``terminate() → join(kill_grace) → kill()``,
+  so a SIGTERM-masking worker cannot wedge the reaper;
+- respawns back off exponentially, and repeated deaths with no
+  progress trip a circuit breaker that degrades the pool to in-process
+  serial execution of the remainder (warning + ``pool.degraded``
+  counter) — the batch still finishes;
+- with ``heartbeat=N`` each worker posts liveness beats over the
+  result pipe; a silent worker (SIGSTOP, wedged C call) is detected
+  and contained even when no per-trace deadline is set;
+- ``run(..., drain=flag)`` supports graceful drain: queued chunks are
+  recalled, in-flight traces finish, and cancelled outcomes are
+  reported as such so a journal-backed batch can resume them later.
 
 The parent merges everything into one
 :class:`~repro.session.batch.BatchReport` via
@@ -51,14 +65,31 @@ merge through :class:`~repro.telemetry.merge.TraceMerger`.
 
 import importlib
 import multiprocessing
+import os
 import pickle
 import queue as queue_module
+import shutil
+import tempfile
 import time
 import traceback
+import warnings
 from multiprocessing.connection import wait as _connection_wait
 
+from repro import chaos, perf
 from repro.session import wire
+from repro.session.supervisor import (
+    SupervisorPolicy,
+    WorkerSupervisor,
+    start_heartbeat,
+    tail_text,
+    throttle_seconds,
+)
 from repro.telemetry.events import DEFAULT_BUFFER_SIZE
+
+#: Error classes eligible for quarantine: the trace took its worker
+#: down (or past a deadline) twice — a worker-side Python exception is
+#: deterministic app behavior, not poison.
+QUARANTINE_CLASSES = ("TimeoutError", "WorkerCrashError", "WorkerHangError")
 
 #: Builders registered under a plain name for WorkerSpec resolution.
 _factory_builders = {}
@@ -168,7 +199,8 @@ class PoolOutcome:
     """One trace's result as it came back over the result queue."""
 
     __slots__ = ("index", "label", "report", "events", "metadata",
-                 "error", "error_class", "worker_id", "attempts")
+                 "error", "error_class", "worker_id", "attempts",
+                 "quarantined", "cancelled")
 
     def __init__(self, index, label):
         self.index = index
@@ -184,18 +216,26 @@ class PoolOutcome:
         self.error = None
         #: Discriminates *how* the trace failed: ``"TimeoutError"`` for a
         #: per-trace deadline kill, ``"WorkerCrashError"`` for a dead
-        #: worker process, or the worker-side exception class name.
+        #: worker process, ``"WorkerHangError"`` for a lost heartbeat,
+        #: or the worker-side exception class name.
         self.error_class = None
         self.worker_id = None
         self.attempts = 1
+        #: Quarantine diagnosis bundle (dict) when the trace killed two
+        #: different workers; None otherwise.
+        self.quarantined = None
+        #: True when a graceful drain recalled the trace before it ran.
+        self.cancelled = False
 
     @property
     def ok(self):
         return self.report is not None
 
     def __repr__(self):
-        return "PoolOutcome(%d, %r, %s)" % (
-            self.index, self.label, "ok" if self.ok else "failed")
+        state = ("ok" if self.ok else
+                 "cancelled" if self.cancelled else
+                 "quarantined" if self.quarantined else "failed")
+        return "PoolOutcome(%d, %r, %s)" % (self.index, self.label, state)
 
 
 def plan_chunks(count, workers, chunk_size=None):
@@ -230,7 +270,7 @@ def plan_chunks(count, workers, chunk_size=None):
 
 
 def _replay_task(factory, engine_config, trace_text, tracer, tape=None,
-                 label=None):
+                 label=None, observers=None):
     """Replay one trace on a fresh browser; returns a portable payload."""
     from repro.core.trace import WarrTrace
     from repro.session.engine import SessionEngine
@@ -248,7 +288,8 @@ def _replay_task(factory, engine_config, trace_text, tracer, tape=None,
         tracer.clock = browser.clock
         mark = tracer.mark()
     try:
-        engine = SessionEngine(browser, **engine_config)
+        engine = SessionEngine(browser, observers=observers,
+                               **engine_config)
         report = engine.run(trace)
     finally:
         if tracer is not None:
@@ -265,21 +306,82 @@ def _replay_task(factory, engine_config, trace_text, tracer, tape=None,
     return payload
 
 
+class _ProgressObserver:
+    """Mirrors per-trace command completion into shared memory.
+
+    The dying worker can't tell the parent how far it got; this
+    observer can — it bumps the worker's shared progress slot after
+    every finished command, so the quarantine diagnosis bundle carries
+    an honest "N commands completed" checkpoint even for a SIGKILL.
+    """
+
+    __slots__ = ("progress", "slot")
+
+    def __init__(self, progress, slot):
+        self.progress = progress
+        self.slot = slot
+
+    def on_event(self, event):
+        if event.kind == "command-finished":
+            self.progress[self.slot] += 1
+
+
+def _farm_kill_stream(worker_id):
+    """The worker's private chaos stream for farm-level kills.
+
+    Returns ``(rng, rate)`` — or ``(None, 0)`` when no injector with a
+    live ``worker`` layer is installed. Workers inherit the parent's
+    injector under ``fork``, so ``chaos.active(profile, seed)`` around
+    a pooled batch turns chaos on the farm itself; the stream is
+    derived from ``(seed, worker_id)`` so each worker's kill schedule
+    is deterministic and distinct.
+    """
+    injector = chaos.current()
+    if injector is None:
+        return None, 0.0
+    rate = getattr(injector.profile, "worker_kill_rate", 0.0)
+    if rate <= 0.0:
+        return None, 0.0
+    from repro.chaos.injector import _stable_child_seed
+    from repro.util.rng import SeededRandom
+
+    return SeededRandom(_stable_child_seed(
+        injector.seed, "chaos.worker.%d" % worker_id)), rate
+
+
 def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
-                 result_queue, current, chunk_current):
+                 result_queue, current, chunk_current, progress,
+                 heartbeat=None, stderr_path=None):
     """Worker loop: serve chunks until the shutdown sentinel.
 
     The worker persists across batches: the browser factory is built
     once (first task) and reused, and a tracer is installed/uninstalled
     as batches toggle tracing. Every result ships as one wire-encoded
-    blob plus the tracer's drop-count delta.
+    blob plus the tracer's drop-count delta. ``stderr_path`` captures
+    fd 2 (tracebacks, native aborts) for post-mortem diagnosis;
+    ``heartbeat`` starts the liveness beat thread.
     """
     from repro import telemetry
     from repro.telemetry.tracer import Tracer, resolve_categories
 
+    if stderr_path is not None:
+        try:
+            fd = os.open(stderr_path,
+                         os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o600)
+            os.dup2(fd, 2)
+            os.close(fd)
+        except OSError:
+            pass
     # A fork inherits the parent's installed tracer (if any); the worker
-    # records into its own private buffer instead.
+    # records into its own private buffer instead. The chaos injector
+    # is deliberately *kept*: chaos.active around a pooled batch means
+    # chaos inside the workers too (including the farm's worker layer).
     telemetry.uninstall()
+    beat_stop = None
+    if heartbeat:
+        beat_stop = start_heartbeat(result_queue, worker_id, heartbeat)
+    kill_rng, kill_rate = _farm_kill_stream(worker_id)
+    throttle = throttle_seconds()
     tracer = None
     tracer_cats = None
     factory = None
@@ -314,11 +416,27 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
             # code runs so the parent can attribute a crash even when
             # the dying process never flushes a message.
             current[slot] = index
+            progress[slot] = 0
+            # Farm chaos: a live ``worker`` layer may kill this process
+            # mid-chunk, exactly like an OOM kill would — containment
+            # and the journal must absorb it.
+            if kill_rng is not None and kill_rng.random() < kill_rate:
+                # Flush results already handed to the queue's feeder
+                # thread before dying: the simulated kill means "this
+                # process dies between traces", not "the pipe eats
+                # finished work in transit".
+                result_queue.close()
+                result_queue.join_thread()
+                os._exit(137)
+            if throttle:
+                time.sleep(throttle)
             try:
                 if factory is None:
                     factory = spec.make_factory()
-                payload = _replay_task(factory, engine_config, trace_text,
-                                       tracer, tape=tape, label=label)
+                payload = _replay_task(
+                    factory, engine_config, trace_text, tracer, tape=tape,
+                    label=label,
+                    observers=[_ProgressObserver(progress, slot)])
                 blob = wire.encode_report(payload["report"])
                 dropped = 0
                 if tracer is not None:
@@ -333,6 +451,8 @@ def _worker_main(slot, worker_id, spec, default_engine_config, task_queue,
             result_queue.put(message)
             current[slot] = -1
         chunk_current[slot] = -1
+    if beat_stop is not None:
+        beat_stop.set()
     result_queue.put(("bye", -1, worker_id))
 
 
@@ -343,22 +463,31 @@ class _WorkerHandle:
     """Parent-side view of one worker slot."""
 
     __slots__ = ("slot", "worker_id", "process", "inflight_index",
-                 "inflight_since", "finished")
+                 "inflight_since", "finished", "last_beat", "stderr_path",
+                 "chunks_seen")
 
-    def __init__(self, slot, worker_id, process):
+    def __init__(self, slot, worker_id, process, stderr_path=None):
         self.slot = slot
         self.worker_id = worker_id
         self.process = process
         self.inflight_index = -1
         self.inflight_since = None
         self.finished = False
+        #: Last proof of life (spawn, heartbeat, or any message).
+        self.last_beat = time.monotonic()
+        self.stderr_path = stderr_path
+        #: Every chunk id this worker was observed holding — the
+        #: casualty sweep requeues unfinished work from *all* of them,
+        #: since a result enqueued just before death may never have
+        #: made it out of the dying process's outbox.
+        self.chunks_seen = set()
 
 
 class _BatchState:
     """Book-keeping for one ``run()`` call."""
 
     __slots__ = ("batch_id", "tasks", "outcomes", "done", "requeued",
-                 "dropped", "chunks")
+                 "dropped", "chunks", "cancelled", "failed_on")
 
     def __init__(self, batch_id, tasks):
         self.batch_id = batch_id
@@ -369,14 +498,20 @@ class _BatchState:
         self.requeued = set()   # task indexes already given a 2nd try
         self.dropped = 0
         self.chunks = {}        # chunk_id -> [task indexes]
+        self.cancelled = set()  # task indexes recalled by a drain
+        #: index -> (worker_id, error_class, reason) of the first
+        #: containment failure — the quarantine decision needs to know
+        #: whether the second failure hit a *different* worker.
+        self.failed_on = {}
 
     @property
     def complete(self):
-        return all(self.done)
+        return all(done or index in self.cancelled
+                   for index, done in enumerate(self.done))
 
 
 class WorkerPool:
-    """Replays traces across N persistent worker processes.
+    """Replays traces across N persistent, supervised worker processes.
 
     ``spec`` describes the browser factory; the engine policy objects
     (all picklable strategy objects) configure every worker's
@@ -385,12 +520,20 @@ class WorkerPool:
     (or eagerly via :meth:`start`) and persist until :meth:`close` —
     use the pool as a context manager, or let a
     :class:`~repro.session.batch.BatchRunner` own an ephemeral one.
+
+    Supervision knobs: ``kill_grace`` bounds the SIGTERM→SIGKILL
+    escalation, ``heartbeat`` (seconds) turns on worker liveness beats
+    with ``hang_timeout`` (default ``6 * heartbeat``) as the silence
+    budget, and ``supervision`` (a
+    :class:`~repro.session.supervisor.SupervisorPolicy`) tunes respawn
+    backoff and the degradation breaker.
     """
 
     def __init__(self, spec, workers, driver_config=None, timing=None,
                  locator=None, failure=None, retry=None, trace_timeout=None,
                  poll_interval=0.05, drain_timeout=10.0, context=None,
-                 chunk_size=None):
+                 chunk_size=None, kill_grace=1.0, heartbeat=None,
+                 hang_timeout=None, supervision=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         if not isinstance(spec, WorkerSpec):
@@ -409,6 +552,13 @@ class WorkerPool:
         self.poll_interval = poll_interval
         self.drain_timeout = drain_timeout
         self.chunk_size = chunk_size
+        self.kill_grace = kill_grace
+        self.heartbeat = heartbeat
+        self.hang_timeout = (hang_timeout if hang_timeout is not None
+                             else (heartbeat * 6 if heartbeat else None))
+        self._supervisor = WorkerSupervisor(
+            supervision if isinstance(supervision, SupervisorPolicy)
+            or supervision is None else SupervisorPolicy(**supervision))
         self._context = context if context is not None else _default_context()
         self._started = False
         self._closed = False
@@ -420,10 +570,20 @@ class WorkerPool:
         self._result_queue = None
         self._current = None        # shared: in-flight task index per slot
         self._chunk_current = None  # shared: in-flight chunk id per slot
-        #: Observability: parent wakeups during result collection. The
-        #: no-busy-wait regression test pins this down — an idle parent
-        #: waiting on one slow trace must sleep, not poll.
-        self.stats = {"wakeups": 0, "batches": 0}
+        self._progress = None       # shared: commands finished per slot
+        self._stderr_dir = None
+        #: Observability: parent wakeups during result collection (the
+        #: no-busy-wait regression test pins this down), plus the
+        #: supervision ledger — respawns, heartbeat hangs, quarantines,
+        #: breaker degradations, and results abandoned at close().
+        self.stats = {"wakeups": 0, "batches": 0, "abandoned": 0,
+                      "respawns": 0, "hangs": 0, "quarantined": 0,
+                      "degraded": 0}
+
+    @property
+    def supervisor(self):
+        """The pool's death/respawn ledger (read-mostly for callers)."""
+        return self._supervisor
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -438,6 +598,8 @@ class WorkerPool:
         self._result_queue = ctx.Queue()
         self._current = ctx.Array("i", [-1] * self.workers)
         self._chunk_current = ctx.Array("i", [-1] * self.workers)
+        self._progress = ctx.Array("i", [0] * self.workers)
+        self._stderr_dir = tempfile.mkdtemp(prefix="repro-pool-")
         for slot in range(self.workers):
             self._spawn(slot)
         self._started = True
@@ -448,14 +610,20 @@ class WorkerPool:
         self._next_worker_id += 1
         self._current[slot] = -1
         self._chunk_current[slot] = -1
+        self._progress[slot] = 0
+        stderr_path = (os.path.join(self._stderr_dir,
+                                    "worker-%d.stderr" % worker_id)
+                       if self._stderr_dir else None)
         process = self._context.Process(
             target=_worker_main,
             args=(slot, worker_id, self.spec, self.engine_config,
                   self._task_queue, self._result_queue, self._current,
-                  self._chunk_current),
+                  self._chunk_current, self._progress, self.heartbeat,
+                  stderr_path),
             daemon=True)
         process.start()
-        self._handles[slot] = _WorkerHandle(slot, worker_id, process)
+        self._handles[slot] = _WorkerHandle(slot, worker_id, process,
+                                            stderr_path)
 
     def _replenish(self):
         """Refill slots whose worker died while the pool was idle (or
@@ -465,10 +633,29 @@ class WorkerPool:
             if handle is None or not handle.process.is_alive():
                 if handle is not None:
                     handle.process.join(0)
-                self._spawn(slot)
+                if slot not in self._supervisor.pending_slots():
+                    self._spawn(slot)
+
+    def _stop_process(self, process):
+        """Escalating kill: ``terminate → join(grace) → kill``.
+
+        A worker that masks SIGTERM (or is wedged in a signal-immune
+        state) gets SIGKILL after ``kill_grace`` — the reaper must
+        never block on a process's cooperation.
+        """
+        process.terminate()
+        process.join(self.kill_grace)
+        if process.is_alive():
+            process.kill()
+            process.join(self.drain_timeout)
 
     def close(self):
-        """Retire the workers and release the queues (idempotent)."""
+        """Retire the workers and release the queues (idempotent).
+
+        Results that were already computed but never collected (a
+        batch abandoned mid-drain) are counted in
+        ``stats["abandoned"]`` rather than silently discarded.
+        """
         if not self._started or self._closed:
             self._closed = True
             return
@@ -488,20 +675,27 @@ class WorkerPool:
                 continue
             if message[0] == "bye":
                 pending.discard(message[2])
+            elif message[0] in ("result", "error"):
+                self.stats["abandoned"] += 1
         for handle in self._handles.values():
             handle.process.join(max(0.0, deadline - time.monotonic()))
             if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(self.drain_timeout)
+                self._stop_process(handle.process)
         for q in (self._task_queue, self._result_queue):
             try:
                 while True:
-                    q.get_nowait()
+                    message = q.get_nowait()
+                    if q is self._result_queue \
+                            and message and message[0] in ("result", "error"):
+                        self.stats["abandoned"] += 1
             except (queue_module.Empty, OSError):
                 pass
             q.close()
             q.cancel_join_thread()
         self._handles = {}
+        if self._stderr_dir is not None:
+            shutil.rmtree(self._stderr_dir, ignore_errors=True)
+            self._stderr_dir = None
 
     def __enter__(self):
         return self.start()
@@ -512,7 +706,8 @@ class WorkerPool:
 
     # -- batch execution -----------------------------------------------------
 
-    def run(self, tasks, tracing=False, engine_config=None, tape=None):
+    def run(self, tasks, tracing=False, engine_config=None, tape=None,
+            on_outcome=None, drain=None):
         """Replay every ``(label, trace_text)`` task; returns
         ``(outcomes, dropped_events)`` with outcomes in input order.
 
@@ -521,11 +716,12 @@ class WorkerPool:
         calls. ``engine_config`` overrides the pool's default policy set
         for this batch only (it is shipped with each chunk), and
         ``tape`` (a :class:`~repro.net.transport.TapeConfig`) puts every
-        trace in this batch on a tape mode — workers attach it to their
-        own browser's network, labelled per trace. ``tracing`` is
-        False (off), True (every category), or a category spec for
-        each worker's tracer (anything
-        :func:`~repro.telemetry.tracer.resolve_categories` accepts).
+        trace in this batch on a tape mode. ``tracing`` is False (off),
+        True (every category), or a category spec for each worker's
+        tracer. ``on_outcome`` is called once per task the moment its
+        outcome is final (the crash-safe journaling hook). ``drain`` is
+        a zero-argument flag: the first True recalls every queued chunk
+        (cancelled outcomes), finishes what is in flight, and returns.
         """
         tasks = list(tasks)
         batch = _BatchState(self._next_batch_id, tasks)
@@ -544,10 +740,20 @@ class WorkerPool:
         for indexes in plan_chunks(len(tasks), self.workers,
                                    self.chunk_size):
             self._dispatch(batch, indexes, tracing, engine_config, tape)
+        draining = False
         while not batch.complete:
-            self._wait_for_activity()
-            self._pump(batch)
-            self._reap(batch, tracing, engine_config, tape)
+            if drain is not None and not draining and drain():
+                draining = True
+                self._cancel_pending(batch)
+                continue  # re-check completion before sleeping
+            self._spawn_due()
+            self._wait_for_activity(drain)
+            self._pump(batch, on_outcome)
+            self._reap(batch, tracing, engine_config, tape, on_outcome)
+            if self._supervisor.tripped and not batch.complete:
+                self._pump(batch, on_outcome)  # collect stragglers first
+                self._run_degraded(batch, engine_config, tape,
+                                   on_outcome, drain)
         return batch.outcomes, batch.dropped
 
     def _dispatch(self, batch, indexes, tracing, engine_config, tape=None):
@@ -560,31 +766,78 @@ class WorkerPool:
         self._task_queue.put((batch.batch_id, chunk_id, tracing,
                               engine_config, tape, items))
 
+    def _cancel_pending(self, batch):
+        """Recall every chunk still sitting in the task queue.
+
+        Queued-but-unstarted traces become ``cancelled`` outcomes; a
+        chunk a worker already pulled keeps running (its traces are
+        in flight, and drain means *finish* in-flight work). The small
+        steal race — a worker grabbing a chunk while we drain — is
+        benign: its results arrive normally and un-cancel the trace.
+        """
+        while True:
+            try:
+                task = self._task_queue.get(timeout=0.05)
+            except (queue_module.Empty, OSError):
+                break
+            batch_id, _, _, _, _, items = task
+            if batch_id != batch.batch_id:
+                continue  # stale chunk from a past batch: drop it
+            for index, _, _ in items:
+                if not batch.done[index]:
+                    batch.cancelled.add(index)
+                    batch.outcomes[index].cancelled = True
+
     # -- event handling -----------------------------------------------------
 
-    def _wait_for_activity(self):
+    def _spawn_due(self):
+        """Spawn slots whose respawn backoff has elapsed."""
+        for slot in self._supervisor.due_slots():
+            if slot not in self._handles:
+                self.stats["respawns"] += 1
+                self._spawn(slot)
+
+    def _wait_for_activity(self, drain=None):
         """Sleep until a result arrives or a worker dies.
 
         Blocks indefinitely when it safely can: the result pipe wakes
         us for every message and each worker's sentinel wakes us the
         instant that process exits, so no polling cadence is needed.
-        Only a live per-trace deadline forces one (the parent must
-        notice a *silent* overrun, which posts to neither).
+        Live deadlines force one: a per-trace timeout or heartbeat
+        watch (silent overruns post to neither channel), a pending
+        respawn backoff, or an armed drain flag (a signal handler sets
+        a flag; it does not write to the pipe).
         """
+        candidates = []
+        if self.trace_timeout is not None or self.hang_timeout is not None \
+                or drain is not None:
+            candidates.append(self.poll_interval)
+        due = self._supervisor.next_due_in()
+        if due is not None:
+            candidates.append(max(0.005, min(due, self.poll_interval)))
+        timeout = min(candidates) if candidates else None
         reader = getattr(self._result_queue, "_reader", None)
-        timeout = (self.poll_interval if self.trace_timeout is not None
-                   else None)
         if reader is None:  # unexpected Queue implementation: poll
-            timeout = self.poll_interval
-            time.sleep(timeout)
+            time.sleep(timeout if timeout is not None else self.poll_interval)
             self.stats["wakeups"] += 1
             return
-        sentinels = [h.process.sentinel for h in self._handles.values()
-                     if h.process.is_alive()]
+        # Every handle's sentinel, dead or alive: a worker that died
+        # after _reap's liveness check but before this wait would
+        # otherwise be silently excluded — and with no deadline armed
+        # the parent would block forever on a pipe nobody writes to. A
+        # dead sentinel is permanently ready, so the wait returns at
+        # once and the next _reap buries the body.
+        sentinels = [h.process.sentinel for h in self._handles.values()]
         _connection_wait([reader] + sentinels, timeout)
         self.stats["wakeups"] += 1
 
-    def _pump(self, batch):
+    def _note_beat(self, worker_id):
+        for handle in self._handles.values():
+            if handle.worker_id == worker_id:
+                handle.last_beat = time.monotonic()
+                return
+
+    def _pump(self, batch, on_outcome=None):
         """Drain every queued result message without blocking."""
         while True:
             try:
@@ -592,11 +845,15 @@ class WorkerPool:
             except queue_module.Empty:
                 return
             kind, batch_id = message[0], message[1]
+            if kind == "heartbeat":
+                self._note_beat(message[2])
+                continue
             if kind == "bye":
                 continue  # close() raced a worker retirement
             if batch_id != batch.batch_id:
                 continue  # stale: a re-queued duplicate from a past batch
             worker_id, index = message[2], message[3]
+            self._note_beat(worker_id)
             if batch.done[index]:
                 continue  # the re-queued attempt already won
             outcome = batch.outcomes[index]
@@ -609,12 +866,23 @@ class WorkerPool:
             else:
                 outcome.error = message[4]
                 outcome.error_class = message[5] or "WorkerError"
+            # A drain may have recalled this trace while its chunk was
+            # being stolen; the real result wins over the cancellation.
+            batch.cancelled.discard(index)
+            outcome.cancelled = False
             batch.done[index] = True
+            self._supervisor.record_completion()
+            if on_outcome is not None:
+                on_outcome(outcome)
 
-    def _reap(self, batch, tracing, engine_config, tape=None):
-        """Contain dead workers and over-deadline traces; keep pool full."""
+    def _reap(self, batch, tracing, engine_config, tape=None,
+              on_outcome=None):
+        """Contain dead, hung, and over-deadline workers; keep pool full."""
         now = time.monotonic()
         for slot, handle in list(self._handles.items()):
+            chunk = self._chunk_current[slot]
+            if chunk >= 0:
+                handle.chunks_seen.add(chunk)
             inflight = self._current[slot]
             if inflight != handle.inflight_index:
                 handle.inflight_index = inflight
@@ -624,27 +892,41 @@ class WorkerPool:
                     and self.trace_timeout is not None \
                     and now - handle.inflight_since > self.trace_timeout:
                 # Kill the stuck worker; its trace gets one more chance.
-                handle.process.terminate()
-                handle.process.join(self.drain_timeout)
+                self._stop_process(handle.process)
                 self._handle_casualty(
                     handle, batch, tracing, engine_config, tape,
                     "trace exceeded the %.3gs per-trace timeout"
                     % self.trace_timeout,
-                    requeue=True, error_class="TimeoutError")
+                    requeue=True, error_class="TimeoutError",
+                    on_outcome=on_outcome)
+                alive = False
+            elif alive and self.hang_timeout is not None \
+                    and now - handle.last_beat > self.hang_timeout:
+                # Distinct from the per-trace deadline: the *process*
+                # went silent (SIGSTOP, wedged syscall) — the trace may
+                # not even have started.
+                self.stats["hangs"] += 1
+                self._stop_process(handle.process)
+                self._handle_casualty(
+                    handle, batch, tracing, engine_config, tape,
+                    "worker heartbeat lost for %.3gs" % self.hang_timeout,
+                    requeue=True, error_class="WorkerHangError",
+                    on_outcome=on_outcome)
                 alive = False
             elif not alive and not handle.finished:
                 self._handle_casualty(
                     handle, batch, tracing, engine_config, tape,
                     "worker process died (exit code %s)"
                     % handle.process.exitcode,
-                    requeue=False, error_class="WorkerCrashError")
+                    requeue=True, error_class="WorkerCrashError",
+                    on_outcome=on_outcome)
             if not alive:
                 del self._handles[slot]
                 if not batch.complete:
-                    self._spawn(slot)
+                    self._supervisor.record_death(slot, now)
 
     def _handle_casualty(self, handle, batch, tracing, engine_config, tape,
-                         reason, requeue, error_class):
+                         reason, requeue, error_class, on_outcome=None):
         # The worker is dead by now, so its shared-memory slots are the
         # authoritative record of what it had in flight (a result put
         # just before death may still land; _pump wins that race because
@@ -654,10 +936,19 @@ class WorkerPool:
         handle.finished = True
         # Chunk-mates the dead worker never started (or whose results
         # died in its outbox) go back on the queue as singles — they
-        # were not running, so they are not charged an attempt.
-        survivors = [mate for mate in batch.chunks.get(chunk_id, ())
-                     if mate != index and not batch.done[mate]]
-        for mate in survivors:
+        # were not running, so they are not charged an attempt. The
+        # sweep covers every chunk the worker was seen holding, not
+        # just the last: a result enqueued right before death may be
+        # stuck in the dead process's outbox even though the worker
+        # had already moved on to the next chunk. (A late duplicate is
+        # benign: completed outcomes are never overwritten.)
+        handle.chunks_seen.add(chunk_id)
+        survivors = {mate
+                     for seen in handle.chunks_seen
+                     for mate in batch.chunks.get(seen, ())
+                     if mate != index and not batch.done[mate]
+                     and mate not in batch.cancelled}
+        for mate in sorted(survivors):
             self._dispatch(batch, [mate], tracing, engine_config, tape)
         if index < 0 or batch.done[index]:
             return
@@ -665,12 +956,105 @@ class WorkerPool:
         outcome.worker_id = handle.worker_id
         if requeue and index not in batch.requeued:
             batch.requeued.add(index)
+            batch.failed_on[index] = (handle.worker_id, error_class, reason)
             outcome.attempts += 1
             self._dispatch(batch, [index], tracing, engine_config, tape)
             return
+        first = batch.failed_on.get(index)
+        if first is not None and first[0] != handle.worker_id \
+                and error_class in QUARANTINE_CLASSES \
+                and first[1] in QUARANTINE_CLASSES:
+            # Two containment failures on two different workers: this
+            # trace is poison. Quarantine it with a diagnosis bundle
+            # instead of charging the pool for it ever again.
+            outcome.quarantined = self._diagnose(
+                handle, batch, index, outcome, first, error_class, reason)
+            self.stats["quarantined"] += 1
+            perf.record("pool.quarantined", False)
         outcome.error = reason
         outcome.error_class = error_class
+        batch.cancelled.discard(index)
+        outcome.cancelled = False
         batch.done[index] = True
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    def _diagnose(self, handle, batch, index, outcome, first, error_class,
+                  reason):
+        """The quarantine diagnosis bundle for a poison trace."""
+        injector = chaos.current()
+        return {
+            "label": outcome.label,
+            "index": index,
+            "attempts": outcome.attempts,
+            "workers": [first[0], handle.worker_id],
+            "error_class": error_class,
+            "reason": reason,
+            "first_failure": {"worker": first[0], "error_class": first[1],
+                              "reason": first[2]},
+            #: The last checkpoint: commands the final attempt finished
+            #: before its worker died (mirrored live via shared memory).
+            "commands_completed": int(self._progress[handle.slot]),
+            "stderr_tail": (tail_text(handle.stderr_path)
+                            if handle.stderr_path else ""),
+            "chaos": ({"profile": injector.profile.name,
+                       "seed": injector.seed}
+                      if injector is not None else None),
+        }
+
+    # -- degraded (in-process) execution -------------------------------------
+
+    def _run_degraded(self, batch, engine_config, tape, on_outcome=None,
+                      drain=None):
+        """Breaker tripped: finish the batch in-process, serially.
+
+        Workers died repeatedly with no completed trace in between —
+        respawning further would burn processes for nothing. The
+        remainder executes inline on a factory built in the parent
+        (telemetry slices are not collected in this mode); a drain
+        request still cancels anything not yet started.
+        """
+        warnings.warn(
+            "worker pool degraded to in-process execution after %d "
+            "consecutive worker deaths" % self._supervisor.consecutive_deaths,
+            RuntimeWarning, stacklevel=2)
+        perf.record("pool.degraded", False)
+        self.stats["degraded"] += 1
+        for slot, handle in list(self._handles.items()):
+            if handle.process.is_alive():
+                self._stop_process(handle.process)
+            handle.finished = True
+            del self._handles[slot]
+        # Purge queued chunks so a future batch never sees stale work.
+        while True:
+            try:
+                self._task_queue.get_nowait()
+            except (queue_module.Empty, OSError):
+                break
+        config = engine_config if engine_config is not None \
+            else self.engine_config
+        factory = None
+        for index, (label, trace_text) in enumerate(batch.tasks):
+            if batch.done[index] or index in batch.cancelled:
+                continue
+            outcome = batch.outcomes[index]
+            if drain is not None and drain():
+                batch.cancelled.add(index)
+                outcome.cancelled = True
+                continue
+            try:
+                if factory is None:
+                    factory = self.spec.make_factory()
+                payload = _replay_task(factory, config, trace_text,
+                                       None, tape=tape, label=label)
+                outcome.report = payload["report"]
+            except BaseException as exc:
+                outcome.error = traceback.format_exc()
+                outcome.error_class = type(exc).__name__
+            outcome.worker_id = None
+            batch.done[index] = True
+            if on_outcome is not None:
+                on_outcome(outcome)
 
 
 def _default_context():

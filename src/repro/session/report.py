@@ -93,10 +93,19 @@ class CommandResult:
         }
 
     @classmethod
-    def from_dict(cls, data):
-        from repro.core.commands import parse_command_line
+    def from_dict(cls, data, command=None):
+        """Rebuild from :meth:`to_dict` output.
 
-        return cls(parse_command_line(data["command"]), data["status"],
+        ``command`` short-circuits re-parsing the serialized command
+        line when the caller already holds the command object (the
+        batch runner resuming reports from a journal owns the trace) —
+        callers must only pass it when it serializes to the same line.
+        """
+        if command is None:
+            from repro.core.commands import parse_command_line
+
+            command = parse_command_line(data["command"])
+        return cls(command, data["status"],
                    detail=data["detail"],
                    error=_error_from_dict(data["error"]),
                    retries=data.get("retries", 0))
@@ -201,8 +210,19 @@ class ReplayReport:
         if trace is None:
             trace = WarrTrace.from_text(data["trace"])
         report = cls(trace)
-        report.results = [CommandResult.from_dict(result)
-                          for result in data["results"]]
+        # Results line up with the trace's commands in execution order,
+        # so each command object can usually be reused instead of
+        # re-parsed; a line mismatch (e.g. a relaxation rewrote the
+        # XPath before serialization) falls back to parsing.
+        commands = list(trace)
+        results = []
+        for index, result in enumerate(data["results"]):
+            command = None
+            if index < len(commands) \
+                    and commands[index].to_line() == result["command"]:
+                command = commands[index]
+            results.append(CommandResult.from_dict(result, command=command))
+        report.results = results
         report.halted = data["halted"]
         report.halt_reason = data["halt_reason"]
         report.halt_error = _error_from_dict(data.get("halt_error"))

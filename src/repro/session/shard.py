@@ -32,6 +32,7 @@ construction — the equivalence tests pin serial, sharded, and pooled
 runs of one batch to equal results.
 """
 
+import time
 from collections import deque
 
 from repro import perf
@@ -39,6 +40,7 @@ from repro.session.batch import BatchReport, TraceRun, _unique_stem
 from repro.session.engine import SessionEngine
 from repro.session.observers import PerfCountersObserver
 from repro.session.policies import FailurePolicy
+from repro.session.supervisor import throttle_seconds
 
 
 class _Shard:
@@ -88,16 +90,19 @@ class ShardedRunner:
     # -- the cooperative loop ------------------------------------------------
 
     def run(self, traces, labels, tracer=None, trace_dir=None,
-            write_trace=None):
+            write_trace=None, hooks=None):
         """Replay the batch with up to ``shards`` interleaved sessions.
 
         ``tracer``/``trace_dir``/``write_trace`` mirror the serial batch
         path: with tracing on, each finished session's banked events are
         written to ``<label>.trace.json`` via ``write_trace(path,
-        events)``.
+        events)``. ``hooks`` (a batch ``_RunHooks``) journals each
+        admission and finish and gates admission on a graceful drain —
+        in-flight sessions still run to completion.
         """
         batch = BatchReport()
         perf_totals = PerfCountersObserver()
+        throttle = throttle_seconds()
         pending = deque((order, label, trace) for order, (label, trace)
                         in enumerate(zip(labels, traces)))
         active = deque()
@@ -108,7 +113,16 @@ class ShardedRunner:
             while pending or active:
                 while (len(active) < self.shards and pending
                        and not halt_batch):
-                    active.append(self._admit(*pending.popleft(),
+                    if hooks is not None and hooks.drain_requested():
+                        batch.drained = True
+                        halt_batch = True
+                        break
+                    order, label, trace = pending.popleft()
+                    if hooks is not None:
+                        hooks.on_start(order, label)
+                    if throttle:
+                        time.sleep(throttle)
+                    active.append(self._admit(order, label, trace,
                                               perf_totals=perf_totals,
                                               tracer=tracer))
                 if not active:
@@ -121,6 +135,8 @@ class ShardedRunner:
                                             used_stems, write_trace)
                     finished[slot.order] = TraceRun(slot.label, slot.trace,
                                                     report)
+                    if hooks is not None:
+                        hooks.on_report(slot.order, slot.label, report)
                     if report.halted and self._halts_batch():
                         # Halt stops *admission*; sessions already in
                         # flight drain to completion (matching the

@@ -175,107 +175,134 @@ def encode_report(report_dict):
 # -- decoding -----------------------------------------------------------------
 
 
-class _Reader:
-    __slots__ = ("blob", "pos", "strings")
-
-    def __init__(self, blob):
-        self.blob = blob
-        self.pos = 0
-        self.strings = []
-
-    def varint(self):
-        value, self.pos = _read_varint(self.blob, self.pos)
-        return value
-
-    def byte(self):
-        if self.pos >= len(self.blob):
-            raise WireError("truncated payload")
-        value = self.blob[self.pos]
-        self.pos += 1
-        return value
-
-    def take(self, count):
-        if self.pos + count > len(self.blob):
-            raise WireError("truncated payload")
-        chunk = self.blob[self.pos:self.pos + count]
-        self.pos += count
-        return chunk
-
-    def string(self):
-        """A string reference: 0 is None, otherwise 1-based table index."""
-        ref = self.varint()
-        if ref == 0:
-            return None
-        try:
-            return self.strings[ref - 1]
-        except IndexError:
-            raise WireError("string reference %d outside table" % ref)
-
-    def error(self):
-        if self.varint() == 0:
-            return None
-        return {
-            "type": self.string(),
-            "message": self.string(),
-            "severity": self.string(),
-        }
-
-
 def decode_report(blob):
-    """The exact inverse of :func:`encode_report`."""
+    """The exact inverse of :func:`encode_report`.
+
+    Decoding is the batch-resume hot path — a resumed run rebuilds one
+    report per journaled trace from these blobs instead of replaying —
+    so the decoder is a flat loop over local state rather than a reader
+    object: varints take a one/two-byte fast path (string references
+    and small counts, the overwhelmingly common cases), and bounds are
+    enforced by the interpreter's own ``IndexError`` on ``blob[pos]``
+    rather than an explicit check per byte.
+    """
     if not isinstance(blob, (bytes, bytearray, memoryview)):
         raise WireError("wire payload must be bytes, got %s"
                         % type(blob).__name__)
     blob = bytes(blob)
     if blob[:len(MAGIC)] != MAGIC:
         raise WireError("bad magic; not a %s payload" % MAGIC.decode())
-    reader = _Reader(blob)
-    reader.pos = len(MAGIC)
-    for _ in range(reader.varint()):
-        length = reader.varint()
-        reader.strings.append(reader.take(length).decode("utf-8"))
+    try:
+        report, pos = _decode_payload(blob, len(MAGIC))
+    except (IndexError, struct.error):
+        raise WireError("truncated payload")
+    if pos != len(blob):
+        raise WireError("%d trailing byte(s) after payload"
+                        % (len(blob) - pos))
+    return report
+
+
+def _decode_payload(blob, pos):
+    strings = []
+
+    def varint():
+        nonlocal pos
+        byte = blob[pos]
+        pos += 1
+        if byte < 0x80:
+            return byte
+        result = byte & 0x7F
+        shift = 7
+        while True:
+            byte = blob[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise WireError("varint too long")
+
+    def string():
+        """A string reference: 0 is None, otherwise 1-based table index."""
+        ref = varint()
+        if ref == 0:
+            return None
+        try:
+            return strings[ref - 1]
+        except IndexError:
+            raise WireError("string reference %d outside table" % ref)
+
+    def error():
+        if varint() == 0:
+            return None
+        return {
+            "type": string(),
+            "message": string(),
+            "severity": string(),
+        }
+
+    for _ in range(varint()):
+        length = varint()
+        if pos + length > len(blob):
+            raise WireError("truncated payload")
+        strings.append(blob[pos:pos + length].decode("utf-8"))
+        pos += length
 
     report = {
-        "trace": reader.string(),
-        "halted": bool(reader.byte()),
-        "halt_reason": reader.string(),
-        "halt_error": reader.error(),
-        "final_url": reader.string(),
-        "recoveries": reader.varint(),
-        "net_fidelity": {key: reader.varint()
-                         for key in _NET_FIDELITY_KEYS},
+        "trace": string(),
+        "halted": bool(blob[pos]),
+        "halt_reason": None,
+        "halt_error": None,
+        "final_url": None,
+        "recoveries": 0,
+        "net_fidelity": None,
     }
+    pos += 1
+    report["halt_reason"] = string()
+    report["halt_error"] = error()
+    report["final_url"] = string()
+    report["recoveries"] = varint()
+    report["net_fidelity"] = {key: varint() for key in _NET_FIDELITY_KEYS}
     results = []
-    for _ in range(reader.varint()):
-        command = reader.string()
-        code = reader.byte()
-        if code == _STATUS_OTHER:
-            status = reader.string()
-        elif code < len(_STATUSES):
-            status = _STATUSES[code]
+    statuses = _STATUSES
+    n_statuses = len(statuses)
+    for _ in range(varint()):
+        # Inline string() for the command reference (always present in
+        # practice) and the one-byte status code — per-result overhead
+        # is what resume latency is made of.
+        byte = blob[pos]
+        pos += 1
+        ref = byte if byte < 0x80 else (byte & 0x7F) | (varint() << 7)
+        command = strings[ref - 1] if ref else None
+        code = blob[pos]
+        pos += 1
+        if code < n_statuses:
+            status = statuses[code]
+        elif code == _STATUS_OTHER:
+            status = string()
         else:
             raise WireError("unknown status code %d" % code)
         results.append({
             "command": command,
             "status": status,
-            "detail": reader.string(),
-            "retries": reader.varint(),
-            "error": reader.error(),
+            "detail": string(),
+            "retries": varint(),
+            "error": error(),
         })
     report["results"] = results
-    report["page_errors"] = [reader.error()
-                             for _ in range(reader.varint())]
+    report["page_errors"] = [error() for _ in range(varint())]
     counters = {}
-    for _ in range(reader.varint()):
-        name = reader.string()
-        hits = reader.varint()
-        misses = reader.varint()
+    for _ in range(varint()):
+        name = string()
+        hits = varint()
+        misses = varint()
         rate = None
-        if reader.byte():
-            rate = _DOUBLE.unpack(reader.take(8))[0]
+        if blob[pos]:
+            rate = _DOUBLE.unpack_from(blob, pos + 1)[0]
+            pos += 9
+        else:
+            pos += 1
         counters[name] = {"hits": hits, "misses": misses, "hit_rate": rate}
     report["perf_counters"] = counters
-    if reader.pos != len(blob):
-        raise WireError("%d trailing byte(s) after payload"
-                        % (len(blob) - reader.pos))
-    return report
+    return report, pos

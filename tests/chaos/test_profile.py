@@ -86,8 +86,15 @@ class TestPresets:
     def test_disabled_is_quiet(self):
         assert get_profile("disabled").quiet
 
-    def test_default_touches_every_layer(self):
-        assert get_profile("default").active_layers() == list(LAYERS)
+    def test_default_touches_every_browser_layer(self):
+        # "worker" is farm-level (process kills in a batch pool), not
+        # part of the in-browser background chaos.
+        assert get_profile("default").active_layers() == [
+            layer for layer in LAYERS if layer != "worker"]
+
+    def test_farm_is_worker_only(self):
+        assert get_profile("farm").active_layers() == ["worker"]
+        assert get_profile("farm").worker_kill_rate > 0.0
 
     def test_flaky_net_is_net_only(self):
         assert get_profile("flaky-net").active_layers() == ["net"]

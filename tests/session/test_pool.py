@@ -7,8 +7,10 @@ the module and the environment, and ``os.O_EXCL`` creation makes
 concurrently.
 """
 
+import multiprocessing
 import os
 import pickle
+import signal
 import time
 
 import pytest
@@ -55,6 +57,35 @@ def hang_once_factory():
 
 def hang_always_factory():
     time.sleep(300)
+
+
+def crash_in_worker_factory():
+    # Crashes *every* pool-worker attempt (so requeue-once hits a second
+    # worker and the trace goes to quarantine) — but behaves in the
+    # parent, so a breaker-degraded inline run survives.
+    if multiprocessing.parent_process() is not None:
+        os._exit(9)
+    return build_browser(developer_mode=True)
+
+
+def sigterm_masking_hang_factory():
+    # A worker that ignores SIGTERM and hangs: terminate() alone can
+    # never reap it — only the kill() escalation can. Guarded so a
+    # degraded inline run never masks signals in the test process.
+    if multiprocessing.parent_process() is not None:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(300)
+    return build_browser(developer_mode=True)
+
+
+def sigstop_factory():
+    # Freezes the whole worker process: even the heartbeat thread stops
+    # beating — the process-level hang the heartbeat watch exists for.
+    # (SIGTERM is not delivered to a stopped process; only the SIGKILL
+    # escalation reaps it.)
+    if multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return build_browser(developer_mode=True)
 
 
 def broken_factory():
@@ -197,17 +228,16 @@ class TestWorkerPool:
 
 
 class TestContainment:
-    def test_worker_crash_fails_only_its_trace(self, flag_path):
+    def test_worker_crash_requeues_and_the_batch_recovers(self, flag_path):
+        # A single worker death is transient (OOM kill, flaky native
+        # crash): its in-flight trace gets one more chance on another
+        # worker, and the batch completes in full.
         traces = [record_trace("c%d" % i) for i in range(4)]
         batch = BatchRunner("tests.session.test_pool:crash_once_factory",
                             timing=TimingPolicy.no_wait(),
                             workers=2).run(traces)
         assert batch.trace_count == 4
-        assert batch.complete_count == 3
-        (failed,) = batch.failures()
-        assert failed.report.halted
-        assert "worker process died" in failed.report.halt_reason
-        assert "exit code 3" in failed.report.halt_reason
+        assert batch.complete_count == 4, batch.summary()
 
     def test_transient_hang_requeued_and_recovered(self, flag_path):
         traces = [record_trace("h%d" % i) for i in range(3)]
@@ -241,14 +271,17 @@ class TestContainment:
         assert failed.report.halt_error.type_name == "TimeoutError"
         assert "per-trace timeout" in str(failed.report.halt_error)
 
-    def test_worker_death_surfaces_a_crash_classed_halt_error(self, flag_path):
-        traces = [record_trace("c%d" % i) for i in range(4)]
-        batch = BatchRunner("tests.session.test_pool:crash_once_factory",
-                            timing=TimingPolicy.no_wait(),
-                            workers=2).run(traces)
+    def test_worker_death_surfaces_a_crash_classed_halt_error(self):
+        # A trace that kills its worker on *both* attempts fails for
+        # good — with the crash class on the report's halt_error.
+        batch = BatchRunner(
+            "tests.session.test_pool:crash_in_worker_factory",
+            timing=TimingPolicy.no_wait(), workers=2).run(
+            [record_trace("poison")])
         (failed,) = batch.failures()
         assert failed.report.halt_error is not None
         assert failed.report.halt_error.type_name == "WorkerCrashError"
+        assert "worker process died" in str(failed.report.halt_error)
 
     def test_worker_exception_class_crosses_the_wire(self):
         # An exception raised inside the worker (not a kill) reports
@@ -329,20 +362,145 @@ class TestWarmPool:
                                 pool=pool).run([trace])
         assert batch.complete
 
-    def test_crash_mid_chunk_fails_only_the_inflight_trace(self, flag_path):
+    def test_crash_mid_chunk_requeues_the_inflight_trace(self, flag_path):
         traces = [record_trace("m%d" % i) for i in range(4)]
         tasks = [(t.label, t.to_text()) for t in traces]
-        # One worker, one big head chunk: the crash lands mid-chunk and
-        # the unstarted chunk-mates must be re-queued, not lost.
+        # One worker, one big head chunk: the crash lands mid-chunk; the
+        # unstarted chunk-mates are re-queued untouched (one attempt)
+        # and the in-flight trace is retried exactly once.
         with WorkerPool(
                 WorkerSpec("tests.session.test_pool:crash_once_factory"),
                 workers=1, timing=TimingPolicy.no_wait(),
                 chunk_size=4) as pool:
             outcomes, _ = pool.run(tasks)
-        failed = [o for o in outcomes if not o.ok]
-        assert len(failed) == 1
-        assert failed[0].error_class == "WorkerCrashError"
-        assert sum(o.ok for o in outcomes) == 3
+        assert all(o.ok for o in outcomes)
+        assert sorted(o.attempts for o in outcomes) == [1, 1, 1, 2]
+
+
+class TestSupervision:
+    def test_requeue_once_end_to_end_hits_two_workers(self):
+        # The full second hop: timeout -> requeue -> a *different*
+        # worker -> second timeout -> final classified failure.
+        trace = record_trace("stuck")
+        with WorkerPool(
+                WorkerSpec("tests.session.test_pool:hang_always_factory"),
+                workers=2, timing=TimingPolicy.no_wait(),
+                trace_timeout=0.4, kill_grace=0.3) as pool:
+            (outcome,), _ = pool.run([(trace.label, trace.to_text())])
+        assert not outcome.ok
+        assert outcome.error_class == "TimeoutError"
+        assert outcome.attempts == 2
+
+    def test_two_containment_failures_quarantine_with_diagnosis(self):
+        trace = record_trace("poison")
+        with WorkerPool(
+                WorkerSpec("tests.session.test_pool:crash_in_worker_factory"),
+                workers=2, timing=TimingPolicy.no_wait()) as pool:
+            (outcome,), _ = pool.run([(trace.label, trace.to_text())])
+        assert not outcome.ok
+        assert outcome.error_class == "WorkerCrashError"
+        bundle = outcome.quarantined
+        assert bundle is not None
+        assert bundle["label"] == trace.label
+        assert bundle["attempts"] == 2
+        # Two *different* workers died on this trace.
+        assert len(set(bundle["workers"])) == 2
+        assert bundle["first_failure"]["error_class"] == "WorkerCrashError"
+        assert isinstance(bundle["commands_completed"], int)
+        assert isinstance(bundle["stderr_tail"], str)
+        assert pool.stats["quarantined"] == 1
+
+    def test_sigterm_masking_worker_is_reaped_by_kill_escalation(self):
+        # Regression for the terminate-only reaper: a SIGTERM-ignoring
+        # worker would survive terminate() and wedge _reap for the full
+        # drain_timeout. The kill() escalation bounds it by kill_grace.
+        trace = record_trace("masked")
+        start = time.monotonic()
+        with WorkerPool(
+                WorkerSpec(
+                    "tests.session.test_pool:sigterm_masking_hang_factory"),
+                workers=1, timing=TimingPolicy.no_wait(),
+                trace_timeout=0.4, kill_grace=0.3) as pool:
+            (outcome,), _ = pool.run([(trace.label, trace.to_text())])
+        elapsed = time.monotonic() - start
+        assert not outcome.ok
+        assert outcome.error_class == "TimeoutError"
+        assert elapsed < 15, "SIGTERM-masking worker wedged the reaper"
+
+    def test_lost_heartbeat_detected_without_a_trace_deadline(self):
+        # SIGSTOP freezes the whole process (heartbeat thread included);
+        # with no per-trace timeout configured, only the heartbeat watch
+        # can notice. The stopped process also ignores SIGTERM, so this
+        # exercises the kill() escalation too.
+        trace = record_trace("frozen")
+        with WorkerPool(
+                WorkerSpec("tests.session.test_pool:sigstop_factory"),
+                workers=1, timing=TimingPolicy.no_wait(),
+                heartbeat=0.1, hang_timeout=0.6, kill_grace=0.2) as pool:
+            (outcome,), _ = pool.run([(trace.label, trace.to_text())])
+        assert not outcome.ok
+        assert outcome.error_class == "WorkerHangError"
+        assert pool.stats["hangs"] >= 1
+
+    def test_breaker_degrades_to_in_process_execution(self):
+        traces = [record_trace("d%d" % i) for i in range(3)]
+        tasks = [(t.label, t.to_text()) for t in traces]
+        with WorkerPool(
+                WorkerSpec("tests.session.test_pool:crash_in_worker_factory"),
+                workers=1, timing=TimingPolicy.no_wait(),
+                supervision={"backoff_base": 0.01, "breaker_deaths": 2}) \
+                as pool:
+            with pytest.warns(RuntimeWarning, match="degraded"):
+                outcomes, _ = pool.run(tasks)
+        # Every worker attempt died; the breaker tripped and the
+        # remainder ran inline in the parent (where the factory works).
+        assert pool.stats["degraded"] == 1
+        assert pool.supervisor.tripped
+        done_inline = [o for o in outcomes if o.ok]
+        assert done_inline and all(o.worker_id is None for o in done_inline)
+        # Nothing was lost: every trace has a final outcome.
+        assert all(o.ok or o.error_class for o in outcomes)
+
+    def test_drain_cancels_queued_traces_but_finishes_inflight(self,
+                                                               monkeypatch):
+        monkeypatch.setenv("REPRO_SOAK_THROTTLE", "0.2")
+        traces = [record_trace("g%d" % i) for i in range(6)]
+        tasks = [(t.label, t.to_text()) for t in traces]
+        finished = []
+        with WorkerPool(WorkerSpec(factory), workers=1,
+                        timing=TimingPolicy.no_wait(),
+                        chunk_size=1) as pool:
+            outcomes, _ = pool.run(
+                tasks, on_outcome=finished.append,
+                drain=lambda: len(finished) >= 1)
+        completed = [o for o in outcomes if o.ok]
+        cancelled = [o for o in outcomes if o.cancelled]
+        assert completed, "drain must let in-flight traces finish"
+        assert cancelled, "drain must recall queued traces"
+        # Exactly-once accounting: every trace is either completed,
+        # failed, or cancelled — never lost, never both.
+        for outcome in outcomes:
+            assert outcome.ok or outcome.cancelled or outcome.error_class
+            assert not (outcome.ok and outcome.cancelled)
+
+    def test_close_counts_abandoned_results(self):
+        # Results a worker computed but the parent never collected must
+        # be surfaced, not silently dropped by the close() drain.
+        from repro.session.pool import _BatchState
+        traces = [record_trace("a%d" % i) for i in range(2)]
+        tasks = [(t.label, t.to_text()) for t in traces]
+        pool = WorkerPool(WorkerSpec(factory), workers=1,
+                          timing=TimingPolicy.no_wait(), chunk_size=2)
+        pool.start()
+        batch = _BatchState(pool._next_batch_id, tasks)
+        pool._next_batch_id += 1
+        pool._dispatch(batch, [0, 1], False, None)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline \
+                and pool._result_queue.qsize() < 2:
+            time.sleep(0.05)
+        pool.close()
+        assert pool.stats["abandoned"] == 2, pool.stats
 
 
 class TestResultDrain:
